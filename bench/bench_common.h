@@ -1,0 +1,128 @@
+// Shared scaffolding for the reproduction benches: builds a world at bench
+// scale, runs the annotation pipeline, fits the feature extractor, and
+// provides paper-vs-measured table helpers.
+//
+// Every bench accepts optional flags:
+//   --scale=<f>    multiplier on Table II tweet counts (default per bench)
+//   --users=<n>    population size
+//   --seed=<n>     world seed
+// so the harness can be re-run at paper scale when time permits.
+
+#ifndef RETINA_BENCH_BENCH_COMMON_H_
+#define RETINA_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/feature_extractor.h"
+#include "core/hategen_task.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+#include "datagen/world.h"
+#include "hatedetect/annotation.h"
+
+namespace retina::bench {
+
+struct BenchFlags {
+  double scale = 0.12;
+  size_t users = 3000;
+  uint64_t seed = 7;
+};
+
+inline BenchFlags ParseFlags(int argc, char** argv, double default_scale,
+                             size_t default_users) {
+  BenchFlags flags;
+  flags.scale = default_scale;
+  flags.users = default_users;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      flags.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--users=", 8) == 0) {
+      flags.users = static_cast<size_t>(std::atoll(arg + 8));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      flags.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+    }
+  }
+  return flags;
+}
+
+struct BenchWorld {
+  datagen::SyntheticWorld world;
+  hatedetect::AnnotationReport annotation;
+  std::unique_ptr<core::FeatureExtractor> extractor;
+};
+
+/// Generates world + annotation + features. `feature_dim` scales the
+/// tf-idf feature sizes (paper: 300); `news_window` is the attention
+/// window (paper: 60).
+inline BenchWorld MakeBenchWorld(const BenchFlags& flags,
+                                 size_t feature_dim = 300,
+                                 size_t news_window = 60,
+                                 size_t history_length = 36,
+                                 bool build_features = true) {
+  Stopwatch timer;
+  datagen::WorldConfig config;
+  config.scale = flags.scale;
+  config.num_users = flags.users;
+  config.history_length = history_length;
+
+  BenchWorld out{datagen::SyntheticWorld::Generate(config, flags.seed),
+                 {},
+                 nullptr};
+  std::fprintf(stderr, "[bench] world: %zu tweets, %zu users (%.1fs)\n",
+               out.world.tweets().size(), out.world.NumUsers(),
+               timer.ElapsedSeconds());
+
+  timer.Reset();
+  hatedetect::AnnotationOptions aopts;
+  auto report = hatedetect::AnnotateWorld(&out.world, aopts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "[bench] annotation failed: %s\n",
+                 report.status().ToString().c_str());
+    std::exit(1);
+  }
+  out.annotation = report.ValueOrDie();
+  std::fprintf(stderr, "[bench] annotation (%.1fs)\n",
+               timer.ElapsedSeconds());
+
+  if (build_features) {
+    timer.Reset();
+    core::FeatureConfig fc;
+    fc.history_size = 30;
+    fc.history_tfidf_dim = feature_dim;
+    fc.news_tfidf_dim = feature_dim;
+    fc.tweet_tfidf_dim = feature_dim;
+    fc.news_window = news_window;
+    fc.doc2vec_dim = 50;
+    fc.doc2vec_epochs = 6;
+    fc.seed = flags.seed ^ 0x9E37ULL;
+    auto fx = core::FeatureExtractor::Build(out.world, fc);
+    if (!fx.ok()) {
+      std::fprintf(stderr, "[bench] feature build failed: %s\n",
+                   fx.status().ToString().c_str());
+      std::exit(1);
+    }
+    out.extractor =
+        std::make_unique<core::FeatureExtractor>(std::move(fx).ValueOrDie());
+    std::fprintf(stderr, "[bench] features (%.1fs)\n",
+                 timer.ElapsedSeconds());
+  }
+  return out;
+}
+
+inline std::string Fmt(double v, int digits = 2) {
+  return FormatDouble(v, digits);
+}
+
+}  // namespace retina::bench
+
+#endif  // RETINA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,66 @@
+// Extension bench (Section IX-A): the reply channel the paper leaves
+// unmodeled. Reports the thread composition around hateful vs non-hate
+// roots — the "same communication thread containing hateful,
+// counter-hateful, and non-hateful comments" convolution the Related Work
+// section argues real interactions exhibit.
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace retina;
+  using namespace retina::bench;
+
+  const BenchFlags flags = ParseFlags(argc, argv, 0.2, 4000);
+  BenchWorld bench = MakeBenchWorld(flags, 100, 10, 8,
+                                    /*build_features=*/false);
+  const auto& world = bench.world;
+
+  const datagen::ReplyStats hate = world.ComputeReplyStats(true);
+  const datagen::ReplyStats clean = world.ComputeReplyStats(false);
+
+  std::printf("Section IX-A extension — reply-thread composition\n");
+  TableWriter table("", {"root", "replies/tweet", "hateful replies",
+                         "counter-speech"});
+  table.AddRow({"hateful", Fmt(hate.replies_per_tweet),
+                Fmt(hate.hateful_reply_fraction),
+                Fmt(hate.counter_speech_fraction)});
+  table.AddRow({"non-hate", Fmt(clean.replies_per_tweet),
+                Fmt(clean.hateful_reply_fraction),
+                Fmt(clean.counter_speech_fraction)});
+  table.Print();
+
+  // Thread convolution: fraction of hateful-root threads that contain all
+  // three comment kinds (supportive hate, counter-speech, neutral).
+  size_t threads = 0, convoluted = 0;
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    if (!world.tweets()[i].is_hateful || world.Replies(i).empty()) continue;
+    ++threads;
+    bool has_hate = false, has_counter = false, has_neutral = false;
+    for (const auto& r : world.Replies(i)) {
+      if (r.counter_speech) {
+        has_counter = true;
+      } else if (r.is_hateful) {
+        has_hate = true;
+      } else {
+        has_neutral = true;
+      }
+    }
+    convoluted += (has_hate && has_counter && has_neutral);
+  }
+  std::printf(
+      "\n%.0f%% of non-empty hateful-root threads mix supportive hate, "
+      "counter-speech and neutral replies (%zu threads) — the convolution "
+      "that makes independent hate/non-hate cascade analyses inadequate "
+      "(Related Work, Section II).\n",
+      threads > 0 ? 100.0 * static_cast<double>(convoluted) /
+                        static_cast<double>(threads)
+                  : 0.0,
+      threads);
+  std::printf(
+      "Shape checks: hateful roots draw more hateful replies (%s) and all "
+      "counter-speech concentrates under hateful roots (%s).\n",
+      hate.hateful_reply_fraction > clean.hateful_reply_fraction ? "yes"
+                                                                 : "NO",
+      clean.counter_speech_fraction < 1e-9 ? "yes" : "NO");
+  return 0;
+}

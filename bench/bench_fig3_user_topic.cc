@@ -1,0 +1,74 @@
+// Figure 3 reproduction: per-user, per-hashtag hatefulness matrix. The
+// paper's point: the degree of hatefulness a user expresses depends on the
+// topic — a user hateful on one hashtag family is often clean on others.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace retina;
+  using namespace retina::bench;
+
+  const BenchFlags flags = ParseFlags(argc, argv, 0.25, 4000);
+  BenchWorld bench = MakeBenchWorld(flags, 100, 10, 24,
+                                    /*build_features=*/false);
+  const auto& world = bench.world;
+
+  // Pick the most active hate-prone users (those with enough corpus
+  // presence to fill a row) and a spread of hashtags.
+  std::vector<std::pair<size_t, datagen::NodeId>> activity;
+  for (datagen::NodeId u = 0; u < world.NumUsers(); ++u) {
+    if (world.users()[u].echo_community < 0) continue;
+    size_t tweets = 0;
+    for (const auto& tw : world.tweets()) tweets += (tw.author == u);
+    if (tweets > 0) activity.emplace_back(tweets, u);
+  }
+  std::sort(activity.rbegin(), activity.rend());
+  const size_t n_users = std::min<size_t>(8, activity.size());
+
+  std::vector<size_t> tags = {0, 1, 5, 9, 13, 15, 24, 31};  // varied themes
+
+  std::printf(
+      "Figure 3 — hateful/total ratio per (user, hashtag); rows are the %zu "
+      "most active hate-prone users\n",
+      n_users);
+  std::vector<std::string> header = {"user", "community"};
+  for (size_t t : tags) header.push_back(world.hashtags()[t].tag);
+  TableWriter table("", header);
+  for (size_t i = 0; i < n_users; ++i) {
+    const datagen::NodeId u = activity[i].second;
+    std::vector<std::string> row = {
+        "u" + std::to_string(u),
+        std::to_string(world.users()[u].echo_community)};
+    for (size_t t : tags) {
+      row.push_back(Fmt(world.UserHashtagHateRatio(u, t), 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  // Shape check: users are not uniformly hateful across hashtags — the
+  // per-user max ratio should exceed the per-user mean by a wide margin.
+  double mean_gap = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n_users; ++i) {
+    const datagen::NodeId u = activity[i].second;
+    double mx = 0.0, total = 0.0;
+    for (size_t t : tags) {
+      const double r = world.UserHashtagHateRatio(u, t);
+      mx = std::max(mx, r);
+      total += r;
+    }
+    const double mean = total / static_cast<double>(tags.size());
+    if (mx > 0.0) {
+      mean_gap += mx - mean;
+      ++counted;
+    }
+  }
+  std::printf(
+      "\nShape check: mean (max - mean) hate ratio across hashtags = %.2f "
+      "(topic-dependent hate -> should be well above 0)\n",
+      counted > 0 ? mean_gap / static_cast<double>(counted) : 0.0);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Figure 6 reproduction: MAP@20 for hateful vs non-hate root tweets,
+// RETINA-S / RETINA-D / TopoLSTM. Paper values: TopoLSTM 0.43 (hate) vs
+// 0.59 (non-hate) — it fails on hate diffusion; RETINA-D 0.80 vs 0.74,
+// RETINA-S 0.54 vs 0.56 — RETINA holds (or improves) on hateful content.
+
+#include "bench/bench_common.h"
+#include "diffusion/neural_baselines.h"
+#include "ml/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace retina;
+  using namespace retina::bench;
+  using namespace retina::core;
+
+  const BenchFlags flags = ParseFlags(argc, argv, 0.08, 2500);
+  BenchWorld bench = MakeBenchWorld(flags, 200, 60);
+
+  RetweetTaskOptions opts;
+  auto task_result = BuildRetweetTask(*bench.extractor, opts);
+  if (!task_result.ok()) return 1;
+  const RetweetTask& task = task_result.ValueOrDie();
+
+  size_t hate_tweets = 0;
+  for (const auto& t : task.tweets) hate_tweets += t.hateful;
+  std::printf(
+      "Figure 6 — MAP@20 split by root hatefulness (%zu hateful / %zu "
+      "total cascades)\n",
+      hate_tweets, task.tweets.size());
+
+  RetinaOptions sopts;
+  sopts.hidden = 64;
+  sopts.epochs = 4;
+  Retina retina_s(task.user_dim, task.content_dim, task.embed_dim,
+                  task.NumIntervals(), sopts);
+  if (!retina_s.Train(task).ok()) return 1;
+
+  RetinaOptions dopts = sopts;
+  dopts.dynamic = true;
+  dopts.use_adam = false;
+  dopts.learning_rate = 1e-3;
+  dopts.lambda = 2.5;
+  Retina retina_d(task.user_dim, task.content_dim, task.embed_dim,
+                  task.NumIntervals(), dopts);
+  if (!retina_d.Train(task).ok()) return 1;
+
+  diffusion::NeuralDiffusionBaseline topo(
+      &bench.world, diffusion::NeuralBaselineKind::kTopoLstm, {});
+  if (!topo.Fit(task).ok()) return 1;
+
+  struct Entry {
+    const char* name;
+    Vec scores;
+    double paper_hate, paper_nonhate;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"RETINA-D", retina_d.ScoreCandidates(task, task.test),
+                     0.80, 0.74});
+  entries.push_back({"RETINA-S", retina_s.ScoreCandidates(task, task.test),
+                     0.54, 0.56});
+  entries.push_back({"TopoLSTM", topo.ScoreCandidates(task, task.test),
+                     0.43, 0.59});
+
+  TableWriter table("", {"model", "hate(p)", "hate", "non-hate(p)",
+                         "non-hate", "hate-gap"});
+  double topo_gap = 0.0, retina_d_gap = 0.0;
+  for (const Entry& e : entries) {
+    const auto hq = MakeRankingQueries(task, task.test, e.scores, 1);
+    const auto nq = MakeRankingQueries(task, task.test, e.scores, 0);
+    const double hate_map = ml::MeanAveragePrecisionAtK(hq, 20);
+    const double nonhate_map = ml::MeanAveragePrecisionAtK(nq, 20);
+    table.AddRow({e.name, Fmt(e.paper_hate), Fmt(hate_map),
+                  Fmt(e.paper_nonhate), Fmt(nonhate_map),
+                  Fmt(hate_map - nonhate_map)});
+    if (std::string(e.name) == "TopoLSTM") topo_gap = hate_map - nonhate_map;
+    if (std::string(e.name) == "RETINA-D") {
+      retina_d_gap = hate_map - nonhate_map;
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape check (paper): TopoLSTM degrades on hate (gap -0.16) while "
+      "RETINA-D does not (gap +0.06). Ours: TopoLSTM gap %.2f, RETINA-D "
+      "gap %.2f -> RETINA handles hate better: %s\n",
+      topo_gap, retina_d_gap, retina_d_gap > topo_gap ? "yes" : "NO");
+  return 0;
+}

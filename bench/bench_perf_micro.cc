@@ -1,0 +1,141 @@
+// Google-benchmark micro-benchmarks for the computational kernels: the
+// exogenous attention block, GRU cell, BFS on the follower graph, tf-idf
+// transforms, Doc2Vec inference and world generation.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datagen/world.h"
+#include "graph/generators.h"
+#include "nn/attention.h"
+#include "nn/gru.h"
+#include "text/doc2vec.h"
+#include "text/tfidf.h"
+
+namespace {
+
+using namespace retina;
+
+void BM_AttentionForward(benchmark::State& state) {
+  Rng rng(1);
+  const size_t seq = static_cast<size_t>(state.range(0));
+  nn::ExogenousAttention att(50, 50, 64, &rng);
+  Vec tweet(50);
+  for (double& v : tweet) v = rng.Normal();
+  Matrix news(seq, 50);
+  for (double& v : news.data()) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(att.Forward(tweet, news, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_AttentionForward)->Arg(15)->Arg(60)->Arg(240);
+
+void BM_AttentionBackward(benchmark::State& state) {
+  Rng rng(2);
+  const size_t seq = static_cast<size_t>(state.range(0));
+  nn::ExogenousAttention att(50, 50, 64, &rng);
+  Vec tweet(50), dout(64);
+  for (double& v : tweet) v = rng.Normal();
+  for (double& v : dout) v = rng.Normal();
+  Matrix news(seq, 50);
+  for (double& v : news.data()) v = rng.Normal();
+  nn::AttentionCache cache;
+  (void)att.Forward(tweet, news, &cache);
+  for (auto _ : state) {
+    att.Backward(cache, dout);
+  }
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_AttentionBackward)->Arg(60);
+
+void BM_GruStep(benchmark::State& state) {
+  Rng rng(3);
+  nn::GruCell gru(130, 64, &rng);
+  Vec x(130), h(64, 0.0);
+  for (double& v : x) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gru.Forward(x, h, nullptr));
+  }
+}
+BENCHMARK(BM_GruStep);
+
+void BM_BfsDistances(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Vec> interests(n);
+  for (auto& v : interests) v = rng.Dirichlet(10, 0.3);
+  std::vector<int> echo(n, -1);
+  const auto net =
+      graph::GenerateFollowerNetwork(interests, echo, {}, &rng);
+  graph::NodeId src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.BfsDistances(src, 4));
+    src = (src + 1) % static_cast<graph::NodeId>(n);
+  }
+  state.SetItemsProcessed(state.iterations() * net.NumEdges());
+}
+BENCHMARK(BM_BfsDistances)->Arg(2000)->Arg(8000);
+
+void BM_TfIdfTransform(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::string> d;
+    for (int w = 0; w < 14; ++w) {
+      d.push_back("w" + std::to_string(rng.UniformInt(800)));
+    }
+    docs.push_back(std::move(d));
+  }
+  text::TfIdfOptions opts;
+  opts.max_features = 300;
+  text::TfIdfVectorizer tfidf(opts);
+  if (!tfidf.Fit(docs).ok()) state.SkipWithError("fit failed");
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tfidf.Transform(docs[i % docs.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TfIdfTransform);
+
+void BM_Doc2VecInfer(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<std::string> d;
+    for (int w = 0; w < 14; ++w) {
+      d.push_back("w" + std::to_string(rng.UniformInt(300)));
+    }
+    docs.push_back(std::move(d));
+  }
+  text::Doc2VecOptions opts;
+  opts.dim = 50;
+  opts.epochs = 3;
+  text::Doc2Vec model(opts);
+  if (!model.Train(docs).ok()) state.SkipWithError("train failed");
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.InferVector(docs[i % docs.size()], 8));
+    ++i;
+  }
+}
+BENCHMARK(BM_Doc2VecInfer);
+
+void BM_WorldGenerate(benchmark::State& state) {
+  datagen::WorldConfig config;
+  config.scale = 0.02;
+  config.num_users = 400;
+  config.history_length = 8;
+  config.news_per_day = 30.0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(datagen::SyntheticWorld::Generate(config, seed));
+    ++seed;
+  }
+}
+BENCHMARK(BM_WorldGenerate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

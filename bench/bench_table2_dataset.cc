@@ -1,0 +1,65 @@
+// Table II reproduction: per-hashtag dataset statistics of the synthetic
+// world against the paper's crawled values. "paper" columns are Table II;
+// "ours" columns are measured on the generated world (tweet counts scale
+// with --scale; the paper values correspond to scale=1).
+
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace retina;
+  using namespace retina::bench;
+
+  // Statistics need no feature pipeline; generate at a larger scale with
+  // short histories to keep memory flat.
+  const BenchFlags flags = ParseFlags(argc, argv, /*default_scale=*/0.5,
+                                      /*default_users=*/8000);
+  BenchWorld bench = MakeBenchWorld(flags, 100, 10, /*history_length=*/6,
+                                    /*build_features=*/false);
+  const auto& world = bench.world;
+  const auto stats = world.ComputeHashtagStats();
+
+  std::printf(
+      "Table II — dataset statistics (scale=%.2f, %zu users; paper columns "
+      "are the crawled dataset at scale 1.0)\n",
+      flags.scale, flags.users);
+  TableWriter table(
+      "",
+      {"hashtag", "tweets(paper)", "tweets(ours)", "avgRT(paper)",
+       "avgRT(ours)", "users(ours)", "users-all(ours)", "%hate(paper)",
+       "%hate(ours)"});
+  size_t total_tweets = 0, total_rts = 0;
+  for (size_t h = 0; h < world.hashtags().size(); ++h) {
+    const auto& info = world.hashtags()[h];
+    const auto& s = stats[h];
+    table.AddRow({info.tag, std::to_string(info.target_tweets),
+                  std::to_string(s.tweets), Fmt(info.target_avg_retweets),
+                  Fmt(s.avg_retweets), std::to_string(s.unique_authors),
+                  std::to_string(s.users_all), Fmt(info.target_pct_hate),
+                  Fmt(s.pct_hate)});
+    total_tweets += s.tweets;
+    total_rts += static_cast<size_t>(s.avg_retweets *
+                                     static_cast<double>(s.tweets));
+  }
+  table.Print();
+
+  size_t hateful = 0;
+  for (const auto& tw : world.tweets()) hateful += tw.is_hateful;
+  std::printf(
+      "\nTotals: %zu root tweets, %zu retweets, %.2f%% hateful "
+      "(paper: 31,133 roots, ~4%% hateful)\n",
+      total_tweets, total_rts,
+      100.0 * static_cast<double>(hateful) /
+          static_cast<double>(world.tweets().size()));
+
+  const auto degree = graph::ComputeDegreeStats(world.network());
+  std::printf(
+      "Network: %zu nodes, %zu follow edges, mean followers %.1f, max %d, "
+      "top-1%% share %.2f (heavy tail)\n",
+      world.network().NumNodes(), world.network().NumEdges(),
+      degree.mean_followers, static_cast<int>(degree.max_followers),
+      degree.top1pct_share);
+  std::printf("News corpus: %zu headlines over %.0f days (paper: 319,179 "
+              "filtered)\n",
+              world.news().articles().size(), world.config().horizon_days);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table V reproduction: feature-group ablation for the best
+// hate-generation model (decision tree + downsampling). Paper rows:
+//   All 0.65/0.74/0.66, All\History 0.56/0.59/0.64,
+//   All\Endogen 0.61/0.68/0.64, All\Exogen 0.56/0.58/0.66,
+//   All\Topic 0.65/0.74/0.66.
+
+#include "bench/bench_common.h"
+
+#include "ml/decision_tree.h"
+
+int main(int argc, char** argv) {
+  using namespace retina;
+  using namespace retina::bench;
+  using namespace retina::core;
+
+  const BenchFlags flags = ParseFlags(argc, argv, 0.35, 4500);
+  BenchWorld bench = MakeBenchWorld(flags);
+
+  struct Row {
+    const char* label;
+    const char* group;  // nullptr = full model
+    double paper_f1, paper_acc, paper_auc;
+  };
+  const Row rows[] = {
+      {"All", nullptr, 0.65, 0.74, 0.66},
+      {"All \\ History", "history", 0.56, 0.59, 0.64},
+      {"All \\ Endogen", "endogenous", 0.61, 0.68, 0.64},
+      {"All \\ Exogen", "exogenous", 0.56, 0.58, 0.66},
+      {"All \\ Topic", "topic", 0.65, 0.74, 0.66},
+  };
+
+  std::printf(
+      "Table V — feature ablation, Decision Tree + downsampling on gold "
+      "test labels\n");
+  TableWriter table("", {"features", "F1(p)", "F1", "ACC(p)", "ACC",
+                         "AUC(p)", "AUC"});
+  double full_f1 = 0.0, nohist_f1 = 1.0, noexo_f1 = 1.0;
+  for (const Row& row : rows) {
+    const FeatureMask mask =
+        row.group == nullptr ? FeatureMask{} : FeatureMask::Without(row.group);
+    HateGenTaskOptions opts;
+    auto task = BuildHateGenTask(*bench.extractor, opts, mask);
+    if (!task.ok()) {
+      std::fprintf(stderr, "task failed: %s\n",
+                   task.status().ToString().c_str());
+      return 1;
+    }
+    // Average over three resampling seeds (the downsampled split is
+    // small; a single draw is noisy).
+    EvalResult r;
+    for (int run = 0; run < 3; ++run) {
+      ml::DecisionTreeOptions topts;
+      topts.max_depth = 5;
+      ml::DecisionTree tree(topts);
+      auto result = RunHateGenPipeline(task.ValueOrDie(), &tree,
+                                       ProcVariant::kDownsample,
+                                       100 + 1000 * run);
+      if (!result.ok()) {
+        std::fprintf(stderr, "pipeline failed\n");
+        return 1;
+      }
+      r.macro_f1 += result.ValueOrDie().macro_f1 / 3.0;
+      r.accuracy += result.ValueOrDie().accuracy / 3.0;
+      r.auc += result.ValueOrDie().auc / 3.0;
+    }
+    table.AddRow({row.label, Fmt(row.paper_f1), Fmt(r.macro_f1),
+                  Fmt(row.paper_acc), Fmt(r.accuracy), Fmt(row.paper_auc),
+                  Fmt(r.auc)});
+    if (row.group == nullptr) full_f1 = r.macro_f1;
+    if (row.group != nullptr && std::string(row.group) == "history") {
+      nohist_f1 = r.macro_f1;
+    }
+    if (row.group != nullptr && std::string(row.group) == "exogenous") {
+      noexo_f1 = r.macro_f1;
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks (paper): history and exogenous removals hurt most "
+      "(0.65 -> 0.56); topic removal is neutral.\n");
+  std::printf("Ours: All %.2f, \\History %.2f, \\Exogen %.2f -> "
+              "history hurts: %s, exogenous hurts: %s\n",
+              full_f1, nohist_f1, noexo_f1,
+              nohist_f1 < full_f1 ? "yes" : "NO",
+              noexo_f1 < full_f1 ? "yes" : "NO");
+  return 0;
+}

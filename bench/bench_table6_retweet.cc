@@ -1,0 +1,324 @@
+// Table VI reproduction: retweeter prediction. Feature-engineered
+// baselines (with and without the exogenous news block — the paper's †
+// rows), RETINA static/dynamic (± exogenous attention), the neural
+// diffusion baselines (TopoLSTM / FOREST / HIDAN), and the rudimentary
+// contagion models (SIR, General Threshold).
+//
+// Following Section VIII-B, the feature-engineered models consume at most
+// 15 news headlines per tweet (the paper hit memory limits beyond that),
+// while RETINA attends over the full 60-headline window.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "diffusion/neural_baselines.h"
+#include "diffusion/sir.h"
+#include "diffusion/threshold.h"
+#include "ml/decision_tree.h"
+#include "ml/logistic_regression.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace {
+
+using namespace retina;
+using namespace retina::bench;
+using namespace retina::core;
+
+struct RowResult {
+  std::string name;
+  double f1 = -1, acc = -1, auc = -1, map20 = -1, hits20 = -1;
+};
+
+std::string Cell(double v) { return v < 0 ? "-" : Fmt(v); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchFlags flags = ParseFlags(argc, argv, 0.08, 2500);
+  BenchWorld bench = MakeBenchWorld(flags, 300, 60);
+
+  RetweetTaskOptions opts;
+  // Larger candidate sets than the defaults so MAP@20 / HITS@20 do not
+  // saturate (paper candidate sets are follower-scale).
+  opts.negatives_per_tweet = 40;
+  opts.max_candidates = 64;
+  auto task_result = BuildRetweetTask(*bench.extractor, opts);
+  if (!task_result.ok()) {
+    std::fprintf(stderr, "task failed: %s\n",
+                 task_result.status().ToString().c_str());
+    return 1;
+  }
+  const RetweetTask& task = task_result.ValueOrDie();
+  std::printf(
+      "Table VI — retweeter prediction (%zu cascades, train %zu / test %zu "
+      "candidates)\n",
+      task.tweets.size(), task.train.size(), task.test.size());
+
+  std::vector<RowResult> rows;
+
+  auto add_binary = [&](const std::string& name, const Vec& scores,
+                        bool ranking) {
+    RowResult row;
+    row.name = name;
+    const BinaryEval eval = EvaluateBinary(task.test, scores);
+    row.f1 = eval.macro_f1;
+    row.acc = eval.accuracy;
+    row.auc = eval.auc;
+    if (ranking) {
+      const auto queries = MakeRankingQueries(task, task.test, scores);
+      row.map20 = ml::MeanAveragePrecisionAtK(queries, 20);
+      row.hits20 = ml::HitsAtK(queries, 20);
+    }
+    rows.push_back(row);
+  };
+
+  // ---- Feature-engineered baselines --------------------------------------
+  {
+    // 15-headline exogenous block per tweet (paper's memory ceiling),
+    // plus the scalar tweet-news alignment features a linear model needs
+    // to consume the exogenous signal.
+    std::vector<Vec> news15(task.tweets.size());
+    for (size_t t = 0; t < task.tweets.size(); ++t) {
+      const auto& tw = bench.world.tweets()[task.tweets[t].tweet_id];
+      news15[t] = bench.extractor->NewsTfIdfAverage(tw.time, 15);
+      const Vec align = bench.extractor->NewsAlignmentFeatures(tw, 15);
+      news15[t].insert(news15[t].end(), align.begin(), align.end());
+    }
+    const size_t news_dim = news15.front().size();
+
+    auto make_row = [&](const RetweetCandidate& cand, bool exo) {
+      Vec x = Concat(cand.user_features, task.tweets[cand.tweet_pos].content);
+      if (exo) {
+        const Vec& n = news15[cand.tweet_pos];
+        x.insert(x.end(), n.begin(), n.end());
+      } else {
+        x.insert(x.end(), news_dim, 0.0);
+      }
+      return x;
+    };
+
+    // Subsampled training matrix (the full candidate set exceeds what the
+    // paper's classical models could hold either).
+    Rng rng(flags.seed ^ 0xC1A551CULL);
+    std::vector<size_t> order(task.train.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng.Shuffle(&order);
+    const size_t n_sub = std::min<size_t>(16000, order.size());
+
+    const size_t dim = task.user_dim + task.content_dim + news_dim;
+    for (const bool exo : {true, false}) {
+      Matrix train_x(n_sub, dim);
+      std::vector<int> train_y(n_sub);
+      for (size_t i = 0; i < n_sub; ++i) {
+        const auto& cand = task.train[order[i]];
+        train_x.SetRow(i, make_row(cand, exo));
+        train_y[i] = cand.label;
+      }
+
+      std::vector<std::unique_ptr<ml::BinaryClassifier>> models;
+      {
+        ml::LogisticRegressionOptions lopts;
+        lopts.balanced_class_weight = true;
+        models.push_back(std::make_unique<ml::LogisticRegression>(lopts));
+      }
+      {
+        ml::DecisionTreeOptions topts;
+        topts.max_depth = 8;
+        models.push_back(std::make_unique<ml::DecisionTree>(topts));
+      }
+      {
+        ml::RandomForestOptions ropts;
+        ropts.n_estimators = 50;
+        models.push_back(std::make_unique<ml::RandomForest>(ropts));
+      }
+      if (!exo) {
+        // Linear SVC appears only as a no-exogenous row in Table VI.
+        models.push_back(std::make_unique<ml::LinearSVM>());
+      }
+      if (exo) {
+        // Diagnostic row (not in the paper): logistic regression on the
+        // exogenous block alone, demonstrating that the news signal is
+        // present and consumable by itself. In our world the user/peer
+        // features are strong enough that the marginal gain of adding the
+        // exogenous block is small — unlike the paper, whose no-exogenous
+        // baselines sat at chance (see EXPERIMENTS.md).
+        ml::LogisticRegressionOptions lopts;
+        lopts.balanced_class_weight = true;
+        auto exo_only = std::make_unique<ml::LogisticRegression>(lopts);
+        Matrix exo_x(n_sub, news_dim);
+        for (size_t i = 0; i < n_sub; ++i) {
+          const auto& cand = task.train[order[i]];
+          const Vec& n = news15[cand.tweet_pos];
+          exo_x.SetRow(i, n);
+        }
+        if (exo_only->Fit(exo_x, train_y).ok()) {
+          Vec scores(task.test.size());
+          for (size_t i = 0; i < task.test.size(); ++i) {
+            scores[i] =
+                exo_only->PredictProba(news15[task.test[i].tweet_pos]);
+          }
+          add_binary("Logistic Regression [exo-only]", scores,
+                     /*ranking=*/false);
+        }
+      }
+      for (auto& model : models) {
+        Stopwatch timer;
+        if (!model->Fit(train_x, train_y).ok()) continue;
+        Vec scores(task.test.size());
+        for (size_t i = 0; i < task.test.size(); ++i) {
+          scores[i] = model->PredictProba(make_row(task.test[i], exo));
+        }
+        std::string name = model->Name() == "SVM-l" ? "Linear SVC"
+                           : model->Name() == "LogReg" ? "Logistic Regression"
+                           : model->Name() == "Dec-Tree" ? "Decision Tree"
+                                                         : model->Name();
+        if (!exo) name += " [no-exo]";
+        add_binary(name, scores, /*ranking=*/false);
+        std::fprintf(stderr, "[bench] %s (%.1fs)\n", name.c_str(),
+                     timer.ElapsedSeconds());
+      }
+    }
+  }
+
+  // ---- RETINA -------------------------------------------------------------
+  for (const bool dynamic : {false, true}) {
+    for (const bool exo : {true, false}) {
+      Stopwatch timer;
+      RetinaOptions ropts;
+      ropts.hidden = 64;
+      ropts.dynamic = dynamic;
+      ropts.use_exogenous = exo;
+      ropts.epochs = 4;
+      if (dynamic) {
+        ropts.use_adam = false;  // paper: SGD for the dynamic model
+        ropts.learning_rate = 1e-3;
+        ropts.lambda = 2.5;
+      } else {
+        ropts.use_adam = true;  // paper: Adam for the static model
+        ropts.learning_rate = 1e-3;
+        ropts.lambda = 2.0;
+      }
+      ropts.seed = flags.seed ^ (dynamic ? 0xD1 : 0x51) ^ (exo ? 0 : 0x100);
+      Retina model(task.user_dim, task.content_dim, task.embed_dim,
+                   task.NumIntervals(), ropts);
+      if (!model.Train(task).ok()) continue;
+      const Vec scores = model.ScoreCandidates(task, task.test);
+      std::string name = dynamic ? "RETINA-D" : "RETINA-S";
+      if (!exo) name += " [no-exo]";
+      if (dynamic) {
+        // The paper evaluates RETINA-D per (user, interval) sample
+        // (P^{u_i}_j), while ranking metrics stay at the user level. The
+        // decision threshold is calibrated on the training split because
+        // the weighted loss inflates the probabilities.
+        RowResult row;
+        row.name = name;
+        const double threshold =
+            model.CalibrateCumulativeThreshold(task, task.train);
+        const BinaryEval eval =
+            model.EvaluateCumulative(task, task.test, threshold);
+        row.f1 = eval.macro_f1;
+        row.acc = eval.accuracy;
+        row.auc = eval.auc;
+        const auto queries = MakeRankingQueries(task, task.test, scores);
+        row.map20 = ml::MeanAveragePrecisionAtK(queries, 20);
+        row.hits20 = ml::HitsAtK(queries, 20);
+        rows.push_back(row);
+      } else {
+        add_binary(name, scores, /*ranking=*/true);
+      }
+      std::fprintf(stderr, "[bench] %s (%.1fs)\n", name.c_str(),
+                   timer.ElapsedSeconds());
+    }
+  }
+
+  // ---- Neural diffusion baselines ------------------------------------------
+  for (const auto kind :
+       {diffusion::NeuralBaselineKind::kForest,
+        diffusion::NeuralBaselineKind::kHidan,
+        diffusion::NeuralBaselineKind::kTopoLstm}) {
+    Stopwatch timer;
+    diffusion::NeuralBaselineOptions nopts;
+    diffusion::NeuralDiffusionBaseline model(&bench.world, kind, nopts);
+    if (!model.Fit(task).ok()) continue;
+    const Vec scores = model.ScoreCandidates(task, task.test);
+    RowResult row;
+    row.name = model.Name();
+    const auto queries = MakeRankingQueries(task, task.test, scores);
+    row.map20 = ml::MeanAveragePrecisionAtK(queries, 20);
+    row.hits20 = ml::HitsAtK(queries, 20);
+    rows.push_back(row);
+    std::fprintf(stderr, "[bench] %s (%.1fs)\n", row.name.c_str(),
+                 timer.ElapsedSeconds());
+  }
+
+  // ---- Rudimentary contagion models ------------------------------------------
+  // Evaluated in the paper's regime: literature-default rates, infected /
+  // activated set predicted over the whole population. Homogeneous
+  // contagion floods past the true retweeter sets and both per-class F1
+  // scores collapse (paper: 0.04).
+  {
+    diffusion::SirModel sir(&bench.world, {});
+    RowResult row;
+    row.name = "SIR";
+    row.f1 = sir.FullPopulationMacroF1(task);
+    rows.push_back(row);
+
+    diffusion::ThresholdModel thresh(&bench.world, {});
+    RowResult trow;
+    trow.name = "Gen.Thresh.";
+    trow.f1 = thresh.FullPopulationMacroF1(task);
+    rows.push_back(trow);
+  }
+
+  // ---- Render with paper columns ------------------------------------------------
+  struct PaperRow {
+    const char* name;
+    const char* f1;
+    const char* acc;
+    const char* auc;
+    const char* map;
+    const char* hits;
+  };
+  const PaperRow paper[] = {
+      {"Logistic Regression", "0.70", "0.96", "0.79", "-", "-"},
+      {"Logistic Regression [no-exo]", "0.49", "0.93", "0.50", "-", "-"},
+      {"Logistic Regression [exo-only]", "-", "-", "-", "-", "-"},
+      {"Decision Tree", "0.68", "0.95", "0.78", "-", "-"},
+      {"Decision Tree [no-exo]", "0.54", "0.92", "0.54", "-", "-"},
+      {"Random Forest", "0.66", "0.97", "0.67", "-", "-"},
+      {"Random Forest [no-exo]", "0.52", "0.93", "0.52", "-", "-"},
+      {"Linear SVC [no-exo]", "0.49", "0.91", "0.50", "-", "-"},
+      {"RETINA-S", "0.70", "0.97", "0.73", "0.57", "0.74"},
+      {"RETINA-S [no-exo]", "0.65", "0.93", "0.74", "0.56", "0.76"},
+      {"RETINA-D", "0.89", "0.99", "0.86", "0.78", "0.88"},
+      {"RETINA-D [no-exo]", "0.87", "0.99", "0.80", "0.69", "0.80"},
+      {"FOREST", "-", "-", "-", "0.51", "0.64"},
+      {"HIDAN", "-", "-", "-", "0.05", "0.05"},
+      {"TopoLSTM", "-", "-", "-", "0.60", "0.83"},
+      {"SIR", "0.04", "-", "-", "-", "-"},
+      {"Gen.Thresh.", "0.04", "-", "-", "-", "-"},
+  };
+
+  TableWriter table("", {"model", "F1(p)", "F1", "ACC(p)", "ACC", "AUC(p)",
+                         "AUC", "MAP@20(p)", "MAP@20", "HITS@20(p)",
+                         "HITS@20"});
+  for (const PaperRow& p : paper) {
+    const RowResult* found = nullptr;
+    for (const RowResult& r : rows) {
+      if (r.name == p.name) found = &r;
+    }
+    if (found == nullptr) continue;
+    table.AddRow({p.name, p.f1, Cell(found->f1), p.acc, Cell(found->acc),
+                  p.auc, Cell(found->auc), p.map, Cell(found->map20), p.hits,
+                  Cell(found->hits20)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape checks (paper): RETINA-D best overall; exogenous signal "
+      "helps every model family; TopoLSTM best external baseline; "
+      "HIDAN collapses; SIR/Gen.Thresh. collapse on macro-F1.\n");
+  return 0;
+}

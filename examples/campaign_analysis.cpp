@@ -1,0 +1,87 @@
+// Campaign analysis: the exploratory side of the paper (Figures 1-3)
+// packaged as an analyst workflow — characterize how a hashtag campaign
+// spreads, whether its dynamics look organic or echo-chamber driven, and
+// how exposure (susceptible users) evolves.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table.h"
+#include "datagen/world.h"
+#include "graph/generators.h"
+
+using namespace retina;
+
+int main() {
+  datagen::WorldConfig config;
+  config.scale = 0.2;
+  config.num_users = 4000;
+  config.history_length = 10;
+  const datagen::SyntheticWorld world =
+      datagen::SyntheticWorld::Generate(config, 7);
+
+  // ---- Network overview ----------------------------------------------------
+  const auto degree = graph::ComputeDegreeStats(world.network());
+  std::printf(
+      "network: %zu users, %zu follow edges, mean followers %.1f, top-1%% "
+      "share %.2f\n\n",
+      world.network().NumNodes(), world.network().NumEdges(),
+      degree.mean_followers, degree.top1pct_share);
+
+  // ---- Per-campaign diffusion profile ---------------------------------------
+  const auto stats = world.ComputeHashtagStats();
+  TableWriter table("campaign profiles",
+                    {"hashtag", "tweets", "avg RT", "%hate", "users-all",
+                     "amplification"});
+  std::vector<std::pair<double, size_t>> by_amp;
+  for (size_t h = 0; h < stats.size(); ++h) {
+    if (stats[h].tweets < 30) continue;
+    // Amplification: engaged users per tweeting author.
+    const double amp = stats[h].unique_authors > 0
+                           ? static_cast<double>(stats[h].users_all) /
+                                 static_cast<double>(stats[h].unique_authors)
+                           : 0.0;
+    by_amp.emplace_back(amp, h);
+  }
+  std::sort(by_amp.rbegin(), by_amp.rend());
+  for (const auto& [amp, h] : by_amp) {
+    table.AddRow({world.hashtags()[h].tag, std::to_string(stats[h].tweets),
+                  FormatDouble(stats[h].avg_retweets, 2),
+                  FormatDouble(stats[h].pct_hate, 1),
+                  std::to_string(stats[h].users_all), FormatDouble(amp, 1)});
+  }
+  table.Print();
+
+  // ---- Hate vs non-hate kinetics ---------------------------------------------
+  const std::vector<double> grid = {30, 60, 240, 1440, 10080};
+  const auto hate = world.DiffusionCurves(true, grid);
+  const auto nonhate = world.DiffusionCurves(false, grid);
+  std::printf("\ndiffusion kinetics (mean per cascade):\n");
+  std::printf("  %-10s %-16s %-16s %-16s %-16s\n", "minutes", "RT(hate)",
+              "RT(non-hate)", "susc(hate)", "susc(non-hate)");
+  for (size_t g = 0; g < grid.size(); ++g) {
+    std::printf("  %-10.0f %-16.2f %-16.2f %-16.1f %-16.1f\n", grid[g],
+                hate[g].mean_retweets, nonhate[g].mean_retweets,
+                hate[g].mean_susceptible, nonhate[g].mean_susceptible);
+  }
+
+  // ---- Echo-chamber witness -----------------------------------------------------
+  // Fraction of hateful retweets delivered by hate-prone users.
+  size_t hate_rts = 0, hate_rts_by_prone = 0;
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    if (!world.tweets()[i].is_hateful) continue;
+    for (const auto& rt : world.cascades()[i].retweets) {
+      ++hate_rts;
+      hate_rts_by_prone += world.users()[rt.user].echo_community >= 0;
+    }
+  }
+  std::printf(
+      "\necho chamber: %.0f%% of hateful-cascade retweets come from "
+      "hate-prone accounts (%.0f%% of the population)\n",
+      hate_rts > 0 ? 100.0 * static_cast<double>(hate_rts_by_prone) /
+                         static_cast<double>(hate_rts)
+                   : 0.0,
+      100.0 * world.config().hater_fraction);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Hate-generation monitoring: the paper's motivating application for
+// Section IV — given a trending hashtag, rank users by their predicted
+// probability of posting hateful content under it, so a moderation team
+// can prioritize review before the content spreads.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/feature_extractor.h"
+#include "core/hategen_task.h"
+#include "datagen/world.h"
+#include "hatedetect/annotation.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+using namespace retina;
+
+int main() {
+  datagen::WorldConfig config;
+  config.scale = 0.1;
+  config.num_users = 2000;
+  datagen::SyntheticWorld world =
+      datagen::SyntheticWorld::Generate(config, 99);
+  if (!hatedetect::AnnotateWorld(&world, {}).ok()) return 1;
+
+  core::FeatureConfig fc;
+  fc.history_tfidf_dim = 150;
+  fc.news_tfidf_dim = 150;
+  fc.tweet_tfidf_dim = 150;
+  fc.news_window = 30;
+  auto fx = core::FeatureExtractor::Build(world, fc);
+  if (!fx.ok()) return 1;
+  const core::FeatureExtractor extractor = std::move(fx).ValueOrDie();
+
+  // The paper's Table IV winner is a depth-5 decision tree, but a single
+  // tree emits coarse leaf probabilities that tie at the top of a ranking
+  // sweep; for a deployment-style risk ranking we use the forest variant,
+  // which shares the tree's inductive bias with smoother scores.
+  core::HateGenTaskOptions opts;
+  opts.min_news = 30;
+  auto task_result = core::BuildHateGenTask(extractor, opts);
+  if (!task_result.ok()) {
+    std::fprintf(stderr, "%s\n", task_result.status().ToString().c_str());
+    return 1;
+  }
+  const core::HateGenTask& task = task_result.ValueOrDie();
+  ml::RandomForestOptions fopts;
+  fopts.n_estimators = 40;
+  fopts.max_depth = 6;
+  ml::RandomForest model(fopts);
+  auto eval = core::RunHateGenPipeline(task, &model,
+                                       core::ProcVariant::kDownsample, 1);
+  if (!eval.ok()) return 1;
+  std::printf("hate-generation model (forest+DS): macro-F1=%.2f AUC=%.2f on gold test\n",
+              eval.ValueOrDie().macro_f1, eval.ValueOrDie().auc);
+
+  // Monitoring sweep: for the most hate-affine hashtag, score every user
+  // who has tweeted recently and surface the riskiest accounts.
+  size_t hashtag = 0;
+  for (size_t h = 0; h < world.hashtags().size(); ++h) {
+    if (world.hashtags()[h].target_pct_hate >
+        world.hashtags()[hashtag].target_pct_hate) {
+      hashtag = h;
+    }
+  }
+  const double now = world.config().horizon_days * 24.0 * 0.6;
+  std::printf("\nmonitoring %s at t=%.0fh — top risk accounts:\n",
+              world.hashtags()[hashtag].tag.c_str(), now);
+
+  struct Risk {
+    double p;
+    datagen::NodeId user;
+    bool truly_prone;
+  };
+  std::vector<Risk> risks;
+  for (datagen::NodeId u = 0; u < world.NumUsers(); u += 2) {  // sample
+    const Vec x = extractor.HateGenFeatures(u, hashtag, now);
+    risks.push_back({model.PredictProba(x), u,
+                     world.users()[u].echo_community >= 0});
+  }
+  std::sort(risks.begin(), risks.end(),
+            [](const Risk& a, const Risk& b) { return a.p > b.p; });
+  size_t prone_in_top = 0;
+  for (size_t i = 0; i < 10 && i < risks.size(); ++i) {
+    std::printf("  user %-6u  P(hate)=%.3f  hate-prone (ground truth): %s\n",
+                risks[i].user, risks[i].p,
+                risks[i].truly_prone ? "yes" : "no");
+    prone_in_top += risks[i].truly_prone;
+  }
+  std::printf(
+      "\n%zu of the top 10 flagged accounts are ground-truth hate-prone "
+      "(base rate %.0f%%)\n",
+      prone_in_top, 100.0 * world.config().hater_fraction);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Targeted-behavior generalization — the paper's conclusion suggests
+// "replacing hate speech with any other targeted phenomenon like
+// fraudulent [or] abusive behavior". Nothing in the pipeline is specific
+// to hate: the lexicon is an arbitrary term dictionary, the propensity a
+// per-topic behavioural rate, and the echo community any coordinated
+// group. This example re-reads the same machinery as a *fraud-campaign*
+// detector: "hate-prone users" become scam rings, the lexicon becomes
+// scam-phrase markers, and the task becomes "will this account post
+// fraudulent content under this trending hashtag".
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/feature_extractor.h"
+#include "core/hategen_task.h"
+#include "datagen/world.h"
+#include "hatedetect/annotation.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+
+using namespace retina;
+
+int main() {
+  // Configure the generic "targeted behaviour" channel as a fraud ring:
+  // fewer, more coordinated offenders pushing scam content during news
+  // bursts (scams chase attention spikes).
+  datagen::WorldConfig config;
+  config.scale = 0.2;
+  config.num_users = 2500;
+  config.hater_fraction = 0.05;          // smaller rings
+  config.organized_spreader_rate = 0.7;  // tighter coordination
+  config.exo_coupling = 1.8;             // stronger burst-chasing
+  datagen::SyntheticWorld world =
+      datagen::SyntheticWorld::Generate(config, 321);
+  if (!hatedetect::AnnotateWorld(&world, {}).ok()) return 1;
+
+  size_t flagged = 0;
+  for (const auto& tw : world.tweets()) flagged += tw.is_hateful;
+  std::printf(
+      "world: %zu posts, %zu flagged as fraudulent (%.1f%%), %zu accounts "
+      "in coordinated rings\n",
+      world.tweets().size(), flagged,
+      100.0 * static_cast<double>(flagged) /
+          static_cast<double>(world.tweets().size()),
+      [&] {
+        size_t n = 0;
+        for (const auto& u : world.users()) n += (u.echo_community >= 0);
+        return n;
+      }());
+
+  core::FeatureConfig fc;
+  fc.history_tfidf_dim = 150;
+  fc.news_tfidf_dim = 150;
+  fc.tweet_tfidf_dim = 150;
+  fc.news_window = 30;
+  auto fx = core::FeatureExtractor::Build(world, fc);
+  if (!fx.ok()) return 1;
+  const core::FeatureExtractor extractor = std::move(fx).ValueOrDie();
+
+  // Same Section IV pipeline, different target semantics.
+  core::HateGenTaskOptions opts;
+  opts.min_news = 30;
+  auto task = core::BuildHateGenTask(extractor, opts);
+  if (!task.ok()) {
+    std::fprintf(stderr, "%s\n", task.status().ToString().c_str());
+    return 1;
+  }
+  ml::DecisionTreeOptions topts;
+  topts.max_depth = 5;
+  ml::DecisionTree model(topts);
+  auto eval = core::RunHateGenPipeline(task.ValueOrDie(), &model,
+                                       core::ProcVariant::kDownsample, 9);
+  if (!eval.ok()) return 1;
+  std::printf(
+      "fraud-generation prediction (same features, same model): macro-F1 "
+      "%.2f  AUC %.2f\n",
+      eval.ValueOrDie().macro_f1, eval.ValueOrDie().auc);
+
+  // Ring detection by diffusion signature: coordinated content reaches
+  // more retweets from fewer exposed accounts.
+  const std::vector<double> grid = {60, 1440, 20160};
+  const auto fraud = world.DiffusionCurves(true, grid);
+  const auto organic = world.DiffusionCurves(false, grid);
+  std::printf(
+      "diffusion signature: fraudulent posts average %.1f retweets from "
+      "%.0f exposed accounts; organic posts %.1f from %.0f — the "
+      "coordination fingerprint the paper identifies for hate also "
+      "flags fraud rings.\n",
+      fraud.back().mean_retweets, fraud.back().mean_susceptible,
+      organic.back().mean_retweets, organic.back().mean_susceptible);
+  return 0;
+}

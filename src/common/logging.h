@@ -1,0 +1,47 @@
+// Minimal leveled logging to stderr. Benches lower the level to keep their
+// stdout a clean reproduction of the paper's tables.
+
+#ifndef RETINA_COMMON_LOGGING_H_
+#define RETINA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace retina {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction if `level` passes the filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define RETINA_LOG(level)                                          \
+  ::retina::internal::LogMessage(::retina::LogLevel::k##level,     \
+                                 __FILE__, __LINE__)
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_LOGGING_H_

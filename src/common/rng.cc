@@ -1,0 +1,207 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace retina {
+
+namespace {
+
+// SplitMix64 — used for seeding and for deriving child streams.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  s_[0] = SplitMix64(&sm);
+  s_[1] = SplitMix64(&sm);
+  s_[2] = SplitMix64(&sm);
+  s_[3] = SplitMix64(&sm);
+}
+
+Rng::Rng(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3) : seed_(s0) {
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+Rng Rng::Split() {
+  // Child stream is a function of the original seed and the split ordinal
+  // only, independent of how many variates the parent has drawn.
+  uint64_t sm = seed_ ^ (0xA0761D6478BD642FULL + ++split_counter_);
+  uint64_t c0 = SplitMix64(&sm);
+  uint64_t c1 = SplitMix64(&sm);
+  uint64_t c2 = SplitMix64(&sm);
+  uint64_t c3 = SplitMix64(&sm);
+  return Rng(c0, c1, c2, c3);
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0);
+  double u;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return -std::log(u) / rate;
+}
+
+double Rng::Gamma(double shape) {
+  assert(shape > 0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and scale back (Marsaglia–Tsang).
+    const double g = Gamma(shape + 1.0);
+    double u;
+    do {
+      u = Uniform();
+    } while (u <= 1e-300);
+    return g * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = Normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = Uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 1e-300 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return d * v;
+    }
+  }
+}
+
+int Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = Uniform();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= Uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double x = Normal(mean, std::sqrt(mean));
+  return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return weights.size() - 1;
+  double r = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<double> Rng::Dirichlet(size_t k, double alpha) {
+  return Dirichlet(std::vector<double>(k, alpha));
+}
+
+std::vector<double> Rng::Dirichlet(const std::vector<double>& alpha) {
+  std::vector<double> out(alpha.size());
+  double total = 0.0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    out[i] = Gamma(alpha[i]);
+    total += out[i];
+  }
+  if (total <= 0.0) {
+    // Degenerate draw; fall back to uniform simplex point.
+    const double v = 1.0 / static_cast<double>(alpha.size());
+    for (double& x : out) x = v;
+    return out;
+  }
+  for (double& x : out) x /= total;
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k >= n) {
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Reservoir sampling keeps memory at O(k) even for large n.
+  std::vector<size_t> reservoir(k);
+  for (size_t i = 0; i < k; ++i) reservoir[i] = i;
+  for (size_t i = k; i < n; ++i) {
+    const size_t j = static_cast<size_t>(UniformInt(i + 1));
+    if (j < k) reservoir[j] = i;
+  }
+  return reservoir;
+}
+
+}  // namespace retina

@@ -1,0 +1,99 @@
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component of the library takes an explicit seed. Rng is a
+// SplitMix64/xoshiro256** generator with a Split() operation that derives an
+// independent child stream, so adding draws to one subsystem never perturbs
+// the stream seen by another — a property the synthetic-world generator
+// (src/datagen) relies on for reproducible experiments.
+
+#ifndef RETINA_COMMON_RNG_H_
+#define RETINA_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace retina {
+
+/// \brief Deterministic splittable pseudo-random generator.
+///
+/// Not thread-safe; split one child per thread instead.
+class Rng {
+ public:
+  /// Seeds the stream. Two Rng objects with equal seeds produce identical
+  /// sequences on all platforms (no std:: distribution objects are used).
+  explicit Rng(uint64_t seed);
+
+  /// Derives an independent child stream. The child's sequence is a pure
+  /// function of (parent seed, number of prior Split calls), not of how many
+  /// variates the parent has drawn.
+  Rng Split();
+
+  /// Uniform 64-bit word.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal variate (Box–Muller, deterministic).
+  double Normal();
+
+  /// Normal with given mean and stddev.
+  double Normal(double mean, double stddev);
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Gamma(shape, scale=1) via Marsaglia–Tsang. Requires shape > 0.
+  double Gamma(double shape);
+
+  /// Poisson variate with the given mean (inversion for small, PTRS-free
+  /// normal approximation for large means).
+  int Poisson(double mean);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index proportionally to non-negative `weights`.
+  /// Returns weights.size()-1 if all weights are zero.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Symmetric Dirichlet sample of dimension k with concentration alpha.
+  std::vector<double> Dirichlet(size_t k, double alpha);
+
+  /// Dirichlet sample with per-component concentrations.
+  std::vector<double> Dirichlet(const std::vector<double>& alpha);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (reservoir if k << n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  Rng(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3);
+
+  uint64_t s_[4];
+  uint64_t split_counter_ = 0;
+  uint64_t seed_;
+  // Cached second Box–Muller variate.
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for coarse timing in benches and examples.
+
+#ifndef RETINA_COMMON_STOPWATCH_H_
+#define RETINA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace retina {
+
+/// \brief Monotonic wall-clock stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_STOPWATCH_H_

@@ -1,0 +1,36 @@
+// Small string helpers used by the text pipeline and the table writer.
+
+#ifndef RETINA_COMMON_STRING_UTIL_H_
+#define RETINA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace retina {
+
+/// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace; no empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins parts with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string FormatDouble(double v, int digits);
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+namespace retina {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule + "\n";
+  out += render_row(header_);
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule + "\n";
+  return out;
+}
+
+void TableWriter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+Status TableWriter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  auto write_row = [&f](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) f << ',';
+      // Quote cells containing commas or quotes.
+      if (row[c].find_first_of(",\"\n") != std::string::npos) {
+        f << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') f << '"';
+          f << ch;
+        }
+        f << '"';
+      } else {
+        f << row[c];
+      }
+    }
+    f << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return f.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+}  // namespace retina

@@ -1,0 +1,162 @@
+#include "common/vec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retina {
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = Row(i);
+    double* orow = out.Row(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = other.Row(k);
+      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i)
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  assert(x.size() == cols_);
+  Vec y(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* row = Row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vec Matrix::TransposeMatVec(const Vec& x) const {
+  assert(x.size() == rows_);
+  Vec y(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = Row(i);
+    for (size_t j = 0; j < cols_; ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(double alpha, const Vec& x, Vec* y) {
+  assert(x.size() == y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+double Sum(const Vec& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc;
+}
+
+double Mean(const Vec& a) {
+  return a.empty() ? 0.0 : Sum(a) / static_cast<double>(a.size());
+}
+
+double Variance(const Vec& a) {
+  if (a.empty()) return 0.0;
+  const double mu = Mean(a);
+  double acc = 0.0;
+  for (double v : a) acc += (v - mu) * (v - mu);
+  return acc / static_cast<double>(a.size());
+}
+
+double CosineSimilarity(const Vec& a, const Vec& b) {
+  const double na = Norm2(a), nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void SoftmaxInPlace(Vec* v) {
+  if (v->empty()) return;
+  const double mx = *std::max_element(v->begin(), v->end());
+  double total = 0.0;
+  for (double& x : *v) {
+    x = std::exp(x - mx);
+    total += x;
+  }
+  for (double& x : *v) x /= total;
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-std::min(x, 500.0));
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(std::max(x, -500.0));
+  return z / (1.0 + z);
+}
+
+Vec Sub(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec Add(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  Vec out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec Concat(const Vec& a, const Vec& b) {
+  Vec out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+void MinMaxNormalizeInPlace(Vec* v) {
+  if (v->empty()) return;
+  const auto [mn_it, mx_it] = std::minmax_element(v->begin(), v->end());
+  const double mn = *mn_it, mx = *mx_it;
+  if (mx - mn < 1e-12) return;
+  for (double& x : *v) x = (x - mn) / (mx - mn);
+}
+
+void L2NormalizeInPlace(Vec* v) {
+  const double n = Norm2(*v);
+  if (n < 1e-12) return;
+  for (double& x : *v) x /= n;
+}
+
+}  // namespace retina

@@ -1,0 +1,136 @@
+// Dense vector / matrix math kernels shared by the ML and NN libraries.
+//
+// Vectors are plain std::vector<double>; Matrix is a row-major dense matrix.
+// At the scale of this library (feature dims in the hundreds, datasets in
+// the tens of thousands) straightforward loops are fast enough and keep the
+// numerics easy to audit.
+
+#ifndef RETINA_COMMON_VEC_H_
+#define RETINA_COMMON_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace retina {
+
+using Vec = std::vector<double>;
+
+/// \brief Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r.
+  double* Row(size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* Row(size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Copies row r into a Vec.
+  Vec RowVec(size_t r) const {
+    assert(r < rows_);
+    return Vec(Row(r), Row(r) + cols_);
+  }
+
+  /// Overwrites row r with v (sizes must match).
+  void SetRow(size_t r, const Vec& v) {
+    assert(r < rows_ && v.size() == cols_);
+    for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+  }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// C = this * other. Dimensions must agree.
+  Matrix MatMul(const Matrix& other) const;
+
+  /// C = this^T as a new matrix.
+  Matrix Transpose() const;
+
+  /// y = this * x (matrix-vector product).
+  Vec MatVec(const Vec& x) const;
+
+  /// y = this^T * x without materializing the transpose.
+  Vec TransposeMatVec(const Vec& x) const;
+
+  /// this += alpha * other (element-wise). Dimensions must agree.
+  void Axpy(double alpha, const Matrix& other);
+
+  /// Fills every element with `value`.
+  void Fill(double value);
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product. Sizes must match.
+double Dot(const Vec& a, const Vec& b);
+
+/// y += alpha * x. Sizes must match.
+void Axpy(double alpha, const Vec& x, Vec* y);
+
+/// In-place scale: x *= alpha.
+void Scale(double alpha, Vec* x);
+
+/// Euclidean norm.
+double Norm2(const Vec& a);
+
+/// Sum of elements.
+double Sum(const Vec& a);
+
+/// Arithmetic mean (0 for empty).
+double Mean(const Vec& a);
+
+/// Population variance (0 for size < 2... returns 0 for empty).
+double Variance(const Vec& a);
+
+/// Cosine similarity; 0 when either vector is all-zero.
+double CosineSimilarity(const Vec& a, const Vec& b);
+
+/// Numerically stable in-place softmax.
+void SoftmaxInPlace(Vec* v);
+
+/// Logistic sigmoid with clamping to avoid overflow.
+double Sigmoid(double x);
+
+/// Element-wise a - b.
+Vec Sub(const Vec& a, const Vec& b);
+
+/// Element-wise a + b.
+Vec Add(const Vec& a, const Vec& b);
+
+/// Concatenates b onto a copy of a.
+Vec Concat(const Vec& a, const Vec& b);
+
+/// Min-max normalizes v in place to [0,1] per element range of the vector;
+/// no-op when the range is degenerate.
+void MinMaxNormalizeInPlace(Vec* v);
+
+/// L2-normalizes v in place; no-op on the zero vector.
+void L2NormalizeInPlace(Vec* v);
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_VEC_H_

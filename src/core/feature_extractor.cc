@@ -1,0 +1,329 @@
+#include "core/feature_extractor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace retina::core {
+
+FeatureMask FeatureMask::Without(const char* group) {
+  FeatureMask mask;
+  if (std::strcmp(group, "history") == 0) mask.history = false;
+  if (std::strcmp(group, "topic") == 0) mask.topic = false;
+  if (std::strcmp(group, "endogenous") == 0) mask.endogenous = false;
+  if (std::strcmp(group, "exogenous") == 0) mask.exogenous = false;
+  return mask;
+}
+
+Result<FeatureExtractor> FeatureExtractor::Build(
+    const datagen::SyntheticWorld& world, const FeatureConfig& config) {
+  FeatureExtractor fx;
+  fx.config_ = config;
+  fx.world_ = &world;
+
+  // ---- Fit vectorizers ---------------------------------------------------
+  {
+    std::vector<std::vector<std::string>> history_docs;
+    for (NodeId u = 0; u < world.NumUsers(); ++u) {
+      for (const auto& ht : world.History(u)) {
+        history_docs.push_back(ht.tokens);
+      }
+    }
+    text::TfIdfOptions opts;
+    opts.max_features = config.history_tfidf_dim;
+    opts.min_df = 3;
+    fx.history_tfidf_ = text::TfIdfVectorizer(opts);
+    RETINA_RETURN_NOT_OK(fx.history_tfidf_.Fit(history_docs));
+  }
+  {
+    std::vector<std::vector<std::string>> news_docs;
+    news_docs.reserve(world.news().articles().size());
+    for (const auto& a : world.news().articles()) news_docs.push_back(a.tokens);
+    if (news_docs.empty()) {
+      return Status::FailedPrecondition("FeatureExtractor: no news articles");
+    }
+    text::TfIdfOptions opts;
+    opts.max_features = config.news_tfidf_dim;
+    opts.min_df = 3;
+    fx.news_tfidf_ = text::TfIdfVectorizer(opts);
+    RETINA_RETURN_NOT_OK(fx.news_tfidf_.Fit(news_docs));
+  }
+  std::vector<std::vector<std::string>> tweet_docs;
+  {
+    tweet_docs.reserve(world.tweets().size());
+    for (const auto& tw : world.tweets()) tweet_docs.push_back(tw.tokens);
+    if (tweet_docs.empty()) {
+      return Status::FailedPrecondition("FeatureExtractor: no tweets");
+    }
+    text::TfIdfOptions opts;
+    opts.max_features = config.tweet_tfidf_dim;
+    opts.min_df = 2;
+    fx.tweet_tfidf_ = text::TfIdfVectorizer(opts);
+    RETINA_RETURN_NOT_OK(fx.tweet_tfidf_.Fit(tweet_docs));
+  }
+
+  // ---- Doc2Vec over tweets + headlines (shared embedding space) ---------
+  {
+    std::vector<std::vector<std::string>> corpus = tweet_docs;
+    for (const auto& a : world.news().articles()) corpus.push_back(a.tokens);
+    text::Doc2VecOptions opts;
+    opts.dim = config.doc2vec_dim;
+    opts.epochs = config.doc2vec_epochs;
+    opts.seed = config.seed;
+    fx.doc2vec_ = text::Doc2Vec(opts);
+    RETINA_RETURN_NOT_OK(fx.doc2vec_.Train(corpus));
+    // Trained doc vectors: tweets occupy [0, n_tweets), news the rest.
+    const size_t n_tweets = world.tweets().size();
+    fx.news_embeddings_.resize(world.news().articles().size());
+    for (size_t j = 0; j < fx.news_embeddings_.size(); ++j) {
+      fx.news_embeddings_[j] = fx.doc2vec_.DocVector(n_tweets + j);
+    }
+  }
+
+  // ---- Noisy machine view of history labels ------------------------------
+  Rng rng(config.seed ^ 0xFEEDFACEULL);
+  fx.history_machine_labels_.resize(world.NumUsers());
+  for (NodeId u = 0; u < world.NumUsers(); ++u) {
+    const auto& hist = world.History(u);
+    auto& labels = fx.history_machine_labels_[u];
+    labels.resize(hist.size());
+    for (size_t i = 0; i < hist.size(); ++i) {
+      bool label = hist[i].is_hateful;
+      if (rng.Bernoulli(config.history_label_noise)) label = !label;
+      labels[i] = label;
+    }
+  }
+
+  fx.RebuildUserCaches();
+  return fx;
+}
+
+void FeatureExtractor::SetHistorySize(size_t history_size) {
+  config_.history_size = history_size;
+  news_tfidf_cache_.clear();
+  RebuildUserCaches();
+}
+
+size_t FeatureExtractor::HistoryBlockDim() const {
+  // tf-idf + hate ratio + lexicon + 2 RT ratios + followers + age + #topics
+  return config_.history_tfidf_dim + 1 + world_->lexicon().size() + 2 + 1 +
+         1 + 1;
+}
+
+void FeatureExtractor::RebuildUserCaches() {
+  const datagen::SyntheticWorld& world = *world_;
+  const size_t n_users = world.NumUsers();
+  history_blocks_.assign(n_users, Vec());
+  user_embeddings_.assign(n_users, Vec());
+
+  for (NodeId u = 0; u < n_users; ++u) {
+    const auto& hist = world.History(u);
+    const auto& labels = history_machine_labels_[u];
+    const size_t take = std::min(config_.history_size, hist.size());
+    const size_t start = hist.size() - take;
+
+    // Concatenate the most recent `take` tweets into one document.
+    std::vector<std::string> concat;
+    std::vector<std::vector<std::string>> docs;
+    size_t n_hate = 0;
+    double rt_hate = 0.0, rt_nonhate = 0.0;
+    size_t cnt_rt_hate = 0, cnt_rt_nonhate = 0;
+    std::unordered_set<size_t> topics_used;
+    for (size_t i = start; i < hist.size(); ++i) {
+      concat.insert(concat.end(), hist[i].tokens.begin(),
+                    hist[i].tokens.end());
+      docs.push_back(hist[i].tokens);
+      const bool hateful = labels[i];
+      if (hateful) {
+        ++n_hate;
+        rt_hate += hist[i].retweets_received;
+        cnt_rt_hate += hist[i].retweets_received > 0;
+      } else {
+        rt_nonhate += hist[i].retweets_received;
+        cnt_rt_nonhate += hist[i].retweets_received > 0;
+      }
+      if (hist[i].hashtag != SIZE_MAX) topics_used.insert(hist[i].hashtag);
+    }
+
+    Vec block = history_tfidf_.Transform(concat);
+    block.reserve(HistoryBlockDim());
+    // Hate ratio among recent tweets.
+    block.push_back(take > 0 ? static_cast<double>(n_hate) /
+                                   static_cast<double>(take)
+                             : 0.0);
+    // Hate-lexicon frequency vector HL.
+    const Vec hl = world.lexicon().FrequencyVector(docs);
+    block.insert(block.end(), hl.begin(), hl.end());
+    // RT attention ratios (smoothed, log-scaled).
+    block.push_back(std::log((rt_hate + 1.0) / (rt_nonhate + 1.0)));
+    block.push_back(std::log(
+        (static_cast<double>(cnt_rt_hate) + 1.0) /
+        (static_cast<double>(cnt_rt_nonhate) + 1.0)));
+    // Account-level features.
+    block.push_back(std::log(
+        1.0 + static_cast<double>(world.network().FollowerCount(u))));
+    block.push_back(world.users()[u].account_age_days / 1000.0);
+    block.push_back(static_cast<double>(topics_used.size()) / 10.0);
+    history_blocks_[u] = std::move(block);
+
+    // Cap the inference document length: the embedding converges long
+    // before 150 tokens and inference cost is linear in length.
+    std::vector<std::string> infer_doc = concat;
+    if (infer_doc.size() > 150) {
+      infer_doc.assign(concat.end() - 150, concat.end());
+    }
+    user_embeddings_[u] = doc2vec_.InferVector(infer_doc,
+                                               /*infer_epochs=*/8);
+  }
+}
+
+double FeatureExtractor::TopicRelatedness(NodeId user, size_t hashtag) const {
+  const std::string& tag = world_->hashtags()[hashtag].tag;
+  // Hashtags appear lowercased as tokens in tweets.
+  std::string token;
+  token.reserve(tag.size());
+  for (char c : tag) token += static_cast<char>(std::tolower(c));
+  return doc2vec_.TokenSimilarity(user_embeddings_[user], token);
+}
+
+Vec FeatureExtractor::NewsTfIdfAverage(double t0, size_t window) const {
+  if (window == 0) window = config_.news_window;
+  const long bucket =
+      static_cast<long>(t0) * 1000 + static_cast<long>(window);
+  auto it = news_tfidf_cache_.find(bucket);
+  if (it != news_tfidf_cache_.end()) return it->second;
+  const auto idx = world_->news().MostRecentBefore(t0, window);
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(idx.size());
+  for (size_t j : idx) docs.push_back(world_->news().articles()[j].tokens);
+  Vec avg = docs.empty() ? Vec(news_tfidf_.Dim(), 0.0)
+                         : news_tfidf_.TransformAverage(docs);
+  news_tfidf_cache_.emplace(bucket, avg);
+  return avg;
+}
+
+Vec FeatureExtractor::NewsAlignmentFeatures(const datagen::Tweet& tweet,
+                                            size_t window) const {
+  if (window == 0) window = config_.news_window;
+  Vec out(kNewsAlignmentDim, 0.0);
+  // (1) cosine between the tweet and the averaged news tf-idf; the tweet
+  // is transformed through the *news* vectorizer so both vectors live in
+  // one basis.
+  const Vec news_avg = NewsTfIdfAverage(tweet.time, window);
+  const Vec tweet_in_news_space = news_tfidf_.Transform(tweet.tokens);
+  out[0] = CosineSimilarity(tweet_in_news_space, news_avg);
+  // (2) Doc2Vec alignment with the mean headline embedding.
+  const auto idx = world_->news().MostRecentBefore(tweet.time, window);
+  if (!idx.empty()) {
+    Vec mean_embed(config_.doc2vec_dim, 0.0);
+    for (size_t j : idx) Axpy(1.0, news_embeddings_[j], &mean_embed);
+    Scale(1.0 / static_cast<double>(idx.size()), &mean_embed);
+    out[1] = CosineSimilarity(TweetEmbedding(tweet), mean_embed);
+  }
+  // (3) 24h news volume relative to the horizon average.
+  const auto& articles = world_->news().articles();
+  if (!articles.empty() && world_->config().horizon_days > 0.0) {
+    const auto recent = world_->news().MostRecentBefore(tweet.time, 100000);
+    size_t last24 = 0;
+    for (size_t j : recent) {
+      if (articles[j].time >= tweet.time - 24.0) {
+        ++last24;
+      } else {
+        break;  // recent is ordered most-recent first
+      }
+    }
+    const double daily_avg = static_cast<double>(articles.size()) /
+                             world_->config().horizon_days;
+    out[2] = static_cast<double>(last24) / std::max(1.0, daily_avg);
+  }
+  return out;
+}
+
+Matrix FeatureExtractor::NewsEmbeddingWindow(double t0, size_t window) const {
+  if (window == 0) window = config_.news_window;
+  const auto idx = world_->news().MostRecentBefore(t0, window);
+  Matrix out(idx.size(), config_.doc2vec_dim);
+  for (size_t r = 0; r < idx.size(); ++r) {
+    out.SetRow(r, news_embeddings_[idx[r]]);
+  }
+  return out;
+}
+
+size_t FeatureExtractor::HateGenDim(const FeatureMask& mask) const {
+  size_t dim = 0;
+  if (mask.history) dim += HistoryBlockDim();
+  if (mask.topic) dim += 1;
+  if (mask.endogenous) dim += config_.trending_dim;
+  if (mask.exogenous) dim += news_tfidf_.Dim();
+  return dim;
+}
+
+Vec FeatureExtractor::HateGenFeatures(NodeId user, size_t hashtag, double t0,
+                                      const FeatureMask& mask) const {
+  Vec out;
+  out.reserve(HateGenDim(mask));
+  if (mask.history) {
+    const Vec& block = history_blocks_[user];
+    out.insert(out.end(), block.begin(), block.end());
+  }
+  if (mask.topic) out.push_back(TopicRelatedness(user, hashtag));
+  if (mask.endogenous) {
+    const Vec trending = world_->TrendingIndicator(t0, config_.trending_dim);
+    out.insert(out.end(), trending.begin(), trending.end());
+  }
+  if (mask.exogenous) {
+    const Vec news = NewsTfIdfAverage(t0);
+    out.insert(out.end(), news.begin(), news.end());
+  }
+  return out;
+}
+
+size_t FeatureExtractor::RetweetUserDim() const {
+  return HistoryBlockDim() + config_.trending_dim + 2;
+}
+
+Vec FeatureExtractor::RetweetUserFeatures(const datagen::Tweet& tweet,
+                                          NodeId user,
+                                          int path_length) const {
+  Vec out;
+  out.reserve(RetweetUserDim());
+  const Vec& block = history_blocks_[user];
+  out.insert(out.end(), block.begin(), block.end());
+  const Vec trending =
+      world_->TrendingIndicator(tweet.time, config_.trending_dim);
+  out.insert(out.end(), trending.begin(), trending.end());
+  // Peer signals: shortest path root author -> user (kPeerPathCutoff+1 when
+  // not organically reachable), and past retweets of this author.
+  out.push_back(path_length == graph::kUnreachable
+                    ? static_cast<double>(kPeerPathCutoff + 1)
+                    : static_cast<double>(path_length));
+  out.push_back(std::log(1.0 + static_cast<double>(world_->PastRetweetCount(
+                                   tweet.author, user, tweet.time))));
+  return out;
+}
+
+size_t FeatureExtractor::TweetContentDim() const {
+  return tweet_tfidf_.Dim() + world_->lexicon().size();
+}
+
+Vec FeatureExtractor::TweetContentFeatures(
+    const datagen::Tweet& tweet) const {
+  Vec out = tweet_tfidf_.Transform(tweet.tokens);
+  const Vec hl = world_->lexicon().FrequencyVector({tweet.tokens});
+  out.insert(out.end(), hl.begin(), hl.end());
+  return out;
+}
+
+Vec FeatureExtractor::TweetEmbedding(const datagen::Tweet& tweet) const {
+  // Root tweets are Doc2Vec training docs [0, n_tweets).
+  if (tweet.id < doc2vec_.NumDocs() && tweet.id < world_->tweets().size()) {
+    return doc2vec_.DocVector(tweet.id);
+  }
+  return doc2vec_.InferVector(tweet.tokens);
+}
+
+}  // namespace retina::core

@@ -1,0 +1,70 @@
+// Hate-generation prediction task (Section IV / VI-C, Tables IV & V).
+//
+// Each root tweet yields one sample "will this user post something hateful
+// under this hashtag?": features come from the user's history, topical
+// relatedness, trending hashtags, and recent news; the label is the tweet's
+// hate tag. Following Section VI-B, *training* labels are the
+// machine-annotated tags while *evaluation* stays on gold-standard labels.
+
+#ifndef RETINA_CORE_HATEGEN_TASK_H_
+#define RETINA_CORE_HATEGEN_TASK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/feature_extractor.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace retina::core {
+
+struct HateGenTaskOptions {
+  double test_fraction = 0.2;
+  /// Minimum news headlines that must exist before the tweet (the paper
+  /// keeps tweets with at least 60 mapped news items).
+  size_t min_news = 60;
+  uint64_t seed = 33;
+};
+
+/// Materialized train/test split of the task.
+struct HateGenTask {
+  ml::Dataset train;  ///< machine labels
+  ml::Dataset test;   ///< gold labels
+  size_t dim = 0;
+};
+
+/// Builds the task under a feature mask (Table V removes groups).
+Result<HateGenTask> BuildHateGenTask(const FeatureExtractor& extractor,
+                                     const HateGenTaskOptions& options,
+                                     const FeatureMask& mask = {});
+
+/// Sampling / feature-reduction pipeline variants of Table IV.
+enum class ProcVariant { kNone, kDownsample, kUpDownsample, kPca, kTopK };
+
+const char* ProcVariantName(ProcVariant v);
+
+/// Result row of Table IV.
+struct EvalResult {
+  std::string model;
+  std::string proc;
+  double macro_f1 = 0.0;
+  double accuracy = 0.0;
+  double auc = 0.0;
+};
+
+/// Trains `model` on the task under the given processing variant and
+/// evaluates on gold test labels. PCA/top-K use 50 components/features as
+/// in the paper.
+Result<EvalResult> RunHateGenPipeline(const HateGenTask& task,
+                                      ml::BinaryClassifier* model,
+                                      ProcVariant proc, uint64_t seed);
+
+/// The six Table III classifiers with the paper's parameters.
+std::vector<std::unique_ptr<ml::BinaryClassifier>> MakeHateGenModelZoo();
+
+}  // namespace retina::core
+
+#endif  // RETINA_CORE_HATEGEN_TASK_H_

@@ -1,0 +1,329 @@
+#include "core/retina.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retina::core {
+
+Retina::Retina(size_t user_dim, size_t content_dim, size_t embed_dim,
+               size_t num_intervals, RetinaOptions options)
+    : options_(options),
+      input_dim_(user_dim + content_dim),
+      num_intervals_(std::max<size_t>(1, num_intervals)),
+      init_rng_(options.seed) {
+  const size_t H = options_.hidden;
+  ff1_ = std::make_unique<nn::Dense>(input_dim_, H, &init_rng_);
+  if (options_.use_exogenous) {
+    attention_ = std::make_unique<nn::ExogenousAttention>(embed_dim,
+                                                          embed_dim, H,
+                                                          &init_rng_);
+  }
+  const size_t concat_dim = H + (options_.use_exogenous ? H : 0);
+  if (options_.dynamic) {
+    rnn_ = nn::MakeRecurrentCell(options_.recurrent, concat_dim + 2, H,
+                                 &init_rng_);
+    head_ = std::make_unique<nn::Dense>(H, 1, &init_rng_);
+  } else {
+    head_ = std::make_unique<nn::Dense>(concat_dim, 1, &init_rng_);
+  }
+
+  if (options_.use_adam) {
+    optimizer_ = std::make_unique<nn::Adam>(options_.learning_rate);
+  } else {
+    // Momentum stabilizes the per-tweet-group steps whose gradient
+    // magnitudes vary with the candidate-set size.
+    optimizer_ = std::make_unique<nn::Sgd>(options_.learning_rate,
+                                           /*momentum=*/0.9);
+  }
+  optimizer_->Register(Params());
+}
+
+std::vector<nn::Param*> Retina::Params() {
+  std::vector<nn::Param*> params;
+  for (nn::Param* p : ff1_->Params()) params.push_back(p);
+  for (nn::Param* p : head_->Params()) params.push_back(p);
+  if (rnn_ != nullptr) {
+    for (nn::Param* p : rnn_->Params()) params.push_back(p);
+  }
+  if (attention_ != nullptr) {
+    for (nn::Param* p : attention_->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+Vec Retina::HiddenForward(const Vec& user_features,
+                          const Vec& content) const {
+  Vec x = Concat(user_features, content);
+  x = nn::LayerNorm(x);
+  return ff1_->Forward(x);  // pre-activation; callers apply ReLU
+}
+
+Vec Retina::StepInput(const Vec& hidden, const Vec& exo,
+                      size_t interval) const {
+  Vec in = Concat(hidden, exo);
+  // Interval encoding: log end-edge + relative position.
+  in.push_back(std::log1p(static_cast<double>(interval + 1)) / 3.0);
+  in.push_back(static_cast<double>(interval + 1) /
+               static_cast<double>(num_intervals_));
+  return in;
+}
+
+Status Retina::Train(const RetweetTask& task) {
+  const auto& train = task.train;
+  if (train.empty()) {
+    return Status::FailedPrecondition("Retina::Train: empty train split");
+  }
+  // Class-imbalance weight w = lambda (log C - log C+).
+  size_t total = 0, positives = 0;
+  if (options_.dynamic) {
+    for (const auto& cand : train) {
+      total += cand.interval_labels.size();
+      for (int l : cand.interval_labels) positives += (l == 1);
+    }
+  } else {
+    total = train.size();
+    for (const auto& cand : train) positives += (cand.label == 1);
+  }
+  nn::WeightedBce loss;
+  loss.pos_weight = nn::PositiveClassWeight(total, positives, options_.lambda);
+
+  // Contiguous runs of the same tweet form natural mini-batches sharing the
+  // attention computation.
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end)
+  for (size_t i = 0; i < train.size();) {
+    size_t j = i + 1;
+    while (j < train.size() && train[j].tweet_pos == train[i].tweet_pos) ++j;
+    groups.emplace_back(i, j);
+    i = j;
+  }
+
+  Rng rng(options_.seed ^ 0xB0B0B0B0ULL);
+  const size_t H = options_.hidden;
+  const size_t J = num_intervals_;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&groups);
+    for (const auto& [begin, end] : groups) {
+      const TweetContext& ctx = task.tweets[train[begin].tweet_pos];
+      // Mean (not summed) gradient over the mini-batch keeps step sizes
+      // independent of the candidate-set size.
+      const double inv_batch = 1.0 / static_cast<double>(end - begin);
+
+      nn::AttentionCache att_cache;
+      Vec exo;
+      Vec dexo(H, 0.0);
+      if (attention_ != nullptr) {
+        exo = attention_->Forward(ctx.embedding, ctx.news_window, &att_cache);
+      }
+
+      for (size_t s = begin; s < end; ++s) {
+        const RetweetCandidate& cand = train[s];
+        Vec x = Concat(cand.user_features, ctx.content);
+        x = nn::LayerNorm(x);
+        const Vec h_pre = ff1_->Forward(x);
+        const Vec h = nn::Relu(h_pre);
+
+        Vec dh(H, 0.0);
+        if (!options_.dynamic) {
+          const Vec concat = Concat(h, exo);
+          const Vec logit = head_->Forward(concat);
+          const double p = Sigmoid(logit[0]);
+          const double dlogit =
+              inv_batch * loss.GradLogit(p, cand.label);
+          const Vec dconcat = head_->Backward(concat, {dlogit});
+          for (size_t k = 0; k < H; ++k) dh[k] += dconcat[k];
+          if (attention_ != nullptr) {
+            for (size_t k = 0; k < H; ++k) dexo[k] += dconcat[H + k];
+          }
+        } else {
+          // Unroll the recurrent cell over intervals. The observable
+          // output is the first H entries of the cell state.
+          const size_t S = rnn_->state_dim();
+          std::vector<nn::RecCache> caches(J);
+          std::vector<Vec> hidden_states(J);
+          std::vector<double> dlogits(J);
+          Vec state(S, 0.0);
+          for (size_t j = 0; j < J; ++j) {
+            const Vec input = StepInput(h, exo, j);
+            state = rnn_->Forward(input, state, &caches[j]);
+            hidden_states[j] = Vec(state.begin(), state.begin() + H);
+            const Vec logit = head_->Forward(hidden_states[j]);
+            const double p = Sigmoid(logit[0]);
+            dlogits[j] =
+                inv_batch * loss.GradLogit(p, cand.interval_labels[j]);
+          }
+          // BPTT.
+          Vec dstate_carry(S, 0.0);
+          for (size_t j = J; j-- > 0;) {
+            const Vec dh_head =
+                head_->Backward(hidden_states[j], {dlogits[j]});
+            Vec dstate = dstate_carry;
+            for (size_t k = 0; k < H; ++k) dstate[k] += dh_head[k];
+            Vec dx;
+            rnn_->Backward(caches[j], dstate, &dx, &dstate_carry);
+            for (size_t k = 0; k < H; ++k) dh[k] += dx[k];
+            if (attention_ != nullptr) {
+              for (size_t k = 0; k < H; ++k) dexo[k] += dx[H + k];
+            }
+          }
+        }
+        const Vec dh_pre = nn::ReluBackward(h_pre, dh);
+        ff1_->Backward(x, dh_pre);
+      }
+
+      if (attention_ != nullptr && !att_cache.weights.empty()) {
+        attention_->Backward(att_cache, dexo);
+      }
+      optimizer_->Step();
+    }
+  }
+  return Status::OK();
+}
+
+double Retina::PredictStatic(const TweetContext& ctx,
+                             const Vec& user_features) const {
+  Vec exo;
+  if (attention_ != nullptr) {
+    exo = attention_->Forward(ctx.embedding, ctx.news_window, nullptr);
+  }
+  const Vec h = nn::Relu(HiddenForward(user_features, ctx.content));
+  const Vec concat = Concat(h, exo);
+  return Sigmoid(head_->Forward(concat)[0]);
+}
+
+Vec Retina::PredictDynamic(const TweetContext& ctx,
+                           const Vec& user_features) const {
+  Vec exo;
+  if (attention_ != nullptr) {
+    exo = attention_->Forward(ctx.embedding, ctx.news_window, nullptr);
+  }
+  const Vec h = nn::Relu(HiddenForward(user_features, ctx.content));
+  Vec probs(num_intervals_);
+  Vec state(rnn_->state_dim(), 0.0);
+  const size_t H = options_.hidden;
+  for (size_t j = 0; j < num_intervals_; ++j) {
+    const Vec in = StepInput(h, exo, j);
+    state = rnn_->Forward(in, state, nullptr);
+    const Vec hidden(state.begin(), state.begin() + H);
+    probs[j] = Sigmoid(head_->Forward(hidden)[0]);
+  }
+  return probs;
+}
+
+double Retina::PredictScore(const TweetContext& ctx,
+                            const Vec& user_features) const {
+  if (!options_.dynamic) return PredictStatic(ctx, user_features);
+  const Vec probs = PredictDynamic(ctx, user_features);
+  double none = 1.0;
+  for (double p : probs) none *= (1.0 - p);
+  return 1.0 - none;
+}
+
+namespace {
+
+// Flattens per-interval labels and probabilities over a candidate list.
+// With `cumulative`, sample (candidate, j) carries the label "retweeted by
+// the end of interval j" and the probability 1 - prod_{k<=j}(1 - P_k).
+void CollectIntervalSamples(const Retina& model, const RetweetTask& task,
+                            const std::vector<RetweetCandidate>& candidates,
+                            size_t num_intervals, bool cumulative,
+                            std::vector<int>* y, Vec* p) {
+  y->reserve(candidates.size() * num_intervals);
+  p->reserve(candidates.size() * num_intervals);
+  for (const auto& cand : candidates) {
+    const Vec probs =
+        model.PredictDynamic(task.tweets[cand.tweet_pos], cand.user_features);
+    int label_so_far = 0;
+    double none_so_far = 1.0;
+    for (size_t j = 0; j < num_intervals; ++j) {
+      if (cumulative) {
+        label_so_far |= cand.interval_labels[j];
+        none_so_far *= 1.0 - probs[j];
+        y->push_back(label_so_far);
+        p->push_back(1.0 - none_so_far);
+      } else {
+        y->push_back(cand.interval_labels[j]);
+        p->push_back(probs[j]);
+      }
+    }
+  }
+}
+
+BinaryEval EvalFlat(const std::vector<int>& y, const Vec& p,
+                    double threshold) {
+  BinaryEval eval;
+  const std::vector<int> pred = ml::Threshold(p, threshold);
+  eval.macro_f1 = ml::MacroF1(y, pred);
+  eval.accuracy = ml::Accuracy(y, pred);
+  eval.auc = ml::RocAuc(y, p);
+  return eval;
+}
+
+double BestThreshold(const std::vector<int>& y, const Vec& p) {
+  double best_threshold = 0.5, best_f1 = -1.0;
+  for (double threshold = 0.05; threshold < 0.96; threshold += 0.05) {
+    const double f1 = ml::MacroF1(y, ml::Threshold(p, threshold));
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = threshold;
+    }
+  }
+  return best_threshold;
+}
+
+}  // namespace
+
+BinaryEval Retina::EvaluatePerInterval(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates,
+    double threshold) const {
+  std::vector<int> y;
+  Vec p;
+  CollectIntervalSamples(*this, task, candidates, num_intervals_,
+                         /*cumulative=*/false, &y, &p);
+  return EvalFlat(y, p, threshold);
+}
+
+double Retina::CalibrateIntervalThreshold(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates) const {
+  std::vector<int> y;
+  Vec p;
+  CollectIntervalSamples(*this, task, candidates, num_intervals_,
+                         /*cumulative=*/false, &y, &p);
+  return BestThreshold(y, p);
+}
+
+BinaryEval Retina::EvaluateCumulative(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates,
+    double threshold) const {
+  std::vector<int> y;
+  Vec p;
+  CollectIntervalSamples(*this, task, candidates, num_intervals_,
+                         /*cumulative=*/true, &y, &p);
+  return EvalFlat(y, p, threshold);
+}
+
+double Retina::CalibrateCumulativeThreshold(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates) const {
+  std::vector<int> y;
+  Vec p;
+  CollectIntervalSamples(*this, task, candidates, num_intervals_,
+                         /*cumulative=*/true, &y, &p);
+  return BestThreshold(y, p);
+}
+
+Vec Retina::ScoreCandidates(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates) const {
+  Vec scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = PredictScore(task.tweets[candidates[i].tweet_pos],
+                             candidates[i].user_features);
+  }
+  return scores;
+}
+
+}  // namespace retina::core

@@ -1,0 +1,140 @@
+// RETINA — Retweeter Identifier Network with Exogenous Attention
+// (Section V-B, Figure 4).
+//
+// Static mode (Figure 4b): the candidate feature X^{u_j} (user history +
+// endogenous + peer + root-tweet content) is layer-normalized, passed
+// through a feed-forward layer, concatenated with the exogenous attention
+// output X^{T,N}, and a final feed-forward layer with sigmoid produces the
+// retweet probability P^{u_j}.
+//
+// Dynamic mode (Figure 4c): the last feed-forward layer is replaced by a
+// GRU unrolled over consecutive time intervals; each step emits the
+// probability of the user retweeting inside that interval.
+//
+// The exogenous attention block is shared per tweet: because X^{T,N}
+// depends only on the root tweet and the news stream, the trainer batches
+// all candidates of one tweet together, computing attention once and
+// accumulating its gradient across the batch (paper batch sizes: 16 static
+// / 32 dynamic — one tweet's candidate set is the same order of magnitude).
+//
+// Ablation (†): use_exogenous=false removes the attention block, matching
+// RETINA-S† / RETINA-D† in Table VI.
+
+#ifndef RETINA_CORE_RETINA_H_
+#define RETINA_CORE_RETINA_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/retweet_task.h"
+#include "nn/attention.h"
+#include "nn/recurrent.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace retina::core {
+
+struct RetinaOptions {
+  /// hdim and hidden sizes (paper: 64 everywhere).
+  size_t hidden = 64;
+  /// Dynamic (GRU) vs static (feed-forward) head.
+  bool dynamic = false;
+  /// Exogenous attention on/off (off = the † ablation).
+  bool use_exogenous = true;
+  int epochs = 5;
+  /// Optimizer: Adam (static best) or SGD lr=1e-2 (dynamic best).
+  bool use_adam = true;
+  double learning_rate = 1e-3;
+  /// Class-imbalance constant lambda in w = lambda(log C - log C+)
+  /// (paper: 2.0 static, 2.5 dynamic).
+  double lambda = 2.0;
+  /// Recurrent cell of the dynamic head. The paper settled on the GRU
+  /// after trying a simple RNN (worse) and an LSTM (no gain) — see
+  /// bench_ablation_recurrent.
+  nn::RecurrentKind recurrent = nn::RecurrentKind::kGru;
+  uint64_t seed = 42;
+};
+
+/// \brief The RETINA model (static or dynamic head).
+class Retina {
+ public:
+  /// \param user_dim Dimensionality of X^{u_j} (user-side features).
+  /// \param content_dim Dimensionality of root-tweet content features.
+  /// \param embed_dim Doc2Vec dimensionality (attention inputs).
+  Retina(size_t user_dim, size_t content_dim, size_t embed_dim,
+         size_t num_intervals, RetinaOptions options);
+
+  /// Trains on the task's train split.
+  Status Train(const RetweetTask& task);
+
+  /// Static retweet probability P^{u_j}.
+  double PredictStatic(const TweetContext& ctx,
+                       const Vec& user_features) const;
+
+  /// Per-interval probabilities P^{u_j}_m (dynamic mode).
+  Vec PredictDynamic(const TweetContext& ctx, const Vec& user_features) const;
+
+  /// Scalar score for ranking/classification: the static probability, or
+  /// in dynamic mode 1 - prod_m(1 - P_m) (probability of retweeting in any
+  /// interval).
+  double PredictScore(const TweetContext& ctx, const Vec& user_features) const;
+
+  /// Scores for a candidate list.
+  Vec ScoreCandidates(const RetweetTask& task,
+                      const std::vector<RetweetCandidate>& candidates) const;
+
+  /// Dynamic-mode classification metrics computed per (candidate,
+  /// interval) sample — the paper's evaluation unit for RETINA-D (its
+  /// Table VI row reports P^{u_i}_j against per-interval ground truth).
+  /// The weighted loss (Eq. 6) inflates the per-interval probabilities, so
+  /// pass a `threshold` calibrated on the training split.
+  BinaryEval EvaluatePerInterval(const RetweetTask& task,
+                                 const std::vector<RetweetCandidate>& candidates,
+                                 double threshold = 0.5) const;
+
+  /// Grid-searches the per-interval decision threshold maximizing
+  /// macro-F1 on `candidates` (use the train split).
+  double CalibrateIntervalThreshold(
+      const RetweetTask& task,
+      const std::vector<RetweetCandidate>& candidates) const;
+
+  /// Cumulative per-interval metrics: sample (candidate, j) asks "has the
+  /// user retweeted by the end of interval j" (Eq. 2 integrates the
+  /// retweet density over [t0, t0+Δt]); the prediction is
+  /// 1 - prod_{k<=j}(1 - P_k). `threshold` from
+  /// CalibrateCumulativeThreshold on the train split.
+  BinaryEval EvaluateCumulative(const RetweetTask& task,
+                                const std::vector<RetweetCandidate>& candidates,
+                                double threshold = 0.5) const;
+
+  double CalibrateCumulativeThreshold(
+      const RetweetTask& task,
+      const std::vector<RetweetCandidate>& candidates) const;
+
+  const RetinaOptions& options() const { return options_; }
+
+ private:
+  // Forward pieces shared by train and predict. `exo` is the attended
+  // exogenous vector for the sample's tweet (empty when disabled).
+  Vec HiddenForward(const Vec& user_features, const Vec& content) const;
+
+  Vec StepInput(const Vec& hidden, const Vec& exo, size_t interval) const;
+
+  std::vector<nn::Param*> Params();
+
+  RetinaOptions options_;
+  size_t input_dim_;
+  size_t num_intervals_;
+
+  Rng init_rng_;
+  std::unique_ptr<nn::Dense> ff1_;   // input -> hidden
+  std::unique_ptr<nn::Dense> head_;  // concat -> 1 (static) / rnn out -> 1
+  std::unique_ptr<nn::RecurrentCell> rnn_;  // dynamic only
+  std::unique_ptr<nn::ExogenousAttention> attention_;
+  std::unique_ptr<nn::Optimizer> optimizer_;
+};
+
+}  // namespace retina::core
+
+#endif  // RETINA_CORE_RETINA_H_

@@ -1,0 +1,416 @@
+#include "datagen/serialize.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "common/string_util.h"
+
+namespace retina::datagen {
+
+namespace {
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir failed: " + dir + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string Num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  return Join(tokens, " ");
+}
+
+std::string JoinVec(const Vec& v) {
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ';';
+    out += Num(v[i]);
+  }
+  return out;
+}
+
+Vec ParseVec(const std::string& s) {
+  Vec out;
+  for (const std::string& part : Split(s, ';')) {
+    if (!part.empty()) out.push_back(std::atof(part.c_str()));
+  }
+  return out;
+}
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path) : f_(path), path_(path) {}
+
+  bool ok() const { return static_cast<bool>(f_); }
+
+  void Row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) f_ << ',';
+      f_ << cells[i];
+    }
+    f_ << '\n';
+  }
+
+  Status Close() {
+    f_.flush();
+    return f_.good() ? Status::OK()
+                     : Status::IOError("write failed: " + path_);
+  }
+
+ private:
+  std::ofstream f_;
+  std::string path_;
+};
+
+// Reads a simple CSV (no quoting — our writers never emit commas inside
+// cells; tokens are space-joined). Skips the header row.
+Result<std::vector<std::vector<std::string>>> ReadCsv(
+    const std::string& path, size_t min_cells) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool header = true;
+  while (std::getline(f, line)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    std::vector<std::string> cells = Split(line, ',');
+    if (cells.size() < min_cells) {
+      return Status::IOError("malformed row in " + path + ": " + line);
+    }
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status ExportWorldCsv(const SyntheticWorld& world, const std::string& dir) {
+  RETINA_RETURN_NOT_OK(EnsureDir(dir));
+  const WorldConfig& config = world.config();
+
+  {
+    CsvWriter w(dir + "/manifest.csv");
+    if (!w.ok()) return Status::IOError("cannot write manifest");
+    w.Row({"key", "value"});
+    w.Row({"num_users", std::to_string(config.num_users)});
+    w.Row({"num_topics", std::to_string(config.num_topics)});
+    w.Row({"horizon_days", Num(config.horizon_days)});
+    w.Row({"history_length", std::to_string(config.history_length)});
+    w.Row({"scale", Num(config.scale)});
+    w.Row({"lexicon_terms", std::to_string(config.lexicon_terms)});
+    w.Row({"lexicon_slurs", std::to_string(config.lexicon_slurs)});
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/users.csv");
+    w.Row({"user", "activity", "account_age_days", "echo_community",
+           "interests", "propensity"});
+    for (size_t u = 0; u < world.NumUsers(); ++u) {
+      const UserProfile& p = world.users()[u];
+      w.Row({std::to_string(u), Num(p.activity), Num(p.account_age_days),
+             std::to_string(p.echo_community), JoinVec(p.topic_interests),
+             JoinVec(p.hate_propensity)});
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/edges.csv");
+    w.Row({"u", "v"});
+    for (size_t u = 0; u < world.NumUsers(); ++u) {
+      for (NodeId v : world.network().Followers(static_cast<NodeId>(u))) {
+        w.Row({std::to_string(u), std::to_string(v)});
+      }
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/hashtags.csv");
+    w.Row({"tag", "topic", "target_tweets", "target_avg_rt",
+           "target_pct_hate"});
+    for (const HashtagInfo& h : world.hashtags()) {
+      w.Row({h.tag, std::to_string(h.topic),
+             std::to_string(h.target_tweets), Num(h.target_avg_retweets),
+             Num(h.target_pct_hate)});
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/tweets.csv");
+    w.Row({"id", "author", "hashtag", "time", "gold", "machine", "tokens"});
+    for (const Tweet& t : world.tweets()) {
+      w.Row({std::to_string(t.id), std::to_string(t.author),
+             std::to_string(t.hashtag), Num(t.time),
+             std::to_string(t.is_hateful ? 1 : 0),
+             std::to_string(t.machine_hateful ? 1 : 0),
+             JoinTokens(t.tokens)});
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/retweets.csv");
+    w.Row({"tweet_id", "user", "time", "organic"});
+    for (size_t i = 0; i < world.cascades().size(); ++i) {
+      for (const RetweetEvent& rt : world.cascades()[i].retweets) {
+        w.Row({std::to_string(i), std::to_string(rt.user), Num(rt.time),
+               std::to_string(rt.organic ? 1 : 0)});
+      }
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/replies.csv");
+    w.Row({"tweet_id", "user", "time", "hateful", "counter"});
+    for (size_t i = 0; i < world.tweets().size(); ++i) {
+      for (const ReplyEvent& r : world.Replies(i)) {
+        w.Row({std::to_string(i), std::to_string(r.user), Num(r.time),
+               std::to_string(r.is_hateful ? 1 : 0),
+               std::to_string(r.counter_speech ? 1 : 0)});
+      }
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/news.csv");
+    w.Row({"time", "topic", "tokens"});
+    for (const NewsArticle& a : world.news().articles()) {
+      w.Row({Num(a.time), std::to_string(a.topic), JoinTokens(a.tokens)});
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/intensity.csv");
+    w.Row({"topic", "day", "intensity"});
+    const Matrix& intensity = world.news().intensity();
+    for (size_t t = 0; t < intensity.rows(); ++t) {
+      for (size_t d = 0; d < intensity.cols(); ++d) {
+        w.Row({std::to_string(t), std::to_string(d),
+               Num(intensity(t, d))});
+      }
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  {
+    CsvWriter w(dir + "/histories.csv");
+    w.Row({"user", "time", "topic", "hateful", "retweets", "hashtag",
+           "tokens"});
+    for (size_t u = 0; u < world.NumUsers(); ++u) {
+      for (const HistoryTweet& ht : world.History(static_cast<NodeId>(u))) {
+        w.Row({std::to_string(u), Num(ht.time), std::to_string(ht.topic),
+               std::to_string(ht.is_hateful ? 1 : 0),
+               std::to_string(ht.retweets_received),
+               ht.hashtag == SIZE_MAX ? "-1" : std::to_string(ht.hashtag),
+               JoinTokens(ht.tokens)});
+      }
+    }
+    RETINA_RETURN_NOT_OK(w.Close());
+  }
+  return Status::OK();
+}
+
+Result<SyntheticWorld> ImportWorldCsv(const std::string& dir) {
+  WorldConfig config;
+  config.num_users = 0;  // must come from the manifest
+  {
+    auto rows = ReadCsv(dir + "/manifest.csv", 2);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      const std::string& key = row[0];
+      const std::string& value = row[1];
+      if (key == "num_users") {
+        config.num_users = static_cast<size_t>(std::atoll(value.c_str()));
+      } else if (key == "num_topics") {
+        config.num_topics = static_cast<size_t>(std::atoll(value.c_str()));
+      } else if (key == "horizon_days") {
+        config.horizon_days = std::atof(value.c_str());
+      } else if (key == "history_length") {
+        config.history_length =
+            static_cast<size_t>(std::atoll(value.c_str()));
+      } else if (key == "scale") {
+        config.scale = std::atof(value.c_str());
+      } else if (key == "lexicon_terms") {
+        config.lexicon_terms =
+            static_cast<size_t>(std::atoll(value.c_str()));
+      } else if (key == "lexicon_slurs") {
+        config.lexicon_slurs =
+            static_cast<size_t>(std::atoll(value.c_str()));
+      }
+    }
+  }
+  if (config.num_users == 0) {
+    return Status::IOError("manifest missing num_users");
+  }
+
+  std::vector<UserProfile> users(config.num_users);
+  {
+    auto rows = ReadCsv(dir + "/users.csv", 6);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      const size_t u = static_cast<size_t>(std::atoll(row[0].c_str()));
+      if (u >= users.size()) return Status::IOError("user id out of range");
+      users[u].activity = std::atof(row[1].c_str());
+      users[u].account_age_days = std::atof(row[2].c_str());
+      users[u].echo_community = std::atoi(row[3].c_str());
+      users[u].topic_interests = ParseVec(row[4]);
+      users[u].hate_propensity = ParseVec(row[5]);
+    }
+  }
+
+  graph::InformationNetwork network;
+  {
+    auto rows = ReadCsv(dir + "/edges.csv", 2);
+    if (!rows.ok()) return rows.status();
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    edges.reserve(rows.ValueOrDie().size());
+    for (const auto& row : rows.ValueOrDie()) {
+      edges.emplace_back(
+          static_cast<NodeId>(std::atoll(row[0].c_str())),
+          static_cast<NodeId>(std::atoll(row[1].c_str())));
+    }
+    auto net = graph::InformationNetwork::FromEdges(config.num_users, edges);
+    if (!net.ok()) return net.status();
+    network = std::move(net).ValueOrDie();
+  }
+
+  std::vector<HashtagInfo> hashtags;
+  {
+    auto rows = ReadCsv(dir + "/hashtags.csv", 5);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      HashtagInfo h;
+      h.tag = row[0];
+      h.topic = static_cast<size_t>(std::atoll(row[1].c_str()));
+      h.target_tweets = static_cast<size_t>(std::atoll(row[2].c_str()));
+      h.target_avg_retweets = std::atof(row[3].c_str());
+      h.target_pct_hate = std::atof(row[4].c_str());
+      hashtags.push_back(std::move(h));
+    }
+  }
+
+  std::vector<Tweet> tweets;
+  {
+    auto rows = ReadCsv(dir + "/tweets.csv", 7);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      Tweet t;
+      t.id = static_cast<size_t>(std::atoll(row[0].c_str()));
+      t.author = static_cast<NodeId>(std::atoll(row[1].c_str()));
+      t.hashtag = static_cast<size_t>(std::atoll(row[2].c_str()));
+      t.time = std::atof(row[3].c_str());
+      t.is_hateful = row[4] == "1";
+      t.machine_hateful = row[5] == "1";
+      t.tokens = SplitWhitespace(row[6]);
+      tweets.push_back(std::move(t));
+    }
+  }
+
+  std::vector<Cascade> cascades(tweets.size());
+  for (size_t i = 0; i < cascades.size(); ++i) cascades[i].root_tweet = i;
+  {
+    auto rows = ReadCsv(dir + "/retweets.csv", 4);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      const size_t id = static_cast<size_t>(std::atoll(row[0].c_str()));
+      if (id >= cascades.size()) {
+        return Status::IOError("retweet references unknown tweet");
+      }
+      RetweetEvent rt;
+      rt.user = static_cast<NodeId>(std::atoll(row[1].c_str()));
+      rt.time = std::atof(row[2].c_str());
+      rt.organic = row[3] == "1";
+      cascades[id].retweets.push_back(rt);
+    }
+  }
+
+  std::vector<std::vector<ReplyEvent>> replies(tweets.size());
+  {
+    auto rows = ReadCsv(dir + "/replies.csv", 5);
+    // Older exports may lack the file; treat absence as no replies.
+    if (rows.ok()) {
+      for (const auto& row : rows.ValueOrDie()) {
+        const size_t id = static_cast<size_t>(std::atoll(row[0].c_str()));
+        if (id >= replies.size()) {
+          return Status::IOError("reply references unknown tweet");
+        }
+        ReplyEvent r;
+        r.user = static_cast<NodeId>(std::atoll(row[1].c_str()));
+        r.time = std::atof(row[2].c_str());
+        r.is_hateful = row[3] == "1";
+        r.counter_speech = row[4] == "1";
+        replies[id].push_back(r);
+      }
+    }
+  }
+
+  std::vector<NewsArticle> articles;
+  {
+    auto rows = ReadCsv(dir + "/news.csv", 3);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      NewsArticle a;
+      a.time = std::atof(row[0].c_str());
+      a.topic = static_cast<size_t>(std::atoll(row[1].c_str()));
+      a.tokens = SplitWhitespace(row[2]);
+      articles.push_back(std::move(a));
+    }
+  }
+  Matrix intensity(config.num_topics,
+                   static_cast<size_t>(std::ceil(config.horizon_days)), 1.0);
+  {
+    auto rows = ReadCsv(dir + "/intensity.csv", 3);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      const size_t t = static_cast<size_t>(std::atoll(row[0].c_str()));
+      const size_t d = static_cast<size_t>(std::atoll(row[1].c_str()));
+      if (t < intensity.rows() && d < intensity.cols()) {
+        intensity(t, d) = std::atof(row[2].c_str());
+      }
+    }
+  }
+
+  std::vector<std::vector<HistoryTweet>> histories(config.num_users);
+  {
+    auto rows = ReadCsv(dir + "/histories.csv", 7);
+    if (!rows.ok()) return rows.status();
+    for (const auto& row : rows.ValueOrDie()) {
+      const size_t u = static_cast<size_t>(std::atoll(row[0].c_str()));
+      if (u >= histories.size()) {
+        return Status::IOError("history references unknown user");
+      }
+      HistoryTweet ht;
+      ht.time = std::atof(row[1].c_str());
+      ht.topic = static_cast<size_t>(std::atoll(row[2].c_str()));
+      ht.is_hateful = row[3] == "1";
+      ht.retweets_received = std::atoi(row[4].c_str());
+      const long long tag = std::atoll(row[5].c_str());
+      ht.hashtag = tag < 0 ? SIZE_MAX : static_cast<size_t>(tag);
+      ht.tokens = SplitWhitespace(row[6]);
+      histories[u].push_back(std::move(ht));
+    }
+  }
+
+  return SyntheticWorld::FromParts(
+      config, std::move(users), std::move(network), std::move(hashtags),
+      text::MakeSyntheticLexicon(config.lexicon_terms, config.lexicon_slurs),
+      NewsStream::FromParts(std::move(articles), std::move(intensity),
+                            config.horizon_days),
+      std::move(tweets), std::move(cascades), std::move(histories),
+      std::move(replies));
+}
+
+}  // namespace retina::datagen

@@ -1,0 +1,39 @@
+// CSV export / import of a SyntheticWorld.
+//
+// ExportWorldCsv writes the dataset the way a crawl release would ship it
+// (one file per entity; the layout mirrors what the paper's public RETINA
+// repository distributes):
+//
+//   manifest.csv   config fields needed to reconstruct accessors
+//   users.csv      user_id, activity, account_age_days, echo_community,
+//                  interests (;-joined), propensity (;-joined)
+//   edges.csv      u, v   (v follows u)
+//   hashtags.csv   tag, topic, targets
+//   tweets.csv     id, author, hashtag, time, gold, machine, tokens
+//   retweets.csv   tweet_id, user, time, organic
+//   news.csv       time, topic, tokens
+//   intensity.csv  topic x day matrix of the news-intensity process
+//   histories.csv  user, time, topic, hateful, retweets, hashtag, tokens
+//
+// ImportWorldCsv reconstructs a SyntheticWorld that is accessor-for-
+// accessor equivalent to the exported one (derived indices are rebuilt).
+
+#ifndef RETINA_DATAGEN_SERIALIZE_H_
+#define RETINA_DATAGEN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datagen/world.h"
+
+namespace retina::datagen {
+
+/// Writes the world into `dir` (created if absent).
+Status ExportWorldCsv(const SyntheticWorld& world, const std::string& dir);
+
+/// Reads a world previously written by ExportWorldCsv.
+Result<SyntheticWorld> ImportWorldCsv(const std::string& dir);
+
+}  // namespace retina::datagen
+
+#endif  // RETINA_DATAGEN_SERIALIZE_H_

@@ -1,0 +1,116 @@
+// Core data records of the synthetic Twitter world.
+//
+// These mirror what the paper crawls: root tweets with hashtags and
+// timestamps, retweet cascades with per-retweet timestamps, user activity
+// histories, and contemporary news headlines.
+
+#ifndef RETINA_DATAGEN_TYPES_H_
+#define RETINA_DATAGEN_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/vec.h"
+#include "graph/information_network.h"
+
+namespace retina::datagen {
+
+using graph::NodeId;
+
+/// A root tweet (content the diffusion models predict spread for).
+struct Tweet {
+  size_t id = 0;
+  NodeId author = 0;
+  /// Index into SyntheticWorld::hashtags().
+  size_t hashtag = 0;
+  /// Hours since the start of the observation window.
+  double time = 0.0;
+  /// Ground-truth ("gold") hate label.
+  bool is_hateful = false;
+  /// Label assigned by the machine annotator (hatedetect); initialized to
+  /// the gold label until AnnotatePipeline overwrites it.
+  bool machine_hateful = false;
+  /// Tokenized text (lowercased; includes the #hashtag token).
+  std::vector<std::string> tokens;
+};
+
+/// One retweet inside a cascade.
+struct RetweetEvent {
+  NodeId user = 0;
+  /// Hours since the start of the observation window (>= root tweet time).
+  double time = 0.0;
+  /// True when the retweeter is a follower-path ("organic") spreader;
+  /// false for promoted/search-driven spread (Section III, "Beyond organic
+  /// diffusion").
+  bool organic = true;
+};
+
+/// Retweet cascade of one root tweet, sorted by time.
+struct Cascade {
+  size_t root_tweet = 0;  ///< Tweet::id of the root.
+  std::vector<RetweetEvent> retweets;
+};
+
+/// One reply inside a tweet's reply thread (the diffusion channel the
+/// paper's Section IX-A names as unmodeled: threads mix supportive hate,
+/// counter-speech and neutral comments).
+struct ReplyEvent {
+  NodeId user = 0;
+  /// Hours since the start of the observation window.
+  double time = 0.0;
+  /// The reply itself is hateful (supportive hate or harassment).
+  bool is_hateful = false;
+  /// The reply pushes back against a hateful root (counter-speech).
+  bool counter_speech = false;
+};
+
+/// A news headline (exogenous signal source).
+struct NewsArticle {
+  /// Hours since the start of the observation window.
+  double time = 0.0;
+  size_t topic = 0;
+  std::vector<std::string> tokens;
+};
+
+/// One entry of a user's activity history H_{i,t}.
+struct HistoryTweet {
+  /// Hours since start of window (negative = before the window).
+  double time = 0.0;
+  size_t topic = 0;
+  bool is_hateful = false;
+  /// Retweets this history tweet received (feature: attention on hate).
+  int retweets_received = 0;
+  std::vector<std::string> tokens;
+  /// Hashtag index used in this history tweet, or SIZE_MAX if none.
+  size_t hashtag = SIZE_MAX;
+};
+
+/// Static per-user attributes drawn by the generator.
+struct UserProfile {
+  /// Topic-interest distribution (sums to 1).
+  Vec topic_interests;
+  /// Per-topic propensity to produce hate in [0, 1]; near-zero for
+  /// ordinary users, concentrated on 1-2 topics for hate-prone users
+  /// (topic-dependence of Figure 3).
+  Vec hate_propensity;
+  /// Echo-chamber community id (>= 0 for hate-prone users, -1 otherwise).
+  int echo_community = -1;
+  /// Relative tweeting rate.
+  double activity = 1.0;
+  /// Account age in days at the start of the window.
+  double account_age_days = 365.0;
+};
+
+/// Per-hashtag generation targets + realized statistics (Table II analogue).
+struct HashtagInfo {
+  std::string tag;       ///< e.g. "#jamiaviolence"
+  size_t topic = 0;      ///< theme index
+  size_t target_tweets = 0;
+  double target_avg_retweets = 0.0;
+  double target_pct_hate = 0.0;  ///< in [0, 100]
+};
+
+}  // namespace retina::datagen
+
+#endif  // RETINA_DATAGEN_TYPES_H_

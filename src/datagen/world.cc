@@ -1,0 +1,697 @@
+#include "datagen/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "graph/generators.h"
+
+namespace retina::datagen {
+
+namespace {
+
+uint64_t PairKey(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+// Synthetic language: per-topic vocabularies plus a general pool.
+struct SyntheticVocab {
+  std::vector<std::vector<std::string>> topic_words;
+  std::vector<std::string> general_words;
+};
+
+SyntheticVocab MakeVocab(const WorldConfig& config) {
+  SyntheticVocab vocab;
+  vocab.topic_words.resize(config.num_topics);
+  char buf[64];
+  for (size_t t = 0; t < config.num_topics; ++t) {
+    vocab.topic_words[t].reserve(config.words_per_topic);
+    for (size_t w = 0; w < config.words_per_topic; ++w) {
+      std::snprintf(buf, sizeof(buf), "t%02zuw%03zu", t, w);
+      vocab.topic_words[t].emplace_back(buf);
+    }
+  }
+  vocab.general_words.reserve(config.general_words);
+  for (size_t w = 0; w < config.general_words; ++w) {
+    std::snprintf(buf, sizeof(buf), "gen%03zu", w);
+    vocab.general_words.emplace_back(buf);
+  }
+  return vocab;
+}
+
+// Tweet-text generator shared by history tweets and root tweets.
+class TextSampler {
+ public:
+  TextSampler(const SyntheticVocab& vocab, const text::HateLexicon& lexicon)
+      : vocab_(vocab), lexicon_(lexicon) {}
+
+  // Zipf-ish pick: quadratic skew toward low word indices so tf-idf has a
+  // non-degenerate document-frequency profile.
+  const std::string& PickWord(const std::vector<std::string>& pool,
+                              Rng* rng) const {
+    const double u = rng->Uniform();
+    const size_t idx = static_cast<size_t>(u * u * static_cast<double>(pool.size()));
+    return pool[std::min(idx, pool.size() - 1)];
+  }
+
+  // A "charged" topic word: drawn from the rare tail of the topic
+  // vocabulary, over-represented in hateful text. Detectable by learned
+  // n-gram features (the fine-tuned model) but invisible to the lexicon.
+  const std::string& PickChargedWord(const std::vector<std::string>& pool,
+                                     Rng* rng) const {
+    const size_t start = pool.size() * 3 / 4;
+    return pool[start + rng->UniformInt(pool.size() - start)];
+  }
+
+  std::vector<std::string> Make(size_t topic, bool hateful,
+                                const std::string* hashtag, Rng* rng) const {
+    std::vector<std::string> tokens;
+    const int len = 9 + static_cast<int>(rng->UniformInt(8));
+    tokens.reserve(static_cast<size_t>(len) + 4);
+    if (hashtag != nullptr) tokens.push_back(*hashtag);
+    for (int i = 0; i < len; ++i) {
+      if (rng->Uniform() < 0.55) {
+        if (hateful && rng->Uniform() < 0.4) {
+          tokens.push_back(PickChargedWord(vocab_.topic_words[topic], rng));
+        } else {
+          tokens.push_back(PickWord(vocab_.topic_words[topic], rng));
+        }
+      } else {
+        tokens.push_back(PickWord(vocab_.general_words, rng));
+      }
+    }
+    // Lexicon injection keeps detection *hard*, as on the real data
+    // (fine-tuned Davidson macro-F1 0.59): ~2/3 of hateful tweets use
+    // explicit slurs, the rest are implicit (charged words only, perhaps a
+    // colloquial term); benign text occasionally quotes slurs or uses the
+    // colloquial terms innocently.
+    if (hateful) {
+      if (rng->Uniform() < 0.65 && !lexicon_.slur_terms().empty()) {
+        const int n_slurs = 1 + static_cast<int>(rng->UniformInt(2));
+        for (int i = 0; i < n_slurs; ++i) {
+          tokens.push_back(lexicon_.slur_terms()[rng->UniformInt(
+              lexicon_.slur_terms().size())]);
+        }
+      } else if (rng->Uniform() < 0.5 &&
+                 !lexicon_.colloquial_terms().empty()) {
+        tokens.push_back(lexicon_.colloquial_terms()[rng->UniformInt(
+            lexicon_.colloquial_terms().size())]);
+      }
+    } else {
+      if (rng->Uniform() < 0.015 && !lexicon_.slur_terms().empty()) {
+        tokens.push_back(lexicon_.slur_terms()[rng->UniformInt(
+            lexicon_.slur_terms().size())]);
+      } else if (rng->Uniform() < 0.07 &&
+                 !lexicon_.colloquial_terms().empty()) {
+        tokens.push_back(lexicon_.colloquial_terms()[rng->UniformInt(
+            lexicon_.colloquial_terms().size())]);
+      }
+    }
+    return tokens;
+  }
+
+ private:
+  const SyntheticVocab& vocab_;
+  const text::HateLexicon& lexicon_;
+};
+
+}  // namespace
+
+SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
+                                        uint64_t seed) {
+  SyntheticWorld world;
+  world.config_ = config;
+  Rng rng(seed);
+  Rng user_rng = rng.Split();
+  Rng net_rng = rng.Split();
+  Rng news_rng = rng.Split();
+  Rng hist_rng = rng.Split();
+  Rng tweet_rng = rng.Split();
+  Rng cascade_rng = rng.Split();
+
+  const size_t n_users = config.num_users;
+  const size_t n_topics = config.num_topics;
+
+  world.hashtags_ = PaperHashtagTable(n_topics);
+  const SyntheticVocab vocab = MakeVocab(config);
+  world.lexicon_ =
+      text::MakeSyntheticLexicon(config.lexicon_terms, config.lexicon_slurs);
+  const TextSampler sampler(vocab, world.lexicon_);
+
+  // ---- Users -------------------------------------------------------------
+  world.users_.resize(n_users);
+  std::vector<Vec> interests(n_users);
+  std::vector<int> echo(n_users, -1);
+  for (size_t u = 0; u < n_users; ++u) {
+    UserProfile& p = world.users_[u];
+    p.topic_interests = user_rng.Dirichlet(n_topics, 0.3);
+    p.hate_propensity.assign(n_topics, 0.0);
+    for (double& v : p.hate_propensity) v = user_rng.Uniform(0.0, 0.001);
+    if (user_rng.Bernoulli(config.hater_fraction)) {
+      // Hate-prone: strongest on the dominant interest, occasionally on
+      // other topics (topic-dependent hatefulness, Figure 3).
+      size_t dom = 0;
+      for (size_t t = 1; t < n_topics; ++t) {
+        if (p.topic_interests[t] > p.topic_interests[dom]) dom = t;
+      }
+      for (size_t t = 0; t < n_topics; ++t) {
+        if (t == dom) {
+          p.hate_propensity[t] = user_rng.Uniform(0.4, 0.9);
+        } else if (user_rng.Bernoulli(0.3)) {
+          p.hate_propensity[t] = user_rng.Uniform(0.1, 0.4);
+        } else {
+          p.hate_propensity[t] = user_rng.Uniform(0.0, 0.02);
+        }
+      }
+      p.echo_community = static_cast<int>(dom);
+    }
+    p.activity = std::exp(user_rng.Normal(0.0, 0.7));
+    p.account_age_days = user_rng.Uniform(60.0, 4000.0);
+    interests[u] = p.topic_interests;
+    echo[u] = p.echo_community;
+  }
+
+  // ---- Follower network ---------------------------------------------------
+  world.network_ =
+      graph::GenerateFollowerNetwork(interests, echo, config.network, &net_rng);
+
+  // ---- News stream ---------------------------------------------------------
+  world.news_ = GenerateNews(config, vocab.topic_words, vocab.general_words,
+                             &news_rng);
+
+  // ---- Activity histories ---------------------------------------------------
+  // Hashtags grouped per topic, for history hashtag choice.
+  std::vector<std::vector<size_t>> tags_by_topic(n_topics);
+  for (size_t h = 0; h < world.hashtags_.size(); ++h) {
+    tags_by_topic[world.hashtags_[h].topic].push_back(h);
+  }
+
+  world.histories_.resize(n_users);
+  for (size_t u = 0; u < n_users; ++u) {
+    const UserProfile& p = world.users_[u];
+    const double log_followers = std::log(
+        1.0 + static_cast<double>(world.network_.FollowerCount(
+                  static_cast<NodeId>(u))));
+    auto& hist = world.histories_[u];
+    hist.resize(config.history_length);
+    for (size_t i = 0; i < hist.size(); ++i) {
+      HistoryTweet& ht = hist[i];
+      ht.time = -hist_rng.Uniform(0.0, 90.0 * 24.0);
+      ht.topic = hist_rng.Categorical(p.topic_interests);
+      // Histories reveal propensity only noisily: even prolific haters
+      // keep most of their timeline clean, which is what makes the
+      // hate-generation task genuinely hard (Table IV's modest scores).
+      ht.is_hateful = hist_rng.Bernoulli(
+          std::min(0.95, p.hate_propensity[ht.topic] * 0.3));
+      const std::string* tag = nullptr;
+      if (!tags_by_topic[ht.topic].empty() && hist_rng.Bernoulli(0.5)) {
+        ht.hashtag = tags_by_topic[ht.topic][hist_rng.UniformInt(
+            tags_by_topic[ht.topic].size())];
+        tag = &world.hashtags_[ht.hashtag].tag;
+      }
+      ht.tokens = sampler.Make(ht.topic, ht.is_hateful, tag, &hist_rng);
+      // Attention: hateful content by hate-prone users draws extra
+      // retweets (the "hate preachers get engagement" signal, Section
+      // IV-A features).
+      double rt_rate = 0.4 + 0.8 * log_followers + 0.5 * p.activity;
+      if (ht.is_hateful) rt_rate *= 2.5;
+      ht.retweets_received = hist_rng.Poisson(rt_rate);
+    }
+    std::sort(hist.begin(), hist.end(),
+              [](const HistoryTweet& a, const HistoryTweet& b) {
+                return a.time < b.time;
+              });
+  }
+
+  // ---- Root tweets ----------------------------------------------------------
+  const size_t n_days = static_cast<size_t>(std::ceil(config.horizon_days));
+  // Per-topic author-sampling CDFs: the base weight is interest^2 *
+  // activity; the hater-conditioned CDF additionally weights by the
+  // topic-conditional hate propensity, so hateful tweets originate from
+  // hate-prone users (Matthew et al. [5]: a small fraction of users
+  // generates most hate).
+  std::vector<std::vector<double>> author_cdf(n_topics,
+                                              std::vector<double>(n_users));
+  std::vector<std::vector<double>> hater_cdf(n_topics,
+                                             std::vector<double>(n_users));
+  for (size_t t = 0; t < n_topics; ++t) {
+    double acc = 0.0, hater_acc = 0.0;
+    for (size_t u = 0; u < n_users; ++u) {
+      const double base = world.users_[u].topic_interests[t] *
+                          world.users_[u].topic_interests[t] *
+                          world.users_[u].activity;
+      acc += base;
+      author_cdf[t][u] = acc;
+      hater_acc += base * (world.users_[u].hate_propensity[t] + 0.002);
+      hater_cdf[t][u] = hater_acc;
+    }
+    for (double& v : author_cdf[t]) v /= acc;
+    for (double& v : hater_cdf[t]) v /= hater_acc;
+  }
+  auto sample_from_cdf = [&](const std::vector<double>& cdf,
+                             Rng* r) -> NodeId {
+    const double u = r->Uniform();
+    auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+    size_t idx = static_cast<size_t>(it - cdf.begin());
+    if (idx >= n_users) idx = n_users - 1;
+    return static_cast<NodeId>(idx);
+  };
+  auto sample_author = [&](size_t topic, Rng* r) -> NodeId {
+    return sample_from_cdf(author_cdf[topic], r);
+  };
+
+  for (size_t h = 0; h < world.hashtags_.size(); ++h) {
+    const HashtagInfo& info = world.hashtags_[h];
+    const size_t n_tweets = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               static_cast<double>(info.target_tweets) * config.scale)));
+    const size_t topic = info.topic;
+
+    // Day weights: exogenous triggering by news intensity. The coupling
+    // here is softer than the per-retweet modulation so the corpus keeps
+    // tweets in calm periods too — otherwise every tweet sees a burst and
+    // the exogenous features lose their between-tweet variance.
+    std::vector<double> day_w(n_days);
+    for (size_t d = 0; d < n_days; ++d) {
+      const double intensity = world.news_.intensity()(topic, d);
+      day_w[d] = std::max(
+          0.05, 1.0 + 0.35 * config.exo_coupling * (intensity - 1.0));
+    }
+
+    // First pass: draw posting times so the exogenous boosts can be
+    // normalized; hate is likelier when the topic is hot in the news.
+    std::vector<double> times(n_tweets), boosts(n_tweets);
+    double boost_sum = 0.0;
+    for (size_t i = 0; i < n_tweets; ++i) {
+      const size_t day = tweet_rng.Categorical(day_w);
+      times[i] = (static_cast<double>(day) + tweet_rng.Uniform()) * 24.0;
+      const double intensity = world.news_.IntensityAt(topic, times[i]);
+      boosts[i] =
+          1.0 + 0.4 * config.exo_coupling * std::max(0.0, intensity - 1.0);
+      boost_sum += boosts[i];
+    }
+    const double mean_boost = boost_sum / static_cast<double>(n_tweets);
+    const double target_rate = info.target_pct_hate / 100.0;
+
+    // Second pass: label by the (exogenously modulated) Table II target
+    // rate, then pick the author conditioned on the label.
+    for (size_t i = 0; i < n_tweets; ++i) {
+      Tweet tw;
+      tw.hashtag = h;
+      tw.time = times[i];
+      tw.is_hateful = tweet_rng.Bernoulli(
+          std::min(0.95, target_rate * boosts[i] / mean_boost));
+      // A quarter of hateful tweets come from "fresh offenders" whose
+      // history carries no hate signal — the irreducible error the paper's
+      // models face (their best macro-F1 stalls at 0.65).
+      tw.author = (tw.is_hateful && tweet_rng.Bernoulli(0.75))
+                      ? sample_from_cdf(hater_cdf[topic], &tweet_rng)
+                      : sample_author(topic, &tweet_rng);
+      tw.machine_hateful = tw.is_hateful;
+      tw.tokens = sampler.Make(topic, tw.is_hateful, &info.tag, &tweet_rng);
+      world.tweets_.push_back(std::move(tw));
+    }
+  }
+  std::sort(world.tweets_.begin(), world.tweets_.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time < b.time; });
+  for (size_t i = 0; i < world.tweets_.size(); ++i) world.tweets_[i].id = i;
+
+  // ---- Cascades ----------------------------------------------------------------
+  // Echo-community membership, for the organized-spreader channel.
+  std::vector<std::vector<NodeId>> community_members(n_topics);
+  for (size_t u = 0; u < n_users; ++u) {
+    const int c = world.users_[u].echo_community;
+    if (c >= 0) community_members[static_cast<size_t>(c)].push_back(
+        static_cast<NodeId>(u));
+  }
+  world.cascades_.resize(world.tweets_.size());
+  // With follow-back reciprocity the graph has a giant reachable
+  // component, so deeper levels must decay hard and the first-level
+  // probability is calibrated assuming deeper levels roughly triple the
+  // first level's contribution.
+  const double depth_decay = 0.2;
+  constexpr size_t kMaxCascade = 600;
+  for (size_t i = 0; i < world.tweets_.size(); ++i) {
+    const Tweet& tw = world.tweets_[i];
+    Cascade& cascade = world.cascades_[i];
+    cascade.root_tweet = tw.id;
+    const size_t topic = world.hashtags_[tw.hashtag].topic;
+    const double target_avg = world.hashtags_[tw.hashtag].target_avg_retweets;
+    const double root_followers = static_cast<double>(
+        world.network_.FollowerCount(tw.author));
+    double p0 = std::clamp(
+        target_avg / (7.0 * (1.0 + root_followers)), 0.002, 0.6);
+    if (tw.is_hateful) p0 = std::min(0.9, p0 * config.hate_virality);
+    const double tau =
+        tw.is_hateful ? config.hate_delay_tau : config.nonhate_delay_tau;
+
+    std::unordered_set<NodeId> participants{tw.author};
+    // BFS frontier: (user, infection time, depth).
+    struct Frontier {
+      NodeId user;
+      double time;
+      int depth;
+    };
+    std::vector<Frontier> frontier{{tw.author, tw.time, 0}};
+
+    // Organized spreaders: for hateful roots, the author's echo community
+    // coordinates early dissemination beyond the follow graph (the paper
+    // links hate's fast early growth to organized spreaders). They join
+    // the frontier so the chamber re-amplifies the cascade.
+    if (tw.is_hateful) {
+      const int community = world.users_[tw.author].echo_community;
+      if (community >= 0) {
+        for (NodeId member :
+             community_members[static_cast<size_t>(community)]) {
+          if (participants.count(member) > 0) continue;
+          if (!cascade_rng.Bernoulli(config.organized_spreader_rate)) {
+            continue;
+          }
+          participants.insert(member);
+          const double t = tw.time + cascade_rng.Exponential(2.0 / tau);
+          cascade.retweets.push_back({member, t, /*organic=*/false});
+          frontier.push_back({member, t, 1});
+        }
+      }
+    }
+    while (!frontier.empty() && cascade.retweets.size() < kMaxCascade) {
+      std::vector<Frontier> next;
+      for (const Frontier& f : frontier) {
+        if (f.depth >= config.max_cascade_depth) continue;
+        for (NodeId v : world.network_.Followers(f.user)) {
+          if (participants.count(v) > 0) continue;
+          const UserProfile& pv = world.users_[v];
+          const double align = std::min(
+              1.5, pv.topic_interests[topic] * static_cast<double>(n_topics));
+          double prob = p0 * align * std::pow(depth_decay, f.depth);
+          if (tw.is_hateful) {
+            prob *= (pv.hate_propensity[topic] > 0.2) ? config.echo_boost
+                                                      : config.hate_suppress;
+          }
+          const double intensity = world.news_.IntensityAt(topic, f.time);
+          const double exo_mod = std::clamp(
+              1.0 + 0.6 * config.exo_coupling * (intensity - 1.0), 0.4, 4.0);
+          prob = std::min(0.95, prob * exo_mod);
+          if (!cascade_rng.Bernoulli(prob)) continue;
+          const double delay = cascade_rng.Exponential(1.0 / tau);
+          const double t = f.time + delay;
+          if (t > tw.time + 14.0 * 24.0) continue;
+          participants.insert(v);
+          cascade.retweets.push_back({v, t, /*organic=*/true});
+          next.push_back({v, t, f.depth + 1});
+          if (cascade.retweets.size() >= kMaxCascade) break;
+        }
+        if (cascade.retweets.size() >= kMaxCascade) break;
+      }
+      frontier = std::move(next);
+    }
+
+    // Non-organic spread: promoted/search-driven retweeters outside the
+    // follower paths. Hateful roots already spread beyond the follow graph
+    // through their organized community; routing their promotion through
+    // random interested users would leak exposure outside the chamber and
+    // destroy the low-susceptibility signature of Figure 1(b).
+    const int n_promo =
+        tw.is_hateful ? 0
+                      : cascade_rng.Poisson(
+                            config.non_organic_fraction *
+                            static_cast<double>(cascade.retweets.size()));
+    for (int k = 0; k < n_promo; ++k) {
+      const NodeId v = sample_author(topic, &cascade_rng);
+      if (participants.count(v) > 0) continue;
+      participants.insert(v);
+      const double t = tw.time + cascade_rng.Exponential(1.0 / tau);
+      cascade.retweets.push_back({v, t, /*organic=*/false});
+    }
+
+    std::sort(cascade.retweets.begin(), cascade.retweets.end(),
+              [](const RetweetEvent& a, const RetweetEvent& b) {
+                return a.time < b.time;
+              });
+  }
+
+  // ---- Reply threads (Section IX-A extension) -----------------------------
+  // Replies scale with the cascade's engagement; repliers are drawn from
+  // the engaged audience (participants' followers + organized community).
+  // Hateful roots attract supportive hate from the chamber and
+  // counter-speech from ordinary repliers; non-hate roots occasionally
+  // draw harassment from hate-prone repliers.
+  Rng reply_rng = rng.Split();
+  world.replies_.resize(world.tweets_.size());
+  for (size_t i = 0; i < world.tweets_.size(); ++i) {
+    const Tweet& tw = world.tweets_[i];
+    const auto& cascade = world.cascades_[i];
+    const double engagement =
+        1.0 + static_cast<double>(cascade.retweets.size());
+    const int n_replies =
+        reply_rng.Poisson(config.reply_rate * engagement);
+    if (n_replies == 0) continue;
+    // Candidate repliers: cascade participants and followers of the root.
+    std::vector<NodeId> pool;
+    for (const auto& rt : cascade.retweets) pool.push_back(rt.user);
+    for (NodeId f : world.network_.Followers(tw.author)) pool.push_back(f);
+    if (pool.empty()) continue;
+    auto& thread = world.replies_[i];
+    const double tau =
+        tw.is_hateful ? config.hate_delay_tau : config.nonhate_delay_tau;
+    for (int r = 0; r < n_replies; ++r) {
+      ReplyEvent reply;
+      reply.user = pool[reply_rng.UniformInt(pool.size())];
+      reply.time = tw.time + reply_rng.Exponential(1.0 / tau);
+      const bool replier_prone =
+          world.users_[reply.user].echo_community >= 0;
+      if (tw.is_hateful) {
+        if (replier_prone) {
+          reply.is_hateful =
+              reply_rng.Bernoulli(config.supportive_hate_rate);
+        } else if (reply_rng.Bernoulli(config.counter_speech_rate)) {
+          reply.counter_speech = true;
+          // A slice of counter-speech is itself hateful ("counteracted
+          // with hate speech via reply cascades", Section IX-A).
+          reply.is_hateful = reply_rng.Bernoulli(0.25);
+        }
+      } else if (replier_prone) {
+        reply.is_hateful = reply_rng.Bernoulli(config.harassment_rate);
+      }
+      thread.push_back(reply);
+    }
+    std::sort(thread.begin(), thread.end(),
+              [](const ReplyEvent& a, const ReplyEvent& b) {
+                return a.time < b.time;
+              });
+  }
+
+  world.BuildDerivedIndices();
+
+  return world;
+}
+
+Vec SyntheticWorld::TrendingIndicator(double time_hours, size_t dim,
+                                      size_t top_n) const {
+  Vec out(dim, 0.0);
+  if (daily_ranking_.empty()) return out;
+  int day = static_cast<int>(time_hours / 24.0);
+  day = std::clamp(day, 0, static_cast<int>(daily_ranking_.size()) - 1);
+  const auto& ranking = daily_ranking_[static_cast<size_t>(day)];
+  const size_t n = std::min(top_n, ranking.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ranking[i] < dim) out[ranking[i]] = 1.0;
+  }
+  return out;
+}
+
+size_t SyntheticWorld::PastRetweetCount(NodeId root_author, NodeId user,
+                                        double before_time) const {
+  auto it = pair_retweet_times_.find(PairKey(root_author, user));
+  if (it == pair_retweet_times_.end()) return 0;
+  const auto& times = it->second;
+  return static_cast<size_t>(
+      std::lower_bound(times.begin(), times.end(), before_time) -
+      times.begin());
+}
+
+std::vector<HashtagStats> SyntheticWorld::ComputeHashtagStats() const {
+  std::vector<HashtagStats> stats(hashtags_.size());
+  std::vector<std::unordered_set<NodeId>> authors(hashtags_.size());
+  std::vector<std::unordered_set<NodeId>> all_users(hashtags_.size());
+  std::vector<size_t> total_rts(hashtags_.size(), 0);
+  std::vector<size_t> hateful(hashtags_.size(), 0);
+  for (size_t i = 0; i < tweets_.size(); ++i) {
+    const Tweet& tw = tweets_[i];
+    HashtagStats& s = stats[tw.hashtag];
+    ++s.tweets;
+    if (tw.is_hateful) ++hateful[tw.hashtag];
+    authors[tw.hashtag].insert(tw.author);
+    all_users[tw.hashtag].insert(tw.author);
+    total_rts[tw.hashtag] += cascades_[i].retweets.size();
+    for (const RetweetEvent& rt : cascades_[i].retweets) {
+      all_users[tw.hashtag].insert(rt.user);
+    }
+  }
+  for (size_t h = 0; h < hashtags_.size(); ++h) {
+    HashtagStats& s = stats[h];
+    s.unique_authors = authors[h].size();
+    s.users_all = all_users[h].size();
+    s.avg_retweets =
+        s.tweets > 0
+            ? static_cast<double>(total_rts[h]) / static_cast<double>(s.tweets)
+            : 0.0;
+    s.pct_hate = s.tweets > 0 ? 100.0 * static_cast<double>(hateful[h]) /
+                                    static_cast<double>(s.tweets)
+                              : 0.0;
+  }
+  return stats;
+}
+
+double SyntheticWorld::UserHashtagHateRatio(NodeId u, size_t hashtag) const {
+  size_t total = 0, hate = 0;
+  for (const Tweet& tw : tweets_) {
+    if (tw.author == u && tw.hashtag == hashtag) {
+      ++total;
+      if (tw.is_hateful) ++hate;
+    }
+  }
+  for (const HistoryTweet& ht : histories_[u]) {
+    if (ht.hashtag == hashtag) {
+      ++total;
+      if (ht.is_hateful) ++hate;
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(hate) / static_cast<double>(total);
+}
+
+ReplyStats SyntheticWorld::ComputeReplyStats(bool hateful_roots) const {
+  ReplyStats stats;
+  size_t n_roots = 0, n_replies = 0, n_hateful = 0, n_counter = 0;
+  for (size_t i = 0; i < tweets_.size(); ++i) {
+    if (tweets_[i].is_hateful != hateful_roots) continue;
+    ++n_roots;
+    if (i >= replies_.size()) continue;
+    for (const ReplyEvent& r : replies_[i]) {
+      ++n_replies;
+      n_hateful += r.is_hateful;
+      n_counter += r.counter_speech;
+    }
+  }
+  if (n_roots > 0) {
+    stats.replies_per_tweet =
+        static_cast<double>(n_replies) / static_cast<double>(n_roots);
+  }
+  if (n_replies > 0) {
+    stats.hateful_reply_fraction =
+        static_cast<double>(n_hateful) / static_cast<double>(n_replies);
+    stats.counter_speech_fraction =
+        static_cast<double>(n_counter) / static_cast<double>(n_replies);
+  }
+  return stats;
+}
+
+std::vector<DiffusionCurvePoint> SyntheticWorld::DiffusionCurves(
+    bool hateful, const std::vector<double>& minutes_grid) const {
+  std::vector<DiffusionCurvePoint> out(minutes_grid.size());
+  for (size_t g = 0; g < minutes_grid.size(); ++g) {
+    out[g].minutes = minutes_grid[g];
+  }
+  size_t n_cascades = 0;
+  for (size_t i = 0; i < tweets_.size(); ++i) {
+    if (tweets_[i].is_hateful != hateful) continue;
+    ++n_cascades;
+    const double t0 = tweets_[i].time;
+    const auto& rts = cascades_[i].retweets;
+
+    // Incrementally extend participant / susceptible sets along the grid.
+    // Susceptible at time t = exposed (follower of a participant) but not
+    // itself a participant yet — the Figure 1(b) quantity.
+    std::unordered_set<NodeId> member{tweets_[i].author};
+    std::unordered_set<NodeId> exposed;
+    for (NodeId f : network_.Followers(tweets_[i].author)) {
+      if (member.count(f) == 0) exposed.insert(f);
+    }
+    size_t rt_idx = 0;
+    for (size_t g = 0; g < minutes_grid.size(); ++g) {
+      const double t_cut = t0 + minutes_grid[g] / 60.0;
+      while (rt_idx < rts.size() && rts[rt_idx].time <= t_cut) {
+        const NodeId r = rts[rt_idx].user;
+        member.insert(r);
+        exposed.erase(r);
+        for (NodeId f : network_.Followers(r)) {
+          if (member.count(f) == 0) exposed.insert(f);
+        }
+        ++rt_idx;
+      }
+      out[g].mean_retweets += static_cast<double>(rt_idx);
+      out[g].mean_susceptible += static_cast<double>(exposed.size());
+    }
+  }
+  if (n_cascades > 0) {
+    for (auto& p : out) {
+      p.mean_retweets /= static_cast<double>(n_cascades);
+      p.mean_susceptible /= static_cast<double>(n_cascades);
+    }
+  }
+  return out;
+}
+
+
+void SyntheticWorld::BuildDerivedIndices() {
+  const size_t n_days =
+      static_cast<size_t>(std::ceil(config_.horizon_days));
+  // ---- Daily trending ranking ------------------------------------------------
+  {
+    Matrix volume(n_days, hashtags_.size(), 0.0);
+    for (const Tweet& tw : tweets_) {
+      size_t day = static_cast<size_t>(tw.time / 24.0);
+      if (day >= n_days) day = n_days - 1;
+      volume(day, tw.hashtag) += 1.0;
+    }
+    daily_ranking_.resize(n_days);
+    for (size_t d = 0; d < n_days; ++d) {
+      auto& ranking = daily_ranking_[d];
+      ranking.resize(hashtags_.size());
+      for (size_t h = 0; h < ranking.size(); ++h) ranking[h] = h;
+      std::sort(ranking.begin(), ranking.end(), [&](size_t a, size_t b) {
+        if (volume(d, a) != volume(d, b)) return volume(d, a) > volume(d, b);
+        return a < b;
+      });
+    }
+  }
+
+  // ---- Pairwise retweet-history index -------------------------------------------
+  for (size_t i = 0; i < cascades_.size(); ++i) {
+    const NodeId author = tweets_[i].author;
+    for (const RetweetEvent& rt : cascades_[i].retweets) {
+      pair_retweet_times_[PairKey(author, rt.user)].push_back(rt.time);
+    }
+  }
+  for (auto& [key, times] : pair_retweet_times_) {
+    std::sort(times.begin(), times.end());
+  }
+}
+
+SyntheticWorld SyntheticWorld::FromParts(
+    WorldConfig config, std::vector<UserProfile> users,
+    graph::InformationNetwork network, std::vector<HashtagInfo> hashtags,
+    text::HateLexicon lexicon, NewsStream news, std::vector<Tweet> tweets,
+    std::vector<Cascade> cascades,
+    std::vector<std::vector<HistoryTweet>> histories,
+    std::vector<std::vector<ReplyEvent>> replies) {
+  SyntheticWorld world;
+  world.config_ = config;
+  world.users_ = std::move(users);
+  world.network_ = std::move(network);
+  world.hashtags_ = std::move(hashtags);
+  world.lexicon_ = std::move(lexicon);
+  world.news_ = std::move(news);
+  world.tweets_ = std::move(tweets);
+  world.cascades_ = std::move(cascades);
+  world.histories_ = std::move(histories);
+  world.replies_ = std::move(replies);
+  world.replies_.resize(world.tweets_.size());
+  world.BuildDerivedIndices();
+  return world;
+}
+
+}  // namespace retina::datagen

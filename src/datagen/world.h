@@ -1,0 +1,152 @@
+// SyntheticWorld — the generated stand-in for the paper's crawled dataset.
+//
+// Generate() draws, in order: a topical vocabulary and hate lexicon; a user
+// population with topic interests, topic-conditional hate propensity and
+// echo-chamber membership; the follower network; the news stream; per-user
+// activity histories; root tweets calibrated to the Table II hashtag
+// targets; and retweet cascades whose kinetics differ for hateful vs
+// non-hate roots (fast-then-stall vs slow-but-sustained, Figure 1).
+//
+// All downstream components (feature extraction, RETINA, baselines,
+// benches) consume only this class's accessors, so swapping in a real
+// dataset would mean re-implementing this interface over parsed crawl
+// files.
+
+#ifndef RETINA_DATAGEN_WORLD_H_
+#define RETINA_DATAGEN_WORLD_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+#include "datagen/news.h"
+#include "datagen/types.h"
+#include "datagen/world_config.h"
+#include "graph/information_network.h"
+#include "text/hate_lexicon.h"
+
+namespace retina::datagen {
+
+/// Realized per-hashtag statistics (the measured analogue of Table II).
+struct HashtagStats {
+  size_t tweets = 0;
+  double avg_retweets = 0.0;
+  size_t unique_authors = 0;
+  size_t users_all = 0;  ///< unique users tweeting or retweeting the tag
+  double pct_hate = 0.0;
+};
+
+/// Aggregate statistics of the reply channel, split by root hatefulness.
+struct ReplyStats {
+  double replies_per_tweet = 0.0;
+  double hateful_reply_fraction = 0.0;
+  double counter_speech_fraction = 0.0;
+};
+
+/// Point on a diffusion curve (Figure 1): minutes since root, mean value.
+struct DiffusionCurvePoint {
+  double minutes = 0.0;
+  double mean_retweets = 0.0;
+  double mean_susceptible = 0.0;
+};
+
+/// \brief The full synthetic dataset.
+class SyntheticWorld {
+ public:
+  /// Generates a world. Deterministic in (config, seed).
+  static SyntheticWorld Generate(const WorldConfig& config, uint64_t seed);
+
+  /// Assembles a world from pre-built parts (the CSV importer's entry
+  /// point). Derived indices (daily trending ranking, pairwise retweet
+  /// history) are rebuilt from the parts.
+  static SyntheticWorld FromParts(
+      WorldConfig config, std::vector<UserProfile> users,
+      graph::InformationNetwork network, std::vector<HashtagInfo> hashtags,
+      text::HateLexicon lexicon, NewsStream news, std::vector<Tweet> tweets,
+      std::vector<Cascade> cascades,
+      std::vector<std::vector<HistoryTweet>> histories,
+      std::vector<std::vector<ReplyEvent>> replies = {});
+
+  const WorldConfig& config() const { return config_; }
+  const std::vector<UserProfile>& users() const { return users_; }
+  const graph::InformationNetwork& network() const { return network_; }
+  const std::vector<HashtagInfo>& hashtags() const { return hashtags_; }
+  const text::HateLexicon& lexicon() const { return lexicon_; }
+  const NewsStream& news() const { return news_; }
+
+  /// Root tweets sorted ascending by time; Tweet::id indexes this vector.
+  const std::vector<Tweet>& tweets() const { return tweets_; }
+  std::vector<Tweet>& mutable_tweets() { return tweets_; }
+
+  /// Cascade i belongs to tweets()[i].
+  const std::vector<Cascade>& cascades() const { return cascades_; }
+
+  /// Reply thread of tweets()[i], sorted by time (Section IX-A channel).
+  const std::vector<ReplyEvent>& Replies(size_t tweet_id) const {
+    return replies_[tweet_id];
+  }
+
+  /// Activity history of user u, sorted ascending by time.
+  const std::vector<HistoryTweet>& History(NodeId u) const {
+    return histories_[u];
+  }
+
+  size_t NumUsers() const { return users_.size(); }
+  size_t NumTopics() const { return config_.num_topics; }
+
+  /// Binary trending-hashtag indicator for the day containing `time_hours`
+  /// (Section IV-C): entry i is 1 if hashtag i is among the top
+  /// `top_n` tags by that day's tweet volume. Padded/truncated to `dim`.
+  Vec TrendingIndicator(double time_hours, size_t dim = 50,
+                        size_t top_n = 10) const;
+
+  /// Number of times `user` retweeted tweets authored by `root_author`
+  /// strictly before `before_time` (peer feature of Section V-A).
+  size_t PastRetweetCount(NodeId root_author, NodeId user,
+                          double before_time) const;
+
+  /// Realized statistics per hashtag, parallel to hashtags().
+  std::vector<HashtagStats> ComputeHashtagStats() const;
+
+  /// Ratio of hateful to total tweets by `u` on `hashtag` over the corpus
+  /// and u's history; NaN-free: returns 0 when u never used the tag
+  /// (Figure 3 cell value).
+  double UserHashtagHateRatio(NodeId u, size_t hashtag) const;
+
+  /// Reply-channel statistics over roots with the given hatefulness.
+  ReplyStats ComputeReplyStats(bool hateful_roots) const;
+
+  /// Average cascade-growth and susceptible-set curves over all cascades
+  /// whose root is hateful (`hateful=true`) or non-hate, evaluated at
+  /// `minutes_grid` offsets from the root time (Figure 1 series).
+  std::vector<DiffusionCurvePoint> DiffusionCurves(
+      bool hateful, const std::vector<double>& minutes_grid) const;
+
+ private:
+  SyntheticWorld() = default;
+
+  // Rebuilds daily_ranking_ and pair_retweet_times_ from tweets/cascades.
+  void BuildDerivedIndices();
+
+  WorldConfig config_;
+  std::vector<UserProfile> users_;
+  graph::InformationNetwork network_;
+  std::vector<HashtagInfo> hashtags_;
+  text::HateLexicon lexicon_{{}, {}};
+  NewsStream news_;
+  std::vector<Tweet> tweets_;
+  std::vector<Cascade> cascades_;
+  std::vector<std::vector<ReplyEvent>> replies_;
+  std::vector<std::vector<HistoryTweet>> histories_;
+
+  // Trending: per day, sorted hashtag indices by volume (descending).
+  std::vector<std::vector<size_t>> daily_ranking_;
+
+  // (author, retweeter) -> sorted retweet times, for PastRetweetCount.
+  std::unordered_map<uint64_t, std::vector<double>> pair_retweet_times_;
+};
+
+}  // namespace retina::datagen
+
+#endif  // RETINA_DATAGEN_WORLD_H_

@@ -1,0 +1,68 @@
+#include "datagen/world_config.h"
+
+namespace retina::datagen {
+
+std::vector<HashtagInfo> PaperHashtagTable(size_t num_topics) {
+  // (tag, theme, tweets, avg retweets, % hateful) from Table II.
+  // Themes: 0 Jamia/CAA protests, 1 Delhi riots, 2 COVID-19, 3 national
+  // politics, 4 media criticism, 5 Kashmir/misc civic, 6 economy,
+  // 7 judiciary, 8 communal narratives, 9 welfare/positivity.
+  struct Row {
+    const char* tag;
+    size_t theme;
+    size_t tweets;
+    double avg_rt;
+    double pct_hate;
+  };
+  static const Row kRows[] = {
+      {"#jamiaviolence", 0, 950, 15.45, 3.78},
+      {"#MigrantsOnTheRoad", 6, 872, 6.69, 8.20},
+      {"#timetosackvadras", 3, 280, 8.19, 1.30},
+      {"#jamiaunderattack", 0, 263, 5.80, 6.06},
+      {"#IndiaBoycottsNPR", 3, 570, 7.87, 0.80},
+      {"#ZeeNewsBanKaro", 4, 919, 9.58, 7.01},
+      {"#SaluteCoronaWarriors", 9, 104, 5.65, 0.00},
+      {"#Demonetisation", 6, 1696, 3.46, 0.06},
+      {"#ChineseVirus", 2, 8, 0.25, 0.50},
+      {"#IslamoPhobicIndianMedia", 4, 4307, 15.46, 8.42},
+      {"#delhiriots2020", 1, 1453, 12.23, 6.80},
+      {"#Seva4Society", 9, 1087, 13.24, 1.53},
+      {"#PMCaresFunds", 9, 1172, 7.61, 0.80},
+      {"#COVID_19", 2, 971, 6.38, 1.96},
+      {"#Hindus_Under_Attack", 8, 382, 7.10, 10.10},
+      {"#WarisPathan", 8, 989, 9.23, 12.07},
+      {"#NorthDelhiRiots", 1, 3418, 2.89, 0.08},
+      {"#UmarKhalid", 0, 887, 3.82, 0.10},
+      {"#lockdownextension", 2, 107, 1.85, 0.00},
+      {"#JamiaCCTV", 0, 1045, 12.07, 5.66},
+      {"#TrumpVisitIndia", 3, 339, 8.47, 2.60},
+      {"#PutNationOverPublicity", 3, 555, 13.24, 5.71},
+      {"#DelhiExodus", 1, 542, 9.66, 7.61},
+      {"#DelhiElectionResults", 3, 843, 7.56, 3.20},
+      {"#amitshahmustresign", 3, 959, 5.01, 9.94},
+      {"#PMPanuti", 3, 1346, 4.06, 0.02},
+      {"#Restore4GinKashmir", 5, 949, 3.94, 2.84},
+      {"#DelhiViolance", 1, 1121, 9.004, 7.37},
+      {"#StopNPR", 3, 82, 10.23, 0.00},
+      {"#1Crore4DelhiHindu", 8, 889, 11.62, 0.99},
+      {"#NirbhayaVerdict", 7, 649, 7.61, 4.67},
+      {"#NizamuddinMarkaz", 8, 1124, 8.24, 7.85},
+      {"#90daysofshaheenbagh", 0, 226, 5.25, 12.04},
+      {"#HinduLivesMatter", 8, 392, 4.82, 0.12},
+  };
+
+  std::vector<HashtagInfo> out;
+  out.reserve(std::size(kRows));
+  for (const Row& r : kRows) {
+    HashtagInfo info;
+    info.tag = r.tag;
+    info.topic = r.theme % num_topics;
+    info.target_tweets = r.tweets;
+    info.target_avg_retweets = r.avg_rt;
+    info.target_pct_hate = r.pct_hate;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace retina::datagen

@@ -1,0 +1,119 @@
+// Configuration of the synthetic world generator, including the Table II
+// calibration targets (the paper's per-hashtag dataset statistics).
+
+#ifndef RETINA_DATAGEN_WORLD_CONFIG_H_
+#define RETINA_DATAGEN_WORLD_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "datagen/types.h"
+#include "graph/generators.h"
+
+namespace retina::datagen {
+
+/// Knobs of the synthetic Twitter + news world.
+///
+/// Defaults reproduce the paper's dataset shape at a configurable scale:
+/// `scale` multiplies each hashtag's Table II tweet count, so scale=1.0
+/// yields ~31k root tweets as in the paper; the test suite uses much
+/// smaller scales.
+struct WorldConfig {
+  /// Multiplier on per-hashtag Table II tweet counts.
+  double scale = 0.25;
+
+  /// Total users in the network (the paper's crawl reaches 41.1M network
+  /// users; we keep the modeled population at the "users engaged" scale).
+  size_t num_users = 6000;
+
+  /// Number of latent discussion themes shared by hashtags/news/users.
+  size_t num_topics = 10;
+
+  /// Observation window (the paper spans 2020-02-03..04-14 = 71 days).
+  double horizon_days = 71.0;
+
+  /// Fraction of users who are hate-prone (Matthew et al. [5]: a small
+  /// fraction of users generates most hate).
+  double hater_fraction = 0.08;
+
+  /// History tweets generated per user (the features use the most recent
+  /// 30; we generate a few more so history-size ablations have headroom).
+  size_t history_length = 36;
+
+  /// Words per synthetic topic vocabulary, and shared general vocabulary.
+  size_t words_per_topic = 120;
+  size_t general_words = 400;
+
+  /// Hate lexicon dimensions (paper: 209 terms).
+  size_t lexicon_terms = 209;
+  size_t lexicon_slurs = 160;
+
+  /// News volume: expected headlines per day across all topics at calm
+  /// intensity (bursts multiply this).
+  double news_per_day = 140.0;
+
+  /// Mean exogenous event bursts per topic over the horizon.
+  double bursts_per_topic = 3.0;
+
+  /// Cascade simulation --------------------------------------------------
+  /// Base probability that a follower retweets (before alignment,
+  /// hate/echo and exogenous modulation); per-hashtag values are
+  /// calibrated around this to hit the Table II avg-retweet targets.
+  double base_retweet_prob = 0.05;
+  /// Maximum cascade depth simulated (paper crawls followers to depth 3).
+  int max_cascade_depth = 3;
+  /// Fraction of retweets injected from outside the follower paths
+  /// ("beyond organic diffusion").
+  double non_organic_fraction = 0.05;
+  /// Retweet-delay time constant for hateful roots (hours). Hate spreads
+  /// fast then stalls (Figure 1).
+  double hate_delay_tau = 4.0;
+  /// Retweet-delay time constant for non-hate roots (hours): slower but
+  /// sustained.
+  double nonhate_delay_tau = 18.0;
+  /// Multiplier on retweet probability when a hateful tweet meets a
+  /// hate-prone follower in the same echo community.
+  double echo_boost = 6.0;
+  /// Multiplier when a hateful tweet meets an ordinary follower
+  /// (suppression outside the chamber).
+  double hate_suppress = 0.35;
+  /// Overall virality multiplier of hateful roots (Figure 1(a): hateful
+  /// tweets accumulate significantly more retweets).
+  double hate_virality = 2.2;
+  /// "Organized spreaders": probability that each member of the author's
+  /// echo community retweets a hateful root regardless of follow edges
+  /// (the paper's organized early dissemination of hate).
+  double organized_spreader_rate = 0.45;
+  /// Strength of the exogenous (news-intensity) modulation of retweeting
+  /// and tweeting, in [0, ~3]. 0 disconnects news from behaviour.
+  double exo_coupling = 1.5;
+
+  /// Reply threads (Section IX-A extension) ------------------------------
+  /// Expected replies per retweet-equivalent of engagement.
+  double reply_rate = 0.25;
+  /// P(counter-speech | reply to a hateful root, ordinary replier).
+  double counter_speech_rate = 0.55;
+  /// P(supportive hate | reply to a hateful root, hate-prone replier).
+  double supportive_hate_rate = 0.7;
+  /// P(hateful harassment | reply to a non-hate root, hate-prone replier).
+  double harassment_rate = 0.25;
+
+  /// Network generation.
+  graph::NetworkGenOptions network;
+
+  /// Label noise of the machine annotator relative to gold labels,
+  /// applied when hatedetect machine-labels the corpus; matches the
+  /// imperfect Davidson-model annotation the paper trains on.
+  double machine_label_flip_rate = 0.08;
+};
+
+/// The 34 hashtags of Table II with their published statistics; the world
+/// generator uses these (scaled) as calibration targets. Topics group
+/// related tags (e.g. the Jamia-protest tags share a theme) so the
+/// topic-affinity structure of Figure 2/3 is preserved.
+std::vector<HashtagInfo> PaperHashtagTable(size_t num_topics);
+
+}  // namespace retina::datagen
+
+#endif  // RETINA_DATAGEN_WORLD_CONFIG_H_

@@ -1,0 +1,132 @@
+#include "diffusion/sir.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+
+namespace retina::diffusion {
+
+std::vector<char> SirModel::Simulate(datagen::NodeId root, double beta,
+                                     double gamma, Rng* rng) const {
+  const auto& net = world_->network();
+  std::vector<char> ever_infected(net.NumNodes(), 0);
+  std::vector<datagen::NodeId> active{root};
+  ever_infected[root] = 1;
+  for (int step = 0; step < options_.max_steps && !active.empty(); ++step) {
+    std::vector<datagen::NodeId> next;
+    for (datagen::NodeId u : active) {
+      for (datagen::NodeId v : net.Followers(u)) {
+        if (ever_infected[v]) continue;
+        if (rng->Bernoulli(beta)) {
+          ever_infected[v] = 1;
+          next.push_back(v);
+        }
+      }
+      // Recovery: an infected node stays contagious with prob 1-gamma.
+      if (!rng->Bernoulli(gamma)) next.push_back(u);
+    }
+    active = std::move(next);
+  }
+  return ever_infected;
+}
+
+Status SirModel::Fit(const core::RetweetTask& task) {
+  if (task.train.empty()) {
+    return Status::FailedPrecondition("SirModel::Fit: empty train split");
+  }
+  Rng rng(options_.seed);
+  // Use the first fit_cascades distinct train tweets.
+  std::vector<std::pair<size_t, size_t>> groups;
+  for (size_t i = 0; i < task.train.size();) {
+    size_t j = i + 1;
+    while (j < task.train.size() &&
+           task.train[j].tweet_pos == task.train[i].tweet_pos) {
+      ++j;
+    }
+    groups.emplace_back(i, j);
+    i = j;
+    if (groups.size() >= options_.fit_cascades) break;
+  }
+
+  double best_f1 = -1.0;
+  for (double beta : options_.beta_grid) {
+    for (double gamma : options_.gamma_grid) {
+      std::vector<int> y_true, y_pred;
+      for (const auto& [begin, end] : groups) {
+        const auto& ctx = task.tweets[task.train[begin].tweet_pos];
+        const datagen::NodeId root = world_->tweets()[ctx.tweet_id].author;
+        const std::vector<char> infected =
+            Simulate(root, beta, gamma, &rng);
+        for (size_t s = begin; s < end; ++s) {
+          y_true.push_back(task.train[s].label);
+          y_pred.push_back(infected[task.train[s].user] ? 1 : 0);
+        }
+      }
+      const double f1 = ml::MacroF1(y_true, y_pred);
+      if (f1 > best_f1) {
+        best_f1 = f1;
+        beta_ = beta;
+        gamma_ = gamma;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Vec SirModel::ScoreCandidates(
+    const core::RetweetTask& task,
+    const std::vector<core::RetweetCandidate>& candidates) {
+  Rng rng(options_.seed ^ 0xABCDULL);
+  Vec scores(candidates.size(), 0.0);
+  // Group by tweet so each simulation batch is reused for its candidates.
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i + 1;
+    while (j < candidates.size() &&
+           candidates[j].tweet_pos == candidates[i].tweet_pos) {
+      ++j;
+    }
+    const auto& ctx = task.tweets[candidates[i].tweet_pos];
+    const datagen::NodeId root = world_->tweets()[ctx.tweet_id].author;
+    for (int sim = 0; sim < options_.simulations; ++sim) {
+      const std::vector<char> infected = Simulate(root, beta_, gamma_, &rng);
+      for (size_t s = i; s < j; ++s) {
+        if (infected[candidates[s].user]) scores[s] += 1.0;
+      }
+    }
+    for (size_t s = i; s < j; ++s) {
+      scores[s] /= static_cast<double>(options_.simulations);
+    }
+    i = j;
+  }
+  return scores;
+}
+
+double SirModel::FullPopulationMacroF1(const core::RetweetTask& task) {
+  Rng rng(options_.seed ^ 0xF00DULL);
+  // Distinct test cascades.
+  std::vector<size_t> tweet_positions;
+  for (const auto& cand : task.test) {
+    if (tweet_positions.empty() || tweet_positions.back() != cand.tweet_pos) {
+      tweet_positions.push_back(cand.tweet_pos);
+    }
+  }
+  std::vector<int> y_true, y_pred;
+  const size_t n_users = world_->NumUsers();
+  for (size_t pos : tweet_positions) {
+    const size_t tweet_id = task.tweets[pos].tweet_id;
+    const datagen::NodeId root = world_->tweets()[tweet_id].author;
+    const std::vector<char> infected = Simulate(root, beta_, gamma_, &rng);
+    std::vector<char> retweeted(n_users, 0);
+    for (const auto& rt : world_->cascades()[tweet_id].retweets) {
+      retweeted[rt.user] = 1;
+    }
+    for (size_t u = 0; u < n_users; ++u) {
+      if (u == root) continue;
+      y_true.push_back(retweeted[u]);
+      y_pred.push_back(infected[u]);
+    }
+  }
+  return ml::MacroF1(y_true, y_pred);
+}
+
+}  // namespace retina::diffusion

@@ -1,0 +1,135 @@
+#include "diffusion/threshold.h"
+
+#include <algorithm>
+
+#include "ml/metrics.h"
+
+namespace retina::diffusion {
+
+std::vector<char> ThresholdModel::Simulate(datagen::NodeId root,
+                                           double influence,
+                                           Rng* rng) const {
+  const auto& net = world_->network();
+  const size_t n = net.NumNodes();
+  std::vector<char> active(n, 0);
+  active[root] = 1;
+  std::vector<datagen::NodeId> frontier{root};
+
+  // Thresholds drawn lazily per node, deterministic within one simulation.
+  std::vector<double> threshold(n, -1.0);
+  std::vector<double> pressure(n, 0.0);
+
+  for (int round = 0; round < options_.max_rounds && !frontier.empty();
+       ++round) {
+    std::vector<datagen::NodeId> next;
+    for (datagen::NodeId u : frontier) {
+      for (datagen::NodeId v : net.Followers(u)) {
+        if (active[v]) continue;
+        const size_t followees = net.FolloweeCount(v);
+        if (followees == 0) continue;
+        pressure[v] += influence / static_cast<double>(followees);
+        if (threshold[v] < 0.0) threshold[v] = rng->Uniform();
+        if (pressure[v] >= threshold[v]) {
+          active[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return active;
+}
+
+Status ThresholdModel::Fit(const core::RetweetTask& task) {
+  if (task.train.empty()) {
+    return Status::FailedPrecondition("ThresholdModel::Fit: empty train");
+  }
+  Rng rng(options_.seed);
+  std::vector<std::pair<size_t, size_t>> groups;
+  for (size_t i = 0; i < task.train.size();) {
+    size_t j = i + 1;
+    while (j < task.train.size() &&
+           task.train[j].tweet_pos == task.train[i].tweet_pos) {
+      ++j;
+    }
+    groups.emplace_back(i, j);
+    i = j;
+    if (groups.size() >= options_.fit_cascades) break;
+  }
+
+  double best_f1 = -1.0;
+  for (double influence : options_.influence_grid) {
+    std::vector<int> y_true, y_pred;
+    for (const auto& [begin, end] : groups) {
+      const auto& ctx = task.tweets[task.train[begin].tweet_pos];
+      const datagen::NodeId root = world_->tweets()[ctx.tweet_id].author;
+      const std::vector<char> active = Simulate(root, influence, &rng);
+      for (size_t s = begin; s < end; ++s) {
+        y_true.push_back(task.train[s].label);
+        y_pred.push_back(active[task.train[s].user] ? 1 : 0);
+      }
+    }
+    const double f1 = ml::MacroF1(y_true, y_pred);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      influence_ = influence;
+    }
+  }
+  return Status::OK();
+}
+
+Vec ThresholdModel::ScoreCandidates(
+    const core::RetweetTask& task,
+    const std::vector<core::RetweetCandidate>& candidates) {
+  Rng rng(options_.seed ^ 0x7777ULL);
+  Vec scores(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i + 1;
+    while (j < candidates.size() &&
+           candidates[j].tweet_pos == candidates[i].tweet_pos) {
+      ++j;
+    }
+    const auto& ctx = task.tweets[candidates[i].tweet_pos];
+    const datagen::NodeId root = world_->tweets()[ctx.tweet_id].author;
+    for (int sim = 0; sim < options_.simulations; ++sim) {
+      const std::vector<char> active = Simulate(root, influence_, &rng);
+      for (size_t s = i; s < j; ++s) {
+        if (active[candidates[s].user]) scores[s] += 1.0;
+      }
+    }
+    for (size_t s = i; s < j; ++s) {
+      scores[s] /= static_cast<double>(options_.simulations);
+    }
+    i = j;
+  }
+  return scores;
+}
+
+double ThresholdModel::FullPopulationMacroF1(const core::RetweetTask& task) {
+  Rng rng(options_.seed ^ 0xF00DULL);
+  std::vector<size_t> tweet_positions;
+  for (const auto& cand : task.test) {
+    if (tweet_positions.empty() || tweet_positions.back() != cand.tweet_pos) {
+      tweet_positions.push_back(cand.tweet_pos);
+    }
+  }
+  std::vector<int> y_true, y_pred;
+  const size_t n_users = world_->NumUsers();
+  for (size_t pos : tweet_positions) {
+    const size_t tweet_id = task.tweets[pos].tweet_id;
+    const datagen::NodeId root = world_->tweets()[tweet_id].author;
+    const std::vector<char> active = Simulate(root, influence_, &rng);
+    std::vector<char> retweeted(n_users, 0);
+    for (const auto& rt : world_->cascades()[tweet_id].retweets) {
+      retweeted[rt.user] = 1;
+    }
+    for (size_t u = 0; u < n_users; ++u) {
+      if (u == root) continue;
+      y_true.push_back(retweeted[u]);
+      y_pred.push_back(active[u]);
+    }
+  }
+  return ml::MacroF1(y_true, y_pred);
+}
+
+}  // namespace retina::diffusion

@@ -1,0 +1,116 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace retina::graph {
+
+InformationNetwork GenerateFollowerNetwork(
+    const std::vector<Vec>& user_topics,
+    const std::vector<int>& echo_community, const NetworkGenOptions& options,
+    Rng* rng) {
+  const size_t n = user_topics.size();
+  assert(echo_community.size() == n);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(options.mean_followees * n * 1.2));
+
+  // follower_count[u] = current in-degree of u as a followee target, used
+  // for preferential attachment.
+  std::vector<double> follower_count(n, 1.0);
+
+  for (size_t v = 0; v < n; ++v) {
+    // v picks its followees: edge (u, v) for each chosen u.
+    const int k = rng->Poisson(options.mean_followees);
+    for (int e = 0; e < k; ++e) {
+      // Sample a candidate pool and score it.
+      size_t best = n;  // invalid
+      double best_score = -1.0;
+      for (size_t c = 0; c < options.candidate_pool; ++c) {
+        const size_t u = static_cast<size_t>(rng->UniformInt(n));
+        if (u == v) continue;
+        double score = rng->Uniform() * 0.25;  // tie-breaking noise
+        if (rng->Uniform() < options.preferential_weight) {
+          score += follower_count[u];
+        } else {
+          score += 1.0;
+        }
+        score *= 1.0 + options.homophily *
+                           std::max(0.0, CosineSimilarity(user_topics[u],
+                                                          user_topics[v]));
+        // Ordinary users rarely follow echo-chamber accounts.
+        if (echo_community[u] >= 0 && echo_community[v] < 0) {
+          score *= options.hater_isolation;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = u;
+        }
+      }
+      if (best < n) {
+        edges.emplace_back(static_cast<NodeId>(best),
+                           static_cast<NodeId>(v));
+        follower_count[best] += 1.0;
+        // Follow-backs are suppressed by the same isolation factor when
+        // they would give a hate-prone account an ordinary follower.
+        double recip = options.reciprocity;
+        if (echo_community[v] >= 0 && echo_community[best] < 0) {
+          recip *= options.hater_isolation;
+        }
+        if (rng->Bernoulli(recip)) {
+          edges.emplace_back(static_cast<NodeId>(v),
+                             static_cast<NodeId>(best));
+          follower_count[v] += 1.0;
+        }
+      }
+    }
+  }
+
+  // Echo-chamber densification: group hate-prone users by community and add
+  // intra-community follows.
+  std::vector<std::vector<size_t>> communities;
+  for (size_t u = 0; u < n; ++u) {
+    const int c = echo_community[u];
+    if (c < 0) continue;
+    if (static_cast<size_t>(c) >= communities.size()) {
+      communities.resize(static_cast<size_t>(c) + 1);
+    }
+    communities[static_cast<size_t>(c)].push_back(u);
+  }
+  for (const auto& members : communities) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (i == j) continue;
+        if (rng->Bernoulli(options.echo_chamber_density)) {
+          edges.emplace_back(static_cast<NodeId>(members[i]),
+                             static_cast<NodeId>(members[j]));
+        }
+      }
+    }
+  }
+
+  auto result = InformationNetwork::FromEdges(n, edges);
+  assert(result.ok());
+  return std::move(result).ValueOrDie();
+}
+
+DegreeStats ComputeDegreeStats(const InformationNetwork& net) {
+  DegreeStats stats;
+  const size_t n = net.NumNodes();
+  if (n == 0) return stats;
+  std::vector<double> deg(n);
+  double total = 0.0;
+  for (size_t u = 0; u < n; ++u) {
+    deg[u] = static_cast<double>(net.FollowerCount(static_cast<NodeId>(u)));
+    total += deg[u];
+  }
+  stats.mean_followers = total / static_cast<double>(n);
+  stats.max_followers = *std::max_element(deg.begin(), deg.end());
+  std::sort(deg.begin(), deg.end(), std::greater<>());
+  const size_t top = std::max<size_t>(1, n / 100);
+  double top_sum = 0.0;
+  for (size_t i = 0; i < top; ++i) top_sum += deg[i];
+  stats.top1pct_share = total > 0.0 ? top_sum / total : 0.0;
+  return stats;
+}
+
+}  // namespace retina::graph

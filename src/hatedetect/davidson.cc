@@ -1,0 +1,64 @@
+#include "hatedetect/davidson.h"
+
+#include "text/tokenizer.h"
+
+namespace retina::hatedetect {
+
+Status DavidsonClassifier::Fit(
+    const std::vector<std::vector<std::string>>& docs,
+    const std::vector<int>& labels) {
+  if (docs.empty() || docs.size() != labels.size()) {
+    return Status::InvalidArgument("DavidsonClassifier::Fit: bad shapes");
+  }
+  if (options_.use_tfidf) {
+    text::TfIdfOptions topts;
+    topts.max_features = options_.max_features;
+    topts.min_df = 2;
+    topts.rank_by_idf = false;  // Davidson keeps the most frequent n-grams
+    tfidf_ = text::TfIdfVectorizer(topts);
+    RETINA_RETURN_NOT_OK(tfidf_.Fit(docs));
+  }
+  Matrix X(docs.size(), Featurize(docs[0]).size());
+  for (size_t i = 0; i < docs.size(); ++i) X.SetRow(i, Featurize(docs[i]));
+  logreg_ = ml::LogisticRegression(options_.logreg);
+  return logreg_.Fit(X, labels);
+}
+
+Vec DavidsonClassifier::Featurize(const std::vector<std::string>& doc) const {
+  Vec features;
+  if (options_.use_tfidf && tfidf_.fitted()) {
+    features = tfidf_.Transform(doc);
+  }
+  if (options_.use_lexicon && lexicon_ != nullptr) {
+    // Slur / colloquial hit counts, normalized by length.
+    double slurs = 0.0, colloquials = 0.0;
+    for (const auto& tok : doc) {
+      if (lexicon_->IsSlur(tok)) {
+        slurs += 1.0;
+      } else if (lexicon_->Contains(tok)) {
+        colloquials += 1.0;
+      }
+    }
+    const double len = std::max<size_t>(1, doc.size());
+    features.push_back(slurs);
+    features.push_back(colloquials);
+    features.push_back(slurs / static_cast<double>(len));
+    features.push_back(colloquials / static_cast<double>(len));
+  }
+  features.push_back(static_cast<double>(doc.size()) / 30.0);
+  return features;
+}
+
+double DavidsonClassifier::PredictProba(
+    const std::vector<std::string>& doc) const {
+  return logreg_.PredictProba(Featurize(doc));
+}
+
+Vec DavidsonClassifier::PredictProbaBatch(
+    const std::vector<std::vector<std::string>>& docs) const {
+  Vec out(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) out[i] = PredictProba(docs[i]);
+  return out;
+}
+
+}  // namespace retina::hatedetect

@@ -1,0 +1,72 @@
+#include "ml/adaboost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace retina::ml {
+
+Status AdaBoost::Fit(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() == 0 || X.rows() != y.size()) {
+    return Status::InvalidArgument("AdaBoost::Fit: bad shapes");
+  }
+  stumps_.clear();
+  alphas_.clear();
+  const size_t n = X.rows();
+  Vec w(n, 1.0 / static_cast<double>(n));
+  Rng rng(options_.seed);
+
+  for (size_t m = 0; m < options_.n_estimators; ++m) {
+    DecisionTreeOptions topts;
+    topts.max_depth = options_.base_depth;
+    topts.min_samples_leaf = 1;
+    topts.min_samples_split = 2;
+    topts.balanced_class_weight = false;  // boosting handles the weighting
+    topts.seed = rng.NextU64();
+    auto stump = std::make_unique<DecisionTree>(topts);
+    RETINA_RETURN_NOT_OK(stump->FitWeighted(X, y, w));
+
+    // Weighted error.
+    double err = 0.0;
+    std::vector<int> pred(n);
+    for (size_t i = 0; i < n; ++i) {
+      pred[i] = stump->PredictProba(X.RowVec(i)) >= 0.5 ? 1 : 0;
+      if (pred[i] != y[i]) err += w[i];
+    }
+    err = std::clamp(err, 1e-10, 1.0 - 1e-10);
+    if (err >= 0.5 && m > 0) break;  // no better than chance — stop
+
+    const double alpha =
+        options_.learning_rate * 0.5 * std::log((1.0 - err) / err);
+    stumps_.push_back(std::move(stump));
+    alphas_.push_back(alpha);
+
+    // Re-weight and normalize.
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      w[i] *= std::exp(pred[i] != y[i] ? alpha : -alpha);
+      total += w[i];
+    }
+    for (double& v : w) v /= total;
+  }
+  if (stumps_.empty()) {
+    return Status::Internal("AdaBoost::Fit: no usable stump");
+  }
+  return Status::OK();
+}
+
+double AdaBoost::PredictProba(const Vec& x) const {
+  if (stumps_.empty()) return 0.5;
+  double score = 0.0, total_alpha = 0.0;
+  for (size_t m = 0; m < stumps_.size(); ++m) {
+    const double vote = stumps_[m]->PredictProba(x) >= 0.5 ? 1.0 : -1.0;
+    score += alphas_[m] * vote;
+    total_alpha += std::abs(alphas_[m]);
+  }
+  if (total_alpha <= 0.0) return 0.5;
+  // Squash the normalized margin to (0, 1).
+  return Sigmoid(2.0 * score / total_alpha * 3.0);
+}
+
+}  // namespace retina::ml

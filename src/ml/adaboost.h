@@ -1,0 +1,44 @@
+// AdaBoost (discrete SAMME) over depth-1 decision stumps
+// (scikit-learn AdaBoostClassifier analogue; Table III: random_state=1).
+
+#ifndef RETINA_ML_ADABOOST_H_
+#define RETINA_ML_ADABOOST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace retina::ml {
+
+struct AdaBoostOptions {
+  size_t n_estimators = 50;
+  double learning_rate = 1.0;
+  /// Depth of the boosted base trees (1 = classic stumps). Symmetric
+  /// parity problems like XOR need depth >= 2 to make boosting progress.
+  int base_depth = 1;
+  uint64_t seed = 1;  // Table III: random state = 1
+};
+
+/// \brief Boosted decision stumps.
+class AdaBoost : public BinaryClassifier {
+ public:
+  explicit AdaBoost(AdaBoostOptions options = {}) : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y) override;
+  double PredictProba(const Vec& x) const override;
+  std::string Name() const override { return "AdaBoost"; }
+
+  size_t NumStumps() const { return stumps_.size(); }
+
+ private:
+  AdaBoostOptions options_;
+  std::vector<std::unique_ptr<DecisionTree>> stumps_;
+  Vec alphas_;
+};
+
+}  // namespace retina::ml
+
+#endif  // RETINA_ML_ADABOOST_H_

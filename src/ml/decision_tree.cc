@@ -1,0 +1,151 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace retina::ml {
+
+Status DecisionTree::Fit(const Matrix& X, const std::vector<int>& y) {
+  return FitWeighted(X, y, Vec(X.rows(), 1.0));
+}
+
+Status DecisionTree::FitWeighted(const Matrix& X, const std::vector<int>& y,
+                                 const Vec& sample_weights) {
+  if (X.rows() == 0 || X.rows() != y.size() ||
+      sample_weights.size() != y.size()) {
+    return Status::InvalidArgument("DecisionTree::Fit: bad shapes");
+  }
+  nodes_.clear();
+
+  Vec w = sample_weights;
+  if (options_.balanced_class_weight) {
+    double pos_w = 0.0, neg_w = 0.0;
+    for (size_t i = 0; i < y.size(); ++i) {
+      (y[i] == 1 ? pos_w : neg_w) += sample_weights[i];
+    }
+    const double total = pos_w + neg_w;
+    if (pos_w > 0.0 && neg_w > 0.0) {
+      for (size_t i = 0; i < y.size(); ++i) {
+        w[i] *= y[i] == 1 ? total / (2.0 * pos_w) : total / (2.0 * neg_w);
+      }
+    }
+  }
+
+  std::vector<size_t> indices(X.rows());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  Rng rng(options_.seed);
+  BuildNode(X, y, w, &indices, 0, &rng);
+  return Status::OK();
+}
+
+int DecisionTree::BuildNode(const Matrix& X, const std::vector<int>& y,
+                            const Vec& w, std::vector<size_t>* indices,
+                            int depth, void* rng_ptr) {
+  Rng* rng = static_cast<Rng*>(rng_ptr);
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  double pos_w = 0.0, total_w = 0.0;
+  for (size_t i : *indices) {
+    total_w += w[i];
+    if (y[i] == 1) pos_w += w[i];
+  }
+  nodes_[node_id].prob = total_w > 0.0 ? pos_w / total_w : 0.5;
+
+  const bool pure = pos_w <= 1e-12 || pos_w >= total_w - 1e-12;
+  if (depth >= options_.max_depth || pure ||
+      indices->size() < options_.min_samples_split) {
+    return node_id;
+  }
+
+  // Candidate features.
+  const size_t d = X.cols();
+  std::vector<size_t> features;
+  if (options_.max_features > 0 && options_.max_features < d) {
+    features = rng->SampleWithoutReplacement(d, options_.max_features);
+  } else {
+    features.resize(d);
+    for (size_t j = 0; j < d; ++j) features[j] = j;
+  }
+
+  // Parent gini (weighted).
+  auto gini = [](double pos, double tot) {
+    if (tot <= 0.0) return 0.0;
+    const double p = pos / tot;
+    return 2.0 * p * (1.0 - p);
+  };
+  const double parent_impurity = gini(pos_w, total_w);
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-9;
+
+  std::vector<size_t> sorted = *indices;
+  for (size_t f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return X(a, f) < X(b, f);
+    });
+    double left_pos = 0.0, left_tot = 0.0;
+    size_t n_left = 0;
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const size_t i = sorted[k];
+      left_tot += w[i];
+      if (y[i] == 1) left_pos += w[i];
+      ++n_left;
+      const double v = X(i, f), v_next = X(sorted[k + 1], f);
+      if (v == v_next) continue;
+      if (n_left < options_.min_samples_leaf ||
+          sorted.size() - n_left < options_.min_samples_leaf) {
+        continue;
+      }
+      const double right_tot = total_w - left_tot;
+      const double right_pos = pos_w - left_pos;
+      const double child_impurity =
+          (left_tot * gini(left_pos, left_tot) +
+           right_tot * gini(right_pos, right_tot)) /
+          total_w;
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left, right;
+  for (size_t i : *indices) {
+    (X(i, static_cast<size_t>(best_feature)) <= best_threshold ? left : right)
+        .push_back(i);
+  }
+  if (left.empty() || right.empty()) return node_id;
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  indices->clear();  // free before recursion
+  indices->shrink_to_fit();
+  const int l = BuildNode(X, y, w, &left, depth + 1, rng);
+  const int r = BuildNode(X, y, w, &right, depth + 1, rng);
+  nodes_[node_id].left = l;
+  nodes_[node_id].right = r;
+  return node_id;
+}
+
+double DecisionTree::PredictProba(const Vec& x) const {
+  if (nodes_.empty()) return 0.5;
+  int cur = 0;
+  for (;;) {
+    const Node& node = nodes_[static_cast<size_t>(cur)];
+    if (node.feature < 0) return node.prob;
+    const size_t f = static_cast<size_t>(node.feature);
+    const double v = f < x.size() ? x[f] : 0.0;
+    cur = v <= node.threshold ? node.left : node.right;
+    if (cur < 0) return node.prob;
+  }
+}
+
+}  // namespace retina::ml

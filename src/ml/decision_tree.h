@@ -1,0 +1,62 @@
+// CART decision tree (gini impurity) with class weights, sample weights,
+// and optional per-node feature subsampling (used by RandomForest).
+// Table III configures the hate-generation tree with class_weight=balanced
+// and max_depth=5.
+
+#ifndef RETINA_ML_DECISION_TREE_H_
+#define RETINA_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace retina::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 5;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+  bool balanced_class_weight = true;
+  /// Features examined per node; 0 = all (RandomForest passes sqrt(d)).
+  size_t max_features = 0;
+  uint64_t seed = 0;
+};
+
+/// \brief Binary CART classifier.
+class DecisionTree : public BinaryClassifier {
+ public:
+  explicit DecisionTree(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y) override;
+
+  /// Fit with per-sample weights (AdaBoost re-weighting).
+  Status FitWeighted(const Matrix& X, const std::vector<int>& y,
+                     const Vec& sample_weights);
+
+  double PredictProba(const Vec& x) const override;
+  std::string Name() const override { return "Dec-Tree"; }
+
+  /// Number of nodes in the fitted tree (0 before Fit).
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;        // -1 = leaf
+    double threshold = 0.0;  // go left if x[feature] <= threshold
+    int left = -1, right = -1;
+    double prob = 0.5;  // weighted P(y=1) at this node
+  };
+
+  int BuildNode(const Matrix& X, const std::vector<int>& y, const Vec& w,
+                std::vector<size_t>* indices, int depth, void* rng);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace retina::ml
+
+#endif  // RETINA_ML_DECISION_TREE_H_

@@ -1,0 +1,150 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retina::ml {
+
+namespace {
+// L1 soft-thresholding of the gradient sum (xgboost reg_alpha).
+double ThresholdedG(double g, double alpha) {
+  if (g > alpha) return g - alpha;
+  if (g < -alpha) return g + alpha;
+  return 0.0;
+}
+}  // namespace
+
+Status GradientBoosting::Fit(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() == 0 || X.rows() != y.size()) {
+    return Status::InvalidArgument("GradientBoosting::Fit: bad shapes");
+  }
+  trees_.clear();
+  const size_t n = X.rows();
+
+  // Base score = prior log-odds.
+  size_t n_pos = 0;
+  for (int v : y) n_pos += (v == 1);
+  const double p0 = std::clamp(
+      static_cast<double>(n_pos) / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(p0 / (1.0 - p0));
+
+  Vec margin(n, base_score_);
+  for (size_t m = 0; m < options_.n_estimators; ++m) {
+    // Second-order logistic gradients.
+    Vec grad(n), hess(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(y[i]);
+      hess[i] = std::max(1e-12, p * (1.0 - p));
+    }
+    Tree tree;
+    std::vector<size_t> indices(n);
+    for (size_t i = 0; i < n; ++i) indices[i] = i;
+    BuildNode(X, grad, hess, &indices, 0, &tree);
+    for (size_t i = 0; i < n; ++i) {
+      margin[i] += options_.learning_rate * PredictTree(tree, X.RowVec(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+int GradientBoosting::BuildNode(const Matrix& X, const Vec& grad,
+                                const Vec& hess,
+                                std::vector<size_t>* indices, int depth,
+                                Tree* tree) const {
+  const int node_id = static_cast<int>(tree->size());
+  tree->emplace_back();
+
+  double g_sum = 0.0, h_sum = 0.0;
+  for (size_t i : *indices) {
+    g_sum += grad[i];
+    h_sum += hess[i];
+  }
+  const double lambda = options_.reg_lambda;
+  (*tree)[node_id].value =
+      -ThresholdedG(g_sum, options_.reg_alpha) / (h_sum + lambda);
+
+  if (depth >= options_.max_depth ||
+      indices->size() < 2 * options_.min_samples_leaf) {
+    return node_id;
+  }
+
+  auto leaf_score = [&](double g, double h) {
+    const double gt = ThresholdedG(g, options_.reg_alpha);
+    return gt * gt / (h + lambda);
+  };
+  const double parent_score = leaf_score(g_sum, h_sum);
+
+  int best_feature = -1;
+  double best_threshold = 0.0, best_gain = options_.min_gain;
+  std::vector<size_t> sorted = *indices;
+  for (size_t f = 0; f < X.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return X(a, f) < X(b, f);
+    });
+    double gl = 0.0, hl = 0.0;
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      const size_t i = sorted[k];
+      gl += grad[i];
+      hl += hess[i];
+      const double v = X(i, f), v_next = X(sorted[k + 1], f);
+      if (v == v_next) continue;
+      if (k + 1 < options_.min_samples_leaf ||
+          sorted.size() - (k + 1) < options_.min_samples_leaf) {
+        continue;
+      }
+      const double gain = 0.5 * (leaf_score(gl, hl) +
+                                 leaf_score(g_sum - gl, h_sum - hl) -
+                                 parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left, right;
+  for (size_t i : *indices) {
+    (X(i, static_cast<size_t>(best_feature)) <= best_threshold ? left : right)
+        .push_back(i);
+  }
+  if (left.empty() || right.empty()) return node_id;
+
+  (*tree)[node_id].feature = best_feature;
+  (*tree)[node_id].threshold = best_threshold;
+  indices->clear();
+  indices->shrink_to_fit();
+  const int l = BuildNode(X, grad, hess, &left, depth + 1, tree);
+  const int r = BuildNode(X, grad, hess, &right, depth + 1, tree);
+  (*tree)[node_id].feature = best_feature;  // survives vector reallocation
+  (*tree)[node_id].threshold = best_threshold;
+  (*tree)[node_id].left = l;
+  (*tree)[node_id].right = r;
+  return node_id;
+}
+
+double GradientBoosting::PredictTree(const Tree& tree, const Vec& x) const {
+  if (tree.empty()) return 0.0;
+  int cur = 0;
+  for (;;) {
+    const Node& node = tree[static_cast<size_t>(cur)];
+    if (node.feature < 0) return node.value;
+    const size_t f = static_cast<size_t>(node.feature);
+    const double v = f < x.size() ? x[f] : 0.0;
+    cur = v <= node.threshold ? node.left : node.right;
+    if (cur < 0) return node.value;
+  }
+}
+
+double GradientBoosting::PredictProba(const Vec& x) const {
+  double margin = base_score_;
+  for (const Tree& tree : trees_) {
+    margin += options_.learning_rate * PredictTree(tree, x);
+  }
+  return Sigmoid(margin);
+}
+
+}  // namespace retina::ml

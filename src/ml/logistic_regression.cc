@@ -1,0 +1,79 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace retina::ml {
+
+Status LogisticRegression::Fit(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() == 0 || X.rows() != y.size()) {
+    return Status::InvalidArgument("LogisticRegression::Fit: bad shapes");
+  }
+  const size_t n = X.rows(), d = X.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  // Class weights.
+  double w_pos = 1.0, w_neg = 1.0;
+  if (options_.balanced_class_weight) {
+    size_t n_pos = 0;
+    for (int v : y) n_pos += (v == 1);
+    const size_t n_neg = n - n_pos;
+    if (n_pos > 0 && n_neg > 0) {
+      w_pos = static_cast<double>(n) / (2.0 * static_cast<double>(n_pos));
+      w_neg = static_cast<double>(n) / (2.0 * static_cast<double>(n_neg));
+    }
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  Vec vw(d, 0.0);  // momentum
+  double vb = 0.0;
+  const double beta = 0.9;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const double lr = options_.learning_rate /
+                      (1.0 + 0.05 * static_cast<double>(epoch));
+    for (size_t start = 0; start < n; start += options_.batch_size) {
+      const size_t end = std::min(n, start + options_.batch_size);
+      Vec grad(d, 0.0);
+      double gb = 0.0;
+      for (size_t k = start; k < end; ++k) {
+        const size_t i = order[k];
+        const double* row = X.Row(i);
+        double z = b_;
+        for (size_t j = 0; j < d; ++j) z += w_[j] * row[j];
+        const double p = Sigmoid(z);
+        const double cw = y[i] == 1 ? w_pos : w_neg;
+        const double err = cw * (p - static_cast<double>(y[i]));
+        for (size_t j = 0; j < d; ++j) grad[j] += err * row[j];
+        gb += err;
+      }
+      const double inv = 1.0 / static_cast<double>(end - start);
+      for (size_t j = 0; j < d; ++j) {
+        const double g = grad[j] * inv + options_.l2 * w_[j];
+        vw[j] = beta * vw[j] - lr * g;
+        w_[j] += vw[j];
+      }
+      vb = beta * vb - lr * gb * inv;
+      b_ += vb;
+    }
+  }
+  return Status::OK();
+}
+
+double LogisticRegression::DecisionFunction(const Vec& x) const {
+  double z = b_;
+  const size_t d = std::min(x.size(), w_.size());
+  for (size_t j = 0; j < d; ++j) z += w_[j] * x[j];
+  return z;
+}
+
+double LogisticRegression::PredictProba(const Vec& x) const {
+  return Sigmoid(DecisionFunction(x));
+}
+
+}  // namespace retina::ml

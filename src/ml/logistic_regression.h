@@ -1,0 +1,48 @@
+// L2-regularized logistic regression trained by mini-batch SGD with
+// momentum (scikit-learn LogisticRegression analogue, Table III).
+
+#ifndef RETINA_ML_LOGISTIC_REGRESSION_H_
+#define RETINA_ML_LOGISTIC_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace retina::ml {
+
+struct LogisticRegressionOptions {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 60;
+  size_t batch_size = 64;
+  /// Reweight classes inversely to frequency ("balanced").
+  bool balanced_class_weight = false;
+  uint64_t seed = 0;  // Table III: random state = 0
+};
+
+/// \brief Binary logistic regression.
+class LogisticRegression : public BinaryClassifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y) override;
+  double PredictProba(const Vec& x) const override;
+  std::string Name() const override { return "LogReg"; }
+
+  /// Raw decision value w.x + b.
+  double DecisionFunction(const Vec& x) const;
+
+  const Vec& weights() const { return w_; }
+  double bias() const { return b_; }
+
+ private:
+  LogisticRegressionOptions options_;
+  Vec w_;
+  double b_ = 0.0;
+};
+
+}  // namespace retina::ml
+
+#endif  // RETINA_ML_LOGISTIC_REGRESSION_H_

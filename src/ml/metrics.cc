@@ -1,0 +1,168 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace retina::ml {
+
+Confusion Confusion::FromPredictions(const std::vector<int>& y_true,
+                                     const std::vector<int>& y_pred) {
+  assert(y_true.size() == y_pred.size());
+  Confusion c;
+  for (size_t i = 0; i < y_true.size(); ++i) {
+    if (y_true[i] == 1) {
+      if (y_pred[i] == 1) {
+        ++c.tp;
+      } else {
+        ++c.fn;
+      }
+    } else {
+      if (y_pred[i] == 1) {
+        ++c.fp;
+      } else {
+        ++c.tn;
+      }
+    }
+  }
+  return c;
+}
+
+double Confusion::Accuracy() const {
+  const size_t total = tp + fp + tn + fn;
+  return total == 0 ? 0.0
+                    : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+double Confusion::Precision() const {
+  return tp + fp == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double Confusion::Recall() const {
+  return tp + fn == 0 ? 0.0
+                      : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double Confusion::F1() const {
+  const double p = Precision(), r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double MacroF1(const std::vector<int>& y_true,
+               const std::vector<int>& y_pred) {
+  const Confusion c = Confusion::FromPredictions(y_true, y_pred);
+  const double f1_pos = c.F1();
+  // F1 of the negative class = F1 with labels swapped.
+  Confusion neg;
+  neg.tp = c.tn;
+  neg.tn = c.tp;
+  neg.fp = c.fn;
+  neg.fn = c.fp;
+  return 0.5 * (f1_pos + neg.F1());
+}
+
+double Accuracy(const std::vector<int>& y_true,
+                const std::vector<int>& y_pred) {
+  return Confusion::FromPredictions(y_true, y_pred).Accuracy();
+}
+
+double RocAuc(const std::vector<int>& y_true, const Vec& scores) {
+  assert(y_true.size() == scores.size());
+  const size_t n = y_true.size();
+  size_t n_pos = 0;
+  for (int v : y_true) n_pos += (v == 1);
+  const size_t n_neg = n - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  // Average ranks with tie handling.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+  Vec rank(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double avg_rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (y_true[k] == 1) rank_sum_pos += rank[k];
+  }
+  const double np = static_cast<double>(n_pos), nn = static_cast<double>(n_neg);
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+std::vector<int> Threshold(const Vec& scores, double threshold) {
+  std::vector<int> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i] = scores[i] >= threshold ? 1 : 0;
+  }
+  return out;
+}
+
+namespace {
+
+// Candidate indices of `q` sorted by descending score (stable for ties).
+std::vector<size_t> RankOrder(const RankingQuery& q) {
+  std::vector<size_t> order(q.scores.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return q.scores[a] > q.scores[b];
+  });
+  return order;
+}
+
+size_t NumRelevant(const RankingQuery& q) {
+  size_t n = 0;
+  for (int r : q.relevant) n += (r == 1);
+  return n;
+}
+
+}  // namespace
+
+double MeanAveragePrecisionAtK(const std::vector<RankingQuery>& queries,
+                               size_t k) {
+  double total = 0.0;
+  size_t n_queries = 0;
+  for (const RankingQuery& q : queries) {
+    const size_t n_rel = NumRelevant(q);
+    if (n_rel == 0 || q.scores.empty()) continue;
+    ++n_queries;
+    const std::vector<size_t> order = RankOrder(q);
+    const size_t depth = std::min(k, order.size());
+    double ap = 0.0;
+    size_t hits = 0;
+    for (size_t i = 0; i < depth; ++i) {
+      if (q.relevant[order[i]] == 1) {
+        ++hits;
+        ap += static_cast<double>(hits) / static_cast<double>(i + 1);
+      }
+    }
+    ap /= static_cast<double>(std::min(n_rel, k));
+    total += ap;
+  }
+  return n_queries == 0 ? 0.0 : total / static_cast<double>(n_queries);
+}
+
+double HitsAtK(const std::vector<RankingQuery>& queries, size_t k) {
+  double total = 0.0;
+  size_t n_queries = 0;
+  for (const RankingQuery& q : queries) {
+    const size_t n_rel = NumRelevant(q);
+    if (n_rel == 0 || q.scores.empty()) continue;
+    ++n_queries;
+    const std::vector<size_t> order = RankOrder(q);
+    const size_t depth = std::min(k, order.size());
+    size_t hits = 0;
+    for (size_t i = 0; i < depth; ++i) hits += (q.relevant[order[i]] == 1);
+    total += static_cast<double>(hits) /
+             static_cast<double>(std::min(n_rel, k));
+  }
+  return n_queries == 0 ? 0.0 : total / static_cast<double>(n_queries);
+}
+
+}  // namespace retina::ml

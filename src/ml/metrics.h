@@ -1,0 +1,60 @@
+// Evaluation metrics of Section VIII: macro-F1, binary accuracy, ROC-AUC
+// for classification; MAP@k and HITS@k for the ranking view of retweeter
+// prediction.
+
+#ifndef RETINA_ML_METRICS_H_
+#define RETINA_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace retina::ml {
+
+/// Binary confusion counts at a fixed threshold.
+struct Confusion {
+  size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+  static Confusion FromPredictions(const std::vector<int>& y_true,
+                                   const std::vector<int>& y_pred);
+
+  double Accuracy() const;
+  double Precision() const;  ///< positive-class precision
+  double Recall() const;     ///< positive-class recall
+  double F1() const;         ///< positive-class F1
+};
+
+/// Macro-averaged F1 over both classes (the paper's primary metric for
+/// imbalanced data).
+double MacroF1(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Binary accuracy.
+double Accuracy(const std::vector<int>& y_true, const std::vector<int>& y_pred);
+
+/// Area under the ROC curve from scores, computed by the rank statistic
+/// (ties get averaged ranks). Returns 0.5 when a class is absent.
+double RocAuc(const std::vector<int>& y_true, const Vec& scores);
+
+/// Thresholds scores at `threshold` into 0/1 predictions.
+std::vector<int> Threshold(const Vec& scores, double threshold = 0.5);
+
+/// One ranking query: candidate scores with binary relevance.
+struct RankingQuery {
+  Vec scores;
+  std::vector<int> relevant;  ///< parallel to scores, 1 = true retweeter
+};
+
+/// Mean average precision at k over queries. Queries without any relevant
+/// candidate are skipped.
+double MeanAveragePrecisionAtK(const std::vector<RankingQuery>& queries,
+                               size_t k);
+
+/// Mean of per-query HITS@k: the fraction of the query's relevant
+/// candidates that appear in the top-k (recall@k), the convention used by
+/// the microscopic-diffusion baselines the paper compares against.
+double HitsAtK(const std::vector<RankingQuery>& queries, size_t k);
+
+}  // namespace retina::ml
+
+#endif  // RETINA_ML_METRICS_H_

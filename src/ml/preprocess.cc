@@ -1,0 +1,266 @@
+#include "ml/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace retina::ml {
+
+namespace {
+
+// Modified Gram-Schmidt orthonormalization of the columns of A (d x k),
+// in place. Near-zero columns are replaced with zeros.
+void Orthonormalize(Matrix* A) {
+  const size_t d = A->rows(), k = A->cols();
+  for (size_t j = 0; j < k; ++j) {
+    for (size_t prev = 0; prev < j; ++prev) {
+      double dot = 0.0;
+      for (size_t i = 0; i < d; ++i) dot += (*A)(i, j) * (*A)(i, prev);
+      for (size_t i = 0; i < d; ++i) (*A)(i, j) -= dot * (*A)(i, prev);
+    }
+    double norm = 0.0;
+    for (size_t i = 0; i < d; ++i) norm += (*A)(i, j) * (*A)(i, j);
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (size_t i = 0; i < d; ++i) (*A)(i, j) /= norm;
+    } else {
+      for (size_t i = 0; i < d; ++i) (*A)(i, j) = 0.0;
+    }
+  }
+}
+
+// Jacobi eigendecomposition of a small symmetric matrix S (k x k).
+// Returns eigenvalues (descending) and fills V with matching eigenvectors
+// as columns.
+Vec JacobiEigen(Matrix S, Matrix* V) {
+  const size_t k = S.rows();
+  *V = Matrix(k, k);
+  for (size_t i = 0; i < k; ++i) (*V)(i, i) = 1.0;
+  for (int sweep = 0; sweep < 60; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p < k; ++p)
+      for (size_t q = p + 1; q < k; ++q) off += S(p, q) * S(p, q);
+    if (off < 1e-18) break;
+    for (size_t p = 0; p < k; ++p) {
+      for (size_t q = p + 1; q < k; ++q) {
+        if (std::abs(S(p, q)) < 1e-15) continue;
+        const double theta = (S(q, q) - S(p, p)) / (2.0 * S(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (size_t i = 0; i < k; ++i) {
+          const double sip = S(i, p), siq = S(i, q);
+          S(i, p) = c * sip - s * siq;
+          S(i, q) = s * sip + c * siq;
+        }
+        for (size_t i = 0; i < k; ++i) {
+          const double spi = S(p, i), sqi = S(q, i);
+          S(p, i) = c * spi - s * sqi;
+          S(q, i) = s * spi + c * sqi;
+        }
+        for (size_t i = 0; i < k; ++i) {
+          const double vip = (*V)(i, p), viq = (*V)(i, q);
+          (*V)(i, p) = c * vip - s * viq;
+          (*V)(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  Vec eig(k);
+  for (size_t i = 0; i < k; ++i) eig[i] = S(i, i);
+  // Sort descending, permuting V columns.
+  std::vector<size_t> order(k);
+  for (size_t i = 0; i < k; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return eig[a] > eig[b]; });
+  Vec sorted_eig(k);
+  Matrix sorted_v(k, k);
+  for (size_t j = 0; j < k; ++j) {
+    sorted_eig[j] = eig[order[j]];
+    for (size_t i = 0; i < k; ++i) sorted_v(i, j) = (*V)(i, order[j]);
+  }
+  *V = std::move(sorted_v);
+  return sorted_eig;
+}
+
+}  // namespace
+
+Status Pca::Fit(const Matrix& X) {
+  const size_t n = X.rows(), d = X.cols();
+  const size_t k = options_.n_components;
+  if (k == 0 || k > std::min(n, d)) {
+    return Status::InvalidArgument("Pca::Fit: bad n_components");
+  }
+  mean_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = X.Row(i);
+    for (size_t j = 0; j < d; ++j) mean_[j] += row[j];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+
+  const size_t kk = std::min(d, k + options_.oversample);
+  Rng rng(options_.seed);
+  // Q: d x kk random start.
+  Matrix Q(d, kk);
+  for (double& v : Q.data()) v = rng.Normal();
+  Orthonormalize(&Q);
+
+  // Subspace iteration: Q <- orth(C * Q) where C = Xc^T Xc / n applied
+  // implicitly (two passes over X per iteration).
+  auto apply_cov = [&](const Matrix& Qin) {
+    Matrix out(d, kk);
+    // tmp = Xc * Qin (n x kk), accumulate out = Xc^T * tmp.
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = X.Row(i);
+      Vec proj(kk, 0.0);
+      for (size_t j = 0; j < d; ++j) {
+        const double c = row[j] - mean_[j];
+        if (c == 0.0) continue;
+        for (size_t l = 0; l < kk; ++l) proj[l] += c * Qin(j, l);
+      }
+      for (size_t j = 0; j < d; ++j) {
+        const double c = row[j] - mean_[j];
+        if (c == 0.0) continue;
+        for (size_t l = 0; l < kk; ++l) out(j, l) += c * proj[l];
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (double& v : out.data()) v *= inv_n;
+    return out;
+  };
+
+  for (int it = 0; it < options_.power_iterations; ++it) {
+    Q = apply_cov(Q);
+    Orthonormalize(&Q);
+  }
+
+  // Small projected covariance S = Q^T C Q (kk x kk).
+  const Matrix CQ = apply_cov(Q);
+  Matrix S(kk, kk);
+  for (size_t a = 0; a < kk; ++a) {
+    for (size_t b = 0; b < kk; ++b) {
+      double acc = 0.0;
+      for (size_t i = 0; i < d; ++i) acc += Q(i, a) * CQ(i, b);
+      S(a, b) = acc;
+    }
+  }
+  // Symmetrize numerical noise.
+  for (size_t a = 0; a < kk; ++a) {
+    for (size_t b = a + 1; b < kk; ++b) {
+      const double v = 0.5 * (S(a, b) + S(b, a));
+      S(a, b) = S(b, a) = v;
+    }
+  }
+  Matrix V;
+  const Vec eig = JacobiEigen(std::move(S), &V);
+
+  components_ = Matrix(k, d);
+  explained_variance_.assign(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    explained_variance_[c] = std::max(0.0, eig[c]);
+    for (size_t j = 0; j < d; ++j) {
+      double acc = 0.0;
+      for (size_t l = 0; l < kk; ++l) acc += Q(j, l) * V(l, c);
+      components_(c, j) = acc;
+    }
+  }
+  return Status::OK();
+}
+
+Vec Pca::Transform(const Vec& x) const {
+  const size_t k = components_.rows(), d = components_.cols();
+  Vec out(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    const double* row = components_.Row(c);
+    double acc = 0.0;
+    const size_t dd = std::min(d, x.size());
+    for (size_t j = 0; j < dd; ++j) acc += row[j] * (x[j] - mean_[j]);
+    out[c] = acc;
+  }
+  return out;
+}
+
+Matrix Pca::TransformBatch(const Matrix& X) const {
+  Matrix out(X.rows(), components_.rows());
+  for (size_t i = 0; i < X.rows(); ++i) out.SetRow(i, Transform(X.RowVec(i)));
+  return out;
+}
+
+Status KBestMutualInfo::Fit(const Matrix& X, const std::vector<int>& y) {
+  const size_t n = X.rows(), d = X.cols();
+  if (n == 0 || n != y.size()) {
+    return Status::InvalidArgument("KBestMutualInfo::Fit: bad shapes");
+  }
+  scores_.assign(d, 0.0);
+  size_t n_pos = 0;
+  for (int v : y) n_pos += (v == 1);
+  const double py1 = static_cast<double>(n_pos) / static_cast<double>(n);
+  const double py0 = 1.0 - py1;
+
+  std::vector<double> col(n);
+  std::vector<size_t> order(n);
+  for (size_t f = 0; f < d; ++f) {
+    for (size_t i = 0; i < n; ++i) col[i] = X(i, f);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return col[a] < col[b]; });
+    // Equal-frequency bins (ties stay in one bin via value boundaries).
+    std::vector<double> joint(bins_ * 2, 0.0);
+    size_t start = 0;
+    size_t bin = 0;
+    while (start < n && bin < bins_) {
+      size_t end = std::min(n, start + (n - start) / (bins_ - bin));
+      if (end <= start) end = start + 1;
+      // Extend over ties.
+      while (end < n && col[order[end]] == col[order[end - 1]]) ++end;
+      for (size_t i = start; i < end; ++i) {
+        joint[bin * 2 + static_cast<size_t>(y[order[i]] == 1)] += 1.0;
+      }
+      start = end;
+      ++bin;
+    }
+    double mi = 0.0;
+    for (size_t b = 0; b < bins_; ++b) {
+      const double pb =
+          (joint[b * 2] + joint[b * 2 + 1]) / static_cast<double>(n);
+      if (pb <= 0.0) continue;
+      for (int c = 0; c < 2; ++c) {
+        const double pbc = joint[b * 2 + static_cast<size_t>(c)] /
+                           static_cast<double>(n);
+        if (pbc <= 0.0) continue;
+        const double pc = c == 1 ? py1 : py0;
+        if (pc <= 0.0) continue;
+        mi += pbc * std::log(pbc / (pb * pc));
+      }
+    }
+    scores_[f] = mi;
+  }
+
+  selected_.resize(d);
+  for (size_t f = 0; f < d; ++f) selected_[f] = f;
+  std::sort(selected_.begin(), selected_.end(), [&](size_t a, size_t b) {
+    if (scores_[a] != scores_[b]) return scores_[a] > scores_[b];
+    return a < b;
+  });
+  if (selected_.size() > k_) selected_.resize(k_);
+  std::sort(selected_.begin(), selected_.end());
+  return Status::OK();
+}
+
+Vec KBestMutualInfo::Transform(const Vec& x) const {
+  Vec out(selected_.size(), 0.0);
+  for (size_t i = 0; i < selected_.size(); ++i) {
+    if (selected_[i] < x.size()) out[i] = x[selected_[i]];
+  }
+  return out;
+}
+
+Matrix KBestMutualInfo::TransformBatch(const Matrix& X) const {
+  Matrix out(X.rows(), selected_.size());
+  for (size_t i = 0; i < X.rows(); ++i) out.SetRow(i, Transform(X.RowVec(i)));
+  return out;
+}
+
+}  // namespace retina::ml

@@ -1,0 +1,48 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace retina::ml {
+
+Status RandomForest::Fit(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() == 0 || X.rows() != y.size()) {
+    return Status::InvalidArgument("RandomForest::Fit: bad shapes");
+  }
+  trees_.clear();
+  Rng rng(options_.seed);
+  const size_t n = X.rows();
+  const size_t max_features = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(X.cols()))));
+
+  for (size_t t = 0; t < options_.n_estimators; ++t) {
+    // Bootstrap sample.
+    Matrix bx(n, X.cols());
+    std::vector<int> by(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = static_cast<size_t>(rng.UniformInt(n));
+      bx.SetRow(i, X.RowVec(j));
+      by[i] = y[j];
+    }
+    DecisionTreeOptions topts;
+    topts.max_depth = options_.max_depth;
+    topts.min_samples_leaf = options_.min_samples_leaf;
+    topts.balanced_class_weight = options_.balanced_class_weight;
+    topts.max_features = max_features;
+    topts.seed = rng.NextU64();
+    auto tree = std::make_unique<DecisionTree>(topts);
+    RETINA_RETURN_NOT_OK(tree->Fit(bx, by));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double RandomForest::PredictProba(const Vec& x) const {
+  if (trees_.empty()) return 0.5;
+  double total = 0.0;
+  for (const auto& tree : trees_) total += tree->PredictProba(x);
+  return total / static_cast<double>(trees_.size());
+}
+
+}  // namespace retina::ml

@@ -1,0 +1,43 @@
+// Random forest: bagged CART trees with sqrt(d) feature subsampling.
+// Table VI's Random Forest baseline uses 50 estimators.
+
+#ifndef RETINA_ML_RANDOM_FOREST_H_
+#define RETINA_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace retina::ml {
+
+struct RandomForestOptions {
+  size_t n_estimators = 50;
+  int max_depth = 10;
+  size_t min_samples_leaf = 2;
+  bool balanced_class_weight = true;
+  uint64_t seed = 17;
+};
+
+/// \brief Bootstrap-aggregated decision trees.
+class RandomForest : public BinaryClassifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  Status Fit(const Matrix& X, const std::vector<int>& y) override;
+  double PredictProba(const Vec& x) const override;
+  std::string Name() const override { return "Random Forest"; }
+
+  size_t NumTrees() const { return trees_.size(); }
+
+ private:
+  RandomForestOptions options_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace retina::ml
+
+#endif  // RETINA_ML_RANDOM_FOREST_H_

@@ -1,0 +1,109 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace retina::ml {
+
+Status LinearSVM::Fit(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() == 0 || X.rows() != y.size()) {
+    return Status::InvalidArgument("LinearSVM::Fit: bad shapes");
+  }
+  const size_t n = X.rows(), d = X.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  double w_pos = 1.0, w_neg = 1.0;
+  if (options_.balanced_class_weight) {
+    size_t n_pos = 0;
+    for (int v : y) n_pos += (v == 1);
+    const size_t n_neg = n - n_pos;
+    if (n_pos > 0 && n_neg > 0) {
+      w_pos = static_cast<double>(n) / (2.0 * static_cast<double>(n_pos));
+      w_neg = static_cast<double>(n) / (2.0 * static_cast<double>(n_neg));
+    }
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  // Pegasos: step 1/(lambda * t).
+  size_t t = 1;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t k = 0; k < n; ++k, ++t) {
+      const size_t i = order[k];
+      const double* row = X.Row(i);
+      const double lr =
+          1.0 / (options_.lambda * static_cast<double>(t));
+      const double target = y[i] == 1 ? 1.0 : -1.0;
+      double z = b_;
+      for (size_t j = 0; j < d; ++j) z += w_[j] * row[j];
+      // L2 shrinkage.
+      const double shrink = 1.0 - lr * options_.lambda;
+      for (size_t j = 0; j < d; ++j) w_[j] *= shrink;
+      if (target * z < 1.0) {
+        const double cw = y[i] == 1 ? w_pos : w_neg;
+        const double step = lr * cw * target;
+        for (size_t j = 0; j < d; ++j) w_[j] += step * row[j];
+        b_ += step;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double LinearSVM::DecisionFunction(const Vec& x) const {
+  double z = b_;
+  const size_t d = std::min(x.size(), w_.size());
+  for (size_t j = 0; j < d; ++j) z += w_[j] * x[j];
+  return z;
+}
+
+double LinearSVM::PredictProba(const Vec& x) const {
+  return Sigmoid(options_.platt_scale * DecisionFunction(x));
+}
+
+Status KernelSVM::Fit(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() == 0 || X.rows() != y.size()) {
+    return Status::InvalidArgument("KernelSVM::Fit: bad shapes");
+  }
+  const size_t d = X.cols();
+  const size_t m = options_.n_components;
+  double gamma = options_.gamma;
+  if (gamma <= 0.0) gamma = 1.0 / static_cast<double>(d);
+
+  Rng rng(options_.seed);
+  proj_ = Matrix(m, d);
+  const double sigma = std::sqrt(2.0 * gamma);
+  for (double& v : proj_.data()) v = rng.Normal(0.0, sigma);
+  phase_.resize(m);
+  for (double& p : phase_) p = rng.Uniform(0.0, 2.0 * M_PI);
+  scale_ = std::sqrt(2.0 / static_cast<double>(m));
+
+  Matrix Z(X.rows(), m);
+  for (size_t i = 0; i < X.rows(); ++i) Z.SetRow(i, MapFeatures(X.RowVec(i)));
+  svm_ = LinearSVM(options_.linear);
+  return svm_.Fit(Z, y);
+}
+
+Vec KernelSVM::MapFeatures(const Vec& x) const {
+  const size_t m = proj_.rows();
+  Vec z(m);
+  for (size_t k = 0; k < m; ++k) {
+    const double* row = proj_.Row(k);
+    double dot = phase_[k];
+    const size_t d = std::min(x.size(), proj_.cols());
+    for (size_t j = 0; j < d; ++j) dot += row[j] * x[j];
+    z[k] = scale_ * std::cos(dot);
+  }
+  return z;
+}
+
+double KernelSVM::PredictProba(const Vec& x) const {
+  return svm_.PredictProba(MapFeatures(x));
+}
+
+}  // namespace retina::ml

@@ -1,0 +1,153 @@
+#include "nn/attention.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace retina::nn {
+
+ExogenousAttention::ExogenousAttention(size_t tweet_dim, size_t news_dim,
+                                       size_t hdim, Rng* rng)
+    : hdim_(hdim),
+      Wq_(tweet_dim, hdim),
+      Wk_(news_dim, hdim),
+      Wv_(news_dim, hdim) {
+  Wq_.InitGlorot(rng);
+  Wk_.InitGlorot(rng);
+  Wv_.InitGlorot(rng);
+}
+
+Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
+                                AttentionCache* cache) const {
+  assert(tweet.size() == Wq_.value.rows());
+  const size_t seq = news.rows();
+  Vec out(hdim_, 0.0);
+  if (seq == 0) {
+    if (cache != nullptr) {
+      cache->tweet = tweet;
+      cache->news = &news;
+      cache->weights.clear();
+    }
+    return out;
+  }
+  assert(news.cols() == Wk_.value.rows());
+
+  // Q = X^T (.) Wq : (hdim)
+  Vec q(hdim_, 0.0);
+  for (size_t j = 0; j < tweet.size(); ++j) {
+    if (tweet[j] == 0.0) continue;
+    const double* row = Wq_.value.Row(j);
+    for (size_t h = 0; h < hdim_; ++h) q[h] += tweet[j] * row[h];
+  }
+  // K, V = X^N (.) Wk, X^N (.) Wv : (seq x hdim)
+  Matrix k(seq, hdim_), v(seq, hdim_);
+  for (size_t i = 0; i < seq; ++i) {
+    const double* nrow = news.Row(i);
+    double* krow = k.Row(i);
+    double* vrow = v.Row(i);
+    for (size_t j = 0; j < news.cols(); ++j) {
+      const double x = nrow[j];
+      if (x == 0.0) continue;
+      const double* wk = Wk_.value.Row(j);
+      const double* wv = Wv_.value.Row(j);
+      for (size_t h = 0; h < hdim_; ++h) {
+        krow[h] += x * wk[h];
+        vrow[h] += x * wv[h];
+      }
+    }
+  }
+
+  // A = softmax(Q.K / sqrt(hdim)).
+  const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
+  Vec weights(seq);
+  for (size_t i = 0; i < seq; ++i) {
+    const double* krow = k.Row(i);
+    double dot = 0.0;
+    for (size_t h = 0; h < hdim_; ++h) dot += q[h] * krow[h];
+    weights[i] = dot * scale;
+  }
+  SoftmaxInPlace(&weights);
+
+  // X^{T,N} = sum_i A_i V_i.
+  for (size_t i = 0; i < seq; ++i) {
+    const double* vrow = v.Row(i);
+    for (size_t h = 0; h < hdim_; ++h) out[h] += weights[i] * vrow[h];
+  }
+
+  if (cache != nullptr) {
+    cache->tweet = tweet;
+    cache->news = &news;
+    cache->q = std::move(q);
+    cache->k = std::move(k);
+    cache->v = std::move(v);
+    cache->weights = std::move(weights);
+  }
+  return out;
+}
+
+void ExogenousAttention::Backward(const AttentionCache& cache,
+                                  const Vec& dout) {
+  const size_t seq = cache.weights.size();
+  if (seq == 0) return;
+  const Matrix& news = *cache.news;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
+
+  // dV_i = a_i * dout; da_i = dout . V_i.
+  Vec da(seq, 0.0);
+  Matrix dv(seq, hdim_);
+  for (size_t i = 0; i < seq; ++i) {
+    const double* vrow = cache.v.Row(i);
+    double* dvrow = dv.Row(i);
+    double acc = 0.0;
+    for (size_t h = 0; h < hdim_; ++h) {
+      acc += dout[h] * vrow[h];
+      dvrow[h] = cache.weights[i] * dout[h];
+    }
+    da[i] = acc;
+  }
+
+  // Softmax backward: ds_i = a_i (da_i - sum_j a_j da_j).
+  double mix = 0.0;
+  for (size_t i = 0; i < seq; ++i) mix += cache.weights[i] * da[i];
+  Vec ds(seq);
+  for (size_t i = 0; i < seq; ++i) {
+    ds[i] = cache.weights[i] * (da[i] - mix) * scale;
+  }
+
+  // dq = sum_i ds_i K_i;  dK_i = ds_i q.
+  Vec dq(hdim_, 0.0);
+  Matrix dk(seq, hdim_);
+  for (size_t i = 0; i < seq; ++i) {
+    const double* krow = cache.k.Row(i);
+    double* dkrow = dk.Row(i);
+    for (size_t h = 0; h < hdim_; ++h) {
+      dq[h] += ds[i] * krow[h];
+      dkrow[h] = ds[i] * cache.q[h];
+    }
+  }
+
+  // Parameter gradients: dWq += tweet (x) dq; dWk += news^T dk;
+  // dWv += news^T dv.
+  for (size_t j = 0; j < cache.tweet.size(); ++j) {
+    const double x = cache.tweet[j];
+    if (x == 0.0) continue;
+    double* row = Wq_.grad.Row(j);
+    for (size_t h = 0; h < hdim_; ++h) row[h] += x * dq[h];
+  }
+  for (size_t i = 0; i < seq; ++i) {
+    const double* nrow = news.Row(i);
+    const double* dkrow = dk.Row(i);
+    const double* dvrow = dv.Row(i);
+    for (size_t j = 0; j < news.cols(); ++j) {
+      const double x = nrow[j];
+      if (x == 0.0) continue;
+      double* wkg = Wk_.grad.Row(j);
+      double* wvg = Wv_.grad.Row(j);
+      for (size_t h = 0; h < hdim_; ++h) {
+        wkg[h] += x * dkrow[h];
+        wvg[h] += x * dvrow[h];
+      }
+    }
+  }
+}
+
+}  // namespace retina::nn

@@ -1,0 +1,59 @@
+// Exogenous scaled dot-product attention (Eqs. 3-5, Figure 4(a)).
+//
+// The Query projection is applied to the tweet feature X^T; Key and Value
+// projections to each element of the news feature sequence X^N. The
+// attention weights A = softmax(Q.K / sqrt(hdim)) aggregate the Value
+// vectors into the attended exogenous representation X^{T,N}.
+
+#ifndef RETINA_NN_ATTENTION_H_
+#define RETINA_NN_ATTENTION_H_
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace retina::nn {
+
+/// Cache for ExogenousAttention::Backward. The news matrix is held by
+/// pointer; the caller must keep it alive between Forward and Backward.
+struct AttentionCache {
+  Vec tweet;
+  const Matrix* news = nullptr;
+  Vec q;
+  Matrix k, v;   // seq_len x hdim
+  Vec weights;   // softmax attention weights (seq_len)
+};
+
+/// \brief Single-head scaled dot-product attention over a news sequence.
+class ExogenousAttention {
+ public:
+  /// \param tweet_dim Dimensionality of the tweet feature X^T.
+  /// \param news_dim Dimensionality of each news feature X^N_i.
+  /// \param hdim Attention width (paper: 64).
+  ExogenousAttention(size_t tweet_dim, size_t news_dim, size_t hdim,
+                     Rng* rng);
+
+  /// Computes X^{T,N} (hdim). `news` has one row per headline; an empty
+  /// sequence yields the zero vector.
+  Vec Forward(const Vec& tweet, const Matrix& news,
+              AttentionCache* cache) const;
+
+  /// Accumulates parameter gradients from upstream `dout`; input gradients
+  /// are not propagated (features are fixed).
+  void Backward(const AttentionCache& cache, const Vec& dout);
+
+  std::vector<Param*> Params() { return {&Wq_, &Wk_, &Wv_}; }
+
+  /// Attention weights from the last Forward on `cache` (diagnostics).
+  size_t hdim() const { return hdim_; }
+
+ private:
+  size_t hdim_;
+  Param Wq_;  // tweet_dim x hdim
+  Param Wk_;  // news_dim x hdim
+  Param Wv_;  // news_dim x hdim
+};
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_ATTENTION_H_

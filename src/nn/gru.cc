@@ -1,0 +1,125 @@
+#include "nn/gru.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace retina::nn {
+
+namespace {
+
+Vec AffineGate(const Param& W, const Param& U, const Param& b, const Vec& x,
+               const Vec& h) {
+  Vec out = W.value.MatVec(x);
+  const Vec uh = U.value.MatVec(h);
+  for (size_t i = 0; i < out.size(); ++i) out[i] += uh[i] + b.value(0, i);
+  return out;
+}
+
+// Accumulates dW += g x^T, dU += g h^T, db += g.
+void AccumulateGate(Param* W, Param* U, Param* b, const Vec& g, const Vec& x,
+                    const Vec& h, Vec* dx, Vec* dh) {
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (g[i] == 0.0) continue;
+    double* wrow = W->grad.Row(i);
+    for (size_t j = 0; j < x.size(); ++j) wrow[j] += g[i] * x[j];
+    double* urow = U->grad.Row(i);
+    for (size_t j = 0; j < h.size(); ++j) urow[j] += g[i] * h[j];
+    b->grad(0, i) += g[i];
+  }
+  const Vec dxx = W->value.TransposeMatVec(g);
+  for (size_t j = 0; j < dx->size(); ++j) (*dx)[j] += dxx[j];
+  const Vec dhh = U->value.TransposeMatVec(g);
+  for (size_t j = 0; j < dh->size(); ++j) (*dh)[j] += dhh[j];
+}
+
+}  // namespace
+
+GruCell::GruCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      Wz_(hidden_dim, in_dim),
+      Uz_(hidden_dim, hidden_dim),
+      bz_(1, hidden_dim),
+      Wr_(hidden_dim, in_dim),
+      Ur_(hidden_dim, hidden_dim),
+      br_(1, hidden_dim),
+      Wh_(hidden_dim, in_dim),
+      Uh_(hidden_dim, hidden_dim),
+      bh_(1, hidden_dim) {
+  Wz_.InitGlorot(rng);
+  Uz_.InitGlorot(rng);
+  Wr_.InitGlorot(rng);
+  Ur_.InitGlorot(rng);
+  Wh_.InitGlorot(rng);
+  Uh_.InitGlorot(rng);
+}
+
+Vec GruCell::Forward(const Vec& x, const Vec& h_prev,
+                     GruCache* cache) const {
+  assert(x.size() == in_dim_ && h_prev.size() == hidden_dim_);
+  Vec z = AffineGate(Wz_, Uz_, bz_, x, h_prev);
+  Vec r = AffineGate(Wr_, Ur_, br_, x, h_prev);
+  for (double& v : z) v = Sigmoid(v);
+  for (double& v : r) v = Sigmoid(v);
+  Vec rh(hidden_dim_);
+  for (size_t i = 0; i < hidden_dim_; ++i) rh[i] = r[i] * h_prev[i];
+  Vec hhat = AffineGate(Wh_, Uh_, bh_, x, rh);
+  for (double& v : hhat) v = std::tanh(v);
+  Vec h(hidden_dim_);
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    h[i] = (1.0 - z[i]) * h_prev[i] + z[i] * hhat[i];
+  }
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->h_prev = h_prev;
+    cache->z = z;
+    cache->r = r;
+    cache->hhat = hhat;
+  }
+  return h;
+}
+
+void GruCell::Backward(const GruCache& cache, const Vec& dh, Vec* dx,
+                       Vec* dh_prev) {
+  const size_t H = hidden_dim_;
+  dx->assign(in_dim_, 0.0);
+  dh_prev->assign(H, 0.0);
+
+  Vec dz(H), dhhat(H);
+  for (size_t i = 0; i < H; ++i) {
+    // h = (1-z) h_prev + z hhat
+    (*dh_prev)[i] += dh[i] * (1.0 - cache.z[i]);
+    dhhat[i] = dh[i] * cache.z[i];
+    dz[i] = dh[i] * (cache.hhat[i] - cache.h_prev[i]);
+  }
+
+  // hhat = tanh(a_h), a_h = Wh x + Uh (r*h_prev) + bh
+  Vec da_h(H);
+  for (size_t i = 0; i < H; ++i) {
+    da_h[i] = dhhat[i] * (1.0 - cache.hhat[i] * cache.hhat[i]);
+  }
+  Vec rh(H);
+  for (size_t i = 0; i < H; ++i) rh[i] = cache.r[i] * cache.h_prev[i];
+  Vec drh(H, 0.0);
+  AccumulateGate(&Wh_, &Uh_, &bh_, da_h, cache.x, rh, dx, &drh);
+  Vec dr(H);
+  for (size_t i = 0; i < H; ++i) {
+    dr[i] = drh[i] * cache.h_prev[i];
+    (*dh_prev)[i] += drh[i] * cache.r[i];
+  }
+
+  // Gates: sigmoid derivative.
+  Vec da_z(H), da_r(H);
+  for (size_t i = 0; i < H; ++i) {
+    da_z[i] = dz[i] * cache.z[i] * (1.0 - cache.z[i]);
+    da_r[i] = dr[i] * cache.r[i] * (1.0 - cache.r[i]);
+  }
+  AccumulateGate(&Wz_, &Uz_, &bz_, da_z, cache.x, cache.h_prev, dx, dh_prev);
+  AccumulateGate(&Wr_, &Ur_, &br_, da_r, cache.x, cache.h_prev, dx, dh_prev);
+}
+
+std::vector<Param*> GruCell::Params() {
+  return {&Wz_, &Uz_, &bz_, &Wr_, &Ur_, &br_, &Wh_, &Uh_, &bh_};
+}
+
+}  // namespace retina::nn

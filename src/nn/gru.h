@@ -1,0 +1,51 @@
+// Gated Recurrent Unit cell (the recurrent stage of dynamic RETINA,
+// Figure 4(c)).
+
+#ifndef RETINA_NN_GRU_H_
+#define RETINA_NN_GRU_H_
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace retina::nn {
+
+/// Per-step cache needed by GruCell::Backward.
+struct GruCache {
+  Vec x, h_prev;
+  Vec z, r, hhat;  // gate activations
+};
+
+/// \brief GRU cell:
+///   z = sigmoid(Wz x + Uz h + bz)
+///   r = sigmoid(Wr x + Ur h + br)
+///   hhat = tanh(Wh x + Uh (r*h) + bh)
+///   h' = (1-z)*h + z*hhat
+class GruCell {
+ public:
+  GruCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+
+  /// One step; fills `cache` for the backward pass.
+  Vec Forward(const Vec& x, const Vec& h_prev, GruCache* cache) const;
+
+  /// Backward through one step. `dh` is the gradient w.r.t. the step's
+  /// output h'. Accumulates parameter gradients; outputs gradients w.r.t.
+  /// the step input and previous hidden state.
+  void Backward(const GruCache& cache, const Vec& dh, Vec* dx,
+                Vec* dh_prev);
+
+  std::vector<Param*> Params();
+
+  size_t hidden_dim() const { return hidden_dim_; }
+  size_t in_dim() const { return in_dim_; }
+
+ private:
+  size_t in_dim_, hidden_dim_;
+  Param Wz_, Uz_, bz_;
+  Param Wr_, Ur_, br_;
+  Param Wh_, Uh_, bh_;
+};
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_GRU_H_

@@ -1,0 +1,73 @@
+// Dense layer and activations with explicit forward/backward passes.
+//
+// The network architectures in this library are small and fixed (Figure 4),
+// so backprop is written by hand per layer instead of via a tape: each
+// layer's Backward takes the cached input and the upstream gradient,
+// accumulates parameter gradients, and returns the downstream gradient.
+
+#ifndef RETINA_NN_LAYERS_H_
+#define RETINA_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace retina::nn {
+
+/// \brief Fully connected layer y = W x + b.
+class Dense {
+ public:
+  Dense(size_t in_dim, size_t out_dim, Rng* rng)
+      : W_(out_dim, in_dim), b_(1, out_dim) {
+    W_.InitGlorot(rng);
+  }
+
+  Vec Forward(const Vec& x) const;
+
+  /// Accumulates dW, db from (cached input x, upstream dy); returns dx.
+  Vec Backward(const Vec& x, const Vec& dy);
+
+  std::vector<Param*> Params() { return {&W_, &b_}; }
+
+  size_t in_dim() const { return W_.value.cols(); }
+  size_t out_dim() const { return W_.value.rows(); }
+
+ private:
+  Param W_, b_;
+};
+
+/// ReLU forward.
+Vec Relu(const Vec& x);
+
+/// ReLU backward: dy masked by x > 0.
+Vec ReluBackward(const Vec& x, const Vec& dy);
+
+/// Element-wise sigmoid.
+Vec SigmoidVec(const Vec& x);
+
+/// Layer normalization without learnable affine (the "normalized" input
+/// stage of Figure 4(b)); eps guards zero-variance inputs.
+Vec LayerNorm(const Vec& x, double eps = 1e-5);
+
+/// Backward of LayerNorm.
+Vec LayerNormBackward(const Vec& x, const Vec& dy, double eps = 1e-5);
+
+/// \brief Weighted binary cross-entropy (Eq. 6):
+/// L = -w*t*log(p) - (1-t)*log(1-p).
+struct WeightedBce {
+  /// Positive-class weight w.
+  double pos_weight = 1.0;
+
+  double Loss(double p, int target) const;
+
+  /// dL/dz where p = sigmoid(z) (the numerically stable fused gradient).
+  double GradLogit(double p, int target) const;
+};
+
+/// The paper's positive-weight schedule: w = lambda (log C - log C+),
+/// with C total and C+ positive training samples (Section VI-D).
+double PositiveClassWeight(size_t total, size_t positives, double lambda);
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_LAYERS_H_

@@ -1,0 +1,61 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace retina::nn {
+
+void Sgd::Register(std::vector<Param*> params) {
+  Optimizer::Register(std::move(params));
+  velocity_.clear();
+  for (Param* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    auto& vel = velocity_[i].data();
+    auto& val = p->value.data();
+    const auto& g = p->grad.data();
+    for (size_t j = 0; j < val.size(); ++j) {
+      vel[j] = momentum_ * vel[j] - lr_ * g[j];
+      val[j] += vel[j];
+    }
+    p->ZeroGrad();
+  }
+}
+
+void Adam::Register(std::vector<Param*> params) {
+  Optimizer::Register(std::move(params));
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    auto& m = m_[i].data();
+    auto& v = v_[i].data();
+    auto& val = p->value.data();
+    const auto& g = p->grad.data();
+    for (size_t j = 0; j < val.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace retina::nn

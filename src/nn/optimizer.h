@@ -1,0 +1,63 @@
+// SGD and Adam optimizers (the paper tunes RETINA with Adam in static mode
+// and SGD with learning rate 1e-2 in dynamic mode).
+
+#ifndef RETINA_NN_OPTIMIZER_H_
+#define RETINA_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/param.h"
+
+namespace retina::nn {
+
+/// \brief Applies a gradient step to registered parameters.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers the parameters to optimize (call once before Step).
+  virtual void Register(std::vector<Param*> params) { params_ = std::move(params); }
+
+  /// One update using the accumulated gradients; zeroes them afterwards.
+  virtual void Step() = 0;
+
+  const std::vector<Param*>& params() const { return params_; }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// \brief Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0)
+      : lr_(lr), momentum_(momentum) {}
+
+  void Register(std::vector<Param*> params) override;
+  void Step() override;
+
+ private:
+  double lr_, momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+/// \brief Adam with default (paper) hyperparameters.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Register(std::vector<Param*> params) override;
+  void Step() override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::vector<Matrix> m_, v_;
+  long t_ = 0;
+};
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_OPTIMIZER_H_

@@ -1,0 +1,40 @@
+// Trainable parameter: a dense value matrix with a matching gradient
+// accumulator. Layers register their Params with an Optimizer.
+
+#ifndef RETINA_NN_PARAM_H_
+#define RETINA_NN_PARAM_H_
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec.h"
+
+namespace retina::nn {
+
+/// \brief Value + accumulated gradient for one tensor of weights.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  Param() = default;
+  Param(size_t rows, size_t cols) : value(rows, cols), grad(rows, cols) {}
+
+  /// Glorot-uniform initialization.
+  void InitGlorot(Rng* rng) {
+    const double limit =
+        std::sqrt(6.0 / static_cast<double>(value.rows() + value.cols()));
+    for (double& v : value.data()) v = rng->Uniform(-limit, limit);
+  }
+
+  void ZeroGrad() { grad.Fill(0.0); }
+};
+
+/// Convenience: zero the gradients of a parameter set.
+inline void ZeroGrads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->ZeroGrad();
+}
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_PARAM_H_

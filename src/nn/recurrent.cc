@@ -1,0 +1,236 @@
+#include "nn/recurrent.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace retina::nn {
+
+const char* RecurrentKindName(RecurrentKind kind) {
+  switch (kind) {
+    case RecurrentKind::kGru:
+      return "GRU";
+    case RecurrentKind::kLstm:
+      return "LSTM";
+    case RecurrentKind::kSimpleRnn:
+      return "SimpleRNN";
+  }
+  return "?";
+}
+
+namespace {
+
+// dW += g x^T, dU += g h^T, db += g; dx += W^T g; dh += U^T g.
+void AccumulateAffine(Param* W, Param* U, Param* b, const Vec& g,
+                      const Vec& x, const Vec& h, Vec* dx, Vec* dh) {
+  for (size_t i = 0; i < g.size(); ++i) {
+    if (g[i] == 0.0) continue;
+    double* wrow = W->grad.Row(i);
+    for (size_t j = 0; j < x.size(); ++j) wrow[j] += g[i] * x[j];
+    double* urow = U->grad.Row(i);
+    for (size_t j = 0; j < h.size(); ++j) urow[j] += g[i] * h[j];
+    b->grad(0, i) += g[i];
+  }
+  const Vec dxx = W->value.TransposeMatVec(g);
+  for (size_t j = 0; j < dx->size(); ++j) (*dx)[j] += dxx[j];
+  const Vec dhh = U->value.TransposeMatVec(g);
+  for (size_t j = 0; j < dh->size(); ++j) (*dh)[j] += dhh[j];
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ SimpleRnn --
+
+SimpleRnnCell::SimpleRnnCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      W_(hidden_dim, in_dim),
+      U_(hidden_dim, hidden_dim),
+      b_(1, hidden_dim) {
+  W_.InitGlorot(rng);
+  U_.InitGlorot(rng);
+}
+
+Vec SimpleRnnCell::Forward(const Vec& x, const Vec& state,
+                           RecCache* cache) const {
+  assert(x.size() == in_dim_ && state.size() == hidden_dim_);
+  Vec h = W_.value.MatVec(x);
+  const Vec uh = U_.value.MatVec(state);
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    h[i] = std::tanh(h[i] + uh[i] + b_.value(0, i));
+  }
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->state_prev = state;
+    cache->aux = {h};
+  }
+  return h;
+}
+
+void SimpleRnnCell::Backward(const RecCache& cache, const Vec& dstate,
+                             Vec* dx, Vec* dstate_prev) {
+  const Vec& h = cache.aux[0];
+  dx->assign(in_dim_, 0.0);
+  dstate_prev->assign(hidden_dim_, 0.0);
+  Vec da(hidden_dim_);
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    da[i] = dstate[i] * (1.0 - h[i] * h[i]);
+  }
+  AccumulateAffine(&W_, &U_, &b_, da, cache.x, cache.state_prev, dx,
+                   dstate_prev);
+}
+
+// ----------------------------------------------------------------- LSTM --
+
+LstmCell::LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      Wi_(hidden_dim, in_dim),
+      Ui_(hidden_dim, hidden_dim),
+      bi_(1, hidden_dim),
+      Wf_(hidden_dim, in_dim),
+      Uf_(hidden_dim, hidden_dim),
+      bf_(1, hidden_dim),
+      Wo_(hidden_dim, in_dim),
+      Uo_(hidden_dim, hidden_dim),
+      bo_(1, hidden_dim),
+      Wc_(hidden_dim, in_dim),
+      Uc_(hidden_dim, hidden_dim),
+      bc_(1, hidden_dim) {
+  Wi_.InitGlorot(rng);
+  Ui_.InitGlorot(rng);
+  Wf_.InitGlorot(rng);
+  Uf_.InitGlorot(rng);
+  Wo_.InitGlorot(rng);
+  Uo_.InitGlorot(rng);
+  Wc_.InitGlorot(rng);
+  Uc_.InitGlorot(rng);
+  // Forget-gate bias init at 1 (standard trick for gradient flow).
+  for (size_t i = 0; i < hidden_dim; ++i) bf_.value(0, i) = 1.0;
+}
+
+Vec LstmCell::Gate(const Param& W, const Param& U, const Param& b,
+                   const Vec& x, const Vec& h) const {
+  Vec out = W.value.MatVec(x);
+  const Vec uh = U.value.MatVec(h);
+  for (size_t i = 0; i < hidden_dim_; ++i) out[i] += uh[i] + b.value(0, i);
+  return out;
+}
+
+Vec LstmCell::Forward(const Vec& x, const Vec& state,
+                      RecCache* cache) const {
+  assert(x.size() == in_dim_ && state.size() == 2 * hidden_dim_);
+  const Vec h_prev(state.begin(), state.begin() + hidden_dim_);
+  const Vec c_prev(state.begin() + hidden_dim_, state.end());
+
+  Vec i_gate = Gate(Wi_, Ui_, bi_, x, h_prev);
+  Vec f_gate = Gate(Wf_, Uf_, bf_, x, h_prev);
+  Vec o_gate = Gate(Wo_, Uo_, bo_, x, h_prev);
+  Vec g_gate = Gate(Wc_, Uc_, bc_, x, h_prev);
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    i_gate[i] = Sigmoid(i_gate[i]);
+    f_gate[i] = Sigmoid(f_gate[i]);
+    o_gate[i] = Sigmoid(o_gate[i]);
+    g_gate[i] = std::tanh(g_gate[i]);
+  }
+  Vec c(hidden_dim_), h(hidden_dim_);
+  for (size_t i = 0; i < hidden_dim_; ++i) {
+    c[i] = f_gate[i] * c_prev[i] + i_gate[i] * g_gate[i];
+    h[i] = o_gate[i] * std::tanh(c[i]);
+  }
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->state_prev = state;
+    cache->aux = {i_gate, f_gate, o_gate, g_gate, c};
+  }
+  Vec out = h;
+  out.insert(out.end(), c.begin(), c.end());
+  return out;
+}
+
+void LstmCell::Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
+                        Vec* dstate_prev) {
+  const size_t H = hidden_dim_;
+  const Vec& i_gate = cache.aux[0];
+  const Vec& f_gate = cache.aux[1];
+  const Vec& o_gate = cache.aux[2];
+  const Vec& g_gate = cache.aux[3];
+  const Vec& c = cache.aux[4];
+  const Vec h_prev(cache.state_prev.begin(), cache.state_prev.begin() + H);
+  const Vec c_prev(cache.state_prev.begin() + H, cache.state_prev.end());
+
+  dx->assign(in_dim_, 0.0);
+  dstate_prev->assign(2 * H, 0.0);
+
+  Vec da_i(H), da_f(H), da_o(H), da_g(H);
+  for (size_t i = 0; i < H; ++i) {
+    const double dh = dstate[i];
+    const double tanh_c = std::tanh(c[i]);
+    // dc from the h path plus the direct dc from the next step.
+    const double dc = dh * o_gate[i] * (1.0 - tanh_c * tanh_c) +
+                      dstate[H + i];
+    const double do_ = dh * tanh_c;
+    const double di = dc * g_gate[i];
+    const double df = dc * c_prev[i];
+    const double dg = dc * i_gate[i];
+    // dc_prev carried to the previous step.
+    (*dstate_prev)[H + i] = dc * f_gate[i];
+    da_i[i] = di * i_gate[i] * (1.0 - i_gate[i]);
+    da_f[i] = df * f_gate[i] * (1.0 - f_gate[i]);
+    da_o[i] = do_ * o_gate[i] * (1.0 - o_gate[i]);
+    da_g[i] = dg * (1.0 - g_gate[i] * g_gate[i]);
+  }
+  // dh_prev accumulates into the first H entries of dstate_prev.
+  Vec dh_prev(H, 0.0);
+  AccumulateAffine(&Wi_, &Ui_, &bi_, da_i, cache.x, h_prev, dx, &dh_prev);
+  AccumulateAffine(&Wf_, &Uf_, &bf_, da_f, cache.x, h_prev, dx, &dh_prev);
+  AccumulateAffine(&Wo_, &Uo_, &bo_, da_o, cache.x, h_prev, dx, &dh_prev);
+  AccumulateAffine(&Wc_, &Uc_, &bc_, da_g, cache.x, h_prev, dx, &dh_prev);
+  for (size_t i = 0; i < H; ++i) (*dstate_prev)[i] += dh_prev[i];
+}
+
+std::vector<Param*> LstmCell::Params() {
+  return {&Wi_, &Ui_, &bi_, &Wf_, &Uf_, &bf_,
+          &Wo_, &Uo_, &bo_, &Wc_, &Uc_, &bc_};
+}
+
+// ------------------------------------------------------------------ GRU --
+
+Vec GruRecurrentCell::Forward(const Vec& x, const Vec& state,
+                              RecCache* cache) const {
+  GruCache gc;
+  const Vec h = cell_.Forward(x, state, cache != nullptr ? &gc : nullptr);
+  if (cache != nullptr) {
+    cache->x = gc.x;
+    cache->state_prev = gc.h_prev;
+    cache->aux = {gc.z, gc.r, gc.hhat};
+  }
+  return h;
+}
+
+void GruRecurrentCell::Backward(const RecCache& cache, const Vec& dstate,
+                                Vec* dx, Vec* dstate_prev) {
+  GruCache gc;
+  gc.x = cache.x;
+  gc.h_prev = cache.state_prev;
+  gc.z = cache.aux[0];
+  gc.r = cache.aux[1];
+  gc.hhat = cache.aux[2];
+  cell_.Backward(gc, dstate, dx, dstate_prev);
+}
+
+std::unique_ptr<RecurrentCell> MakeRecurrentCell(RecurrentKind kind,
+                                                 size_t in_dim,
+                                                 size_t hidden_dim,
+                                                 Rng* rng) {
+  switch (kind) {
+    case RecurrentKind::kGru:
+      return std::make_unique<GruRecurrentCell>(in_dim, hidden_dim, rng);
+    case RecurrentKind::kLstm:
+      return std::make_unique<LstmCell>(in_dim, hidden_dim, rng);
+    case RecurrentKind::kSimpleRnn:
+      return std::make_unique<SimpleRnnCell>(in_dim, hidden_dim, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace retina::nn

@@ -1,0 +1,128 @@
+// Recurrent-cell family behind dynamic RETINA.
+//
+// The paper's dynamic head uses a GRU but reports having tried a simple
+// RNN (worse) and an LSTM (no gain) — Section V-B. All three are available
+// behind one interface so the ablation bench can reproduce that comparison.
+//
+// A cell maps (input, state) -> state. The observable output is the first
+// hidden_dim() entries of the state vector (for the LSTM the remainder is
+// the cell state c).
+
+#ifndef RETINA_NN_RECURRENT_H_
+#define RETINA_NN_RECURRENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/gru.h"
+#include "nn/param.h"
+
+namespace retina::nn {
+
+/// Per-step cache for RecurrentCell::Backward. `aux` slots are
+/// cell-specific (gate activations etc.).
+struct RecCache {
+  Vec x;
+  Vec state_prev;
+  std::vector<Vec> aux;
+};
+
+/// \brief Common interface over GRU / LSTM / simple RNN cells.
+class RecurrentCell {
+ public:
+  virtual ~RecurrentCell() = default;
+
+  /// Size of the full recurrent state.
+  virtual size_t state_dim() const = 0;
+  /// Size of the observable output (prefix of the state).
+  virtual size_t hidden_dim() const = 0;
+  virtual size_t in_dim() const = 0;
+
+  /// One step: returns the new state; fills `cache` when non-null.
+  virtual Vec Forward(const Vec& x, const Vec& state,
+                      RecCache* cache) const = 0;
+
+  /// Backward through one step given d(new state); accumulates parameter
+  /// gradients and emits input / previous-state gradients.
+  virtual void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
+                        Vec* dstate_prev) = 0;
+
+  virtual std::vector<Param*> Params() = 0;
+};
+
+enum class RecurrentKind { kGru, kLstm, kSimpleRnn };
+
+const char* RecurrentKindName(RecurrentKind kind);
+
+/// \brief Vanilla RNN: h' = tanh(W x + U h + b).
+class SimpleRnnCell : public RecurrentCell {
+ public:
+  SimpleRnnCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+
+  size_t state_dim() const override { return hidden_dim_; }
+  size_t hidden_dim() const override { return hidden_dim_; }
+  size_t in_dim() const override { return in_dim_; }
+  Vec Forward(const Vec& x, const Vec& state,
+              RecCache* cache) const override;
+  void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
+                Vec* dstate_prev) override;
+  std::vector<Param*> Params() override { return {&W_, &U_, &b_}; }
+
+ private:
+  size_t in_dim_, hidden_dim_;
+  Param W_, U_, b_;
+};
+
+/// \brief LSTM cell; state = [h, c].
+class LstmCell : public RecurrentCell {
+ public:
+  LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+
+  size_t state_dim() const override { return 2 * hidden_dim_; }
+  size_t hidden_dim() const override { return hidden_dim_; }
+  size_t in_dim() const override { return in_dim_; }
+  Vec Forward(const Vec& x, const Vec& state,
+              RecCache* cache) const override;
+  void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
+                Vec* dstate_prev) override;
+  std::vector<Param*> Params() override;
+
+ private:
+  // Gate pre-activation a_g = Wg x + Ug h + bg for g in {i, f, o, c}.
+  Vec Gate(const Param& W, const Param& U, const Param& b, const Vec& x,
+           const Vec& h) const;
+
+  size_t in_dim_, hidden_dim_;
+  Param Wi_, Ui_, bi_;
+  Param Wf_, Uf_, bf_;
+  Param Wo_, Uo_, bo_;
+  Param Wc_, Uc_, bc_;
+};
+
+/// \brief Adapter exposing GruCell behind the RecurrentCell interface.
+class GruRecurrentCell : public RecurrentCell {
+ public:
+  GruRecurrentCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+      : cell_(in_dim, hidden_dim, rng) {}
+
+  size_t state_dim() const override { return cell_.hidden_dim(); }
+  size_t hidden_dim() const override { return cell_.hidden_dim(); }
+  size_t in_dim() const override { return cell_.in_dim(); }
+  Vec Forward(const Vec& x, const Vec& state,
+              RecCache* cache) const override;
+  void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
+                Vec* dstate_prev) override;
+  std::vector<Param*> Params() override { return cell_.Params(); }
+
+ private:
+  GruCell cell_;
+};
+
+/// Factory over the three kinds.
+std::unique_ptr<RecurrentCell> MakeRecurrentCell(RecurrentKind kind,
+                                                 size_t in_dim,
+                                                 size_t hidden_dim, Rng* rng);
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_RECURRENT_H_

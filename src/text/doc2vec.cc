@@ -1,0 +1,157 @@
+#include "text/doc2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace retina::text {
+
+Status Doc2Vec::Train(const std::vector<std::vector<std::string>>& docs) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("Doc2Vec::Train: empty corpus");
+  }
+  // Vocabulary with min_count filter.
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& doc : docs)
+    for (const auto& tok : doc) ++counts[tok];
+
+  vocab_ = Vocabulary();
+  std::vector<double> freq;
+  {
+    // Deterministic id order: sort tokens lexicographically.
+    std::vector<std::pair<std::string, size_t>> items(counts.begin(),
+                                                      counts.end());
+    std::sort(items.begin(), items.end());
+    for (auto& [tok, c] : items) {
+      if (c < options_.min_count) continue;
+      vocab_.AddToken(tok);
+      freq.push_back(static_cast<double>(c));
+    }
+  }
+  if (vocab_.size() == 0) {
+    return Status::FailedPrecondition(
+        "Doc2Vec::Train: no token satisfies min_count");
+  }
+
+  // Negative-sampling distribution: unigram^0.75 CDF.
+  unigram_cdf_.resize(freq.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < freq.size(); ++i) {
+    acc += std::pow(freq[i], 0.75);
+    unigram_cdf_[i] = acc;
+  }
+  for (double& v : unigram_cdf_) v /= acc;
+
+  Rng rng(options_.seed);
+  const double scale = 1.0 / static_cast<double>(options_.dim);
+  word_vecs_ = Matrix(vocab_.size(), options_.dim);
+  for (double& w : word_vecs_.data()) w = rng.Uniform(-scale, scale);
+  doc_vecs_.assign(docs.size(), Vec(options_.dim));
+  for (auto& d : doc_vecs_)
+    for (double& x : d) x = rng.Uniform(-scale, scale);
+
+  // Pre-map docs to word ids (dropping OOV).
+  std::vector<std::vector<int>> ids(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    ids[i].reserve(docs[i].size());
+    for (const auto& tok : docs[i]) {
+      const int id = vocab_.GetId(tok);
+      if (id != Vocabulary::kUnknown) ids[i].push_back(id);
+    }
+  }
+
+  std::vector<size_t> order(docs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double lr0 = options_.learning_rate;
+  const double lr_min = lr0 / 10.0;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const double lr =
+        lr0 - (lr0 - lr_min) * static_cast<double>(epoch) /
+                  std::max(1, options_.epochs - 1);
+    rng.Shuffle(&order);
+    for (size_t di : order) {
+      Vec& d = doc_vecs_[di];
+      for (int wid : ids[di]) {
+        SgdStep(&d, wid, lr, &word_vecs_, &rng);
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+int Doc2Vec::SampleNegative(Rng* rng) const {
+  const double u = rng->Uniform();
+  auto it = std::upper_bound(unigram_cdf_.begin(), unigram_cdf_.end(), u);
+  size_t idx = static_cast<size_t>(it - unigram_cdf_.begin());
+  if (idx >= unigram_cdf_.size()) idx = unigram_cdf_.size() - 1;
+  return static_cast<int>(idx);
+}
+
+void Doc2Vec::SgdStep(Vec* d, int target_word, double lr, Matrix* words,
+                      Rng* rng) const {
+  const size_t dim = options_.dim;
+  Vec d_grad(dim, 0.0);
+  // Positive pair plus `negative` sampled negatives.
+  for (int k = 0; k <= options_.negative; ++k) {
+    int wid;
+    double label;
+    if (k == 0) {
+      wid = target_word;
+      label = 1.0;
+    } else {
+      wid = SampleNegative(rng);
+      if (wid == target_word) continue;
+      label = 0.0;
+    }
+    const double* w = word_vecs_.Row(static_cast<size_t>(wid));
+    double score = 0.0;
+    for (size_t j = 0; j < dim; ++j) score += (*d)[j] * w[j];
+    const double g = (label - Sigmoid(score)) * lr;
+    for (size_t j = 0; j < dim; ++j) d_grad[j] += g * w[j];
+    if (words != nullptr) {
+      double* wm = words->Row(static_cast<size_t>(wid));
+      for (size_t j = 0; j < dim; ++j) wm[j] += g * (*d)[j];
+    }
+  }
+  for (size_t j = 0; j < dim; ++j) (*d)[j] += d_grad[j];
+}
+
+Vec Doc2Vec::InferVector(const std::vector<std::string>& doc,
+                         int infer_epochs) const {
+  Rng rng(options_.seed ^ 0x5DEECE66DULL);
+  const double scale = 1.0 / static_cast<double>(options_.dim);
+  Vec d(options_.dim);
+  for (double& x : d) x = rng.Uniform(-scale, scale);
+  if (!trained_) return d;
+
+  std::vector<int> ids;
+  ids.reserve(doc.size());
+  for (const auto& tok : doc) {
+    const int id = vocab_.GetId(tok);
+    if (id != Vocabulary::kUnknown) ids.push_back(id);
+  }
+  if (ids.empty()) return d;
+
+  const double lr0 = options_.learning_rate;
+  const double lr_min = lr0 / 10.0;
+  for (int epoch = 0; epoch < infer_epochs; ++epoch) {
+    const double lr = lr0 - (lr0 - lr_min) * static_cast<double>(epoch) /
+                                std::max(1, infer_epochs - 1);
+    for (int wid : ids) {
+      SgdStep(&d, wid, lr, /*words=*/nullptr, &rng);
+    }
+  }
+  return d;
+}
+
+double Doc2Vec::TokenSimilarity(const Vec& doc_vec,
+                                const std::string& token) const {
+  const int id = vocab_.GetId(token);
+  if (id == Vocabulary::kUnknown) return 0.0;
+  const Vec w = word_vecs_.RowVec(static_cast<size_t>(id));
+  return CosineSimilarity(doc_vec, w);
+}
+
+}  // namespace retina::text

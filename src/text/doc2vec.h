@@ -1,0 +1,88 @@
+// Doc2Vec (PV-DBOW with negative sampling), from scratch.
+//
+// The paper derives 50-dimensional document embeddings for tweets (used for
+// the topical-relatedness feature of Section IV-B and the attention inputs
+// of Section V-A) and news headlines with gensim's Doc2Vec. This is the same
+// model family: the distributed bag-of-words variant of paragraph vectors
+// (Le & Mikolov [35]) trained with negative sampling.
+
+#ifndef RETINA_TEXT_DOC2VEC_H_
+#define RETINA_TEXT_DOC2VEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vec.h"
+#include "text/vocabulary.h"
+
+namespace retina::text {
+
+/// Training options for Doc2Vec.
+struct Doc2VecOptions {
+  /// Embedding dimensionality (paper: 50 for tweets).
+  size_t dim = 50;
+  /// Passes over the corpus.
+  int epochs = 10;
+  /// Initial learning rate, linearly decayed to lr/10.
+  double learning_rate = 0.025;
+  /// Negative samples per positive pair.
+  int negative = 5;
+  /// Tokens must occur at least this often to enter the vocabulary.
+  size_t min_count = 2;
+  /// Seed for init and negative sampling.
+  uint64_t seed = 1;
+};
+
+/// \brief PV-DBOW paragraph vector model.
+class Doc2Vec {
+ public:
+  explicit Doc2Vec(Doc2VecOptions options = {}) : options_(options) {}
+
+  /// Trains document and word embeddings on tokenized `docs`.
+  /// Returns InvalidArgument on an empty corpus, FailedPrecondition if no
+  /// token satisfies min_count.
+  Status Train(const std::vector<std::vector<std::string>>& docs);
+
+  /// Trained vector for training document `i`.
+  const Vec& DocVector(size_t i) const { return doc_vecs_[i]; }
+
+  /// Number of training documents.
+  size_t NumDocs() const { return doc_vecs_.size(); }
+
+  size_t Dim() const { return options_.dim; }
+
+  /// Infers a vector for an unseen document: word embeddings stay frozen and
+  /// a fresh document vector is fit by SGD (gensim's infer_vector).
+  Vec InferVector(const std::vector<std::string>& doc,
+                  int infer_epochs = 20) const;
+
+  /// Cosine similarity between a document's inferred vector and a single
+  /// token's output embedding — the "topical relatedness" primitive the
+  /// hashtag-affinity feature is built from. Returns 0 for OOV tokens.
+  double TokenSimilarity(const Vec& doc_vec, const std::string& token) const;
+
+  const Vocabulary& vocab() const { return vocab_; }
+  bool trained() const { return trained_; }
+
+ private:
+  // One SGD step on pair (doc vector d, target word). Always updates d;
+  // updates word embeddings only when `words` is non-null (null = frozen,
+  // as in InferVector).
+  void SgdStep(Vec* d, int target_word, double lr, Matrix* words,
+               Rng* rng) const;
+
+  int SampleNegative(Rng* rng) const;
+
+  Doc2VecOptions options_;
+  Vocabulary vocab_;
+  Matrix word_vecs_;           // |V| x dim output embeddings
+  std::vector<Vec> doc_vecs_;  // one per training document
+  std::vector<double> unigram_cdf_;  // negative-sampling distribution
+  bool trained_ = false;
+};
+
+}  // namespace retina::text
+
+#endif  // RETINA_TEXT_DOC2VEC_H_

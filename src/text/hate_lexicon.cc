@@ -1,0 +1,62 @@
+#include "text/hate_lexicon.h"
+
+#include <cstdio>
+
+namespace retina::text {
+
+HateLexicon::HateLexicon(std::vector<std::string> slur_terms,
+                         std::vector<std::string> colloquial_terms)
+    : slurs_(std::move(slur_terms)), colloquials_(std::move(colloquial_terms)) {
+  terms_.reserve(slurs_.size() + colloquials_.size());
+  terms_.insert(terms_.end(), slurs_.begin(), slurs_.end());
+  terms_.insert(terms_.end(), colloquials_.begin(), colloquials_.end());
+  for (size_t i = 0; i < terms_.size(); ++i) index_.emplace(terms_[i], i);
+  slur_set_.insert(slurs_.begin(), slurs_.end());
+}
+
+bool HateLexicon::Contains(const std::string& token) const {
+  return index_.count(token) > 0;
+}
+
+bool HateLexicon::IsSlur(const std::string& token) const {
+  return slur_set_.count(token) > 0;
+}
+
+Vec HateLexicon::FrequencyVector(
+    const std::vector<std::vector<std::string>>& docs) const {
+  Vec out(terms_.size(), 0.0);
+  for (const auto& doc : docs) {
+    for (const auto& tok : doc) {
+      auto it = index_.find(tok);
+      if (it != index_.end()) out[it->second] += 1.0;
+    }
+  }
+  return out;
+}
+
+size_t HateLexicon::CountHits(const std::vector<std::string>& doc) const {
+  size_t hits = 0;
+  for (const auto& tok : doc) {
+    if (index_.count(tok) > 0) ++hits;
+  }
+  return hits;
+}
+
+HateLexicon MakeSyntheticLexicon(size_t n_terms, size_t n_slurs) {
+  if (n_slurs > n_terms) n_slurs = n_terms;
+  std::vector<std::string> slurs, colloquials;
+  slurs.reserve(n_slurs);
+  colloquials.reserve(n_terms - n_slurs);
+  char buf[32];
+  for (size_t i = 0; i < n_slurs; ++i) {
+    std::snprintf(buf, sizeof(buf), "slur%03zu", i);
+    slurs.emplace_back(buf);
+  }
+  for (size_t i = 0; i < n_terms - n_slurs; ++i) {
+    std::snprintf(buf, sizeof(buf), "colloq%03zu", i);
+    colloquials.emplace_back(buf);
+  }
+  return HateLexicon(std::move(slurs), std::move(colloquials));
+}
+
+}  // namespace retina::text

@@ -1,0 +1,72 @@
+// Hate lexicon (Kapoor et al. [17] analogue).
+//
+// The paper uses a manually pruned dictionary of 209 Hindi/English
+// code-switched slur and colloquial terms. The real lexicon cannot be
+// redistributed; MakeSyntheticLexicon() builds a 209-term synthetic stand-in
+// whose terms are injected into hateful synthetic tweets by the world
+// generator (src/datagen), preserving the lexicon's role as a
+// high-precision / partial-recall hate signal. "Colloquial" terms also occur
+// in non-hate text, matching the context-dependent terms the paper calls out
+// (e.g. "mulla", "bakar").
+
+#ifndef RETINA_TEXT_HATE_LEXICON_H_
+#define RETINA_TEXT_HATE_LEXICON_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/vec.h"
+
+namespace retina::text {
+
+/// \brief Dictionary of hate terms with frequency-vector extraction.
+///
+/// The lexicon vector HL (Section IV-A) counts, over a set of documents,
+/// how often each lexicon entry appears.
+class HateLexicon {
+ public:
+  /// \param slur_terms Terms that are offensive wherever they appear.
+  /// \param colloquial_terms Terms hateful only in context (weak signal).
+  HateLexicon(std::vector<std::string> slur_terms,
+              std::vector<std::string> colloquial_terms);
+
+  /// Total number of entries |H| (slurs + colloquial).
+  size_t size() const { return terms_.size(); }
+
+  const std::vector<std::string>& terms() const { return terms_; }
+  const std::vector<std::string>& slur_terms() const { return slurs_; }
+  const std::vector<std::string>& colloquial_terms() const {
+    return colloquials_;
+  }
+
+  /// True if `token` is any lexicon entry.
+  bool Contains(const std::string& token) const;
+
+  /// True if `token` is an unambiguous slur.
+  bool IsSlur(const std::string& token) const;
+
+  /// Frequency vector HL over the concatenation of `docs` (size() entries,
+  /// one count per lexicon term).
+  Vec FrequencyVector(
+      const std::vector<std::vector<std::string>>& docs) const;
+
+  /// Count of lexicon hits in a single token stream.
+  size_t CountHits(const std::vector<std::string>& doc) const;
+
+ private:
+  std::vector<std::string> slurs_;
+  std::vector<std::string> colloquials_;
+  std::vector<std::string> terms_;  // slurs_ then colloquials_
+  std::unordered_map<std::string, size_t> index_;
+  std::unordered_set<std::string> slur_set_;
+};
+
+/// Builds the synthetic 209-term lexicon (`n_slurs` unambiguous terms,
+/// the remainder colloquial). Term strings are deterministic.
+HateLexicon MakeSyntheticLexicon(size_t n_terms = 209, size_t n_slurs = 160);
+
+}  // namespace retina::text
+
+#endif  // RETINA_TEXT_HATE_LEXICON_H_

@@ -1,0 +1,105 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retina::text {
+
+Status TfIdfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& docs) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("TfIdfVectorizer::Fit: empty corpus");
+  }
+  feature_index_.clear();
+  feature_tokens_.clear();
+  idf_.clear();
+
+  // Document frequencies.
+  std::unordered_map<std::string, size_t> df;
+  for (const auto& doc : docs) {
+    std::unordered_map<std::string, bool> in_doc;
+    for (const auto& tok : doc) in_doc.emplace(tok, true);
+    for (const auto& [tok, _] : in_doc) ++df[tok];
+  }
+
+  const double n = static_cast<double>(docs.size());
+  struct Cand {
+    std::string token;
+    size_t df;
+    double idf;
+  };
+  std::vector<Cand> cands;
+  cands.reserve(df.size());
+  for (auto& [tok, d] : df) {
+    if (d < options_.min_df) continue;
+    const double idf = std::log((1.0 + n) / (1.0 + static_cast<double>(d))) +
+                       1.0;
+    cands.push_back({tok, d, idf});
+  }
+  if (cands.empty()) {
+    return Status::FailedPrecondition(
+        "TfIdfVectorizer::Fit: no token satisfies min_df");
+  }
+
+  if (options_.rank_by_idf) {
+    // Highest idf first (rarest informative tokens), token as tiebreak for
+    // determinism.
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.idf != b.idf) return a.idf > b.idf;
+      return a.token < b.token;
+    });
+  } else {
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.df != b.df) return a.df > b.df;
+      return a.token < b.token;
+    });
+  }
+  if (options_.max_features > 0 && cands.size() > options_.max_features) {
+    cands.resize(options_.max_features);
+  }
+  // Stable feature order: lexicographic over retained tokens.
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.token < b.token; });
+
+  feature_tokens_.reserve(cands.size());
+  idf_.reserve(cands.size());
+  for (size_t i = 0; i < cands.size(); ++i) {
+    feature_index_.emplace(cands[i].token, i);
+    feature_tokens_.push_back(cands[i].token);
+    idf_.push_back(cands[i].idf);
+  }
+  return Status::OK();
+}
+
+Vec TfIdfVectorizer::Transform(const std::vector<std::string>& doc) const {
+  Vec out(Dim(), 0.0);
+  if (doc.empty() || !fitted()) return out;
+  for (const auto& tok : doc) {
+    auto it = feature_index_.find(tok);
+    if (it != feature_index_.end()) out[it->second] += 1.0;
+  }
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= idf_[i];
+  if (options_.l2_normalize) L2NormalizeInPlace(&out);
+  return out;
+}
+
+Matrix TfIdfVectorizer::TransformBatch(
+    const std::vector<std::vector<std::string>>& docs) const {
+  Matrix out(docs.size(), Dim());
+  for (size_t i = 0; i < docs.size(); ++i) out.SetRow(i, Transform(docs[i]));
+  return out;
+}
+
+Vec TfIdfVectorizer::TransformAverage(
+    const std::vector<std::vector<std::string>>& docs) const {
+  Vec acc(Dim(), 0.0);
+  if (docs.empty()) return acc;
+  for (const auto& doc : docs) {
+    const Vec v = Transform(doc);
+    Axpy(1.0, v, &acc);
+  }
+  Scale(1.0 / static_cast<double>(docs.size()), &acc);
+  return acc;
+}
+
+}  // namespace retina::text

@@ -1,0 +1,32 @@
+#include "text/vocabulary.h"
+
+namespace retina::text {
+
+namespace {
+const std::string kEmpty;
+}
+
+int Vocabulary::AddToken(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.emplace_back(token);
+  ids_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int Vocabulary::GetId(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnknown : it->second;
+}
+
+const std::string& Vocabulary::GetToken(int id) const {
+  if (id < 0 || static_cast<size_t>(id) >= tokens_.size()) return kEmpty;
+  return tokens_[static_cast<size_t>(id)];
+}
+
+bool Vocabulary::Contains(std::string_view token) const {
+  return GetId(token) != kUnknown;
+}
+
+}  // namespace retina::text

@@ -1,0 +1,42 @@
+// Token <-> id mapping shared by the tf-idf vectorizer and Doc2Vec.
+
+#ifndef RETINA_TEXT_VOCABULARY_H_
+#define RETINA_TEXT_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace retina::text {
+
+/// \brief Append-only token dictionary.
+class Vocabulary {
+ public:
+  static constexpr int kUnknown = -1;
+
+  /// Returns the id of `token`, inserting it if absent.
+  int AddToken(std::string_view token);
+
+  /// Returns the id of `token` or kUnknown.
+  int GetId(std::string_view token) const;
+
+  /// Returns the token for `id`; empty string if out of range.
+  const std::string& GetToken(int id) const;
+
+  /// True if the token is present.
+  bool Contains(std::string_view token) const;
+
+  size_t size() const { return tokens_.size(); }
+
+  /// All tokens in id order.
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace retina::text
+
+#endif  // RETINA_TEXT_VOCABULARY_H_

@@ -1,0 +1,471 @@
+// Tests for src/core: feature extraction, the two task builders, and
+// RETINA training/prediction (static, dynamic and the † ablation).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/feature_extractor.h"
+#include "core/hategen_task.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+#include "hatedetect/annotation.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+
+namespace retina::core {
+namespace {
+
+datagen::WorldConfig TestConfig() {
+  datagen::WorldConfig config;
+  config.scale = 0.05;
+  config.num_users = 900;
+  config.history_length = 14;
+  config.news_per_day = 50.0;
+  return config;
+}
+
+FeatureConfig TestFeatureConfig() {
+  FeatureConfig config;
+  config.history_size = 10;
+  config.history_tfidf_dim = 80;
+  config.news_tfidf_dim = 80;
+  config.tweet_tfidf_dim = 80;
+  config.news_window = 20;
+  config.doc2vec_dim = 16;
+  config.doc2vec_epochs = 3;
+  return config;
+}
+
+struct Fixture {
+  datagen::SyntheticWorld world;
+  std::unique_ptr<FeatureExtractor> extractor;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture{
+        datagen::SyntheticWorld::Generate(TestConfig(), 31), nullptr};
+    hatedetect::AnnotationOptions aopts;
+    auto report = hatedetect::AnnotateWorld(&f->world, aopts);
+    EXPECT_TRUE(report.ok());
+    auto fx = FeatureExtractor::Build(f->world, TestFeatureConfig());
+    EXPECT_TRUE(fx.ok());
+    f->extractor =
+        std::make_unique<FeatureExtractor>(std::move(fx).ValueOrDie());
+    return f;
+  }();
+  return *fixture;
+}
+
+// --------------------------------------------------------------- Features --
+
+TEST(FeatureMaskTest, WithoutDisablesExactlyOneGroup) {
+  const FeatureMask h = FeatureMask::Without("history");
+  EXPECT_FALSE(h.history);
+  EXPECT_TRUE(h.topic && h.endogenous && h.exogenous);
+  const FeatureMask e = FeatureMask::Without("exogenous");
+  EXPECT_FALSE(e.exogenous);
+  EXPECT_TRUE(e.history && e.topic && e.endogenous);
+}
+
+TEST(FeatureExtractorTest, DimsAreConsistent) {
+  auto& f = SharedFixture();
+  const FeatureExtractor& fx = *f.extractor;
+  const size_t full = fx.HateGenDim();
+  EXPECT_EQ(full, fx.HistoryBlockDim() + 1 + 50 + 80);
+  EXPECT_EQ(fx.HateGenDim(FeatureMask::Without("history")),
+            full - fx.HistoryBlockDim());
+  EXPECT_EQ(fx.HateGenDim(FeatureMask::Without("topic")), full - 1);
+  EXPECT_EQ(fx.HateGenDim(FeatureMask::Without("endogenous")), full - 50);
+  EXPECT_EQ(fx.HateGenDim(FeatureMask::Without("exogenous")), full - 80);
+  EXPECT_EQ(fx.RetweetUserDim(), fx.HistoryBlockDim() + 50 + 2);
+  EXPECT_EQ(fx.TweetContentDim(), 80 + f.world.lexicon().size());
+}
+
+TEST(FeatureExtractorTest, HateGenFeatureVectorMatchesDim) {
+  auto& f = SharedFixture();
+  const auto& tw = f.world.tweets().front();
+  for (const char* group : {"history", "topic", "endogenous", "exogenous"}) {
+    const FeatureMask mask = FeatureMask::Without(group);
+    const Vec x = f.extractor->HateGenFeatures(tw.author, tw.hashtag,
+                                               tw.time, mask);
+    EXPECT_EQ(x.size(), f.extractor->HateGenDim(mask));
+  }
+}
+
+TEST(FeatureExtractorTest, HistoryBlockEncodesHatefulness) {
+  auto& f = SharedFixture();
+  // Average hate-ratio feature (index = tfidf_dim) should be higher for
+  // hate-prone users than for ordinary users.
+  const size_t ratio_idx = 80;  // history_tfidf_dim
+  double prone = 0.0, ordinary = 0.0;
+  size_t n_prone = 0, n_ord = 0;
+  for (NodeId u = 0; u < f.world.NumUsers(); ++u) {
+    const double r = f.extractor->UserHistoryBlock(u)[ratio_idx];
+    if (f.world.users()[u].echo_community >= 0) {
+      prone += r;
+      ++n_prone;
+    } else {
+      ordinary += r;
+      ++n_ord;
+    }
+  }
+  ASSERT_GT(n_prone, 0u);
+  EXPECT_GT(prone / static_cast<double>(n_prone),
+            ordinary / static_cast<double>(n_ord) + 0.05);
+}
+
+TEST(FeatureExtractorTest, NewsWindowShape) {
+  auto& f = SharedFixture();
+  const Matrix w = f.extractor->NewsEmbeddingWindow(30.0 * 24.0);
+  EXPECT_EQ(w.rows(), 20u);  // news_window
+  EXPECT_EQ(w.cols(), 16u);  // doc2vec dim
+  // Early time: fewer articles available.
+  const Matrix early = f.extractor->NewsEmbeddingWindow(1.0);
+  EXPECT_LT(early.rows(), 20u);
+}
+
+TEST(FeatureExtractorTest, NewsTfIdfCachedAndStable) {
+  auto& f = SharedFixture();
+  const Vec a = f.extractor->NewsTfIdfAverage(500.0);
+  const Vec b = f.extractor->NewsTfIdfAverage(500.0);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 80u);
+}
+
+TEST(FeatureExtractorTest, RetweetUserFeaturesPeerSignals) {
+  auto& f = SharedFixture();
+  const auto& tw = f.world.tweets().front();
+  const size_t dim = f.extractor->RetweetUserDim();
+  // Direct follower: path length 1 encoded at dim-2.
+  const auto followers = f.world.network().Followers(tw.author);
+  if (!followers.empty()) {
+    const Vec x = f.extractor->RetweetUserFeatures(tw, followers[0], 1);
+    EXPECT_EQ(x.size(), dim);
+    EXPECT_DOUBLE_EQ(x[dim - 2], 1.0);
+  }
+  // Unreachable: encoded as cutoff + 1.
+  const Vec y =
+      f.extractor->RetweetUserFeatures(tw, 0, graph::kUnreachable);
+  EXPECT_DOUBLE_EQ(y[dim - 2],
+                   static_cast<double>(kPeerPathCutoff + 1));
+}
+
+TEST(FeatureExtractorTest, SetHistorySizeRebuilds) {
+  // Use a private extractor: this mutates cached blocks.
+  auto world = datagen::SyntheticWorld::Generate(TestConfig(), 57);
+  auto fx = FeatureExtractor::Build(world, TestFeatureConfig());
+  ASSERT_TRUE(fx.ok());
+  FeatureExtractor extractor = std::move(fx).ValueOrDie();
+  const Vec before = extractor.UserHistoryBlock(3);
+  extractor.SetHistorySize(4);
+  const Vec after = extractor.UserHistoryBlock(3);
+  EXPECT_EQ(before.size(), after.size());
+  EXPECT_NE(before, after);
+}
+
+TEST(FeatureExtractorTest, NewsAlignmentFeaturesShapeAndRange) {
+  auto& f = SharedFixture();
+  // A mid-horizon tweet has full news coverage.
+  const datagen::Tweet* tweet = nullptr;
+  for (const auto& tw : f.world.tweets()) {
+    if (tw.time > 400.0) {
+      tweet = &tw;
+      break;
+    }
+  }
+  ASSERT_NE(tweet, nullptr);
+  const Vec align = f.extractor->NewsAlignmentFeatures(*tweet, 20);
+  ASSERT_EQ(align.size(), FeatureExtractor::kNewsAlignmentDim);
+  EXPECT_GE(align[0], -1.0);
+  EXPECT_LE(align[0], 1.0);
+  EXPECT_GE(align[1], -1.0);
+  EXPECT_LE(align[1], 1.0);
+  EXPECT_GT(align[2], 0.0);  // 24h volume ratio
+}
+
+// ------------------------------------------------------------ HateGenTask --
+
+TEST(HateGenTaskTest, BuildsImbalancedGoldTestSplit) {
+  auto& f = SharedFixture();
+  HateGenTaskOptions opts;
+  opts.min_news = 20;
+  auto task_result = BuildHateGenTask(*f.extractor, opts);
+  ASSERT_TRUE(task_result.ok()) << task_result.status().ToString();
+  const HateGenTask& task = task_result.ValueOrDie();
+  EXPECT_EQ(task.train.NumFeatures(), f.extractor->HateGenDim());
+  EXPECT_GT(task.train.NumRows(), task.test.NumRows());
+  // Class imbalance preserved (a few percent positives).
+  const double pos_rate = static_cast<double>(task.train.NumPositives()) /
+                          static_cast<double>(task.train.NumRows());
+  EXPECT_LT(pos_rate, 0.15);
+  EXPECT_GT(pos_rate, 0.005);
+}
+
+TEST(HateGenTaskTest, PipelineVariantsRun) {
+  auto& f = SharedFixture();
+  HateGenTaskOptions opts;
+  opts.min_news = 20;
+  auto task_result = BuildHateGenTask(*f.extractor, opts);
+  ASSERT_TRUE(task_result.ok());
+  const HateGenTask& task = task_result.ValueOrDie();
+  for (ProcVariant proc :
+       {ProcVariant::kNone, ProcVariant::kDownsample,
+        ProcVariant::kUpDownsample, ProcVariant::kPca, ProcVariant::kTopK}) {
+    ml::DecisionTreeOptions topts;
+    topts.max_depth = 5;
+    ml::DecisionTree tree(topts);
+    auto result = RunHateGenPipeline(task, &tree, proc, 7);
+    ASSERT_TRUE(result.ok()) << ProcVariantName(proc);
+    const EvalResult& r = result.ValueOrDie();
+    EXPECT_GE(r.macro_f1, 0.0);
+    EXPECT_LE(r.macro_f1, 1.0);
+    EXPECT_GE(r.auc, 0.0);
+    EXPECT_LE(r.auc, 1.0);
+  }
+}
+
+TEST(HateGenTaskTest, DownsampledTreeBeatsChance) {
+  auto& f = SharedFixture();
+  HateGenTaskOptions opts;
+  opts.min_news = 20;
+  auto task_result = BuildHateGenTask(*f.extractor, opts);
+  ASSERT_TRUE(task_result.ok());
+  ml::DecisionTreeOptions topts;
+  topts.max_depth = 5;
+  ml::DecisionTree tree(topts);
+  auto result = RunHateGenPipeline(task_result.ValueOrDie(), &tree,
+                                   ProcVariant::kDownsample, 7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.ValueOrDie().auc, 0.55);
+}
+
+TEST(HateGenTaskTest, ModelZooHasSixEntries) {
+  const auto zoo = MakeHateGenModelZoo();
+  EXPECT_EQ(zoo.size(), 6u);
+}
+
+// ------------------------------------------------------------ RetweetTask --
+
+RetweetTaskOptions TestRetweetOptions() {
+  RetweetTaskOptions opts;
+  opts.min_news = 20;
+  opts.max_candidates = 24;
+  return opts;
+}
+
+TEST(RetweetTaskTest, BuildsConsistentCandidates) {
+  auto& f = SharedFixture();
+  auto task_result = BuildRetweetTask(*f.extractor, TestRetweetOptions());
+  ASSERT_TRUE(task_result.ok()) << task_result.status().ToString();
+  const RetweetTask& task = task_result.ValueOrDie();
+  EXPECT_GT(task.tweets.size(), 20u);
+  EXPECT_FALSE(task.train.empty());
+  EXPECT_FALSE(task.test.empty());
+  EXPECT_EQ(task.NumIntervals(), 7u);
+
+  for (const auto& cand : task.train) {
+    EXPECT_LT(cand.tweet_pos, task.tweets.size());
+    EXPECT_EQ(cand.user_features.size(), task.user_dim);
+    EXPECT_EQ(cand.interval_labels.size(), task.NumIntervals());
+    int sum = 0;
+    for (int l : cand.interval_labels) sum += l;
+    EXPECT_EQ(sum, cand.label);  // exactly one interval iff positive
+  }
+  // Each tweet group contains at least one positive and one negative.
+  for (const auto* bucket : {&task.train, &task.test}) {
+    for (size_t i = 0; i < bucket->size();) {
+      size_t j = i + 1;
+      int pos = (*bucket)[i].label;
+      while (j < bucket->size() &&
+             (*bucket)[j].tweet_pos == (*bucket)[i].tweet_pos) {
+        pos += (*bucket)[j].label;
+        ++j;
+      }
+      EXPECT_GT(pos, 0);
+      i = j;
+    }
+  }
+}
+
+TEST(RetweetTaskTest, RankingQueriesFilterByHate) {
+  auto& f = SharedFixture();
+  auto task_result = BuildRetweetTask(*f.extractor, TestRetweetOptions());
+  ASSERT_TRUE(task_result.ok());
+  const RetweetTask& task = task_result.ValueOrDie();
+  Vec scores(task.test.size(), 0.5);
+  const auto all = MakeRankingQueries(task, task.test, scores, -1);
+  const auto hate = MakeRankingQueries(task, task.test, scores, 1);
+  const auto nonhate = MakeRankingQueries(task, task.test, scores, 0);
+  EXPECT_EQ(all.size(), hate.size() + nonhate.size());
+}
+
+TEST(RetweetTaskTest, EvaluateBinaryPerfectScores) {
+  auto& f = SharedFixture();
+  auto task_result = BuildRetweetTask(*f.extractor, TestRetweetOptions());
+  ASSERT_TRUE(task_result.ok());
+  const RetweetTask& task = task_result.ValueOrDie();
+  Vec perfect(task.test.size());
+  for (size_t i = 0; i < task.test.size(); ++i) {
+    perfect[i] = task.test[i].label == 1 ? 0.9 : 0.1;
+  }
+  const BinaryEval eval = EvaluateBinary(task.test, perfect);
+  EXPECT_DOUBLE_EQ(eval.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(eval.auc, 1.0);
+}
+
+// ---------------------------------------------------------------- RETINA --
+
+const RetweetTask& SharedRetweetTask() {
+  static const RetweetTask task = [] {
+    auto& f = SharedFixture();
+    auto r = BuildRetweetTask(*f.extractor, TestRetweetOptions());
+    EXPECT_TRUE(r.ok());
+    return std::move(r).ValueOrDie();
+  }();
+  return task;
+}
+
+RetinaOptions FastStaticOptions() {
+  RetinaOptions opts;
+  opts.hidden = 16;
+  opts.epochs = 3;
+  return opts;
+}
+
+TEST(RetinaTest, StaticTrainingBeatsChanceAuc) {
+  const RetweetTask& task = SharedRetweetTask();
+  Retina model(task.user_dim, task.content_dim, task.embed_dim,
+               task.NumIntervals(), FastStaticOptions());
+  ASSERT_TRUE(model.Train(task).ok());
+  const Vec scores = model.ScoreCandidates(task, task.test);
+  const BinaryEval eval = EvaluateBinary(task.test, scores);
+  EXPECT_GT(eval.auc, 0.6);
+}
+
+TEST(RetinaTest, DynamicTrainingBeatsChanceAuc) {
+  const RetweetTask& task = SharedRetweetTask();
+  RetinaOptions opts = FastStaticOptions();
+  opts.dynamic = true;
+  opts.use_adam = false;
+  opts.learning_rate = 1e-3;  // the tuned dynamic configuration
+  opts.lambda = 2.5;
+  Retina model(task.user_dim, task.content_dim, task.embed_dim,
+               task.NumIntervals(), opts);
+  ASSERT_TRUE(model.Train(task).ok());
+  const Vec scores = model.ScoreCandidates(task, task.test);
+  const BinaryEval eval = EvaluateBinary(task.test, scores);
+  EXPECT_GT(eval.auc, 0.6);
+}
+
+TEST(RetinaTest, AblationVariantRunsWithoutAttention) {
+  const RetweetTask& task = SharedRetweetTask();
+  RetinaOptions opts = FastStaticOptions();
+  opts.use_exogenous = false;
+  Retina model(task.user_dim, task.content_dim, task.embed_dim,
+               task.NumIntervals(), opts);
+  ASSERT_TRUE(model.Train(task).ok());
+  const Vec scores = model.ScoreCandidates(task, task.test);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(RetinaTest, DynamicPredictionsPerInterval) {
+  const RetweetTask& task = SharedRetweetTask();
+  RetinaOptions opts = FastStaticOptions();
+  opts.dynamic = true;
+  opts.epochs = 1;
+  Retina model(task.user_dim, task.content_dim, task.embed_dim,
+               task.NumIntervals(), opts);
+  ASSERT_TRUE(model.Train(task).ok());
+  const auto& cand = task.test.front();
+  const Vec probs = model.PredictDynamic(task.tweets[cand.tweet_pos],
+                                         cand.user_features);
+  EXPECT_EQ(probs.size(), task.NumIntervals());
+  for (double p : probs) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  // Combined score = 1 - prod(1 - p_j).
+  double none = 1.0;
+  for (double p : probs) none *= 1.0 - p;
+  EXPECT_NEAR(model.PredictScore(task.tweets[cand.tweet_pos],
+                                 cand.user_features),
+              1.0 - none, 1e-9);
+}
+
+TEST(RetinaTest, CumulativeEvaluationMonotoneAndCalibrated) {
+  const RetweetTask& task = SharedRetweetTask();
+  RetinaOptions opts = FastStaticOptions();
+  opts.dynamic = true;
+  opts.use_adam = false;
+  opts.learning_rate = 1e-3;
+  opts.lambda = 2.5;
+  opts.epochs = 2;
+  Retina model(task.user_dim, task.content_dim, task.embed_dim,
+               task.NumIntervals(), opts);
+  ASSERT_TRUE(model.Train(task).ok());
+  const double threshold = model.CalibrateIntervalThreshold(task, task.train);
+  EXPECT_GT(threshold, 0.0);
+  EXPECT_LT(threshold, 1.0);
+  const double cum_threshold =
+      model.CalibrateCumulativeThreshold(task, task.train);
+  const BinaryEval cum =
+      model.EvaluateCumulative(task, task.test, cum_threshold);
+  const BinaryEval per =
+      model.EvaluatePerInterval(task, task.test, threshold);
+  // Cumulative labels are easier to classify: the calibrated cumulative
+  // macro-F1 should not be worse than the disjoint per-interval view.
+  EXPECT_GE(cum.macro_f1 + 0.05, per.macro_f1);
+  EXPECT_GT(cum.auc, 0.5);
+}
+
+TEST(RetinaTest, LstmAndRnnCellsTrain) {
+  const RetweetTask& task = SharedRetweetTask();
+  for (const auto kind :
+       {nn::RecurrentKind::kLstm, nn::RecurrentKind::kSimpleRnn}) {
+    RetinaOptions opts = FastStaticOptions();
+    opts.dynamic = true;
+    opts.epochs = 1;
+    opts.recurrent = kind;
+    Retina model(task.user_dim, task.content_dim, task.embed_dim,
+                 task.NumIntervals(), opts);
+    ASSERT_TRUE(model.Train(task).ok()) << nn::RecurrentKindName(kind);
+    const Vec scores = model.ScoreCandidates(task, task.test);
+    for (double s : scores) {
+      ASSERT_GE(s, 0.0);
+      ASSERT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(RetinaTest, DeterministicGivenSeed) {
+  const RetweetTask& task = SharedRetweetTask();
+  RetinaOptions opts = FastStaticOptions();
+  opts.epochs = 1;
+  Retina m1(task.user_dim, task.content_dim, task.embed_dim,
+            task.NumIntervals(), opts);
+  Retina m2(task.user_dim, task.content_dim, task.embed_dim,
+            task.NumIntervals(), opts);
+  ASSERT_TRUE(m1.Train(task).ok());
+  ASSERT_TRUE(m2.Train(task).ok());
+  const Vec s1 = m1.ScoreCandidates(task, task.test);
+  const Vec s2 = m2.ScoreCandidates(task, task.test);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(RetinaTest, EmptyTrainFails) {
+  RetweetTask task;
+  task.user_dim = 4;
+  task.content_dim = 4;
+  task.embed_dim = 4;
+  task.interval_edges = {0.0, 1.0};
+  Retina model(4, 4, 4, 1, FastStaticOptions());
+  EXPECT_FALSE(model.Train(task).ok());
+}
+
+}  // namespace
+}  // namespace retina::core

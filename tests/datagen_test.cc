@@ -1,0 +1,433 @@
+// Tests for src/datagen: news stream, world generation invariants and the
+// calibration of realized statistics against the Table II targets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "datagen/news.h"
+#include "datagen/world.h"
+#include "datagen/world_config.h"
+
+namespace retina::datagen {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.scale = 0.04;
+  config.num_users = 500;
+  config.history_length = 12;
+  config.news_per_day = 40.0;
+  return config;
+}
+
+// Shared world for the expensive-to-generate fixtures.
+const SyntheticWorld& SmallWorld() {
+  static const SyntheticWorld world =
+      SyntheticWorld::Generate(SmallConfig(), 77);
+  return world;
+}
+
+// ---------------------------------------------------------------- Hashtags --
+
+TEST(HashtagTableTest, Has34PaperHashtags) {
+  const auto tags = PaperHashtagTable(10);
+  EXPECT_EQ(tags.size(), 34u);
+  size_t total_tweets = 0;
+  for (const auto& t : tags) total_tweets += t.target_tweets;
+  // Table II totals ~31k tweets.
+  EXPECT_GT(total_tweets, 28000u);
+  EXPECT_LT(total_tweets, 34000u);
+}
+
+TEST(HashtagTableTest, TopicsWithinRange) {
+  for (const auto& t : PaperHashtagTable(4)) EXPECT_LT(t.topic, 4u);
+}
+
+TEST(HashtagTableTest, RelatedTagsShareTheme) {
+  const auto tags = PaperHashtagTable(10);
+  auto topic_of = [&](const std::string& name) {
+    for (const auto& t : tags) {
+      if (t.tag == name) return static_cast<int>(t.topic);
+    }
+    return -1;
+  };
+  EXPECT_EQ(topic_of("#jamiaviolence"), topic_of("#jamiaunderattack"));
+  EXPECT_EQ(topic_of("#jamiaviolence"), topic_of("#JamiaCCTV"));
+  EXPECT_EQ(topic_of("#delhiriots2020"), topic_of("#NorthDelhiRiots"));
+  EXPECT_NE(topic_of("#COVID_19"), topic_of("#jamiaviolence"));
+}
+
+// -------------------------------------------------------------------- News --
+
+TEST(NewsTest, ArticlesSortedAndWithinHorizon) {
+  const auto& world = SmallWorld();
+  const auto& articles = world.news().articles();
+  ASSERT_FALSE(articles.empty());
+  for (size_t i = 1; i < articles.size(); ++i) {
+    EXPECT_LE(articles[i - 1].time, articles[i].time);
+  }
+  for (const auto& a : articles) {
+    EXPECT_GE(a.time, 0.0);
+    EXPECT_LE(a.time, world.config().horizon_days * 24.0);
+    EXPECT_FALSE(a.tokens.empty());
+    EXPECT_LT(a.topic, world.config().num_topics);
+  }
+}
+
+TEST(NewsTest, IntensityAtLeastBase) {
+  const auto& world = SmallWorld();
+  for (size_t t = 0; t < world.config().num_topics; ++t) {
+    for (double hrs : {0.0, 200.0, 1000.0}) {
+      EXPECT_GE(world.news().IntensityAt(t, hrs), 1.0);
+    }
+  }
+}
+
+TEST(NewsTest, MostRecentBeforeReturnsDescendingRecency) {
+  const auto& world = SmallWorld();
+  const double t = 36.0 * 24.0;
+  const auto idx = world.news().MostRecentBefore(t, 10);
+  ASSERT_EQ(idx.size(), 10u);
+  const auto& articles = world.news().articles();
+  for (size_t k = 0; k < idx.size(); ++k) {
+    EXPECT_LT(articles[idx[k]].time, t);
+    if (k > 0) {
+      EXPECT_LE(articles[idx[k]].time, articles[idx[k - 1]].time);
+    }
+  }
+}
+
+TEST(NewsTest, MostRecentBeforeStartIsEmpty) {
+  const auto& world = SmallWorld();
+  EXPECT_TRUE(world.news().MostRecentBefore(0.0, 10).empty());
+}
+
+// ------------------------------------------------------------------- World --
+
+TEST(WorldTest, DeterministicAcrossGenerations) {
+  const SyntheticWorld w1 = SyntheticWorld::Generate(SmallConfig(), 123);
+  const SyntheticWorld w2 = SyntheticWorld::Generate(SmallConfig(), 123);
+  ASSERT_EQ(w1.tweets().size(), w2.tweets().size());
+  for (size_t i = 0; i < w1.tweets().size(); ++i) {
+    EXPECT_EQ(w1.tweets()[i].author, w2.tweets()[i].author);
+    EXPECT_EQ(w1.tweets()[i].is_hateful, w2.tweets()[i].is_hateful);
+    EXPECT_EQ(w1.tweets()[i].tokens, w2.tweets()[i].tokens);
+    EXPECT_EQ(w1.cascades()[i].retweets.size(),
+              w2.cascades()[i].retweets.size());
+  }
+}
+
+TEST(WorldTest, DifferentSeedsProduceDifferentWorlds) {
+  const SyntheticWorld w1 = SyntheticWorld::Generate(SmallConfig(), 1);
+  const SyntheticWorld w2 = SyntheticWorld::Generate(SmallConfig(), 2);
+  size_t diff = 0;
+  const size_t n = std::min(w1.tweets().size(), w2.tweets().size());
+  for (size_t i = 0; i < n; ++i) {
+    diff += (w1.tweets()[i].author != w2.tweets()[i].author);
+  }
+  EXPECT_GT(diff, n / 4);
+}
+
+TEST(WorldTest, TweetsSortedByTimeAndIdsMatchIndex) {
+  const auto& world = SmallWorld();
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    EXPECT_EQ(world.tweets()[i].id, i);
+    if (i > 0) {
+      EXPECT_LE(world.tweets()[i - 1].time, world.tweets()[i].time);
+    }
+  }
+}
+
+TEST(WorldTest, TweetFieldsWellFormed) {
+  const auto& world = SmallWorld();
+  for (const auto& tw : world.tweets()) {
+    EXPECT_LT(tw.author, world.NumUsers());
+    EXPECT_LT(tw.hashtag, world.hashtags().size());
+    EXPECT_GE(tw.time, 0.0);
+    EXPECT_LE(tw.time, world.config().horizon_days * 24.0);
+    ASSERT_FALSE(tw.tokens.empty());
+    bool has_hashtag_token = false;
+    for (const auto& tok : tw.tokens) {
+      if (!tok.empty() && tok[0] == '#') has_hashtag_token = true;
+    }
+    EXPECT_TRUE(has_hashtag_token);
+  }
+}
+
+TEST(WorldTest, CascadesSortedAndAfterRoot) {
+  const auto& world = SmallWorld();
+  ASSERT_EQ(world.cascades().size(), world.tweets().size());
+  for (size_t i = 0; i < world.cascades().size(); ++i) {
+    const auto& c = world.cascades()[i];
+    EXPECT_EQ(c.root_tweet, i);
+    double prev = world.tweets()[i].time;
+    for (const auto& rt : c.retweets) {
+      EXPECT_GE(rt.time, prev);
+      EXPECT_LT(rt.user, world.NumUsers());
+      prev = rt.time;
+    }
+  }
+}
+
+TEST(WorldTest, NoUserRetweetsTwiceInOneCascade) {
+  const auto& world = SmallWorld();
+  for (const auto& c : world.cascades()) {
+    std::unordered_set<NodeId> seen;
+    for (const auto& rt : c.retweets) {
+      EXPECT_TRUE(seen.insert(rt.user).second);
+    }
+  }
+}
+
+TEST(WorldTest, AuthorNeverRetweetsOwnTweet) {
+  const auto& world = SmallWorld();
+  for (size_t i = 0; i < world.cascades().size(); ++i) {
+    for (const auto& rt : world.cascades()[i].retweets) {
+      EXPECT_NE(rt.user, world.tweets()[i].author);
+    }
+  }
+}
+
+TEST(WorldTest, HistoriesHaveConfiguredLengthAndAreSorted) {
+  const auto& world = SmallWorld();
+  for (NodeId u = 0; u < world.NumUsers(); ++u) {
+    const auto& hist = world.History(u);
+    EXPECT_EQ(hist.size(), world.config().history_length);
+    for (size_t i = 0; i < hist.size(); ++i) {
+      EXPECT_LT(hist[i].time, 0.0);  // strictly before the window
+      if (i > 0) {
+        EXPECT_LE(hist[i - 1].time, hist[i].time);
+      }
+      EXPECT_FALSE(hist[i].tokens.empty());
+    }
+  }
+}
+
+TEST(WorldTest, UserProfilesWellFormed) {
+  const auto& world = SmallWorld();
+  size_t haters = 0;
+  for (const auto& p : world.users()) {
+    EXPECT_EQ(p.topic_interests.size(), world.config().num_topics);
+    EXPECT_NEAR(Sum(p.topic_interests), 1.0, 1e-9);
+    for (double h : p.hate_propensity) {
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 1.0);
+    }
+    if (p.echo_community >= 0) ++haters;
+  }
+  const double frac =
+      static_cast<double>(haters) / static_cast<double>(world.NumUsers());
+  EXPECT_NEAR(frac, world.config().hater_fraction, 0.04);
+}
+
+TEST(WorldTest, HatefulTweetsComePredominantlyFromHateProneUsers) {
+  const auto& world = SmallWorld();
+  size_t hateful = 0, from_prone = 0;
+  for (const auto& tw : world.tweets()) {
+    if (!tw.is_hateful) continue;
+    ++hateful;
+    if (world.users()[tw.author].echo_community >= 0) ++from_prone;
+  }
+  ASSERT_GT(hateful, 5u);
+  // ~75% of hateful tweets are routed through the propensity-weighted
+  // author pool; the rest are "fresh offenders". Either way the prone 8%
+  // of users must be strongly over-represented among hate authors.
+  const double frac =
+      static_cast<double>(from_prone) / static_cast<double>(hateful);
+  EXPECT_GT(frac, 0.5);
+  EXPECT_GT(frac, 4.0 * world.config().hater_fraction);
+}
+
+TEST(WorldTest, LexiconIsStrongButImperfectHateSignal) {
+  // The generator injects slurs into only ~2/3 of hateful tweets (implicit
+  // hate carries none) and lets benign text quote them occasionally, so
+  // lexicon hits are a strong but imperfect signal — as on the real data.
+  const auto& world = SmallWorld();
+  size_t hateful_with_hits = 0, hateful = 0;
+  size_t clean_with_slurs = 0, clean = 0;
+  for (const auto& tw : world.tweets()) {
+    if (tw.is_hateful) {
+      ++hateful;
+      if (world.lexicon().CountHits(tw.tokens) > 0) ++hateful_with_hits;
+    } else {
+      ++clean;
+      for (const auto& tok : tw.tokens) {
+        if (world.lexicon().IsSlur(tok)) {
+          ++clean_with_slurs;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(hateful, 0u);
+  const double hit_rate =
+      static_cast<double>(hateful_with_hits) / static_cast<double>(hateful);
+  EXPECT_GT(hit_rate, 0.4);
+  EXPECT_LT(hit_rate, 0.98);
+  EXPECT_LT(static_cast<double>(clean_with_slurs) /
+                static_cast<double>(clean),
+            0.05);
+}
+
+TEST(WorldTest, OverallHateRateNearTableTwoAggregate) {
+  const auto& world = SmallWorld();
+  size_t hateful = 0;
+  for (const auto& tw : world.tweets()) hateful += tw.is_hateful;
+  const double rate = static_cast<double>(hateful) /
+                      static_cast<double>(world.tweets().size());
+  // Table II implies roughly 4-5% hateful overall.
+  EXPECT_GT(rate, 0.015);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(WorldTest, PerHashtagTweetCountsMatchScaledTargets) {
+  const auto& world = SmallWorld();
+  const auto stats = world.ComputeHashtagStats();
+  for (size_t h = 0; h < world.hashtags().size(); ++h) {
+    const auto& info = world.hashtags()[h];
+    const size_t expected = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(
+               static_cast<double>(info.target_tweets) *
+               world.config().scale)));
+    EXPECT_EQ(stats[h].tweets, expected) << info.tag;
+  }
+}
+
+TEST(WorldTest, HighHateTagsRealizeMoreHateThanCleanTags) {
+  const auto& world = SmallWorld();
+  const auto stats = world.ComputeHashtagStats();
+  double hot = 0.0, clean = 0.0;
+  size_t n_hot = 0, n_clean = 0;
+  for (size_t h = 0; h < stats.size(); ++h) {
+    const double target = world.hashtags()[h].target_pct_hate;
+    if (target > 7.0) {
+      hot += stats[h].pct_hate;
+      ++n_hot;
+    } else if (target < 0.5) {
+      clean += stats[h].pct_hate;
+      ++n_clean;
+    }
+  }
+  ASSERT_GT(n_hot, 0u);
+  ASSERT_GT(n_clean, 0u);
+  EXPECT_GT(hot / static_cast<double>(n_hot),
+            clean / static_cast<double>(n_clean) + 2.0);
+}
+
+TEST(WorldTest, TrendingIndicatorBinaryWithTopN) {
+  const auto& world = SmallWorld();
+  const Vec v = world.TrendingIndicator(24.0 * 10, 50, 10);
+  EXPECT_EQ(v.size(), 50u);
+  size_t ones = 0;
+  for (double x : v) {
+    EXPECT_TRUE(x == 0.0 || x == 1.0);
+    ones += (x == 1.0);
+  }
+  EXPECT_LE(ones, 10u);
+  EXPECT_GT(ones, 0u);
+}
+
+TEST(WorldTest, PastRetweetCountRespectsTime) {
+  const auto& world = SmallWorld();
+  for (size_t i = 0; i < world.cascades().size(); ++i) {
+    const auto& c = world.cascades()[i];
+    if (c.retweets.empty()) continue;
+    const NodeId author = world.tweets()[i].author;
+    const auto& rt = c.retweets.front();
+    EXPECT_EQ(world.PastRetweetCount(author, rt.user, rt.time), 0u);
+    EXPECT_GE(world.PastRetweetCount(author, rt.user, rt.time + 1e-6), 1u);
+    return;
+  }
+  FAIL() << "no cascade with retweets";
+}
+
+TEST(WorldTest, UserHashtagHateRatioBounds) {
+  const auto& world = SmallWorld();
+  for (NodeId u = 0; u < 20; ++u) {
+    for (size_t h = 0; h < 5; ++h) {
+      const double r = world.UserHashtagHateRatio(u, h);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+// ---- Reply channel (Section IX-A extension) --------------------------------
+
+TEST(WorldTest, RepliesWellFormedAndAfterRoot) {
+  const auto& world = SmallWorld();
+  size_t total = 0;
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    double prev = world.tweets()[i].time;
+    for (const auto& r : world.Replies(i)) {
+      EXPECT_LT(r.user, world.NumUsers());
+      EXPECT_GE(r.time, prev);
+      prev = r.time;
+      // Counter-speech only appears under hateful roots.
+      if (r.counter_speech) {
+        EXPECT_TRUE(world.tweets()[i].is_hateful);
+      }
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 50u);
+}
+
+TEST(WorldTest, ReplyThreadsMixHateCounterAndNeutral) {
+  // Section IX-A: threads under hateful roots contain supportive hate AND
+  // counter-speech; hateful roots draw far more hateful replies than
+  // clean roots.
+  const auto& world = SmallWorld();
+  const ReplyStats hate = world.ComputeReplyStats(true);
+  const ReplyStats clean = world.ComputeReplyStats(false);
+  EXPECT_GT(hate.replies_per_tweet, 0.0);
+  EXPECT_GT(hate.counter_speech_fraction, 0.1);
+  EXPECT_GT(hate.hateful_reply_fraction,
+            clean.hateful_reply_fraction + 0.05);
+  EXPECT_LT(clean.counter_speech_fraction, 1e-9);
+}
+
+// Figure 1 shape: hateful cascades grow faster early and produce fewer
+// susceptible users than non-hate ones.
+TEST(WorldTest, DiffusionCurvesReproduceFigure1Shape) {
+  WorldConfig config = SmallConfig();
+  config.scale = 0.08;
+  config.num_users = 2000;
+  const SyntheticWorld world = SyntheticWorld::Generate(config, 99);
+  const std::vector<double> grid = {30, 120, 480, 1440, 5760, 20160};
+  const auto hate = world.DiffusionCurves(true, grid);
+  const auto nonhate = world.DiffusionCurves(false, grid);
+  ASSERT_EQ(hate.size(), grid.size());
+
+  // (a) Hateful roots accumulate more retweets.
+  EXPECT_GT(hate.back().mean_retweets, nonhate.back().mean_retweets);
+  // (b) ... but expose fewer susceptible users.
+  EXPECT_LT(hate.back().mean_susceptible, nonhate.back().mean_susceptible);
+  // Early growth: fraction of final retweets reached after 2h is higher
+  // for hate.
+  const double hate_early =
+      hate[1].mean_retweets / std::max(1e-9, hate.back().mean_retweets);
+  const double nonhate_early = nonhate[1].mean_retweets /
+                               std::max(1e-9, nonhate.back().mean_retweets);
+  EXPECT_GT(hate_early, nonhate_early);
+}
+
+TEST(WorldTest, AvgRetweetsWithinFactorOfTargets) {
+  const auto& world = SmallWorld();
+  const auto stats = world.ComputeHashtagStats();
+  double target = 0.0, realized = 0.0;
+  for (size_t h = 0; h < stats.size(); ++h) {
+    target += world.hashtags()[h].target_avg_retweets;
+    realized += stats[h].avg_retweets;
+  }
+  target /= static_cast<double>(stats.size());
+  realized /= static_cast<double>(stats.size());
+  EXPECT_GT(realized, target / 3.0);
+  EXPECT_LT(realized, target * 3.0);
+}
+
+}  // namespace
+}  // namespace retina::datagen

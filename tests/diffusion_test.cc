@@ -1,0 +1,206 @@
+// Tests for src/diffusion: SIR, General Threshold and the neural
+// diffusion baselines (TopoLSTM / FOREST / HIDAN simplified ports).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/feature_extractor.h"
+#include "core/retweet_task.h"
+#include "diffusion/neural_baselines.h"
+#include "diffusion/sir.h"
+#include "diffusion/threshold.h"
+#include "ml/metrics.h"
+
+namespace retina::diffusion {
+namespace {
+
+struct Fixture {
+  datagen::SyntheticWorld world;
+  std::unique_ptr<core::FeatureExtractor> extractor;
+  core::RetweetTask task;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    datagen::WorldConfig config;
+    config.scale = 0.05;
+    config.num_users = 900;
+    config.history_length = 12;
+    config.news_per_day = 50.0;
+    auto* f = new Fixture{datagen::SyntheticWorld::Generate(config, 41),
+                          nullptr, {}};
+    core::FeatureConfig fc;
+    fc.history_size = 8;
+    fc.history_tfidf_dim = 60;
+    fc.news_tfidf_dim = 60;
+    fc.tweet_tfidf_dim = 60;
+    fc.news_window = 15;
+    fc.doc2vec_dim = 12;
+    fc.doc2vec_epochs = 2;
+    auto fx = core::FeatureExtractor::Build(f->world, fc);
+    EXPECT_TRUE(fx.ok());
+    f->extractor = std::make_unique<core::FeatureExtractor>(
+        std::move(fx).ValueOrDie());
+    core::RetweetTaskOptions opts;
+    opts.min_news = 15;
+    opts.max_candidates = 20;
+    auto task = core::BuildRetweetTask(*f->extractor, opts);
+    EXPECT_TRUE(task.ok());
+    f->task = std::move(task).ValueOrDie();
+    return f;
+  }();
+  return *fixture;
+}
+
+// -------------------------------------------------------------------- SIR --
+
+TEST(SirTest, FitSelectsRatesFromGrid) {
+  auto& f = SharedFixture();
+  SirOptions opts;
+  opts.fit_cascades = 20;
+  SirModel sir(&f.world, opts);
+  ASSERT_TRUE(sir.Fit(f.task).ok());
+  bool beta_in_grid = false, gamma_in_grid = false;
+  for (double b : opts.beta_grid) beta_in_grid |= (b == sir.beta());
+  for (double g : opts.gamma_grid) gamma_in_grid |= (g == sir.gamma());
+  EXPECT_TRUE(beta_in_grid);
+  EXPECT_TRUE(gamma_in_grid);
+}
+
+TEST(SirTest, ScoresAreProbabilities) {
+  auto& f = SharedFixture();
+  SirOptions opts;
+  opts.fit_cascades = 10;
+  opts.simulations = 3;
+  SirModel sir(&f.world, opts);
+  ASSERT_TRUE(sir.Fit(f.task).ok());
+  const Vec scores = sir.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(scores.size(), f.task.test.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(SirTest, TunedCandidateScoresStayMediocre) {
+  // Even the tuned SIR cannot express per-user heterogeneity.
+  auto& f = SharedFixture();
+  SirOptions opts;
+  opts.fit_cascades = 20;
+  SirModel sir(&f.world, opts);
+  ASSERT_TRUE(sir.Fit(f.task).ok());
+  const Vec scores = sir.ScoreCandidates(f.task, f.task.test);
+  const core::BinaryEval eval = core::EvaluateBinary(f.task.test, scores);
+  EXPECT_LT(eval.macro_f1, 0.75);
+}
+
+TEST(SirTest, DefaultRatesCollapseInFullPopulationRegime) {
+  // The paper's Table VI regime: literature rates flood the graph and the
+  // whole-population macro-F1 collapses (paper: 0.04).
+  auto& f = SharedFixture();
+  SirModel sir(&f.world, {});
+  const double f1 = sir.FullPopulationMacroF1(f.task);
+  EXPECT_LT(f1, 0.55);
+}
+
+TEST(ThresholdTest, FullPopulationRegimeFarBelowLearnedModels) {
+  auto& f = SharedFixture();
+  ThresholdModel model(&f.world, {});
+  const double f1 = model.FullPopulationMacroF1(f.task);
+  EXPECT_LT(f1, 0.75);
+}
+
+TEST(SirTest, EmptyTaskFails) {
+  auto& f = SharedFixture();
+  SirModel sir(&f.world, {});
+  core::RetweetTask empty;
+  EXPECT_FALSE(sir.Fit(empty).ok());
+}
+
+// -------------------------------------------------------------- Threshold --
+
+TEST(ThresholdTest, FitAndScore) {
+  auto& f = SharedFixture();
+  ThresholdOptions opts;
+  opts.fit_cascades = 20;
+  opts.simulations = 3;
+  ThresholdModel model(&f.world, opts);
+  ASSERT_TRUE(model.Fit(f.task).ok());
+  bool in_grid = false;
+  for (double v : opts.influence_grid) in_grid |= (v == model.influence());
+  EXPECT_TRUE(in_grid);
+  const Vec scores = model.ScoreCandidates(f.task, f.task.test);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(ThresholdTest, EmptyTaskFails) {
+  auto& f = SharedFixture();
+  ThresholdModel model(&f.world, {});
+  core::RetweetTask empty;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+// ------------------------------------------------------- Neural baselines --
+
+TEST(NeuralBaselineTest, Names) {
+  EXPECT_STREQ(NeuralBaselineName(NeuralBaselineKind::kTopoLstm),
+               "TopoLSTM");
+  EXPECT_STREQ(NeuralBaselineName(NeuralBaselineKind::kForest), "FOREST");
+  EXPECT_STREQ(NeuralBaselineName(NeuralBaselineKind::kHidan), "HIDAN");
+}
+
+class NeuralBaselineParamTest
+    : public ::testing::TestWithParam<NeuralBaselineKind> {};
+
+TEST_P(NeuralBaselineParamTest, FitAndScoreInRange) {
+  auto& f = SharedFixture();
+  NeuralBaselineOptions opts;
+  opts.epochs = 3;
+  NeuralDiffusionBaseline model(&f.world, GetParam(), opts);
+  ASSERT_TRUE(model.Fit(f.task).ok());
+  const Vec scores = model.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(scores.size(), f.task.test.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST_P(NeuralBaselineParamTest, EmptyTaskFails) {
+  auto& f = SharedFixture();
+  NeuralDiffusionBaseline model(&f.world, GetParam(), {});
+  core::RetweetTask empty;
+  EXPECT_FALSE(model.Fit(empty).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, NeuralBaselineParamTest,
+                         ::testing::Values(NeuralBaselineKind::kTopoLstm,
+                                           NeuralBaselineKind::kForest,
+                                           NeuralBaselineKind::kHidan));
+
+TEST(NeuralBaselineTest, GraphAwareBaselinesBeatHidanOnRanking) {
+  // The Table VI shape: HIDAN (no graph access) collapses relative to
+  // TopoLSTM (propagation structure available).
+  auto& f = SharedFixture();
+  NeuralBaselineOptions opts;
+  opts.epochs = 6;
+  NeuralDiffusionBaseline topo(&f.world, NeuralBaselineKind::kTopoLstm,
+                               opts);
+  NeuralDiffusionBaseline hidan(&f.world, NeuralBaselineKind::kHidan, opts);
+  ASSERT_TRUE(topo.Fit(f.task).ok());
+  ASSERT_TRUE(hidan.Fit(f.task).ok());
+  const auto topo_queries = core::MakeRankingQueries(
+      f.task, f.task.test, topo.ScoreCandidates(f.task, f.task.test));
+  const auto hidan_queries = core::MakeRankingQueries(
+      f.task, f.task.test, hidan.ScoreCandidates(f.task, f.task.test));
+  const double topo_map = ml::MeanAveragePrecisionAtK(topo_queries, 10);
+  const double hidan_map = ml::MeanAveragePrecisionAtK(hidan_queries, 10);
+  EXPECT_GT(topo_map, hidan_map);
+}
+
+}  // namespace
+}  // namespace retina::diffusion

@@ -1,0 +1,196 @@
+// Round-trip tests for the CSV dataset export/import.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "datagen/serialize.h"
+#include "datagen/world.h"
+
+namespace retina::datagen {
+namespace {
+
+WorldConfig SmallConfig() {
+  WorldConfig config;
+  config.scale = 0.02;
+  config.num_users = 300;
+  config.history_length = 6;
+  config.news_per_day = 20.0;
+  return config;
+}
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("retina_serialize_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, ExportCreatesAllFiles) {
+  const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 5);
+  ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());
+  for (const char* name :
+       {"manifest.csv", "users.csv", "edges.csv", "hashtags.csv",
+        "tweets.csv", "retweets.csv", "news.csv", "intensity.csv",
+        "histories.csv"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir() + "/" + name)) << name;
+  }
+}
+
+TEST_F(SerializeTest, RoundTripPreservesEntities) {
+  const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 7);
+  ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());
+  auto imported_result = ImportWorldCsv(dir());
+  ASSERT_TRUE(imported_result.ok()) << imported_result.status().ToString();
+  const SyntheticWorld imported = std::move(imported_result).ValueOrDie();
+
+  // Counts.
+  ASSERT_EQ(imported.NumUsers(), world.NumUsers());
+  ASSERT_EQ(imported.tweets().size(), world.tweets().size());
+  ASSERT_EQ(imported.news().articles().size(),
+            world.news().articles().size());
+  ASSERT_EQ(imported.network().NumEdges(), world.network().NumEdges());
+  ASSERT_EQ(imported.hashtags().size(), world.hashtags().size());
+  ASSERT_EQ(imported.lexicon().size(), world.lexicon().size());
+
+  // Tweets byte-for-byte.
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    const Tweet& a = world.tweets()[i];
+    const Tweet& b = imported.tweets()[i];
+    EXPECT_EQ(a.author, b.author);
+    EXPECT_EQ(a.hashtag, b.hashtag);
+    EXPECT_EQ(a.is_hateful, b.is_hateful);
+    EXPECT_EQ(a.machine_hateful, b.machine_hateful);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_NEAR(a.time, b.time, 1e-6);
+  }
+
+  // Cascades.
+  for (size_t i = 0; i < world.cascades().size(); ++i) {
+    const auto& ca = world.cascades()[i].retweets;
+    const auto& cb = imported.cascades()[i].retweets;
+    ASSERT_EQ(ca.size(), cb.size()) << "cascade " << i;
+    for (size_t k = 0; k < ca.size(); ++k) {
+      EXPECT_EQ(ca[k].user, cb[k].user);
+      EXPECT_EQ(ca[k].organic, cb[k].organic);
+      EXPECT_NEAR(ca[k].time, cb[k].time, 1e-6);
+    }
+  }
+
+  // Users.
+  for (NodeId u = 0; u < world.NumUsers(); ++u) {
+    EXPECT_EQ(imported.users()[u].echo_community,
+              world.users()[u].echo_community);
+    EXPECT_NEAR(imported.users()[u].activity, world.users()[u].activity,
+                1e-6);
+    ASSERT_EQ(imported.users()[u].topic_interests.size(),
+              world.users()[u].topic_interests.size());
+  }
+
+  // Reply threads.
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    const auto& ra = world.Replies(i);
+    const auto& rb = imported.Replies(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].user, rb[k].user);
+      EXPECT_EQ(ra[k].is_hateful, rb[k].is_hateful);
+      EXPECT_EQ(ra[k].counter_speech, rb[k].counter_speech);
+    }
+  }
+
+  // Histories.
+  for (NodeId u = 0; u < world.NumUsers(); ++u) {
+    const auto& ha = world.History(u);
+    const auto& hb = imported.History(u);
+    ASSERT_EQ(ha.size(), hb.size());
+    for (size_t k = 0; k < ha.size(); ++k) {
+      EXPECT_EQ(ha[k].is_hateful, hb[k].is_hateful);
+      EXPECT_EQ(ha[k].tokens, hb[k].tokens);
+      EXPECT_EQ(ha[k].hashtag, hb[k].hashtag);
+    }
+  }
+}
+
+TEST_F(SerializeTest, RoundTripPreservesDerivedAccessors) {
+  const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 11);
+  ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());
+  auto imported_result = ImportWorldCsv(dir());
+  ASSERT_TRUE(imported_result.ok());
+  const SyntheticWorld imported = std::move(imported_result).ValueOrDie();
+
+  // Hashtag statistics identical.
+  const auto sa = world.ComputeHashtagStats();
+  const auto sb = imported.ComputeHashtagStats();
+  for (size_t h = 0; h < sa.size(); ++h) {
+    EXPECT_EQ(sa[h].tweets, sb[h].tweets);
+    EXPECT_EQ(sa[h].users_all, sb[h].users_all);
+    EXPECT_NEAR(sa[h].avg_retweets, sb[h].avg_retweets, 1e-9);
+  }
+
+  // Trending indicator identical (daily ranking rebuilt).
+  for (double t : {24.0, 240.0, 1200.0}) {
+    EXPECT_EQ(imported.TrendingIndicator(t), world.TrendingIndicator(t));
+  }
+
+  // Pairwise retweet history rebuilt.
+  for (size_t i = 0; i < world.cascades().size() && i < 40; ++i) {
+    const NodeId author = world.tweets()[i].author;
+    for (const auto& rt : world.cascades()[i].retweets) {
+      EXPECT_EQ(imported.PastRetweetCount(author, rt.user, rt.time + 1.0),
+                world.PastRetweetCount(author, rt.user, rt.time + 1.0));
+    }
+  }
+
+  // News accessors.
+  EXPECT_EQ(imported.news().MostRecentBefore(500.0, 10),
+            world.news().MostRecentBefore(500.0, 10));
+  EXPECT_NEAR(imported.news().IntensityAt(0, 300.0),
+              world.news().IntensityAt(0, 300.0), 1e-9);
+}
+
+TEST_F(SerializeTest, ImportMissingDirFails) {
+  auto result = ImportWorldCsv("/nonexistent/retina/world");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SerializeTest, ImportRejectsCorruptManifest) {
+  const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 13);
+  ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());
+  // Truncate the manifest to an empty header-only file.
+  {
+    std::FILE* f = std::fopen((dir() + "/manifest.csv").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("key,value\n", f);
+    std::fclose(f);
+  }
+  auto result = ImportWorldCsv(dir());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SerializeTest, ImportRejectsOutOfRangeReferences) {
+  const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 17);
+  ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());
+  // Append a retweet row pointing at a non-existent tweet.
+  {
+    std::FILE* f = std::fopen((dir() + "/retweets.csv").c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("999999,0,1.0,1\n", f);
+    std::fclose(f);
+  }
+  auto result = ImportWorldCsv(dir());
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace retina::datagen

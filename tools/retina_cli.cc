@@ -1,0 +1,289 @@
+// retina — command-line front end for the library.
+//
+//   retina generate  --out DIR [--scale F] [--users N] [--seed N]
+//       Generate a synthetic world and export it as CSV.
+//   retina stats     --data DIR
+//       Print per-hashtag dataset statistics (Table II view) of a world.
+//   retina annotate  --data DIR [--seed N]
+//       Run the Section VI-B annotation pipeline in place (rewrites
+//       tweets.csv machine labels) and print the reliability report.
+//   retina train-hategen --data DIR [--seed N]
+//       Train the best hate-generation model (decision tree + DS) and
+//       print gold-test metrics.
+//   retina train-retweet --data DIR [--dynamic] [--no-exo] [--seed N]
+//       Train RETINA on the retweeter-prediction task and print metrics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/feature_extractor.h"
+#include "core/hategen_task.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+#include "datagen/serialize.h"
+#include "datagen/world.h"
+#include "hatedetect/annotation.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+
+namespace {
+
+using namespace retina;
+
+struct Args {
+  std::string command;
+  std::string data;
+  std::string out;
+  double scale = 0.1;
+  size_t users = 2500;
+  uint64_t seed = 7;
+  bool dynamic = false;
+  bool no_exo = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: retina <generate|stats|annotate|train-hategen|train-retweet>"
+      " [--out DIR] [--data DIR] [--scale F] [--users N] [--seed N]"
+      " [--dynamic] [--no-exo]\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->out = v;
+    } else if (arg == "--data") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->data = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->scale = std::atof(v);
+    } else if (arg == "--users") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->users = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--dynamic") {
+      args->dynamic = true;
+    } else if (arg == "--no-exo") {
+      args->no_exo = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<datagen::SyntheticWorld> LoadWorld(const Args& args) {
+  if (args.data.empty()) {
+    return Status::InvalidArgument("--data DIR is required");
+  }
+  return datagen::ImportWorldCsv(args.data);
+}
+
+Result<core::FeatureExtractor> BuildFeatures(
+    const datagen::SyntheticWorld& world, uint64_t seed) {
+  core::FeatureConfig fc;
+  fc.history_tfidf_dim = 200;
+  fc.news_tfidf_dim = 200;
+  fc.tweet_tfidf_dim = 200;
+  fc.news_window = 60;
+  fc.seed = seed;
+  return core::FeatureExtractor::Build(world, fc);
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.out.empty()) {
+    std::fprintf(stderr, "generate requires --out DIR\n");
+    return 2;
+  }
+  Stopwatch timer;
+  datagen::WorldConfig config;
+  config.scale = args.scale;
+  config.num_users = args.users;
+  const auto world = datagen::SyntheticWorld::Generate(config, args.seed);
+  std::printf("generated %zu tweets, %zu users, %zu headlines (%.1fs)\n",
+              world.tweets().size(), world.NumUsers(),
+              world.news().articles().size(), timer.ElapsedSeconds());
+  const Status st = datagen::ExportWorldCsv(world, args.out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("exported to %s\n", args.out.c_str());
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto world_result = LoadWorld(args);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "%s\n", world_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& world = world_result.ValueOrDie();
+  const auto stats = world.ComputeHashtagStats();
+  TableWriter table("", {"hashtag", "tweets", "avg RT", "users",
+                         "users-all", "%hate"});
+  for (size_t h = 0; h < stats.size(); ++h) {
+    table.AddRow({world.hashtags()[h].tag, std::to_string(stats[h].tweets),
+                  FormatDouble(stats[h].avg_retweets, 2),
+                  std::to_string(stats[h].unique_authors),
+                  std::to_string(stats[h].users_all),
+                  FormatDouble(stats[h].pct_hate, 2)});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdAnnotate(const Args& args) {
+  auto world_result = LoadWorld(args);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "%s\n", world_result.status().ToString().c_str());
+    return 1;
+  }
+  auto world = std::move(world_result).ValueOrDie();
+  hatedetect::AnnotationOptions opts;
+  opts.seed = args.seed;
+  auto report = hatedetect::AnnotateWorld(&world, opts);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const auto& r = report.ValueOrDie();
+  std::printf("gold tweets:        %zu\n", r.gold_tweets);
+  std::printf("krippendorff alpha: %.3f\n", r.krippendorff_alpha);
+  std::printf("fine-tuned:         AUC %.3f  macro-F1 %.3f\n",
+              r.finetuned_auc, r.finetuned_macro_f1);
+  std::printf("pre-trained:        AUC %.3f  macro-F1 %.3f\n",
+              r.pretrained_auc, r.pretrained_macro_f1);
+  const Status st = datagen::ExportWorldCsv(world, args.data);
+  if (!st.ok()) {
+    std::fprintf(stderr, "re-export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("machine labels written back to %s\n", args.data.c_str());
+  return 0;
+}
+
+int CmdTrainHateGen(const Args& args) {
+  auto world_result = LoadWorld(args);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "%s\n", world_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& world = world_result.ValueOrDie();
+  auto fx = BuildFeatures(world, args.seed);
+  if (!fx.ok()) {
+    std::fprintf(stderr, "%s\n", fx.status().ToString().c_str());
+    return 1;
+  }
+  core::HateGenTaskOptions opts;
+  opts.seed = args.seed;
+  auto task = core::BuildHateGenTask(fx.ValueOrDie(), opts);
+  if (!task.ok()) {
+    std::fprintf(stderr, "%s\n", task.status().ToString().c_str());
+    return 1;
+  }
+  ml::DecisionTreeOptions topts;
+  topts.max_depth = 5;
+  ml::DecisionTree tree(topts);
+  auto result = core::RunHateGenPipeline(task.ValueOrDie(), &tree,
+                                         core::ProcVariant::kDownsample,
+                                         args.seed);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& r = result.ValueOrDie();
+  std::printf("hate generation (Dec-Tree + DS): macro-F1 %.3f  ACC %.3f  "
+              "AUC %.3f\n",
+              r.macro_f1, r.accuracy, r.auc);
+  return 0;
+}
+
+int CmdTrainRetweet(const Args& args) {
+  auto world_result = LoadWorld(args);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "%s\n", world_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& world = world_result.ValueOrDie();
+  auto fx = BuildFeatures(world, args.seed);
+  if (!fx.ok()) {
+    std::fprintf(stderr, "%s\n", fx.status().ToString().c_str());
+    return 1;
+  }
+  core::RetweetTaskOptions opts;
+  opts.seed = args.seed;
+  auto task_result = core::BuildRetweetTask(fx.ValueOrDie(), opts);
+  if (!task_result.ok()) {
+    std::fprintf(stderr, "%s\n", task_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& task = task_result.ValueOrDie();
+
+  core::RetinaOptions ropts;
+  ropts.dynamic = args.dynamic;
+  ropts.use_exogenous = !args.no_exo;
+  ropts.epochs = 4;
+  if (args.dynamic) {
+    ropts.use_adam = false;
+    ropts.learning_rate = 1e-3;
+    ropts.lambda = 2.5;
+  }
+  ropts.seed = args.seed;
+  Stopwatch timer;
+  core::Retina model(task.user_dim, task.content_dim, task.embed_dim,
+                     task.NumIntervals(), ropts);
+  const Status st = model.Train(task);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const Vec scores = model.ScoreCandidates(task, task.test);
+  const auto eval = core::EvaluateBinary(task.test, scores);
+  const auto queries = core::MakeRankingQueries(task, task.test, scores);
+  std::printf(
+      "RETINA-%s%s: macro-F1 %.3f  ACC %.3f  AUC %.3f  MAP@20 %.3f  "
+      "HITS@20 %.3f  (train %.1fs)\n",
+      args.dynamic ? "D" : "S", args.no_exo ? " [no-exo]" : "",
+      eval.macro_f1, eval.accuracy, eval.auc,
+      ml::MeanAveragePrecisionAtK(queries, 20), ml::HitsAtK(queries, 20),
+      timer.ElapsedSeconds());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "generate") return CmdGenerate(args);
+  if (args.command == "stats") return CmdStats(args);
+  if (args.command == "annotate") return CmdAnnotate(args);
+  if (args.command == "train-hategen") return CmdTrainHateGen(args);
+  if (args.command == "train-retweet") return CmdTrainRetweet(args);
+  return Usage();
+}
