@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recurrent.dir/bench_ablation_recurrent.cc.o"
+  "CMakeFiles/bench_ablation_recurrent.dir/bench_ablation_recurrent.cc.o.d"
+  "bench_ablation_recurrent"
+  "bench_ablation_recurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

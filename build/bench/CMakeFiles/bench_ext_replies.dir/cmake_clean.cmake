@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_replies.dir/bench_ext_replies.cc.o"
+  "CMakeFiles/bench_ext_replies.dir/bench_ext_replies.cc.o.d"
+  "bench_ext_replies"
+  "bench_ext_replies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_replies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hashtag_hate.dir/bench_fig2_hashtag_hate.cc.o"
+  "CMakeFiles/bench_fig2_hashtag_hate.dir/bench_fig2_hashtag_hate.cc.o.d"
+  "bench_fig2_hashtag_hate"
+  "bench_fig2_hashtag_hate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hashtag_hate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_user_topic.dir/bench_fig3_user_topic.cc.o"
+  "CMakeFiles/bench_fig3_user_topic.dir/bench_fig3_user_topic.cc.o.d"
+  "bench_fig3_user_topic"
+  "bench_fig3_user_topic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_user_topic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

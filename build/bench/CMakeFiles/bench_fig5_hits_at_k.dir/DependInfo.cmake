@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_hits_at_k.cc" "bench/CMakeFiles/bench_fig5_hits_at_k.dir/bench_fig5_hits_at_k.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_hits_at_k.dir/bench_fig5_hits_at_k.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/retina_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/retina_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/hatedetect/CMakeFiles/retina_hatedetect.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/retina_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/retina_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/retina_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/retina_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/retina_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/retina_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hate_vs_nonhate.dir/bench_fig6_hate_vs_nonhate.cc.o"
+  "CMakeFiles/bench_fig6_hate_vs_nonhate.dir/bench_fig6_hate_vs_nonhate.cc.o.d"
+  "bench_fig6_hate_vs_nonhate"
+  "bench_fig6_hate_vs_nonhate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hate_vs_nonhate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

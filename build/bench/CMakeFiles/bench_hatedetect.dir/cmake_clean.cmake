@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hatedetect.dir/bench_hatedetect.cc.o"
+  "CMakeFiles/bench_hatedetect.dir/bench_hatedetect.cc.o.d"
+  "bench_hatedetect"
+  "bench_hatedetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hatedetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hategen.dir/bench_table4_hategen.cc.o"
+  "CMakeFiles/bench_table4_hategen.dir/bench_table4_hategen.cc.o.d"
+  "bench_table4_hategen"
+  "bench_table4_hategen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hategen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

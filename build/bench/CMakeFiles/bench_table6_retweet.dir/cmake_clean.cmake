@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_retweet.dir/bench_table6_retweet.cc.o"
+  "CMakeFiles/bench_table6_retweet.dir/bench_table6_retweet.cc.o.d"
+  "bench_table6_retweet"
+  "bench_table6_retweet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_retweet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_inspection.dir/attention_inspection.cpp.o"
+  "CMakeFiles/attention_inspection.dir/attention_inspection.cpp.o.d"
+  "attention_inspection"
+  "attention_inspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_inspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_analysis.dir/campaign_analysis.cpp.o"
+  "CMakeFiles/campaign_analysis.dir/campaign_analysis.cpp.o.d"
+  "campaign_analysis"
+  "campaign_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

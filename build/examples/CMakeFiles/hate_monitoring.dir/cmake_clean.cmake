@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hate_monitoring.dir/hate_monitoring.cpp.o"
+  "CMakeFiles/hate_monitoring.dir/hate_monitoring.cpp.o.d"
+  "hate_monitoring"
+  "hate_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hate_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_behavior.dir/targeted_behavior.cpp.o"
+  "CMakeFiles/targeted_behavior.dir/targeted_behavior.cpp.o.d"
+  "targeted_behavior"
+  "targeted_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

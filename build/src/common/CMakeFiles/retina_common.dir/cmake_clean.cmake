@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_common.dir/logging.cc.o"
+  "CMakeFiles/retina_common.dir/logging.cc.o.d"
+  "CMakeFiles/retina_common.dir/rng.cc.o"
+  "CMakeFiles/retina_common.dir/rng.cc.o.d"
+  "CMakeFiles/retina_common.dir/status.cc.o"
+  "CMakeFiles/retina_common.dir/status.cc.o.d"
+  "CMakeFiles/retina_common.dir/string_util.cc.o"
+  "CMakeFiles/retina_common.dir/string_util.cc.o.d"
+  "CMakeFiles/retina_common.dir/table.cc.o"
+  "CMakeFiles/retina_common.dir/table.cc.o.d"
+  "CMakeFiles/retina_common.dir/vec.cc.o"
+  "CMakeFiles/retina_common.dir/vec.cc.o.d"
+  "libretina_common.a"
+  "libretina_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

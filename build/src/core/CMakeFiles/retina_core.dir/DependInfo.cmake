@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feature_extractor.cc" "src/core/CMakeFiles/retina_core.dir/feature_extractor.cc.o" "gcc" "src/core/CMakeFiles/retina_core.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/core/hategen_task.cc" "src/core/CMakeFiles/retina_core.dir/hategen_task.cc.o" "gcc" "src/core/CMakeFiles/retina_core.dir/hategen_task.cc.o.d"
+  "/root/repo/src/core/retina.cc" "src/core/CMakeFiles/retina_core.dir/retina.cc.o" "gcc" "src/core/CMakeFiles/retina_core.dir/retina.cc.o.d"
+  "/root/repo/src/core/retweet_task.cc" "src/core/CMakeFiles/retina_core.dir/retweet_task.cc.o" "gcc" "src/core/CMakeFiles/retina_core.dir/retweet_task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/retina_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/retina_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/retina_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/retina_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/retina_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/retina_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

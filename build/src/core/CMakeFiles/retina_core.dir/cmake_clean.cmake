@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_core.dir/feature_extractor.cc.o"
+  "CMakeFiles/retina_core.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/retina_core.dir/hategen_task.cc.o"
+  "CMakeFiles/retina_core.dir/hategen_task.cc.o.d"
+  "CMakeFiles/retina_core.dir/retina.cc.o"
+  "CMakeFiles/retina_core.dir/retina.cc.o.d"
+  "CMakeFiles/retina_core.dir/retweet_task.cc.o"
+  "CMakeFiles/retina_core.dir/retweet_task.cc.o.d"
+  "libretina_core.a"
+  "libretina_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/news.cc" "src/datagen/CMakeFiles/retina_datagen.dir/news.cc.o" "gcc" "src/datagen/CMakeFiles/retina_datagen.dir/news.cc.o.d"
+  "/root/repo/src/datagen/serialize.cc" "src/datagen/CMakeFiles/retina_datagen.dir/serialize.cc.o" "gcc" "src/datagen/CMakeFiles/retina_datagen.dir/serialize.cc.o.d"
+  "/root/repo/src/datagen/world.cc" "src/datagen/CMakeFiles/retina_datagen.dir/world.cc.o" "gcc" "src/datagen/CMakeFiles/retina_datagen.dir/world.cc.o.d"
+  "/root/repo/src/datagen/world_config.cc" "src/datagen/CMakeFiles/retina_datagen.dir/world_config.cc.o" "gcc" "src/datagen/CMakeFiles/retina_datagen.dir/world_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/retina_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/retina_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/retina_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_datagen.dir/news.cc.o"
+  "CMakeFiles/retina_datagen.dir/news.cc.o.d"
+  "CMakeFiles/retina_datagen.dir/serialize.cc.o"
+  "CMakeFiles/retina_datagen.dir/serialize.cc.o.d"
+  "CMakeFiles/retina_datagen.dir/world.cc.o"
+  "CMakeFiles/retina_datagen.dir/world.cc.o.d"
+  "CMakeFiles/retina_datagen.dir/world_config.cc.o"
+  "CMakeFiles/retina_datagen.dir/world_config.cc.o.d"
+  "libretina_datagen.a"
+  "libretina_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_diffusion.dir/neural_baselines.cc.o"
+  "CMakeFiles/retina_diffusion.dir/neural_baselines.cc.o.d"
+  "CMakeFiles/retina_diffusion.dir/sir.cc.o"
+  "CMakeFiles/retina_diffusion.dir/sir.cc.o.d"
+  "CMakeFiles/retina_diffusion.dir/threshold.cc.o"
+  "CMakeFiles/retina_diffusion.dir/threshold.cc.o.d"
+  "libretina_diffusion.a"
+  "libretina_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

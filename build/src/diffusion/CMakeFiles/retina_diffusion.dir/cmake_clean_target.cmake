@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libretina_diffusion.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_graph.dir/generators.cc.o"
+  "CMakeFiles/retina_graph.dir/generators.cc.o.d"
+  "CMakeFiles/retina_graph.dir/information_network.cc.o"
+  "CMakeFiles/retina_graph.dir/information_network.cc.o.d"
+  "libretina_graph.a"
+  "libretina_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_hatedetect.dir/annotation.cc.o"
+  "CMakeFiles/retina_hatedetect.dir/annotation.cc.o.d"
+  "CMakeFiles/retina_hatedetect.dir/davidson.cc.o"
+  "CMakeFiles/retina_hatedetect.dir/davidson.cc.o.d"
+  "libretina_hatedetect.a"
+  "libretina_hatedetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_hatedetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/adaboost.cc" "src/ml/CMakeFiles/retina_ml.dir/adaboost.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/adaboost.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/retina_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/retina_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gradient_boosting.cc" "src/ml/CMakeFiles/retina_ml.dir/gradient_boosting.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/gradient_boosting.cc.o.d"
+  "/root/repo/src/ml/logistic_regression.cc" "src/ml/CMakeFiles/retina_ml.dir/logistic_regression.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/logistic_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/retina_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/preprocess.cc" "src/ml/CMakeFiles/retina_ml.dir/preprocess.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/preprocess.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/retina_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/retina_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/retina_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/retina_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_ml.dir/adaboost.cc.o"
+  "CMakeFiles/retina_ml.dir/adaboost.cc.o.d"
+  "CMakeFiles/retina_ml.dir/dataset.cc.o"
+  "CMakeFiles/retina_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/retina_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/retina_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/retina_ml.dir/gradient_boosting.cc.o"
+  "CMakeFiles/retina_ml.dir/gradient_boosting.cc.o.d"
+  "CMakeFiles/retina_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/retina_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/retina_ml.dir/metrics.cc.o"
+  "CMakeFiles/retina_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/retina_ml.dir/preprocess.cc.o"
+  "CMakeFiles/retina_ml.dir/preprocess.cc.o.d"
+  "CMakeFiles/retina_ml.dir/random_forest.cc.o"
+  "CMakeFiles/retina_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/retina_ml.dir/svm.cc.o"
+  "CMakeFiles/retina_ml.dir/svm.cc.o.d"
+  "libretina_ml.a"
+  "libretina_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_nn.dir/attention.cc.o"
+  "CMakeFiles/retina_nn.dir/attention.cc.o.d"
+  "CMakeFiles/retina_nn.dir/gru.cc.o"
+  "CMakeFiles/retina_nn.dir/gru.cc.o.d"
+  "CMakeFiles/retina_nn.dir/layers.cc.o"
+  "CMakeFiles/retina_nn.dir/layers.cc.o.d"
+  "CMakeFiles/retina_nn.dir/optimizer.cc.o"
+  "CMakeFiles/retina_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/retina_nn.dir/recurrent.cc.o"
+  "CMakeFiles/retina_nn.dir/recurrent.cc.o.d"
+  "libretina_nn.a"
+  "libretina_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

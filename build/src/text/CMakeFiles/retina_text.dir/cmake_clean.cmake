@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_text.dir/doc2vec.cc.o"
+  "CMakeFiles/retina_text.dir/doc2vec.cc.o.d"
+  "CMakeFiles/retina_text.dir/hate_lexicon.cc.o"
+  "CMakeFiles/retina_text.dir/hate_lexicon.cc.o.d"
+  "CMakeFiles/retina_text.dir/tfidf.cc.o"
+  "CMakeFiles/retina_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/retina_text.dir/tokenizer.cc.o"
+  "CMakeFiles/retina_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/retina_text.dir/vocabulary.cc.o"
+  "CMakeFiles/retina_text.dir/vocabulary.cc.o.d"
+  "libretina_text.a"
+  "libretina_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

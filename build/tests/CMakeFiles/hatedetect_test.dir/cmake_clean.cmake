@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hatedetect_test.dir/hatedetect_test.cc.o"
+  "CMakeFiles/hatedetect_test.dir/hatedetect_test.cc.o.d"
+  "hatedetect_test"
+  "hatedetect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hatedetect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

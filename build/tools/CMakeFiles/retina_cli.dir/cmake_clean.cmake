@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retina_cli.dir/retina_cli.cc.o"
+  "CMakeFiles/retina_cli.dir/retina_cli.cc.o.d"
+  "retina"
+  "retina.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retina_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
