@@ -4,7 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "datagen/world.h"
 #include "graph/generators.h"
 #include "nn/attention.h"
@@ -48,6 +50,77 @@ void BM_AttentionBackward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * seq);
 }
 BENCHMARK(BM_AttentionBackward)->Arg(60);
+
+// Fixed-size dispatch overhead of the execution layer: an empty body over
+// state.range(0) items on a pool of state.range(1) threads.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  par::ThreadPool pool(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    par::ParallelFor(n, 1, [](size_t) {}, &pool);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelForOverhead)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({1024, 8});
+
+// A batch of attention forwards — the per-candidate scoring shape — run
+// serially (threads == 1) vs on a pool (threads > 1).
+void BM_AttentionBatchForward(benchmark::State& state) {
+  Rng rng(9);
+  const size_t batch = 64;
+  par::ThreadPool pool(static_cast<size_t>(state.range(0)));
+  nn::ExogenousAttention att(50, 50, 64, &rng);
+  std::vector<Vec> tweets(batch, Vec(50));
+  for (auto& t : tweets) {
+    for (double& v : t) v = rng.Normal();
+  }
+  Matrix news(60, 50);
+  for (double& v : news.data()) v = rng.Normal();
+  std::vector<Vec> out(batch);
+  for (auto _ : state) {
+    par::ParallelFor(
+        batch, 4,
+        [&](size_t i) { out[i] = att.Forward(tweets[i], news, nullptr); },
+        &pool);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_AttentionBatchForward)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Dense kernels across the naive/blocked crossover: MatMul switches to the
+// transposed-B register-blocked path above 16K mul-adds, so Arg(16) runs
+// the naive kernel and the larger sizes the blocked one.
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(10);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a(n, n), b(n, n);
+  for (double& v : a.data()) v = rng.Normal();
+  for (double& v : b.data()) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMul(b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatVec(benchmark::State& state) {
+  Rng rng(11);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix a(n, n);
+  for (double& v : a.data()) v = rng.Normal();
+  Vec x(n);
+  for (double& v : x) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatVec(x));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_MatVec)->Arg(64)->Arg(256);
 
 void BM_GruStep(benchmark::State& state) {
   Rng rng(3);

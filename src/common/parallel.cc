@@ -1,0 +1,48 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace retina::par {
+
+std::vector<ChunkRange> MakeChunks(size_t n, size_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  if (grain == 0) grain = 1;
+  const size_t ceil_div = (n + kMaxChunksPerLoop - 1) / kMaxChunksPerLoop;
+  const size_t chunk_size = std::max(grain, ceil_div);
+  chunks.reserve((n + chunk_size - 1) / chunk_size);
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    ChunkRange chunk;
+    chunk.index = chunks.size();
+    chunk.begin = begin;
+    chunk.end = std::min(n, begin + chunk_size);
+    chunks.push_back(chunk);
+  }
+  return chunks;
+}
+
+void ParallelForChunks(size_t n, size_t grain,
+                       const std::function<void(const ChunkRange&)>& body,
+                       ThreadPool* pool) {
+  const std::vector<ChunkRange> chunks = MakeChunks(n, grain);
+  if (chunks.empty()) return;
+  if (pool == nullptr) pool = GlobalPool();
+  if (chunks.size() == 1) {
+    // Avoid dispatch overhead (and pool traffic) for degenerate loops.
+    body(chunks[0]);
+    return;
+  }
+  pool->Run(chunks.size(), [&](size_t c) { body(chunks[c]); });
+}
+
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t)>& body, ThreadPool* pool) {
+  ParallelForChunks(
+      n, grain,
+      [&](const ChunkRange& chunk) {
+        for (size_t i = chunk.begin; i < chunk.end; ++i) body(i);
+      },
+      pool);
+}
+
+}  // namespace retina::par

@@ -1,0 +1,82 @@
+// retina::par — deterministic parallel-for / parallel-reduce helpers.
+//
+// Determinism contract: the chunk layout produced by MakeChunks depends
+// only on (n, grain) — never on the thread count — and ParallelReduce
+// combines per-chunk results in ascending chunk-index order. A caller that
+// (a) makes each chunk's computation a pure function of its ChunkRange and
+// (b) derives any randomness from an explicit seed via Rng::Stream keyed by
+// a chunk- or item-index is bit-identical at any thread count, including 1.
+//
+// Work runs on the global pool (common/thread_pool.h) sized from the
+// RETINA_NUM_THREADS environment override; pass an explicit pool to pin a
+// different size (benchmarks do this for thread-scaling curves).
+
+#ifndef RETINA_COMMON_PARALLEL_H_
+#define RETINA_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace retina::par {
+
+/// Half-open index range [begin, end) with its position in the chunk list.
+struct ChunkRange {
+  size_t index = 0;
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, n) into chunks of at least `grain` items each. The layout is
+/// a pure function of (n, grain): chunk sizes are
+/// max(grain, ceil(n / kMaxChunksPerLoop)), so small loops get one chunk
+/// per `grain` items and large loops are capped at kMaxChunksPerLoop
+/// chunks. grain == 0 is treated as 1.
+std::vector<ChunkRange> MakeChunks(size_t n, size_t grain);
+
+/// Upper bound on chunks per parallel loop. A constant (not a multiple of
+/// the thread count) so chunk layout — and therefore any per-chunk RNG or
+/// reduction order — is identical at every thread count.
+inline constexpr size_t kMaxChunksPerLoop = 32;
+
+/// Runs body(i) for every i in [0, n). The body must only touch state
+/// disjoint per index (e.g. out[i]). Blocks until done; rethrows the
+/// lowest-chunk exception.
+void ParallelFor(size_t n, size_t grain,
+                 const std::function<void(size_t)>& body,
+                 ThreadPool* pool = nullptr);
+
+/// Runs body(chunk) for every chunk of MakeChunks(n, grain). Use when the
+/// body carries per-chunk state (an accumulator, an Rng stream).
+void ParallelForChunks(size_t n, size_t grain,
+                       const std::function<void(const ChunkRange&)>& body,
+                       ThreadPool* pool = nullptr);
+
+/// Maps every chunk to a T and folds the per-chunk values in chunk-index
+/// order: reduce(reduce(init, map(chunk0)), map(chunk1)) ... The ordered
+/// fold is what makes floating-point reductions bit-identical at any
+/// thread count.
+template <typename T, typename MapFn, typename ReduceFn>
+T ParallelReduce(size_t n, size_t grain, T init, MapFn map, ReduceFn reduce,
+                 ThreadPool* pool = nullptr) {
+  const std::vector<ChunkRange> chunks = MakeChunks(n, grain);
+  if (chunks.empty()) return init;
+  std::vector<T> partial(chunks.size(), init);
+  ParallelForChunks(
+      n, grain,
+      [&](const ChunkRange& chunk) { partial[chunk.index] = map(chunk); },
+      pool);
+  T acc = std::move(init);
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    acc = reduce(std::move(acc), std::move(partial[c]));
+  }
+  return acc;
+}
+
+}  // namespace retina::par
+
+#endif  // RETINA_COMMON_PARALLEL_H_

@@ -37,7 +37,12 @@ Rng::Rng(uint64_t s0, uint64_t s1, uint64_t s2, uint64_t s3) : seed_(s0) {
 Rng Rng::Split() {
   // Child stream is a function of the original seed and the split ordinal
   // only, independent of how many variates the parent has drawn.
-  uint64_t sm = seed_ ^ (0xA0761D6478BD642FULL + ++split_counter_);
+  ++split_counter_;
+  return Stream(seed_, split_counter_ - 1);
+}
+
+Rng Rng::Stream(uint64_t seed, uint64_t stream_id) {
+  uint64_t sm = seed ^ (0xA0761D6478BD642FULL + stream_id + 1);
   uint64_t c0 = SplitMix64(&sm);
   uint64_t c1 = SplitMix64(&sm);
   uint64_t c2 = SplitMix64(&sm);

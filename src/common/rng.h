@@ -29,6 +29,14 @@ class Rng {
   /// variates the parent has drawn.
   Rng Split();
 
+  /// Indexed-stream derivation for parallel loops: Stream(seed, i) is the
+  /// stream the (i+1)-th Split() of Rng(seed) would produce, computed
+  /// without touching any parent state. Workers processing item/chunk i of
+  /// a parallel loop draw from Stream(seed, i), which makes the randomness
+  /// a pure function of (caller seed, index) — bit-identical at any thread
+  /// count and under any scheduling order (the retina::par contract).
+  static Rng Stream(uint64_t seed, uint64_t stream_id);
+
   /// Uniform 64-bit word.
   uint64_t NextU64();
 

@@ -1,0 +1,145 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+
+namespace retina::par {
+
+namespace {
+thread_local bool t_in_parallel_region = false;
+}  // namespace
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel_region; }
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    uint64_t seen_epoch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || job_fn_ != nullptr; });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+    }
+    DrainTasks();
+    // Wait for the job to be retired before re-arming, so a worker never
+    // spins on the same job twice.
+    std::unique_lock<std::mutex> lock(mu_);
+    work_cv_.wait(lock, [this, seen_epoch] {
+      return stop_ || job_epoch_ != seen_epoch || job_fn_ == nullptr;
+    });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::DrainTasks() {
+  t_in_parallel_region = true;
+  for (;;) {
+    size_t task;
+    const std::function<void(size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_fn_ == nullptr || next_task_ >= job_size_) break;
+      task = next_task_++;
+      fn = job_fn_;
+    }
+    try {
+      (*fn)(task);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_exception_ == nullptr || task < first_exception_task_) {
+        first_exception_ = std::current_exception();
+        first_exception_task_ = task;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_tasks_ == 0) done_cv_.notify_all();
+    }
+  }
+  t_in_parallel_region = false;
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  // Nested or single-threaded: run inline. Exceptions propagate naturally
+  // (fn(0) throws first by construction of the serial order).
+  if (t_in_parallel_region || workers_.empty()) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_size_ = num_tasks;
+    next_task_ = 0;
+    pending_tasks_ = num_tasks;
+    first_exception_ = nullptr;
+    first_exception_task_ = 0;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+
+  // The caller participates as one of the workers.
+  DrainTasks();
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_tasks_ == 0; });
+    job_fn_ = nullptr;
+    err = first_exception_;
+  }
+  // Release workers parked on the job-retired wait.
+  work_cv_.notify_all();
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+size_t DefaultNumThreads() {
+  if (const char* env = std::getenv("RETINA_NUM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+namespace {
+std::mutex g_pool_mu;
+ThreadPool* g_pool = nullptr;
+}  // namespace
+
+ThreadPool* GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_pool == nullptr) g_pool = new ThreadPool(DefaultNumThreads());
+  return g_pool;
+}
+
+size_t NumThreads() { return GlobalPool()->num_threads(); }
+
+void SetNumThreads(size_t n) {
+  if (n == 0) n = 1;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  delete g_pool;
+  g_pool = new ThreadPool(n);
+}
+
+}  // namespace retina::par

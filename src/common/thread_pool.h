@@ -1,0 +1,91 @@
+// Fixed-size worker pool behind the retina::par execution layer.
+//
+// The pool is a plain task-index dispatcher: Run(num_tasks, fn) executes
+// fn(0) .. fn(num_tasks-1) across the workers plus the calling thread and
+// blocks until every task finished. Scheduling order is unspecified, so
+// callers that need determinism must make each task independent and combine
+// task outputs in index order (see common/parallel.h, which layers a
+// deterministic chunking contract on top).
+//
+// Exceptions thrown inside a task are captured; after all tasks drain, the
+// one from the lowest task index is rethrown in the caller.
+
+#ifndef RETINA_COMMON_THREAD_POOL_H_
+#define RETINA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace retina::par {
+
+/// \brief Fixed-size thread pool; workers live for the pool's lifetime.
+class ThreadPool {
+ public:
+  /// Creates `num_threads - 1` workers (the calling thread participates in
+  /// every Run, so `num_threads` is the total concurrency). num_threads == 1
+  /// creates no workers and Run degenerates to an inline loop.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [0, num_tasks). Blocks until all tasks have
+  /// completed. Concurrent Run calls from different threads serialize; a
+  /// nested Run from inside a task executes inline on the calling thread
+  /// (so parallel callees inside parallel callers cannot deadlock).
+  void Run(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+  /// True while the current thread is executing a task of some Run.
+  static bool InParallelRegion();
+
+ private:
+  void WorkerLoop();
+  // Pulls and executes tasks of the active job until exhausted.
+  void DrainTasks();
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job posted / stop
+  std::condition_variable done_cv_;   // signals caller: job finished
+  const std::function<void(size_t)>* job_fn_ = nullptr;
+  size_t job_size_ = 0;
+  size_t next_task_ = 0;
+  size_t pending_tasks_ = 0;
+  uint64_t job_epoch_ = 0;
+  bool stop_ = false;
+
+  // First (lowest task index) exception of the active job.
+  std::exception_ptr first_exception_;
+  size_t first_exception_task_ = 0;
+
+  std::mutex run_mu_;  // serializes concurrent Run callers
+};
+
+/// Number of threads the global pool uses: the RETINA_NUM_THREADS
+/// environment variable when set to a positive integer, else
+/// std::thread::hardware_concurrency() (min 1).
+size_t DefaultNumThreads();
+
+/// Process-wide shared pool, created on first use with DefaultNumThreads().
+ThreadPool* GlobalPool();
+
+/// Current global pool size.
+size_t NumThreads();
+
+/// Replaces the global pool with one of `n` threads (n >= 1). Intended for
+/// tests and benchmarks; must not be called while parallel work is running.
+void SetNumThreads(size_t n);
+
+}  // namespace retina::par
+
+#endif  // RETINA_COMMON_THREAD_POOL_H_

@@ -8,14 +8,55 @@ namespace retina {
 Matrix Matrix::MatMul(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
+  const size_t N = other.cols_, K = cols_;
+  // Small products keep the original k-outer loop; the transpose pays off
+  // only once B no longer fits comfortably in cache lines per row.
+  if (rows_ * N * K < 16 * 1024) {
+    for (size_t i = 0; i < rows_; ++i) {
+      const double* arow = Row(i);
+      double* orow = out.Row(i);
+      for (size_t k = 0; k < K; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = other.Row(k);
+        for (size_t j = 0; j < N; ++j) orow[j] += aik * brow[j];
+      }
+    }
+    return out;
+  }
+  // Transposed-B form: C(i,j) = dot(A row i, B^T row j) streams both
+  // operands contiguously. The j-loop is register-blocked four wide so each
+  // pass over A's row feeds four independent accumulators. Per-entry
+  // k-order is ascending either way, so results match the naive kernel
+  // bit-for-bit.
+  const Matrix bt = other.Transpose();
   for (size_t i = 0; i < rows_; ++i) {
     const double* arow = Row(i);
     double* orow = out.Row(i);
-    for (size_t k = 0; k < cols_; ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = other.Row(k);
-      for (size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    size_t j = 0;
+    for (; j + 4 <= N; j += 4) {
+      const double* b0 = bt.Row(j);
+      const double* b1 = bt.Row(j + 1);
+      const double* b2 = bt.Row(j + 2);
+      const double* b3 = bt.Row(j + 3);
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        const double a = arow[k];
+        acc0 += a * b0[k];
+        acc1 += a * b1[k];
+        acc2 += a * b2[k];
+        acc3 += a * b3[k];
+      }
+      orow[j] = acc0;
+      orow[j + 1] = acc1;
+      orow[j + 2] = acc2;
+      orow[j + 3] = acc3;
+    }
+    for (; j < N; ++j) {
+      const double* brow = bt.Row(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
     }
   }
   return out;
@@ -31,10 +72,34 @@ Matrix Matrix::Transpose() const {
 Vec Matrix::MatVec(const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
+  const double* xp = x.data();
+  // Four rows per pass share each load of x, turning the kernel from one
+  // dot product at a time into a 4-row block with independent accumulators.
+  // Each row's own k-order stays ascending, so per-entry results are
+  // unchanged.
+  size_t i = 0;
+  for (; i + 4 <= rows_; i += 4) {
+    const double* r0 = Row(i);
+    const double* r1 = Row(i + 1);
+    const double* r2 = Row(i + 2);
+    const double* r3 = Row(i + 3);
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    for (size_t j = 0; j < cols_; ++j) {
+      const double xj = xp[j];
+      acc0 += r0[j] * xj;
+      acc1 += r1[j] * xj;
+      acc2 += r2[j] * xj;
+      acc3 += r3[j] * xj;
+    }
+    y[i] = acc0;
+    y[i + 1] = acc1;
+    y[i + 2] = acc2;
+    y[i + 3] = acc3;
+  }
+  for (; i < rows_; ++i) {
     const double* row = Row(i);
     double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    for (size_t j = 0; j < cols_; ++j) acc += row[j] * xp[j];
     y[i] = acc;
   }
   return y;

@@ -1,9 +1,10 @@
 // Dense vector / matrix math kernels shared by the ML and NN libraries.
 //
 // Vectors are plain std::vector<double>; Matrix is a row-major dense matrix.
-// At the scale of this library (feature dims in the hundreds, datasets in
-// the tens of thousands) straightforward loops are fast enough and keep the
-// numerics easy to audit.
+// Kernels stay easy to audit: MatVec blocks four rows per pass and MatMul
+// switches to a transposed-B register-blocked form for larger products, but
+// both keep each output entry's accumulation order ascending in k, so
+// results are identical to the naive loops.
 
 #ifndef RETINA_COMMON_VEC_H_
 #define RETINA_COMMON_VEC_H_
@@ -103,7 +104,8 @@ double Sum(const Vec& a);
 /// Arithmetic mean (0 for empty).
 double Mean(const Vec& a);
 
-/// Population variance (0 for size < 2... returns 0 for empty).
+/// Population variance: mean((a_i - mean(a))^2) over all elements.
+/// Returns 0 for vectors with fewer than two elements (empty or singleton).
 double Variance(const Vec& a);
 
 /// Cosine similarity; 0 when either vector is all-zero.

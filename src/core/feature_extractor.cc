@@ -194,14 +194,18 @@ Vec FeatureExtractor::NewsTfIdfAverage(double t0, size_t window) const {
   if (window == 0) window = config_.news_window;
   const long bucket =
       static_cast<long>(t0) * 1000 + static_cast<long>(window);
-  auto it = news_tfidf_cache_.find(bucket);
-  if (it != news_tfidf_cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(*news_tfidf_mu_);
+    auto it = news_tfidf_cache_.find(bucket);
+    if (it != news_tfidf_cache_.end()) return it->second;
+  }
   const auto idx = world_->news().MostRecentBefore(t0, window);
   std::vector<std::vector<std::string>> docs;
   docs.reserve(idx.size());
   for (size_t j : idx) docs.push_back(world_->news().articles()[j].tokens);
   Vec avg = docs.empty() ? Vec(news_tfidf_.Dim(), 0.0)
                          : news_tfidf_.TransformAverage(docs);
+  std::lock_guard<std::mutex> lock(*news_tfidf_mu_);
   news_tfidf_cache_.emplace(bucket, avg);
   return avg;
 }

@@ -15,6 +15,8 @@
 #ifndef RETINA_CORE_FEATURE_EXTRACTOR_H_
 #define RETINA_CORE_FEATURE_EXTRACTOR_H_
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -150,6 +152,12 @@ class FeatureExtractor {
   std::vector<Vec> history_blocks_;     // per user
   std::vector<Vec> user_embeddings_;    // per user: Doc2Vec of recent history
   std::vector<Vec> news_embeddings_;    // per article
+  /// Memoized per-(hour bucket, window) news tf-idf averages. The values
+  /// are pure functions of the key, so concurrent feature extraction only
+  /// needs the mutex for the map itself, not for determinism. (Held by
+  /// pointer to keep the extractor movable.)
+  mutable std::unique_ptr<std::mutex> news_tfidf_mu_ =
+      std::make_unique<std::mutex>();
   mutable std::unordered_map<long, Vec> news_tfidf_cache_;  // hour bucket
 };
 

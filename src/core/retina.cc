@@ -3,7 +3,51 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
+
 namespace retina::core {
+
+namespace {
+
+// Candidates per work chunk when splitting one tweet group. Groups carry at
+// most max_candidates (~48) candidates, so a grain of 8 yields up to six
+// chunks — enough slack for the pool without drowning in replica copies.
+constexpr size_t kCandidateGrain = 8;
+
+// Adds each replica parameter's gradient into the matching master
+// parameter. Called once per chunk, in chunk order.
+void AccumulateGrads(const std::vector<nn::Param*>& master,
+                     const std::vector<nn::Param*>& replica) {
+  for (size_t i = 0; i < master.size(); ++i) {
+    master[i]->grad.Axpy(1.0, replica[i]->grad);
+  }
+}
+
+}  // namespace
+
+// Chunk-local copies of the trainable layers. The attention replica is
+// only materialized on the multi-group path; the single-group path shares
+// the master's attention forward and defers its backward to the reducer.
+struct Retina::Replica {
+  std::unique_ptr<nn::Dense> ff1, head;
+  std::unique_ptr<nn::RecurrentCell> rnn;
+  std::unique_ptr<nn::ExogenousAttention> attention;
+  Vec dexo;          // attention-output gradient (single-group path)
+  double loss = 0.0;
+
+  std::vector<nn::Param*> Params() const {
+    std::vector<nn::Param*> params;
+    for (nn::Param* p : ff1->Params()) params.push_back(p);
+    for (nn::Param* p : head->Params()) params.push_back(p);
+    if (rnn != nullptr) {
+      for (nn::Param* p : rnn->Params()) params.push_back(p);
+    }
+    if (attention != nullptr) {
+      for (nn::Param* p : attention->Params()) params.push_back(p);
+    }
+    return params;
+  }
+};
 
 Retina::Retina(size_t user_dim, size_t content_dim, size_t embed_dim,
                size_t num_intervals, RetinaOptions options)
@@ -68,6 +112,185 @@ Vec Retina::StepInput(const Vec& hidden, const Vec& exo,
   return in;
 }
 
+double Retina::TrainCandidate(nn::Dense* ff1, nn::Dense* head,
+                              nn::RecurrentCell* rnn,
+                              const RetweetCandidate& cand,
+                              const TweetContext& ctx, const Vec& exo,
+                              double inv_batch, const nn::WeightedBce& loss,
+                              Vec* dexo) const {
+  const size_t H = options_.hidden;
+  const size_t J = num_intervals_;
+  const bool has_exo = !exo.empty();
+  double sample_loss = 0.0;
+
+  Vec x = Concat(cand.user_features, ctx.content);
+  x = nn::LayerNorm(x);
+  const Vec h_pre = ff1->Forward(x);
+  const Vec h = nn::Relu(h_pre);
+
+  Vec dh(H, 0.0);
+  if (!options_.dynamic) {
+    const Vec concat = Concat(h, exo);
+    const Vec logit = head->Forward(concat);
+    const double p = Sigmoid(logit[0]);
+    sample_loss = inv_batch * loss.Loss(p, cand.label);
+    const double dlogit = inv_batch * loss.GradLogit(p, cand.label);
+    const Vec dconcat = head->Backward(concat, {dlogit});
+    for (size_t k = 0; k < H; ++k) dh[k] += dconcat[k];
+    if (has_exo) {
+      for (size_t k = 0; k < H; ++k) (*dexo)[k] += dconcat[H + k];
+    }
+  } else {
+    // Unroll the recurrent cell over intervals. The observable output is
+    // the first H entries of the cell state.
+    const size_t S = rnn->state_dim();
+    std::vector<nn::RecCache> caches(J);
+    std::vector<Vec> hidden_states(J);
+    std::vector<double> dlogits(J);
+    Vec state(S, 0.0);
+    for (size_t j = 0; j < J; ++j) {
+      const Vec input = StepInput(h, exo, j);
+      state = rnn->Forward(input, state, &caches[j]);
+      hidden_states[j] = Vec(state.begin(), state.begin() + H);
+      const Vec logit = head->Forward(hidden_states[j]);
+      const double p = Sigmoid(logit[0]);
+      sample_loss += inv_batch * loss.Loss(p, cand.interval_labels[j]);
+      dlogits[j] = inv_batch * loss.GradLogit(p, cand.interval_labels[j]);
+    }
+    // BPTT.
+    Vec dstate_carry(S, 0.0);
+    for (size_t j = J; j-- > 0;) {
+      const Vec dh_head = head->Backward(hidden_states[j], {dlogits[j]});
+      Vec dstate = dstate_carry;
+      for (size_t k = 0; k < H; ++k) dstate[k] += dh_head[k];
+      Vec dx;
+      rnn->Backward(caches[j], dstate, &dx, &dstate_carry);
+      for (size_t k = 0; k < H; ++k) dh[k] += dx[k];
+      if (has_exo) {
+        for (size_t k = 0; k < H; ++k) (*dexo)[k] += dx[H + k];
+      }
+    }
+  }
+  const Vec dh_pre = nn::ReluBackward(h_pre, dh);
+  ff1->Backward(x, dh_pre);
+  return sample_loss;
+}
+
+double Retina::TrainBatch(
+    const RetweetTask& task,
+    const std::vector<std::pair<size_t, size_t>>& groups, size_t g0,
+    size_t g1, const nn::WeightedBce& loss) {
+  const auto& train = task.train;
+  const size_t H = options_.hidden;
+  double batch_loss = 0.0;
+
+  if (g1 - g0 == 1) {
+    // Single-group step (the paper's regime): the attention forward is
+    // shared, parallelism splits the group's candidate set. Chunk layout
+    // depends only on the candidate count, so any thread count produces
+    // the same chunk-ordered gradient sums.
+    const auto& [begin, end] = groups[g0];
+    const TweetContext& ctx = task.tweets[train[begin].tweet_pos];
+    // Mean (not summed) gradient over the mini-batch keeps step sizes
+    // independent of the candidate-set size.
+    const double inv_batch = 1.0 / static_cast<double>(end - begin);
+
+    nn::AttentionCache att_cache;
+    Vec exo;
+    if (attention_ != nullptr) {
+      exo = attention_->Forward(ctx.embedding, ctx.news_window, &att_cache);
+    }
+
+    const size_t n = end - begin;
+    const std::vector<par::ChunkRange> chunks =
+        par::MakeChunks(n, kCandidateGrain);
+    Vec dexo(H, 0.0);
+    if (chunks.size() <= 1) {
+      // One chunk: train straight against the master layers. Identical
+      // arithmetic to the replica path (replica grads start at the
+      // master's zeros), minus the copy.
+      for (size_t s = begin; s < end; ++s) {
+        batch_loss += TrainCandidate(ff1_.get(), head_.get(), rnn_.get(),
+                                     train[s], ctx, exo, inv_batch, loss,
+                                     &dexo);
+      }
+    } else {
+      std::vector<Replica> reps(chunks.size());
+      par::ParallelForChunks(n, kCandidateGrain,
+                             [&](const par::ChunkRange& chunk) {
+        Replica& rep = reps[chunk.index];
+        rep.ff1 = std::make_unique<nn::Dense>(*ff1_);
+        rep.head = std::make_unique<nn::Dense>(*head_);
+        if (rnn_ != nullptr) rep.rnn = rnn_->Clone();
+        rep.dexo.assign(H, 0.0);
+        for (size_t s = begin + chunk.begin; s < begin + chunk.end; ++s) {
+          rep.loss += TrainCandidate(rep.ff1.get(), rep.head.get(),
+                                     rep.rnn.get(), train[s], ctx, exo,
+                                     inv_batch, loss, &rep.dexo);
+        }
+      });
+      // Ordered reduction: chunk index order, so the gradient sums do not
+      // depend on scheduling.
+      std::vector<nn::Param*> master;
+      for (nn::Param* p : ff1_->Params()) master.push_back(p);
+      for (nn::Param* p : head_->Params()) master.push_back(p);
+      if (rnn_ != nullptr) {
+        for (nn::Param* p : rnn_->Params()) master.push_back(p);
+      }
+      for (const Replica& rep : reps) {
+        AccumulateGrads(master, rep.Params());
+        Axpy(1.0, rep.dexo, &dexo);
+        batch_loss += rep.loss;
+      }
+    }
+    if (attention_ != nullptr && !att_cache.weights.empty()) {
+      attention_->Backward(att_cache, dexo);
+    }
+    return batch_loss;
+  }
+
+  // Macro-batch: whole groups per chunk; each replica also owns an
+  // attention copy since the attention backward runs inside the chunk.
+  const size_t n_groups = g1 - g0;
+  const std::vector<par::ChunkRange> chunks = par::MakeChunks(n_groups, 1);
+  std::vector<Replica> reps(chunks.size());
+  par::ParallelForChunks(n_groups, 1, [&](const par::ChunkRange& chunk) {
+    Replica& rep = reps[chunk.index];
+    rep.ff1 = std::make_unique<nn::Dense>(*ff1_);
+    rep.head = std::make_unique<nn::Dense>(*head_);
+    if (rnn_ != nullptr) rep.rnn = rnn_->Clone();
+    if (attention_ != nullptr) {
+      rep.attention = std::make_unique<nn::ExogenousAttention>(*attention_);
+    }
+    for (size_t g = chunk.begin; g < chunk.end; ++g) {
+      const auto& [begin, end] = groups[g0 + g];
+      const TweetContext& ctx = task.tweets[train[begin].tweet_pos];
+      const double inv_batch = 1.0 / static_cast<double>(end - begin);
+      nn::AttentionCache att_cache;
+      Vec exo;
+      if (rep.attention != nullptr) {
+        exo = rep.attention->Forward(ctx.embedding, ctx.news_window,
+                                     &att_cache);
+      }
+      Vec dexo(H, 0.0);
+      for (size_t s = begin; s < end; ++s) {
+        rep.loss += TrainCandidate(rep.ff1.get(), rep.head.get(),
+                                   rep.rnn.get(), train[s], ctx, exo,
+                                   inv_batch, loss, &dexo);
+      }
+      if (rep.attention != nullptr && !att_cache.weights.empty()) {
+        rep.attention->Backward(att_cache, dexo);
+      }
+    }
+  });
+  std::vector<nn::Param*> master = Params();
+  for (const Replica& rep : reps) {
+    AccumulateGrads(master, rep.Params());
+    batch_loss += rep.loss;
+  }
+  return batch_loss;
+}
+
 Status Retina::Train(const RetweetTask& task) {
   const auto& train = task.train;
   if (train.empty()) {
@@ -98,84 +321,20 @@ Status Retina::Train(const RetweetTask& task) {
   }
 
   Rng rng(options_.seed ^ 0xB0B0B0B0ULL);
-  const size_t H = options_.hidden;
-  const size_t J = num_intervals_;
+  const size_t batch = std::max<size_t>(1, options_.batch_groups);
+  epoch_losses_.assign(static_cast<size_t>(std::max(0, options_.epochs)),
+                       0.0);
 
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     rng.Shuffle(&groups);
-    for (const auto& [begin, end] : groups) {
-      const TweetContext& ctx = task.tweets[train[begin].tweet_pos];
-      // Mean (not summed) gradient over the mini-batch keeps step sizes
-      // independent of the candidate-set size.
-      const double inv_batch = 1.0 / static_cast<double>(end - begin);
-
-      nn::AttentionCache att_cache;
-      Vec exo;
-      Vec dexo(H, 0.0);
-      if (attention_ != nullptr) {
-        exo = attention_->Forward(ctx.embedding, ctx.news_window, &att_cache);
-      }
-
-      for (size_t s = begin; s < end; ++s) {
-        const RetweetCandidate& cand = train[s];
-        Vec x = Concat(cand.user_features, ctx.content);
-        x = nn::LayerNorm(x);
-        const Vec h_pre = ff1_->Forward(x);
-        const Vec h = nn::Relu(h_pre);
-
-        Vec dh(H, 0.0);
-        if (!options_.dynamic) {
-          const Vec concat = Concat(h, exo);
-          const Vec logit = head_->Forward(concat);
-          const double p = Sigmoid(logit[0]);
-          const double dlogit =
-              inv_batch * loss.GradLogit(p, cand.label);
-          const Vec dconcat = head_->Backward(concat, {dlogit});
-          for (size_t k = 0; k < H; ++k) dh[k] += dconcat[k];
-          if (attention_ != nullptr) {
-            for (size_t k = 0; k < H; ++k) dexo[k] += dconcat[H + k];
-          }
-        } else {
-          // Unroll the recurrent cell over intervals. The observable
-          // output is the first H entries of the cell state.
-          const size_t S = rnn_->state_dim();
-          std::vector<nn::RecCache> caches(J);
-          std::vector<Vec> hidden_states(J);
-          std::vector<double> dlogits(J);
-          Vec state(S, 0.0);
-          for (size_t j = 0; j < J; ++j) {
-            const Vec input = StepInput(h, exo, j);
-            state = rnn_->Forward(input, state, &caches[j]);
-            hidden_states[j] = Vec(state.begin(), state.begin() + H);
-            const Vec logit = head_->Forward(hidden_states[j]);
-            const double p = Sigmoid(logit[0]);
-            dlogits[j] =
-                inv_batch * loss.GradLogit(p, cand.interval_labels[j]);
-          }
-          // BPTT.
-          Vec dstate_carry(S, 0.0);
-          for (size_t j = J; j-- > 0;) {
-            const Vec dh_head =
-                head_->Backward(hidden_states[j], {dlogits[j]});
-            Vec dstate = dstate_carry;
-            for (size_t k = 0; k < H; ++k) dstate[k] += dh_head[k];
-            Vec dx;
-            rnn_->Backward(caches[j], dstate, &dx, &dstate_carry);
-            for (size_t k = 0; k < H; ++k) dh[k] += dx[k];
-            if (attention_ != nullptr) {
-              for (size_t k = 0; k < H; ++k) dexo[k] += dx[H + k];
-            }
-          }
-        }
-        const Vec dh_pre = nn::ReluBackward(h_pre, dh);
-        ff1_->Backward(x, dh_pre);
-      }
-
-      if (attention_ != nullptr && !att_cache.weights.empty()) {
-        attention_->Backward(att_cache, dexo);
-      }
+    double epoch_loss = 0.0;
+    for (size_t g0 = 0; g0 < groups.size(); g0 += batch) {
+      const size_t g1 = std::min(groups.size(), g0 + batch);
+      epoch_loss += TrainBatch(task, groups, g0, g1, loss);
       optimizer_->Step();
     }
+    epoch_losses_[static_cast<size_t>(epoch)] =
+        epoch_loss / static_cast<double>(groups.size());
   }
   return Status::OK();
 }
@@ -228,25 +387,29 @@ void CollectIntervalSamples(const Retina& model, const RetweetTask& task,
                             const std::vector<RetweetCandidate>& candidates,
                             size_t num_intervals, bool cumulative,
                             std::vector<int>* y, Vec* p) {
-  y->reserve(candidates.size() * num_intervals);
-  p->reserve(candidates.size() * num_intervals);
-  for (const auto& cand : candidates) {
+  y->assign(candidates.size() * num_intervals, 0);
+  p->assign(candidates.size() * num_intervals, 0.0);
+  // Inference is pure per candidate; every candidate owns a disjoint slice
+  // of the output arrays, so parallel order cannot change the result.
+  par::ParallelFor(candidates.size(), 16, [&](size_t i) {
+    const RetweetCandidate& cand = candidates[i];
     const Vec probs =
         model.PredictDynamic(task.tweets[cand.tweet_pos], cand.user_features);
     int label_so_far = 0;
     double none_so_far = 1.0;
     for (size_t j = 0; j < num_intervals; ++j) {
+      const size_t out = i * num_intervals + j;
       if (cumulative) {
         label_so_far |= cand.interval_labels[j];
         none_so_far *= 1.0 - probs[j];
-        y->push_back(label_so_far);
-        p->push_back(1.0 - none_so_far);
+        (*y)[out] = label_so_far;
+        (*p)[out] = 1.0 - none_so_far;
       } else {
-        y->push_back(cand.interval_labels[j]);
-        p->push_back(probs[j]);
+        (*y)[out] = cand.interval_labels[j];
+        (*p)[out] = probs[j];
       }
     }
-  }
+  });
 }
 
 BinaryEval EvalFlat(const std::vector<int>& y, const Vec& p,
@@ -319,10 +482,10 @@ Vec Retina::ScoreCandidates(
     const RetweetTask& task,
     const std::vector<RetweetCandidate>& candidates) const {
   Vec scores(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
+  par::ParallelFor(candidates.size(), 16, [&](size_t i) {
     scores[i] = PredictScore(task.tweets[candidates[i].tweet_pos],
                              candidates[i].user_features);
-  }
+  });
   return scores;
 }
 

@@ -53,6 +53,14 @@ struct RetinaOptions {
   /// after trying a simple RNN (worse) and an LSTM (no gain) — see
   /// bench_ablation_recurrent.
   nn::RecurrentKind recurrent = nn::RecurrentKind::kGru;
+  /// Tweet groups per optimizer step. 1 reproduces the paper's per-tweet
+  /// stepping (parallelism then comes from splitting the group's candidate
+  /// set); larger values macro-batch whole groups per step, which scales
+  /// better but takes proportionally fewer optimizer steps per epoch.
+  /// Either way gradients accumulate into per-chunk buffers that are
+  /// reduced in chunk order, so results are bit-identical at any thread
+  /// count (see DESIGN.md "Threading model").
+  size_t batch_groups = 1;
   uint64_t seed = 42;
 };
 
@@ -67,6 +75,11 @@ class Retina {
 
   /// Trains on the task's train split.
   Status Train(const RetweetTask& task);
+
+  /// Mean per-candidate training loss of each epoch of the last Train
+  /// call. Chunk-ordered reduction makes the trajectory bit-identical at
+  /// any thread count — the determinism regression tests pin this.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
 
   /// Static retweet probability P^{u_j}.
   double PredictStatic(const TweetContext& ctx,
@@ -115,17 +128,39 @@ class Retina {
   const RetinaOptions& options() const { return options_; }
 
  private:
+  // Per-chunk model replica for data-parallel gradient accumulation: each
+  // work chunk trains against its own copy of the layers and the replica
+  // gradients are reduced back into the master parameters in chunk order.
+  struct Replica;
+
   // Forward pieces shared by train and predict. `exo` is the attended
   // exogenous vector for the sample's tweet (empty when disabled).
   Vec HiddenForward(const Vec& user_features, const Vec& content) const;
 
   Vec StepInput(const Vec& hidden, const Vec& exo, size_t interval) const;
 
+  // Forward + backward for one candidate against the given layers (master
+  // or replica). Accumulates parameter gradients and the attention-output
+  // gradient into `dexo`; returns the candidate's loss scaled by
+  // `inv_batch`.
+  double TrainCandidate(nn::Dense* ff1, nn::Dense* head,
+                        nn::RecurrentCell* rnn, const RetweetCandidate& cand,
+                        const TweetContext& ctx, const Vec& exo,
+                        double inv_batch, const nn::WeightedBce& loss,
+                        Vec* dexo) const;
+
+  // Gradient accumulation + optimizer step for groups [g0, g1); returns
+  // the batch's summed (inv_batch-scaled) loss.
+  double TrainBatch(const RetweetTask& task,
+                    const std::vector<std::pair<size_t, size_t>>& groups,
+                    size_t g0, size_t g1, const nn::WeightedBce& loss);
+
   std::vector<nn::Param*> Params();
 
   RetinaOptions options_;
   size_t input_dim_;
   size_t num_intervals_;
+  std::vector<double> epoch_losses_;
 
   Rng init_rng_;
   std::unique_ptr<nn::Dense> ff1_;   // input -> hidden

@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "common/parallel.h"
+
 namespace retina::core {
+
+namespace {
+
+// Work recorded by the serial selection pass for the parallel feature
+// pass: which tweet, and which contiguous candidate slices of the train /
+// test buckets belong to it.
+struct TweetWork {
+  size_t tweet_index = 0;  // index into world.tweets()
+  size_t train_begin = 0, train_end = 0;
+  size_t test_begin = 0, test_end = 0;
+};
+
+}  // namespace
 
 Result<RetweetTask> BuildRetweetTask(const FeatureExtractor& extractor,
                                      const RetweetTaskOptions& options) {
@@ -44,6 +59,11 @@ Result<RetweetTask> BuildRetweetTask(const FeatureExtractor& extractor,
   const size_t n_intervals = task.NumIntervals();
   const size_t n_users = world.NumUsers();
 
+  // Pass 1 (serial): candidate selection. Consumes the task RNG in
+  // exactly the order the fully serial builder did, so the emitted task is
+  // bit-identical; the expensive deterministic work (content features,
+  // BFS, per-candidate user features) is deferred to the parallel pass.
+  std::vector<TweetWork> work(eligible.size());
   for (size_t k = 0; k < eligible.size(); ++k) {
     const size_t ti = eligible[k];
     const datagen::Tweet& tw = tweets[ti];
@@ -53,21 +73,17 @@ Result<RetweetTask> BuildRetweetTask(const FeatureExtractor& extractor,
     ctx.tweet_id = ti;
     ctx.hateful = tw.is_hateful;
     ctx.cascade_size = cascade.retweets.size();
-    ctx.content = extractor.TweetContentFeatures(tw);
-    ctx.embedding = extractor.TweetEmbedding(tw);
-    ctx.news_window = extractor.NewsEmbeddingWindow(tw.time);
-    ctx.news_tfidf = extractor.NewsTfIdfAverage(tw.time);
     const size_t tweet_pos = task.tweets.size();
     task.tweets.push_back(std::move(ctx));
-
-    // One BFS from the author, shared across candidates.
-    const std::vector<int> dist =
-        world.network().BfsDistances(tw.author, kPeerPathCutoff);
 
     std::unordered_set<NodeId> in_cascade{tw.author};
     for (const auto& rt : cascade.retweets) in_cascade.insert(rt.user);
 
-    auto& bucket = (k < n_test) ? task.test : task.train;
+    const bool is_test = k < n_test;
+    auto& bucket = is_test ? task.test : task.train;
+    TweetWork& tw_work = work[k];
+    tw_work.tweet_index = ti;
+    (is_test ? tw_work.test_begin : tw_work.train_begin) = bucket.size();
 
     // Positives: actual retweeters (capped).
     size_t n_pos = 0;
@@ -87,8 +103,6 @@ Result<RetweetTask> BuildRetweetTask(const FeatureExtractor& extractor,
         }
       }
       cand.interval_labels[interval] = 1;
-      cand.user_features =
-          extractor.RetweetUserFeatures(tw, rt.user, dist[rt.user]);
       bucket.push_back(std::move(cand));
       ++n_pos;
     }
@@ -116,11 +130,38 @@ Result<RetweetTask> BuildRetweetTask(const FeatureExtractor& extractor,
       cand.user = v;
       cand.label = 0;
       cand.interval_labels.assign(n_intervals, 0);
-      cand.user_features = extractor.RetweetUserFeatures(tw, v, dist[v]);
       bucket.push_back(std::move(cand));
       ++added;
     }
+    (is_test ? tw_work.test_end : tw_work.train_end) = bucket.size();
   }
+
+  // Pass 2 (parallel): deterministic feature extraction. Each tweet owns
+  // its TweetContext and disjoint candidate slices, so no locking and no
+  // dependence on the thread count.
+  par::ParallelFor(work.size(), 1, [&](size_t k) {
+    const TweetWork& tw_work = work[k];
+    const datagen::Tweet& tw = tweets[tw_work.tweet_index];
+    TweetContext& ctx = task.tweets[k];
+    ctx.content = extractor.TweetContentFeatures(tw);
+    ctx.embedding = extractor.TweetEmbedding(tw);
+    ctx.news_window = extractor.NewsEmbeddingWindow(tw.time);
+    ctx.news_tfidf = extractor.NewsTfIdfAverage(tw.time);
+
+    // One BFS from the author, shared across candidates.
+    const std::vector<int> dist =
+        world.network().BfsDistances(tw.author, kPeerPathCutoff);
+    for (size_t i = tw_work.train_begin; i < tw_work.train_end; ++i) {
+      RetweetCandidate& cand = task.train[i];
+      cand.user_features =
+          extractor.RetweetUserFeatures(tw, cand.user, dist[cand.user]);
+    }
+    for (size_t i = tw_work.test_begin; i < tw_work.test_end; ++i) {
+      RetweetCandidate& cand = task.test[i];
+      cand.user_features =
+          extractor.RetweetUserFeatures(tw, cand.user, dist[cand.user]);
+    }
+  });
   if (task.train.empty() || task.test.empty()) {
     return Status::FailedPrecondition("BuildRetweetTask: empty split");
   }

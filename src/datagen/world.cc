@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "graph/generators.h"
 
 namespace retina::datagen {
@@ -189,7 +190,11 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   }
 
   world.histories_.resize(n_users);
-  for (size_t u = 0; u < n_users; ++u) {
+  // Each user's timeline draws from its own seed-derived stream, so the
+  // loop parallelizes without the thread count changing any history.
+  const uint64_t hist_base = hist_rng.NextU64();
+  par::ParallelFor(n_users, 16, [&](size_t u) {
+    Rng user_hist_rng = Rng::Stream(hist_base, u);
     const UserProfile& p = world.users_[u];
     const double log_followers = std::log(
         1.0 + static_cast<double>(world.network_.FollowerCount(
@@ -198,32 +203,32 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
     hist.resize(config.history_length);
     for (size_t i = 0; i < hist.size(); ++i) {
       HistoryTweet& ht = hist[i];
-      ht.time = -hist_rng.Uniform(0.0, 90.0 * 24.0);
-      ht.topic = hist_rng.Categorical(p.topic_interests);
+      ht.time = -user_hist_rng.Uniform(0.0, 90.0 * 24.0);
+      ht.topic = user_hist_rng.Categorical(p.topic_interests);
       // Histories reveal propensity only noisily: even prolific haters
       // keep most of their timeline clean, which is what makes the
       // hate-generation task genuinely hard (Table IV's modest scores).
-      ht.is_hateful = hist_rng.Bernoulli(
+      ht.is_hateful = user_hist_rng.Bernoulli(
           std::min(0.95, p.hate_propensity[ht.topic] * 0.3));
       const std::string* tag = nullptr;
-      if (!tags_by_topic[ht.topic].empty() && hist_rng.Bernoulli(0.5)) {
-        ht.hashtag = tags_by_topic[ht.topic][hist_rng.UniformInt(
+      if (!tags_by_topic[ht.topic].empty() && user_hist_rng.Bernoulli(0.5)) {
+        ht.hashtag = tags_by_topic[ht.topic][user_hist_rng.UniformInt(
             tags_by_topic[ht.topic].size())];
         tag = &world.hashtags_[ht.hashtag].tag;
       }
-      ht.tokens = sampler.Make(ht.topic, ht.is_hateful, tag, &hist_rng);
+      ht.tokens = sampler.Make(ht.topic, ht.is_hateful, tag, &user_hist_rng);
       // Attention: hateful content by hate-prone users draws extra
       // retweets (the "hate preachers get engagement" signal, Section
       // IV-A features).
       double rt_rate = 0.4 + 0.8 * log_followers + 0.5 * p.activity;
       if (ht.is_hateful) rt_rate *= 2.5;
-      ht.retweets_received = hist_rng.Poisson(rt_rate);
+      ht.retweets_received = user_hist_rng.Poisson(rt_rate);
     }
     std::sort(hist.begin(), hist.end(),
               [](const HistoryTweet& a, const HistoryTweet& b) {
                 return a.time < b.time;
               });
-  }
+  });
 
   // ---- Root tweets ----------------------------------------------------------
   const size_t n_days = static_cast<size_t>(std::ceil(config.horizon_days));
@@ -333,7 +338,11 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   // first level's contribution.
   const double depth_decay = 0.2;
   constexpr size_t kMaxCascade = 600;
-  for (size_t i = 0; i < world.tweets_.size(); ++i) {
+  // Cascades are simulated in parallel: tweet i floods with
+  // Rng::Stream(cascade_base, i) into its own world.cascades_[i] slot.
+  const uint64_t cascade_base = cascade_rng.NextU64();
+  par::ParallelFor(world.tweets_.size(), 1, [&](size_t i) {
+    Rng tweet_cascade_rng = Rng::Stream(cascade_base, i);
     const Tweet& tw = world.tweets_[i];
     Cascade& cascade = world.cascades_[i];
     cascade.root_tweet = tw.id;
@@ -366,11 +375,11 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
         for (NodeId member :
              community_members[static_cast<size_t>(community)]) {
           if (participants.count(member) > 0) continue;
-          if (!cascade_rng.Bernoulli(config.organized_spreader_rate)) {
+          if (!tweet_cascade_rng.Bernoulli(config.organized_spreader_rate)) {
             continue;
           }
           participants.insert(member);
-          const double t = tw.time + cascade_rng.Exponential(2.0 / tau);
+          const double t = tw.time + tweet_cascade_rng.Exponential(2.0 / tau);
           cascade.retweets.push_back({member, t, /*organic=*/false});
           frontier.push_back({member, t, 1});
         }
@@ -394,8 +403,8 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
           const double exo_mod = std::clamp(
               1.0 + 0.6 * config.exo_coupling * (intensity - 1.0), 0.4, 4.0);
           prob = std::min(0.95, prob * exo_mod);
-          if (!cascade_rng.Bernoulli(prob)) continue;
-          const double delay = cascade_rng.Exponential(1.0 / tau);
+          if (!tweet_cascade_rng.Bernoulli(prob)) continue;
+          const double delay = tweet_cascade_rng.Exponential(1.0 / tau);
           const double t = f.time + delay;
           if (t > tw.time + 14.0 * 24.0) continue;
           participants.insert(v);
@@ -415,14 +424,14 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
     // destroy the low-susceptibility signature of Figure 1(b).
     const int n_promo =
         tw.is_hateful ? 0
-                      : cascade_rng.Poisson(
+                      : tweet_cascade_rng.Poisson(
                             config.non_organic_fraction *
                             static_cast<double>(cascade.retweets.size()));
     for (int k = 0; k < n_promo; ++k) {
-      const NodeId v = sample_author(topic, &cascade_rng);
+      const NodeId v = sample_author(topic, &tweet_cascade_rng);
       if (participants.count(v) > 0) continue;
       participants.insert(v);
-      const double t = tw.time + cascade_rng.Exponential(1.0 / tau);
+      const double t = tw.time + tweet_cascade_rng.Exponential(1.0 / tau);
       cascade.retweets.push_back({v, t, /*organic=*/false});
     }
 
@@ -430,7 +439,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
               [](const RetweetEvent& a, const RetweetEvent& b) {
                 return a.time < b.time;
               });
-  }
+  });
 
   // ---- Reply threads (Section IX-A extension) -----------------------------
   // Replies scale with the cascade's engagement; repliers are drawn from
@@ -438,21 +447,23 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   // Hateful roots attract supportive hate from the chamber and
   // counter-speech from ordinary repliers; non-hate roots occasionally
   // draw harassment from hate-prone repliers.
-  Rng reply_rng = rng.Split();
+  Rng base_reply_rng = rng.Split();
+  const uint64_t reply_base = base_reply_rng.NextU64();
   world.replies_.resize(world.tweets_.size());
-  for (size_t i = 0; i < world.tweets_.size(); ++i) {
+  par::ParallelFor(world.tweets_.size(), 8, [&](size_t i) {
+    Rng reply_rng = Rng::Stream(reply_base, i);
     const Tweet& tw = world.tweets_[i];
     const auto& cascade = world.cascades_[i];
     const double engagement =
         1.0 + static_cast<double>(cascade.retweets.size());
     const int n_replies =
         reply_rng.Poisson(config.reply_rate * engagement);
-    if (n_replies == 0) continue;
+    if (n_replies == 0) return;
     // Candidate repliers: cascade participants and followers of the root.
     std::vector<NodeId> pool;
     for (const auto& rt : cascade.retweets) pool.push_back(rt.user);
     for (NodeId f : world.network_.Followers(tw.author)) pool.push_back(f);
-    if (pool.empty()) continue;
+    if (pool.empty()) return;
     auto& thread = world.replies_[i];
     const double tau =
         tw.is_hateful ? config.hate_delay_tau : config.nonhate_delay_tau;
@@ -481,7 +492,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
               [](const ReplyEvent& a, const ReplyEvent& b) {
                 return a.time < b.time;
               });
-  }
+  });
 
   world.BuildDerivedIndices();
 

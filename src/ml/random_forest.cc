@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace retina::ml {
@@ -10,14 +11,18 @@ Status RandomForest::Fit(const Matrix& X, const std::vector<int>& y) {
   if (X.rows() == 0 || X.rows() != y.size()) {
     return Status::InvalidArgument("RandomForest::Fit: bad shapes");
   }
-  trees_.clear();
-  Rng rng(options_.seed);
   const size_t n = X.rows();
   const size_t max_features = std::max<size_t>(
       1, static_cast<size_t>(std::sqrt(static_cast<double>(X.cols()))));
 
-  for (size_t t = 0; t < options_.n_estimators; ++t) {
-    // Bootstrap sample.
+  // Trees fit independently: tree t draws its bootstrap and split
+  // randomness from Rng::Stream(seed, t), a pure function of (seed, t), so
+  // the forest is identical at any thread count.
+  trees_.clear();
+  trees_.resize(options_.n_estimators);
+  std::vector<Status> statuses(options_.n_estimators);
+  par::ParallelFor(options_.n_estimators, 1, [&](size_t t) {
+    Rng rng = Rng::Stream(options_.seed, t);
     Matrix bx(n, X.cols());
     std::vector<int> by(n);
     for (size_t i = 0; i < n; ++i) {
@@ -32,8 +37,14 @@ Status RandomForest::Fit(const Matrix& X, const std::vector<int>& y) {
     topts.max_features = max_features;
     topts.seed = rng.NextU64();
     auto tree = std::make_unique<DecisionTree>(topts);
-    RETINA_RETURN_NOT_OK(tree->Fit(bx, by));
-    trees_.push_back(std::move(tree));
+    statuses[t] = tree->Fit(bx, by);
+    if (statuses[t].ok()) trees_[t] = std::move(tree);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      trees_.clear();
+      return s;
+    }
   }
   return Status::OK();
 }

@@ -48,6 +48,11 @@ class RecurrentCell {
                         Vec* dstate_prev) = 0;
 
   virtual std::vector<Param*> Params() = 0;
+
+  /// Deep copy (values and gradient accumulators). Data-parallel training
+  /// clones one replica per work chunk and reduces the replica gradients
+  /// back in chunk order.
+  virtual std::unique_ptr<RecurrentCell> Clone() const = 0;
 };
 
 enum class RecurrentKind { kGru, kLstm, kSimpleRnn };
@@ -67,6 +72,9 @@ class SimpleRnnCell : public RecurrentCell {
   void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                 Vec* dstate_prev) override;
   std::vector<Param*> Params() override { return {&W_, &U_, &b_}; }
+  std::unique_ptr<RecurrentCell> Clone() const override {
+    return std::make_unique<SimpleRnnCell>(*this);
+  }
 
  private:
   size_t in_dim_, hidden_dim_;
@@ -86,6 +94,9 @@ class LstmCell : public RecurrentCell {
   void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                 Vec* dstate_prev) override;
   std::vector<Param*> Params() override;
+  std::unique_ptr<RecurrentCell> Clone() const override {
+    return std::make_unique<LstmCell>(*this);
+  }
 
  private:
   // Gate pre-activation a_g = Wg x + Ug h + bg for g in {i, f, o, c}.
@@ -113,6 +124,9 @@ class GruRecurrentCell : public RecurrentCell {
   void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                 Vec* dstate_prev) override;
   std::vector<Param*> Params() override { return cell_.Params(); }
+  std::unique_ptr<RecurrentCell> Clone() const override {
+    return std::make_unique<GruRecurrentCell>(*this);
+  }
 
  private:
   GruCell cell_;

@@ -289,6 +289,14 @@ TEST(VecTest, VarianceMatchesDefinition) {
   EXPECT_NEAR(Variance({1.0, 2.0, 3.0, 4.0}), 1.25, 1e-12);
 }
 
+// Pins the documented contract: population variance (divide by n, not
+// n-1), and 0 for vectors with fewer than two elements.
+TEST(VecTest, VarianceIsPopulationVariance) {
+  EXPECT_NEAR(Variance({2.0, 4.0}), 1.0, 1e-12);       // sample var would be 2
+  EXPECT_NEAR(Variance({5.0, 5.0, 5.0}), 0.0, 1e-12);  // constant vector
+  EXPECT_DOUBLE_EQ(Variance({7.5}), 0.0);              // singleton
+}
+
 TEST(VecTest, CosineSimilarity) {
   EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
   EXPECT_NEAR(CosineSimilarity({1, 1}, {2, 2}), 1.0, 1e-12);

@@ -1,0 +1,314 @@
+// Tests for the retina::par execution layer: chunking contract, exception
+// propagation, nested use, RNG stream derivation, and the determinism
+// regression pinning bit-identical training at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/retina.h"
+#include "ml/random_forest.h"
+
+namespace retina {
+namespace {
+
+using par::ChunkRange;
+using par::MakeChunks;
+using par::ParallelFor;
+using par::ParallelForChunks;
+using par::ParallelReduce;
+using par::ThreadPool;
+
+// ------------------------------------------------------------- Chunking --
+
+TEST(MakeChunksTest, CoversRangeContiguouslyInOrder) {
+  for (size_t n : {1u, 7u, 31u, 32u, 33u, 100u, 1000u}) {
+    for (size_t grain : {1u, 4u, 16u}) {
+      const auto chunks = MakeChunks(n, grain);
+      ASSERT_FALSE(chunks.empty());
+      size_t next = 0;
+      for (size_t c = 0; c < chunks.size(); ++c) {
+        EXPECT_EQ(chunks[c].index, c);
+        EXPECT_EQ(chunks[c].begin, next);
+        EXPECT_GT(chunks[c].end, chunks[c].begin);
+        next = chunks[c].end;
+      }
+      EXPECT_EQ(next, n);
+      EXPECT_LE(chunks.size(), par::kMaxChunksPerLoop);
+    }
+  }
+}
+
+TEST(MakeChunksTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(MakeChunks(0, 1).empty());
+  EXPECT_TRUE(MakeChunks(0, 16).empty());
+}
+
+TEST(MakeChunksTest, RespectsGrain) {
+  const auto chunks = MakeChunks(100, 25);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) EXPECT_EQ(c.size(), 25u);
+}
+
+TEST(MakeChunksTest, LayoutIndependentOfThreadCount) {
+  // The layout must be a pure function of (n, grain): recomputing it under
+  // different global pool sizes gives identical chunks.
+  par::SetNumThreads(1);
+  const auto a = MakeChunks(777, 3);
+  par::SetNumThreads(4);
+  const auto b = MakeChunks(777, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+  }
+}
+
+// ---------------------------------------------------------- ParallelFor --
+
+TEST(ParallelForTest, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleElementRunsInline) {
+  std::atomic<int> calls{0};
+  ParallelFor(1, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  par::SetNumThreads(4);
+  const size_t n = 1000;
+  std::vector<int> hits(n, 0);
+  ParallelFor(n, 1, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  par::SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(100, 1,
+                  [&](size_t i) {
+                    if (i == 57) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForChunksTest, RethrowsLowestChunkException) {
+  par::SetNumThreads(4);
+  // Every chunk throws; the pool must surface the lowest chunk's error.
+  try {
+    ParallelForChunks(128, 4, [&](const ChunkRange& chunk) {
+      throw std::runtime_error("chunk " + std::to_string(chunk.index));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+}
+
+TEST(ParallelForTest, NestedUseRunsInlineWithoutDeadlock) {
+  par::SetNumThreads(4);
+  std::vector<double> out(8, 0.0);
+  ParallelFor(out.size(), 1, [&](size_t i) {
+    EXPECT_TRUE(ThreadPool::InParallelRegion());
+    // Nested loop executes serially on this thread.
+    double sum = 0.0;
+    ParallelFor(100, 1, [&](size_t j) { sum += static_cast<double>(j); });
+    out[i] = sum;
+  });
+  for (double v : out) EXPECT_DOUBLE_EQ(v, 4950.0);
+}
+
+TEST(ParallelReduceTest, OrderedFoldIsBitIdenticalAcrossThreadCounts) {
+  // Sum of values spanning many magnitudes: FP addition is not
+  // associative, so equality here demonstrates the ordered reduction.
+  const size_t n = 10000;
+  std::vector<double> xs(n);
+  Rng rng(7);
+  for (double& x : xs) x = rng.Normal() * std::exp(rng.Uniform(-20.0, 20.0));
+  auto sum_with = [&](size_t threads) {
+    par::SetNumThreads(threads);
+    return ParallelReduce<double>(
+        n, 1, 0.0,
+        [&](const ChunkRange& chunk) {
+          double s = 0.0;
+          for (size_t i = chunk.begin; i < chunk.end; ++i) s += xs[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double s1 = sum_with(1);
+  const double s4 = sum_with(4);
+  const double s8 = sum_with(8);
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(s1, s8);
+}
+
+// -------------------------------------------------------------- Pool -----
+
+TEST(ThreadPoolTest, EnvOverrideControlsDefault) {
+  ASSERT_EQ(setenv("RETINA_NUM_THREADS", "3", 1), 0);
+  EXPECT_EQ(par::DefaultNumThreads(), 3u);
+  ASSERT_EQ(setenv("RETINA_NUM_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(par::DefaultNumThreads(), 1u);
+  ASSERT_EQ(unsetenv("RETINA_NUM_THREADS"), 0);
+  EXPECT_GE(par::DefaultNumThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitPoolRunsAllTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  std::vector<int> hits(500, 0);
+  pool.Run(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// ---------------------------------------------------------- Rng streams --
+
+TEST(RngStreamTest, StreamMatchesSplitSequence) {
+  // Stream(seed, i) must be exactly the stream the (i+1)-th Split() of
+  // Rng(seed) yields — the contract parallel loops rely on to reproduce
+  // serial split-based seeding.
+  Rng parent(123);
+  for (uint64_t i = 0; i < 5; ++i) {
+    Rng split = parent.Split();
+    Rng stream = Rng::Stream(123, i);
+    for (int k = 0; k < 16; ++k) EXPECT_EQ(split.NextU64(), stream.NextU64());
+  }
+}
+
+TEST(RngStreamTest, DistinctStreamsDiffer) {
+  Rng a = Rng::Stream(9, 0);
+  Rng b = Rng::Stream(9, 1);
+  bool any_diff = false;
+  for (int k = 0; k < 8; ++k) any_diff |= (a.NextU64() != b.NextU64());
+  EXPECT_TRUE(any_diff);
+}
+
+// ------------------------------------- Determinism regression: training --
+
+core::RetweetTask MakeToyTask(size_t n_tweets, size_t cands_per_tweet,
+                              uint64_t seed) {
+  core::RetweetTask task;
+  task.user_dim = 6;
+  task.content_dim = 5;
+  task.embed_dim = 8;
+  task.interval_edges = {0.0, 1.0, 8.0, 24.0};
+  Rng rng(seed);
+  const size_t n_intervals = task.NumIntervals();
+  for (size_t t = 0; t < n_tweets; ++t) {
+    core::TweetContext ctx;
+    ctx.tweet_id = t;
+    ctx.content = Vec(task.content_dim);
+    for (double& v : ctx.content) v = rng.Normal();
+    ctx.embedding = Vec(task.embed_dim);
+    for (double& v : ctx.embedding) v = rng.Normal();
+    ctx.news_window = Matrix(4, task.embed_dim);
+    for (size_t r = 0; r < 4; ++r) {
+      for (size_t c = 0; c < task.embed_dim; ++c) {
+        ctx.news_window(r, c) = rng.Normal();
+      }
+    }
+    task.tweets.push_back(std::move(ctx));
+    for (size_t k = 0; k < cands_per_tweet; ++k) {
+      core::RetweetCandidate cand;
+      cand.tweet_pos = t;
+      cand.user = static_cast<datagen::NodeId>(k);
+      cand.label = (k % 3 == 0) ? 1 : 0;
+      cand.interval_labels.assign(n_intervals, 0);
+      if (cand.label == 1) cand.interval_labels[k % n_intervals] = 1;
+      cand.user_features = Vec(task.user_dim);
+      for (double& v : cand.user_features) v = rng.Normal();
+      (t + 1 == n_tweets ? task.test : task.train).push_back(std::move(cand));
+    }
+  }
+  return task;
+}
+
+// Trains one RETINA model and returns (epoch losses, test scores).
+std::pair<std::vector<double>, Vec> TrainAndScore(
+    const core::RetweetTask& task, bool dynamic, size_t threads) {
+  par::SetNumThreads(threads);
+  core::RetinaOptions opts;
+  opts.hidden = 8;
+  opts.epochs = 3;
+  opts.dynamic = dynamic;
+  opts.seed = 5;
+  core::Retina model(task.user_dim, task.content_dim, task.embed_dim,
+                     task.NumIntervals(), opts);
+  EXPECT_TRUE(model.Train(task).ok());
+  return {model.epoch_losses(), model.ScoreCandidates(task, task.test)};
+}
+
+TEST(DeterminismTest, RetinaStaticTrainingBitIdenticalAcrossThreadCounts) {
+  const core::RetweetTask task = MakeToyTask(6, 20, 11);
+  const auto [losses1, scores1] = TrainAndScore(task, /*dynamic=*/false, 1);
+  const auto [losses4, scores4] = TrainAndScore(task, /*dynamic=*/false, 4);
+  ASSERT_EQ(losses1.size(), losses4.size());
+  for (size_t e = 0; e < losses1.size(); ++e) {
+    EXPECT_EQ(losses1[e], losses4[e]) << "epoch " << e;
+  }
+  ASSERT_EQ(scores1.size(), scores4.size());
+  for (size_t i = 0; i < scores1.size(); ++i) {
+    EXPECT_EQ(scores1[i], scores4[i]) << "candidate " << i;
+  }
+}
+
+TEST(DeterminismTest, RetinaDynamicTrainingBitIdenticalAcrossThreadCounts) {
+  const core::RetweetTask task = MakeToyTask(5, 16, 13);
+  const auto [losses1, scores1] = TrainAndScore(task, /*dynamic=*/true, 1);
+  const auto [losses4, scores4] = TrainAndScore(task, /*dynamic=*/true, 4);
+  ASSERT_EQ(losses1.size(), losses4.size());
+  for (size_t e = 0; e < losses1.size(); ++e) {
+    EXPECT_EQ(losses1[e], losses4[e]) << "epoch " << e;
+  }
+  ASSERT_EQ(scores1.size(), scores4.size());
+  for (size_t i = 0; i < scores1.size(); ++i) {
+    EXPECT_EQ(scores1[i], scores4[i]) << "candidate " << i;
+  }
+}
+
+TEST(DeterminismTest, RandomForestBitIdenticalAcrossThreadCounts) {
+  Rng rng(3);
+  const size_t n = 200, d = 6;
+  Matrix X(n, d);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      X(i, j) = rng.Normal();
+      s += X(i, j);
+    }
+    y[i] = s > 0.0 ? 1 : 0;
+  }
+  auto fit_and_predict = [&](size_t threads) {
+    par::SetNumThreads(threads);
+    ml::RandomForestOptions opts;
+    opts.n_estimators = 11;
+    opts.seed = 17;
+    ml::RandomForest forest(opts);
+    EXPECT_TRUE(forest.Fit(X, y).ok());
+    Vec preds(n);
+    for (size_t i = 0; i < n; ++i) preds[i] = forest.PredictProba(X.RowVec(i));
+    return preds;
+  };
+  const Vec p1 = fit_and_predict(1);
+  const Vec p4 = fit_and_predict(4);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(p1[i], p4[i]) << i;
+}
+
+}  // namespace
+}  // namespace retina
