@@ -6,11 +6,16 @@
 //   --scale=<f>    multiplier on Table II tweet counts (default per bench)
 //   --users=<n>    population size
 //   --seed=<n>     world seed
+//   --smoke        clamp the world and feature sizes to the smallest
+//                  configuration that still exercises every code path —
+//                  used by the smoke_bench_* ctest targets to keep each
+//                  bench binary runnable end-to-end in CI
 // so the harness can be re-run at paper scale when time permits.
 
 #ifndef RETINA_BENCH_BENCH_COMMON_H_
 #define RETINA_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +38,7 @@ struct BenchFlags {
   double scale = 0.12;
   size_t users = 3000;
   uint64_t seed = 7;
+  bool smoke = false;
 };
 
 inline BenchFlags ParseFlags(int argc, char** argv, double default_scale,
@@ -48,9 +54,15 @@ inline BenchFlags ParseFlags(int argc, char** argv, double default_scale,
       flags.users = static_cast<size_t>(std::atoll(arg + 8));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       flags.seed = static_cast<uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      flags.smoke = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
     }
+  }
+  if (flags.smoke) {
+    flags.scale = std::min(flags.scale, 0.02);
+    flags.users = std::min<size_t>(flags.users, 400);
   }
   return flags;
 }
@@ -69,6 +81,11 @@ inline BenchWorld MakeBenchWorld(const BenchFlags& flags,
                                  size_t news_window = 60,
                                  size_t history_length = 36,
                                  bool build_features = true) {
+  if (flags.smoke) {
+    feature_dim = std::min<size_t>(feature_dim, 80);
+    news_window = std::min<size_t>(news_window, 20);
+    history_length = std::min<size_t>(history_length, 10);
+  }
   Stopwatch timer;
   datagen::WorldConfig config;
   config.scale = flags.scale;
@@ -97,13 +114,13 @@ inline BenchWorld MakeBenchWorld(const BenchFlags& flags,
   if (build_features) {
     timer.Reset();
     core::FeatureConfig fc;
-    fc.history_size = 30;
+    fc.history_size = flags.smoke ? 10 : 30;
     fc.history_tfidf_dim = feature_dim;
     fc.news_tfidf_dim = feature_dim;
     fc.tweet_tfidf_dim = feature_dim;
     fc.news_window = news_window;
-    fc.doc2vec_dim = 50;
-    fc.doc2vec_epochs = 6;
+    fc.doc2vec_dim = flags.smoke ? 16 : 50;
+    fc.doc2vec_epochs = flags.smoke ? 2 : 6;
     fc.seed = flags.seed ^ 0x9E37ULL;
     auto fx = core::FeatureExtractor::Build(out.world, fc);
     if (!fx.ok()) {

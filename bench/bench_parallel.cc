@@ -7,7 +7,9 @@
 // entries measure oversubscription, not parallel speedup, and should be
 // read together with that field.
 //
-// Flags: --reps=<n> repetitions per cell (default 3, median reported).
+// Flags: --reps=<n> repetitions per cell (default 3, median reported);
+// --smoke shrinks every workload and forces reps=1 so the smoke_bench
+// ctest target can exercise the full sweep quickly.
 
 #include <algorithm>
 #include <cstdio>
@@ -71,9 +73,9 @@ core::RetweetTask MakeTrainTask(size_t n_tweets, size_t cands_per_tweet,
   return task;
 }
 
-double TimeRetinaTrain(const core::RetweetTask& task) {
+double TimeRetinaTrain(const core::RetweetTask& task, size_t hidden) {
   core::RetinaOptions opts;
-  opts.hidden = 32;
+  opts.hidden = hidden;
   opts.epochs = 2;
   opts.seed = 5;
   core::Retina model(task.user_dim, task.content_dim, task.embed_dim,
@@ -83,9 +85,10 @@ double TimeRetinaTrain(const core::RetweetTask& task) {
   return sw.ElapsedSeconds();
 }
 
-double TimeRandomForestFit(const Matrix& X, const std::vector<int>& y) {
+double TimeRandomForestFit(const Matrix& X, const std::vector<int>& y,
+                           size_t n_estimators) {
   ml::RandomForestOptions opts;
-  opts.n_estimators = 40;
+  opts.n_estimators = n_estimators;
   opts.seed = 17;
   ml::RandomForest forest(opts);
   Stopwatch sw;
@@ -106,8 +109,7 @@ double TimeWorldGenerate(uint64_t seed) {
 
 // Monte-Carlo-flood-shaped workload: per-stream random walks reduced in
 // chunk order, the same structure as SirModel::ScoreCandidates.
-double TimeMonteCarlo() {
-  const size_t n_sims = 512;
+double TimeMonteCarlo(size_t n_sims) {
   Stopwatch sw;
   const double total = par::ParallelReduce<double>(
       n_sims, 1, 0.0,
@@ -136,14 +138,21 @@ int main(int argc, char** argv) {
   using namespace retina::bench;
 
   int reps = 3;
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--reps=", 7) == 0) reps = std::atoi(argv[i] + 7);
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   }
+  if (smoke) reps = 1;
   if (reps < 1) reps = 1;
 
-  const core::RetweetTask task = MakeTrainTask(24, 48, 11);
+  const core::RetweetTask task =
+      smoke ? MakeTrainTask(6, 16, 11) : MakeTrainTask(24, 48, 11);
+  const size_t hidden = smoke ? 16 : 32;
+  const size_t n_trees = smoke ? 8 : 40;
+  const size_t n_sims = smoke ? 64 : 512;
   Rng rng(3);
-  const size_t n = 1500, d = 12;
+  const size_t n = smoke ? 300 : 1500, d = 12;
   Matrix X(n, d);
   std::vector<int> y(n);
   for (size_t i = 0; i < n; ++i) {
@@ -160,9 +169,10 @@ int main(int argc, char** argv) {
     std::function<double()> run;
   };
   const std::vector<Workload> workloads = {
-      {"retina_train", [&] { return TimeRetinaTrain(task); }},
-      {"random_forest_fit", [&] { return TimeRandomForestFit(X, y); }},
-      {"monte_carlo_floods", [] { return TimeMonteCarlo(); }},
+      {"retina_train", [&] { return TimeRetinaTrain(task, hidden); }},
+      {"random_forest_fit",
+       [&] { return TimeRandomForestFit(X, y, n_trees); }},
+      {"monte_carlo_floods", [&] { return TimeMonteCarlo(n_sims); }},
       {"world_generate", [] { return TimeWorldGenerate(77); }},
   };
 

@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -211,4 +214,26 @@ BENCHMARK(BM_WorldGenerate)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN rejects unknown flags, so the smoke-harness contract
+// (`<bench> --smoke` must run end-to-end quickly) is honored by a custom
+// main that translates --smoke into a minimal measurement time before the
+// standard benchmark initialization.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) args.push_back(min_time);
+  int n = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "common/sparse_vec.h"
+
+#include <cmath>
+
+namespace retina {
+
+SparseVec SparseVec::FromDense(const Vec& dense, double tol) {
+  SparseVec out(dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense[i]) > tol) out.PushBack(i, dense[i]);
+  }
+  return out;
+}
+
+Vec SparseVec::ToDense() const {
+  Vec out(dim_, 0.0);
+  ScatterInto(out.data());
+  return out;
+}
+
+void SparseVec::ScatterInto(double* dst) const {
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    dst[indices_[k]] = values_[k];
+  }
+}
+
+double SparseVec::Norm2() const {
+  double acc = 0.0;
+  for (double v : values_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+void SparseVec::Scale(double alpha) {
+  for (double& v : values_) v *= alpha;
+}
+
+double Dot(const SparseVec& x, const Vec& y) {
+  assert(x.dim() == y.size());
+  double acc = 0.0;
+  const auto& idx = x.indices();
+  const auto& val = x.values();
+  for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * y[idx[k]];
+  return acc;
+}
+
+double Dot(const SparseVec& x, const SparseVec& y) {
+  assert(x.dim() == y.dim());
+  double acc = 0.0;
+  const auto& xi = x.indices();
+  const auto& yi = y.indices();
+  size_t a = 0, b = 0;
+  while (a < xi.size() && b < yi.size()) {
+    if (xi[a] < yi[b]) {
+      ++a;
+    } else if (xi[a] > yi[b]) {
+      ++b;
+    } else {
+      acc += x.values()[a] * y.values()[b];
+      ++a;
+      ++b;
+    }
+  }
+  return acc;
+}
+
+void Axpy(double alpha, const SparseVec& x, Vec* y) {
+  assert(x.dim() == y->size());
+  const auto& idx = x.indices();
+  const auto& val = x.values();
+  for (size_t k = 0; k < idx.size(); ++k) {
+    (*y)[idx[k]] += alpha * val[k];
+  }
+}
+
+}  // namespace retina

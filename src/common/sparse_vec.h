@@ -1,0 +1,80 @@
+// Sparse vector over a fixed dense dimensionality.
+//
+// The tf-idf feature blocks that dominate RETINA's input vectors are ~95%
+// zeros (three 300-dim blocks with a few dozen active tokens each), so the
+// scoring path keeps them as sorted (index, value) pairs until the first
+// dense layer. All kernels walk the stored indices in ascending order, so a
+// sparse accumulation visits exactly the nonzero terms of the matching
+// dense loop in the same order — results are identical to the dense
+// kernels (zero terms contribute nothing to an accumulation).
+
+#ifndef RETINA_COMMON_SPARSE_VEC_H_
+#define RETINA_COMMON_SPARSE_VEC_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/vec.h"
+
+namespace retina {
+
+/// \brief Fixed-dimension sparse vector of sorted (index, value) pairs.
+class SparseVec {
+ public:
+  SparseVec() = default;
+  explicit SparseVec(size_t dim) : dim_(dim) {}
+
+  /// Gathers the nonzeros of `dense` (entries with |v| > tol kept).
+  static SparseVec FromDense(const Vec& dense, double tol = 0.0);
+
+  /// Appends a nonzero entry; indices must arrive in strictly ascending
+  /// order and below dim().
+  void PushBack(size_t index, double value) {
+    assert(index < dim_);
+    assert(indices_.empty() || index > indices_.back());
+    indices_.push_back(static_cast<uint32_t>(index));
+    values_.push_back(value);
+  }
+
+  size_t dim() const { return dim_; }
+  size_t nnz() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+
+  const std::vector<uint32_t>& indices() const { return indices_; }
+  const Vec& values() const { return values_; }
+  Vec& mutable_values() { return values_; }
+
+  /// Scatters into a fresh dense vector of dim() entries.
+  Vec ToDense() const;
+
+  /// Writes the nonzeros at their indices into `dst` (a caller-zeroed span
+  /// of at least dim() entries). Raw pointer so callers can scatter into an
+  /// offset slice of a larger feature row.
+  void ScatterInto(double* dst) const;
+
+  /// Euclidean norm over the stored entries.
+  double Norm2() const;
+
+  /// In-place scale of the stored values.
+  void Scale(double alpha);
+
+ private:
+  size_t dim_ = 0;
+  std::vector<uint32_t> indices_;
+  Vec values_;
+};
+
+/// dot(x, y) over x's nonzeros in ascending index order. y must have
+/// x.dim() entries.
+double Dot(const SparseVec& x, const Vec& y);
+
+/// Sparse-sparse dot via an ascending two-pointer merge.
+double Dot(const SparseVec& x, const SparseVec& y);
+
+/// y += alpha * x over x's nonzeros. y must have x.dim() entries.
+void Axpy(double alpha, const SparseVec& x, Vec* y);
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_SPARSE_VEC_H_

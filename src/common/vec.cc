@@ -62,6 +62,45 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MatMulTransposedB(const Matrix& bt) const {
+  assert(cols_ == bt.cols_);
+  Matrix out(rows_, bt.rows_);
+  const size_t N = bt.rows_, K = cols_;
+  // Same register-blocked form as MatMul's transposed-B path: four
+  // independent accumulators per pass over A's row, each a plain ascending
+  // dot product.
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* arow = Row(i);
+    double* orow = out.Row(i);
+    size_t j = 0;
+    for (; j + 4 <= N; j += 4) {
+      const double* b0 = bt.Row(j);
+      const double* b1 = bt.Row(j + 1);
+      const double* b2 = bt.Row(j + 2);
+      const double* b3 = bt.Row(j + 3);
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (size_t k = 0; k < K; ++k) {
+        const double a = arow[k];
+        acc0 += a * b0[k];
+        acc1 += a * b1[k];
+        acc2 += a * b2[k];
+        acc3 += a * b3[k];
+      }
+      orow[j] = acc0;
+      orow[j + 1] = acc1;
+      orow[j + 2] = acc2;
+      orow[j + 3] = acc3;
+    }
+    for (; j < N; ++j) {
+      const double* brow = bt.Row(j);
+      double acc = 0.0;
+      for (size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+  return out;
+}
+
 Matrix Matrix::Transpose() const {
   Matrix out(cols_, rows_);
   for (size_t i = 0; i < rows_; ++i)

@@ -66,6 +66,15 @@ class Matrix {
   /// C = this * other. Dimensions must agree.
   Matrix MatMul(const Matrix& other) const;
 
+  /// C = this * bt^T without materializing the transpose: bt is the
+  /// right-hand operand stored row-major in its transposed form, so
+  /// C(i, j) = dot(row i of this, row j of bt). This is the natural layout
+  /// for batched layer forwards (bt = the weight matrix W, rows = output
+  /// units): each output entry accumulates in ascending k exactly like
+  /// MatVec, so a batched forward is bit-identical to the row-at-a-time
+  /// path.
+  Matrix MatMulTransposedB(const Matrix& bt) const;
+
   /// C = this^T as a new matrix.
   Matrix Transpose() const;
 

@@ -1,9 +1,12 @@
 #include "core/feature_extractor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cctype>
 #include <cmath>
 #include <cstring>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_set>
 
 #include "common/rng.h"
@@ -114,61 +117,69 @@ size_t FeatureExtractor::HistoryBlockDim() const {
          1 + 1;
 }
 
-void FeatureExtractor::RebuildUserCaches() {
+Vec FeatureExtractor::ComputeHistoryBlock(
+    NodeId user, std::vector<std::string>* concat_tokens) const {
   const datagen::SyntheticWorld& world = *world_;
-  const size_t n_users = world.NumUsers();
+  const auto& hist = world.History(user);
+  const auto& labels = history_machine_labels_[user];
+  const size_t take = std::min(config_.history_size, hist.size());
+  const size_t start = hist.size() - take;
+
+  // Concatenate the most recent `take` tweets into one document.
+  std::vector<std::string> concat;
+  std::vector<std::vector<std::string>> docs;
+  size_t n_hate = 0;
+  double rt_hate = 0.0, rt_nonhate = 0.0;
+  size_t cnt_rt_hate = 0, cnt_rt_nonhate = 0;
+  std::unordered_set<size_t> topics_used;
+  for (size_t i = start; i < hist.size(); ++i) {
+    concat.insert(concat.end(), hist[i].tokens.begin(),
+                  hist[i].tokens.end());
+    docs.push_back(hist[i].tokens);
+    const bool hateful = labels[i];
+    if (hateful) {
+      ++n_hate;
+      rt_hate += hist[i].retweets_received;
+      cnt_rt_hate += hist[i].retweets_received > 0;
+    } else {
+      rt_nonhate += hist[i].retweets_received;
+      cnt_rt_nonhate += hist[i].retweets_received > 0;
+    }
+    if (hist[i].hashtag != SIZE_MAX) topics_used.insert(hist[i].hashtag);
+  }
+
+  Vec block = history_tfidf_.Transform(concat);
+  block.reserve(HistoryBlockDim());
+  // Hate ratio among recent tweets.
+  block.push_back(take > 0 ? static_cast<double>(n_hate) /
+                                 static_cast<double>(take)
+                           : 0.0);
+  // Hate-lexicon frequency vector HL.
+  const Vec hl = world.lexicon().FrequencyVector(docs);
+  block.insert(block.end(), hl.begin(), hl.end());
+  // RT attention ratios (smoothed, log-scaled).
+  block.push_back(std::log((rt_hate + 1.0) / (rt_nonhate + 1.0)));
+  block.push_back(std::log(
+      (static_cast<double>(cnt_rt_hate) + 1.0) /
+      (static_cast<double>(cnt_rt_nonhate) + 1.0)));
+  // Account-level features.
+  block.push_back(std::log(
+      1.0 + static_cast<double>(world.network().FollowerCount(user))));
+  block.push_back(world.users()[user].account_age_days / 1000.0);
+  block.push_back(static_cast<double>(topics_used.size()) / 10.0);
+
+  if (concat_tokens != nullptr) *concat_tokens = std::move(concat);
+  return block;
+}
+
+void FeatureExtractor::RebuildUserCaches() {
+  const size_t n_users = world_->NumUsers();
   history_blocks_.assign(n_users, Vec());
   user_embeddings_.assign(n_users, Vec());
 
   for (NodeId u = 0; u < n_users; ++u) {
-    const auto& hist = world.History(u);
-    const auto& labels = history_machine_labels_[u];
-    const size_t take = std::min(config_.history_size, hist.size());
-    const size_t start = hist.size() - take;
-
-    // Concatenate the most recent `take` tweets into one document.
     std::vector<std::string> concat;
-    std::vector<std::vector<std::string>> docs;
-    size_t n_hate = 0;
-    double rt_hate = 0.0, rt_nonhate = 0.0;
-    size_t cnt_rt_hate = 0, cnt_rt_nonhate = 0;
-    std::unordered_set<size_t> topics_used;
-    for (size_t i = start; i < hist.size(); ++i) {
-      concat.insert(concat.end(), hist[i].tokens.begin(),
-                    hist[i].tokens.end());
-      docs.push_back(hist[i].tokens);
-      const bool hateful = labels[i];
-      if (hateful) {
-        ++n_hate;
-        rt_hate += hist[i].retweets_received;
-        cnt_rt_hate += hist[i].retweets_received > 0;
-      } else {
-        rt_nonhate += hist[i].retweets_received;
-        cnt_rt_nonhate += hist[i].retweets_received > 0;
-      }
-      if (hist[i].hashtag != SIZE_MAX) topics_used.insert(hist[i].hashtag);
-    }
-
-    Vec block = history_tfidf_.Transform(concat);
-    block.reserve(HistoryBlockDim());
-    // Hate ratio among recent tweets.
-    block.push_back(take > 0 ? static_cast<double>(n_hate) /
-                                   static_cast<double>(take)
-                             : 0.0);
-    // Hate-lexicon frequency vector HL.
-    const Vec hl = world.lexicon().FrequencyVector(docs);
-    block.insert(block.end(), hl.begin(), hl.end());
-    // RT attention ratios (smoothed, log-scaled).
-    block.push_back(std::log((rt_hate + 1.0) / (rt_nonhate + 1.0)));
-    block.push_back(std::log(
-        (static_cast<double>(cnt_rt_hate) + 1.0) /
-        (static_cast<double>(cnt_rt_nonhate) + 1.0)));
-    // Account-level features.
-    block.push_back(std::log(
-        1.0 + static_cast<double>(world.network().FollowerCount(u))));
-    block.push_back(world.users()[u].account_age_days / 1000.0);
-    block.push_back(static_cast<double>(topics_used.size()) / 10.0);
-    history_blocks_[u] = std::move(block);
+    history_blocks_[u] = ComputeHistoryBlock(u, &concat);
 
     // Cap the inference document length: the embedding converges long
     // before 150 tokens and inference cost is linear in length.
@@ -195,7 +206,7 @@ Vec FeatureExtractor::NewsTfIdfAverage(double t0, size_t window) const {
   const long bucket =
       static_cast<long>(t0) * 1000 + static_cast<long>(window);
   {
-    std::lock_guard<std::mutex> lock(*news_tfidf_mu_);
+    std::shared_lock<std::shared_mutex> lock(news_tfidf_mu_.get());
     auto it = news_tfidf_cache_.find(bucket);
     if (it != news_tfidf_cache_.end()) return it->second;
   }
@@ -205,7 +216,9 @@ Vec FeatureExtractor::NewsTfIdfAverage(double t0, size_t window) const {
   for (size_t j : idx) docs.push_back(world_->news().articles()[j].tokens);
   Vec avg = docs.empty() ? Vec(news_tfidf_.Dim(), 0.0)
                          : news_tfidf_.TransformAverage(docs);
-  std::lock_guard<std::mutex> lock(*news_tfidf_mu_);
+  // Racing computers produce identical values (pure function of the key),
+  // so losing the emplace race is harmless.
+  std::unique_lock<std::shared_mutex> lock(news_tfidf_mu_.get());
   news_tfidf_cache_.emplace(bucket, avg);
   return avg;
 }
@@ -310,6 +323,24 @@ Vec FeatureExtractor::RetweetUserFeatures(const datagen::Tweet& tweet,
   return out;
 }
 
+Vec FeatureExtractor::AssembleRetweetUserFeatures(
+    const datagen::Tweet& tweet, NodeId user, const SparseVec& history_block,
+    const Vec& trending, int path_length) const {
+  assert(history_block.dim() == HistoryBlockDim());
+  assert(trending.size() == config_.trending_dim);
+  Vec out(RetweetUserDim(), 0.0);
+  history_block.ScatterInto(out.data());
+  std::copy(trending.begin(), trending.end(),
+            out.begin() + static_cast<ptrdiff_t>(HistoryBlockDim()));
+  const size_t tail = HistoryBlockDim() + config_.trending_dim;
+  out[tail] = path_length == graph::kUnreachable
+                  ? static_cast<double>(kPeerPathCutoff + 1)
+                  : static_cast<double>(path_length);
+  out[tail + 1] = std::log(1.0 + static_cast<double>(world_->PastRetweetCount(
+                               tweet.author, user, tweet.time)));
+  return out;
+}
+
 size_t FeatureExtractor::TweetContentDim() const {
   return tweet_tfidf_.Dim() + world_->lexicon().size();
 }
@@ -319,6 +350,21 @@ Vec FeatureExtractor::TweetContentFeatures(
   Vec out = tweet_tfidf_.Transform(tweet.tokens);
   const Vec hl = world_->lexicon().FrequencyVector({tweet.tokens});
   out.insert(out.end(), hl.begin(), hl.end());
+  return out;
+}
+
+SparseVec FeatureExtractor::TweetContentFeaturesSparse(
+    const datagen::Tweet& tweet) const {
+  const SparseVec tfidf = tweet_tfidf_.TransformSparse(tweet.tokens);
+  const Vec hl = world_->lexicon().FrequencyVector({tweet.tokens});
+  SparseVec out(tfidf.dim() + hl.size());
+  for (size_t k = 0; k < tfidf.nnz(); ++k) {
+    out.PushBack(tfidf.indices()[k], tfidf.values()[k]);
+  }
+  const size_t offset = tfidf.dim();
+  for (size_t i = 0; i < hl.size(); ++i) {
+    if (hl[i] != 0.0) out.PushBack(offset + i, hl[i]);
+  }
   return out;
 }
 

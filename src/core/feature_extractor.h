@@ -16,10 +16,12 @@
 #define RETINA_CORE_FEATURE_EXTRACTOR_H_
 
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sparse_vec.h"
 #include "common/status.h"
 #include "common/vec.h"
 #include "datagen/world.h"
@@ -91,8 +93,34 @@ class FeatureExtractor {
                           int path_length) const;
   size_t RetweetUserDim() const;
 
+  /// Assembles X^{u_j} from a caller-supplied (typically cache-served)
+  /// history block plus a trending vector shared across the tweet's whole
+  /// candidate list. Layout and values are identical to
+  /// RetweetUserFeatures; only the redundant per-candidate recomputation
+  /// of the invariants is skipped. `trending` must be
+  /// TrendingIndicator(tweet.time, config.trending_dim).
+  Vec AssembleRetweetUserFeatures(const datagen::Tweet& tweet, NodeId user,
+                                  const SparseVec& history_block,
+                                  const Vec& trending,
+                                  int path_length) const;
+
+  /// Recomputes user's history block from scratch — the uncached path
+  /// behind ScoringEngine's per-user LRU (at serving scale the per-user
+  /// invariants cannot all be precomputed). Equal to UserHistoryBlock for
+  /// any user. When `concat_tokens` is non-null it receives the
+  /// concatenated recent-history document (Build reuses it for the user
+  /// Doc2Vec embedding).
+  Vec ComputeHistoryBlock(NodeId user,
+                          std::vector<std::string>* concat_tokens =
+                              nullptr) const;
+
   /// Root-tweet content features: tweet tf-idf + hate-lexicon vector.
   Vec TweetContentFeatures(const datagen::Tweet& tweet) const;
+
+  /// Sparse view of TweetContentFeatures (tf-idf and lexicon blocks are
+  /// both mostly zeros); ToDense() equals the dense call.
+  SparseVec TweetContentFeaturesSparse(const datagen::Tweet& tweet) const;
+
   size_t TweetContentDim() const;
 
   /// Doc2Vec embedding of the root tweet (attention Query input X^T).
@@ -152,12 +180,30 @@ class FeatureExtractor {
   std::vector<Vec> history_blocks_;     // per user
   std::vector<Vec> user_embeddings_;    // per user: Doc2Vec of recent history
   std::vector<Vec> news_embeddings_;    // per article
+
+  /// std::shared_mutex with move semantics: a move constructs a fresh
+  /// unlocked mutex. Safe because the extractor is only moved during
+  /// construction (Result<FeatureExtractor> plumbing), never while other
+  /// threads hold a lock.
+  class MovableSharedMutex {
+   public:
+    MovableSharedMutex() = default;
+    MovableSharedMutex(MovableSharedMutex&&) noexcept {}
+    MovableSharedMutex& operator=(MovableSharedMutex&&) noexcept {
+      return *this;
+    }
+    std::shared_mutex& get() const { return mu_; }
+
+   private:
+    mutable std::shared_mutex mu_;
+  };
+
   /// Memoized per-(hour bucket, window) news tf-idf averages. The values
-  /// are pure functions of the key, so concurrent feature extraction only
-  /// needs the mutex for the map itself, not for determinism. (Held by
-  /// pointer to keep the extractor movable.)
-  mutable std::unique_ptr<std::mutex> news_tfidf_mu_ =
-      std::make_unique<std::mutex>();
+  /// are pure functions of the key, so the lock only protects the map
+  /// structure, not determinism: the read-mostly steady state (every
+  /// bucket computed once, then looked up by every candidate) takes the
+  /// shared lock and scales across scoring threads.
+  mutable MovableSharedMutex news_tfidf_mu_;
   mutable std::unordered_map<long, Vec> news_tfidf_cache_;  // hour bucket
 };
 

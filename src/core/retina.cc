@@ -23,6 +23,25 @@ void AccumulateGrads(const std::vector<nn::Param*>& master,
   }
 }
 
+// Contiguous [begin, end) runs of the same tweet_pos. The task builder
+// emits candidates grouped by tweet, so these runs cover each tweet's full
+// candidate set — the natural unit for sharing the attention forward and
+// batching the dense layers.
+std::vector<std::pair<size_t, size_t>> GroupByTweet(
+    const std::vector<RetweetCandidate>& candidates) {
+  std::vector<std::pair<size_t, size_t>> groups;
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i + 1;
+    while (j < candidates.size() &&
+           candidates[j].tweet_pos == candidates[i].tweet_pos) {
+      ++j;
+    }
+    groups.emplace_back(i, j);
+    i = j;
+  }
+  return groups;
+}
+
 }  // namespace
 
 // Chunk-local copies of the trainable layers. The attention replica is
@@ -312,13 +331,7 @@ Status Retina::Train(const RetweetTask& task) {
 
   // Contiguous runs of the same tweet form natural mini-batches sharing the
   // attention computation.
-  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end)
-  for (size_t i = 0; i < train.size();) {
-    size_t j = i + 1;
-    while (j < train.size() && train[j].tweet_pos == train[i].tweet_pos) ++j;
-    groups.emplace_back(i, j);
-    i = j;
-  }
+  std::vector<std::pair<size_t, size_t>> groups = GroupByTweet(train);
 
   Rng rng(options_.seed ^ 0xB0B0B0B0ULL);
   const size_t batch = std::max<size_t>(1, options_.batch_groups);
@@ -378,6 +391,95 @@ double Retina::PredictScore(const TweetContext& ctx,
   return 1.0 - none;
 }
 
+Matrix Retina::HiddenForwardBatch(
+    const TweetContext& ctx,
+    const std::vector<const Vec*>& user_features) const {
+  const size_t n = user_features.size();
+  Matrix x(n, input_dim_);
+  for (size_t i = 0; i < n; ++i) {
+    Vec row = Concat(*user_features[i], ctx.content);
+    row = nn::LayerNorm(row);
+    x.SetRow(i, row);
+  }
+  return ff1_->ForwardBatch(x);
+}
+
+Matrix Retina::DynamicProbsBatch(const Matrix& h_relu, const Vec& exo) const {
+  const size_t n = h_relu.rows();
+  const size_t H = options_.hidden;
+  const size_t J = num_intervals_;
+  const size_t S = rnn_->state_dim();
+  Matrix probs(n, J);
+  // The recurrent unroll stays per candidate (its arithmetic is inherently
+  // sequential), but running all candidates in interval lockstep lets the
+  // head score each interval's batch as one GEMM.
+  std::vector<Vec> states(n, Vec(S, 0.0));
+  Matrix hidden(n, H);
+  for (size_t j = 0; j < J; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* hrow = h_relu.Row(i);
+      const Vec in = StepInput(Vec(hrow, hrow + H), exo, j);
+      states[i] = rnn_->Forward(in, states[i], nullptr);
+      hidden.SetRow(i, Vec(states[i].begin(), states[i].begin() + H));
+    }
+    const Matrix logits = head_->ForwardBatch(hidden);
+    for (size_t i = 0; i < n; ++i) {
+      probs.Row(i)[j] = Sigmoid(logits.Row(i)[0]);
+    }
+  }
+  return probs;
+}
+
+Matrix Retina::PredictDynamicBatch(
+    const TweetContext& ctx,
+    const std::vector<const Vec*>& user_features) const {
+  if (user_features.empty()) return Matrix(0, num_intervals_);
+  Vec exo;
+  if (attention_ != nullptr) {
+    // Pure function of the tweet context — one forward serves the batch.
+    exo = attention_->Forward(ctx.embedding, ctx.news_window, nullptr);
+  }
+  Matrix h = HiddenForwardBatch(ctx, user_features);
+  nn::ReluInPlace(&h);
+  return DynamicProbsBatch(h, exo);
+}
+
+Vec Retina::ScoreBatch(const TweetContext& ctx,
+                       const std::vector<const Vec*>& user_features) const {
+  const size_t n = user_features.size();
+  Vec scores(n);
+  if (n == 0) return scores;
+  Vec exo;
+  if (attention_ != nullptr) {
+    exo = attention_->Forward(ctx.embedding, ctx.news_window, nullptr);
+  }
+  Matrix h = HiddenForwardBatch(ctx, user_features);
+  nn::ReluInPlace(&h);
+
+  if (!options_.dynamic) {
+    const size_t H = options_.hidden;
+    Matrix concat(n, H + exo.size());
+    for (size_t i = 0; i < n; ++i) {
+      const double* hrow = h.Row(i);
+      double* crow = concat.Row(i);
+      std::copy(hrow, hrow + H, crow);
+      std::copy(exo.begin(), exo.end(), crow + H);
+    }
+    const Matrix logits = head_->ForwardBatch(concat);
+    for (size_t i = 0; i < n; ++i) scores[i] = Sigmoid(logits.Row(i)[0]);
+    return scores;
+  }
+
+  const Matrix probs = DynamicProbsBatch(h, exo);
+  for (size_t i = 0; i < n; ++i) {
+    const double* prow = probs.Row(i);
+    double none = 1.0;
+    for (size_t j = 0; j < num_intervals_; ++j) none *= (1.0 - prow[j]);
+    scores[i] = 1.0 - none;
+  }
+  return scores;
+}
+
 namespace {
 
 // Flattens per-interval labels and probabilities over a candidate list.
@@ -389,24 +491,35 @@ void CollectIntervalSamples(const Retina& model, const RetweetTask& task,
                             std::vector<int>* y, Vec* p) {
   y->assign(candidates.size() * num_intervals, 0);
   p->assign(candidates.size() * num_intervals, 0.0);
-  // Inference is pure per candidate; every candidate owns a disjoint slice
-  // of the output arrays, so parallel order cannot change the result.
-  par::ParallelFor(candidates.size(), 16, [&](size_t i) {
-    const RetweetCandidate& cand = candidates[i];
-    const Vec probs =
-        model.PredictDynamic(task.tweets[cand.tweet_pos], cand.user_features);
-    int label_so_far = 0;
-    double none_so_far = 1.0;
-    for (size_t j = 0; j < num_intervals; ++j) {
-      const size_t out = i * num_intervals + j;
-      if (cumulative) {
-        label_so_far |= cand.interval_labels[j];
-        none_so_far *= 1.0 - probs[j];
-        (*y)[out] = label_so_far;
-        (*p)[out] = 1.0 - none_so_far;
-      } else {
-        (*y)[out] = cand.interval_labels[j];
-        (*p)[out] = probs[j];
+  // One batched forward per tweet group. Inference is pure and every group
+  // owns a disjoint slice of the output arrays, so parallel order cannot
+  // change the result.
+  const auto groups = GroupByTweet(candidates);
+  par::ParallelFor(groups.size(), 1, [&](size_t g) {
+    const auto& [begin, end] = groups[g];
+    std::vector<const Vec*> users;
+    users.reserve(end - begin);
+    for (size_t s = begin; s < end; ++s) {
+      users.push_back(&candidates[s].user_features);
+    }
+    const Matrix probs = model.PredictDynamicBatch(
+        task.tweets[candidates[begin].tweet_pos], users);
+    for (size_t i = begin; i < end; ++i) {
+      const RetweetCandidate& cand = candidates[i];
+      const double* prow = probs.Row(i - begin);
+      int label_so_far = 0;
+      double none_so_far = 1.0;
+      for (size_t j = 0; j < num_intervals; ++j) {
+        const size_t out = i * num_intervals + j;
+        if (cumulative) {
+          label_so_far |= cand.interval_labels[j];
+          none_so_far *= 1.0 - prow[j];
+          (*y)[out] = label_so_far;
+          (*p)[out] = 1.0 - none_so_far;
+        } else {
+          (*y)[out] = cand.interval_labels[j];
+          (*p)[out] = prow[j];
+        }
       }
     }
   });
@@ -482,9 +595,21 @@ Vec Retina::ScoreCandidates(
     const RetweetTask& task,
     const std::vector<RetweetCandidate>& candidates) const {
   Vec scores(candidates.size());
-  par::ParallelFor(candidates.size(), 16, [&](size_t i) {
-    scores[i] = PredictScore(task.tweets[candidates[i].tweet_pos],
-                             candidates[i].user_features);
+  // Batched forward per tweet group (shared attention, GEMM dense layers);
+  // groups write disjoint slices of `scores`, so any thread count produces
+  // the same vector.
+  const auto groups = GroupByTweet(candidates);
+  par::ParallelFor(groups.size(), 1, [&](size_t g) {
+    const auto& [begin, end] = groups[g];
+    std::vector<const Vec*> users;
+    users.reserve(end - begin);
+    for (size_t s = begin; s < end; ++s) {
+      users.push_back(&candidates[s].user_features);
+    }
+    const Vec out =
+        ScoreBatch(task.tweets[candidates[begin].tweet_pos], users);
+    std::copy(out.begin(), out.end(),
+              scores.begin() + static_cast<ptrdiff_t>(begin));
   });
   return scores;
 }

@@ -88,6 +88,23 @@ class Retina {
   /// Per-interval probabilities P^{u_j}_m (dynamic mode).
   Vec PredictDynamic(const TweetContext& ctx, const Vec& user_features) const;
 
+  /// Batched dynamic inference over one tweet's candidate list: row i
+  /// equals PredictDynamic(ctx, *user_features[i]) bit-for-bit. The
+  /// attention and each candidate's ff1 row are computed once; the GRU
+  /// unrolls per candidate in interval lockstep so the head layer runs as
+  /// one GEMM per interval instead of one MatVec per (candidate,
+  /// interval).
+  Matrix PredictDynamicBatch(
+      const TweetContext& ctx,
+      const std::vector<const Vec*>& user_features) const;
+
+  /// Batched scalar scores for one tweet's candidate list: entry i equals
+  /// PredictScore(ctx, *user_features[i]) bit-for-bit. The attention
+  /// forward is shared across the batch and the dense layers each run as a
+  /// single blocked GEMM (see DESIGN.md "Batched serving").
+  Vec ScoreBatch(const TweetContext& ctx,
+                 const std::vector<const Vec*>& user_features) const;
+
   /// Scalar score for ranking/classification: the static probability, or
   /// in dynamic mode 1 - prod_m(1 - P_m) (probability of retweeting in any
   /// interval).
@@ -136,6 +153,17 @@ class Retina {
   // Forward pieces shared by train and predict. `exo` is the attended
   // exogenous vector for the sample's tweet (empty when disabled).
   Vec HiddenForward(const Vec& user_features, const Vec& content) const;
+
+  // Batched HiddenForward: row i is HiddenForward(*user_features[i],
+  // ctx.content) (pre-activation). LayerNorm stays per dense row — its
+  // mean/variance must accumulate over every entry, zeros included, in
+  // index order — then ff1 runs as one GEMM over the batch.
+  Matrix HiddenForwardBatch(const TweetContext& ctx,
+                            const std::vector<const Vec*>& user_features) const;
+
+  // Per-interval probabilities for a batch of candidates whose ReLU'd ff1
+  // rows are `h_relu`; row i matches the per-candidate unroll exactly.
+  Matrix DynamicProbsBatch(const Matrix& h_relu, const Vec& exo) const;
 
   Vec StepInput(const Vec& hidden, const Vec& exo, size_t interval) const;
 

@@ -1,0 +1,113 @@
+#include "core/scoring_engine.h"
+
+#include <algorithm>
+
+namespace retina::core {
+
+ScoringEngine::ScoringEngine(const Retina* model,
+                             const FeatureExtractor* extractor,
+                             ScoringEngineOptions options)
+    : model_(model),
+      extractor_(extractor),
+      options_(options),
+      user_cache_(std::max<size_t>(1, options.user_cache_capacity)),
+      tweet_cache_(std::max<size_t>(1, options.tweet_cache_capacity)) {}
+
+ScoringEngine::TweetEntry ScoringEngine::BuildTweetEntry(
+    const datagen::Tweet& tweet) const {
+  const datagen::SyntheticWorld& world = extractor_->world();
+  TweetEntry entry;
+  entry.ctx.tweet_id = tweet.id;
+  entry.ctx.hateful = tweet.is_hateful;
+  entry.ctx.content = extractor_->TweetContentFeatures(tweet);
+  entry.ctx.embedding = extractor_->TweetEmbedding(tweet);
+  entry.ctx.news_window = extractor_->NewsEmbeddingWindow(tweet.time);
+  entry.dist = world.network().BfsDistances(tweet.author, kPeerPathCutoff);
+  entry.trending =
+      world.TrendingIndicator(tweet.time, extractor_->config().trending_dim);
+  return entry;
+}
+
+const ScoringEngine::TweetEntry& ScoringEngine::GetTweetEntry(
+    const datagen::Tweet& tweet) {
+  if (!options_.cache_features) {
+    scratch_entry_ = BuildTweetEntry(tweet);
+    return scratch_entry_;
+  }
+  if (TweetEntry* hit = tweet_cache_.Get(tweet.id)) {
+    ++stats_.tweet_hits;
+    return *hit;
+  }
+  ++stats_.tweet_misses;
+  return *tweet_cache_.Put(tweet.id, BuildTweetEntry(tweet));
+}
+
+Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
+                              const std::vector<NodeId>& users) {
+  ++stats_.requests;
+  stats_.candidates += users.size();
+  const TweetEntry& entry = GetTweetEntry(tweet);
+
+  std::vector<Vec> features(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    const NodeId u = users[i];
+    const SparseVec* block = nullptr;
+    SparseVec fresh;
+    if (options_.cache_features) {
+      block = user_cache_.Get(u);
+      if (block != nullptr) {
+        ++stats_.user_hits;
+      } else {
+        ++stats_.user_misses;
+        block = user_cache_.Put(
+            u, SparseVec::FromDense(extractor_->ComputeHistoryBlock(u)));
+      }
+    } else {
+      fresh = SparseVec::FromDense(extractor_->ComputeHistoryBlock(u));
+      block = &fresh;
+    }
+    features[i] = extractor_->AssembleRetweetUserFeatures(
+        tweet, u, *block, entry.trending, entry.dist[u]);
+  }
+  stats_.user_evictions = user_cache_.evictions();
+
+  if (options_.batched) {
+    std::vector<const Vec*> ptrs;
+    ptrs.reserve(features.size());
+    for (const Vec& f : features) ptrs.push_back(&f);
+    return model_->ScoreBatch(entry.ctx, ptrs);
+  }
+  Vec scores(users.size());
+  for (size_t i = 0; i < users.size(); ++i) {
+    scores[i] = model_->PredictScore(entry.ctx, features[i]);
+  }
+  return scores;
+}
+
+Vec ScoringEngine::ScoreCandidates(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates) {
+  const auto& tweets = extractor_->world().tweets();
+  Vec scores(candidates.size());
+  // Replay as one request per contiguous tweet run — the serving analogue
+  // of the grouping inside Retina::ScoreCandidates.
+  for (size_t i = 0; i < candidates.size();) {
+    size_t j = i + 1;
+    while (j < candidates.size() &&
+           candidates[j].tweet_pos == candidates[i].tweet_pos) {
+      ++j;
+    }
+    std::vector<NodeId> users;
+    users.reserve(j - i);
+    for (size_t s = i; s < j; ++s) users.push_back(candidates[s].user);
+    const datagen::Tweet& tweet =
+        tweets[task.tweets[candidates[i].tweet_pos].tweet_id];
+    const Vec out = ScoreTweet(tweet, users);
+    std::copy(out.begin(), out.end(),
+              scores.begin() + static_cast<ptrdiff_t>(i));
+    i = j;
+  }
+  return scores;
+}
+
+}  // namespace retina::core

@@ -1,0 +1,110 @@
+// Serving-side scoring engine: batched RETINA inference plus per-user
+// feature caching.
+//
+// A serving request is "score this candidate list for this root tweet".
+// The request cost splits into
+//   (a) tweet-side work shared by every candidate (content tf-idf, Doc2Vec
+//       query, news window, one BFS from the author, trending vector),
+//   (b) per-user invariants independent of the tweet (the history block:
+//       history tf-idf, hate ratio, lexicon counts, RT ratios, account
+//       features), and
+//   (c) the model forward.
+// The engine computes (a) once per request, serves (b) from a bounded LRU
+// keyed by user (stored sparse — the block is dominated by a ~300-dim
+// tf-idf vector with a few dozen nonzeros), and runs (c) through the
+// batched GEMM path (Retina::ScoreBatch). Every mode produces bit-identical
+// scores: caching only skips recomputation of pure functions, and the
+// batched forward matches the per-candidate forward entry for entry (see
+// DESIGN.md "Batched serving").
+//
+// Not thread-safe: one engine per serving thread. Parallelism lives below
+// the engine, inside the batched model forward.
+
+#ifndef RETINA_CORE_SCORING_ENGINE_H_
+#define RETINA_CORE_SCORING_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/sparse_vec.h"
+#include "core/feature_extractor.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+
+namespace retina::core {
+
+struct ScoringEngineOptions {
+  /// Per-user history-block LRU capacity.
+  size_t user_cache_capacity = 4096;
+  /// Per-tweet context LRU capacity (content, embedding, news window, BFS).
+  size_t tweet_cache_capacity = 256;
+  /// Score through Retina::ScoreBatch (one GEMM per layer) instead of one
+  /// PredictScore per candidate.
+  bool batched = true;
+  /// Serve per-user and per-tweet invariants from the LRUs instead of
+  /// recomputing them on every request.
+  bool cache_features = true;
+};
+
+struct ScoringEngineStats {
+  uint64_t requests = 0;    ///< ScoreTweet calls
+  uint64_t candidates = 0;  ///< total candidates scored
+  uint64_t user_hits = 0;
+  uint64_t user_misses = 0;
+  uint64_t user_evictions = 0;
+  uint64_t tweet_hits = 0;
+  uint64_t tweet_misses = 0;
+};
+
+/// \brief Wraps a trained Retina + FeatureExtractor behind a serving API.
+class ScoringEngine {
+ public:
+  /// The model and extractor must outlive the engine.
+  ScoringEngine(const Retina* model, const FeatureExtractor* extractor,
+                ScoringEngineOptions options = {});
+
+  /// Scores `users` as retweet candidates for `tweet` (one serving
+  /// request). Entry i equals the per-candidate
+  /// Retina::PredictScore(ctx, X^{u_i}) with features built from the raw
+  /// world — the engine never reads the extractor's precomputed per-user
+  /// arrays, so the uncached modes reflect a stateless server honestly.
+  Vec ScoreTweet(const datagen::Tweet& tweet,
+                 const std::vector<NodeId>& users);
+
+  /// Serving-path equivalent of Retina::ScoreCandidates: replays the
+  /// candidate list as one request per tweet group, rebuilding every
+  /// feature vector from the raw world. Bit-identical to the model's own
+  /// ScoreCandidates over the task-built features.
+  Vec ScoreCandidates(const RetweetTask& task,
+                      const std::vector<RetweetCandidate>& candidates);
+
+  const ScoringEngineStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+  const ScoringEngineOptions& options() const { return options_; }
+
+ private:
+  /// Tweet-side request state shared by all candidates of one request.
+  struct TweetEntry {
+    TweetContext ctx;
+    std::vector<int> dist;  ///< BFS distances from the root author
+    Vec trending;           ///< endogenous indicator at tweet.time
+  };
+
+  TweetEntry BuildTweetEntry(const datagen::Tweet& tweet) const;
+  /// Cache-or-compute; the reference is valid until the next engine call.
+  const TweetEntry& GetTweetEntry(const datagen::Tweet& tweet);
+
+  const Retina* model_;
+  const FeatureExtractor* extractor_;
+  ScoringEngineOptions options_;
+  ScoringEngineStats stats_;
+
+  LruCache<NodeId, SparseVec> user_cache_;
+  LruCache<size_t, TweetEntry> tweet_cache_;  // keyed by tweet id
+  TweetEntry scratch_entry_;  // uncached mode
+};
+
+}  // namespace retina::core
+
+#endif  // RETINA_CORE_SCORING_ENGINE_H_

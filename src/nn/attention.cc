@@ -39,22 +39,8 @@ Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
     for (size_t h = 0; h < hdim_; ++h) q[h] += tweet[j] * row[h];
   }
   // K, V = X^N (.) Wk, X^N (.) Wv : (seq x hdim)
-  Matrix k(seq, hdim_), v(seq, hdim_);
-  for (size_t i = 0; i < seq; ++i) {
-    const double* nrow = news.Row(i);
-    double* krow = k.Row(i);
-    double* vrow = v.Row(i);
-    for (size_t j = 0; j < news.cols(); ++j) {
-      const double x = nrow[j];
-      if (x == 0.0) continue;
-      const double* wk = Wk_.value.Row(j);
-      const double* wv = Wv_.value.Row(j);
-      for (size_t h = 0; h < hdim_; ++h) {
-        krow[h] += x * wk[h];
-        vrow[h] += x * wv[h];
-      }
-    }
-  }
+  Matrix k, v;
+  ProjectKeysValues(news, &k, &v);
 
   // A = softmax(Q.K / sqrt(hdim)).
   const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
@@ -80,6 +66,62 @@ Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
     cache->k = std::move(k);
     cache->v = std::move(v);
     cache->weights = std::move(weights);
+  }
+  return out;
+}
+
+void ExogenousAttention::ProjectKeysValues(const Matrix& news, Matrix* k,
+                                           Matrix* v) const {
+  const size_t seq = news.rows();
+  assert(seq == 0 || news.cols() == Wk_.value.rows());
+  *k = Matrix(seq, hdim_);
+  *v = Matrix(seq, hdim_);
+  for (size_t i = 0; i < seq; ++i) {
+    const double* nrow = news.Row(i);
+    double* krow = k->Row(i);
+    double* vrow = v->Row(i);
+    for (size_t j = 0; j < news.cols(); ++j) {
+      const double x = nrow[j];
+      if (x == 0.0) continue;
+      const double* wk = Wk_.value.Row(j);
+      const double* wv = Wv_.value.Row(j);
+      for (size_t h = 0; h < hdim_; ++h) {
+        krow[h] += x * wk[h];
+        vrow[h] += x * wv[h];
+      }
+    }
+  }
+}
+
+Matrix ExogenousAttention::ForwardBatch(const Matrix& queries,
+                                        const Matrix& news) const {
+  assert(queries.cols() == Wq_.value.rows());
+  const size_t n = queries.rows();
+  const size_t seq = news.rows();
+  Matrix out(n, hdim_);
+  if (seq == 0 || n == 0) return out;
+
+  // One K/V projection for the whole batch, one GEMM for all queries.
+  Matrix k, v;
+  ProjectKeysValues(news, &k, &v);
+  const Matrix q = queries.MatMul(Wq_.value);
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
+  Vec weights(seq);
+  for (size_t r = 0; r < n; ++r) {
+    const double* qrow = q.Row(r);
+    for (size_t i = 0; i < seq; ++i) {
+      const double* krow = k.Row(i);
+      double dot = 0.0;
+      for (size_t h = 0; h < hdim_; ++h) dot += qrow[h] * krow[h];
+      weights[i] = dot * scale;
+    }
+    SoftmaxInPlace(&weights);
+    double* orow = out.Row(r);
+    for (size_t i = 0; i < seq; ++i) {
+      const double* vrow = v.Row(i);
+      for (size_t h = 0; h < hdim_; ++h) orow[h] += weights[i] * vrow[h];
+    }
   }
   return out;
 }

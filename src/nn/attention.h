@@ -38,6 +38,14 @@ class ExogenousAttention {
   Vec Forward(const Vec& tweet, const Matrix& news,
               AttentionCache* cache) const;
 
+  /// Batched query path: row i of the result equals
+  /// Forward(queries row i, news). The Key/Value projections — the
+  /// dominant per-call cost — are computed once for the whole batch and
+  /// the Query projection runs as one GEMM, so scoring many tweets
+  /// against a shared news window costs a handful of GEMMs instead of
+  /// per-call K/V work.
+  Matrix ForwardBatch(const Matrix& queries, const Matrix& news) const;
+
   /// Accumulates parameter gradients from upstream `dout`; input gradients
   /// are not propagated (features are fixed).
   void Backward(const AttentionCache& cache, const Vec& dout);
@@ -48,6 +56,10 @@ class ExogenousAttention {
   size_t hdim() const { return hdim_; }
 
  private:
+  // K, V = news (.) Wk, news (.) Wv, shared by the single and batched
+  // query paths.
+  void ProjectKeysValues(const Matrix& news, Matrix* k, Matrix* v) const;
+
   size_t hdim_;
   Param Wq_;  // tweet_dim x hdim
   Param Wk_;  // news_dim x hdim

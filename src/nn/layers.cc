@@ -13,6 +13,37 @@ Vec Dense::Forward(const Vec& x) const {
   return y;
 }
 
+Vec Dense::ForwardSparse(const SparseVec& x) const {
+  assert(x.dim() == W_.value.cols());
+  Vec y = SparseMatVec(W_.value, x);
+  for (size_t i = 0; i < y.size(); ++i) y[i] += b_.value(0, i);
+  return y;
+}
+
+Matrix Dense::ForwardBatch(const Matrix& X) const {
+  assert(X.cols() == W_.value.cols());
+  Matrix Y = X.MatMulTransposedB(W_.value);
+  for (size_t r = 0; r < Y.rows(); ++r) {
+    double* row = Y.Row(r);
+    for (size_t i = 0; i < Y.cols(); ++i) row[i] += b_.value(0, i);
+  }
+  return Y;
+}
+
+Vec SparseMatVec(const Matrix& W, const SparseVec& x) {
+  assert(x.dim() == W.cols());
+  Vec y(W.rows(), 0.0);
+  const auto& idx = x.indices();
+  const auto& val = x.values();
+  for (size_t i = 0; i < W.rows(); ++i) {
+    const double* row = W.Row(i);
+    double acc = 0.0;
+    for (size_t k = 0; k < idx.size(); ++k) acc += row[idx[k]] * val[k];
+    y[i] = acc;
+  }
+  return y;
+}
+
 Vec Dense::Backward(const Vec& x, const Vec& dy) {
   assert(dy.size() == W_.value.rows());
   assert(x.size() == W_.value.cols());
@@ -30,6 +61,10 @@ Vec Relu(const Vec& x) {
   Vec y(x.size());
   for (size_t i = 0; i < x.size(); ++i) y[i] = std::max(0.0, x[i]);
   return y;
+}
+
+void ReluInPlace(Matrix* x) {
+  for (double& v : x->data()) v = std::max(0.0, v);
 }
 
 Vec ReluBackward(const Vec& x, const Vec& dy) {

@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "common/sparse_vec.h"
 #include "nn/param.h"
 
 namespace retina::nn {
@@ -24,6 +25,16 @@ class Dense {
 
   Vec Forward(const Vec& x) const;
 
+  /// Forward for a sparse input; touches only W's columns at x's nonzero
+  /// indices. Equal to Forward(x.ToDense()).
+  Vec ForwardSparse(const SparseVec& x) const;
+
+  /// Batched forward: Y row i = Forward(X row i), computed as one blocked
+  /// GEMM against W instead of rows() MatVecs. Per-entry accumulation
+  /// order matches Forward, so the rows are bit-identical to the
+  /// one-vector-at-a-time path.
+  Matrix ForwardBatch(const Matrix& X) const;
+
   /// Accumulates dW, db from (cached input x, upstream dy); returns dx.
   Vec Backward(const Vec& x, const Vec& dy);
 
@@ -36,8 +47,16 @@ class Dense {
   Param W_, b_;
 };
 
+/// y = W x for a sparse x: each output entry accumulates
+/// W(i, j) * x_j over x's stored indices in ascending order — the nonzero
+/// subsequence of MatVec's loop, so the result matches W.MatVec(x.ToDense()).
+Vec SparseMatVec(const Matrix& W, const SparseVec& x);
+
 /// ReLU forward.
 Vec Relu(const Vec& x);
+
+/// Row-wise ReLU in place (batched activations).
+void ReluInPlace(Matrix* x);
 
 /// ReLU backward: dy masked by x > 0.
 Vec ReluBackward(const Vec& x, const Vec& dy);

@@ -83,10 +83,48 @@ Vec TfIdfVectorizer::Transform(const std::vector<std::string>& doc) const {
   return out;
 }
 
+SparseVec TfIdfVectorizer::TransformSparse(
+    const std::vector<std::string>& doc) const {
+  SparseVec out(Dim());
+  if (doc.empty() || !fitted()) return out;
+  // Term counts over the document's active features only.
+  std::vector<std::pair<size_t, double>> counts;
+  {
+    std::unordered_map<size_t, double> tf;
+    tf.reserve(doc.size());
+    for (const auto& tok : doc) {
+      auto it = feature_index_.find(tok);
+      if (it != feature_index_.end()) tf[it->second] += 1.0;
+    }
+    counts.assign(tf.begin(), tf.end());
+  }
+  std::sort(counts.begin(), counts.end());
+  for (const auto& [i, tf] : counts) out.PushBack(i, tf * idf_[i]);
+  if (options_.l2_normalize) {
+    // Same arithmetic as L2NormalizeInPlace — including dividing each
+    // entry by the norm rather than multiplying by its reciprocal, which
+    // differs in the last ulp. The skipped entries are exact zeros, so the
+    // norm accumulates the identical term sequence.
+    const double n = out.Norm2();
+    if (n >= 1e-12) {
+      for (double& x : out.mutable_values()) x /= n;
+    }
+  }
+  return out;
+}
+
 Matrix TfIdfVectorizer::TransformBatch(
     const std::vector<std::vector<std::string>>& docs) const {
   Matrix out(docs.size(), Dim());
   for (size_t i = 0; i < docs.size(); ++i) out.SetRow(i, Transform(docs[i]));
+  return out;
+}
+
+std::vector<SparseVec> TfIdfVectorizer::TransformBatchSparse(
+    const std::vector<std::vector<std::string>>& docs) const {
+  std::vector<SparseVec> out;
+  out.reserve(docs.size());
+  for (const auto& doc : docs) out.push_back(TransformSparse(doc));
   return out;
 }
 
@@ -95,8 +133,7 @@ Vec TfIdfVectorizer::TransformAverage(
   Vec acc(Dim(), 0.0);
   if (docs.empty()) return acc;
   for (const auto& doc : docs) {
-    const Vec v = Transform(doc);
-    Axpy(1.0, v, &acc);
+    Axpy(1.0, TransformSparse(doc), &acc);
   }
   Scale(1.0 / static_cast<double>(docs.size()), &acc);
   return acc;

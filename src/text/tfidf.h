@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/sparse_vec.h"
 #include "common/status.h"
 #include "common/vec.h"
 
@@ -45,12 +46,25 @@ class TfIdfVectorizer {
   /// Transforms one document into a dense feature vector of Dim() entries.
   Vec Transform(const std::vector<std::string>& doc) const;
 
+  /// Native sparse transform: the same tf-idf vector as Transform but as
+  /// sorted (index, value) pairs — only the document's active features are
+  /// touched, so cost scales with the document instead of Dim().
+  /// TransformSparse(doc).ToDense() == Transform(doc) exactly.
+  SparseVec TransformSparse(const std::vector<std::string>& doc) const;
+
   /// Transforms a batch (rows follow input order).
   Matrix TransformBatch(
       const std::vector<std::vector<std::string>>& docs) const;
 
+  /// Sparse batch transform (entries follow input order).
+  std::vector<SparseVec> TransformBatchSparse(
+      const std::vector<std::vector<std::string>>& docs) const;
+
   /// Average of transformed vectors over `docs` — used for the exogenous
   /// news feature (Section IV-D averages the 60 most recent headlines).
+  /// Accumulates sparse transforms; each output entry sums the same terms
+  /// in the same document order as the dense path, so the result is
+  /// unchanged.
   Vec TransformAverage(
       const std::vector<std::vector<std::string>>& docs) const;
 

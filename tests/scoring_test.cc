@@ -1,0 +1,428 @@
+// Tests for the batched sparse scoring path: SparseVec kernels, sparse
+// tf-idf equivalence, batched dense/attention forwards, the LRU cache, and
+// the ScoringEngine's bit-identity to per-candidate scoring in both static
+// and dynamic modes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "common/rng.h"
+#include "common/sparse_vec.h"
+#include "common/vec.h"
+#include "core/feature_extractor.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+#include "core/scoring_engine.h"
+#include "hatedetect/annotation.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "text/tfidf.h"
+
+namespace retina::core {
+namespace {
+
+// ------------------------------------------------------------ SparseVec --
+
+Vec RandomSparseDense(Rng* rng, size_t dim, double density) {
+  Vec v(dim, 0.0);
+  for (size_t i = 0; i < dim; ++i) {
+    if (rng->Bernoulli(density)) v[i] = rng->Normal();
+  }
+  return v;
+}
+
+TEST(SparseVecTest, FromDenseToDenseRoundTrips) {
+  Rng rng(7);
+  const Vec dense = RandomSparseDense(&rng, 64, 0.2);
+  const SparseVec sparse = SparseVec::FromDense(dense);
+  EXPECT_EQ(sparse.dim(), dense.size());
+  const Vec back = sparse.ToDense();
+  ASSERT_EQ(back.size(), dense.size());
+  for (size_t i = 0; i < dense.size(); ++i) EXPECT_EQ(back[i], dense[i]);
+  size_t nnz = 0;
+  for (double x : dense) nnz += x != 0.0;
+  EXPECT_EQ(sparse.nnz(), nnz);
+}
+
+TEST(SparseVecTest, DotMatchesDenseDot) {
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    const Vec a = RandomSparseDense(&rng, 97, 0.15);
+    const Vec b = RandomSparseDense(&rng, 97, 0.3);
+    const SparseVec sa = SparseVec::FromDense(a);
+    const SparseVec sb = SparseVec::FromDense(b);
+    // Dense reference accumulated in the same ascending-index order.
+    double ref = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != 0.0) ref += a[i] * b[i];
+    }
+    EXPECT_EQ(Dot(sa, b), ref);
+    // The sparse-sparse merge visits the intersection ascending, which is
+    // the nonzero subsequence of the same sum.
+    double ref_both = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i] != 0.0 && b[i] != 0.0) ref_both += a[i] * b[i];
+    }
+    EXPECT_EQ(Dot(sa, sb), ref_both);
+  }
+}
+
+TEST(SparseVecTest, AxpyMatchesDenseAxpy) {
+  Rng rng(13);
+  const Vec x = RandomSparseDense(&rng, 50, 0.25);
+  Vec y(50);
+  for (auto& v : y) v = rng.Normal();
+  Vec y_dense = y;
+  Vec y_sparse = y;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] != 0.0) y_dense[i] += 2.5 * x[i];
+  }
+  Axpy(2.5, SparseVec::FromDense(x), &y_sparse);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y_sparse[i], y_dense[i]);
+}
+
+TEST(SparseVecTest, ScatterIntoWritesAtOffset) {
+  SparseVec s(4);
+  s.PushBack(1, 2.0);
+  s.PushBack(3, -1.0);
+  Vec out(6, 0.0);
+  s.ScatterInto(out.data() + 2);
+  EXPECT_EQ(out, Vec({0.0, 0.0, 0.0, 2.0, 0.0, -1.0}));
+}
+
+// ------------------------------------------------------------- LruCache --
+
+TEST(LruCacheTest, GetRefreshesRecencyAndPutEvictsLru) {
+  LruCache<int, std::string> cache(2);
+  cache.Put(1, "one");
+  cache.Put(2, "two");
+  EXPECT_EQ(cache.size(), 2u);
+  // Touch 1 so 2 becomes the eviction victim.
+  ASSERT_NE(cache.Get(1), nullptr);
+  cache.Put(3, "three");
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.Get(2), nullptr);
+  EXPECT_EQ(*cache.Get(3), "three");
+}
+
+TEST(LruCacheTest, PutOverwritesInPlaceWithoutEviction) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite, not a new entry
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(*cache.Get(1), 11);
+  // 2 is now LRU.
+  cache.Put(3, 30);
+  EXPECT_FALSE(cache.Contains(2));
+}
+
+// -------------------------------------------------------- Sparse tf-idf --
+
+TEST(TfIdfSparseTest, TransformSparseEqualsTransform) {
+  Rng rng(17);
+  const std::vector<std::string> vocab = {"aa", "bb", "cc", "dd", "ee",
+                                          "ff", "gg", "hh", "ii", "jj"};
+  std::vector<std::vector<std::string>> docs;
+  for (int d = 0; d < 40; ++d) {
+    std::vector<std::string> doc;
+    const size_t len = 3 + rng.UniformInt(12);
+    for (size_t t = 0; t < len; ++t) {
+      doc.push_back(vocab[rng.UniformInt(vocab.size())]);
+    }
+    docs.push_back(std::move(doc));
+  }
+  text::TfIdfOptions opts;
+  opts.max_features = 8;
+  opts.min_df = 1;
+  text::TfIdfVectorizer vectorizer(opts);
+  ASSERT_TRUE(vectorizer.Fit(docs).ok());
+
+  for (const auto& doc : docs) {
+    const Vec dense = vectorizer.Transform(doc);
+    const Vec sparse = vectorizer.TransformSparse(doc).ToDense();
+    ASSERT_EQ(sparse.size(), dense.size());
+    for (size_t i = 0; i < dense.size(); ++i) {
+      EXPECT_EQ(sparse[i], dense[i]) << "doc term " << i;
+    }
+  }
+  const auto batch = vectorizer.TransformBatchSparse(docs);
+  ASSERT_EQ(batch.size(), docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    EXPECT_EQ(batch[d].ToDense(), vectorizer.Transform(docs[d]));
+  }
+}
+
+// ------------------------------------------------------ Batched kernels --
+
+TEST(BatchedKernelTest, MatMulTransposedBMatchesPerRowMatVec) {
+  Rng rng(23);
+  Matrix a(5, 12), bt(7, 12);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) a.Row(r)[c] = rng.Normal();
+  }
+  for (size_t r = 0; r < bt.rows(); ++r) {
+    for (size_t c = 0; c < bt.cols(); ++c) bt.Row(r)[c] = rng.Normal();
+  }
+  const Matrix c = a.MatMulTransposedB(bt);
+  ASSERT_EQ(c.rows(), 5u);
+  ASSERT_EQ(c.cols(), 7u);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const Vec row = bt.MatVec(a.RowVec(i));
+    for (size_t j = 0; j < bt.rows(); ++j) EXPECT_EQ(c.Row(i)[j], row[j]);
+  }
+}
+
+TEST(BatchedKernelTest, DenseForwardBatchBitIdenticalToForward) {
+  Rng rng(29);
+  nn::Dense layer(20, 9, &rng);
+  Matrix x(6, 20);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      x.Row(r)[c] = rng.Bernoulli(0.3) ? rng.Normal() : 0.0;
+    }
+  }
+  const Matrix batch = layer.ForwardBatch(x);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    const Vec one = layer.Forward(x.RowVec(r));
+    for (size_t j = 0; j < one.size(); ++j) {
+      EXPECT_EQ(batch.Row(r)[j], one[j]);
+    }
+  }
+}
+
+TEST(BatchedKernelTest, SparseForwardBitIdenticalToDenseForward) {
+  Rng rng(31);
+  nn::Dense layer(30, 8, &rng);
+  for (int round = 0; round < 5; ++round) {
+    const Vec x = RandomSparseDense(&rng, 30, 0.2);
+    const Vec dense = layer.Forward(x);
+    const Vec sparse = layer.ForwardSparse(SparseVec::FromDense(x));
+    ASSERT_EQ(sparse.size(), dense.size());
+    for (size_t j = 0; j < dense.size(); ++j) EXPECT_EQ(sparse[j], dense[j]);
+  }
+}
+
+TEST(BatchedKernelTest, AttentionForwardBatchBitIdenticalToForward) {
+  Rng rng(37);
+  nn::ExogenousAttention attention(10, 10, 6, &rng);
+  Matrix news(15, 10);
+  for (size_t r = 0; r < news.rows(); ++r) {
+    for (size_t c = 0; c < news.cols(); ++c) news.Row(r)[c] = rng.Normal();
+  }
+  Matrix queries(4, 10);
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    for (size_t c = 0; c < queries.cols(); ++c) {
+      queries.Row(r)[c] = rng.Normal();
+    }
+  }
+  const Matrix batch = attention.ForwardBatch(queries, news);
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    const Vec one = attention.Forward(queries.RowVec(r), news, nullptr);
+    for (size_t h = 0; h < one.size(); ++h) {
+      EXPECT_EQ(batch.Row(r)[h], one[h]);
+    }
+  }
+  // Empty news window: zero output, like Forward.
+  const Matrix empty = attention.ForwardBatch(queries, Matrix(0, 10));
+  for (size_t r = 0; r < queries.rows(); ++r) {
+    for (size_t h = 0; h < 6; ++h) EXPECT_EQ(empty.Row(r)[h], 0.0);
+  }
+}
+
+// ---------------------------------------------- End-to-end bit-identity --
+
+datagen::WorldConfig TestConfig() {
+  datagen::WorldConfig config;
+  config.scale = 0.05;
+  config.num_users = 700;
+  config.history_length = 12;
+  config.news_per_day = 40.0;
+  return config;
+}
+
+FeatureConfig TestFeatureConfig() {
+  FeatureConfig config;
+  config.history_size = 8;
+  config.history_tfidf_dim = 60;
+  config.news_tfidf_dim = 60;
+  config.tweet_tfidf_dim = 60;
+  config.news_window = 15;
+  config.doc2vec_dim = 12;
+  config.doc2vec_epochs = 2;
+  return config;
+}
+
+struct Fixture {
+  datagen::SyntheticWorld world;
+  std::unique_ptr<FeatureExtractor> extractor;
+  RetweetTask task;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture{
+        datagen::SyntheticWorld::Generate(TestConfig(), 43), nullptr, {}};
+    hatedetect::AnnotationOptions aopts;
+    auto report = hatedetect::AnnotateWorld(&f->world, aopts);
+    EXPECT_TRUE(report.ok());
+    auto fx = FeatureExtractor::Build(f->world, TestFeatureConfig());
+    EXPECT_TRUE(fx.ok());
+    f->extractor =
+        std::make_unique<FeatureExtractor>(std::move(fx).ValueOrDie());
+    RetweetTaskOptions topts;
+    topts.min_news = 15;
+    topts.max_candidates = 24;
+    auto task = BuildRetweetTask(*f->extractor, topts);
+    EXPECT_TRUE(task.ok());
+    f->task = std::move(task).ValueOrDie();
+    return f;
+  }();
+  return *fixture;
+}
+
+std::unique_ptr<Retina> TrainModel(const RetweetTask& task, bool dynamic) {
+  RetinaOptions opts;
+  opts.hidden = 12;
+  opts.epochs = 2;
+  opts.dynamic = dynamic;
+  auto model = std::make_unique<Retina>(task.user_dim, task.content_dim,
+                                        task.embed_dim, task.NumIntervals(),
+                                        opts);
+  EXPECT_TRUE(model->Train(task).ok());
+  return model;
+}
+
+// Per-candidate reference: the pre-batching ScoreCandidates loop.
+Vec SerialScores(const Retina& model, const RetweetTask& task,
+                 const std::vector<RetweetCandidate>& candidates) {
+  Vec scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = model.PredictScore(task.tweets[candidates[i].tweet_pos],
+                                   candidates[i].user_features);
+  }
+  return scores;
+}
+
+TEST(BatchedRetinaTest, StaticScoreCandidatesBitIdenticalToSerial) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const Vec batched = model->ScoreCandidates(f.task, f.task.test);
+  const Vec serial = SerialScores(*model, f.task, f.task.test);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(batched[i], serial[i]) << "candidate " << i;
+  }
+}
+
+TEST(BatchedRetinaTest, DynamicBatchBitIdenticalToSerial) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/true);
+  const Vec batched = model->ScoreCandidates(f.task, f.task.test);
+  const Vec serial = SerialScores(*model, f.task, f.task.test);
+  ASSERT_EQ(batched.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(batched[i], serial[i]) << "candidate " << i;
+  }
+  // Per-interval rows too, through the public batched API.
+  for (size_t i = 0; i < f.task.test.size();) {
+    size_t j = i + 1;
+    while (j < f.task.test.size() &&
+           f.task.test[j].tweet_pos == f.task.test[i].tweet_pos) {
+      ++j;
+    }
+    std::vector<const Vec*> users;
+    for (size_t s = i; s < j; ++s) {
+      users.push_back(&f.task.test[s].user_features);
+    }
+    const TweetContext& ctx = f.task.tweets[f.task.test[i].tweet_pos];
+    const Matrix probs = model->PredictDynamicBatch(ctx, users);
+    for (size_t s = i; s < j; ++s) {
+      const Vec one = model->PredictDynamic(ctx, f.task.test[s].user_features);
+      for (size_t m = 0; m < one.size(); ++m) {
+        EXPECT_EQ(probs.Row(s - i)[m], one[m]);
+      }
+    }
+    i = j;
+  }
+}
+
+TEST(ScoringEngineTest, AllModesBitIdenticalToModelScores) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+
+  for (const bool batched : {false, true}) {
+    for (const bool cached : {false, true}) {
+      ScoringEngineOptions opts;
+      opts.batched = batched;
+      opts.cache_features = cached;
+      ScoringEngine engine(model.get(), f.extractor.get(), opts);
+      const Vec served = engine.ScoreCandidates(f.task, f.task.test);
+      ASSERT_EQ(served.size(), reference.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(served[i], reference[i])
+            << "batched=" << batched << " cached=" << cached << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ScoringEngineTest, DynamicModeBitIdenticalToModelScores) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/true);
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  ScoringEngine engine(model.get(), f.extractor.get());
+  const Vec served = engine.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(served.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
+  }
+}
+
+TEST(ScoringEngineTest, CacheStatsTrackHitsAndRepeatRequestsHit) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  ScoringEngine engine(model.get(), f.extractor.get());
+  const Vec first = engine.ScoreCandidates(f.task, f.task.test);
+  const auto after_first = engine.stats();
+  EXPECT_GT(after_first.requests, 0u);
+  EXPECT_EQ(after_first.candidates, f.task.test.size());
+  EXPECT_GT(after_first.user_misses, 0u);
+  EXPECT_EQ(after_first.tweet_hits, 0u);
+
+  // Replaying the same workload hits both caches for every lookup.
+  const Vec second = engine.ScoreCandidates(f.task, f.task.test);
+  const auto after_second = engine.stats();
+  EXPECT_EQ(after_second.user_misses, after_first.user_misses);
+  EXPECT_EQ(after_second.tweet_misses, after_first.tweet_misses);
+  EXPECT_GT(after_second.tweet_hits, 0u);
+  EXPECT_GT(after_second.user_hits, after_first.user_hits);
+  for (size_t i = 0; i < first.size(); ++i) EXPECT_EQ(second[i], first[i]);
+}
+
+TEST(ScoringEngineTest, TinyUserCacheEvictsAndStaysCorrect) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  ScoringEngineOptions opts;
+  opts.user_cache_capacity = 4;  // far below the distinct-user count
+  opts.tweet_cache_capacity = 2;
+  ScoringEngine engine(model.get(), f.extractor.get(), opts);
+  const Vec served = engine.ScoreCandidates(f.task, f.task.test);
+  EXPECT_GT(engine.stats().user_evictions, 0u);
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
+  }
+}
+
+}  // namespace
+}  // namespace retina::core

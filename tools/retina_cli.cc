@@ -26,6 +26,7 @@
 #include "core/hategen_task.h"
 #include "core/retina.h"
 #include "core/retweet_task.h"
+#include "core/scoring_engine.h"
 #include "datagen/serialize.h"
 #include "datagen/world.h"
 #include "hatedetect/annotation.h"
@@ -262,9 +263,13 @@ int CmdTrainRetweet(const Args& args) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
-  const Vec scores = model.ScoreCandidates(task, task.test);
+  // Score the test split through the serving engine: batched GEMM forward
+  // with per-user feature caching, bit-identical to per-candidate scoring.
+  core::ScoringEngine engine(&model, &fx.ValueOrDie());
+  const Vec scores = engine.ScoreCandidates(task, task.test);
   const auto eval = core::EvaluateBinary(task.test, scores);
   const auto queries = core::MakeRankingQueries(task, task.test, scores);
+  const auto& st_eng = engine.stats();
   std::printf(
       "RETINA-%s%s: macro-F1 %.3f  ACC %.3f  AUC %.3f  MAP@20 %.3f  "
       "HITS@20 %.3f  (train %.1fs)\n",
@@ -272,6 +277,15 @@ int CmdTrainRetweet(const Args& args) {
       eval.macro_f1, eval.accuracy, eval.auc,
       ml::MeanAveragePrecisionAtK(queries, 20), ml::HitsAtK(queries, 20),
       timer.ElapsedSeconds());
+  std::printf(
+      "  serving: %llu requests, %llu candidates, user cache %llu/%llu "
+      "hits (%llu evictions)\n",
+      static_cast<unsigned long long>(st_eng.requests),
+      static_cast<unsigned long long>(st_eng.candidates),
+      static_cast<unsigned long long>(st_eng.user_hits),
+      static_cast<unsigned long long>(st_eng.user_hits +
+                                      st_eng.user_misses),
+      static_cast<unsigned long long>(st_eng.user_evictions));
   return 0;
 }
 
