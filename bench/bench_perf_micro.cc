@@ -14,6 +14,7 @@
 #include "graph/generators.h"
 #include "nn/attention.h"
 #include "nn/gru.h"
+#include "nn/param_registry.h"
 #include "text/doc2vec.h"
 #include "text/tfidf.h"
 
@@ -21,10 +22,19 @@ namespace {
 
 using namespace retina;
 
+// Replays the Glorot init the old Rng-taking constructors performed.
+template <typename LayerT>
+void InitLayer(LayerT* layer, Rng* rng) {
+  nn::ParamRegistry reg;
+  layer->RegisterParams(&reg, "layer");
+  reg.InitGlorot(rng);
+}
+
 void BM_AttentionForward(benchmark::State& state) {
   Rng rng(1);
   const size_t seq = static_cast<size_t>(state.range(0));
-  nn::ExogenousAttention att(50, 50, 64, &rng);
+  nn::ExogenousAttention att(50, 50, 64);
+  InitLayer(&att, &rng);
   Vec tweet(50);
   for (double& v : tweet) v = rng.Normal();
   Matrix news(seq, 50);
@@ -39,7 +49,8 @@ BENCHMARK(BM_AttentionForward)->Arg(15)->Arg(60)->Arg(240);
 void BM_AttentionBackward(benchmark::State& state) {
   Rng rng(2);
   const size_t seq = static_cast<size_t>(state.range(0));
-  nn::ExogenousAttention att(50, 50, 64, &rng);
+  nn::ExogenousAttention att(50, 50, 64);
+  InitLayer(&att, &rng);
   Vec tweet(50), dout(64);
   for (double& v : tweet) v = rng.Normal();
   for (double& v : dout) v = rng.Normal();
@@ -76,7 +87,8 @@ void BM_AttentionBatchForward(benchmark::State& state) {
   Rng rng(9);
   const size_t batch = 64;
   par::ThreadPool pool(static_cast<size_t>(state.range(0)));
-  nn::ExogenousAttention att(50, 50, 64, &rng);
+  nn::ExogenousAttention att(50, 50, 64);
+  InitLayer(&att, &rng);
   std::vector<Vec> tweets(batch, Vec(50));
   for (auto& t : tweets) {
     for (double& v : t) v = rng.Normal();
@@ -127,7 +139,8 @@ BENCHMARK(BM_MatVec)->Arg(64)->Arg(256);
 
 void BM_GruStep(benchmark::State& state) {
   Rng rng(3);
-  nn::GruCell gru(130, 64, &rng);
+  nn::GruCell gru(130, 64);
+  InitLayer(&gru, &rng);
   Vec x(130), h(64, 0.0);
   for (double& v : x) v = rng.Normal();
   for (auto _ : state) {

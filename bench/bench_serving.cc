@@ -16,17 +16,22 @@
 // single-core container the batched-vs-per-candidate ratio is pure
 // algorithmic speedup, not parallelism.
 //
-// Flags: bench_common.h standard set; --reps=<n> (default 3, median).
+// Flags: bench_common.h standard set; --reps=<n> (default 3, median);
+// --model=<dir> loads a saved scoring bundle from <dir> instead of
+// training (and saves one there after training when none exists), so
+// repeated bench runs skip the training phase.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/stopwatch.h"
+#include "core/model_store.h"
 #include "core/scoring_engine.h"
 
 namespace retina::bench {
@@ -88,8 +93,10 @@ int main(int argc, char** argv) {
   using namespace retina::bench;
 
   int reps = 3;
+  std::string model_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--reps=", 7) == 0) reps = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--model=", 8) == 0) model_dir = argv[i] + 8;
   }
   if (reps < 1) reps = 1;
 
@@ -109,18 +116,56 @@ int main(int argc, char** argv) {
   }
   const core::RetweetTask& task = task_result.ValueOrDie();
 
-  Stopwatch timer;
-  core::RetinaOptions ropts;
-  ropts.epochs = 2;
-  ropts.seed = flags.seed;
-  core::Retina model(task.user_dim, task.content_dim, task.embed_dim,
-                     task.NumIntervals(), ropts);
-  if (!model.Train(task).ok()) {
-    std::fprintf(stderr, "training failed\n");
-    return 1;
+  // Model + extractor either restored from a bundle or trained in-process;
+  // the restored pair scores bit-identically, so the modes below can't
+  // tell the difference.
+  const core::Retina* model = nullptr;
+  const core::FeatureExtractor* extractor = bw.extractor.get();
+  core::LoadedScoringBundle bundle;
+  std::unique_ptr<core::Retina> trained;
+  if (!model_dir.empty()) {
+    auto bundle_result = core::LoadScoringBundle(model_dir, bw.world);
+    if (bundle_result.ok()) {
+      bundle = std::move(bundle_result).ValueOrDie();
+      model = bundle.model.get();
+      extractor = bundle.extractor.get();
+      std::fprintf(stderr, "[bench] loaded bundle from %s\n",
+                   model_dir.c_str());
+    } else {
+      std::fprintf(stderr, "[bench] no usable bundle at %s (%s); training\n",
+                   model_dir.c_str(),
+                   bundle_result.status().ToString().c_str());
+    }
   }
-  std::fprintf(stderr, "[bench] RETINA-S trained (%.1fs)\n",
-               timer.ElapsedSeconds());
+  if (model == nullptr) {
+    Stopwatch timer;
+    core::RetinaOptions ropts;
+    ropts.epochs = 2;
+    ropts.seed = flags.seed;
+    trained = std::make_unique<core::Retina>(task.user_dim, task.content_dim,
+                                             task.embed_dim,
+                                             task.NumIntervals(), ropts);
+    if (!trained->Train(task).ok()) {
+      std::fprintf(stderr, "training failed\n");
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] RETINA-S trained (%.1fs)\n",
+                 timer.ElapsedSeconds());
+    model = trained.get();
+    if (!model_dir.empty()) {
+      core::ScoringBundleMeta meta;
+      meta.task_seed = flags.seed;
+      const Status save_st = core::SaveScoringBundle(model_dir, *trained,
+                                                     *bw.extractor, meta);
+      if (save_st.ok()) {
+        std::fprintf(stderr, "[bench] bundle saved to %s\n",
+                     model_dir.c_str());
+      } else {
+        std::fprintf(stderr, "[bench] bundle save failed: %s\n",
+                     save_st.ToString().c_str());
+      }
+    }
+  }
 
   const std::vector<size_t> pool_sizes =
       flags.smoke ? std::vector<size_t>{4, 8}
@@ -148,7 +193,7 @@ int main(int argc, char** argv) {
       core::ScoringEngineOptions eopts;
       eopts.batched = mode.batched;
       eopts.cache_features = mode.cached;
-      core::ScoringEngine engine(&model, bw.extractor.get(), eopts);
+      core::ScoringEngine engine(model, extractor, eopts);
       Vec scores;
       if (mode.cached) {
         RunStream(&engine, requests, &scores);  // untimed warming pass

@@ -105,6 +105,139 @@ Result<FeatureExtractor> FeatureExtractor::Build(
   return fx;
 }
 
+void FeatureExtractor::SaveTo(io::Checkpoint* ckpt,
+                              const std::string& prefix) const {
+  ckpt->PutI64(prefix + "config/history_size",
+               static_cast<int64_t>(config_.history_size));
+  ckpt->PutI64(prefix + "config/history_tfidf_dim",
+               static_cast<int64_t>(config_.history_tfidf_dim));
+  ckpt->PutI64(prefix + "config/news_tfidf_dim",
+               static_cast<int64_t>(config_.news_tfidf_dim));
+  ckpt->PutI64(prefix + "config/tweet_tfidf_dim",
+               static_cast<int64_t>(config_.tweet_tfidf_dim));
+  ckpt->PutI64(prefix + "config/news_window",
+               static_cast<int64_t>(config_.news_window));
+  ckpt->PutI64(prefix + "config/trending_dim",
+               static_cast<int64_t>(config_.trending_dim));
+  ckpt->PutI64(prefix + "config/doc2vec_dim",
+               static_cast<int64_t>(config_.doc2vec_dim));
+  ckpt->PutI64(prefix + "config/doc2vec_epochs", config_.doc2vec_epochs);
+  ckpt->PutF64(prefix + "config/history_label_noise",
+               config_.history_label_noise);
+  ckpt->PutI64(prefix + "config/seed", static_cast<int64_t>(config_.seed));
+  history_tfidf_.SaveTo(ckpt, prefix + "history_tfidf/");
+  news_tfidf_.SaveTo(ckpt, prefix + "news_tfidf/");
+  tweet_tfidf_.SaveTo(ckpt, prefix + "tweet_tfidf/");
+  doc2vec_.SaveTo(ckpt, prefix + "doc2vec/");
+  // Machine labels: per-user lengths + flattened 0/1 bits. These came from
+  // a one-shot noise draw at Build time, so they must be persisted — they
+  // cannot be re-derived from the seed without replaying Build's RNG.
+  std::vector<int64_t> lengths(history_machine_labels_.size());
+  std::vector<int64_t> bits;
+  for (size_t u = 0; u < history_machine_labels_.size(); ++u) {
+    lengths[u] = static_cast<int64_t>(history_machine_labels_[u].size());
+    for (bool b : history_machine_labels_[u]) bits.push_back(b ? 1 : 0);
+  }
+  ckpt->PutI64List(prefix + "machine_labels/lengths", lengths);
+  ckpt->PutI64List(prefix + "machine_labels/bits", bits);
+}
+
+Result<FeatureExtractor> FeatureExtractor::Restore(
+    const datagen::SyntheticWorld& world, const io::Checkpoint& ckpt,
+    const std::string& prefix) {
+  FeatureExtractor fx;
+  fx.world_ = &world;
+  int64_t history_size = 0, history_tfidf_dim = 0, news_tfidf_dim = 0;
+  int64_t tweet_tfidf_dim = 0, news_window = 0, trending_dim = 0;
+  int64_t doc2vec_dim = 0, doc2vec_epochs = 0, seed = 0;
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/history_size", &history_size));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/history_tfidf_dim", &history_tfidf_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/news_tfidf_dim", &news_tfidf_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/tweet_tfidf_dim", &tweet_tfidf_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/news_window", &news_window));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/trending_dim", &trending_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/doc2vec_dim", &doc2vec_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "config/doc2vec_epochs", &doc2vec_epochs));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "config/history_label_noise",
+                                   &fx.config_.history_label_noise));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "config/seed", &seed));
+  if (history_size < 0 || history_tfidf_dim < 0 || news_tfidf_dim < 0 ||
+      tweet_tfidf_dim < 0 || news_window < 0 || trending_dim < 0 ||
+      doc2vec_dim <= 0) {
+    return Status::InvalidArgument("feature config out of range");
+  }
+  fx.config_.history_size = static_cast<size_t>(history_size);
+  fx.config_.history_tfidf_dim = static_cast<size_t>(history_tfidf_dim);
+  fx.config_.news_tfidf_dim = static_cast<size_t>(news_tfidf_dim);
+  fx.config_.tweet_tfidf_dim = static_cast<size_t>(tweet_tfidf_dim);
+  fx.config_.news_window = static_cast<size_t>(news_window);
+  fx.config_.trending_dim = static_cast<size_t>(trending_dim);
+  fx.config_.doc2vec_dim = static_cast<size_t>(doc2vec_dim);
+  fx.config_.doc2vec_epochs = static_cast<int>(doc2vec_epochs);
+  fx.config_.seed = static_cast<uint64_t>(seed);
+
+  RETINA_RETURN_NOT_OK(
+      fx.history_tfidf_.LoadFrom(ckpt, prefix + "history_tfidf/"));
+  RETINA_RETURN_NOT_OK(fx.news_tfidf_.LoadFrom(ckpt, prefix + "news_tfidf/"));
+  RETINA_RETURN_NOT_OK(
+      fx.tweet_tfidf_.LoadFrom(ckpt, prefix + "tweet_tfidf/"));
+  RETINA_RETURN_NOT_OK(fx.doc2vec_.LoadFrom(ckpt, prefix + "doc2vec/"));
+
+  // The Doc2Vec corpus was tweets then headlines; the doc-vector table must
+  // cover both or TweetEmbedding/news windows would index out of range.
+  const size_t n_tweets = world.tweets().size();
+  const size_t n_news = world.news().articles().size();
+  if (fx.doc2vec_.NumDocs() != n_tweets + n_news) {
+    return Status::InvalidArgument(
+        "checkpoint doc2vec corpus does not match the world's "
+        "tweets+headlines");
+  }
+  fx.news_embeddings_.resize(n_news);
+  for (size_t j = 0; j < n_news; ++j) {
+    fx.news_embeddings_[j] = fx.doc2vec_.DocVector(n_tweets + j);
+  }
+
+  std::vector<int64_t> lengths, bits;
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64List(prefix + "machine_labels/lengths", &lengths));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64List(prefix + "machine_labels/bits", &bits));
+  if (lengths.size() != world.NumUsers()) {
+    return Status::InvalidArgument(
+        "checkpoint machine-label table does not match the world's users");
+  }
+  fx.history_machine_labels_.resize(lengths.size());
+  size_t pos = 0;
+  for (size_t u = 0; u < lengths.size(); ++u) {
+    if (lengths[u] < 0 ||
+        static_cast<size_t>(lengths[u]) != world.History(u).size() ||
+        pos + static_cast<size_t>(lengths[u]) > bits.size()) {
+      return Status::InvalidArgument(
+          "checkpoint machine-label rows do not match user histories");
+    }
+    auto& labels = fx.history_machine_labels_[u];
+    labels.resize(static_cast<size_t>(lengths[u]));
+    for (size_t i = 0; i < labels.size(); ++i) labels[i] = bits[pos++] != 0;
+  }
+  if (pos != bits.size()) {
+    return Status::InvalidArgument(
+        "checkpoint machine-label bits have trailing entries");
+  }
+
+  // Per-user blocks and embeddings are pure functions of the restored
+  // state, so this reproduces Build's caches bit-for-bit.
+  fx.RebuildUserCaches();
+  return fx;
+}
+
 void FeatureExtractor::SetHistorySize(size_t history_size) {
   config_.history_size = history_size;
   news_tfidf_cache_.clear();

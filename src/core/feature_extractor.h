@@ -25,6 +25,7 @@
 #include "common/status.h"
 #include "common/vec.h"
 #include "datagen/world.h"
+#include "io/checkpoint.h"
 #include "text/doc2vec.h"
 #include "text/tfidf.h"
 
@@ -69,6 +70,20 @@ class FeatureExtractor {
   /// Fits vectorizers and Doc2Vec; caches per-user blocks.
   static Result<FeatureExtractor> Build(const datagen::SyntheticWorld& world,
                                         const FeatureConfig& config);
+
+  /// Writes the fitted state under `prefix`: config, the three tf-idf
+  /// vectorizers, the Doc2Vec model, and the machine-annotated history
+  /// labels. Per-user caches and news embeddings are NOT written — they
+  /// are pure functions of this state plus the world, and Restore
+  /// re-derives them bit-identically.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Rebuilds an extractor over `world` from the state saved under
+  /// `prefix`. Returns InvalidArgument when the checkpoint does not match
+  /// the world (label table sizes, Doc2Vec corpus size).
+  static Result<FeatureExtractor> Restore(const datagen::SyntheticWorld& world,
+                                          const io::Checkpoint& ckpt,
+                                          const std::string& prefix);
 
   // ---- Section IV: hate generation ------------------------------------
 

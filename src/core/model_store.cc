@@ -1,0 +1,64 @@
+#include "core/model_store.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace retina::core {
+
+namespace {
+
+std::string BundlePath(const std::string& dir) {
+  return (std::filesystem::path(dir) / kModelCheckpointFile).string();
+}
+
+}  // namespace
+
+Status SaveScoringBundle(const std::string& dir, const Retina& model,
+                         const FeatureExtractor& extractor,
+                         const ScoringBundleMeta& meta) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create bundle directory '" + dir +
+                           "': " + ec.message());
+  }
+  io::Checkpoint ckpt;
+  RETINA_RETURN_NOT_OK(model.Save(&ckpt, "retina/"));
+  extractor.SaveTo(&ckpt, "features/");
+  ckpt.PutI64("meta/task_seed", static_cast<int64_t>(meta.task_seed));
+  return ckpt.WriteFile(BundlePath(dir));
+}
+
+Result<LoadedScoringBundle> LoadScoringBundle(
+    const std::string& dir, const datagen::SyntheticWorld& world) {
+  auto ckpt_result = io::Checkpoint::ReadFile(BundlePath(dir));
+  RETINA_RETURN_NOT_OK(ckpt_result.status());
+  const io::Checkpoint& ckpt = ckpt_result.ValueOrDie();
+
+  LoadedScoringBundle bundle;
+  auto model_result = Retina::Load(ckpt, "retina/");
+  RETINA_RETURN_NOT_OK(model_result.status());
+  bundle.model = std::move(model_result).ValueOrDie();
+
+  auto fx_result = FeatureExtractor::Restore(world, ckpt, "features/");
+  RETINA_RETURN_NOT_OK(fx_result.status());
+  bundle.extractor =
+      std::make_unique<FeatureExtractor>(std::move(fx_result).ValueOrDie());
+
+  int64_t task_seed = 0;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64("meta/task_seed", &task_seed));
+  bundle.meta.task_seed = static_cast<uint64_t>(task_seed);
+
+  // The model's first layer consumes [user_features ; tweet_content].
+  const size_t feature_dim = bundle.extractor->RetweetUserDim() +
+                             bundle.extractor->TweetContentDim();
+  if (feature_dim != bundle.model->input_dim()) {
+    return Status::InvalidArgument(
+        "bundle mismatch: extractor feature width does not match the "
+        "model's input dimension");
+  }
+  return bundle;
+}
+
+}  // namespace retina::core

@@ -1,0 +1,55 @@
+// On-disk layout for a trained scoring bundle (train-once / serve-many).
+//
+// A bundle directory holds one checkpoint file, `model.ckpt`, containing
+//   retina/...      the RETINA model + optimizer state (Retina::Save)
+//   features/...    the fitted feature pipeline (FeatureExtractor::SaveTo)
+//   meta/task_seed  the retweet-task split seed used at training time
+// The task seed lets `retina eval --model DIR` rebuild the exact
+// train/test split the model was trained against, so evaluation of a
+// loaded model reproduces the in-process run bit-for-bit.
+
+#ifndef RETINA_CORE_MODEL_STORE_H_
+#define RETINA_CORE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/feature_extractor.h"
+#include "core/retina.h"
+#include "datagen/world.h"
+#include "io/checkpoint.h"
+
+namespace retina::core {
+
+/// Checkpoint filename inside a bundle directory.
+inline constexpr char kModelCheckpointFile[] = "model.ckpt";
+
+struct ScoringBundleMeta {
+  /// Seed the retweet task was built with (split + negative sampling).
+  uint64_t task_seed = 0;
+};
+
+/// Writes `<dir>/model.ckpt` (creating `dir` if needed) with the model,
+/// extractor, and metadata. Atomic: the file appears complete or not at
+/// all.
+Status SaveScoringBundle(const std::string& dir, const Retina& model,
+                         const FeatureExtractor& extractor,
+                         const ScoringBundleMeta& meta);
+
+struct LoadedScoringBundle {
+  std::unique_ptr<Retina> model;
+  std::unique_ptr<FeatureExtractor> extractor;
+  ScoringBundleMeta meta;
+};
+
+/// Reads `<dir>/model.ckpt` and restores the model and extractor over
+/// `world` (which must outlive the returned bundle). Any corruption or
+/// world mismatch is reported as a Status error.
+Result<LoadedScoringBundle> LoadScoringBundle(
+    const std::string& dir, const datagen::SyntheticWorld& world);
+
+}  // namespace retina::core
+
+#endif  // RETINA_CORE_MODEL_STORE_H_

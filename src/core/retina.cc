@@ -55,16 +55,23 @@ struct Retina::Replica {
   double loss = 0.0;
 
   std::vector<nn::Param*> Params() const {
-    std::vector<nn::Param*> params;
-    for (nn::Param* p : ff1->Params()) params.push_back(p);
-    for (nn::Param* p : head->Params()) params.push_back(p);
-    if (rnn != nullptr) {
-      for (nn::Param* p : rnn->Params()) params.push_back(p);
-    }
-    if (attention != nullptr) {
-      for (nn::Param* p : attention->Params()) params.push_back(p);
-    }
-    return params;
+    return LayerParams(ff1.get(), attention.get(), rnn.get(), head.get());
+  }
+
+  // Flat tensor list over a set of live layers, in a fixed order shared
+  // by the master and every replica so gradient reduction pairs master
+  // and replica tensors by index. Null layers are skipped on both sides
+  // identically.
+  static std::vector<nn::Param*> LayerParams(nn::Dense* ff1,
+                                             nn::ExogenousAttention* att,
+                                             nn::RecurrentCell* rnn,
+                                             nn::Dense* head) {
+    nn::ParamRegistry registry;
+    ff1->RegisterParams(&registry, "ff1");
+    if (att != nullptr) att->RegisterParams(&registry, "attention");
+    if (rnn != nullptr) rnn->RegisterParams(&registry, "rnn");
+    if (head != nullptr) head->RegisterParams(&registry, "head");
+    return registry.params();
   }
 };
 
@@ -75,20 +82,29 @@ Retina::Retina(size_t user_dim, size_t content_dim, size_t embed_dim,
       num_intervals_(std::max<size_t>(1, num_intervals)),
       init_rng_(options.seed) {
   const size_t H = options_.hidden;
-  ff1_ = std::make_unique<nn::Dense>(input_dim_, H, &init_rng_);
+  ff1_ = std::make_unique<nn::Dense>(input_dim_, H);
   if (options_.use_exogenous) {
-    attention_ = std::make_unique<nn::ExogenousAttention>(embed_dim,
-                                                          embed_dim, H,
-                                                          &init_rng_);
+    attention_ =
+        std::make_unique<nn::ExogenousAttention>(embed_dim, embed_dim, H);
   }
   const size_t concat_dim = H + (options_.use_exogenous ? H : 0);
   if (options_.dynamic) {
-    rnn_ = nn::MakeRecurrentCell(options_.recurrent, concat_dim + 2, H,
-                                 &init_rng_);
-    head_ = std::make_unique<nn::Dense>(H, 1, &init_rng_);
+    rnn_ = nn::MakeRecurrentCell(options_.recurrent, concat_dim + 2, H);
+    head_ = std::make_unique<nn::Dense>(H, 1);
   } else {
-    head_ = std::make_unique<nn::Dense>(concat_dim, 1, &init_rng_);
+    head_ = std::make_unique<nn::Dense>(concat_dim, 1);
   }
+
+  // Registration order = construction order = the pre-registry Glorot
+  // draw order, so a given (architecture, seed) yields the same initial
+  // weights as it always has.
+  ff1_->RegisterParams(&registry_, "ff1");
+  if (attention_ != nullptr) {
+    attention_->RegisterParams(&registry_, "attention");
+  }
+  if (rnn_ != nullptr) rnn_->RegisterParams(&registry_, "rnn");
+  head_->RegisterParams(&registry_, "head");
+  registry_.InitGlorot(&init_rng_);
 
   if (options_.use_adam) {
     optimizer_ = std::make_unique<nn::Adam>(options_.learning_rate);
@@ -98,20 +114,7 @@ Retina::Retina(size_t user_dim, size_t content_dim, size_t embed_dim,
     optimizer_ = std::make_unique<nn::Sgd>(options_.learning_rate,
                                            /*momentum=*/0.9);
   }
-  optimizer_->Register(Params());
-}
-
-std::vector<nn::Param*> Retina::Params() {
-  std::vector<nn::Param*> params;
-  for (nn::Param* p : ff1_->Params()) params.push_back(p);
-  for (nn::Param* p : head_->Params()) params.push_back(p);
-  if (rnn_ != nullptr) {
-    for (nn::Param* p : rnn_->Params()) params.push_back(p);
-  }
-  if (attention_ != nullptr) {
-    for (nn::Param* p : attention_->Params()) params.push_back(p);
-  }
-  return params;
+  optimizer_->Register(registry_);
 }
 
 Vec Retina::HiddenForward(const Vec& user_features,
@@ -250,12 +253,8 @@ double Retina::TrainBatch(
       });
       // Ordered reduction: chunk index order, so the gradient sums do not
       // depend on scheduling.
-      std::vector<nn::Param*> master;
-      for (nn::Param* p : ff1_->Params()) master.push_back(p);
-      for (nn::Param* p : head_->Params()) master.push_back(p);
-      if (rnn_ != nullptr) {
-        for (nn::Param* p : rnn_->Params()) master.push_back(p);
-      }
+      const std::vector<nn::Param*> master = Replica::LayerParams(
+          ff1_.get(), nullptr, rnn_.get(), head_.get());
       for (const Replica& rep : reps) {
         AccumulateGrads(master, rep.Params());
         Axpy(1.0, rep.dexo, &dexo);
@@ -302,7 +301,7 @@ double Retina::TrainBatch(
       }
     }
   });
-  std::vector<nn::Param*> master = Params();
+  const std::vector<nn::Param*> master = registry_.params();
   for (const Replica& rep : reps) {
     AccumulateGrads(master, rep.Params());
     batch_loss += rep.loss;
@@ -612,6 +611,93 @@ Vec Retina::ScoreCandidates(
               scores.begin() + static_cast<ptrdiff_t>(begin));
   });
   return scores;
+}
+
+Status Retina::Save(io::Checkpoint* ckpt, const std::string& prefix) const {
+  ckpt->PutI64(prefix + "meta/input_dim",
+               static_cast<int64_t>(input_dim_));
+  ckpt->PutI64(prefix + "meta/embed_dim",
+               static_cast<int64_t>(
+                   attention_ != nullptr ? attention_->tweet_dim() : 0));
+  ckpt->PutI64(prefix + "meta/num_intervals",
+               static_cast<int64_t>(num_intervals_));
+  ckpt->PutI64(prefix + "options/hidden",
+               static_cast<int64_t>(options_.hidden));
+  ckpt->PutBool(prefix + "options/dynamic", options_.dynamic);
+  ckpt->PutBool(prefix + "options/use_exogenous", options_.use_exogenous);
+  ckpt->PutI64(prefix + "options/epochs", options_.epochs);
+  ckpt->PutBool(prefix + "options/use_adam", options_.use_adam);
+  ckpt->PutF64(prefix + "options/learning_rate", options_.learning_rate);
+  ckpt->PutF64(prefix + "options/lambda", options_.lambda);
+  ckpt->PutI64(prefix + "options/recurrent",
+               static_cast<int64_t>(options_.recurrent));
+  ckpt->PutI64(prefix + "options/batch_groups",
+               static_cast<int64_t>(options_.batch_groups));
+  ckpt->PutI64(prefix + "options/seed",
+               static_cast<int64_t>(options_.seed));
+  nn::SaveParams(registry_, ckpt, prefix + "params/");
+  return optimizer_->SaveState(ckpt, prefix + "optim/");
+}
+
+Result<std::unique_ptr<Retina>> Retina::Load(const io::Checkpoint& ckpt,
+                                             const std::string& prefix) {
+  int64_t input_dim, embed_dim, num_intervals;
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "meta/input_dim", &input_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "meta/embed_dim", &embed_dim));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "meta/num_intervals", &num_intervals));
+
+  RetinaOptions options;
+  int64_t hidden, epochs, recurrent, batch_groups, seed;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/hidden", &hidden));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetBool(prefix + "options/dynamic", &options.dynamic));
+  RETINA_RETURN_NOT_OK(ckpt.GetBool(prefix + "options/use_exogenous",
+                                    &options.use_exogenous));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/epochs", &epochs));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetBool(prefix + "options/use_adam", &options.use_adam));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "options/learning_rate",
+                                   &options.learning_rate));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "options/lambda",
+                                   &options.lambda));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "options/recurrent", &recurrent));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "options/batch_groups", &batch_groups));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/seed", &seed));
+
+  if (input_dim <= 0 || num_intervals <= 0 || hidden <= 0 ||
+      embed_dim < 0) {
+    return Status::InvalidArgument(
+        "checkpoint carries non-positive model dimensions");
+  }
+  if (recurrent < 0 ||
+      recurrent > static_cast<int64_t>(nn::RecurrentKind::kSimpleRnn)) {
+    return Status::InvalidArgument("unknown recurrent cell kind " +
+                                   std::to_string(recurrent));
+  }
+  if (options.use_exogenous && embed_dim == 0) {
+    return Status::InvalidArgument(
+        "exogenous attention enabled but embed_dim is 0");
+  }
+  options.hidden = static_cast<size_t>(hidden);
+  options.epochs = static_cast<int>(epochs);
+  options.recurrent = static_cast<nn::RecurrentKind>(recurrent);
+  options.batch_groups = static_cast<size_t>(batch_groups);
+  options.seed = static_cast<uint64_t>(seed);
+
+  auto model = std::make_unique<Retina>(
+      static_cast<size_t>(input_dim), /*content_dim=*/0,
+      static_cast<size_t>(embed_dim),
+      static_cast<size_t>(num_intervals), options);
+  RETINA_RETURN_NOT_OK(
+      nn::LoadParams(ckpt, prefix + "params/", model->registry_));
+  RETINA_RETURN_NOT_OK(
+      model->optimizer_->LoadState(ckpt, prefix + "optim/"));
+  return model;
 }
 
 }  // namespace retina::core

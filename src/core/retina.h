@@ -24,11 +24,14 @@
 #define RETINA_CORE_RETINA_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/retweet_task.h"
+#include "io/checkpoint.h"
 #include "nn/attention.h"
+#include "nn/param_registry.h"
 #include "nn/recurrent.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
@@ -143,6 +146,18 @@ class Retina {
       const std::vector<RetweetCandidate>& candidates) const;
 
   const RetinaOptions& options() const { return options_; }
+  size_t input_dim() const { return input_dim_; }
+
+  /// Writes architecture (options + dimensions), every registered
+  /// parameter, and the optimizer's dynamic state under `prefix`. A
+  /// loaded model predicts — and continues training — bit-identically.
+  Status Save(io::Checkpoint* ckpt,
+              const std::string& prefix = "retina/") const;
+
+  /// Rebuilds a model from Save output: architecture from the saved
+  /// options, then parameters and optimizer state restored by name.
+  static Result<std::unique_ptr<Retina>> Load(
+      const io::Checkpoint& ckpt, const std::string& prefix = "retina/");
 
  private:
   // Per-chunk model replica for data-parallel gradient accumulation: each
@@ -183,8 +198,6 @@ class Retina {
                     const std::vector<std::pair<size_t, size_t>>& groups,
                     size_t g0, size_t g1, const nn::WeightedBce& loss);
 
-  std::vector<nn::Param*> Params();
-
   RetinaOptions options_;
   size_t input_dim_;
   size_t num_intervals_;
@@ -195,6 +208,11 @@ class Retina {
   std::unique_ptr<nn::Dense> head_;  // concat -> 1 (static) / rnn out -> 1
   std::unique_ptr<nn::RecurrentCell> rnn_;  // dynamic only
   std::unique_ptr<nn::ExogenousAttention> attention_;
+  // Named view over the live layers' tensors, in construction order
+  // (ff1, attention, rnn, head) — the Glorot draw order and the
+  // optimizer slot order. Entries point into the heap-allocated layers,
+  // so they stay valid if the Retina object itself moves.
+  nn::ParamRegistry registry_;
   std::unique_ptr<nn::Optimizer> optimizer_;
 };
 

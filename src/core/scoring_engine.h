@@ -24,6 +24,8 @@
 #define RETINA_CORE_SCORING_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/lru_cache.h"
@@ -31,6 +33,7 @@
 #include "core/feature_extractor.h"
 #include "core/retina.h"
 #include "core/retweet_task.h"
+#include "io/checkpoint.h"
 
 namespace retina::core {
 
@@ -63,6 +66,16 @@ class ScoringEngine {
   /// The model and extractor must outlive the engine.
   ScoringEngine(const Retina* model, const FeatureExtractor* extractor,
                 ScoringEngineOptions options = {});
+
+  /// Train-once / serve-many entry point: builds an engine that OWNS its
+  /// model and extractor, both restored from a checkpoint written by
+  /// io::SaveScoringBundle (model under "retina/", extractor under
+  /// "features/"). `world` must be the world the bundle was trained on
+  /// and must outlive the engine. Scores are bit-identical to an engine
+  /// wrapping the in-process trained model.
+  static Result<std::unique_ptr<ScoringEngine>> FromCheckpoint(
+      const datagen::SyntheticWorld& world, const io::Checkpoint& ckpt,
+      ScoringEngineOptions options = {});
 
   /// Scores `users` as retweet candidates for `tweet` (one serving
   /// request). Entry i equals the per-candidate
@@ -97,6 +110,9 @@ class ScoringEngine {
 
   const Retina* model_;
   const FeatureExtractor* extractor_;
+  /// Set only by FromCheckpoint; model_/extractor_ alias these.
+  std::unique_ptr<Retina> owned_model_;
+  std::unique_ptr<FeatureExtractor> owned_extractor_;
   ScoringEngineOptions options_;
   ScoringEngineStats stats_;
 

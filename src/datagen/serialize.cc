@@ -24,7 +24,9 @@ Status EnsureDir(const std::string& dir) {
 
 std::string Num(double v) {
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // 17 significant digits round-trip every IEEE-754 double exactly, so
+  // export -> import preserves times and rates bit for bit.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 

@@ -128,4 +128,48 @@ Vec NeuralDiffusionBaseline::ScoreCandidates(
   return scores;
 }
 
+void NeuralDiffusionBaseline::SaveTo(io::Checkpoint* ckpt,
+                                     const std::string& prefix) const {
+  ckpt->PutI64(prefix + "kind", static_cast<int64_t>(kind_));
+  ckpt->PutI64(prefix + "neighbor_samples",
+               static_cast<int64_t>(options_.neighbor_samples));
+  ckpt->PutTensor(prefix + "embeddings", embeddings_);
+  ckpt->PutF64(prefix + "a", a_);
+  ckpt->PutF64(prefix + "b", b_);
+  ckpt->PutF64(prefix + "c", c_);
+}
+
+Status NeuralDiffusionBaseline::LoadFrom(const io::Checkpoint& ckpt,
+                                         const std::string& prefix) {
+  int64_t kind = 0, neighbor_samples = 0;
+  Matrix embeddings;
+  double a = 0.0, b = 0.0, c = 0.0;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "kind", &kind));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "neighbor_samples", &neighbor_samples));
+  RETINA_RETURN_NOT_OK(ckpt.GetTensor(prefix + "embeddings", &embeddings));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "a", &a));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "b", &b));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "c", &c));
+  if (kind < static_cast<int64_t>(NeuralBaselineKind::kTopoLstm) ||
+      kind > static_cast<int64_t>(NeuralBaselineKind::kHidan)) {
+    return Status::InvalidArgument("unknown neural baseline kind");
+  }
+  if (neighbor_samples < 0) {
+    return Status::InvalidArgument("negative neighbor sample count");
+  }
+  if (embeddings.rows() != world_->NumUsers() || embeddings.cols() == 0) {
+    return Status::InvalidArgument(
+        "neural baseline embedding table does not match the world's users");
+  }
+  kind_ = static_cast<NeuralBaselineKind>(kind);
+  options_.neighbor_samples = static_cast<size_t>(neighbor_samples);
+  options_.embed_dim = embeddings.cols();
+  embeddings_ = std::move(embeddings);
+  a_ = a;
+  b_ = b;
+  c_ = c;
+  return Status::OK();
+}
+
 }  // namespace retina::diffusion

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "core/retweet_task.h"
 #include "datagen/world.h"
+#include "io/checkpoint.h"
 
 namespace retina::diffusion {
 
@@ -59,6 +60,16 @@ class NeuralDiffusionBaseline {
       const std::vector<core::RetweetCandidate>& candidates) const;
 
   std::string Name() const { return NeuralBaselineName(kind_); }
+
+  /// Writes everything ScoreCandidates reads (kind, embeddings, the
+  /// calibration scalars a/b/c, and the FOREST neighbor-sample width)
+  /// under `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces the trained state with the one saved under `prefix`; the
+  /// world pointer this instance was constructed with is kept, and the
+  /// saved embedding table must match its user count.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   // phi(v): candidate representation (may aggregate neighbors).

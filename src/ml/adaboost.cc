@@ -56,6 +56,37 @@ Status AdaBoost::Fit(const Matrix& X, const std::vector<int>& y) {
   return Status::OK();
 }
 
+void AdaBoost::SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const {
+  ckpt->PutVec(prefix + "alphas", alphas_);
+  ckpt->PutI64(prefix + "n_stumps", static_cast<int64_t>(stumps_.size()));
+  for (size_t i = 0; i < stumps_.size(); ++i) {
+    stumps_[i]->SaveTo(ckpt, prefix + "stump" + std::to_string(i) + "/");
+  }
+}
+
+Status AdaBoost::LoadFrom(const io::Checkpoint& ckpt,
+                          const std::string& prefix) {
+  Vec alphas;
+  int64_t n_stumps = 0;
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "alphas", &alphas));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "n_stumps", &n_stumps));
+  if (n_stumps < 0 || alphas.size() != static_cast<size_t>(n_stumps)) {
+    return Status::InvalidArgument(
+        "adaboost: stump count does not match alpha weights");
+  }
+  std::vector<std::unique_ptr<DecisionTree>> stumps;
+  stumps.reserve(static_cast<size_t>(n_stumps));
+  for (int64_t i = 0; i < n_stumps; ++i) {
+    auto stump = std::make_unique<DecisionTree>();
+    RETINA_RETURN_NOT_OK(
+        stump->LoadFrom(ckpt, prefix + "stump" + std::to_string(i) + "/"));
+    stumps.push_back(std::move(stump));
+  }
+  stumps_ = std::move(stumps);
+  alphas_ = std::move(alphas);
+  return Status::OK();
+}
+
 double AdaBoost::PredictProba(const Vec& x) const {
   if (stumps_.empty()) return 0.5;
   double score = 0.0, total_alpha = 0.0;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
 
@@ -32,6 +33,12 @@ class AdaBoost : public BinaryClassifier {
   std::string Name() const override { return "AdaBoost"; }
 
   size_t NumStumps() const { return stumps_.size(); }
+
+  /// Writes stump weights and per-stump trees under `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this ensemble with the one saved under `prefix`.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   AdaBoostOptions options_;

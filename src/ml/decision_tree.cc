@@ -135,6 +135,60 @@ int DecisionTree::BuildNode(const Matrix& X, const std::vector<int>& y,
   return node_id;
 }
 
+void DecisionTree::SaveTo(io::Checkpoint* ckpt,
+                          const std::string& prefix) const {
+  const size_t n = nodes_.size();
+  std::vector<int64_t> feature(n), left(n), right(n);
+  Vec threshold(n), prob(n);
+  for (size_t i = 0; i < n; ++i) {
+    feature[i] = nodes_[i].feature;
+    threshold[i] = nodes_[i].threshold;
+    left[i] = nodes_[i].left;
+    right[i] = nodes_[i].right;
+    prob[i] = nodes_[i].prob;
+  }
+  ckpt->PutI64List(prefix + "feature", feature);
+  ckpt->PutVec(prefix + "threshold", threshold);
+  ckpt->PutI64List(prefix + "left", left);
+  ckpt->PutI64List(prefix + "right", right);
+  ckpt->PutVec(prefix + "prob", prob);
+}
+
+Status DecisionTree::LoadFrom(const io::Checkpoint& ckpt,
+                              const std::string& prefix) {
+  std::vector<int64_t> feature, left, right;
+  Vec threshold, prob;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64List(prefix + "feature", &feature));
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "threshold", &threshold));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64List(prefix + "left", &left));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64List(prefix + "right", &right));
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "prob", &prob));
+  const size_t n = feature.size();
+  if (threshold.size() != n || left.size() != n || right.size() != n ||
+      prob.size() != n) {
+    return Status::InvalidArgument(
+        "corrupt decision tree: node array sizes disagree under '" + prefix +
+        "'");
+  }
+  const int64_t limit = static_cast<int64_t>(n);
+  std::vector<Node> nodes(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (feature[i] < -1 || left[i] < -1 || left[i] >= limit ||
+        right[i] < -1 || right[i] >= limit) {
+      return Status::InvalidArgument(
+          "corrupt decision tree: node index out of range under '" + prefix +
+          "'");
+    }
+    nodes[i].feature = static_cast<int>(feature[i]);
+    nodes[i].threshold = threshold[i];
+    nodes[i].left = static_cast<int>(left[i]);
+    nodes[i].right = static_cast<int>(right[i]);
+    nodes[i].prob = prob[i];
+  }
+  nodes_ = std::move(nodes);
+  return Status::OK();
+}
+
 double DecisionTree::PredictProba(const Vec& x) const {
   if (nodes_.empty()) return 0.5;
   int cur = 0;

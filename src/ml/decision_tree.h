@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "ml/classifier.h"
 
 namespace retina::ml {
@@ -41,6 +42,15 @@ class DecisionTree : public BinaryClassifier {
 
   /// Number of nodes in the fitted tree (0 before Fit).
   size_t NumNodes() const { return nodes_.size(); }
+
+  /// Writes the fitted tree as flattened node arrays under `prefix`.
+  /// PredictProba is a pure function of the node table, so fit-time
+  /// options are not persisted.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this tree with the one saved under `prefix`; validates
+  /// array sizes and child-index ranges before accepting.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   struct Node {

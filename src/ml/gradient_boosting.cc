@@ -139,6 +139,85 @@ double GradientBoosting::PredictTree(const Tree& tree, const Vec& x) const {
   }
 }
 
+void GradientBoosting::SaveTo(io::Checkpoint* ckpt,
+                              const std::string& prefix) const {
+  ckpt->PutF64(prefix + "base_score", base_score_);
+  // learning_rate scales every tree's contribution inside PredictProba, so
+  // it is model state, not just a fit-time knob.
+  ckpt->PutF64(prefix + "learning_rate", options_.learning_rate);
+  ckpt->PutI64(prefix + "n_trees", static_cast<int64_t>(trees_.size()));
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const Tree& tree = trees_[t];
+    const std::string scope = prefix + "tree" + std::to_string(t) + "/";
+    const size_t n = tree.size();
+    std::vector<int64_t> feature(n), left(n), right(n);
+    Vec threshold(n), value(n);
+    for (size_t i = 0; i < n; ++i) {
+      feature[i] = tree[i].feature;
+      threshold[i] = tree[i].threshold;
+      left[i] = tree[i].left;
+      right[i] = tree[i].right;
+      value[i] = tree[i].value;
+    }
+    ckpt->PutI64List(scope + "feature", feature);
+    ckpt->PutVec(scope + "threshold", threshold);
+    ckpt->PutI64List(scope + "left", left);
+    ckpt->PutI64List(scope + "right", right);
+    ckpt->PutVec(scope + "value", value);
+  }
+}
+
+Status GradientBoosting::LoadFrom(const io::Checkpoint& ckpt,
+                                  const std::string& prefix) {
+  double base_score = 0.0, learning_rate = 0.0;
+  int64_t n_trees = 0;
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "base_score", &base_score));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "learning_rate", &learning_rate));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "n_trees", &n_trees));
+  if (n_trees < 0) {
+    return Status::InvalidArgument("gradient boosting: negative tree count");
+  }
+  std::vector<Tree> trees;
+  trees.reserve(static_cast<size_t>(n_trees));
+  for (int64_t t = 0; t < n_trees; ++t) {
+    const std::string scope = prefix + "tree" + std::to_string(t) + "/";
+    std::vector<int64_t> feature, left, right;
+    Vec threshold, value;
+    RETINA_RETURN_NOT_OK(ckpt.GetI64List(scope + "feature", &feature));
+    RETINA_RETURN_NOT_OK(ckpt.GetVec(scope + "threshold", &threshold));
+    RETINA_RETURN_NOT_OK(ckpt.GetI64List(scope + "left", &left));
+    RETINA_RETURN_NOT_OK(ckpt.GetI64List(scope + "right", &right));
+    RETINA_RETURN_NOT_OK(ckpt.GetVec(scope + "value", &value));
+    const size_t n = feature.size();
+    if (threshold.size() != n || left.size() != n || right.size() != n ||
+        value.size() != n) {
+      return Status::InvalidArgument(
+          "corrupt boosted tree: node array sizes disagree under '" + scope +
+          "'");
+    }
+    const int64_t limit = static_cast<int64_t>(n);
+    Tree tree(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (feature[i] < -1 || left[i] < -1 || left[i] >= limit ||
+          right[i] < -1 || right[i] >= limit) {
+        return Status::InvalidArgument(
+            "corrupt boosted tree: node index out of range under '" + scope +
+            "'");
+      }
+      tree[i].feature = static_cast<int>(feature[i]);
+      tree[i].threshold = threshold[i];
+      tree[i].left = static_cast<int>(left[i]);
+      tree[i].right = static_cast<int>(right[i]);
+      tree[i].value = value[i];
+    }
+    trees.push_back(std::move(tree));
+  }
+  base_score_ = base_score;
+  options_.learning_rate = learning_rate;
+  trees_ = std::move(trees);
+  return Status::OK();
+}
+
 double GradientBoosting::PredictProba(const Vec& x) const {
   double margin = base_score_;
   for (const Tree& tree : trees_) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "ml/classifier.h"
 
 namespace retina::ml {
@@ -45,6 +46,13 @@ class GradientBoosting : public BinaryClassifier {
   std::string Name() const override { return "XGB"; }
 
   size_t NumTrees() const { return trees_.size(); }
+
+  /// Writes the ensemble (base score, predict-time shrinkage, per-tree
+  /// node arrays) under `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this ensemble with the one saved under `prefix`.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   struct Node {

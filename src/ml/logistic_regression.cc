@@ -76,4 +76,21 @@ double LogisticRegression::PredictProba(const Vec& x) const {
   return Sigmoid(DecisionFunction(x));
 }
 
+void LogisticRegression::SaveTo(io::Checkpoint* ckpt,
+                                const std::string& prefix) const {
+  ckpt->PutVec(prefix + "w", w_);
+  ckpt->PutF64(prefix + "b", b_);
+}
+
+Status LogisticRegression::LoadFrom(const io::Checkpoint& ckpt,
+                                    const std::string& prefix) {
+  Vec w;
+  double b = 0.0;
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "w", &w));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "b", &b));
+  w_ = std::move(w);
+  b_ = b;
+  return Status::OK();
+}
+
 }  // namespace retina::ml

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "ml/classifier.h"
 
 namespace retina::ml {
@@ -36,6 +37,12 @@ class LogisticRegression : public BinaryClassifier {
 
   const Vec& weights() const { return w_; }
   double bias() const { return b_; }
+
+  /// Writes the fitted weights and bias under `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this model with the one saved under `prefix`.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   LogisticRegressionOptions options_;

@@ -49,6 +49,33 @@ Status RandomForest::Fit(const Matrix& X, const std::vector<int>& y) {
   return Status::OK();
 }
 
+void RandomForest::SaveTo(io::Checkpoint* ckpt,
+                          const std::string& prefix) const {
+  ckpt->PutI64(prefix + "n_trees", static_cast<int64_t>(trees_.size()));
+  for (size_t i = 0; i < trees_.size(); ++i) {
+    trees_[i]->SaveTo(ckpt, prefix + "tree" + std::to_string(i) + "/");
+  }
+}
+
+Status RandomForest::LoadFrom(const io::Checkpoint& ckpt,
+                              const std::string& prefix) {
+  int64_t n_trees = 0;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "n_trees", &n_trees));
+  if (n_trees < 0) {
+    return Status::InvalidArgument("random forest: negative tree count");
+  }
+  std::vector<std::unique_ptr<DecisionTree>> trees;
+  trees.reserve(static_cast<size_t>(n_trees));
+  for (int64_t i = 0; i < n_trees; ++i) {
+    auto tree = std::make_unique<DecisionTree>();
+    RETINA_RETURN_NOT_OK(
+        tree->LoadFrom(ckpt, prefix + "tree" + std::to_string(i) + "/"));
+    trees.push_back(std::move(tree));
+  }
+  trees_ = std::move(trees);
+  return Status::OK();
+}
+
 double RandomForest::PredictProba(const Vec& x) const {
   if (trees_.empty()) return 0.5;
   double total = 0.0;

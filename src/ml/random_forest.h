@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "ml/classifier.h"
 #include "ml/decision_tree.h"
 
@@ -32,6 +33,12 @@ class RandomForest : public BinaryClassifier {
   std::string Name() const override { return "Random Forest"; }
 
   size_t NumTrees() const { return trees_.size(); }
+
+  /// Writes every fitted tree under `prefix` ("tree<i>/" scopes).
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this forest with the one saved under `prefix`.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   RandomForestOptions options_;

@@ -106,4 +106,50 @@ double KernelSVM::PredictProba(const Vec& x) const {
   return svm_.PredictProba(MapFeatures(x));
 }
 
+void LinearSVM::SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const {
+  ckpt->PutVec(prefix + "w", w_);
+  ckpt->PutF64(prefix + "b", b_);
+  // platt_scale shapes PredictProba, so it travels with the weights.
+  ckpt->PutF64(prefix + "platt_scale", options_.platt_scale);
+}
+
+Status LinearSVM::LoadFrom(const io::Checkpoint& ckpt,
+                           const std::string& prefix) {
+  Vec w;
+  double b = 0.0, platt_scale = 0.0;
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "w", &w));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "b", &b));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "platt_scale", &platt_scale));
+  w_ = std::move(w);
+  b_ = b;
+  options_.platt_scale = platt_scale;
+  return Status::OK();
+}
+
+void KernelSVM::SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const {
+  ckpt->PutTensor(prefix + "proj", proj_);
+  ckpt->PutVec(prefix + "phase", phase_);
+  ckpt->PutF64(prefix + "scale", scale_);
+  svm_.SaveTo(ckpt, prefix + "svm/");
+}
+
+Status KernelSVM::LoadFrom(const io::Checkpoint& ckpt,
+                           const std::string& prefix) {
+  Matrix proj;
+  Vec phase;
+  double scale = 0.0;
+  RETINA_RETURN_NOT_OK(ckpt.GetTensor(prefix + "proj", &proj));
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "phase", &phase));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "scale", &scale));
+  if (phase.size() != proj.rows()) {
+    return Status::InvalidArgument(
+        "kernel svm: phase vector does not match projection rows");
+  }
+  RETINA_RETURN_NOT_OK(svm_.LoadFrom(ckpt, prefix + "svm/"));
+  proj_ = std::move(proj);
+  phase_ = std::move(phase);
+  scale_ = scale;
+  return Status::OK();
+}
+
 }  // namespace retina::ml

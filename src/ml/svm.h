@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "ml/classifier.h"
 
 namespace retina::ml {
@@ -42,6 +43,12 @@ class LinearSVM : public BinaryClassifier {
   /// Signed margin w.x + b.
   double DecisionFunction(const Vec& x) const;
 
+  /// Writes weights, bias, and the predict-time Platt slope under `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this model with the one saved under `prefix`.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
+
  private:
   LinearSVMOptions options_;
   Vec w_;
@@ -65,6 +72,14 @@ class KernelSVM : public BinaryClassifier {
   Status Fit(const Matrix& X, const std::vector<int>& y) override;
   double PredictProba(const Vec& x) const override;
   std::string Name() const override { return "SVM-r"; }
+
+  /// Writes the Fourier-feature map (projection, phases, scale) and the
+  /// nested linear SVM under `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this model with the one saved under `prefix`; validates
+  /// projection/phase shape consistency.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   Vec MapFeatures(const Vec& x) const;

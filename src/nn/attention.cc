@@ -6,15 +6,11 @@
 namespace retina::nn {
 
 ExogenousAttention::ExogenousAttention(size_t tweet_dim, size_t news_dim,
-                                       size_t hdim, Rng* rng)
+                                       size_t hdim)
     : hdim_(hdim),
       Wq_(tweet_dim, hdim),
       Wk_(news_dim, hdim),
-      Wv_(news_dim, hdim) {
-  Wq_.InitGlorot(rng);
-  Wk_.InitGlorot(rng);
-  Wv_.InitGlorot(rng);
-}
+      Wv_(news_dim, hdim) {}
 
 Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
                                 AttentionCache* cache) const {

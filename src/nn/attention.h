@@ -8,9 +8,11 @@
 #ifndef RETINA_NN_ATTENTION_H_
 #define RETINA_NN_ATTENTION_H_
 
+#include <string>
 #include <vector>
 
 #include "nn/param.h"
+#include "nn/param_registry.h"
 
 namespace retina::nn {
 
@@ -30,8 +32,7 @@ class ExogenousAttention {
   /// \param tweet_dim Dimensionality of the tweet feature X^T.
   /// \param news_dim Dimensionality of each news feature X^N_i.
   /// \param hdim Attention width (paper: 64).
-  ExogenousAttention(size_t tweet_dim, size_t news_dim, size_t hdim,
-                     Rng* rng);
+  ExogenousAttention(size_t tweet_dim, size_t news_dim, size_t hdim);
 
   /// Computes X^{T,N} (hdim). `news` has one row per headline; an empty
   /// sequence yields the zero vector.
@@ -50,7 +51,15 @@ class ExogenousAttention {
   /// are not propagated (features are fixed).
   void Backward(const AttentionCache& cache, const Vec& dout);
 
-  std::vector<Param*> Params() { return {&Wq_, &Wk_, &Wv_}; }
+  /// Registers Wq, Wk, Wv (all Glorot) under `scope`.
+  void RegisterParams(ParamRegistry* registry, const std::string& scope) {
+    registry->Register(scope + "/Wq", &Wq_, ParamInit::kGlorot);
+    registry->Register(scope + "/Wk", &Wk_, ParamInit::kGlorot);
+    registry->Register(scope + "/Wv", &Wv_, ParamInit::kGlorot);
+  }
+
+  /// Dimensionality of the tweet-side query input.
+  size_t tweet_dim() const { return Wq_.value.rows(); }
 
   /// Attention weights from the last Forward on `cache` (diagnostics).
   size_t hdim() const { return hdim_; }

@@ -34,7 +34,7 @@ void AccumulateGate(Param* W, Param* U, Param* b, const Vec& g, const Vec& x,
 
 }  // namespace
 
-GruCell::GruCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+GruCell::GruCell(size_t in_dim, size_t hidden_dim)
     : in_dim_(in_dim),
       hidden_dim_(hidden_dim),
       Wz_(hidden_dim, in_dim),
@@ -45,14 +45,7 @@ GruCell::GruCell(size_t in_dim, size_t hidden_dim, Rng* rng)
       br_(1, hidden_dim),
       Wh_(hidden_dim, in_dim),
       Uh_(hidden_dim, hidden_dim),
-      bh_(1, hidden_dim) {
-  Wz_.InitGlorot(rng);
-  Uz_.InitGlorot(rng);
-  Wr_.InitGlorot(rng);
-  Ur_.InitGlorot(rng);
-  Wh_.InitGlorot(rng);
-  Uh_.InitGlorot(rng);
-}
+      bh_(1, hidden_dim) {}
 
 Vec GruCell::Forward(const Vec& x, const Vec& h_prev,
                      GruCache* cache) const {
@@ -118,8 +111,17 @@ void GruCell::Backward(const GruCache& cache, const Vec& dh, Vec* dx,
   AccumulateGate(&Wr_, &Ur_, &br_, da_r, cache.x, cache.h_prev, dx, dh_prev);
 }
 
-std::vector<Param*> GruCell::Params() {
-  return {&Wz_, &Uz_, &bz_, &Wr_, &Ur_, &br_, &Wh_, &Uh_, &bh_};
+void GruCell::RegisterParams(ParamRegistry* registry,
+                             const std::string& scope) {
+  registry->Register(scope + "/Wz", &Wz_, ParamInit::kGlorot);
+  registry->Register(scope + "/Uz", &Uz_, ParamInit::kGlorot);
+  registry->Register(scope + "/bz", &bz_);
+  registry->Register(scope + "/Wr", &Wr_, ParamInit::kGlorot);
+  registry->Register(scope + "/Ur", &Ur_, ParamInit::kGlorot);
+  registry->Register(scope + "/br", &br_);
+  registry->Register(scope + "/Wh", &Wh_, ParamInit::kGlorot);
+  registry->Register(scope + "/Uh", &Uh_, ParamInit::kGlorot);
+  registry->Register(scope + "/bh", &bh_);
 }
 
 }  // namespace retina::nn

@@ -4,9 +4,11 @@
 #ifndef RETINA_NN_GRU_H_
 #define RETINA_NN_GRU_H_
 
+#include <string>
 #include <vector>
 
 #include "nn/param.h"
+#include "nn/param_registry.h"
 
 namespace retina::nn {
 
@@ -23,7 +25,7 @@ struct GruCache {
 ///   h' = (1-z)*h + z*hhat
 class GruCell {
  public:
-  GruCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+  GruCell(size_t in_dim, size_t hidden_dim);
 
   /// One step; fills `cache` for the backward pass.
   Vec Forward(const Vec& x, const Vec& h_prev, GruCache* cache) const;
@@ -34,7 +36,8 @@ class GruCell {
   void Backward(const GruCache& cache, const Vec& dh, Vec* dx,
                 Vec* dh_prev);
 
-  std::vector<Param*> Params();
+  /// Registers the gate weights (W*/U* Glorot, biases zero) under `scope`.
+  void RegisterParams(ParamRegistry* registry, const std::string& scope);
 
   size_t hidden_dim() const { return hidden_dim_; }
   size_t in_dim() const { return in_dim_; }

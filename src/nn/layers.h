@@ -8,20 +8,22 @@
 #ifndef RETINA_NN_LAYERS_H_
 #define RETINA_NN_LAYERS_H_
 
+#include <string>
 #include <vector>
 
 #include "common/sparse_vec.h"
 #include "nn/param.h"
+#include "nn/param_registry.h"
 
 namespace retina::nn {
 
 /// \brief Fully connected layer y = W x + b.
+///
+/// Construction leaves the weights zero; initialization happens through
+/// the owning model's ParamRegistry (RegisterParams + InitGlorot).
 class Dense {
  public:
-  Dense(size_t in_dim, size_t out_dim, Rng* rng)
-      : W_(out_dim, in_dim), b_(1, out_dim) {
-    W_.InitGlorot(rng);
-  }
+  Dense(size_t in_dim, size_t out_dim) : W_(out_dim, in_dim), b_(1, out_dim) {}
 
   Vec Forward(const Vec& x) const;
 
@@ -38,7 +40,11 @@ class Dense {
   /// Accumulates dW, db from (cached input x, upstream dy); returns dx.
   Vec Backward(const Vec& x, const Vec& dy);
 
-  std::vector<Param*> Params() { return {&W_, &b_}; }
+  /// Registers W (Glorot) and b (zero) under `scope`.
+  void RegisterParams(ParamRegistry* registry, const std::string& scope) {
+    registry->Register(scope + "/W", &W_, ParamInit::kGlorot);
+    registry->Register(scope + "/b", &b_);
+  }
 
   size_t in_dim() const { return W_.value.cols(); }
   size_t out_dim() const { return W_.value.rows(); }

@@ -4,8 +4,69 @@
 
 namespace retina::nn {
 
-void Sgd::Register(std::vector<Param*> params) {
-  Optimizer::Register(std::move(params));
+void Optimizer::Register(const ParamRegistry& registry) {
+  params_.clear();
+  names_.clear();
+  for (const ParamRegistry::Entry& e : registry.entries()) {
+    params_.push_back(e.param);
+    names_.push_back(e.name);
+  }
+}
+
+Status Optimizer::SaveState(io::Checkpoint* ckpt,
+                            const std::string& prefix) const {
+  ckpt->PutString(prefix + "kind", Kind());
+  return Status::OK();
+}
+
+Status Optimizer::LoadState(const io::Checkpoint& ckpt,
+                            const std::string& prefix) {
+  std::string kind;
+  RETINA_RETURN_NOT_OK(ckpt.GetString(prefix + "kind", &kind));
+  if (kind != Kind()) {
+    return Status::InvalidArgument("optimizer kind mismatch: checkpoint " +
+                                   kind + ", model " + Kind());
+  }
+  return Status::OK();
+}
+
+Status Optimizer::SaveSlots(io::Checkpoint* ckpt, const std::string& prefix,
+                            const std::string& slot,
+                            const std::vector<Matrix>& tensors) const {
+  if (tensors.size() != names_.size()) {
+    return Status::FailedPrecondition(
+        "optimizer slot count does not match registered parameters");
+  }
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    ckpt->PutTensor(prefix + names_[i] + "/" + slot, tensors[i]);
+  }
+  return Status::OK();
+}
+
+Status Optimizer::LoadSlots(const io::Checkpoint& ckpt,
+                            const std::string& prefix,
+                            const std::string& slot,
+                            std::vector<Matrix>* tensors) const {
+  if (tensors->size() != names_.size()) {
+    return Status::FailedPrecondition(
+        "optimizer slots not allocated: call Register before LoadState");
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    Matrix value;
+    RETINA_RETURN_NOT_OK(
+        ckpt.GetTensor(prefix + names_[i] + "/" + slot, &value));
+    if (value.rows() != (*tensors)[i].rows() ||
+        value.cols() != (*tensors)[i].cols()) {
+      return Status::InvalidArgument("optimizer slot " + names_[i] + "/" +
+                                     slot + " shape mismatch");
+    }
+    (*tensors)[i] = std::move(value);
+  }
+  return Status::OK();
+}
+
+void Sgd::Register(const ParamRegistry& registry) {
+  Optimizer::Register(registry);
   velocity_.clear();
   for (Param* p : params_) {
     velocity_.emplace_back(p->value.rows(), p->value.cols());
@@ -26,8 +87,20 @@ void Sgd::Step() {
   }
 }
 
-void Adam::Register(std::vector<Param*> params) {
-  Optimizer::Register(std::move(params));
+Status Sgd::SaveState(io::Checkpoint* ckpt,
+                      const std::string& prefix) const {
+  RETINA_RETURN_NOT_OK(Optimizer::SaveState(ckpt, prefix));
+  return SaveSlots(ckpt, prefix, "velocity", velocity_);
+}
+
+Status Sgd::LoadState(const io::Checkpoint& ckpt,
+                      const std::string& prefix) {
+  RETINA_RETURN_NOT_OK(Optimizer::LoadState(ckpt, prefix));
+  return LoadSlots(ckpt, prefix, "velocity", &velocity_);
+}
+
+void Adam::Register(const ParamRegistry& registry) {
+  Optimizer::Register(registry);
   m_.clear();
   v_.clear();
   t_ = 0;
@@ -56,6 +129,25 @@ void Adam::Step() {
     }
     p->ZeroGrad();
   }
+}
+
+Status Adam::SaveState(io::Checkpoint* ckpt,
+                       const std::string& prefix) const {
+  RETINA_RETURN_NOT_OK(Optimizer::SaveState(ckpt, prefix));
+  ckpt->PutI64(prefix + "t", static_cast<int64_t>(t_));
+  RETINA_RETURN_NOT_OK(SaveSlots(ckpt, prefix, "m", m_));
+  return SaveSlots(ckpt, prefix, "v", v_);
+}
+
+Status Adam::LoadState(const io::Checkpoint& ckpt,
+                       const std::string& prefix) {
+  RETINA_RETURN_NOT_OK(Optimizer::LoadState(ckpt, prefix));
+  int64_t t;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "t", &t));
+  RETINA_RETURN_NOT_OK(LoadSlots(ckpt, prefix, "m", &m_));
+  RETINA_RETURN_NOT_OK(LoadSlots(ckpt, prefix, "v", &v_));
+  t_ = static_cast<long>(t);
+  return Status::OK();
 }
 
 }  // namespace retina::nn

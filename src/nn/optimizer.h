@@ -1,13 +1,22 @@
 // SGD and Adam optimizers (the paper tunes RETINA with Adam in static mode
 // and SGD with learning rate 1e-2 in dynamic mode).
+//
+// Optimizers consume a ParamRegistry: per-parameter slot state (momentum,
+// Adam moments) is keyed by registration order and named after the
+// registered tensors, so optimizer state checkpoints round-trip by name
+// and training resumes from a checkpoint step-for-step identically.
 
 #ifndef RETINA_NN_OPTIMIZER_H_
 #define RETINA_NN_OPTIMIZER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
+#include "io/checkpoint.h"
 #include "nn/param.h"
+#include "nn/param_registry.h"
 
 namespace retina::nn {
 
@@ -16,16 +25,39 @@ class Optimizer {
  public:
   virtual ~Optimizer() = default;
 
-  /// Registers the parameters to optimize (call once before Step).
-  virtual void Register(std::vector<Param*> params) { params_ = std::move(params); }
+  /// Registers the parameters to optimize (call once before Step); resets
+  /// all slot state.
+  virtual void Register(const ParamRegistry& registry);
 
   /// One update using the accumulated gradients; zeroes them afterwards.
   virtual void Step() = 0;
 
+  /// Stable identifier ("sgd", "adam") recorded in checkpoints.
+  virtual const char* Kind() const = 0;
+
+  /// Writes the optimizer's dynamic state (slot tensors, step counter)
+  /// under `prefix`. Hyperparameters are not saved: they are rebuilt from
+  /// the model options at load time.
+  virtual Status SaveState(io::Checkpoint* ckpt,
+                           const std::string& prefix) const;
+
+  /// Restores state written by SaveState; the same registry must already
+  /// be Registered. Errors on kind or shape mismatch.
+  virtual Status LoadState(const io::Checkpoint& ckpt,
+                           const std::string& prefix);
+
   const std::vector<Param*>& params() const { return params_; }
 
  protected:
+  Status SaveSlots(io::Checkpoint* ckpt, const std::string& prefix,
+                   const std::string& slot,
+                   const std::vector<Matrix>& tensors) const;
+  Status LoadSlots(const io::Checkpoint& ckpt, const std::string& prefix,
+                   const std::string& slot,
+                   std::vector<Matrix>* tensors) const;
+
   std::vector<Param*> params_;
+  std::vector<std::string> names_;  // parallel to params_
 };
 
 /// \brief Plain SGD with optional momentum.
@@ -34,8 +66,13 @@ class Sgd : public Optimizer {
   explicit Sgd(double lr, double momentum = 0.0)
       : lr_(lr), momentum_(momentum) {}
 
-  void Register(std::vector<Param*> params) override;
+  void Register(const ParamRegistry& registry) override;
   void Step() override;
+  const char* Kind() const override { return "sgd"; }
+  Status SaveState(io::Checkpoint* ckpt,
+                   const std::string& prefix) const override;
+  Status LoadState(const io::Checkpoint& ckpt,
+                   const std::string& prefix) override;
 
  private:
   double lr_, momentum_;
@@ -49,8 +86,13 @@ class Adam : public Optimizer {
                 double eps = 1e-8)
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
-  void Register(std::vector<Param*> params) override;
+  void Register(const ParamRegistry& registry) override;
   void Step() override;
+  const char* Kind() const override { return "adam"; }
+  Status SaveState(io::Checkpoint* ckpt,
+                   const std::string& prefix) const override;
+  Status LoadState(const io::Checkpoint& ckpt,
+                   const std::string& prefix) override;
 
  private:
   double lr_, beta1_, beta2_, eps_;

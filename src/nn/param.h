@@ -1,11 +1,12 @@
 // Trainable parameter: a dense value matrix with a matching gradient
-// accumulator. Layers register their Params with an Optimizer.
+// accumulator. Layers register their Params, by name, in the owning
+// model's ParamRegistry (see nn/param_registry.h); optimizers, Glorot
+// init, gradient zeroing and checkpointing all operate on the registry.
 
 #ifndef RETINA_NN_PARAM_H_
 #define RETINA_NN_PARAM_H_
 
 #include <cmath>
-#include <vector>
 
 #include "common/rng.h"
 #include "common/vec.h"
@@ -29,11 +30,6 @@ struct Param {
 
   void ZeroGrad() { grad.Fill(0.0); }
 };
-
-/// Convenience: zero the gradients of a parameter set.
-inline void ZeroGrads(const std::vector<Param*>& params) {
-  for (Param* p : params) p->ZeroGrad();
-}
 
 }  // namespace retina::nn
 

@@ -1,0 +1,63 @@
+#include "nn/param_registry.h"
+
+#include <cassert>
+
+namespace retina::nn {
+
+void ParamRegistry::Register(const std::string& name, Param* param,
+                             ParamInit init) {
+  assert(param != nullptr);
+  assert(index_.count(name) == 0 && "duplicate parameter name");
+  index_.emplace(name, entries_.size());
+  entries_.push_back(Entry{name, param, init});
+}
+
+Param* ParamRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : entries_[it->second].param;
+}
+
+std::vector<Param*> ParamRegistry::params() const {
+  std::vector<Param*> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.param);
+  return out;
+}
+
+void ParamRegistry::ZeroGrads() const {
+  for (const Entry& e : entries_) e.param->ZeroGrad();
+}
+
+void ParamRegistry::InitGlorot(Rng* rng) const {
+  for (const Entry& e : entries_) {
+    if (e.init == ParamInit::kGlorot) e.param->InitGlorot(rng);
+  }
+}
+
+void SaveParams(const ParamRegistry& registry, io::Checkpoint* ckpt,
+                const std::string& prefix) {
+  for (const ParamRegistry::Entry& e : registry.entries()) {
+    ckpt->PutTensor(prefix + e.name, e.param->value);
+  }
+}
+
+Status LoadParams(const io::Checkpoint& ckpt, const std::string& prefix,
+                  const ParamRegistry& registry) {
+  for (const ParamRegistry::Entry& e : registry.entries()) {
+    Matrix value;
+    RETINA_RETURN_NOT_OK(ckpt.GetTensor(prefix + e.name, &value));
+    if (value.rows() != e.param->value.rows() ||
+        value.cols() != e.param->value.cols()) {
+      return Status::InvalidArgument(
+          "parameter " + e.name + " shape mismatch: checkpoint " +
+          std::to_string(value.rows()) + "x" + std::to_string(value.cols()) +
+          ", model " + std::to_string(e.param->value.rows()) + "x" +
+          std::to_string(e.param->value.cols()));
+    }
+    e.param->value = std::move(value);
+    e.param->ZeroGrad();
+  }
+  return Status::OK();
+}
+
+}  // namespace retina::nn

@@ -1,0 +1,85 @@
+// Named parameter registry: the single source of truth for a model's
+// trainable tensors.
+//
+// Layers register their Params under hierarchical slash-separated scopes
+// ("retina/ff1/W", "retina/rnn/Wz") in a deterministic order — the order
+// of RegisterParams calls. Everything that used to consume ad-hoc
+// std::vector<Param*> lists flows through the registry instead:
+//
+//   * Glorot initialization (InitGlorot walks kGlorot entries in
+//     registration order, so the Rng draw sequence is a function of
+//     model architecture alone),
+//   * gradient zeroing (ZeroGrads),
+//   * Optimizer::Register (per-param slot state keyed by entry index),
+//   * checkpointing (SaveParams/LoadParams move named tensors in and out
+//     of an io::Checkpoint bit-exactly).
+
+#ifndef RETINA_NN_PARAM_REGISTRY_H_
+#define RETINA_NN_PARAM_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "io/checkpoint.h"
+#include "nn/param.h"
+
+namespace retina::nn {
+
+/// How InitGlorot treats a registered parameter.
+enum class ParamInit : uint8_t {
+  kKeep = 0,    // leave the constructed value (zeros, or a layer-set
+                // constant like the LSTM forget-gate bias)
+  kGlorot = 1,  // Glorot-uniform draw from the shared init Rng
+};
+
+/// \brief Ordered, named collection of non-owning Param pointers.
+class ParamRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    Param* param = nullptr;
+    ParamInit init = ParamInit::kKeep;
+  };
+
+  /// Registers `param` under `name`. Names must be unique; registration
+  /// order is the Glorot draw order and the optimizer slot order.
+  void Register(const std::string& name, Param* param,
+                ParamInit init = ParamInit::kKeep);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Pointer to the named param, or nullptr if absent.
+  Param* Find(const std::string& name) const;
+
+  /// The registered params in registration order.
+  std::vector<Param*> params() const;
+
+  /// Zeroes every parameter's gradient accumulator.
+  void ZeroGrads() const;
+
+  /// Glorot-initializes every kGlorot entry, in registration order, from
+  /// `rng`. kKeep entries are untouched.
+  void InitGlorot(Rng* rng) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Writes every registered tensor to `ckpt` as `prefix + name`.
+void SaveParams(const ParamRegistry& registry, io::Checkpoint* ckpt,
+                const std::string& prefix);
+
+/// Restores every registered tensor from `ckpt` (`prefix + name`),
+/// shape-checked; gradients are zeroed. Errors if any entry is missing
+/// or has a mismatched shape.
+Status LoadParams(const io::Checkpoint& ckpt, const std::string& prefix,
+                  const ParamRegistry& registry);
+
+}  // namespace retina::nn
+
+#endif  // RETINA_NN_PARAM_REGISTRY_H_

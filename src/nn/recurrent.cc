@@ -40,15 +40,12 @@ void AccumulateAffine(Param* W, Param* U, Param* b, const Vec& g,
 
 // ------------------------------------------------------------ SimpleRnn --
 
-SimpleRnnCell::SimpleRnnCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+SimpleRnnCell::SimpleRnnCell(size_t in_dim, size_t hidden_dim)
     : in_dim_(in_dim),
       hidden_dim_(hidden_dim),
       W_(hidden_dim, in_dim),
       U_(hidden_dim, hidden_dim),
-      b_(1, hidden_dim) {
-  W_.InitGlorot(rng);
-  U_.InitGlorot(rng);
-}
+      b_(1, hidden_dim) {}
 
 Vec SimpleRnnCell::Forward(const Vec& x, const Vec& state,
                            RecCache* cache) const {
@@ -81,7 +78,7 @@ void SimpleRnnCell::Backward(const RecCache& cache, const Vec& dstate,
 
 // ----------------------------------------------------------------- LSTM --
 
-LstmCell::LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng)
+LstmCell::LstmCell(size_t in_dim, size_t hidden_dim)
     : in_dim_(in_dim),
       hidden_dim_(hidden_dim),
       Wi_(hidden_dim, in_dim),
@@ -96,15 +93,9 @@ LstmCell::LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng)
       Wc_(hidden_dim, in_dim),
       Uc_(hidden_dim, hidden_dim),
       bc_(1, hidden_dim) {
-  Wi_.InitGlorot(rng);
-  Ui_.InitGlorot(rng);
-  Wf_.InitGlorot(rng);
-  Uf_.InitGlorot(rng);
-  Wo_.InitGlorot(rng);
-  Uo_.InitGlorot(rng);
-  Wc_.InitGlorot(rng);
-  Uc_.InitGlorot(rng);
-  // Forget-gate bias init at 1 (standard trick for gradient flow).
+  // Forget-gate bias init at 1 (standard trick for gradient flow); the
+  // registry's InitGlorot leaves kKeep biases untouched, so this survives
+  // registration + init.
   for (size_t i = 0; i < hidden_dim; ++i) bf_.value(0, i) = 1.0;
 }
 
@@ -188,9 +179,20 @@ void LstmCell::Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
   for (size_t i = 0; i < H; ++i) (*dstate_prev)[i] += dh_prev[i];
 }
 
-std::vector<Param*> LstmCell::Params() {
-  return {&Wi_, &Ui_, &bi_, &Wf_, &Uf_, &bf_,
-          &Wo_, &Uo_, &bo_, &Wc_, &Uc_, &bc_};
+void LstmCell::RegisterParams(ParamRegistry* registry,
+                              const std::string& scope) {
+  registry->Register(scope + "/Wi", &Wi_, ParamInit::kGlorot);
+  registry->Register(scope + "/Ui", &Ui_, ParamInit::kGlorot);
+  registry->Register(scope + "/bi", &bi_);
+  registry->Register(scope + "/Wf", &Wf_, ParamInit::kGlorot);
+  registry->Register(scope + "/Uf", &Uf_, ParamInit::kGlorot);
+  registry->Register(scope + "/bf", &bf_);
+  registry->Register(scope + "/Wo", &Wo_, ParamInit::kGlorot);
+  registry->Register(scope + "/Uo", &Uo_, ParamInit::kGlorot);
+  registry->Register(scope + "/bo", &bo_);
+  registry->Register(scope + "/Wc", &Wc_, ParamInit::kGlorot);
+  registry->Register(scope + "/Uc", &Uc_, ParamInit::kGlorot);
+  registry->Register(scope + "/bc", &bc_);
 }
 
 // ------------------------------------------------------------------ GRU --
@@ -220,15 +222,14 @@ void GruRecurrentCell::Backward(const RecCache& cache, const Vec& dstate,
 
 std::unique_ptr<RecurrentCell> MakeRecurrentCell(RecurrentKind kind,
                                                  size_t in_dim,
-                                                 size_t hidden_dim,
-                                                 Rng* rng) {
+                                                 size_t hidden_dim) {
   switch (kind) {
     case RecurrentKind::kGru:
-      return std::make_unique<GruRecurrentCell>(in_dim, hidden_dim, rng);
+      return std::make_unique<GruRecurrentCell>(in_dim, hidden_dim);
     case RecurrentKind::kLstm:
-      return std::make_unique<LstmCell>(in_dim, hidden_dim, rng);
+      return std::make_unique<LstmCell>(in_dim, hidden_dim);
     case RecurrentKind::kSimpleRnn:
-      return std::make_unique<SimpleRnnCell>(in_dim, hidden_dim, rng);
+      return std::make_unique<SimpleRnnCell>(in_dim, hidden_dim);
   }
   return nullptr;
 }

@@ -12,10 +12,12 @@
 #define RETINA_NN_RECURRENT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/gru.h"
 #include "nn/param.h"
+#include "nn/param_registry.h"
 
 namespace retina::nn {
 
@@ -47,7 +49,10 @@ class RecurrentCell {
   virtual void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                         Vec* dstate_prev) = 0;
 
-  virtual std::vector<Param*> Params() = 0;
+  /// Registers the cell's parameters under `scope` (deterministic order;
+  /// weight matrices Glorot, biases kKeep).
+  virtual void RegisterParams(ParamRegistry* registry,
+                              const std::string& scope) = 0;
 
   /// Deep copy (values and gradient accumulators). Data-parallel training
   /// clones one replica per work chunk and reduces the replica gradients
@@ -62,7 +67,7 @@ const char* RecurrentKindName(RecurrentKind kind);
 /// \brief Vanilla RNN: h' = tanh(W x + U h + b).
 class SimpleRnnCell : public RecurrentCell {
  public:
-  SimpleRnnCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+  SimpleRnnCell(size_t in_dim, size_t hidden_dim);
 
   size_t state_dim() const override { return hidden_dim_; }
   size_t hidden_dim() const override { return hidden_dim_; }
@@ -71,7 +76,12 @@ class SimpleRnnCell : public RecurrentCell {
               RecCache* cache) const override;
   void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                 Vec* dstate_prev) override;
-  std::vector<Param*> Params() override { return {&W_, &U_, &b_}; }
+  void RegisterParams(ParamRegistry* registry,
+                      const std::string& scope) override {
+    registry->Register(scope + "/W", &W_, ParamInit::kGlorot);
+    registry->Register(scope + "/U", &U_, ParamInit::kGlorot);
+    registry->Register(scope + "/b", &b_);
+  }
   std::unique_ptr<RecurrentCell> Clone() const override {
     return std::make_unique<SimpleRnnCell>(*this);
   }
@@ -84,7 +94,7 @@ class SimpleRnnCell : public RecurrentCell {
 /// \brief LSTM cell; state = [h, c].
 class LstmCell : public RecurrentCell {
  public:
-  LstmCell(size_t in_dim, size_t hidden_dim, Rng* rng);
+  LstmCell(size_t in_dim, size_t hidden_dim);
 
   size_t state_dim() const override { return 2 * hidden_dim_; }
   size_t hidden_dim() const override { return hidden_dim_; }
@@ -93,7 +103,8 @@ class LstmCell : public RecurrentCell {
               RecCache* cache) const override;
   void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                 Vec* dstate_prev) override;
-  std::vector<Param*> Params() override;
+  void RegisterParams(ParamRegistry* registry,
+                      const std::string& scope) override;
   std::unique_ptr<RecurrentCell> Clone() const override {
     return std::make_unique<LstmCell>(*this);
   }
@@ -113,8 +124,8 @@ class LstmCell : public RecurrentCell {
 /// \brief Adapter exposing GruCell behind the RecurrentCell interface.
 class GruRecurrentCell : public RecurrentCell {
  public:
-  GruRecurrentCell(size_t in_dim, size_t hidden_dim, Rng* rng)
-      : cell_(in_dim, hidden_dim, rng) {}
+  GruRecurrentCell(size_t in_dim, size_t hidden_dim)
+      : cell_(in_dim, hidden_dim) {}
 
   size_t state_dim() const override { return cell_.hidden_dim(); }
   size_t hidden_dim() const override { return cell_.hidden_dim(); }
@@ -123,7 +134,10 @@ class GruRecurrentCell : public RecurrentCell {
               RecCache* cache) const override;
   void Backward(const RecCache& cache, const Vec& dstate, Vec* dx,
                 Vec* dstate_prev) override;
-  std::vector<Param*> Params() override { return cell_.Params(); }
+  void RegisterParams(ParamRegistry* registry,
+                      const std::string& scope) override {
+    cell_.RegisterParams(registry, scope);
+  }
   std::unique_ptr<RecurrentCell> Clone() const override {
     return std::make_unique<GruRecurrentCell>(*this);
   }
@@ -135,7 +149,7 @@ class GruRecurrentCell : public RecurrentCell {
 /// Factory over the three kinds.
 std::unique_ptr<RecurrentCell> MakeRecurrentCell(RecurrentKind kind,
                                                  size_t in_dim,
-                                                 size_t hidden_dim, Rng* rng);
+                                                 size_t hidden_dim);
 
 }  // namespace retina::nn
 

@@ -154,4 +154,69 @@ double Doc2Vec::TokenSimilarity(const Vec& doc_vec,
   return CosineSimilarity(doc_vec, w);
 }
 
+void Doc2Vec::SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const {
+  ckpt->PutI64(prefix + "options/dim",
+               static_cast<int64_t>(options_.dim));
+  ckpt->PutI64(prefix + "options/epochs", options_.epochs);
+  ckpt->PutF64(prefix + "options/learning_rate", options_.learning_rate);
+  ckpt->PutI64(prefix + "options/negative", options_.negative);
+  ckpt->PutI64(prefix + "options/min_count",
+               static_cast<int64_t>(options_.min_count));
+  ckpt->PutI64(prefix + "options/seed",
+               static_cast<int64_t>(options_.seed));
+  vocab_.SaveTo(ckpt, prefix + "vocab/");
+  ckpt->PutTensor(prefix + "word_vecs", word_vecs_);
+  Matrix docs(doc_vecs_.size(), options_.dim);
+  for (size_t i = 0; i < doc_vecs_.size(); ++i) docs.SetRow(i, doc_vecs_[i]);
+  ckpt->PutTensor(prefix + "doc_vecs", docs);
+  ckpt->PutVec(prefix + "unigram_cdf", unigram_cdf_);
+  ckpt->PutBool(prefix + "trained", trained_);
+}
+
+Status Doc2Vec::LoadFrom(const io::Checkpoint& ckpt,
+                         const std::string& prefix) {
+  Doc2Vec fresh;
+  int64_t dim = 0, epochs = 0, negative = 0, min_count = 0, seed = 0;
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/dim", &dim));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/epochs", &epochs));
+  RETINA_RETURN_NOT_OK(ckpt.GetF64(prefix + "options/learning_rate",
+                                   &fresh.options_.learning_rate));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/negative", &negative));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "options/min_count", &min_count));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/seed", &seed));
+  if (dim <= 0 || min_count < 0) {
+    return Status::InvalidArgument("doc2vec options out of range");
+  }
+  fresh.options_.dim = static_cast<size_t>(dim);
+  fresh.options_.epochs = static_cast<int>(epochs);
+  fresh.options_.negative = static_cast<int>(negative);
+  fresh.options_.min_count = static_cast<size_t>(min_count);
+  fresh.options_.seed = static_cast<uint64_t>(seed);
+  RETINA_RETURN_NOT_OK(fresh.vocab_.LoadFrom(ckpt, prefix + "vocab/"));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetTensor(prefix + "word_vecs", &fresh.word_vecs_));
+  if (fresh.word_vecs_.rows() != fresh.vocab_.size() ||
+      fresh.word_vecs_.cols() != fresh.options_.dim) {
+    return Status::InvalidArgument(
+        "doc2vec word embedding shape does not match vocabulary/dim");
+  }
+  Matrix docs;
+  RETINA_RETURN_NOT_OK(ckpt.GetTensor(prefix + "doc_vecs", &docs));
+  if (docs.rows() != 0 && docs.cols() != fresh.options_.dim) {
+    return Status::InvalidArgument("doc2vec doc embedding width mismatch");
+  }
+  fresh.doc_vecs_.resize(docs.rows());
+  for (size_t i = 0; i < docs.rows(); ++i) fresh.doc_vecs_[i] = docs.RowVec(i);
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetVec(prefix + "unigram_cdf", &fresh.unigram_cdf_));
+  if (fresh.unigram_cdf_.size() != fresh.vocab_.size()) {
+    return Status::InvalidArgument(
+        "doc2vec negative-sampling table does not match vocabulary");
+  }
+  RETINA_RETURN_NOT_OK(ckpt.GetBool(prefix + "trained", &fresh.trained_));
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
 }  // namespace retina::text

@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/vec.h"
+#include "io/checkpoint.h"
 #include "text/vocabulary.h"
 
 namespace retina::text {
@@ -65,6 +66,15 @@ class Doc2Vec {
 
   const Vocabulary& vocab() const { return vocab_; }
   bool trained() const { return trained_; }
+
+  /// Writes the trained state (options, vocabulary, word/doc embeddings,
+  /// negative-sampling table) under `prefix`. InferVector is a pure
+  /// function of this state, so a loaded model infers bit-identically.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this model with the one saved under `prefix`; validates
+  /// embedding/vocabulary shape consistency.
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   // One SGD step on pair (doc vector d, target word). Always updates d;

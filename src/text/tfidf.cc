@@ -139,4 +139,50 @@ Vec TfIdfVectorizer::TransformAverage(
   return acc;
 }
 
+void TfIdfVectorizer::SaveTo(io::Checkpoint* ckpt,
+                             const std::string& prefix) const {
+  ckpt->PutI64(prefix + "options/max_features",
+               static_cast<int64_t>(options_.max_features));
+  ckpt->PutI64(prefix + "options/min_df",
+               static_cast<int64_t>(options_.min_df));
+  ckpt->PutBool(prefix + "options/rank_by_idf", options_.rank_by_idf);
+  ckpt->PutBool(prefix + "options/l2_normalize", options_.l2_normalize);
+  ckpt->PutStringList(prefix + "feature_tokens", feature_tokens_);
+  ckpt->PutVec(prefix + "idf", idf_);
+}
+
+Status TfIdfVectorizer::LoadFrom(const io::Checkpoint& ckpt,
+                                 const std::string& prefix) {
+  TfIdfVectorizer fresh;
+  int64_t max_features = 0, min_df = 0;
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetI64(prefix + "options/max_features", &max_features));
+  RETINA_RETURN_NOT_OK(ckpt.GetI64(prefix + "options/min_df", &min_df));
+  RETINA_RETURN_NOT_OK(ckpt.GetBool(prefix + "options/rank_by_idf",
+                                    &fresh.options_.rank_by_idf));
+  RETINA_RETURN_NOT_OK(ckpt.GetBool(prefix + "options/l2_normalize",
+                                    &fresh.options_.l2_normalize));
+  RETINA_RETURN_NOT_OK(
+      ckpt.GetStringList(prefix + "feature_tokens", &fresh.feature_tokens_));
+  RETINA_RETURN_NOT_OK(ckpt.GetVec(prefix + "idf", &fresh.idf_));
+  if (max_features < 0 || min_df < 0) {
+    return Status::InvalidArgument("tf-idf options out of range");
+  }
+  fresh.options_.max_features = static_cast<size_t>(max_features);
+  fresh.options_.min_df = static_cast<size_t>(min_df);
+  if (fresh.idf_.size() != fresh.feature_tokens_.size()) {
+    return Status::InvalidArgument(
+        "tf-idf idf/feature-token size mismatch");
+  }
+  for (size_t i = 0; i < fresh.feature_tokens_.size(); ++i) {
+    if (!fresh.feature_index_.emplace(fresh.feature_tokens_[i], i).second) {
+      return Status::InvalidArgument(
+          "corrupt tf-idf table: duplicate feature token '" +
+          fresh.feature_tokens_[i] + "'");
+    }
+  }
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
 }  // namespace retina::text

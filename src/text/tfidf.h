@@ -15,6 +15,7 @@
 #include "common/sparse_vec.h"
 #include "common/status.h"
 #include "common/vec.h"
+#include "io/checkpoint.h"
 
 namespace retina::text {
 
@@ -80,6 +81,14 @@ class TfIdfVectorizer {
   double IdfAt(size_t i) const { return idf_[i]; }
 
   bool fitted() const { return !feature_tokens_.empty(); }
+
+  /// Writes the fitted state (options, feature tokens, idf weights) under
+  /// `prefix`; Transform on a loaded vectorizer is bit-identical.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this vectorizer with the one saved under `prefix`
+  /// (the token→index map is rebuilt from the token table).
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   TfIdfOptions options_;

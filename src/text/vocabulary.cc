@@ -29,4 +29,25 @@ bool Vocabulary::Contains(std::string_view token) const {
   return GetId(token) != kUnknown;
 }
 
+void Vocabulary::SaveTo(io::Checkpoint* ckpt,
+                        const std::string& prefix) const {
+  ckpt->PutStringList(prefix + "tokens", tokens_);
+}
+
+Status Vocabulary::LoadFrom(const io::Checkpoint& ckpt,
+                            const std::string& prefix) {
+  std::vector<std::string> tokens;
+  RETINA_RETURN_NOT_OK(ckpt.GetStringList(prefix + "tokens", &tokens));
+  Vocabulary fresh;
+  for (const std::string& token : tokens) {
+    const int id = fresh.AddToken(token);
+    if (static_cast<size_t>(id) + 1 != fresh.size()) {
+      return Status::InvalidArgument(
+          "corrupt vocabulary table: duplicate token '" + token + "'");
+    }
+  }
+  *this = std::move(fresh);
+  return Status::OK();
+}
+
 }  // namespace retina::text

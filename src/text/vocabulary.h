@@ -8,6 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/status.h"
+#include "io/checkpoint.h"
+
 namespace retina::text {
 
 /// \brief Append-only token dictionary.
@@ -31,6 +34,14 @@ class Vocabulary {
 
   /// All tokens in id order.
   const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// Writes the token table (the full state: ids are positional) under
+  /// `prefix`.
+  void SaveTo(io::Checkpoint* ckpt, const std::string& prefix) const;
+
+  /// Replaces this vocabulary with the one saved under `prefix`.
+  /// Errors on duplicate tokens (a corrupt table).
+  Status LoadFrom(const io::Checkpoint& ckpt, const std::string& prefix);
 
  private:
   std::unordered_map<std::string, int> ids_;

@@ -1,0 +1,65 @@
+# End-to-end smoke for the train-once / serve-many CLI workflow:
+#
+#   retina generate      --out WORK/world
+#   retina train-retweet --data WORK/world --save-model WORK/model
+#   retina eval          --data WORK/world --model WORK/model
+#
+# and asserts the evaluated metrics line of the loaded model matches the
+# training run's metrics character for character — the bit-exactness
+# contract of the checkpoint layer, observed end to end through the CLI.
+#
+# Run as:
+#   cmake -DRETINA_CLI=<retina binary> -DWORK_DIR=<scratch dir> -P cli_e2e.cmake
+
+if(NOT DEFINED RETINA_CLI)
+  message(FATAL_ERROR "pass -DRETINA_CLI=<path to the retina binary>")
+endif()
+if(NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${RETINA_CLI}" generate --out "${WORK_DIR}/world"
+          --scale 0.05 --users 700 --seed 43
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${RETINA_CLI}" train-retweet --data "${WORK_DIR}/world"
+          --seed 43 --save-model "${WORK_DIR}/model"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE train_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "train-retweet failed (${rc}):\n${train_out}\n${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/model/model.ckpt")
+  message(FATAL_ERROR "train-retweet did not write model/model.ckpt:\n${train_out}")
+endif()
+
+execute_process(
+  COMMAND "${RETINA_CLI}" eval --data "${WORK_DIR}/world"
+          --model "${WORK_DIR}/model"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE eval_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "eval failed (${rc}):\n${eval_out}\n${err}")
+endif()
+
+# "macro-F1 ... HITS@20 x.yyy" appears in both outputs; the loaded model
+# must reproduce it exactly.
+set(metrics_re "macro-F1 [^\n]*HITS@20 +[0-9.]+")
+string(REGEX MATCH "${metrics_re}" train_metrics "${train_out}")
+string(REGEX MATCH "${metrics_re}" eval_metrics "${eval_out}")
+if(train_metrics STREQUAL "")
+  message(FATAL_ERROR "no metrics line in train output:\n${train_out}")
+endif()
+if(NOT train_metrics STREQUAL eval_metrics)
+  message(FATAL_ERROR "loaded model diverged from training run:\n"
+          "  trained: ${train_metrics}\n  loaded:  ${eval_metrics}")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "cli e2e smoke passed: ${eval_metrics}")

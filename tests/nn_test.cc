@@ -10,6 +10,7 @@
 #include "nn/attention.h"
 #include "nn/gru.h"
 #include "nn/layers.h"
+#include "nn/param_registry.h"
 #include "nn/recurrent.h"
 #include "nn/optimizer.h"
 
@@ -18,6 +19,16 @@ namespace {
 
 constexpr double kEps = 1e-5;
 constexpr double kTol = 1e-6;
+
+// Registers `layer` into a fresh registry and Glorot-initializes it — the
+// draw order matches what the old Rng-taking constructors performed.
+template <typename LayerT>
+ParamRegistry InitLayer(LayerT* layer, Rng* rng) {
+  ParamRegistry reg;
+  layer->RegisterParams(&reg, "layer");
+  reg.InitGlorot(rng);
+  return reg;
+}
 
 // Central-difference derivative of `f` w.r.t. element (r, c) of `param`.
 double NumericalGrad(Param* param, size_t r, size_t c,
@@ -35,9 +46,10 @@ double NumericalGrad(Param* param, size_t r, size_t c,
 
 TEST(DenseTest, ForwardMatchesManual) {
   Rng rng(1);
-  Dense layer(2, 2, &rng);
-  // Overwrite weights deterministically via Params().
-  auto params = layer.Params();
+  Dense layer(2, 2);
+  // Overwrite weights deterministically via the registry.
+  ParamRegistry reg = InitLayer(&layer, &rng);
+  auto params = reg.params();
   params[0]->value(0, 0) = 1.0;
   params[0]->value(0, 1) = 2.0;
   params[0]->value(1, 0) = -1.0;
@@ -51,7 +63,8 @@ TEST(DenseTest, ForwardMatchesManual) {
 
 TEST(DenseTest, GradientCheck) {
   Rng rng(2);
-  Dense layer(4, 3, &rng);
+  Dense layer(4, 3);
+  ParamRegistry reg = InitLayer(&layer, &rng);
   const Vec x = {0.3, -0.7, 1.2, 0.05};
   const Vec dy = {1.0, -0.5, 0.25};  // upstream gradient
 
@@ -59,10 +72,10 @@ TEST(DenseTest, GradientCheck) {
   // accumulates.
   auto loss = [&]() { return Dot(dy, layer.Forward(x)); };
 
-  for (Param* p : layer.Params()) p->ZeroGrad();
+  reg.ZeroGrads();
   const Vec dx = layer.Backward(x, dy);
 
-  for (Param* p : layer.Params()) {
+  for (Param* p : reg.params()) {
     for (size_t r = 0; r < p->value.rows(); ++r) {
       for (size_t c = 0; c < p->value.cols(); ++c) {
         EXPECT_NEAR(p->grad(r, c), NumericalGrad(p, r, c, loss), kTol);
@@ -157,7 +170,8 @@ TEST(WeightedBceTest, PositiveClassWeightFormula) {
 
 TEST(GruTest, OutputInTanhRange) {
   Rng rng(3);
-  GruCell gru(4, 8, &rng);
+  GruCell gru(4, 8);
+  InitLayer(&gru, &rng);
   const Vec h = gru.Forward({0.5, -0.5, 1.0, 0.0}, Vec(8, 0.0), nullptr);
   for (double v : h) {
     EXPECT_GE(v, -1.0);
@@ -167,7 +181,8 @@ TEST(GruTest, OutputInTanhRange) {
 
 TEST(GruTest, GradientCheckSingleStep) {
   Rng rng(4);
-  GruCell gru(3, 4, &rng);
+  GruCell gru(3, 4);
+  ParamRegistry reg = InitLayer(&gru, &rng);
   const Vec x = {0.2, -0.4, 0.9};
   const Vec h0 = {0.1, -0.2, 0.3, 0.05};
   const Vec dy = {1.0, -1.0, 0.5, 0.25};
@@ -176,11 +191,11 @@ TEST(GruTest, GradientCheckSingleStep) {
 
   GruCache cache;
   (void)gru.Forward(x, h0, &cache);
-  for (Param* p : gru.Params()) p->ZeroGrad();
+  reg.ZeroGrads();
   Vec dx, dh0;
   gru.Backward(cache, dy, &dx, &dh0);
 
-  for (Param* p : gru.Params()) {
+  for (Param* p : reg.params()) {
     for (size_t r = 0; r < p->value.rows(); ++r) {
       for (size_t c = 0; c < p->value.cols(); ++c) {
         EXPECT_NEAR(p->grad(r, c), NumericalGrad(p, r, c, loss), 1e-5);
@@ -209,7 +224,8 @@ TEST(GruTest, GradientCheckSingleStep) {
 
 TEST(GruTest, GradientCheckTwoStepBptt) {
   Rng rng(5);
-  GruCell gru(2, 3, &rng);
+  GruCell gru(2, 3);
+  ParamRegistry reg = InitLayer(&gru, &rng);
   const Vec x0 = {0.5, -0.3}, x1 = {-0.2, 0.8};
   const Vec dy = {1.0, 0.5, -0.7};  // gradient on final hidden state
 
@@ -222,13 +238,13 @@ TEST(GruTest, GradientCheckTwoStepBptt) {
   GruCache c0, c1;
   const Vec h1 = gru.Forward(x0, Vec(3, 0.0), &c0);
   (void)gru.Forward(x1, h1, &c1);
-  for (Param* p : gru.Params()) p->ZeroGrad();
+  reg.ZeroGrads();
   Vec dx1, dh1;
   gru.Backward(c1, dy, &dx1, &dh1);
   Vec dx0, dh_init;
   gru.Backward(c0, dh1, &dx0, &dh_init);
 
-  for (Param* p : gru.Params()) {
+  for (Param* p : reg.params()) {
     for (size_t r = 0; r < p->value.rows(); ++r) {
       for (size_t c = 0; c < p->value.cols(); ++c) {
         EXPECT_NEAR(p->grad(r, c), NumericalGrad(p, r, c, loss), 1e-5);
@@ -241,7 +257,8 @@ TEST(GruTest, GradientCheckTwoStepBptt) {
 
 TEST(AttentionTest, EmptyNewsYieldsZeroVector) {
   Rng rng(6);
-  ExogenousAttention att(5, 5, 8, &rng);
+  ExogenousAttention att(5, 5, 8);
+  InitLayer(&att, &rng);
   Matrix news(0, 5);
   AttentionCache cache;
   const Vec out = att.Forward({1, 2, 3, 4, 5}, news, &cache);
@@ -252,7 +269,8 @@ TEST(AttentionTest, EmptyNewsYieldsZeroVector) {
 
 TEST(AttentionTest, OutputIsConvexCombinationOfValues) {
   Rng rng(7);
-  ExogenousAttention att(3, 3, 4, &rng);
+  ExogenousAttention att(3, 3, 4);
+  InitLayer(&att, &rng);
   Matrix news(2, 3);
   news.SetRow(0, {1.0, 0.0, 0.0});
   news.SetRow(1, {0.0, 1.0, 0.0});
@@ -266,7 +284,8 @@ TEST(AttentionTest, OutputIsConvexCombinationOfValues) {
 
 TEST(AttentionTest, GradientCheck) {
   Rng rng(8);
-  ExogenousAttention att(3, 4, 5, &rng);
+  ExogenousAttention att(3, 4, 5);
+  ParamRegistry reg = InitLayer(&att, &rng);
   const Vec tweet = {0.6, -0.2, 0.9};
   Matrix news(3, 4);
   news.SetRow(0, {0.1, 0.5, -0.3, 0.8});
@@ -278,10 +297,10 @@ TEST(AttentionTest, GradientCheck) {
 
   AttentionCache cache;
   (void)att.Forward(tweet, news, &cache);
-  for (Param* p : att.Params()) p->ZeroGrad();
+  reg.ZeroGrads();
   att.Backward(cache, dy);
 
-  for (Param* p : att.Params()) {
+  for (Param* p : reg.params()) {
     for (size_t r = 0; r < p->value.rows(); ++r) {
       for (size_t c = 0; c < p->value.cols(); ++c) {
         EXPECT_NEAR(p->grad(r, c), NumericalGrad(p, r, c, loss), 1e-5);
@@ -295,14 +314,15 @@ TEST(AttentionTest, AttendsToRelevantNews) {
   // with the query; with aligned K/Q init this shows up as non-uniform
   // weights after a few steps of gradient descent toward a target.
   Rng rng(9);
-  ExogenousAttention att(4, 4, 6, &rng);
+  ExogenousAttention att(4, 4, 6);
+  ParamRegistry reg = InitLayer(&att, &rng);
   Matrix news(2, 4);
   news.SetRow(0, {1.0, 1.0, 0.0, 0.0});
   news.SetRow(1, {0.0, 0.0, 1.0, 1.0});
   const Vec tweet = {1.0, 1.0, 0.0, 0.0};  // aligned with row 0
 
   Adam opt(0.05);
-  opt.Register(att.Params());
+  opt.Register(reg);
   // Target: maximize out[0] while the weights must pick one row; this
   // pushes attention toward a peaked distribution.
   for (int step = 0; step < 200; ++step) {
@@ -333,8 +353,9 @@ INSTANTIATE_TEST_SUITE_P(AllCells, RecurrentCellTest,
 
 TEST_P(RecurrentCellTest, OutputIsHiddenPrefixOfState) {
   Rng rng(11);
-  auto cell = MakeRecurrentCell(GetParam(), 3, 5, &rng);
+  auto cell = MakeRecurrentCell(GetParam(), 3, 5);
   ASSERT_NE(cell, nullptr);
+  InitLayer(cell.get(), &rng);
   EXPECT_EQ(cell->hidden_dim(), 5u);
   EXPECT_GE(cell->state_dim(), cell->hidden_dim());
   const Vec state = cell->Forward({0.1, -0.2, 0.4},
@@ -344,7 +365,8 @@ TEST_P(RecurrentCellTest, OutputIsHiddenPrefixOfState) {
 
 TEST_P(RecurrentCellTest, GradientCheckSingleStep) {
   Rng rng(12);
-  auto cell = MakeRecurrentCell(GetParam(), 3, 4, &rng);
+  auto cell = MakeRecurrentCell(GetParam(), 3, 4);
+  ParamRegistry reg = InitLayer(cell.get(), &rng);
   const Vec x = {0.3, -0.5, 0.8};
   Vec s0(cell->state_dim());
   Rng srng(13);
@@ -356,11 +378,11 @@ TEST_P(RecurrentCellTest, GradientCheckSingleStep) {
 
   RecCache cache;
   (void)cell->Forward(x, s0, &cache);
-  for (Param* p : cell->Params()) p->ZeroGrad();
+  reg.ZeroGrads();
   Vec dx, ds0;
   cell->Backward(cache, dy, &dx, &ds0);
 
-  for (Param* p : cell->Params()) {
+  for (Param* p : reg.params()) {
     for (size_t r = 0; r < p->value.rows(); ++r) {
       for (size_t c = 0; c < p->value.cols(); ++c) {
         EXPECT_NEAR(p->grad(r, c), NumericalGrad(p, r, c, loss), 1e-5);
@@ -389,7 +411,8 @@ TEST_P(RecurrentCellTest, GradientCheckSingleStep) {
 
 TEST_P(RecurrentCellTest, GradientCheckTwoStepBptt) {
   Rng rng(14);
-  auto cell = MakeRecurrentCell(GetParam(), 2, 3, &rng);
+  auto cell = MakeRecurrentCell(GetParam(), 2, 3);
+  ParamRegistry reg = InitLayer(cell.get(), &rng);
   const Vec x0 = {0.4, -0.6}, x1 = {-0.1, 0.7};
   Vec dy(cell->state_dim());
   Rng srng(15);
@@ -403,13 +426,13 @@ TEST_P(RecurrentCellTest, GradientCheckTwoStepBptt) {
   RecCache c0, c1;
   const Vec s1 = cell->Forward(x0, Vec(cell->state_dim(), 0.0), &c0);
   (void)cell->Forward(x1, s1, &c1);
-  for (Param* p : cell->Params()) p->ZeroGrad();
+  reg.ZeroGrads();
   Vec dx1, ds1;
   cell->Backward(c1, dy, &dx1, &ds1);
   Vec dx0, ds_init;
   cell->Backward(c0, ds1, &dx0, &ds_init);
 
-  for (Param* p : cell->Params()) {
+  for (Param* p : reg.params()) {
     for (size_t r = 0; r < p->value.rows(); ++r) {
       for (size_t c = 0; c < p->value.cols(); ++c) {
         EXPECT_NEAR(p->grad(r, c), NumericalGrad(p, r, c, loss), 1e-5);
@@ -426,7 +449,8 @@ TEST(RecurrentKindTest, Names) {
 
 TEST(LstmTest, ForgetBiasInitializedToOne) {
   Rng rng(16);
-  LstmCell cell(2, 3, &rng);
+  LstmCell cell(2, 3);
+  InitLayer(&cell, &rng);
   // With zero input and zero state, f = sigmoid(1) ~ 0.73: the cell keeps
   // most of its (zero) memory and output stays small.
   const Vec state = cell.Forward({0.0, 0.0}, Vec(6, 0.0), nullptr);
@@ -438,8 +462,10 @@ TEST(LstmTest, ForgetBiasInitializedToOne) {
 TEST(OptimizerTest, SgdDescendsQuadratic) {
   Param p(1, 1);
   p.value(0, 0) = 5.0;
+  ParamRegistry reg;
+  reg.Register("p", &p);
   Sgd opt(0.1);
-  opt.Register({&p});
+  opt.Register(reg);
   for (int i = 0; i < 200; ++i) {
     p.grad(0, 0) = 2.0 * p.value(0, 0);  // d/dx x^2
     opt.Step();
@@ -451,8 +477,10 @@ TEST(OptimizerTest, SgdMomentumFasterOnIllConditioned) {
   auto run = [](double momentum) {
     Param p(1, 1);
     p.value(0, 0) = 5.0;
+    ParamRegistry reg;
+    reg.Register("p", &p);
     Sgd opt(0.01, momentum);
-    opt.Register({&p});
+    opt.Register(reg);
     for (int i = 0; i < 100; ++i) {
       p.grad(0, 0) = 2.0 * p.value(0, 0);
       opt.Step();
@@ -466,8 +494,10 @@ TEST(OptimizerTest, AdamDescendsQuadratic) {
   Param p(1, 2);
   p.value(0, 0) = 3.0;
   p.value(0, 1) = -4.0;
+  ParamRegistry reg;
+  reg.Register("p", &p);
   Adam opt(0.05);
-  opt.Register({&p});
+  opt.Register(reg);
   for (int i = 0; i < 500; ++i) {
     p.grad(0, 0) = 2.0 * p.value(0, 0);
     p.grad(0, 1) = 2.0 * p.value(0, 1);
@@ -480,8 +510,10 @@ TEST(OptimizerTest, AdamDescendsQuadratic) {
 TEST(OptimizerTest, StepZeroesGradients) {
   Param p(1, 1);
   p.grad(0, 0) = 1.0;
+  ParamRegistry reg;
+  reg.Register("p", &p);
   Adam opt(0.1);
-  opt.Register({&p});
+  opt.Register(reg);
   opt.Step();
   EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.0);
 }

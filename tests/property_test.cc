@@ -13,6 +13,7 @@
 #include "ml/metrics.h"
 #include "ml/preprocess.h"
 #include "nn/attention.h"
+#include "nn/param_registry.h"
 #include "nn/layers.h"
 #include "text/tfidf.h"
 
@@ -197,7 +198,12 @@ TEST_P(SeedSweep, LayerNormScaleInvariant) {
 
 TEST_P(SeedSweep, AttentionInvariantUnderNewsPermutation) {
   Rng rng(GetParam());
-  nn::ExogenousAttention att(6, 6, 8, &rng);
+  nn::ExogenousAttention att(6, 6, 8);
+  {
+    nn::ParamRegistry reg;
+    att.RegisterParams(&reg, "att");
+    reg.InitGlorot(&rng);
+  }
   Vec tweet(6);
   for (double& v : tweet) v = rng.Normal();
   Matrix news(5, 6);
@@ -215,7 +221,12 @@ TEST_P(SeedSweep, AttentionInvariantUnderNewsPermutation) {
 
 TEST_P(SeedSweep, AttentionWeightsFormDistribution) {
   Rng rng(GetParam());
-  nn::ExogenousAttention att(4, 4, 6, &rng);
+  nn::ExogenousAttention att(4, 4, 6);
+  {
+    nn::ParamRegistry reg;
+    att.RegisterParams(&reg, "att");
+    reg.InitGlorot(&rng);
+  }
   Vec tweet(4);
   for (double& v : tweet) v = rng.Normal();
   for (size_t seq : {1u, 3u, 17u}) {

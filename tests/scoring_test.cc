@@ -9,17 +9,24 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "common/lru_cache.h"
 #include "common/rng.h"
 #include "common/sparse_vec.h"
 #include "common/vec.h"
 #include "core/feature_extractor.h"
+#include "core/model_store.h"
 #include "core/retina.h"
 #include "core/retweet_task.h"
 #include "core/scoring_engine.h"
+#include "io/checkpoint.h"
 #include "hatedetect/annotation.h"
 #include "nn/attention.h"
 #include "nn/layers.h"
+#include "nn/param_registry.h"
 #include "text/tfidf.h"
 
 namespace retina::core {
@@ -183,7 +190,12 @@ TEST(BatchedKernelTest, MatMulTransposedBMatchesPerRowMatVec) {
 
 TEST(BatchedKernelTest, DenseForwardBatchBitIdenticalToForward) {
   Rng rng(29);
-  nn::Dense layer(20, 9, &rng);
+  nn::Dense layer(20, 9);
+  {
+    nn::ParamRegistry reg;
+    layer.RegisterParams(&reg, "dense");
+    reg.InitGlorot(&rng);
+  }
   Matrix x(6, 20);
   for (size_t r = 0; r < x.rows(); ++r) {
     for (size_t c = 0; c < x.cols(); ++c) {
@@ -201,7 +213,12 @@ TEST(BatchedKernelTest, DenseForwardBatchBitIdenticalToForward) {
 
 TEST(BatchedKernelTest, SparseForwardBitIdenticalToDenseForward) {
   Rng rng(31);
-  nn::Dense layer(30, 8, &rng);
+  nn::Dense layer(30, 8);
+  {
+    nn::ParamRegistry reg;
+    layer.RegisterParams(&reg, "dense");
+    reg.InitGlorot(&rng);
+  }
   for (int round = 0; round < 5; ++round) {
     const Vec x = RandomSparseDense(&rng, 30, 0.2);
     const Vec dense = layer.Forward(x);
@@ -213,7 +230,12 @@ TEST(BatchedKernelTest, SparseForwardBitIdenticalToDenseForward) {
 
 TEST(BatchedKernelTest, AttentionForwardBatchBitIdenticalToForward) {
   Rng rng(37);
-  nn::ExogenousAttention attention(10, 10, 6, &rng);
+  nn::ExogenousAttention attention(10, 10, 6);
+  {
+    nn::ParamRegistry reg;
+    attention.RegisterParams(&reg, "att");
+    reg.InitGlorot(&rng);
+  }
   Matrix news(15, 10);
   for (size_t r = 0; r < news.rows(); ++r) {
     for (size_t c = 0; c < news.cols(); ++c) news.Row(r)[c] = rng.Normal();
@@ -407,6 +429,101 @@ TEST(ScoringEngineTest, CacheStatsTrackHitsAndRepeatRequestsHit) {
   EXPECT_GT(after_second.tweet_hits, 0u);
   EXPECT_GT(after_second.user_hits, after_first.user_hits);
   for (size_t i = 0; i < first.size(); ++i) EXPECT_EQ(second[i], first[i]);
+}
+
+// -------------------------------------------------------- Checkpointing --
+
+// The acceptance bar for the checkpoint layer: save -> load -> score is
+// bit-exact for both RETINA heads, through the serialized byte stream.
+void CheckRetinaRoundTrip(bool dynamic) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, dynamic);
+  io::Checkpoint ckpt;
+  ASSERT_TRUE(model->Save(&ckpt).ok());
+  auto reloaded =
+      io::Checkpoint::DeserializeFromBytes(ckpt.SerializeToBytes());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  auto loaded = Retina::Load(reloaded.ValueOrDie());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto loaded_model = std::move(loaded).ValueOrDie();
+
+  EXPECT_EQ(loaded_model->options().dynamic, dynamic);
+  EXPECT_EQ(loaded_model->input_dim(), model->input_dim());
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  const Vec scored = loaded_model->ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(scored.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(scored[i], reference[i]) << "candidate " << i;
+  }
+}
+
+TEST(RetinaCheckpointTest, StaticSaveLoadScoresBitIdentically) {
+  CheckRetinaRoundTrip(/*dynamic=*/false);
+}
+
+TEST(RetinaCheckpointTest, DynamicSaveLoadScoresBitIdentically) {
+  CheckRetinaRoundTrip(/*dynamic=*/true);
+}
+
+TEST(ScoringEngineTest, FromCheckpointBitIdenticalAcrossAllModes) {
+  // A served engine rebuilt purely from checkpoint state must reproduce
+  // the in-process model's scores across the full batched x cached grid.
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  io::Checkpoint ckpt;
+  ASSERT_TRUE(model->Save(&ckpt, "retina/").ok());
+  f.extractor->SaveTo(&ckpt, "features/");
+  auto reloaded =
+      io::Checkpoint::DeserializeFromBytes(ckpt.SerializeToBytes());
+  ASSERT_TRUE(reloaded.ok());
+
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  for (const bool batched : {false, true}) {
+    for (const bool cached : {false, true}) {
+      ScoringEngineOptions opts;
+      opts.batched = batched;
+      opts.cache_features = cached;
+      auto engine =
+          ScoringEngine::FromCheckpoint(f.world, reloaded.ValueOrDie(), opts);
+      ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+      const Vec served =
+          engine.ValueOrDie()->ScoreCandidates(f.task, f.task.test);
+      ASSERT_EQ(served.size(), reference.size());
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ(served[i], reference[i])
+            << "batched=" << batched << " cached=" << cached << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ScoringEngineTest, BundleFromDiskBitIdenticalToInProcessModel) {
+  // The train-once / serve-many path the CLI uses: SaveScoringBundle to a
+  // directory, LoadScoringBundle in a "fresh process", score identically.
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/true);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("retina_bundle_test_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  ScoringBundleMeta meta;
+  meta.task_seed = 43;
+  ASSERT_TRUE(SaveScoringBundle(dir, *model, *f.extractor, meta).ok());
+
+  auto bundle = LoadScoringBundle(dir, f.world);
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  const LoadedScoringBundle& loaded = bundle.ValueOrDie();
+  EXPECT_EQ(loaded.meta.task_seed, 43u);
+
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  ScoringEngine engine(loaded.model.get(), loaded.extractor.get());
+  const Vec served = engine.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(served.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
+  }
 }
 
 TEST(ScoringEngineTest, TinyUserCacheEvictsAndStaysCorrect) {

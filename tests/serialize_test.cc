@@ -178,6 +178,56 @@ TEST_F(SerializeTest, ImportRejectsCorruptManifest) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST_F(SerializeTest, RoundTripIsBitExactOnDoubles) {
+  // The CSV writer prints doubles with %.17g: 17 significant digits
+  // round-trip every IEEE-754 double exactly, so export -> import must
+  // reproduce times, rates and interest vectors bit for bit (EXPECT_EQ,
+  // not EXPECT_NEAR).
+  const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 19);
+  ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());
+  auto imported_result = ImportWorldCsv(dir());
+  ASSERT_TRUE(imported_result.ok()) << imported_result.status().ToString();
+  const SyntheticWorld imported = std::move(imported_result).ValueOrDie();
+
+  ASSERT_EQ(imported.tweets().size(), world.tweets().size());
+  for (size_t i = 0; i < world.tweets().size(); ++i) {
+    EXPECT_EQ(imported.tweets()[i].time, world.tweets()[i].time)
+        << "tweet " << i;
+  }
+  ASSERT_EQ(imported.cascades().size(), world.cascades().size());
+  for (size_t i = 0; i < world.cascades().size(); ++i) {
+    const auto& ca = world.cascades()[i].retweets;
+    const auto& cb = imported.cascades()[i].retweets;
+    ASSERT_EQ(cb.size(), ca.size()) << "cascade " << i;
+    for (size_t k = 0; k < ca.size(); ++k) {
+      EXPECT_EQ(cb[k].time, ca[k].time) << "cascade " << i << " rt " << k;
+    }
+  }
+  ASSERT_EQ(imported.NumUsers(), world.NumUsers());
+  for (NodeId u = 0; u < world.NumUsers(); ++u) {
+    const UserProfile& a = world.users()[u];
+    const UserProfile& b = imported.users()[u];
+    EXPECT_EQ(b.activity, a.activity) << "user " << u;
+    EXPECT_EQ(b.account_age_days, a.account_age_days) << "user " << u;
+    ASSERT_EQ(b.topic_interests.size(), a.topic_interests.size());
+    for (size_t t = 0; t < a.topic_interests.size(); ++t) {
+      EXPECT_EQ(b.topic_interests[t], a.topic_interests[t])
+          << "user " << u << " topic " << t;
+    }
+  }
+  ASSERT_EQ(imported.news().articles().size(),
+            world.news().articles().size());
+  for (size_t j = 0; j < world.news().articles().size(); ++j) {
+    EXPECT_EQ(imported.news().articles()[j].time,
+              world.news().articles()[j].time)
+        << "article " << j;
+  }
+  for (double t : {24.0, 240.0, 1200.0}) {
+    EXPECT_EQ(imported.news().IntensityAt(0, t),
+              world.news().IntensityAt(0, t));
+  }
+}
+
 TEST_F(SerializeTest, ImportRejectsOutOfRangeReferences) {
   const SyntheticWorld world = SyntheticWorld::Generate(SmallConfig(), 17);
   ASSERT_TRUE(ExportWorldCsv(world, dir()).ok());

@@ -11,7 +11,14 @@
 //       Train the best hate-generation model (decision tree + DS) and
 //       print gold-test metrics.
 //   retina train-retweet --data DIR [--dynamic] [--no-exo] [--seed N]
+//                        [--save-model DIR]
 //       Train RETINA on the retweeter-prediction task and print metrics.
+//       With --save-model, write the trained model + feature pipeline as
+//       a versioned checkpoint bundle for later serving.
+//   retina eval --data DIR --model DIR
+//       Load a saved bundle, rebuild the training-time task split from the
+//       bundled seed, and evaluate — bit-identical to the metrics printed
+//       by the train-retweet run that saved it.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +31,7 @@
 #include "common/table.h"
 #include "core/feature_extractor.h"
 #include "core/hategen_task.h"
+#include "core/model_store.h"
 #include "core/retina.h"
 #include "core/retweet_task.h"
 #include "core/scoring_engine.h"
@@ -41,6 +49,8 @@ struct Args {
   std::string command;
   std::string data;
   std::string out;
+  std::string save_model;
+  std::string model;
   double scale = 0.1;
   size_t users = 2500;
   uint64_t seed = 7;
@@ -51,9 +61,15 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: retina <generate|stats|annotate|train-hategen|train-retweet>"
-      " [--out DIR] [--data DIR] [--scale F] [--users N] [--seed N]"
-      " [--dynamic] [--no-exo]\n");
+      "usage: retina <generate|stats|annotate|train-hategen|train-retweet|"
+      "eval>\n"
+      "  generate      --out DIR [--scale F] [--users N] [--seed N]\n"
+      "  stats         --data DIR\n"
+      "  annotate      --data DIR [--seed N]\n"
+      "  train-hategen --data DIR [--seed N]\n"
+      "  train-retweet --data DIR [--dynamic] [--no-exo] [--seed N]"
+      " [--save-model DIR]\n"
+      "  eval          --data DIR --model DIR\n");
   return 2;
 }
 
@@ -85,6 +101,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--save-model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->save_model = v;
+    } else if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->model = v;
     } else if (arg == "--dynamic") {
       args->dynamic = true;
     } else if (arg == "--no-exo") {
@@ -286,6 +310,64 @@ int CmdTrainRetweet(const Args& args) {
       static_cast<unsigned long long>(st_eng.user_hits +
                                       st_eng.user_misses),
       static_cast<unsigned long long>(st_eng.user_evictions));
+  if (!args.save_model.empty()) {
+    core::ScoringBundleMeta meta;
+    meta.task_seed = args.seed;
+    const Status save_st = core::SaveScoringBundle(args.save_model, model,
+                                                   fx.ValueOrDie(), meta);
+    if (!save_st.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", save_st.ToString().c_str());
+      return 1;
+    }
+    std::printf("model saved to %s/%s\n", args.save_model.c_str(),
+                core::kModelCheckpointFile);
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  if (args.model.empty()) {
+    std::fprintf(stderr, "eval requires --model DIR\n");
+    return 2;
+  }
+  auto world_result = LoadWorld(args);
+  if (!world_result.ok()) {
+    std::fprintf(stderr, "%s\n", world_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& world = world_result.ValueOrDie();
+  Stopwatch timer;
+  auto bundle_result = core::LoadScoringBundle(args.model, world);
+  if (!bundle_result.ok()) {
+    std::fprintf(stderr, "%s\n", bundle_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& bundle = bundle_result.ValueOrDie();
+  std::printf("loaded %s/%s (%.1fs)\n", args.model.c_str(),
+              core::kModelCheckpointFile, timer.ElapsedSeconds());
+
+  // Rebuild the training-time split from the bundled seed so the test set
+  // is the one the saved metrics were computed on.
+  core::RetweetTaskOptions opts;
+  opts.seed = bundle.meta.task_seed;
+  auto task_result = core::BuildRetweetTask(*bundle.extractor, opts);
+  if (!task_result.ok()) {
+    std::fprintf(stderr, "%s\n", task_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto& task = task_result.ValueOrDie();
+
+  core::ScoringEngine engine(bundle.model.get(), bundle.extractor.get());
+  const Vec scores = engine.ScoreCandidates(task, task.test);
+  const auto eval = core::EvaluateBinary(task.test, scores);
+  const auto queries = core::MakeRankingQueries(task, task.test, scores);
+  std::printf(
+      "RETINA-%s%s (loaded): macro-F1 %.3f  ACC %.3f  AUC %.3f  "
+      "MAP@20 %.3f  HITS@20 %.3f\n",
+      bundle.model->options().dynamic ? "D" : "S",
+      bundle.model->options().use_exogenous ? "" : " [no-exo]",
+      eval.macro_f1, eval.accuracy, eval.auc,
+      ml::MeanAveragePrecisionAtK(queries, 20), ml::HitsAtK(queries, 20));
   return 0;
 }
 
@@ -299,5 +381,6 @@ int main(int argc, char** argv) {
   if (args.command == "annotate") return CmdAnnotate(args);
   if (args.command == "train-hategen") return CmdTrainHateGen(args);
   if (args.command == "train-retweet") return CmdTrainRetweet(args);
+  if (args.command == "eval") return CmdEval(args);
   return Usage();
 }
