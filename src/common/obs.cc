@@ -1,0 +1,368 @@
+#include "common/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace retina::obs {
+
+namespace internal {
+
+namespace {
+bool EnabledFromEnv() {
+  const char* env = std::getenv("RETINA_OBS");
+  return env == nullptr || std::string(env) != "0";
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{EnabledFromEnv()};
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+  return shard;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  if constexpr (!kCompiledIn) return;
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---- Histogram -------------------------------------------------------------
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  size_t b = 0;
+  while (value != 0) {
+    value >>= 1;
+    ++b;
+  }
+  // 1 + floor(log2(v)); the top bucket absorbs the overflow range.
+  return std::min(b, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  return uint64_t{1} << (bucket - 1);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= kBuckets - 1) return ~uint64_t{0};  // overflow bucket
+  return (uint64_t{1} << bucket) - 1;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Smallest bucket whose cumulative count covers a q-fraction of samples.
+  const double target = q * static_cast<double>(n);
+  uint64_t cum = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cum += BucketCount(b);
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Series ----------------------------------------------------------------
+
+void Series::Append(double v) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+size_t Series::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_.size();
+}
+
+void Series::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.clear();
+}
+
+// ---- Span ------------------------------------------------------------------
+
+namespace {
+thread_local Span* t_current_span = nullptr;
+}  // namespace
+
+Span::Span(ScopeStats* scope) : scope_(Enabled() ? scope : nullptr) {
+  if (scope_ == nullptr) return;
+  parent_ = t_current_span;
+  t_current_span = this;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (scope_ == nullptr) return;
+  const uint64_t elapsed =
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - start_)
+                                .count());
+  scope_->total_ns.fetch_add(elapsed, std::memory_order_relaxed);
+  // Same-thread children accumulated into child_ns_; their sum cannot
+  // exceed this span's elapsed time on a monotonic clock.
+  scope_->self_ns.fetch_add(elapsed >= child_ns_ ? elapsed - child_ns_ : 0,
+                            std::memory_order_relaxed);
+  scope_->count.fetch_add(1, std::memory_order_relaxed);
+  t_current_span = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += elapsed;
+}
+
+// ---- Registry --------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<Series>> series;
+  std::map<std::string, std::unique_ptr<ScopeStats>> scopes;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+namespace {
+template <typename T>
+T* GetOrCreate(std::map<std::string, std::unique_ptr<T>>* m, std::mutex* mu,
+               const std::string& name) {
+  std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*m)[name];
+  if (slot == nullptr) slot = std::make_unique<T>();
+  return slot.get();
+}
+}  // namespace
+
+Counter* Registry::GetCounter(const std::string& name) {
+  return GetOrCreate(&impl().counters, &impl().mu, name);
+}
+Gauge* Registry::GetGauge(const std::string& name) {
+  return GetOrCreate(&impl().gauges, &impl().mu, name);
+}
+Histogram* Registry::GetHistogram(const std::string& name) {
+  return GetOrCreate(&impl().histograms, &impl().mu, name);
+}
+Series* Registry::GetSeries(const std::string& name) {
+  return GetOrCreate(&impl().series, &impl().mu, name);
+}
+ScopeStats* Registry::GetScope(const std::string& name) {
+  return GetOrCreate(&impl().scopes, &impl().mu, name);
+}
+
+void Registry::Reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, c] : im.counters) c->Reset();
+  for (auto& [name, g] : im.gauges) g->Reset();
+  for (auto& [name, h] : im.histograms) h->Reset();
+  for (auto& [name, s] : im.series) s->Reset();
+  for (auto& [name, sc] : im.scopes) sc->Reset();
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatG17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double NsToMs(uint64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+}  // namespace
+
+std::string Registry::ToJson() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::ostringstream os;
+  os << "{\n  \"enabled\": " << (Enabled() ? "true" : "false") << ",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << c->Get();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+       << "\": " << g->Get();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h->Count() << ", \"sum\": " << h->Sum()
+       << ", \"mean\": " << FormatG17(h->Mean())
+       << ", \"p50\": " << h->Quantile(0.5)
+       << ", \"p95\": " << h->Quantile(0.95)
+       << ", \"p99\": " << h->Quantile(0.99) << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const uint64_t n = h->BucketCount(b);
+      if (n == 0) continue;
+      os << (first_bucket ? "" : ", ") << "["
+         << Histogram::BucketLowerBound(b) << ", " << n << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"series\": {";
+  first = true;
+  for (const auto& [name, s] : im.series) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": [";
+    const std::vector<double> values = s->Values();
+    for (size_t i = 0; i < values.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << FormatG17(values[i]);
+    }
+    os << "]";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"scopes\": {";
+  first = true;
+  for (const auto& [name, sc] : im.scopes) {
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << sc->count.load(std::memory_order_relaxed)
+       << ", \"total_ms\": "
+       << FormatG17(NsToMs(sc->total_ns.load(std::memory_order_relaxed)))
+       << ", \"self_ms\": "
+       << FormatG17(NsToMs(sc->self_ns.load(std::memory_order_relaxed)))
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string Registry::SummaryTable() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  std::ostringstream os;
+
+  auto format_ms = [](uint64_t ns) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", NsToMs(ns));
+    return std::string(buf);
+  };
+
+  bool any_counter = false;
+  TableWriter counters("observability — counters & gauges",
+                       {"metric", "value"});
+  for (const auto& [name, c] : im.counters) {
+    if (c->Get() == 0) continue;
+    counters.AddRow({name, std::to_string(c->Get())});
+    any_counter = true;
+  }
+  for (const auto& [name, g] : im.gauges) {
+    if (g->Get() == 0) continue;
+    counters.AddRow({name, std::to_string(g->Get())});
+    any_counter = true;
+  }
+  if (any_counter) os << counters.Render() << "\n";
+
+  bool any_hist = false;
+  TableWriter hists("observability — histograms (ns)",
+                    {"metric", "count", "mean", "p50", "p95", "p99"});
+  for (const auto& [name, h] : im.histograms) {
+    if (h->Count() == 0) continue;
+    char mean[64];
+    std::snprintf(mean, sizeof(mean), "%.0f", h->Mean());
+    hists.AddRow({name, std::to_string(h->Count()), mean,
+                  std::to_string(h->Quantile(0.5)),
+                  std::to_string(h->Quantile(0.95)),
+                  std::to_string(h->Quantile(0.99))});
+    any_hist = true;
+  }
+  if (any_hist) os << hists.Render() << "\n";
+
+  bool any_scope = false;
+  TableWriter scopes("observability — trace scopes",
+                     {"scope", "count", "total ms", "self ms"});
+  for (const auto& [name, sc] : im.scopes) {
+    const uint64_t n = sc->count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    scopes.AddRow({name, std::to_string(n),
+                   format_ms(sc->total_ns.load(std::memory_order_relaxed)),
+                   format_ms(sc->self_ns.load(std::memory_order_relaxed))});
+    any_scope = true;
+  }
+  if (any_scope) os << scopes.Render() << "\n";
+
+  bool any_series = false;
+  TableWriter series("observability — series",
+                     {"series", "points", "first", "last"});
+  for (const auto& [name, s] : im.series) {
+    const std::vector<double> values = s->Values();
+    if (values.empty()) continue;
+    series.AddRow({name, std::to_string(values.size()),
+                   FormatG17(values.front()), FormatG17(values.back())});
+    any_series = true;
+  }
+  if (any_series) os << series.Render();
+
+  return os.str();
+}
+
+}  // namespace retina::obs

@@ -1,0 +1,261 @@
+// retina::obs — lock-cheap observability for the training and serving
+// paths: counters, gauges, log2-bucketed latency histograms, append-only
+// series, and RAII trace spans, all hanging off a process-wide registry
+// that exports JSON and a human-readable table.
+//
+// Determinism contract: every primitive here is an *observer*. Nothing in
+// this header may influence control flow, RNG consumption, or arithmetic
+// of the code it instruments — instrumented code must produce bit-identical
+// outputs with observability enabled, disabled at runtime, or compiled out
+// (pinned by obs_test's on/off bit-exactness run; see DESIGN.md §9).
+//
+// Cost model:
+//   - disabled (runtime): one relaxed atomic load + one predictable branch
+//     per instrumentation site;
+//   - compiled out (-DRETINA_OBS_DISABLED): sites reduce to nothing;
+//   - enabled: counters are sharded relaxed fetch_adds (no cacheline
+//     ping-pong under ParallelFor), histograms one fetch_add into a log2
+//     bucket, spans two steady_clock reads + three fetch_adds.
+//
+// Registry lookups (GetCounter etc.) take a mutex and are NOT for hot
+// paths: resolve once into a static/member pointer and reuse it — the
+// returned pointers are stable for the life of the process.
+
+#ifndef RETINA_COMMON_OBS_H_
+#define RETINA_COMMON_OBS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace retina::obs {
+
+#ifdef RETINA_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+/// Stable small id of the calling thread, used to pick a counter shard.
+size_t ThreadShard();
+}  // namespace internal
+
+/// Runtime kill switch. Defaults to on unless the RETINA_OBS environment
+/// variable is set to "0" at process start.
+inline bool Enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+/// \brief Monotonic event counter, sharded to stay cheap when many pool
+/// workers increment the same counter concurrently.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    if (!Enabled()) return;
+    shards_[internal::ThreadShard() % kShards].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Aggregated value (sum over shards). Concurrent Adds may or may not be
+  /// included; reads are meant for end-of-run export.
+  uint64_t Get() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// \brief Last-value (Set) / high-watermark (UpdateMax) instrument.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to `v` if larger (e.g. peak queue depth).
+  void UpdateMax(int64_t v) {
+    if (!Enabled()) return;
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// \brief Log2-bucketed histogram of non-negative integer samples
+/// (typically nanoseconds). Bucket 0 holds the value 0; bucket b >= 1
+/// holds [2^(b-1), 2^b). Quantiles resolve to the upper bound of the
+/// containing bucket, so a reported p99 is within 2x of the true value —
+/// the right fidelity for latency regressions at zero allocation cost.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value) {
+    if (!Enabled()) return;
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  /// Bucket index for a sample: 0 for 0, else 1 + floor(log2(value)).
+  static size_t BucketIndex(uint64_t value);
+  /// Smallest sample the bucket admits (inclusive).
+  static uint64_t BucketLowerBound(size_t bucket);
+  /// Largest sample the bucket admits (inclusive).
+  static uint64_t BucketUpperBound(size_t bucket);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+
+  /// Value below which a fraction >= q of samples fall (upper bound of the
+  /// containing bucket). q in [0, 1]; returns 0 on an empty histogram.
+  uint64_t Quantile(double q) const;
+
+  double Mean() const {
+    const uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Append-only sequence of doubles (per-epoch loss / grad-norm /
+/// step-time trajectories). Mutex-guarded — meant for once-per-epoch
+/// appends, not per-sample traffic.
+class Series {
+ public:
+  void Append(double v);
+  std::vector<double> Values() const;
+  size_t Size() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> values_;
+};
+
+/// \brief Wall-time attribution slot for one named scope. `total_ns` is
+/// inclusive of nested spans, `self_ns` excludes time attributed to child
+/// spans opened on the same thread.
+struct ScopeStats {
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> self_ns{0};
+  std::atomic<uint64_t> count{0};
+
+  void Reset() {
+    total_ns.store(0, std::memory_order_relaxed);
+    self_ns.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// \brief RAII trace span: attributes the enclosed wall time to a scope
+/// and, on the same thread, subtracts it from the parent span's self time.
+/// Spans on different pool workers nest per thread (each worker keeps its
+/// own span stack), so per-chunk spans under ParallelFor are safe.
+class Span {
+ public:
+  explicit Span(ScopeStats* scope);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  ScopeStats* scope_;  // nullptr when obs is disabled at construction
+  std::chrono::steady_clock::time_point start_;
+  uint64_t child_ns_ = 0;
+  Span* parent_ = nullptr;
+};
+
+/// \brief Process-wide registry of named instruments. Get* registers on
+/// first use and returns a pointer that stays valid for the life of the
+/// process; Reset() zeroes values but never invalidates pointers.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  Series* GetSeries(const std::string& name);
+  ScopeStats* GetScope(const std::string& name);
+
+  /// Zeroes every registered instrument (pointers remain valid).
+  void Reset();
+
+  /// Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...},
+  /// "series": {...}, "scopes": {...}} with histogram quantiles and
+  /// non-empty buckets inlined. Stable key order (sorted by name).
+  std::string ToJson() const;
+
+  /// Human-readable multi-table summary (counters/gauges, histograms with
+  /// p50/p95/p99, scopes with total/self milliseconds). Empty sections are
+  /// omitted; returns "" when nothing has been recorded.
+  std::string SummaryTable() const;
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace retina::obs
+
+// Attributes the enclosing block's wall time to the named scope. The
+// registry lookup happens once (function-local static); the per-entry cost
+// is the Span constructor.
+#define RETINA_OBS_CONCAT_INNER(a, b) a##b
+#define RETINA_OBS_CONCAT(a, b) RETINA_OBS_CONCAT_INNER(a, b)
+
+#ifdef RETINA_OBS_DISABLED
+#define RETINA_OBS_SPAN(name)
+#else
+#define RETINA_OBS_SPAN(name)                                            \
+  static ::retina::obs::ScopeStats* RETINA_OBS_CONCAT(retina_obs_scope_, \
+                                                      __LINE__) =        \
+      ::retina::obs::Registry::Global().GetScope(name);                  \
+  ::retina::obs::Span RETINA_OBS_CONCAT(retina_obs_span_, __LINE__)(     \
+      RETINA_OBS_CONCAT(retina_obs_scope_, __LINE__))
+#endif
+
+#endif  // RETINA_COMMON_OBS_H_

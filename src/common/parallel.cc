@@ -1,6 +1,9 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "common/obs.h"
 
 namespace retina::par {
 
@@ -21,18 +24,60 @@ std::vector<ChunkRange> MakeChunks(size_t n, size_t grain) {
   return chunks;
 }
 
+namespace {
+
+// Hot-path instruments, resolved once. Observers only: recording chunk
+// timings never alters chunk layout or execution order, so the
+// bit-exactness contract of the layer is untouched.
+struct ParMetrics {
+  obs::Counter* loops;
+  obs::Counter* chunks;
+  obs::Histogram* chunk_ns;
+
+  static const ParMetrics& Get() {
+    static const ParMetrics m = {
+        obs::Registry::Global().GetCounter("par.loops"),
+        obs::Registry::Global().GetCounter("par.chunks"),
+        obs::Registry::Global().GetHistogram("par.chunk_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 void ParallelForChunks(size_t n, size_t grain,
                        const std::function<void(const ChunkRange&)>& body,
                        ThreadPool* pool) {
   const std::vector<ChunkRange> chunks = MakeChunks(n, grain);
   if (chunks.empty()) return;
   if (pool == nullptr) pool = GlobalPool();
-  if (chunks.size() == 1) {
-    // Avoid dispatch overhead (and pool traffic) for degenerate loops.
-    body(chunks[0]);
+  if (!obs::Enabled()) {
+    if (chunks.size() == 1) {
+      // Avoid dispatch overhead (and pool traffic) for degenerate loops.
+      body(chunks[0]);
+      return;
+    }
+    pool->Run(chunks.size(), [&](size_t c) { body(chunks[c]); });
     return;
   }
-  pool->Run(chunks.size(), [&](size_t c) { body(chunks[c]); });
+
+  const ParMetrics& m = ParMetrics::Get();
+  m.loops->Add(1);
+  m.chunks->Add(chunks.size());
+  const auto timed_body = [&](const ChunkRange& chunk) {
+    const auto start = std::chrono::steady_clock::now();
+    body(chunk);
+    m.chunk_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  };
+  if (chunks.size() == 1) {
+    timed_body(chunks[0]);
+    return;
+  }
+  pool->Run(chunks.size(), [&](size_t c) { timed_body(chunks[c]); });
 }
 
 void ParallelFor(size_t n, size_t grain,

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "common/obs.h"
+
 namespace retina::par {
 
 namespace {
@@ -83,6 +85,19 @@ void ThreadPool::Run(size_t num_tasks,
   if (t_in_parallel_region || workers_.empty()) {
     for (size_t i = 0; i < num_tasks; ++i) fn(i);
     return;
+  }
+
+  if (obs::Enabled()) {
+    // Observers only: dispatch order and task contents are unaffected.
+    static obs::Counter* jobs =
+        obs::Registry::Global().GetCounter("par.pool.jobs");
+    static obs::Counter* tasks =
+        obs::Registry::Global().GetCounter("par.pool.tasks");
+    static obs::Gauge* peak_depth =
+        obs::Registry::Global().GetGauge("par.pool.peak_queue_depth");
+    jobs->Add(1);
+    tasks->Add(num_tasks);
+    peak_depth->UpdateMax(static_cast<int64_t>(num_tasks));
   }
 
   std::lock_guard<std::mutex> run_lock(run_mu_);

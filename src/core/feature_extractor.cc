@@ -9,6 +9,7 @@
 #include <shared_mutex>
 #include <unordered_set>
 
+#include "common/obs.h"
 #include "common/rng.h"
 
 namespace retina::core {
@@ -252,6 +253,11 @@ size_t FeatureExtractor::HistoryBlockDim() const {
 
 Vec FeatureExtractor::ComputeHistoryBlock(
     NodeId user, std::vector<std::string>* concat_tokens) const {
+  // Cache-miss cost center of the serving path: every call here is a
+  // history block the ScoringEngine could not serve from its LRU.
+  static obs::Counter* computed =
+      obs::Registry::Global().GetCounter("features.history_blocks_computed");
+  computed->Add(1);
   const datagen::SyntheticWorld& world = *world_;
   const auto& hist = world.History(user);
   const auto& labels = history_machine_labels_[user];

@@ -1,8 +1,10 @@
 #include "core/retina.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "common/obs.h"
 #include "common/parallel.h"
 
 namespace retina::core {
@@ -337,16 +339,69 @@ Status Retina::Train(const RetweetTask& task) {
   epoch_losses_.assign(static_cast<size_t>(std::max(0, options_.epochs)),
                        0.0);
 
+  // Observability: per-epoch loss / grad-norm / step-time trajectories plus
+  // a per-step latency histogram. Everything below is read-only over the
+  // training state (the grad norm is computed from the already-accumulated
+  // master gradients before Step zeroes them), so obs on/off runs are
+  // bit-identical — obs_test pins this.
+  RETINA_OBS_SPAN("retina.train");
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter* step_counter = reg.GetCounter("train.steps");
+  obs::Histogram* step_ns = reg.GetHistogram("train.step_ns");
+  obs::Series* loss_series = reg.GetSeries("train.epoch_loss");
+  obs::Series* grad_series = reg.GetSeries("train.epoch_grad_norm");
+  obs::Series* time_series = reg.GetSeries("train.epoch_seconds");
+  reg.GetCounter("train.epochs")->Add(
+      static_cast<uint64_t>(std::max(0, options_.epochs)));
+  reg.GetCounter("train.candidates")
+      ->Add(static_cast<uint64_t>(train.size()) *
+            static_cast<uint64_t>(std::max(0, options_.epochs)));
+  const std::vector<nn::Param*> master_params = registry_.params();
+  // Snapshot the kill switch once: when off, the loop below pays exactly
+  // one predictable branch per step and no clock reads.
+  const bool obs_on = obs::Enabled();
+
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    RETINA_OBS_SPAN("retina.train.epoch");
+    std::chrono::steady_clock::time_point epoch_start;
+    if (obs_on) epoch_start = std::chrono::steady_clock::now();
     rng.Shuffle(&groups);
     double epoch_loss = 0.0;
+    double grad_norm_sum = 0.0;
+    size_t steps = 0;
     for (size_t g0 = 0; g0 < groups.size(); g0 += batch) {
       const size_t g1 = std::min(groups.size(), g0 + batch);
+      if (!obs_on) {
+        epoch_loss += TrainBatch(task, groups, g0, g1, loss);
+        optimizer_->Step();
+        continue;
+      }
+      const auto step_start = std::chrono::steady_clock::now();
       epoch_loss += TrainBatch(task, groups, g0, g1, loss);
+      double sq = 0.0;
+      for (const nn::Param* p : master_params) {
+        for (const double g : p->grad.data()) sq += g * g;
+      }
+      grad_norm_sum += std::sqrt(sq);
       optimizer_->Step();
+      ++steps;
+      step_counter->Add(1);
+      step_ns->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - step_start)
+              .count()));
     }
     epoch_losses_[static_cast<size_t>(epoch)] =
         epoch_loss / static_cast<double>(groups.size());
+    if (obs_on) {
+      loss_series->Append(epoch_losses_[static_cast<size_t>(epoch)]);
+      grad_series->Append(
+          steps > 0 ? grad_norm_sum / static_cast<double>(steps) : 0.0);
+      time_series->Append(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        epoch_start)
+              .count());
+    }
   }
   return Status::OK();
 }

@@ -1,8 +1,24 @@
 #include "core/scoring_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace retina::core {
+
+ScoringEngine::ObsHooks ScoringEngine::ObsHooks::Resolve() {
+  obs::Registry& reg = obs::Registry::Global();
+  return {
+      reg.GetCounter("serving.requests"),
+      reg.GetCounter("serving.candidates"),
+      reg.GetCounter("serving.user_cache.hits"),
+      reg.GetCounter("serving.user_cache.misses"),
+      reg.GetCounter("serving.tweet_cache.hits"),
+      reg.GetCounter("serving.tweet_cache.misses"),
+      reg.GetGauge("serving.user_cache.evictions"),
+      reg.GetHistogram("serving.request_warm_ns"),
+      reg.GetHistogram("serving.request_cold_ns"),
+  };
+}
 
 ScoringEngine::ScoringEngine(const Retina* model,
                              const FeatureExtractor* extractor,
@@ -11,7 +27,8 @@ ScoringEngine::ScoringEngine(const Retina* model,
       extractor_(extractor),
       options_(options),
       user_cache_(std::max<size_t>(1, options.user_cache_capacity)),
-      tweet_cache_(std::max<size_t>(1, options.tweet_cache_capacity)) {}
+      tweet_cache_(std::max<size_t>(1, options.tweet_cache_capacity)),
+      hooks_(ObsHooks::Resolve()) {}
 
 Result<std::unique_ptr<ScoringEngine>> ScoringEngine::FromCheckpoint(
     const datagen::SyntheticWorld& world, const io::Checkpoint& ckpt,
@@ -64,19 +81,30 @@ const ScoringEngine::TweetEntry& ScoringEngine::GetTweetEntry(
   }
   if (TweetEntry* hit = tweet_cache_.Get(tweet.id)) {
     ++stats_.tweet_hits;
+    hooks_.tweet_hits->Add(1);
     return *hit;
   }
   ++stats_.tweet_misses;
+  hooks_.tweet_misses->Add(1);
   return *tweet_cache_.Put(tweet.id, BuildTweetEntry(tweet));
 }
 
 Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
                               const std::vector<NodeId>& users) {
+  RETINA_OBS_SPAN("serving.score_tweet");
+  const bool obs_on = obs::Enabled();
+  std::chrono::steady_clock::time_point request_start;
+  if (obs_on) request_start = std::chrono::steady_clock::now();
+
   ++stats_.requests;
   stats_.candidates += users.size();
+  hooks_.requests->Add(1);
+  hooks_.candidates->Add(users.size());
+  const uint64_t misses_before = stats_.user_misses + stats_.tweet_misses;
   const TweetEntry& entry = GetTweetEntry(tweet);
 
   std::vector<Vec> features(users.size());
+  size_t batch_hits = 0, batch_misses = 0;
   for (size_t i = 0; i < users.size(); ++i) {
     const NodeId u = users[i];
     const SparseVec* block = nullptr;
@@ -85,8 +113,10 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
       block = user_cache_.Get(u);
       if (block != nullptr) {
         ++stats_.user_hits;
+        ++batch_hits;
       } else {
         ++stats_.user_misses;
+        ++batch_misses;
         block = user_cache_.Put(
             u, SparseVec::FromDense(extractor_->ComputeHistoryBlock(u)));
       }
@@ -98,16 +128,36 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
         tweet, u, *block, entry.trending, entry.dist[u]);
   }
   stats_.user_evictions = user_cache_.evictions();
+  hooks_.user_hits->Add(batch_hits);
+  hooks_.user_misses->Add(batch_misses);
+  hooks_.user_evictions->Set(static_cast<int64_t>(stats_.user_evictions));
 
+  Vec scores;
   if (options_.batched) {
     std::vector<const Vec*> ptrs;
     ptrs.reserve(features.size());
     for (const Vec& f : features) ptrs.push_back(&f);
-    return model_->ScoreBatch(entry.ctx, ptrs);
+    scores = model_->ScoreBatch(entry.ctx, ptrs);
+  } else {
+    scores.resize(users.size());
+    for (size_t i = 0; i < users.size(); ++i) {
+      scores[i] = model_->PredictScore(entry.ctx, features[i]);
+    }
   }
-  Vec scores(users.size());
-  for (size_t i = 0; i < users.size(); ++i) {
-    scores[i] = model_->PredictScore(entry.ctx, features[i]);
+
+  if (obs_on) {
+    // A request is "warm" when every per-user and per-tweet invariant came
+    // out of a cache; any recomputation makes it "cold". Attribution is
+    // purely observational — scores are bit-identical either way.
+    const bool warm = options_.cache_features &&
+                      stats_.user_misses + stats_.tweet_misses ==
+                          misses_before;
+    const uint64_t elapsed = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - request_start)
+            .count());
+    (warm ? hooks_.request_warm_ns : hooks_.request_cold_ns)
+        ->Record(elapsed);
   }
   return scores;
 }

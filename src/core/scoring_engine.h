@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/lru_cache.h"
+#include "common/obs.h"
 #include "common/sparse_vec.h"
 #include "core/feature_extractor.h"
 #include "core/retina.h"
@@ -119,6 +120,24 @@ class ScoringEngine {
   LruCache<NodeId, SparseVec> user_cache_;
   LruCache<size_t, TweetEntry> tweet_cache_;  // keyed by tweet id
   TweetEntry scratch_entry_;  // uncached mode
+
+  /// Registry instruments, resolved once at construction. Purely
+  /// observational mirrors of stats_ plus request-latency histograms with
+  /// warm (every user-block served from cache) vs cold attribution.
+  struct ObsHooks {
+    static ObsHooks Resolve();
+
+    obs::Counter* requests;
+    obs::Counter* candidates;
+    obs::Counter* user_hits;
+    obs::Counter* user_misses;
+    obs::Counter* tweet_hits;
+    obs::Counter* tweet_misses;
+    obs::Gauge* user_evictions;
+    obs::Histogram* request_warm_ns;
+    obs::Histogram* request_cold_ns;
+  };
+  ObsHooks hooks_;
 };
 
 }  // namespace retina::core

@@ -4,8 +4,10 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <unordered_set>
 
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "graph/generators.h"
 
@@ -122,6 +124,15 @@ class TextSampler {
 
 SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
                                         uint64_t seed) {
+  // Phase spans attribute generation wall time per pipeline stage; the
+  // counters at the end feed the cascade/event throughput view. All of it
+  // observes — the RNG draw sequence is exactly the uninstrumented one, so
+  // worlds are bit-identical with obs on, off, or compiled out.
+  RETINA_OBS_SPAN("datagen.generate");
+  obs::Registry& obs_reg = obs::Registry::Global();
+  std::optional<obs::Span> phase_span;
+  phase_span.emplace(obs_reg.GetScope("datagen.users"));
+
   SyntheticWorld world;
   world.config_ = config;
   Rng rng(seed);
@@ -175,14 +186,17 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   }
 
   // ---- Follower network ---------------------------------------------------
+  phase_span.emplace(obs_reg.GetScope("datagen.network"));
   world.network_ =
       graph::GenerateFollowerNetwork(interests, echo, config.network, &net_rng);
 
   // ---- News stream ---------------------------------------------------------
+  phase_span.emplace(obs_reg.GetScope("datagen.news"));
   world.news_ = GenerateNews(config, vocab.topic_words, vocab.general_words,
                              &news_rng);
 
   // ---- Activity histories ---------------------------------------------------
+  phase_span.emplace(obs_reg.GetScope("datagen.histories"));
   // Hashtags grouped per topic, for history hashtag choice.
   std::vector<std::vector<size_t>> tags_by_topic(n_topics);
   for (size_t h = 0; h < world.hashtags_.size(); ++h) {
@@ -231,6 +245,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   });
 
   // ---- Root tweets ----------------------------------------------------------
+  phase_span.emplace(obs_reg.GetScope("datagen.tweets"));
   const size_t n_days = static_cast<size_t>(std::ceil(config.horizon_days));
   // Per-topic author-sampling CDFs: the base weight is interest^2 *
   // activity; the hater-conditioned CDF additionally weights by the
@@ -324,6 +339,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   for (size_t i = 0; i < world.tweets_.size(); ++i) world.tweets_[i].id = i;
 
   // ---- Cascades ----------------------------------------------------------------
+  phase_span.emplace(obs_reg.GetScope("datagen.cascades"));
   // Echo-community membership, for the organized-spreader channel.
   std::vector<std::vector<NodeId>> community_members(n_topics);
   for (size_t u = 0; u < n_users; ++u) {
@@ -441,6 +457,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
               });
   });
 
+  phase_span.emplace(obs_reg.GetScope("datagen.replies"));
   // ---- Reply threads (Section IX-A extension) -----------------------------
   // Replies scale with the cascade's engagement; repliers are drawn from
   // the engaged audience (participants' followers + organized community).
@@ -494,7 +511,23 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
               });
   });
 
+  phase_span.emplace(obs_reg.GetScope("datagen.derived_indices"));
   world.BuildDerivedIndices();
+  phase_span.reset();
+
+  if (obs::Enabled()) {
+    // Event throughput: pair these counters with the datagen.* scope times
+    // (events / total_s) in the exported summary.
+    size_t rt_events = 0, reply_events = 0;
+    for (const Cascade& c : world.cascades_) rt_events += c.retweets.size();
+    for (const auto& thread : world.replies_) reply_events += thread.size();
+    obs_reg.GetCounter("datagen.users")->Add(world.users_.size());
+    obs_reg.GetCounter("datagen.tweets")->Add(world.tweets_.size());
+    obs_reg.GetCounter("datagen.cascade_events")->Add(rt_events);
+    obs_reg.GetCounter("datagen.reply_events")->Add(reply_events);
+    obs_reg.GetCounter("datagen.history_tweets")
+        ->Add(n_users * config.history_length);
+  }
 
   return world;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "ml/metrics.h"
 
@@ -27,6 +28,15 @@ std::vector<char> SirModel::Simulate(datagen::NodeId root, double beta,
       if (!rng->Bernoulli(gamma)) next.push_back(u);
     }
     active = std::move(next);
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* sims =
+        obs::Registry::Global().GetCounter("diffusion.sir.simulations");
+    static obs::Counter* infected =
+        obs::Registry::Global().GetCounter("diffusion.sir.infected_nodes");
+    sims->Add(1);
+    infected->Add(static_cast<uint64_t>(
+        std::count(ever_infected.begin(), ever_infected.end(), char{1})));
   }
   return ever_infected;
 }

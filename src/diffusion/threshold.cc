@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "ml/metrics.h"
 
@@ -37,6 +38,15 @@ std::vector<char> ThresholdModel::Simulate(datagen::NodeId root,
       }
     }
     frontier = std::move(next);
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* sims =
+        obs::Registry::Global().GetCounter("diffusion.threshold.simulations");
+    static obs::Counter* activated =
+        obs::Registry::Global().GetCounter("diffusion.threshold.active_nodes");
+    sims->Add(1);
+    activated->Add(static_cast<uint64_t>(
+        std::count(active.begin(), active.end(), char{1})));
   }
   return active;
 }

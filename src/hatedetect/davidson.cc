@@ -1,5 +1,6 @@
 #include "hatedetect/davidson.h"
 
+#include "common/obs.h"
 #include "text/tokenizer.h"
 
 namespace retina::hatedetect {
@@ -7,6 +8,7 @@ namespace retina::hatedetect {
 Status DavidsonClassifier::Fit(
     const std::vector<std::vector<std::string>>& docs,
     const std::vector<int>& labels) {
+  RETINA_OBS_SPAN("hatedetect.davidson.fit");
   if (docs.empty() || docs.size() != labels.size()) {
     return Status::InvalidArgument("DavidsonClassifier::Fit: bad shapes");
   }

@@ -2,12 +2,14 @@
 
 #include <cmath>
 
+#include "common/obs.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
 namespace retina::ml {
 
 Status RandomForest::Fit(const Matrix& X, const std::vector<int>& y) {
+  RETINA_OBS_SPAN("ml.random_forest.fit");
   if (X.rows() == 0 || X.rows() != y.size()) {
     return Status::InvalidArgument("RandomForest::Fit: bad shapes");
   }
@@ -45,6 +47,11 @@ Status RandomForest::Fit(const Matrix& X, const std::vector<int>& y) {
       trees_.clear();
       return s;
     }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter* trees_fit =
+        obs::Registry::Global().GetCounter("ml.trees_fit");
+    trees_fit->Add(trees_.size());
   }
   return Status::OK();
 }

@@ -32,6 +32,7 @@ endif()
 execute_process(
   COMMAND "${RETINA_CLI}" train-retweet --data "${WORK_DIR}/world"
           --seed 43 --save-model "${WORK_DIR}/model"
+          "--metrics-out=${WORK_DIR}/train_metrics.json"
   RESULT_VARIABLE rc OUTPUT_VARIABLE train_out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "train-retweet failed (${rc}):\n${train_out}\n${err}")
@@ -40,12 +41,64 @@ if(NOT EXISTS "${WORK_DIR}/model/model.ckpt")
   message(FATAL_ERROR "train-retweet did not write model/model.ckpt:\n${train_out}")
 endif()
 
+# ---- Observability contract: --metrics-out emits parseable JSON whose
+# training counters actually counted the run (nonzero optimizer steps,
+# nonzero serving requests, a per-epoch loss series).
+if(NOT EXISTS "${WORK_DIR}/train_metrics.json")
+  message(FATAL_ERROR "train-retweet did not write train_metrics.json:\n${train_out}")
+endif()
+file(READ "${WORK_DIR}/train_metrics.json" metrics_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  # string(JSON) is a real parser: any malformed export dies here.
+  string(JSON train_steps ERROR_VARIABLE json_err
+         GET "${metrics_json}" counters train.steps)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "metrics JSON unparseable: ${json_err}\n${metrics_json}")
+  endif()
+  string(JSON serving_requests GET "${metrics_json}" counters
+         serving.requests)
+  string(JSON n_loss_points LENGTH "${metrics_json}" series
+         train.epoch_loss)
+else()
+  string(REGEX MATCH "\"train\\.steps\": ([0-9]+)" _ "${metrics_json}")
+  set(train_steps "${CMAKE_MATCH_1}")
+  string(REGEX MATCH "\"serving\\.requests\": ([0-9]+)" _ "${metrics_json}")
+  set(serving_requests "${CMAKE_MATCH_1}")
+  set(n_loss_points 1)
+endif()
+if(train_steps STREQUAL "" OR train_steps EQUAL 0)
+  message(FATAL_ERROR "metrics JSON has no nonzero train.steps counter:\n${metrics_json}")
+endif()
+if(serving_requests STREQUAL "" OR serving_requests EQUAL 0)
+  message(FATAL_ERROR "metrics JSON has no nonzero serving.requests counter:\n${metrics_json}")
+endif()
+if(n_loss_points EQUAL 0)
+  message(FATAL_ERROR "metrics JSON has an empty train.epoch_loss series:\n${metrics_json}")
+endif()
+message(STATUS "metrics json ok: train.steps=${train_steps} "
+        "serving.requests=${serving_requests}")
+
 execute_process(
   COMMAND "${RETINA_CLI}" eval --data "${WORK_DIR}/world"
           --model "${WORK_DIR}/model"
+          "--metrics-out=${WORK_DIR}/eval_metrics.json"
   RESULT_VARIABLE rc OUTPUT_VARIABLE eval_out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "eval failed (${rc}):\n${eval_out}\n${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/eval_metrics.json")
+  message(FATAL_ERROR "eval did not write eval_metrics.json:\n${eval_out}")
+endif()
+file(READ "${WORK_DIR}/eval_metrics.json" eval_metrics_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON eval_requests ERROR_VARIABLE json_err
+         GET "${eval_metrics_json}" counters serving.requests)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "eval metrics JSON unparseable: ${json_err}")
+  endif()
+  if(eval_requests STREQUAL "" OR eval_requests EQUAL 0)
+    message(FATAL_ERROR "eval metrics JSON has no nonzero serving.requests")
+  endif()
 endif()
 
 # "macro-F1 ... HITS@20 x.yyy" appears in both outputs; the loaded model

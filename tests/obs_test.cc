@@ -1,0 +1,554 @@
+// Tests for retina::obs: counter sharding under ParallelFor, histogram
+// bucket boundaries and quantile extraction, span nesting and self-time
+// attribution, JSON export round-trip through a real parser, the runtime
+// kill switch, and the determinism pin — obs-enabled and obs-disabled runs
+// of the same train + serve workload produce bit-identical outputs.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/obs.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/retina.h"
+#include "core/scoring_engine.h"
+#include "datagen/world.h"
+
+namespace retina {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::Registry;
+using obs::ScopeStats;
+using obs::Series;
+using obs::Span;
+
+// Every test leaves obs enabled (the process default) so ordering between
+// tests cannot leak a disabled switch.
+class ObsEnabledGuard {
+ public:
+  ObsEnabledGuard() { obs::SetEnabled(true); }
+  ~ObsEnabledGuard() { obs::SetEnabled(true); }
+};
+
+// ------------------------------------------------------------- Counters --
+
+TEST(CounterTest, AddAndGet) {
+  ObsEnabledGuard guard;
+  Counter c;
+  EXPECT_EQ(c.Get(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.Get(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Get(), 0u);
+}
+
+TEST(CounterTest, ExactUnderParallelFor) {
+  ObsEnabledGuard guard;
+  Counter c;
+  constexpr size_t kIters = 20000;
+  par::ParallelFor(kIters, 1, [&](size_t) { c.Add(1); });
+  EXPECT_EQ(c.Get(), kIters);
+  // Weighted adds shard the same way.
+  par::ParallelFor(kIters, 1, [&](size_t i) { c.Add(i % 3); });
+  uint64_t expect = kIters;
+  for (size_t i = 0; i < kIters; ++i) expect += i % 3;
+  EXPECT_EQ(c.Get(), expect);
+}
+
+TEST(CounterTest, DisabledAddsNothing) {
+  ObsEnabledGuard guard;
+  Counter c;
+  obs::SetEnabled(false);
+  c.Add(100);
+  obs::SetEnabled(true);
+  EXPECT_EQ(c.Get(), 0u);
+  c.Add(1);
+  EXPECT_EQ(c.Get(), 1u);
+}
+
+// --------------------------------------------------------------- Gauges --
+
+TEST(GaugeTest, SetAndUpdateMax) {
+  ObsEnabledGuard guard;
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Get(), 7);
+  g.UpdateMax(3);  // lower: no change
+  EXPECT_EQ(g.Get(), 7);
+  g.UpdateMax(19);
+  EXPECT_EQ(g.Get(), 19);
+  obs::SetEnabled(false);
+  g.Set(1000);
+  obs::SetEnabled(true);
+  EXPECT_EQ(g.Get(), 19);
+}
+
+// ----------------------------------------------------------- Histograms --
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds {0}; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+
+  for (size_t b = 1; b + 1 < Histogram::kBuckets; ++b) {
+    const uint64_t lo = Histogram::BucketLowerBound(b);
+    const uint64_t hi = Histogram::BucketUpperBound(b);
+    EXPECT_EQ(lo, uint64_t{1} << (b - 1));
+    EXPECT_EQ(hi, (uint64_t{1} << b) - 1);
+    EXPECT_EQ(Histogram::BucketIndex(lo), b);
+    EXPECT_EQ(Histogram::BucketIndex(hi), b);
+  }
+  // The top bucket absorbs everything representable.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBuckets - 1),
+            ~uint64_t{0});
+}
+
+TEST(HistogramTest, CountsSumAndBuckets) {
+  ObsEnabledGuard guard;
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(5);
+  h.Record(1000);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_EQ(h.Sum(), 1011u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1011.0 / 5.0);
+  EXPECT_EQ(h.BucketCount(0), 1u);  // {0}
+  EXPECT_EQ(h.BucketCount(1), 1u);  // {1}
+  EXPECT_EQ(h.BucketCount(3), 2u);  // [4, 7]
+  EXPECT_EQ(h.BucketCount(10), 1u);  // [512, 1023]
+}
+
+TEST(HistogramTest, QuantilesResolveToBucketUpperBound) {
+  ObsEnabledGuard guard;
+  Histogram h;
+  // 90 samples in [8, 15] (bucket 4), 10 samples in [512, 1023] (bucket 10).
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  EXPECT_EQ(h.Quantile(0.0), 15u);
+  EXPECT_EQ(h.Quantile(0.5), 15u);
+  EXPECT_EQ(h.Quantile(0.9), 15u);
+  EXPECT_EQ(h.Quantile(0.95), 1023u);
+  EXPECT_EQ(h.Quantile(0.99), 1023u);
+  EXPECT_EQ(h.Quantile(1.0), 1023u);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZeroAndDisabledRecordsNothing) {
+  ObsEnabledGuard guard;
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  obs::SetEnabled(false);
+  h.Record(123);
+  obs::SetEnabled(true);
+  EXPECT_EQ(h.Count(), 0u);
+}
+
+TEST(HistogramTest, ExactUnderParallelFor) {
+  ObsEnabledGuard guard;
+  Histogram h;
+  constexpr size_t kIters = 10000;
+  par::ParallelFor(kIters, 1, [&](size_t i) { h.Record(i); });
+  EXPECT_EQ(h.Count(), kIters);
+  EXPECT_EQ(h.Sum(), kIters * (kIters - 1) / 2);
+}
+
+// ---------------------------------------------------------------- Spans --
+
+TEST(SpanTest, NestingAttributesChildTimeToParentTotalOnly) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  ScopeStats* outer = reg.GetScope("obs_test.outer");
+  ScopeStats* inner = reg.GetScope("obs_test.inner");
+  outer->Reset();
+  inner->Reset();
+  {
+    Span outer_span(outer);
+    {
+      Span inner_span(inner);
+      volatile double sink = 0.0;
+      for (int i = 0; i < 10000; ++i) sink = sink + std::sqrt(i);
+    }
+  }
+  EXPECT_EQ(outer->count.load(), 1u);
+  EXPECT_EQ(inner->count.load(), 1u);
+  const uint64_t outer_total = outer->total_ns.load();
+  const uint64_t outer_self = outer->self_ns.load();
+  const uint64_t inner_total = inner->total_ns.load();
+  EXPECT_EQ(inner->self_ns.load(), inner_total);  // leaf: self == total
+  EXPECT_GE(outer_total, inner_total);
+  // Same-thread nesting: the child's elapsed time is subtracted from the
+  // parent's self time exactly.
+  EXPECT_EQ(outer_self, outer_total - inner_total);
+}
+
+TEST(SpanTest, SiblingSpansBothSubtractFromParent) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  ScopeStats* outer = reg.GetScope("obs_test.outer2");
+  ScopeStats* child = reg.GetScope("obs_test.child2");
+  outer->Reset();
+  child->Reset();
+  {
+    Span outer_span(outer);
+    for (int k = 0; k < 3; ++k) {
+      Span child_span(child);
+    }
+  }
+  EXPECT_EQ(child->count.load(), 3u);
+  EXPECT_EQ(outer->self_ns.load(),
+            outer->total_ns.load() - child->total_ns.load());
+}
+
+TEST(SpanTest, DisabledSpanRecordsNothing) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  ScopeStats* scope = reg.GetScope("obs_test.disabled");
+  scope->Reset();
+  obs::SetEnabled(false);
+  {
+    Span span(scope);
+  }
+  obs::SetEnabled(true);
+  EXPECT_EQ(scope->count.load(), 0u);
+  EXPECT_EQ(scope->total_ns.load(), 0u);
+}
+
+TEST(SpanTest, PerChunkSpansUnderParallelForNestPerThread) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  ScopeStats* scope = reg.GetScope("obs_test.chunk");
+  scope->Reset();
+  par::ParallelForChunks(1000, 10, [&](const par::ChunkRange& chunk) {
+    Span span(scope);
+    volatile size_t sink = 0;
+    for (size_t i = chunk.begin; i < chunk.end; ++i) sink = sink + i;
+  });
+  EXPECT_EQ(scope->count.load(), par::MakeChunks(1000, 10).size());
+  EXPECT_EQ(scope->self_ns.load(), scope->total_ns.load());
+}
+
+// --------------------------------------------------------------- Series --
+
+TEST(SeriesTest, AppendsInOrderAndHonorsKillSwitch) {
+  ObsEnabledGuard guard;
+  Series s;
+  s.Append(1.5);
+  s.Append(-2.25);
+  obs::SetEnabled(false);
+  s.Append(99.0);
+  obs::SetEnabled(true);
+  const std::vector<double> values = s.Values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 1.5);
+  EXPECT_EQ(values[1], -2.25);
+  s.Reset();
+  EXPECT_EQ(s.Size(), 0u);
+}
+
+// ---------------------------------------------------- JSON export/parse --
+
+// Minimal recursive-descent JSON parser — enough to round-trip the
+// registry export and fail loudly on malformed output.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_TRUE(it != object.end()) << "missing key: " << key;
+    static const JsonValue kEmpty;
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipWs();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        c = text_[pos_++];
+        if (c == 'u') {
+          pos_ += 4;
+          c = '?';
+        }
+      }
+      out->push_back(c);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipWs();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!ParseString(&key) || !Consume(':')) return false;
+        if (!ParseValue(&out->object[key])) return false;
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipWs();
+      if (Consume(']')) return true;
+      for (;;) {
+        out->array.emplace_back();
+        if (!ParseValue(&out->array.back())) return false;
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out->kind = JsonValue::kNumber;
+    out->num = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(RegistryTest, JsonExportRoundTrips) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  reg.GetCounter("obs_test.json_counter")->Reset();
+  reg.GetCounter("obs_test.json_counter")->Add(42);
+  reg.GetGauge("obs_test.json_gauge")->Set(-7);
+  Histogram* h = reg.GetHistogram("obs_test.json_hist");
+  h->Reset();
+  h->Record(3);
+  h->Record(300);
+  Series* s = reg.GetSeries("obs_test.json_series");
+  s->Reset();
+  s->Append(0.125);
+  s->Append(1e-9);
+
+  const std::string json = reg.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+
+  EXPECT_EQ(root.at("enabled").b, true);
+  EXPECT_EQ(root.at("counters").at("obs_test.json_counter").num, 42.0);
+  EXPECT_EQ(root.at("gauges").at("obs_test.json_gauge").num, -7.0);
+
+  const JsonValue& hist = root.at("histograms").at("obs_test.json_hist");
+  EXPECT_EQ(hist.at("count").num, 2.0);
+  EXPECT_EQ(hist.at("sum").num, 303.0);
+  ASSERT_EQ(hist.at("buckets").array.size(), 2u);  // two non-empty buckets
+  EXPECT_EQ(hist.at("buckets").array[0].array[0].num, 2.0);    // lo of [2,3]
+  EXPECT_EQ(hist.at("buckets").array[1].array[0].num, 256.0);  // lo of 300
+
+  const JsonValue& series = root.at("series").at("obs_test.json_series");
+  ASSERT_EQ(series.array.size(), 2u);
+  // %.17g preserves doubles exactly through the round-trip.
+  EXPECT_EQ(series.array[0].num, 0.125);
+  EXPECT_EQ(series.array[1].num, 1e-9);
+
+  EXPECT_EQ(root.at("scopes").kind, JsonValue::kObject);
+}
+
+TEST(RegistryTest, PointersAreStableAndSummaryRenders) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  Counter* c1 = reg.GetCounter("obs_test.stable");
+  Counter* c2 = reg.GetCounter("obs_test.stable");
+  EXPECT_EQ(c1, c2);
+  c1->Add(5);
+  const std::string table = reg.SummaryTable();
+  EXPECT_NE(table.find("obs_test.stable"), std::string::npos);
+}
+
+// ------------------------------------------------- Determinism pinning --
+
+// Small synthetic retweet task, same shape the parallel bench uses.
+core::RetweetTask MakeTask(size_t n_tweets, size_t cands_per_tweet,
+                           uint64_t seed) {
+  core::RetweetTask task;
+  task.user_dim = 12;
+  task.content_dim = 8;
+  task.embed_dim = 8;
+  task.interval_edges = {0.0, 1.0, 8.0, 24.0};
+  Rng rng(seed);
+  const size_t n_intervals = task.NumIntervals();
+  for (size_t t = 0; t < n_tweets; ++t) {
+    core::TweetContext ctx;
+    ctx.tweet_id = t;
+    ctx.content = Vec(task.content_dim);
+    for (double& v : ctx.content) v = rng.Normal();
+    ctx.embedding = Vec(task.embed_dim);
+    for (double& v : ctx.embedding) v = rng.Normal();
+    ctx.news_window = Matrix(6, task.embed_dim);
+    for (double& v : ctx.news_window.data()) v = rng.Normal();
+    task.tweets.push_back(std::move(ctx));
+    for (size_t k = 0; k < cands_per_tweet; ++k) {
+      core::RetweetCandidate cand;
+      cand.tweet_pos = t;
+      cand.user = static_cast<datagen::NodeId>(k);
+      cand.label = (k % 3 == 0) ? 1 : 0;
+      cand.interval_labels.assign(n_intervals, 0);
+      if (cand.label == 1) cand.interval_labels[k % n_intervals] = 1;
+      cand.user_features = Vec(task.user_dim);
+      for (double& v : cand.user_features) v = rng.Normal();
+      task.train.push_back(std::move(cand));
+    }
+  }
+  task.test = task.train;
+  return task;
+}
+
+// The core contract: observability is an observer. Training with obs
+// enabled and disabled must produce bit-identical loss trajectories and
+// bit-identical candidate scores.
+TEST(ObsDeterminismTest, TrainAndEvalBitIdenticalWithObsOnAndOff) {
+  ObsEnabledGuard guard;
+  const core::RetweetTask task = MakeTask(4, 9, 123);
+
+  auto run = [&](bool enabled) {
+    obs::SetEnabled(enabled);
+    core::RetinaOptions opts;
+    opts.hidden = 8;
+    opts.epochs = 2;
+    opts.seed = 11;
+    auto model = std::make_unique<core::Retina>(
+        task.user_dim, task.content_dim, task.embed_dim, task.NumIntervals(),
+        opts);
+    EXPECT_TRUE(model->Train(task).ok());
+    return model;
+  };
+
+  const auto model_on = run(true);
+  const auto model_off = run(false);
+  obs::SetEnabled(true);
+
+  ASSERT_EQ(model_on->epoch_losses().size(), 2u);
+  ASSERT_EQ(model_on->epoch_losses().size(), model_off->epoch_losses().size());
+  for (size_t e = 0; e < model_on->epoch_losses().size(); ++e) {
+    EXPECT_EQ(model_on->epoch_losses()[e], model_off->epoch_losses()[e])
+        << "epoch " << e << " loss diverged between obs on/off";
+  }
+
+  const Vec scores_on = model_on->ScoreCandidates(task, task.test);
+  const Vec scores_off = model_off->ScoreCandidates(task, task.test);
+  ASSERT_EQ(scores_on.size(), scores_off.size());
+  for (size_t i = 0; i < scores_on.size(); ++i) {
+    EXPECT_EQ(scores_on[i], scores_off[i]) << "score " << i << " diverged";
+  }
+}
+
+TEST(ObsDeterminismTest, WorldGenerationBitIdenticalWithObsOnAndOff) {
+  ObsEnabledGuard guard;
+  datagen::WorldConfig config;
+  config.scale = 0.01;
+  config.num_users = 120;
+  config.history_length = 6;
+  config.news_per_day = 10.0;
+
+  obs::SetEnabled(true);
+  const auto world_on = datagen::SyntheticWorld::Generate(config, 31);
+  obs::SetEnabled(false);
+  const auto world_off = datagen::SyntheticWorld::Generate(config, 31);
+  obs::SetEnabled(true);
+
+  ASSERT_EQ(world_on.tweets().size(), world_off.tweets().size());
+  for (size_t i = 0; i < world_on.tweets().size(); ++i) {
+    EXPECT_EQ(world_on.tweets()[i].time, world_off.tweets()[i].time);
+    EXPECT_EQ(world_on.tweets()[i].author, world_off.tweets()[i].author);
+    ASSERT_EQ(world_on.cascades()[i].retweets.size(),
+              world_off.cascades()[i].retweets.size());
+    for (size_t r = 0; r < world_on.cascades()[i].retweets.size(); ++r) {
+      EXPECT_EQ(world_on.cascades()[i].retweets[r].time,
+                world_off.cascades()[i].retweets[r].time);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retina

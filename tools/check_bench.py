@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Reads the BENCH_*.json files emitted by bench_serving / bench_parallel
+(both support --smoke for CI-sized runs) and fails the build when the
+speedup ratios that justify the serving and parallelism layers regress
+below checked-in floors (tools/bench_floors.json).
+
+Ratios, not absolute times, are gated: candidates/sec varies wildly
+across runner hardware, but "batched scoring beats per-candidate
+scoring" and "the warm feature cache beats the cold path" are
+hardware-independent claims — if either ratio collapses, someone broke
+the batching or caching layer, not the runner.
+
+Hardware escape hatch: each BENCH file records hardware_concurrency.
+Parallel speedup-vs-threads floors only apply to thread counts the
+machine can actually run concurrently; on an N-core runner, legs with
+more than N threads are held to a loose "oversubscription must not be
+catastrophic" floor instead of a scaling floor. Set RETINA_BENCH_GATE=warn
+to report violations without failing (for quarantining a flaky runner).
+
+Usage:
+  check_bench.py [--floors tools/bench_floors.json]
+                 [--serving BENCH_serving.json]
+                 [--parallel BENCH_parallel.json]
+
+At least one of --serving / --parallel must point at an existing file.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: cannot read {what} from {path}: {e}")
+        sys.exit(2)
+
+
+def check_serving(bench, floors, violations):
+    """Batched and warm-cache speedups vs per-candidate scoring."""
+    modes = bench.get("modes", {})
+    pool_sizes = bench.get("pool_sizes", [])
+    checks = [
+        ("batched", floors["batched_min_speedup"]),
+        ("batched_cached", floors["batched_cached_min_speedup"]),
+    ]
+    for mode, floor in checks:
+        speedups = modes.get(mode, {}).get("speedup_vs_per_candidate")
+        if not speedups:
+            violations.append(f"serving: mode '{mode}' missing from bench output")
+            continue
+        # Gate the best pool size: small pools can legitimately sit near 1x,
+        # but if even the best configuration is below floor, the layer broke.
+        best = max(speedups)
+        tag = ", ".join(
+            f"pool={p}: {s:g}x" for p, s in zip(pool_sizes, speedups)
+        )
+        line = f"serving {mode:>16}: best {best:g}x (floor {floor:g}x) [{tag}]"
+        if best < floor:
+            violations.append(line)
+        else:
+            print(f"  ok   {line}")
+
+
+def check_parallel(bench, floors, violations):
+    """Speedup-vs-1-thread per workload, gated on real core count."""
+    hw = int(bench.get("hardware_concurrency", 0))
+    thread_counts = bench.get("thread_counts", [])
+    scaling_floor = floors["min_speedup_per_thread_count"]
+    oversub_floor = floors["oversubscribed_min_speedup"]
+    if hw <= 1:
+        print(
+            f"  skip parallel scaling floors: hardware_concurrency={hw} "
+            "(single-core runner cannot demonstrate scaling); "
+            f"applying only the oversubscription floor {oversub_floor:g}x"
+        )
+    for name, wl in bench.get("workloads", {}).items():
+        speedups = wl.get("speedup_vs_1", [])
+        for threads, s in zip(thread_counts, speedups):
+            if threads <= 1:
+                continue
+            if hw > 1 and threads <= hw:
+                floor, kind = scaling_floor, "scaling"
+            else:
+                # More threads than cores (or an unknown/1-core machine):
+                # scaling is physically impossible, only demand that
+                # oversubscription doesn't collapse into lock convoy.
+                floor, kind = oversub_floor, "oversubscribed"
+            line = (
+                f"parallel {name}: {s:g}x at {threads} threads "
+                f"({kind} floor {floor:g}x, {hw} cores)"
+            )
+            if s < floor:
+                violations.append(line)
+            else:
+                print(f"  ok   {line}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--floors", default="tools/bench_floors.json")
+    ap.add_argument("--serving", default="BENCH_serving.json")
+    ap.add_argument("--parallel", default="BENCH_parallel.json")
+    args = ap.parse_args()
+
+    floors = load_json(args.floors, "floors")
+    violations = []
+    checked_any = False
+
+    if os.path.exists(args.serving):
+        print(f"checking {args.serving}")
+        check_serving(load_json(args.serving, "serving bench"),
+                      floors["serving"], violations)
+        checked_any = True
+    if os.path.exists(args.parallel):
+        print(f"checking {args.parallel}")
+        check_parallel(load_json(args.parallel, "parallel bench"),
+                       floors["parallel"], violations)
+        checked_any = True
+
+    if not checked_any:
+        print("FAIL: neither bench output file exists "
+              f"({args.serving}, {args.parallel})")
+        return 2
+
+    if violations:
+        print()
+        for v in violations:
+            print(f"  FAIL {v}")
+        if os.environ.get("RETINA_BENCH_GATE") == "warn":
+            print("\nRETINA_BENCH_GATE=warn: reporting only, not failing.")
+            return 0
+        print("\nbench regression gate FAILED "
+              "(set RETINA_BENCH_GATE=warn to quarantine a flaky runner)")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

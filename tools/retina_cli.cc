@@ -26,6 +26,7 @@
 #include <memory>
 #include <string>
 
+#include "common/obs.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/table.h"
@@ -51,6 +52,7 @@ struct Args {
   std::string out;
   std::string save_model;
   std::string model;
+  std::string metrics_out;
   double scale = 0.1;
   size_t users = 2500;
   uint64_t seed = 7;
@@ -69,7 +71,10 @@ int Usage() {
       "  train-hategen --data DIR [--seed N]\n"
       "  train-retweet --data DIR [--dynamic] [--no-exo] [--seed N]"
       " [--save-model DIR]\n"
-      "  eval          --data DIR --model DIR\n");
+      "  eval          --data DIR --model DIR\n"
+      "every command also accepts --metrics-out=FILE: dump the run's\n"
+      "observability registry (counters, latency histograms, trace spans,\n"
+      "training series) as JSON to FILE and print a summary table\n");
   return 2;
 }
 
@@ -109,6 +114,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->model = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->metrics_out = v;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      args->metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg == "--dynamic") {
       args->dynamic = true;
     } else if (arg == "--no-exo") {
@@ -371,11 +382,28 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
-}  // namespace
+// End-of-run observability dump: the full registry as JSON to
+// `--metrics-out`, plus a human-readable summary table on stdout. Runs
+// after the command so the registry holds the whole run (generation,
+// training epochs, serving requests, pool activity).
+int DumpMetrics(const Args& args) {
+  if (args.metrics_out.empty()) return 0;
+  obs::Registry& reg = obs::Registry::Global();
+  const std::string json = reg.ToJson();
+  FILE* f = std::fopen(args.metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.metrics_out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  const std::string table = reg.SummaryTable();
+  if (!table.empty()) std::printf("\n%s", table.c_str());
+  std::printf("metrics written to %s\n", args.metrics_out.c_str());
+  return 0;
+}
 
-int main(int argc, char** argv) {
-  Args args;
-  if (!ParseArgs(argc, argv, &args)) return Usage();
+int RunCommand(const Args& args) {
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "stats") return CmdStats(args);
   if (args.command == "annotate") return CmdAnnotate(args);
@@ -383,4 +411,14 @@ int main(int argc, char** argv) {
   if (args.command == "train-retweet") return CmdTrainRetweet(args);
   if (args.command == "eval") return CmdEval(args);
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  const int rc = RunCommand(args);
+  if (rc != 0) return rc;
+  return DumpMetrics(args);
 }
