@@ -1,11 +1,21 @@
 #include "common/logging.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "common/trace.h"
 
 namespace retina {
 
 namespace {
 LogLevel g_level = LogLevel::kInfo;
+
+bool JsonFromEnv() {
+  const char* env = std::getenv("RETINA_LOG_JSON");
+  return env != nullptr && std::string(env) == "1";
+}
+
+bool g_json = JsonFromEnv();
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,22 +30,68 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+bool ParseLogLevel(const std::string& name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warn" || name == "warning") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetJsonLogging(bool enabled) { g_json = enabled; }
+bool JsonLogging() { return g_json; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < static_cast<int>(g_level)) return;
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  if (g_json) {
+    // One self-contained JSON object per line; trace_id joins the line
+    // against the exported timeline trace of the active request/run.
+    std::fprintf(stderr,
+                 "{\"level\":\"%s\",\"file\":\"%s\",\"line\":%d,"
+                 "\"trace_id\":%llu,\"msg\":\"%s\"}\n",
+                 LevelName(level_), JsonEscape(file_).c_str(), line_,
+                 static_cast<unsigned long long>(obs::CurrentTraceId()),
+                 JsonEscape(stream_.str()).c_str());
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level_), file_, line_,
+               stream_.str().c_str());
 }
 
 }  // namespace internal

@@ -1,5 +1,13 @@
 // Minimal leveled logging to stderr. Benches lower the level to keep their
 // stdout a clean reproduction of the paper's tables.
+//
+// Two sink formats:
+//   - text (default):  [LEVEL file:line] message
+//   - structured JSONL (RETINA_LOG_JSON=1 in the environment, or
+//     SetJsonLogging(true)): one JSON object per line with level, file,
+//     line, the current timeline trace id (0 when no trace session /
+//     request is active — see common/trace.h), and the message. Lets a log
+//     pipeline join log lines against the exported trace by trace_id.
 
 #ifndef RETINA_COMMON_LOGGING_H_
 #define RETINA_COMMON_LOGGING_H_
@@ -17,6 +25,17 @@ void SetLogLevel(LogLevel level);
 /// Current global minimum level.
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warn" / "warning" / "error" (case-sensitive)
+/// into *level. Returns false on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* level);
+
+/// Switches the sink between text (false) and JSONL (true). The initial
+/// value honors RETINA_LOG_JSON=1 at process start.
+void SetJsonLogging(bool enabled);
+
+/// True when the JSONL sink is active.
+bool JsonLogging();
+
 namespace internal {
 
 /// Stream-style log sink; emits on destruction if `level` passes the filter.
@@ -33,6 +52,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <sstream>
 
 #include "common/table.h"
+#include "common/trace.h"
 
 namespace retina::obs {
 
@@ -110,10 +112,16 @@ namespace {
 thread_local Span* t_current_span = nullptr;
 }  // namespace
 
-Span::Span(ScopeStats* scope) : scope_(Enabled() ? scope : nullptr) {
+Span::Span(ScopeStats* scope, const char* name)
+    : scope_(Enabled() ? scope : nullptr) {
   if (scope_ == nullptr) return;
   parent_ = t_current_span;
   t_current_span = this;
+  if (name != nullptr && TraceEnabled()) {
+    trace_name_ = name;
+    trace_span_id_ = internal::TraceBeginSpan(name, &trace_saved_trace_id_,
+                                              &trace_saved_span_id_);
+  }
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -131,6 +139,10 @@ Span::~Span() {
   scope_->count.fetch_add(1, std::memory_order_relaxed);
   t_current_span = parent_;
   if (parent_ != nullptr) parent_->child_ns_ += elapsed;
+  if (trace_span_id_ != 0) {
+    internal::TraceEndSpan(trace_name_, trace_span_id_, trace_saved_trace_id_,
+                           trace_saved_span_id_);
+  }
 }
 
 // ---- Registry --------------------------------------------------------------
@@ -179,6 +191,34 @@ Series* Registry::GetSeries(const std::string& name) {
 }
 ScopeStats* Registry::GetScope(const std::string& name) {
   return GetOrCreate(&impl().scopes, &impl().mu, name);
+}
+
+namespace {
+
+// Peak resident set size in bytes, from /proc/self/status VmHWM. Returns 0
+// when the file or the field is unavailable (non-Linux).
+int64_t PeakRssBytes() {
+  int64_t bytes = 0;
+#ifdef __linux__
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      // "VmHWM:   123456 kB"
+      bytes = static_cast<int64_t>(std::atoll(line + 6)) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+#endif
+  return bytes;
+}
+
+}  // namespace
+
+void Registry::SampleProcessGauges() {
+  GetGauge("process.peak_rss_bytes")->Set(PeakRssBytes());
 }
 
 void Registry::Reset() {

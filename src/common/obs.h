@@ -189,9 +189,14 @@ struct ScopeStats {
 /// and, on the same thread, subtracts it from the parent span's self time.
 /// Spans on different pool workers nest per thread (each worker keeps its
 /// own span stack), so per-chunk spans under ParallelFor are safe.
+///
+/// When a `name` is supplied (RETINA_OBS_SPAN always does) and a timeline
+/// trace session is active (common/trace.h), the span additionally emits
+/// begin/end events under the thread's current trace context. `name` must
+/// outlive the trace session — string literals qualify.
 class Span {
  public:
-  explicit Span(ScopeStats* scope);
+  explicit Span(ScopeStats* scope, const char* name = nullptr);
   ~Span();
 
   Span(const Span&) = delete;
@@ -202,6 +207,11 @@ class Span {
   std::chrono::steady_clock::time_point start_;
   uint64_t child_ns_ = 0;
   Span* parent_ = nullptr;
+  // Timeline-trace state; zero/null unless tracing was on at construction.
+  const char* trace_name_ = nullptr;
+  uint64_t trace_span_id_ = 0;
+  uint64_t trace_saved_trace_id_ = 0;
+  uint64_t trace_saved_span_id_ = 0;
 };
 
 /// \brief Process-wide registry of named instruments. Get* registers on
@@ -219,6 +229,12 @@ class Registry {
 
   /// Zeroes every registered instrument (pointers remain valid).
   void Reset();
+
+  /// Samples process-level gauges into the registry — currently
+  /// `process.peak_rss_bytes` from /proc/self/status VmHWM (0 on
+  /// non-Linux). Meant to be called once at export time, right before
+  /// ToJson / SummaryTable.
+  void SampleProcessGauges();
 
   /// Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...},
   /// "series": {...}, "scopes": {...}} with histogram quantiles and
@@ -255,7 +271,7 @@ class Registry {
                                                       __LINE__) =        \
       ::retina::obs::Registry::Global().GetScope(name);                  \
   ::retina::obs::Span RETINA_OBS_CONCAT(retina_obs_span_, __LINE__)(     \
-      RETINA_OBS_CONCAT(retina_obs_scope_, __LINE__))
+      RETINA_OBS_CONCAT(retina_obs_scope_, __LINE__), name)
 #endif
 
 #endif  // RETINA_COMMON_OBS_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/obs.h"
+#include "common/trace.h"
 
 namespace retina::par {
 
@@ -66,6 +67,10 @@ void ParallelForChunks(size_t n, size_t grain,
   m.loops->Add(1);
   m.chunks->Add(chunks.size());
   const auto timed_body = [&](const ChunkRange& chunk) {
+    // Timeline event per chunk; the worker inherited the submitting
+    // thread's trace context from the pool, so the event nests under the
+    // span that issued this loop.
+    obs::TraceSpan trace_span("par.chunk");
     const auto start = std::chrono::steady_clock::now();
     body(chunk);
     m.chunk_ns->Record(static_cast<uint64_t>(

@@ -51,6 +51,12 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::DrainTasks() {
   t_in_parallel_region = true;
+  // Trace-context adoption: the first task this thread picks up installs
+  // the submitting thread's context so any event emitted inside the tasks
+  // (chunk spans, instants) nests under the submitting span. Restored on
+  // exit; a pure observer — task selection and execution are unchanged.
+  bool trace_ctx_adopted = false;
+  obs::TraceContext saved_trace_ctx;
   for (;;) {
     size_t task;
     const std::function<void(size_t)>* fn;
@@ -59,6 +65,11 @@ void ThreadPool::DrainTasks() {
       if (job_fn_ == nullptr || next_task_ >= job_size_) break;
       task = next_task_++;
       fn = job_fn_;
+      if (!trace_ctx_adopted && obs::TraceEnabled()) {
+        saved_trace_ctx = obs::CurrentTraceContext();
+        obs::SetCurrentTraceContext(job_trace_ctx_);
+        trace_ctx_adopted = true;
+      }
     }
     try {
       (*fn)(task);
@@ -74,6 +85,7 @@ void ThreadPool::DrainTasks() {
       if (--pending_tasks_ == 0) done_cv_.notify_all();
     }
   }
+  if (trace_ctx_adopted) obs::SetCurrentTraceContext(saved_trace_ctx);
   t_in_parallel_region = false;
 }
 
@@ -104,6 +116,10 @@ void ThreadPool::Run(size_t num_tasks,
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_fn_ = &fn;
+    // Capture the submitting thread's trace context for the workers; zeros
+    // when no trace session is active (one relaxed load on that path).
+    job_trace_ctx_ = obs::TraceEnabled() ? obs::CurrentTraceContext()
+                                         : obs::TraceContext{};
     job_size_ = num_tasks;
     next_task_ = 0;
     pending_tasks_ = num_tasks;

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace.h"
+
 namespace retina::par {
 
 /// \brief Fixed-size thread pool; workers live for the pool's lifetime.
@@ -58,6 +60,10 @@ class ThreadPool {
   std::condition_variable work_cv_;   // signals workers: job posted / stop
   std::condition_variable done_cv_;   // signals caller: job finished
   const std::function<void(size_t)>* job_fn_ = nullptr;
+  // Trace context of the submitting thread, captured at enqueue when a
+  // trace session is active so worker-side events nest under the
+  // submitting span (zeros otherwise). Guarded by mu_.
+  obs::TraceContext job_trace_ctx_;
   size_t job_size_ = 0;
   size_t next_task_ = 0;
   size_t pending_tasks_ = 0;

@@ -1,0 +1,327 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace retina::obs {
+
+namespace {
+
+struct TraceEvent {
+  enum class Kind : uint8_t { kBegin, kEnd, kInstant };
+
+  uint64_t ts_ns = 0;  ///< steady-clock nanoseconds since the session epoch
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  const char* name = nullptr;
+  Kind kind = Kind::kInstant;
+};
+
+// Single-writer bounded event buffer: the owning thread appends, the
+// exporter reads from a quiescent point (release store on size_ pairs with
+// the exporter's acquire load). On overflow new events are dropped and
+// counted — the instrumented thread never blocks and never reallocates.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity) : events_(capacity) {}
+
+  void Push(const TraceEvent& e) {
+    const size_t n = size_.load(std::memory_order_relaxed);
+    if (n >= events_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[n] = e;
+    size_.store(n + 1, std::memory_order_release);
+  }
+
+  // Exporter-side accessors; valid once the writer is quiescent.
+  size_t Size() const { return size_.load(std::memory_order_acquire); }
+  uint64_t Dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  const TraceEvent& At(size_t i) const { return events_[i]; }
+
+  // Reset for a new session; only safe while the owning thread is not
+  // emitting (StartTracing's quiescence requirement).
+  void Reset(size_t capacity) {
+    events_.assign(capacity, TraceEvent{});
+    size_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+std::mutex g_buffers_mu;
+// One buffer per thread that ever emitted, in first-emission order (the
+// index doubles as the exported tid). Leaked on purpose, like the
+// Registry: threads may outlive the session and re-emit next session.
+std::vector<TraceBuffer*>& Buffers() {
+  static std::vector<TraceBuffer*>* buffers = new std::vector<TraceBuffer*>();
+  return *buffers;
+}
+
+std::atomic<size_t> g_buffer_capacity{kDefaultTraceBufferCapacity};
+std::atomic<int64_t> g_epoch_ns{0};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_trace_id{1};
+
+thread_local TraceContext t_trace_ctx;
+
+TraceBuffer* ThreadBuffer() {
+  thread_local TraceBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    buffer = new TraceBuffer(g_buffer_capacity.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    Buffers().push_back(buffer);
+  }
+  return buffer;
+}
+
+uint64_t NowNs() {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now().time_since_epoch())
+                          .count();
+  const int64_t rel = now - g_epoch_ns.load(std::memory_order_relaxed);
+  return rel > 0 ? static_cast<uint64_t>(rel) : 0;
+}
+
+void Emit(TraceEvent::Kind kind, const char* name, uint64_t span_id,
+          uint64_t parent_span_id, uint64_t trace_id) {
+  if (!TraceEnabled()) return;  // a span may end after StopTracing
+  TraceEvent e;
+  e.ts_ns = NowNs();
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_span_id = parent_span_id;
+  e.name = name;
+  e.kind = kind;
+  ThreadBuffer()->Push(e);
+}
+
+size_t CapacityFromEnv() {
+  if (const char* env = std::getenv("RETINA_TRACE_BUFFER")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  return kDefaultTraceBufferCapacity;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_trace_enabled{false};
+
+uint64_t TraceBeginSpan(const char* name, uint64_t* saved_trace_id,
+                        uint64_t* saved_span_id) {
+  TraceContext& ctx = t_trace_ctx;
+  *saved_trace_id = ctx.trace_id;
+  *saved_span_id = ctx.span_id;
+  const uint64_t id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  Emit(TraceEvent::Kind::kBegin, name, id, ctx.span_id, ctx.trace_id);
+  ctx.span_id = id;
+  return id;
+}
+
+void TraceEndSpan(const char* name, uint64_t span_id, uint64_t saved_trace_id,
+                  uint64_t saved_span_id) {
+  TraceContext& ctx = t_trace_ctx;
+  Emit(TraceEvent::Kind::kEnd, name, span_id, saved_span_id, ctx.trace_id);
+  ctx.trace_id = saved_trace_id;
+  ctx.span_id = saved_span_id;
+}
+
+}  // namespace internal
+
+void StartTracing(size_t buffer_capacity) {
+  if constexpr (!kCompiledIn) return;
+  const size_t cap =
+      buffer_capacity == 0 ? CapacityFromEnv() : buffer_capacity;
+  g_buffer_capacity.store(cap, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    for (TraceBuffer* b : Buffers()) b->Reset(cap);
+  }
+  g_next_span_id.store(1, std::memory_order_relaxed);
+  g_next_trace_id.store(1, std::memory_order_relaxed);
+  g_epoch_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count(),
+                   std::memory_order_relaxed);
+  internal::g_trace_enabled.store(true, std::memory_order_release);
+  RETINA_LOG(Debug) << "tracing started, buffer capacity " << cap
+                    << " events/thread";
+}
+
+void StopTracing() {
+  if constexpr (!kCompiledIn) return;
+  internal::g_trace_enabled.store(false, std::memory_order_release);
+  const uint64_t dropped = TraceDroppedEvents();
+  if (dropped > 0) {
+    RETINA_LOG(Warning)
+        << "trace buffers overflowed: " << dropped
+        << " events dropped; raise RETINA_TRACE_BUFFER for full timelines";
+  }
+}
+
+uint64_t TraceDroppedEvents() {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  uint64_t total = 0;
+  for (const TraceBuffer* b : Buffers()) total += b->Dropped();
+  return total;
+}
+
+size_t TraceBufferedEvents() {
+  std::lock_guard<std::mutex> lock(g_buffers_mu);
+  size_t total = 0;
+  for (const TraceBuffer* b : Buffers()) total += b->Size();
+  return total;
+}
+
+TraceContext CurrentTraceContext() {
+  if constexpr (!kCompiledIn) return {};
+  return t_trace_ctx;
+}
+
+void SetCurrentTraceContext(const TraceContext& ctx) {
+  if constexpr (!kCompiledIn) return;
+  t_trace_ctx = ctx;
+}
+
+uint64_t CurrentTraceId() {
+  if constexpr (!kCompiledIn) return 0;
+  return t_trace_ctx.trace_id;
+}
+
+uint64_t MintTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceInstant(const char* name) {
+  if (!TraceEnabled()) return;
+  const TraceContext& ctx = t_trace_ctx;
+  Emit(TraceEvent::Kind::kInstant, name, 0, ctx.span_id, ctx.trace_id);
+}
+
+namespace {
+
+void AppendMicros(std::ostringstream& os, uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  os << buf;
+}
+
+void AppendEscaped(std::ostringstream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') os << '\\';
+    os << *s;
+  }
+}
+
+void AppendArgs(std::ostringstream& os, const TraceEvent& e) {
+  os << "\"args\":{\"trace_id\":" << e.trace_id
+     << ",\"span_id\":" << e.span_id
+     << ",\"parent_span_id\":" << e.parent_span_id << "}";
+}
+
+void AppendComplete(std::ostringstream& os, bool* first,
+                    const TraceEvent& begin, uint64_t end_ns, size_t tid) {
+  os << (*first ? "\n" : ",\n") << "    {\"name\":\"";
+  AppendEscaped(os, begin.name);
+  os << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+  AppendMicros(os, begin.ts_ns);
+  os << ",\"dur\":";
+  AppendMicros(os, end_ns >= begin.ts_ns ? end_ns - begin.ts_ns : 0);
+  os << ",";
+  AppendArgs(os, begin);
+  os << "}";
+  *first = false;
+}
+
+}  // namespace
+
+std::string TraceToChromeJson() {
+  std::vector<TraceBuffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(g_buffers_mu);
+    buffers = Buffers();
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"displayTimeUnit\": \"ns\",\n  \"traceEvents\": [";
+  bool first = true;
+  uint64_t dropped = 0;
+  size_t buffered = 0;
+  for (size_t tid = 0; tid < buffers.size(); ++tid) {
+    const TraceBuffer& buf = *buffers[tid];
+    const size_t n = buf.Size();
+    dropped += buf.Dropped();
+    buffered += n;
+    if (n == 0) continue;
+    os << (first ? "\n" : ",\n")
+       << "    {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"name\":\"thread-" << tid << "\"}}";
+    first = false;
+
+    // Begin/end pairs are properly nested per thread (RAII emission), so a
+    // stack pairs them into complete events; a begin whose end was dropped
+    // (full buffer) or never emitted (still open at export) falls through
+    // as a bare "B" event, which Perfetto renders as an unfinished slice.
+    std::vector<size_t> open;  // indices of unmatched begin events
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = buf.At(i);
+      switch (e.kind) {
+        case TraceEvent::Kind::kBegin:
+          open.push_back(i);
+          break;
+        case TraceEvent::Kind::kEnd: {
+          if (!open.empty() && buf.At(open.back()).span_id == e.span_id) {
+            AppendComplete(os, &first, buf.At(open.back()), e.ts_ns, tid);
+            open.pop_back();
+          }
+          break;
+        }
+        case TraceEvent::Kind::kInstant: {
+          os << (first ? "\n" : ",\n") << "    {\"name\":\"";
+          AppendEscaped(os, e.name);
+          os << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":" << tid
+             << ",\"ts\":";
+          AppendMicros(os, e.ts_ns);
+          os << ",";
+          AppendArgs(os, e);
+          os << "}";
+          first = false;
+          break;
+        }
+      }
+    }
+    for (const size_t i : open) {
+      const TraceEvent& e = buf.At(i);
+      os << (first ? "\n" : ",\n") << "    {\"name\":\"";
+      AppendEscaped(os, e.name);
+      os << "\",\"ph\":\"B\",\"pid\":1,\"tid\":" << tid << ",\"ts\":";
+      AppendMicros(os, e.ts_ns);
+      os << ",";
+      AppendArgs(os, e);
+      os << "}";
+      first = false;
+    }
+  }
+  os << (first ? "" : "\n  ") << "],\n  \"otherData\": {"
+     << "\"dropped_events\": " << dropped
+     << ", \"buffered_events\": " << buffered << ", \"buffer_capacity\": "
+     << g_buffer_capacity.load(std::memory_order_relaxed) << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace retina::obs

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/obs.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace retina::core {
 
@@ -344,7 +346,14 @@ Status Retina::Train(const RetweetTask& task) {
   // training state (the grad norm is computed from the already-accumulated
   // master gradients before Step zeroes them), so obs on/off runs are
   // bit-identical — obs_test pins this.
+  // The whole training run shares one trace id, so epoch spans and the
+  // per-chunk pool events of every ParallelFor below group under a single
+  // timeline trace (unless a caller already established one).
+  obs::TraceRequestScope trace_run;
   RETINA_OBS_SPAN("retina.train");
+  RETINA_LOG(Debug) << "training " << (options_.dynamic ? "RETINA-D" : "RETINA")
+                    << ": " << train.size() << " candidates, "
+                    << options_.epochs << " epochs";
   obs::Registry& reg = obs::Registry::Global();
   obs::Counter* step_counter = reg.GetCounter("train.steps");
   obs::Histogram* step_ns = reg.GetHistogram("train.step_ns");

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/logging.h"
+
+#include "common/trace.h"
+
 namespace retina::core {
 
 ScoringEngine::ObsHooks ScoringEngine::ObsHooks::Resolve() {
@@ -28,7 +32,12 @@ ScoringEngine::ScoringEngine(const Retina* model,
       options_(options),
       user_cache_(std::max<size_t>(1, options.user_cache_capacity)),
       tweet_cache_(std::max<size_t>(1, options.tweet_cache_capacity)),
-      hooks_(ObsHooks::Resolve()) {}
+      hooks_(ObsHooks::Resolve()) {
+  RETINA_LOG(Debug) << "scoring engine up: user_cache="
+                    << options_.user_cache_capacity
+                    << " tweet_cache=" << options_.tweet_cache_capacity
+                    << (options_.cache_features ? "" : " (caching off)");
+}
 
 Result<std::unique_ptr<ScoringEngine>> ScoringEngine::FromCheckpoint(
     const datagen::SyntheticWorld& world, const io::Checkpoint& ckpt,
@@ -82,15 +91,22 @@ const ScoringEngine::TweetEntry& ScoringEngine::GetTweetEntry(
   if (TweetEntry* hit = tweet_cache_.Get(tweet.id)) {
     ++stats_.tweet_hits;
     hooks_.tweet_hits->Add(1);
+    obs::TraceInstant("serving.tweet_cache.hit");
     return *hit;
   }
   ++stats_.tweet_misses;
   hooks_.tweet_misses->Add(1);
+  obs::TraceInstant("serving.tweet_cache.miss");
   return *tweet_cache_.Put(tweet.id, BuildTweetEntry(tweet));
 }
 
 Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
                               const std::vector<NodeId>& users) {
+  // Mint a per-request trace id (requests replayed inside ScoreCandidates
+  // inherit that batch's id instead), then open the request span under it
+  // so every event below — cache hits/misses, chunk work on pool threads —
+  // carries the request identity in the exported timeline.
+  obs::TraceRequestScope trace_request;
   RETINA_OBS_SPAN("serving.score_tweet");
   const bool obs_on = obs::Enabled();
   std::chrono::steady_clock::time_point request_start;
@@ -114,9 +130,11 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
       if (block != nullptr) {
         ++stats_.user_hits;
         ++batch_hits;
+        obs::TraceInstant("serving.user_cache.hit");
       } else {
         ++stats_.user_misses;
         ++batch_misses;
+        obs::TraceInstant("serving.user_cache.miss");
         block = user_cache_.Put(
             u, SparseVec::FromDense(extractor_->ComputeHistoryBlock(u)));
       }
@@ -165,6 +183,9 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
 Vec ScoringEngine::ScoreCandidates(
     const RetweetTask& task,
     const std::vector<RetweetCandidate>& candidates) {
+  // One trace id for the whole batch replay; the per-tweet ScoreTweet
+  // requests below nest under it rather than minting their own.
+  obs::TraceRequestScope trace_batch;
   const auto& tweets = extractor_->world().tweets();
   Vec scores(candidates.size());
   // Replay as one request per contiguous tweet run — the serving analogue

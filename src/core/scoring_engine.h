@@ -19,6 +19,12 @@
 //
 // Not thread-safe: one engine per serving thread. Parallelism lives below
 // the engine, inside the batched model forward.
+//
+// Observability: beyond the aggregate counters/histograms, every
+// ScoreTweet call opens a per-request timeline trace id (ScoreCandidates
+// opens one per batch that its requests inherit), and cache hit/miss
+// instants plus the model-forward chunk work carry that id in the
+// exported Chrome trace (see common/trace.h and --trace-out).
 
 #ifndef RETINA_CORE_SCORING_ENGINE_H_
 #define RETINA_CORE_SCORING_ENGINE_H_

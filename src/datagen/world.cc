@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/obs.h"
+#include "common/trace.h"
 #include "common/parallel.h"
 #include "graph/generators.h"
 
@@ -128,10 +129,11 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   // counters at the end feed the cascade/event throughput view. All of it
   // observes — the RNG draw sequence is exactly the uninstrumented one, so
   // worlds are bit-identical with obs on, off, or compiled out.
+  obs::TraceRequestScope trace_run;  // one timeline trace id per generation
   RETINA_OBS_SPAN("datagen.generate");
   obs::Registry& obs_reg = obs::Registry::Global();
   std::optional<obs::Span> phase_span;
-  phase_span.emplace(obs_reg.GetScope("datagen.users"));
+  phase_span.emplace(obs_reg.GetScope("datagen.users"), "datagen.users");
 
   SyntheticWorld world;
   world.config_ = config;
@@ -186,17 +188,17 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   }
 
   // ---- Follower network ---------------------------------------------------
-  phase_span.emplace(obs_reg.GetScope("datagen.network"));
+  phase_span.emplace(obs_reg.GetScope("datagen.network"), "datagen.network");
   world.network_ =
       graph::GenerateFollowerNetwork(interests, echo, config.network, &net_rng);
 
   // ---- News stream ---------------------------------------------------------
-  phase_span.emplace(obs_reg.GetScope("datagen.news"));
+  phase_span.emplace(obs_reg.GetScope("datagen.news"), "datagen.news");
   world.news_ = GenerateNews(config, vocab.topic_words, vocab.general_words,
                              &news_rng);
 
   // ---- Activity histories ---------------------------------------------------
-  phase_span.emplace(obs_reg.GetScope("datagen.histories"));
+  phase_span.emplace(obs_reg.GetScope("datagen.histories"), "datagen.histories");
   // Hashtags grouped per topic, for history hashtag choice.
   std::vector<std::vector<size_t>> tags_by_topic(n_topics);
   for (size_t h = 0; h < world.hashtags_.size(); ++h) {
@@ -245,7 +247,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   });
 
   // ---- Root tweets ----------------------------------------------------------
-  phase_span.emplace(obs_reg.GetScope("datagen.tweets"));
+  phase_span.emplace(obs_reg.GetScope("datagen.tweets"), "datagen.tweets");
   const size_t n_days = static_cast<size_t>(std::ceil(config.horizon_days));
   // Per-topic author-sampling CDFs: the base weight is interest^2 *
   // activity; the hater-conditioned CDF additionally weights by the
@@ -339,7 +341,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
   for (size_t i = 0; i < world.tweets_.size(); ++i) world.tweets_[i].id = i;
 
   // ---- Cascades ----------------------------------------------------------------
-  phase_span.emplace(obs_reg.GetScope("datagen.cascades"));
+  phase_span.emplace(obs_reg.GetScope("datagen.cascades"), "datagen.cascades");
   // Echo-community membership, for the organized-spreader channel.
   std::vector<std::vector<NodeId>> community_members(n_topics);
   for (size_t u = 0; u < n_users; ++u) {
@@ -457,7 +459,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
               });
   });
 
-  phase_span.emplace(obs_reg.GetScope("datagen.replies"));
+  phase_span.emplace(obs_reg.GetScope("datagen.replies"), "datagen.replies");
   // ---- Reply threads (Section IX-A extension) -----------------------------
   // Replies scale with the cascade's engagement; repliers are drawn from
   // the engaged audience (participants' followers + organized community).
@@ -511,7 +513,7 @@ SyntheticWorld SyntheticWorld::Generate(const WorldConfig& config,
               });
   });
 
-  phase_span.emplace(obs_reg.GetScope("datagen.derived_indices"));
+  phase_span.emplace(obs_reg.GetScope("datagen.derived_indices"), "datagen.derived_indices");
   world.BuildDerivedIndices();
   phase_span.reset();
 

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -430,6 +432,47 @@ TEST(LoggingTest, LevelFilterRoundTrip) {
   RETINA_LOG(Debug) << "suppressed " << 42;
   RETINA_LOG(Error) << "emitted " << 3.14;
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNamesOnly) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("INFO", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // untouched on failure
+}
+
+TEST(LoggingTest, JsonSinkEmitsOneEscapedObjectPerLine) {
+  const bool original_json = JsonLogging();
+  SetJsonLogging(true);
+  testing::internal::CaptureStderr();
+  RETINA_LOG(Error) << "quote \" backslash \\ and\nnewline";
+  const std::string line = testing::internal::GetCapturedStderr();
+  SetJsonLogging(original_json);
+
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"level\":\"ERROR\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"line\":"), std::string::npos);
+  EXPECT_NE(line.find("common_test.cc"), std::string::npos);
+  // No ambient trace session: the id joins as 0.
+  EXPECT_NE(line.find("\"trace_id\":0"), std::string::npos) << line;
+  EXPECT_NE(line.find("quote \\\" backslash \\\\ and\\u000anewline"),
+            std::string::npos)
+      << line;
+  // Exactly one line: the embedded newline was escaped, not emitted.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1) << line;
 }
 
 // ------------------------------------------------------------- Stopwatch --

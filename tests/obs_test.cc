@@ -3,6 +3,13 @@
 // attribution, JSON export round-trip through a real parser, the runtime
 // kill switch, and the determinism pin — obs-enabled and obs-disabled runs
 // of the same train + serve workload produce bit-identical outputs.
+//
+// The timeline tracer (common/trace.h) is covered at the bottom: Chrome
+// trace JSON export through the same in-test parser, span parenting across
+// ParallelFor's thread pool, bounded-buffer drop accounting, per-request
+// trace ids through the ScoringEngine, and the tracing-on ≡ tracing-off
+// bit-exactness pin. Instrument-behavior tests skip themselves when obs is
+// compiled out (-DRETINA_OBS_DISABLED); the determinism pins still run.
 
 #include <gtest/gtest.h>
 
@@ -17,9 +24,14 @@
 #include "common/obs.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/feature_extractor.h"
 #include "core/retina.h"
+#include "core/retweet_task.h"
 #include "core/scoring_engine.h"
 #include "datagen/world.h"
+#include "hatedetect/annotation.h"
 
 namespace retina {
 namespace {
@@ -40,9 +52,17 @@ class ObsEnabledGuard {
   ~ObsEnabledGuard() { obs::SetEnabled(true); }
 };
 
+// Instrument-behavior tests assert that instruments record; under
+// -DRETINA_OBS_DISABLED every instrument is a no-op by design, so those
+// tests skip and only the determinism pins (and compiled-out no-op
+// behavior tests) remain meaningful.
+#define SKIP_IF_OBS_COMPILED_OUT()                                    \
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs instrumentation compiled out"
+
 // ------------------------------------------------------------- Counters --
 
 TEST(CounterTest, AddAndGet) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Counter c;
   EXPECT_EQ(c.Get(), 0u);
@@ -54,6 +74,7 @@ TEST(CounterTest, AddAndGet) {
 }
 
 TEST(CounterTest, ExactUnderParallelFor) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Counter c;
   constexpr size_t kIters = 20000;
@@ -67,6 +88,7 @@ TEST(CounterTest, ExactUnderParallelFor) {
 }
 
 TEST(CounterTest, DisabledAddsNothing) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Counter c;
   obs::SetEnabled(false);
@@ -80,6 +102,7 @@ TEST(CounterTest, DisabledAddsNothing) {
 // --------------------------------------------------------------- Gauges --
 
 TEST(GaugeTest, SetAndUpdateMax) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Gauge g;
   g.Set(7);
@@ -123,6 +146,7 @@ TEST(HistogramTest, BucketBoundaries) {
 }
 
 TEST(HistogramTest, CountsSumAndBuckets) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Histogram h;
   h.Record(0);
@@ -140,6 +164,7 @@ TEST(HistogramTest, CountsSumAndBuckets) {
 }
 
 TEST(HistogramTest, QuantilesResolveToBucketUpperBound) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Histogram h;
   // 90 samples in [8, 15] (bucket 4), 10 samples in [512, 1023] (bucket 10).
@@ -164,6 +189,7 @@ TEST(HistogramTest, EmptyQuantileIsZeroAndDisabledRecordsNothing) {
 }
 
 TEST(HistogramTest, ExactUnderParallelFor) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Histogram h;
   constexpr size_t kIters = 10000;
@@ -175,6 +201,7 @@ TEST(HistogramTest, ExactUnderParallelFor) {
 // ---------------------------------------------------------------- Spans --
 
 TEST(SpanTest, NestingAttributesChildTimeToParentTotalOnly) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Registry& reg = Registry::Global();
   ScopeStats* outer = reg.GetScope("obs_test.outer");
@@ -202,6 +229,7 @@ TEST(SpanTest, NestingAttributesChildTimeToParentTotalOnly) {
 }
 
 TEST(SpanTest, SiblingSpansBothSubtractFromParent) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Registry& reg = Registry::Global();
   ScopeStats* outer = reg.GetScope("obs_test.outer2");
@@ -234,6 +262,7 @@ TEST(SpanTest, DisabledSpanRecordsNothing) {
 }
 
 TEST(SpanTest, PerChunkSpansUnderParallelForNestPerThread) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Registry& reg = Registry::Global();
   ScopeStats* scope = reg.GetScope("obs_test.chunk");
@@ -250,6 +279,7 @@ TEST(SpanTest, PerChunkSpansUnderParallelForNestPerThread) {
 // --------------------------------------------------------------- Series --
 
 TEST(SeriesTest, AppendsInOrderAndHonorsKillSwitch) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Series s;
   s.Append(1.5);
@@ -396,6 +426,7 @@ class JsonParser {
 };
 
 TEST(RegistryTest, JsonExportRoundTrips) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Registry& reg = Registry::Global();
   reg.GetCounter("obs_test.json_counter")->Reset();
@@ -436,6 +467,7 @@ TEST(RegistryTest, JsonExportRoundTrips) {
 }
 
 TEST(RegistryTest, PointersAreStableAndSummaryRenders) {
+  SKIP_IF_OBS_COMPILED_OUT();
   ObsEnabledGuard guard;
   Registry& reg = Registry::Global();
   Counter* c1 = reg.GetCounter("obs_test.stable");
@@ -546,6 +578,329 @@ TEST(ObsDeterminismTest, WorldGenerationBitIdenticalWithObsOnAndOff) {
     for (size_t r = 0; r < world_on.cascades()[i].retweets.size(); ++r) {
       EXPECT_EQ(world_on.cascades()[i].retweets[r].time,
                 world_off.cascades()[i].retweets[r].time);
+    }
+  }
+}
+
+// ------------------------------------------------------ Timeline tracer --
+
+// Ends the trace session on every exit path so a failing assertion cannot
+// leave emission running for later tests.
+class TraceSessionGuard {
+ public:
+  ~TraceSessionGuard() { obs::StopTracing(); }
+};
+
+// Parses TraceToChromeJson() output and returns the traceEvents array (and
+// the whole document via *doc). Fails the test on malformed JSON.
+std::vector<JsonValue> ParseTraceEvents(const std::string& json,
+                                        JsonValue* doc) {
+  EXPECT_TRUE(JsonParser(json).Parse(doc)) << json.substr(0, 400);
+  EXPECT_EQ(doc->kind, JsonValue::kObject);
+  return doc->at("traceEvents").array;
+}
+
+// Complete ("X") events with the given name.
+std::vector<JsonValue> CompleteEvents(const std::vector<JsonValue>& events,
+                                      const std::string& name) {
+  std::vector<JsonValue> out;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").str == "X" && e.at("name").str == name) out.push_back(e);
+  }
+  return out;
+}
+
+void SpinWork() {
+  volatile double sink = 0.0;
+  for (int i = 0; i < 20000; ++i) sink = sink + std::sqrt(i);
+}
+
+TEST(TraceTest, ExportParentsNestedSpansAndStampsTraceIds) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  ObsEnabledGuard guard;
+  TraceSessionGuard session;
+  obs::StartTracing();
+  {
+    obs::TraceRequestScope request;
+    obs::TraceSpan outer("trace_test.outer");
+    SpinWork();
+    {
+      obs::TraceSpan inner("trace_test.inner");
+      SpinWork();
+      obs::TraceInstant("trace_test.instant");
+    }
+  }
+  obs::StopTracing();
+
+  JsonValue doc;
+  const auto events = ParseTraceEvents(obs::TraceToChromeJson(), &doc);
+  const auto outer = CompleteEvents(events, "trace_test.outer");
+  const auto inner = CompleteEvents(events, "trace_test.inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+
+  const double trace_id = outer[0].at("args").at("trace_id").num;
+  EXPECT_NE(trace_id, 0.0);
+  EXPECT_EQ(inner[0].at("args").at("trace_id").num, trace_id);
+  // The inner span's parent is the outer span; the outer span is a root.
+  EXPECT_EQ(inner[0].at("args").at("parent_span_id").num,
+            outer[0].at("args").at("span_id").num);
+  EXPECT_EQ(outer[0].at("args").at("parent_span_id").num, 0.0);
+  // Complete events carry nonzero durations, and the child fits inside the
+  // parent on the timeline.
+  EXPECT_GT(outer[0].at("dur").num, 0.0);
+  EXPECT_GT(inner[0].at("dur").num, 0.0);
+  EXPECT_GE(inner[0].at("ts").num, outer[0].at("ts").num);
+  EXPECT_LE(inner[0].at("ts").num + inner[0].at("dur").num,
+            outer[0].at("ts").num + outer[0].at("dur").num + 1e-3);
+
+  // The instant event rides the same trace under the inner span.
+  bool saw_instant = false;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").str != "i" || e.at("name").str != "trace_test.instant") {
+      continue;
+    }
+    saw_instant = true;
+    EXPECT_EQ(e.at("args").at("trace_id").num, trace_id);
+    EXPECT_EQ(e.at("args").at("parent_span_id").num,
+              inner[0].at("args").at("span_id").num);
+  }
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(TraceTest, FullBufferDropsNewestAndCountsThem) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  ObsEnabledGuard guard;
+  TraceSessionGuard session;
+  obs::StartTracing(/*buffer_capacity=*/64);
+  for (int i = 0; i < 100; ++i) obs::TraceInstant("trace_test.flood");
+  obs::StopTracing();
+
+  EXPECT_EQ(obs::TraceBufferedEvents(), 64u);
+  EXPECT_EQ(obs::TraceDroppedEvents(), 36u);
+
+  JsonValue doc;
+  const auto events = ParseTraceEvents(obs::TraceToChromeJson(), &doc);
+  size_t instants = 0;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").str == "i") ++instants;
+  }
+  EXPECT_EQ(instants, 64u);
+  EXPECT_EQ(doc.at("otherData").at("dropped_events").num, 36.0);
+  EXPECT_EQ(doc.at("otherData").at("buffer_capacity").num, 64.0);
+
+  // The next session starts clean.
+  obs::StartTracing(/*buffer_capacity=*/64);
+  obs::StopTracing();
+  EXPECT_EQ(obs::TraceDroppedEvents(), 0u);
+  EXPECT_EQ(obs::TraceBufferedEvents(), 0u);
+}
+
+TEST(TraceTest, ParallelForChunksNestUnderSubmittingSpan) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  ObsEnabledGuard guard;
+  // Force real workers even on a 1-core host so adoption of the submitting
+  // thread's context is exercised cross-thread.
+  const size_t prev_threads = par::NumThreads();
+  par::SetNumThreads(4);
+  TraceSessionGuard session;
+  obs::StartTracing();
+  double root_span_id = 0.0;
+  double root_trace_id = 0.0;
+  {
+    obs::TraceRequestScope request;
+    obs::TraceSpan root("trace_test.loop");
+    par::ParallelForChunks(400, 10, [](const par::ChunkRange& chunk) {
+      volatile size_t sink = 0;
+      for (size_t i = chunk.begin; i < chunk.end; ++i) sink = sink + i;
+    });
+  }
+  obs::StopTracing();
+  par::SetNumThreads(prev_threads);
+
+  JsonValue doc;
+  const auto events = ParseTraceEvents(obs::TraceToChromeJson(), &doc);
+  const auto roots = CompleteEvents(events, "trace_test.loop");
+  ASSERT_EQ(roots.size(), 1u);
+  root_span_id = roots[0].at("args").at("span_id").num;
+  root_trace_id = roots[0].at("args").at("trace_id").num;
+  ASSERT_NE(root_trace_id, 0.0);
+
+  const auto chunks = CompleteEvents(events, "par.chunk");
+  ASSERT_EQ(chunks.size(), par::MakeChunks(400, 10).size());
+  for (const JsonValue& chunk : chunks) {
+    // Every chunk — including ones run on pool workers — is parented to
+    // the submitting span and carries its trace id.
+    EXPECT_EQ(chunk.at("args").at("parent_span_id").num, root_span_id);
+    EXPECT_EQ(chunk.at("args").at("trace_id").num, root_trace_id);
+  }
+}
+
+TEST(TraceTest, RequestScopeMintsOncePerRootAndInheritsWhenNested) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  ObsEnabledGuard guard;
+  TraceSessionGuard session;
+  obs::StartTracing();
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  uint64_t first = 0;
+  {
+    obs::TraceRequestScope root;
+    first = obs::CurrentTraceId();
+    EXPECT_NE(first, 0u);
+    {
+      obs::TraceRequestScope nested;  // per-tweet request inside a batch
+      EXPECT_EQ(obs::CurrentTraceId(), first);
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), first);
+  }
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  {
+    obs::TraceRequestScope second;
+    EXPECT_NE(obs::CurrentTraceId(), 0u);
+    EXPECT_NE(obs::CurrentTraceId(), first);
+  }
+  obs::StopTracing();
+  // Off-session: nothing is minted and nothing leaks into the context.
+  {
+    obs::TraceRequestScope off;
+    EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  }
+}
+
+TEST(TraceTest, ScoringEngineStampsRequestTraceIdsOnCacheEvents) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  ObsEnabledGuard guard;
+
+  datagen::WorldConfig config;
+  config.scale = 0.01;
+  config.num_users = 120;
+  config.history_length = 6;
+  config.news_per_day = 10.0;
+  auto world = datagen::SyntheticWorld::Generate(config, 47);
+  hatedetect::AnnotationOptions aopts;
+  ASSERT_TRUE(hatedetect::AnnotateWorld(&world, aopts).ok());
+
+  core::FeatureConfig fconfig;
+  fconfig.history_size = 4;
+  fconfig.history_tfidf_dim = 30;
+  fconfig.news_tfidf_dim = 30;
+  fconfig.tweet_tfidf_dim = 30;
+  fconfig.news_window = 8;
+  fconfig.doc2vec_dim = 8;
+  fconfig.doc2vec_epochs = 1;
+  auto fx = core::FeatureExtractor::Build(world, fconfig);
+  ASSERT_TRUE(fx.ok());
+  const core::FeatureExtractor extractor = std::move(fx).ValueOrDie();
+
+  core::RetweetTaskOptions topts;
+  topts.min_news = 1;
+  topts.max_candidates = 8;
+  auto task_or = core::BuildRetweetTask(extractor, topts);
+  ASSERT_TRUE(task_or.ok());
+  const core::RetweetTask task = std::move(task_or).ValueOrDie();
+  ASSERT_FALSE(task.test.empty());
+
+  // Untrained model: trace plumbing is independent of weights.
+  core::RetinaOptions mopts;
+  mopts.hidden = 8;
+  core::Retina model(task.user_dim, task.content_dim, task.embed_dim,
+                     task.NumIntervals(), mopts);
+  core::ScoringEngine engine(&model, &extractor);
+
+  TraceSessionGuard session;
+  obs::StartTracing();
+  engine.ScoreCandidates(task, task.test);
+  obs::StopTracing();
+
+  JsonValue doc;
+  const auto events = ParseTraceEvents(obs::TraceToChromeJson(), &doc);
+  const auto requests = CompleteEvents(events, "serving.score_tweet");
+  ASSERT_FALSE(requests.empty());
+  // One batch: every per-tweet request inherits the batch's trace id.
+  const double batch_trace_id = requests[0].at("args").at("trace_id").num;
+  EXPECT_NE(batch_trace_id, 0.0);
+  for (const JsonValue& req : requests) {
+    EXPECT_EQ(req.at("args").at("trace_id").num, batch_trace_id);
+    EXPECT_GT(req.at("dur").num, 0.0);
+  }
+  // Cache hit/miss instants ride the same trace.
+  size_t cache_events = 0;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").str != "i") continue;
+    const std::string& name = e.at("name").str;
+    if (name.rfind("serving.", 0) != 0) continue;
+    ++cache_events;
+    EXPECT_EQ(e.at("args").at("trace_id").num, batch_trace_id) << name;
+  }
+  EXPECT_GT(cache_events, 0u);
+}
+
+// Tracing is an observer: a traced run and an untraced run of the same
+// training workload produce bit-identical loss trajectories and scores.
+// This pin runs in every build, including -DRETINA_OBS_DISABLED where
+// StartTracing is a no-op and both runs are trivially untraced.
+TEST(TraceDeterminismTest, TrainBitIdenticalWithTracingOnAndOff) {
+  ObsEnabledGuard guard;
+  TraceSessionGuard session;
+  const core::RetweetTask task = MakeTask(4, 9, 123);
+
+  auto run = [&](bool traced) {
+    if (traced) {
+      obs::StartTracing();
+    } else {
+      obs::StopTracing();
+    }
+    core::RetinaOptions opts;
+    opts.hidden = 8;
+    opts.epochs = 2;
+    opts.seed = 11;
+    auto model = std::make_unique<core::Retina>(
+        task.user_dim, task.content_dim, task.embed_dim, task.NumIntervals(),
+        opts);
+    EXPECT_TRUE(model->Train(task).ok());
+    return model;
+  };
+
+  const auto model_traced = run(true);
+  const auto model_plain = run(false);
+
+  ASSERT_EQ(model_traced->epoch_losses().size(),
+            model_plain->epoch_losses().size());
+  for (size_t e = 0; e < model_traced->epoch_losses().size(); ++e) {
+    EXPECT_EQ(model_traced->epoch_losses()[e], model_plain->epoch_losses()[e])
+        << "epoch " << e << " loss diverged between tracing on/off";
+  }
+  const Vec scores_traced = model_traced->ScoreCandidates(task, task.test);
+  const Vec scores_plain = model_plain->ScoreCandidates(task, task.test);
+  ASSERT_EQ(scores_traced.size(), scores_plain.size());
+  for (size_t i = 0; i < scores_traced.size(); ++i) {
+    EXPECT_EQ(scores_traced[i], scores_plain[i]) << "score " << i;
+  }
+}
+
+TEST(TraceDeterminismTest, WorldGenerationBitIdenticalWithTracingOnAndOff) {
+  ObsEnabledGuard guard;
+  TraceSessionGuard session;
+  datagen::WorldConfig config;
+  config.scale = 0.01;
+  config.num_users = 120;
+  config.history_length = 6;
+  config.news_per_day = 10.0;
+
+  obs::StartTracing();
+  const auto world_traced = datagen::SyntheticWorld::Generate(config, 31);
+  obs::StopTracing();
+  const auto world_plain = datagen::SyntheticWorld::Generate(config, 31);
+
+  ASSERT_EQ(world_traced.tweets().size(), world_plain.tweets().size());
+  for (size_t i = 0; i < world_traced.tweets().size(); ++i) {
+    EXPECT_EQ(world_traced.tweets()[i].time, world_plain.tweets()[i].time);
+    EXPECT_EQ(world_traced.tweets()[i].author, world_plain.tweets()[i].author);
+    ASSERT_EQ(world_traced.cascades()[i].retweets.size(),
+              world_plain.cascades()[i].retweets.size());
+    for (size_t r = 0; r < world_traced.cascades()[i].retweets.size(); ++r) {
+      EXPECT_EQ(world_traced.cascades()[i].retweets[r].time,
+                world_plain.cascades()[i].retweets[r].time);
     }
   }
 }

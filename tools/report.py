@@ -1,0 +1,349 @@
+#!/usr/bin/env python3
+"""Run-report generator: merges a --metrics-out JSON and a --trace-out
+Chrome trace JSON from one retina_cli run into a single markdown (or HTML)
+report.
+
+Sections:
+  - run summary (counters, gauges incl. process.peak_rss_bytes)
+  - per-scope self-time flame table (from the metrics `scopes` map)
+  - per-epoch training curves (loss / grad-norm / seconds series)
+  - warm-vs-cold serving latency breakdown (request histograms)
+  - timeline: per-event-name aggregates and the top-K slowest traces
+    (grouped by the per-request/per-batch trace ids the tracer mints)
+
+Stdlib only. Usage:
+  tools/report.py --metrics train_metrics.json --trace trace.json \
+      --out report.md [--html-out report.html] [--top-k 10]
+Either input may be omitted; the corresponding sections are skipped.
+"""
+
+import argparse
+import html
+import json
+import sys
+from collections import defaultdict
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values):
+    """Unicode sparkline of a numeric series (empty string when too short)."""
+    if len(values) < 2:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK_CHARS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        SPARK_CHARS[min(len(SPARK_CHARS) - 1,
+                        int((v - lo) / span * (len(SPARK_CHARS) - 1)))]
+        for v in values)
+
+
+def fmt_ns(ns):
+    """Human duration from nanoseconds."""
+    ns = float(ns)
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.3f} us"
+    return f"{ns:.0f} ns"
+
+
+def fmt_us(us):
+    return fmt_ns(us * 1e3)
+
+
+def fmt_bytes(n):
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+class Report:
+    """Ordered list of sections, each a heading plus paragraphs/tables."""
+
+    def __init__(self, title):
+        self.title = title
+        self.sections = []  # (heading, [("p", text) | ("table", hdr, rows)])
+
+    def section(self, heading):
+        self.sections.append((heading, []))
+
+    def para(self, text):
+        self.sections[-1][1].append(("p", text))
+
+    def table(self, header, rows):
+        self.sections[-1][1].append(("table", header, rows))
+
+    def to_markdown(self):
+        out = [f"# {self.title}", ""]
+        for heading, blocks in self.sections:
+            out += [f"## {heading}", ""]
+            for block in blocks:
+                if block[0] == "p":
+                    out += [block[1], ""]
+                else:
+                    _, header, rows = block
+                    out.append("| " + " | ".join(header) + " |")
+                    out.append("|" + "|".join("---" for _ in header) + "|")
+                    for row in rows:
+                        out.append("| " + " | ".join(str(c) for c in row) + " |")
+                    out.append("")
+        return "\n".join(out) + "\n"
+
+    def to_html(self):
+        out = [
+            "<!doctype html>",
+            "<html><head><meta charset=\"utf-8\">",
+            f"<title>{html.escape(self.title)}</title>",
+            "<style>",
+            "body{font-family:sans-serif;margin:2em;max-width:70em}",
+            "table{border-collapse:collapse;margin:1em 0}",
+            "td,th{border:1px solid #bbb;padding:0.3em 0.7em;"
+            "text-align:left;font-variant-numeric:tabular-nums}",
+            "th{background:#eee}",
+            "</style></head><body>",
+            f"<h1>{html.escape(self.title)}</h1>",
+        ]
+        for heading, blocks in self.sections:
+            out.append(f"<h2>{html.escape(heading)}</h2>")
+            for block in blocks:
+                if block[0] == "p":
+                    out.append(f"<p>{html.escape(block[1])}</p>")
+                else:
+                    _, header, rows = block
+                    out.append("<table><tr>" + "".join(
+                        f"<th>{html.escape(str(h))}</th>" for h in header) +
+                        "</tr>")
+                    for row in rows:
+                        out.append("<tr>" + "".join(
+                            f"<td>{html.escape(str(c))}</td>" for c in row) +
+                            "</tr>")
+                    out.append("</table>")
+        out.append("</body></html>")
+        return "\n".join(out) + "\n"
+
+
+# ---------------------------------------------------------------- metrics --
+
+def add_summary_section(report, metrics):
+    report.section("Run summary")
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    rows = [(name, value) for name, value in sorted(counters.items())
+            if value != 0]
+    for name, value in sorted(gauges.items()):
+        if value == 0:
+            continue
+        pretty = fmt_bytes(value) if name.endswith("_bytes") else value
+        rows.append((name, pretty))
+    if not rows:
+        report.para("No nonzero counters or gauges were recorded.")
+        return
+    report.table(["metric", "value"], rows)
+
+
+def add_flame_section(report, metrics):
+    report.section("Per-scope self time")
+    scopes = metrics.get("scopes", {})
+    rows = [(name, s) for name, s in scopes.items() if s.get("count", 0) > 0]
+    if not rows:
+        report.para("No trace scopes were recorded.")
+        return
+    total_self = sum(s["self_ms"] for _, s in rows) or 1.0
+    rows.sort(key=lambda kv: kv[1]["self_ms"], reverse=True)
+    report.para("Self time excludes child spans opened on the same thread; "
+                "the bar is each scope's share of all recorded self time.")
+    table = []
+    for name, s in rows:
+        share = s["self_ms"] / total_self
+        bar = "#" * max(1, int(share * 30)) if s["self_ms"] > 0 else ""
+        table.append((name, s["count"], f"{s['total_ms']:.3f}",
+                      f"{s['self_ms']:.3f}", f"{100 * share:.1f}% {bar}"))
+    report.table(["scope", "count", "total ms", "self ms", "self share"],
+                 table)
+
+
+def add_training_section(report, metrics):
+    series = metrics.get("series", {})
+    curves = [(name, values) for name, values in sorted(series.items())
+              if values]
+    if not curves:
+        return
+    report.section("Training curves")
+    report.table(
+        ["series", "points", "first", "last", "min", "max", "trend"],
+        [(name, len(v), f"{v[0]:.6g}", f"{v[-1]:.6g}", f"{min(v):.6g}",
+          f"{max(v):.6g}", sparkline(v)) for name, v in curves])
+    loss = series.get("train.epoch_loss") or []
+    if len(loss) >= 2:
+        delta = loss[-1] - loss[0]
+        report.para(f"Loss moved {delta:+.6g} over {len(loss)} epochs "
+                    f"({loss[0]:.6g} → {loss[-1]:.6g}).")
+
+
+def add_serving_section(report, metrics):
+    hists = metrics.get("histograms", {})
+    warm = hists.get("serving.request_warm_ns")
+    cold = hists.get("serving.request_cold_ns")
+    if not warm and not cold:
+        return
+    report.section("Serving latency: warm vs cold")
+    report.para("A request is warm when every per-user and per-tweet "
+                "invariant was served from cache; any recomputation makes "
+                "it cold. Quantiles resolve to log2 bucket upper bounds "
+                "(within 2x).")
+    rows = []
+    for label, h in (("warm", warm), ("cold", cold)):
+        if not h or h.get("count", 0) == 0:
+            rows.append((label, 0, "-", "-", "-", "-"))
+            continue
+        rows.append((label, h["count"], fmt_ns(h["mean"]), fmt_ns(h["p50"]),
+                     fmt_ns(h["p95"]), fmt_ns(h["p99"])))
+    report.table(["path", "requests", "mean", "p50", "p95", "p99"], rows)
+    counters = metrics.get("counters", {})
+    hits = counters.get("serving.user_cache.hits", 0)
+    misses = counters.get("serving.user_cache.misses", 0)
+    if hits + misses:
+        report.para(f"User-block cache: {hits} hits / {hits + misses} "
+                    f"lookups ({100.0 * hits / (hits + misses):.1f}% hit "
+                    "rate).")
+
+
+# ------------------------------------------------------------------ trace --
+
+def add_trace_sections(report, trace, top_k):
+    events = trace.get("traceEvents", [])
+    complete = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    other = trace.get("otherData", {})
+
+    report.section("Timeline overview")
+    dropped = other.get("dropped_events", 0)
+    report.para(f"{len(complete)} complete spans, {len(instants)} instant "
+                f"events, {dropped} dropped on full buffers "
+                f"(capacity {other.get('buffer_capacity', '?')} "
+                "events/thread). Load the trace file in chrome://tracing "
+                "or https://ui.perfetto.dev to browse it interactively.")
+    if dropped:
+        report.para("WARNING: events were dropped; per-name totals and "
+                    "trace durations below undercount the truncated tail.")
+
+    # Per-name aggregates with self time (duration minus same-parent
+    # children) computed from the span tree.
+    children_dur = defaultdict(float)
+    for e in complete:
+        parent = e["args"].get("parent_span_id", 0)
+        if parent:
+            children_dur[parent] += e["dur"]
+    by_name = defaultdict(lambda: [0, 0.0, 0.0, 0.0])  # count,total,self,max
+    for e in complete:
+        span_id = e["args"].get("span_id", 0)
+        self_dur = max(0.0, e["dur"] - children_dur.get(span_id, 0.0))
+        agg = by_name[e["name"]]
+        agg[0] += 1
+        agg[1] += e["dur"]
+        agg[2] += self_dur
+        agg[3] = max(agg[3], e["dur"])
+    for e in instants:
+        by_name[e["name"]][0] += 1
+    if by_name:
+        rows = sorted(by_name.items(), key=lambda kv: kv[1][2], reverse=True)
+        report.table(
+            ["event", "count", "total", "self", "max"],
+            [(name, c, fmt_us(tot) if tot else "-",
+              fmt_us(self_) if tot else "-", fmt_us(mx) if tot else "-")
+             for name, (c, tot, self_, mx) in rows])
+
+    # Top-K slowest traces: group complete events by minted trace id; a
+    # trace's roots are spans whose parent is not part of the same trace.
+    traces = defaultdict(list)
+    for e in complete:
+        tid = e["args"].get("trace_id", 0)
+        if tid:
+            traces[tid].append(e)
+    report.section(f"Top {top_k} slowest traces")
+    if not traces:
+        report.para("No trace ids were recorded (nothing minted a "
+                    "request/batch id while tracing was on).")
+        return
+    summary = []
+    for tid, evs in traces.items():
+        span_ids = {e["args"]["span_id"] for e in evs}
+        roots = [e for e in evs
+                 if e["args"].get("parent_span_id", 0) not in span_ids]
+        root = max(roots or evs, key=lambda e: e["dur"])
+        start = min(e["ts"] for e in evs)
+        end = max(e["ts"] + e["dur"] for e in evs)
+        slowest_child = max(
+            (e for e in evs if e is not root), key=lambda e: e["dur"],
+            default=None)
+        summary.append((end - start, tid, root, len(evs), start,
+                        slowest_child))
+    summary.sort(reverse=True, key=lambda row: row[0])
+    report.table(
+        ["trace id", "root span", "start", "duration", "spans",
+         "slowest inner span"],
+        [(tid, root["name"], fmt_us(start), fmt_us(dur), n,
+          f"{child['name']} ({fmt_us(child['dur'])})" if child else "-")
+         for dur, tid, root, n, start, child in summary[:top_k]])
+
+
+# ------------------------------------------------------------------- main --
+
+def load_json(path, label):
+    if not path:
+        return None
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"report.py: cannot read {label} file {path}: {e}")
+
+
+def build_report(metrics, trace, top_k):
+    report = Report("retina run report")
+    if metrics is not None:
+        add_summary_section(report, metrics)
+        add_flame_section(report, metrics)
+        add_training_section(report, metrics)
+        add_serving_section(report, metrics)
+    if trace is not None:
+        add_trace_sections(report, trace, top_k)
+    if not report.sections:
+        sys.exit("report.py: pass --metrics and/or --trace")
+    return report
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", help="--metrics-out JSON from retina_cli")
+    ap.add_argument("--trace", help="--trace-out Chrome trace JSON")
+    ap.add_argument("--out", help="markdown output path ('-' for stdout)",
+                    default="-")
+    ap.add_argument("--html-out", help="also write an HTML rendering here")
+    ap.add_argument("--top-k", type=int, default=10,
+                    help="slowest traces to list (default 10)")
+    args = ap.parse_args()
+
+    report = build_report(load_json(args.metrics, "metrics"),
+                          load_json(args.trace, "trace"), args.top_k)
+    md = report.to_markdown()
+    if args.out == "-":
+        sys.stdout.write(md)
+    else:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(md)
+    if args.html_out:
+        with open(args.html_out, "w", encoding="utf-8") as f:
+            f.write(report.to_html())
+
+
+if __name__ == "__main__":
+    main()

@@ -26,8 +26,10 @@
 #include <memory>
 #include <string>
 
+#include "common/logging.h"
 #include "common/obs.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "common/string_util.h"
 #include "common/table.h"
 #include "core/feature_extractor.h"
@@ -53,6 +55,8 @@ struct Args {
   std::string save_model;
   std::string model;
   std::string metrics_out;
+  std::string trace_out;
+  std::string log_level;
   double scale = 0.1;
   size_t users = 2500;
   uint64_t seed = 7;
@@ -72,9 +76,16 @@ int Usage() {
       "  train-retweet --data DIR [--dynamic] [--no-exo] [--seed N]"
       " [--save-model DIR]\n"
       "  eval          --data DIR --model DIR\n"
-      "every command also accepts --metrics-out=FILE: dump the run's\n"
-      "observability registry (counters, latency histograms, trace spans,\n"
-      "training series) as JSON to FILE and print a summary table\n");
+      "every command also accepts:\n"
+      "  --metrics-out=FILE  dump the run's observability registry\n"
+      "                      (counters, latency histograms, trace spans,\n"
+      "                      training series, peak RSS) as JSON to FILE and\n"
+      "                      print a summary table\n"
+      "  --trace-out=FILE    record a per-thread event timeline for the\n"
+      "                      whole run and write it as Chrome trace JSON\n"
+      "                      (open in chrome://tracing or Perfetto; feed\n"
+      "                      with --metrics-out into tools/report.py)\n"
+      "  --log-level=LEVEL   stderr log threshold: debug|info|warn|error\n");
   return 2;
 }
 
@@ -120,6 +131,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->metrics_out = v;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       args->metrics_out = arg.substr(std::strlen("--metrics-out="));
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->trace_out = v;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      args->trace_out = arg.substr(std::strlen("--trace-out="));
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->log_level = v;
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      args->log_level = arg.substr(std::strlen("--log-level="));
     } else if (arg == "--dynamic") {
       args->dynamic = true;
     } else if (arg == "--no-exo") {
@@ -389,6 +412,7 @@ int CmdEval(const Args& args) {
 int DumpMetrics(const Args& args) {
   if (args.metrics_out.empty()) return 0;
   obs::Registry& reg = obs::Registry::Global();
+  reg.SampleProcessGauges();  // process.peak_rss_bytes at export time
   const std::string json = reg.ToJson();
   FILE* f = std::fopen(args.metrics_out.c_str(), "w");
   if (f == nullptr) {
@@ -400,6 +424,27 @@ int DumpMetrics(const Args& args) {
   const std::string table = reg.SummaryTable();
   if (!table.empty()) std::printf("\n%s", table.c_str());
   std::printf("metrics written to %s\n", args.metrics_out.c_str());
+  return 0;
+}
+
+// End-of-run timeline export: stop the session (started in main before the
+// command, so the trace covers the whole run) and write the Chrome trace
+// JSON. Dropped-event counts are reported so a truncated timeline is never
+// mistaken for a complete one.
+int DumpTrace(const Args& args) {
+  if (args.trace_out.empty()) return 0;
+  obs::StopTracing();
+  const std::string json = obs::TraceToChromeJson();
+  FILE* f = std::fopen(args.trace_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", args.trace_out.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("trace written to %s (%zu events, %llu dropped)\n",
+              args.trace_out.c_str(), obs::TraceBufferedEvents(),
+              static_cast<unsigned long long>(obs::TraceDroppedEvents()));
   return 0;
 }
 
@@ -418,7 +463,19 @@ int RunCommand(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (!args.log_level.empty()) {
+    retina::LogLevel level;
+    if (!retina::ParseLogLevel(args.log_level, &level)) {
+      std::fprintf(stderr, "bad --log-level: %s (want debug|info|warn|error)\n",
+                   args.log_level.c_str());
+      return 2;
+    }
+    retina::SetLogLevel(level);
+  }
+  if (!args.trace_out.empty()) obs::StartTracing();
   const int rc = RunCommand(args);
   if (rc != 0) return rc;
-  return DumpMetrics(args);
+  const int metrics_rc = DumpMetrics(args);
+  if (metrics_rc != 0) return metrics_rc;
+  return DumpTrace(args);
 }
