@@ -1,14 +1,27 @@
 // Google-benchmark micro-benchmarks for the computational kernels: the
 // exogenous attention block, GRU cell, BFS on the follower graph, tf-idf
 // transforms, Doc2Vec inference and world generation.
+//
+// The binary also runs a scalar-vs-dispatched comparison over every
+// retina::simd kernel (dense sizes 16/64/256/1024 plus tf-idf-shaped
+// sparse cases) and writes it as BENCH_kernels.json — dispatch metadata
+// included — for tools/check_bench.py's kernel speedup floors.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "common/simd.h"
+#include "common/sparse_vec.h"
 #include "common/thread_pool.h"
 #include "datagen/world.h"
 #include "graph/generators.h"
@@ -225,6 +238,298 @@ void BM_WorldGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldGenerate)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------------
+// simd kernel dispatch benchmarks: the same dispatched entry points the
+// library's hot loops call, at the library's characteristic sizes.
+
+void BM_SimdDot(benchmark::State& state) {
+  Rng rng(20);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Vec a(n), b(n);
+  for (double& v : a) v = rng.Normal();
+  for (double& v : b) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdDot)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SimdAxpy(benchmark::State& state) {
+  Rng rng(21);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Vec x(n), y(n);
+  for (double& v : x) v = rng.Normal();
+  for (double& v : y) v = rng.Normal();
+  for (auto _ : state) {
+    simd::Axpy(1.0009765625, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimdAxpy)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SimdSparseDot(benchmark::State& state) {
+  Rng rng(22);
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t nnz = static_cast<size_t>(state.range(1));
+  SparseVec x(dim);
+  for (size_t k = 0; k < nnz; ++k) {
+    x.PushBack(k * dim / nnz, rng.Normal());
+  }
+  Vec y(dim);
+  for (double& v : y) v = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::SparseDot(
+        x.values().data(), x.indices().data(), x.nnz(), y.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * nnz);
+}
+// 300-dim tf-idf block with ~24 active tokens, and a denser large case.
+BENCHMARK(BM_SimdSparseDot)->Args({300, 24})->Args({1024, 256});
+
+// --------------------------------------------------------------------------
+// Scalar-vs-active kernel comparison report (BENCH_kernels.json).
+
+// Best-of-reps nanoseconds per call of `fn`, auto-scaling the inner
+// iteration count until one repetition runs long enough to time reliably.
+double TimeNsPerCall(const std::function<void()>& fn, bool smoke) {
+  fn();  // warm up caches and the dispatch table
+  const double target_ns = smoke ? 2e5 : 2e6;
+  const int reps = smoke ? 2 : 3;
+  double best = 1e300;
+  size_t iters = 1;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (;;) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < iters; ++i) fn();
+      const double dt = std::chrono::duration<double, std::nano>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (dt >= target_ns) {
+        best = std::min(best, dt / static_cast<double>(iters));
+        break;
+      }
+      iters *= 2;
+    }
+  }
+  return best;
+}
+
+struct KernelCase {
+  size_t size;  // dense dimensionality of the case
+  size_t work;  // effective work size the floors key on (nnz for sparse)
+  double scalar_ns;
+  double active_ns;
+};
+
+struct KernelReport {
+  std::string name;
+  std::vector<KernelCase> cases;
+};
+
+// One case timed against both tables. `run(table)` must execute the kernel
+// exactly once against pre-built inputs.
+KernelCase TimeCase(size_t size, bool smoke,
+                    const std::function<void(const simd::KernelTable&)>& run) {
+  const simd::KernelTable& scalar =
+      simd::KernelsFor(simd::Backend::kScalar);
+  const simd::KernelTable& active = simd::Kernels();
+  KernelCase c;
+  c.size = size;
+  c.work = size;
+  c.scalar_ns = TimeNsPerCall([&] { run(scalar); }, smoke);
+  c.active_ns = TimeNsPerCall([&] { run(active); }, smoke);
+  return c;
+}
+
+std::vector<KernelReport> RunKernelComparison(bool smoke) {
+  Rng rng(40);
+  std::vector<KernelReport> reports;
+  const std::vector<size_t> sizes = {16, 64, 256, 1024};
+
+  const size_t kMax = 1024;
+  Vec a(kMax), b(kMax), y(kMax);
+  for (double& v : a) v = rng.Normal();
+  for (double& v : b) v = rng.Normal();
+  for (double& v : y) v = rng.Normal();
+  // Scale factor ~1 so repeated in-place axpy/scale calls stay finite.
+  const double alpha = 1.0000001;
+
+  KernelReport dot{"dot", {}};
+  KernelReport axpy{"axpy", {}};
+  KernelReport scale{"scale", {}};
+  KernelReport norm2{"norm2", {}};
+  for (size_t n : sizes) {
+    dot.cases.push_back(TimeCase(n, smoke, [&](const simd::KernelTable& t) {
+      benchmark::DoNotOptimize(t.dot(a.data(), b.data(), n));
+    }));
+    axpy.cases.push_back(TimeCase(n, smoke, [&](const simd::KernelTable& t) {
+      t.axpy(alpha, a.data(), y.data(), n);
+      benchmark::DoNotOptimize(y.data());
+    }));
+    scale.cases.push_back(
+        TimeCase(n, smoke, [&](const simd::KernelTable& t) {
+          t.scale(alpha, y.data(), n);
+          benchmark::DoNotOptimize(y.data());
+        }));
+    norm2.cases.push_back(
+        TimeCase(n, smoke, [&](const simd::KernelTable& t) {
+          benchmark::DoNotOptimize(t.dot(a.data(), a.data(), n));
+        }));
+  }
+  reports.push_back(std::move(dot));
+  reports.push_back(std::move(axpy));
+  reports.push_back(std::move(scale));
+  reports.push_back(std::move(norm2));
+
+  // Matrix drivers go through the dispatched dot per output entry; time
+  // them end-to-end by forcing the backend around the driver call.
+  // (ForceBackend is cheap — it swaps a pointer — and this binary is
+  // single-threaded.)
+  {
+    KernelReport matmul{"matmul_transposed_b", {}};
+    for (size_t n : {16u, 64u, 256u}) {
+      Matrix A(n, n), Bt(n, n), C(n, n);
+      Rng mrng(41);
+      for (double& v : A.data()) v = mrng.Normal();
+      for (double& v : Bt.data()) v = mrng.Normal();
+      const simd::Backend active = simd::Active();
+      KernelCase c;
+      c.size = n;
+      c.work = n;
+      (void)simd::ForceBackend(simd::Backend::kScalar);
+      c.scalar_ns = TimeNsPerCall(
+          [&] {
+            simd::MatMulTransposedB(A.Row(0), n, n, Bt.Row(0), n, C.Row(0));
+            benchmark::DoNotOptimize(C.Row(0));
+          },
+          smoke);
+      (void)simd::ForceBackend(active);
+      c.active_ns = TimeNsPerCall(
+          [&] {
+            simd::MatMulTransposedB(A.Row(0), n, n, Bt.Row(0), n, C.Row(0));
+            benchmark::DoNotOptimize(C.Row(0));
+          },
+          smoke);
+      matmul.cases.push_back(c);
+    }
+    reports.push_back(std::move(matmul));
+  }
+
+  // tf-idf-shaped sparsity: a 300-dim block with ~24 active tokens, plus a
+  // denser 1024-dim case. The recorded "size" is the dense dimensionality;
+  // the recorded "work" (what the floors key on) is the nonzero count.
+  {
+    KernelReport sdot{"sparse_dot", {}};
+    KernelReport saxpy{"sparse_axpy", {}};
+    KernelReport smv{"sparse_matvec", {}};
+    const std::vector<std::pair<size_t, size_t>> shapes = {{300, 24},
+                                                           {1024, 256}};
+    for (const auto& [dim, nnz] : shapes) {
+      SparseVec x(dim);
+      Rng srng(42);
+      for (size_t k = 0; k < nnz; ++k) {
+        x.PushBack(k * dim / nnz, srng.Normal());
+      }
+      Vec dense(dim);
+      for (double& v : dense) v = srng.Normal();
+      sdot.cases.push_back(
+          TimeCase(dim, smoke, [&](const simd::KernelTable& t) {
+            benchmark::DoNotOptimize(t.sparse_dot(
+                x.values().data(), x.indices().data(), x.nnz(),
+                dense.data()));
+          }));
+      sdot.cases.back().work = nnz;
+      Vec acc(dim, 0.0);
+      saxpy.cases.push_back(
+          TimeCase(dim, smoke, [&](const simd::KernelTable& t) {
+            t.sparse_axpy(alpha, x.values().data(), x.indices().data(),
+                          x.nnz(), acc.data());
+            benchmark::DoNotOptimize(acc.data());
+          }));
+      saxpy.cases.back().work = nnz;
+      const size_t rows = 64;
+      Matrix W(rows, dim);
+      for (double& v : W.data()) v = srng.Normal();
+      Vec out(rows);
+      const simd::Backend active = simd::Active();
+      KernelCase c;
+      c.size = dim;
+      c.work = nnz;
+      (void)simd::ForceBackend(simd::Backend::kScalar);
+      c.scalar_ns = TimeNsPerCall(
+          [&] {
+            simd::SparseMatVec(W.Row(0), rows, dim, x.values().data(),
+                               x.indices().data(), x.nnz(), out.data());
+            benchmark::DoNotOptimize(out.data());
+          },
+          smoke);
+      (void)simd::ForceBackend(active);
+      c.active_ns = TimeNsPerCall(
+          [&] {
+            simd::SparseMatVec(W.Row(0), rows, dim, x.values().data(),
+                               x.indices().data(), x.nnz(), out.data());
+            benchmark::DoNotOptimize(out.data());
+          },
+          smoke);
+      smv.cases.push_back(c);
+    }
+    reports.push_back(std::move(sdot));
+    reports.push_back(std::move(saxpy));
+    reports.push_back(std::move(smv));
+  }
+  return reports;
+}
+
+int WriteKernelReport(bool smoke) {
+  const std::vector<KernelReport> reports = RunKernelComparison(smoke);
+  const char* out_path = "BENCH_kernels.json";
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"dispatch\": \"%s\",\n",
+               simd::BackendName(simd::Active()));
+  std::fprintf(f, "  \"detected\": \"%s\",\n",
+               simd::BackendName(simd::Detect()));
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"kernels\": {\n");
+  for (size_t r = 0; r < reports.size(); ++r) {
+    const KernelReport& rep = reports[r];
+    std::fprintf(f, "    \"%s\": {\n      \"sizes\": [", rep.name.c_str());
+    for (size_t i = 0; i < rep.cases.size(); ++i) {
+      std::fprintf(f, "%s%zu", i ? ", " : "", rep.cases[i].size);
+    }
+    std::fprintf(f, "],\n      \"work\": [");
+    for (size_t i = 0; i < rep.cases.size(); ++i) {
+      std::fprintf(f, "%s%zu", i ? ", " : "", rep.cases[i].work);
+    }
+    std::fprintf(f, "],\n      \"scalar_ns\": [");
+    for (size_t i = 0; i < rep.cases.size(); ++i) {
+      std::fprintf(f, "%s%.1f", i ? ", " : "", rep.cases[i].scalar_ns);
+    }
+    std::fprintf(f, "],\n      \"active_ns\": [");
+    for (size_t i = 0; i < rep.cases.size(); ++i) {
+      std::fprintf(f, "%s%.1f", i ? ", " : "", rep.cases[i].active_ns);
+    }
+    std::fprintf(f, "],\n      \"speedup\": [");
+    for (size_t i = 0; i < rep.cases.size(); ++i) {
+      const KernelCase& c = rep.cases[i];
+      std::fprintf(f, "%s%.3f", i ? ", " : "",
+                   c.active_ns > 0.0 ? c.scalar_ns / c.active_ns : 0.0);
+    }
+    std::fprintf(f, "]\n    }%s\n", r + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] kernel dispatch=%s report -> %s\n",
+               simd::BackendName(simd::Active()), out_path);
+  return 0;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN rejects unknown flags, so the smoke-harness contract
@@ -248,5 +553,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return WriteKernelReport(smoke);
 }

@@ -1,0 +1,66 @@
+#include "common/arena.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace retina {
+
+ScratchArena::ScratchArena(size_t initial_bytes) {
+  if (initial_bytes > 0) GrowFor(initial_bytes);
+}
+
+ScratchArena::Block* ScratchArena::GrowFor(size_t bytes) {
+  size_t cap = kMinBlockBytes;
+  // Double the total reservation so a growing request converges in
+  // O(log n) blocks; Reset() consolidates them afterwards.
+  if (cap < reserved_) cap = reserved_;
+  if (cap < bytes) cap = bytes;
+  Block b;
+  b.data = std::make_unique<std::byte[]>(cap);
+  b.capacity = cap;
+  reserved_ += cap;
+  blocks_.push_back(std::move(b));
+  return &blocks_.back();
+}
+
+void* ScratchArena::Allocate(size_t bytes, size_t align) {
+  assert(align > 0 && (align & (align - 1)) == 0 && align <= kMaxAlign);
+  if (bytes == 0) bytes = 1;  // keep returned pointers distinct
+  Block* b = blocks_.empty() ? nullptr : &blocks_.back();
+  size_t offset = 0;
+  if (b != nullptr) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b->data.get());
+    offset = (base + b->offset + align - 1) / align * align - base;
+  }
+  if (b == nullptr || offset + bytes > b->capacity) {
+    b = GrowFor(bytes + align);
+    const uintptr_t base = reinterpret_cast<uintptr_t>(b->data.get());
+    offset = (base + align - 1) / align * align - base;
+  }
+  void* p = b->data.get() + offset;
+  used_ += (offset - b->offset) + bytes;
+  b->offset = offset + bytes;
+  return p;
+}
+
+void ScratchArena::Reset() {
+  if (used_ > high_water_) high_water_ = used_;
+  used_ = 0;
+  if (blocks_.size() > 1) {
+    // The epoch spilled across blocks: replace them with one block big
+    // enough for the whole observed footprint (padding slack for
+    // per-allocation alignment) so the next epoch stays in-block.
+    const size_t want = high_water_ + kMaxAlign;
+    blocks_.clear();
+    reserved_ = 0;
+    GrowFor(want);
+  }
+  for (Block& b : blocks_) b.offset = 0;
+}
+
+ScratchArena& TlsScratchArena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace retina

@@ -1,0 +1,96 @@
+// Per-request bump allocator for the scoring hot path.
+//
+// A serving request needs a handful of short-lived buffers (feature rows,
+// attention keys/values, hidden activations, logits) whose sizes repeat
+// from request to request. ScratchArena hands them out by bumping a
+// pointer into a reserved block and recycles the whole epoch with Reset().
+// After a warm-up request has established the high-water mark, Reset()
+// consolidates to a single block and steady-state requests perform zero
+// heap allocations — the property the serving allocation-regression test
+// pins.
+//
+// Lifetime contract: every pointer returned by Allocate*/AllocDoubles* is
+// valid until the next Reset(). The arena never runs destructors — only
+// trivially-destructible payloads belong here.
+//
+// Not thread-safe. The scoring path uses one arena per thread via
+// TlsScratchArena(); the outermost request entry point resets it, nested
+// callees keep bumping.
+
+#ifndef RETINA_COMMON_ARENA_H_
+#define RETINA_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace retina {
+
+/// \brief Bump allocator with epoch reset and high-water tracking.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  /// Pre-reserves `initial_bytes` so the first epoch can run
+  /// allocation-free if the caller knows its footprint.
+  explicit ScratchArena(size_t initial_bytes);
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage aligned to `align` (a power
+  /// of two, at most kMaxAlign).
+  void* Allocate(size_t bytes, size_t align = alignof(double));
+
+  /// `n` uninitialized doubles.
+  double* AllocDoubles(size_t n) {
+    return static_cast<double*>(Allocate(n * sizeof(double)));
+  }
+
+  /// `n` zeroed doubles.
+  double* AllocDoublesZeroed(size_t n) {
+    double* p = AllocDoubles(n);
+    std::memset(p, 0, n * sizeof(double));
+    return p;
+  }
+
+  /// Ends the epoch: records the high-water mark, rewinds the bump
+  /// pointer, and — when the epoch spilled into overflow blocks —
+  /// consolidates into one block sized to the high-water mark so the next
+  /// epoch of the same shape allocates nothing.
+  void Reset();
+
+  /// Total heap bytes currently reserved across blocks.
+  size_t bytes_reserved() const { return reserved_; }
+  /// Bytes handed out in the current epoch (including alignment padding).
+  size_t bytes_used() const { return used_; }
+  /// Largest bytes_used() observed at any Reset() (or now, if larger).
+  size_t high_water_bytes() const {
+    return used_ > high_water_ ? used_ : high_water_;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t capacity = 0;
+    size_t offset = 0;
+  };
+
+  static constexpr size_t kMaxAlign = 64;
+  static constexpr size_t kMinBlockBytes = 4096;
+
+  Block* GrowFor(size_t bytes);
+
+  std::vector<Block> blocks_;
+  size_t reserved_ = 0;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+};
+
+/// The calling thread's scratch arena. One per thread so batched forwards
+/// running under ParallelFor never share an epoch.
+ScratchArena& TlsScratchArena();
+
+}  // namespace retina
+
+#endif  // RETINA_COMMON_ARENA_H_

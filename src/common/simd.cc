@@ -1,0 +1,582 @@
+#include "common/simd.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/obs.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RETINA_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define RETINA_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace retina::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the original loops from vec.cc / sparse_vec.cc, verbatim.
+// Forcing RETINA_SIMD=scalar must reproduce pre-dispatch results
+// bit-for-bit, so nothing here may be "improved".
+
+namespace {
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleScalar(double alpha, double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void DivScalar(double denom, double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) x[i] /= denom;
+}
+
+double SparseDotScalar(const double* val, const uint32_t* idx, size_t nnz,
+                       const double* y) {
+  double acc = 0.0;
+  for (size_t k = 0; k < nnz; ++k) acc += val[k] * y[idx[k]];
+  return acc;
+}
+
+void SparseAxpyScalar(double alpha, const double* val, const uint32_t* idx,
+                      size_t nnz, double* y) {
+  for (size_t k = 0; k < nnz; ++k) y[idx[k]] += alpha * val[k];
+}
+
+void SparseMatVecScalar(const double* w, size_t rows, size_t cols,
+                        const double* val, const uint32_t* idx, size_t nnz,
+                        double* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    y[r] = SparseDotScalar(val, idx, nnz, w + r * cols);
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    DotScalar,       AxpyScalar,       ScaleScalar,     DivScalar,
+    SparseDotScalar, SparseAxpyScalar, SparseMatVecScalar,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA backend. Compiled with per-function target attributes so the
+// rest of the translation unit (and the library) stays baseline x86-64;
+// these bodies only ever execute after __builtin_cpu_supports said yes.
+//
+// Reductions use a FIXED pattern — four 4-lane FMA accumulators over
+// 16-element blocks, a 4-lane block tail, one fixed horizontal reduction,
+// then a scalar remainder — so results are deterministic run-to-run.
+// Element-wise kernels use unfused multiply+add to stay bit-identical to
+// the scalar reference (the scalar loops compile without FMA at baseline
+// x86-64, so fusing here would diverge in the last ulp).
+
+#if RETINA_SIMD_X86
+
+__attribute__((target("avx2,fma"))) double DotAvx2(const double* a,
+                                                   const double* b,
+                                                   size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                           _mm256_loadu_pd(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                           _mm256_loadu_pd(b + i), acc0);
+  }
+  const __m256d acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                    _mm256_add_pd(acc2, acc3));
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double sum =
+      _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+__attribute__((target("avx2"))) void AxpyAvx2(double alpha, const double* x,
+                                              double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void ScaleAvx2(double alpha, double* x,
+                                               size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+__attribute__((target("avx2"))) void DivAvx2(double denom, double* x,
+                                             size_t n) {
+  const __m256d vd = _mm256_set1_pd(denom);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_div_pd(_mm256_loadu_pd(x + i), vd));
+  }
+  for (; i < n; ++i) x[i] /= denom;
+}
+
+__attribute__((target("avx2,fma"))) double SparseDotAvx2(const double* val,
+                                                         const uint32_t* idx,
+                                                         size_t nnz,
+                                                         const double* y) {
+  // Four independent gather+fma chains (16 terms per iteration) so the
+  // gathers' latency overlaps; the fixed tails reuse acc0/acc1 only.
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 16 <= nnz; k += 16) {
+    const __m128i i0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+    const __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 4));
+    const __m128i i2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 8));
+    const __m128i i3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 12));
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k),
+                           _mm256_i32gather_pd(y, i0, 8), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k + 4),
+                           _mm256_i32gather_pd(y, i1, 8), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k + 8),
+                           _mm256_i32gather_pd(y, i2, 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k + 12),
+                           _mm256_i32gather_pd(y, i3, 8), acc3);
+  }
+  for (; k + 8 <= nnz; k += 8) {
+    const __m128i i0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+    const __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 4));
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k),
+                           _mm256_i32gather_pd(y, i0, 8), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k + 4),
+                           _mm256_i32gather_pd(y, i1, 8), acc1);
+  }
+  for (; k + 4 <= nnz; k += 4) {
+    const __m128i i0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(val + k),
+                           _mm256_i32gather_pd(y, i0, 8), acc0);
+  }
+  const __m256d acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                    _mm256_add_pd(acc2, acc3));
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double sum =
+      _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; k < nnz; ++k) sum += val[k] * y[idx[k]];
+  return sum;
+}
+
+__attribute__((target("avx2"))) void SparseAxpyAvx2(double alpha,
+                                                    const double* val,
+                                                    const uint32_t* idx,
+                                                    size_t nnz, double* y) {
+  // Element-wise: each target entry receives exactly one unfused
+  // multiply+add (indices are strictly ascending, hence unique), so this
+  // matches the scalar loop bit-for-bit. Gather vectorizes the loads; the
+  // stores stay scalar (no scatter below AVX-512).
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t k = 0;
+  double lanes[4];
+  for (; k + 4 <= nnz; k += 4) {
+    const __m128i i0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(val + k));
+    const __m256d sum = _mm256_add_pd(_mm256_i32gather_pd(y, i0, 8), prod);
+    _mm256_storeu_pd(lanes, sum);
+    y[idx[k]] = lanes[0];
+    y[idx[k + 1]] = lanes[1];
+    y[idx[k + 2]] = lanes[2];
+    y[idx[k + 3]] = lanes[3];
+  }
+  for (; k < nnz; ++k) y[idx[k]] += alpha * val[k];
+}
+
+__attribute__((target("avx2,fma"))) void SparseMatVecAvx2(
+    const double* w, size_t rows, size_t cols, const double* val,
+    const uint32_t* idx, size_t nnz, double* y) {
+  // Row pairs share each iteration's index and value loads and run two
+  // sets of gather+fma chains, which hides more of the gathers' latency
+  // than one row alone can. Each row's accumulator/tail/reduction pattern
+  // is exactly SparseDotAvx2's, so every output stays bit-identical to a
+  // per-row sparse_dot call.
+  size_t r = 0;
+  for (; r + 2 <= rows; r += 2) {
+    const double* w0 = w + r * cols;
+    const double* w1 = w0 + cols;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd();
+    __m256d b0 = _mm256_setzero_pd();
+    __m256d b1 = _mm256_setzero_pd();
+    __m256d b2 = _mm256_setzero_pd();
+    __m256d b3 = _mm256_setzero_pd();
+    size_t k = 0;
+    for (; k + 16 <= nnz; k += 16) {
+      const __m128i i0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+      const __m128i i1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 4));
+      const __m128i i2 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 8));
+      const __m128i i3 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 12));
+      const __m256d v0 = _mm256_loadu_pd(val + k);
+      const __m256d v1 = _mm256_loadu_pd(val + k + 4);
+      const __m256d v2 = _mm256_loadu_pd(val + k + 8);
+      const __m256d v3 = _mm256_loadu_pd(val + k + 12);
+      a0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(w0, i0, 8), a0);
+      b0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(w1, i0, 8), b0);
+      a1 = _mm256_fmadd_pd(v1, _mm256_i32gather_pd(w0, i1, 8), a1);
+      b1 = _mm256_fmadd_pd(v1, _mm256_i32gather_pd(w1, i1, 8), b1);
+      a2 = _mm256_fmadd_pd(v2, _mm256_i32gather_pd(w0, i2, 8), a2);
+      b2 = _mm256_fmadd_pd(v2, _mm256_i32gather_pd(w1, i2, 8), b2);
+      a3 = _mm256_fmadd_pd(v3, _mm256_i32gather_pd(w0, i3, 8), a3);
+      b3 = _mm256_fmadd_pd(v3, _mm256_i32gather_pd(w1, i3, 8), b3);
+    }
+    for (; k + 8 <= nnz; k += 8) {
+      const __m128i i0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+      const __m128i i1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k + 4));
+      const __m256d v0 = _mm256_loadu_pd(val + k);
+      const __m256d v1 = _mm256_loadu_pd(val + k + 4);
+      a0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(w0, i0, 8), a0);
+      b0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(w1, i0, 8), b0);
+      a1 = _mm256_fmadd_pd(v1, _mm256_i32gather_pd(w0, i1, 8), a1);
+      b1 = _mm256_fmadd_pd(v1, _mm256_i32gather_pd(w1, i1, 8), b1);
+    }
+    for (; k + 4 <= nnz; k += 4) {
+      const __m128i i0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+      const __m256d v0 = _mm256_loadu_pd(val + k);
+      a0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(w0, i0, 8), a0);
+      b0 = _mm256_fmadd_pd(v0, _mm256_i32gather_pd(w1, i0, 8), b0);
+    }
+    const __m256d acca =
+        _mm256_add_pd(_mm256_add_pd(a0, a1), _mm256_add_pd(a2, a3));
+    const __m256d accb =
+        _mm256_add_pd(_mm256_add_pd(b0, b1), _mm256_add_pd(b2, b3));
+    const __m128d pa = _mm_add_pd(_mm256_castpd256_pd128(acca),
+                                  _mm256_extractf128_pd(acca, 1));
+    const __m128d pb = _mm_add_pd(_mm256_castpd256_pd128(accb),
+                                  _mm256_extractf128_pd(accb, 1));
+    double sum0 = _mm_cvtsd_f64(_mm_add_sd(pa, _mm_unpackhi_pd(pa, pa)));
+    double sum1 = _mm_cvtsd_f64(_mm_add_sd(pb, _mm_unpackhi_pd(pb, pb)));
+    for (; k < nnz; ++k) {
+      sum0 += val[k] * w0[idx[k]];
+      sum1 += val[k] * w1[idx[k]];
+    }
+    y[r] = sum0;
+    y[r + 1] = sum1;
+  }
+  for (; r < rows; ++r) y[r] = SparseDotAvx2(val, idx, nnz, w + r * cols);
+}
+
+constexpr KernelTable kAvx2Table = {
+    DotAvx2,       AxpyAvx2,       ScaleAvx2,     DivAvx2,
+    SparseDotAvx2, SparseAxpyAvx2, SparseMatVecAvx2,
+};
+
+#endif  // RETINA_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON backend (aarch64; NEON is baseline there, no runtime probe needed).
+// Same fixed-pattern discipline: four 2-lane FMA accumulators over 8-wide
+// blocks, one fixed reduction, scalar remainder. aarch64 compilers contract
+// scalar multiply+add into fused ops by default, so the element-wise
+// kernels use vfmaq to match; the bit-exact-vs-scalar guarantee of the
+// element-wise kernels is therefore x86-specific (the tolerance contract
+// covers NEON).
+
+#if RETINA_SIMD_NEON
+
+double DotNeon(const double* a, const double* b, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  float64x2_t acc2 = vdupq_n_f64(0.0);
+  float64x2_t acc3 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+    acc2 = vfmaq_f64(acc2, vld1q_f64(a + i + 4), vld1q_f64(b + i + 4));
+    acc3 = vfmaq_f64(acc3, vld1q_f64(a + i + 6), vld1q_f64(b + i + 6));
+  }
+  for (; i + 2 <= n; i += 2) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+  }
+  const float64x2_t acc =
+      vaddq_f64(vaddq_f64(acc0, acc1), vaddq_f64(acc2, acc3));
+  double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void AxpyNeon(double alpha, const double* x, double* y, size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vfmaq_f64(vld1q_f64(y + i), va, vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScaleNeon(double alpha, double* x, size_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(x + i, vmulq_f64(va, vld1q_f64(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void DivNeon(double denom, double* x, size_t n) {
+  const float64x2_t vd = vdupq_n_f64(denom);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(x + i, vdivq_f64(vld1q_f64(x + i), vd));
+  }
+  for (; i < n; ++i) x[i] /= denom;
+}
+
+double SparseDotNeon(const double* val, const uint32_t* idx, size_t nnz,
+                     const double* y) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t k = 0;
+  for (; k + 4 <= nnz; k += 4) {
+    const float64x2_t g0 = {y[idx[k]], y[idx[k + 1]]};
+    const float64x2_t g1 = {y[idx[k + 2]], y[idx[k + 3]]};
+    acc0 = vfmaq_f64(acc0, vld1q_f64(val + k), g0);
+    acc1 = vfmaq_f64(acc1, vld1q_f64(val + k + 2), g1);
+  }
+  const float64x2_t acc = vaddq_f64(acc0, acc1);
+  double sum = vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1);
+  for (; k < nnz; ++k) sum += val[k] * y[idx[k]];
+  return sum;
+}
+
+void SparseAxpyNeon(double alpha, const double* val, const uint32_t* idx,
+                    size_t nnz, double* y) {
+  for (size_t k = 0; k < nnz; ++k) y[idx[k]] += alpha * val[k];
+}
+
+void SparseMatVecNeon(const double* w, size_t rows, size_t cols,
+                      const double* val, const uint32_t* idx, size_t nnz,
+                      double* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    y[r] = SparseDotNeon(val, idx, nnz, w + r * cols);
+  }
+}
+
+constexpr KernelTable kNeonTable = {
+    DotNeon,       AxpyNeon,       ScaleNeon,     DivNeon,
+    SparseDotNeon, SparseAxpyNeon, SparseMatVecNeon,
+};
+
+#endif  // RETINA_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+obs::Gauge* DispatchGauge() {
+  return obs::Registry::Global().GetGauge("simd.dispatch");
+}
+
+void LogAndPublish(Backend b, const char* origin) {
+  RETINA_LOG(Info) << "simd dispatch: " << BackendName(b) << " (" << origin
+                   << ")";
+  DispatchGauge()->Set(static_cast<int64_t>(b));
+}
+
+Backend ResolveFromEnv() {
+  const char* env = std::getenv("RETINA_SIMD");
+  const std::string requested = env != nullptr ? env : "auto";
+  Backend b;
+  if (!ParseBackend(requested, &b)) {
+    b = Detect();
+    RETINA_LOG(Warning) << "RETINA_SIMD=" << requested
+                        << " not recognized (want auto|avx2|neon|scalar); "
+                        << "using " << BackendName(b);
+  } else if (!BackendAvailable(b)) {
+    const Backend fallback = Detect();
+    RETINA_LOG(Warning) << "RETINA_SIMD=" << requested
+                        << " unavailable on this CPU; using "
+                        << BackendName(fallback);
+    b = fallback;
+  }
+  LogAndPublish(b, env != nullptr ? "RETINA_SIMD" : "auto-detected");
+  return b;
+}
+
+Backend& ActiveSlot() {
+  static Backend active = ResolveFromEnv();
+  return active;
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool BackendAvailable(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return true;
+    case Backend::kAvx2:
+#if RETINA_SIMD_X86
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if RETINA_SIMD_NEON
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Backend Detect() {
+  if (BackendAvailable(Backend::kAvx2)) return Backend::kAvx2;
+  if (BackendAvailable(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kScalar;
+}
+
+bool ParseBackend(const std::string& name, Backend* out) {
+  if (name == "auto") {
+    *out = Detect();
+  } else if (name == "scalar") {
+    *out = Backend::kScalar;
+  } else if (name == "avx2") {
+    *out = Backend::kAvx2;
+  } else if (name == "neon") {
+    *out = Backend::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Backend Active() { return ActiveSlot(); }
+
+const KernelTable& KernelsFor(Backend b) {
+  switch (b) {
+#if RETINA_SIMD_X86
+    case Backend::kAvx2:
+      if (BackendAvailable(Backend::kAvx2)) return kAvx2Table;
+      break;
+#endif
+#if RETINA_SIMD_NEON
+    case Backend::kNeon:
+      return kNeonTable;
+#endif
+    default:
+      break;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& Kernels() { return KernelsFor(ActiveSlot()); }
+
+Status ForceBackend(Backend b) {
+  if (!BackendAvailable(b)) {
+    return Status::InvalidArgument(
+        std::string("simd backend '") + BackendName(b) +
+        "' is not available on this CPU");
+  }
+  ActiveSlot() = b;
+  LogAndPublish(b, "forced");
+  return Status::OK();
+}
+
+void PublishDispatchGauge() {
+  DispatchGauge()->Set(static_cast<int64_t>(ActiveSlot()));
+}
+
+// ---------------------------------------------------------------------------
+// Matrix drivers. Deliberately generic: per-output-entry work goes through
+// the dispatched dot/axpy, so a serial MatVec row and the matching row of
+// a batched MatMulTransposedB are produced by the identical instruction
+// sequence.
+
+void MatVec(const double* w, size_t rows, size_t cols, const double* x,
+            double* y) {
+  const KernelTable& k = Kernels();
+  for (size_t r = 0; r < rows; ++r) y[r] = k.dot(w + r * cols, x, cols);
+}
+
+void MatMulTransposedB(const double* a, size_t rows_a, size_t k,
+                       const double* bt, size_t rows_b, double* c) {
+  const KernelTable& kt = Kernels();
+  for (size_t i = 0; i < rows_a; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * rows_b;
+    for (size_t j = 0; j < rows_b; ++j) {
+      crow[j] = kt.dot(arow, bt + j * k, k);
+    }
+  }
+}
+
+void TransposeMatVecAcc(const double* w, size_t rows, size_t cols,
+                        const double* x, double* y) {
+  const KernelTable& k = Kernels();
+  for (size_t r = 0; r < rows; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    k.axpy(xr, w + r * cols, y, cols);
+  }
+}
+
+void SparseMatVec(const double* w, size_t rows, size_t cols,
+                  const double* val, const uint32_t* idx, size_t nnz,
+                  double* y) {
+  Kernels().sparse_matvec(w, rows, cols, val, idx, nnz, y);
+}
+
+}  // namespace retina::simd

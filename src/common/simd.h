@@ -1,0 +1,165 @@
+// Runtime-dispatched SIMD kernels for the dense/sparse math hot path.
+//
+// One audited seam: every dot/axpy-shaped inner loop in the library
+// (common/vec.cc, common/sparse_vec.cc, nn/layers.cc, nn/attention.cc,
+// text/tfidf.cc) routes through the kernel table returned by Kernels().
+// The table is resolved once per process from the best instruction set the
+// CPU offers (AVX2+FMA on x86-64, NEON on aarch64) or from an explicit
+// RETINA_SIMD={auto,avx2,neon,scalar} override (environment variable, or
+// the CLI's --simd= flag via ForceBackend). The choice is logged once and
+// exported as the `simd.dispatch` obs gauge.
+//
+// Numerical contract (see DESIGN.md §10):
+//   - The scalar backend is the original loops verbatim — forcing
+//     RETINA_SIMD=scalar reproduces pre-dispatch results bit-for-bit.
+//   - Element-wise kernels (Axpy, Scale, DivInPlace, SparseAxpy) perform
+//     one unfused multiply+add per element on x86, so their AVX2 variants
+//     are bit-identical to scalar at any n.
+//   - Reduction kernels (Dot, Norm2Sq, SparseDot) partition terms across
+//     lanes, so SIMD sums differ from scalar in rounding; they agree
+//     within 1e-12 relative tolerance and are bit-identical run-to-run at
+//     a fixed dispatch choice (every backend uses one fixed
+//     lane/unroll/horizontal-reduction pattern).
+//   - All call sites that must stay mutually bit-identical (serial vs
+//     batched forwards) share the same kernel per logical output, so the
+//     cross-path pins hold at ANY dispatch choice.
+
+#ifndef RETINA_COMMON_SIMD_H_
+#define RETINA_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace retina::simd {
+
+/// Kernel backend identifier. Values are stable — they are exported via
+/// the `simd.dispatch` obs gauge (0 is reserved for "not yet resolved").
+enum class Backend : int {
+  kScalar = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Resolved kernel entry points. All pointers are always non-null.
+struct KernelTable {
+  /// sum_i a[i] * b[i].
+  double (*dot)(const double* a, const double* b, size_t n);
+  /// y[i] += alpha * x[i].
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  /// x[i] *= alpha.
+  void (*scale)(double alpha, double* x, size_t n);
+  /// x[i] /= denom (kept as a division — dividing differs from
+  /// multiplying by the reciprocal in the last ulp, and the tf-idf
+  /// normalizer pins the division form).
+  void (*div_inplace)(double denom, double* x, size_t n);
+  /// sum_k val[k] * y[idx[k]] over a sparse vector's nonzeros.
+  double (*sparse_dot)(const double* val, const uint32_t* idx, size_t nnz,
+                       const double* y);
+  /// y[idx[k]] += alpha * val[k]; indices must be strictly ascending.
+  void (*sparse_axpy)(double alpha, const double* val, const uint32_t* idx,
+                      size_t nnz, double* y);
+  /// y[r] = sparse_dot(W row r, x) for a row-major rows x cols W. Every
+  /// entry is bit-identical to calling this table's sparse_dot on that
+  /// row — the batched variant may only amortize index/value loads across
+  /// rows, never change a row's reduction pattern.
+  void (*sparse_matvec)(const double* w, size_t rows, size_t cols,
+                        const double* val, const uint32_t* idx, size_t nnz,
+                        double* y);
+};
+
+/// Human-readable backend name ("scalar", "avx2", "neon").
+const char* BackendName(Backend b);
+
+/// True when this build + CPU can run backend `b`.
+bool BackendAvailable(Backend b);
+
+/// Best available backend for this CPU (what RETINA_SIMD=auto picks).
+Backend Detect();
+
+/// Parses "auto" / "avx2" / "neon" / "scalar". "auto" resolves through
+/// Detect(). Returns false on any other string.
+bool ParseBackend(const std::string& name, Backend* out);
+
+/// The active backend. First call resolves RETINA_SIMD from the
+/// environment (default auto), logs the decision, and publishes the
+/// `simd.dispatch` gauge.
+Backend Active();
+
+/// Kernel table of the active backend.
+const KernelTable& Kernels();
+
+/// Kernel table for a specific backend regardless of dispatch — the
+/// scalar table is the bit-exactness reference the tests compare against.
+/// Asking for an unavailable backend returns the scalar table.
+const KernelTable& KernelsFor(Backend b);
+
+/// Overrides the dispatch choice (CLI --simd=, tests). Returns
+/// InvalidArgument when the backend is not available on this CPU. Not
+/// thread-safe against concurrent kernel calls — call at startup or from
+/// single-threaded test code.
+Status ForceBackend(Backend b);
+
+/// Re-publishes the `simd.dispatch` gauge (obs Registry::Reset() zeroes
+/// gauges; export paths call this so the dispatch survives a reset).
+void PublishDispatchGauge();
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers over the active table.
+
+inline double Dot(const double* a, const double* b, size_t n) {
+  return Kernels().dot(a, b, n);
+}
+inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+  Kernels().axpy(alpha, x, y, n);
+}
+inline void Scale(double alpha, double* x, size_t n) {
+  Kernels().scale(alpha, x, n);
+}
+inline void DivInPlace(double denom, double* x, size_t n) {
+  Kernels().div_inplace(denom, x, n);
+}
+inline double Norm2Sq(const double* a, size_t n) {
+  return Kernels().dot(a, a, n);
+}
+inline double SparseDot(const double* val, const uint32_t* idx, size_t nnz,
+                        const double* y) {
+  return Kernels().sparse_dot(val, idx, nnz, y);
+}
+inline void SparseAxpy(double alpha, const double* val, const uint32_t* idx,
+                       size_t nnz, double* y) {
+  Kernels().sparse_axpy(alpha, val, idx, nnz, y);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix drivers. Generic loops over the dispatched kernels: every output
+// entry is produced by the same dot/axpy routine at every call site, which
+// is what keeps serial and batched forwards bit-identical per entry.
+
+/// y[r] = dot(W row r, x) for a row-major rows x cols matrix.
+void MatVec(const double* w, size_t rows, size_t cols, const double* x,
+            double* y);
+
+/// C(i, j) = dot(A row i, Bt row j); A is rows_a x k, Bt is rows_b x k,
+/// C is rows_a x rows_b, all row-major.
+void MatMulTransposedB(const double* a, size_t rows_a, size_t k,
+                       const double* bt, size_t rows_b, double* c);
+
+/// y[0..cols) += sum_r x[r] * (W row r) — the transposed mat-vec in its
+/// axpy form (skips zero x entries like the original kernel). `y` is
+/// accumulated into, not overwritten.
+void TransposeMatVecAcc(const double* w, size_t rows, size_t cols,
+                        const double* x, double* y);
+
+/// y[r] = sparse_dot(W row r, x) for a sparse x over W's columns. Routed
+/// through the table's sparse_matvec, whose entries are bit-identical to
+/// per-row sparse_dot calls at every backend.
+void SparseMatVec(const double* w, size_t rows, size_t cols,
+                  const double* val, const uint32_t* idx, size_t nnz,
+                  double* y);
+
+}  // namespace retina::simd
+
+#endif  // RETINA_COMMON_SIMD_H_

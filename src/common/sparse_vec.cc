@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace retina {
 
 SparseVec SparseVec::FromDense(const Vec& dense, double tol) {
@@ -25,22 +27,17 @@ void SparseVec::ScatterInto(double* dst) const {
 }
 
 double SparseVec::Norm2() const {
-  double acc = 0.0;
-  for (double v : values_) acc += v * v;
-  return std::sqrt(acc);
+  return std::sqrt(simd::Norm2Sq(values_.data(), values_.size()));
 }
 
 void SparseVec::Scale(double alpha) {
-  for (double& v : values_) v *= alpha;
+  simd::Scale(alpha, values_.data(), values_.size());
 }
 
 double Dot(const SparseVec& x, const Vec& y) {
   assert(x.dim() == y.size());
-  double acc = 0.0;
-  const auto& idx = x.indices();
-  const auto& val = x.values();
-  for (size_t k = 0; k < idx.size(); ++k) acc += val[k] * y[idx[k]];
-  return acc;
+  return simd::SparseDot(x.values().data(), x.indices().data(), x.nnz(),
+                         y.data());
 }
 
 double Dot(const SparseVec& x, const SparseVec& y) {
@@ -65,11 +62,8 @@ double Dot(const SparseVec& x, const SparseVec& y) {
 
 void Axpy(double alpha, const SparseVec& x, Vec* y) {
   assert(x.dim() == y->size());
-  const auto& idx = x.indices();
-  const auto& val = x.values();
-  for (size_t k = 0; k < idx.size(); ++k) {
-    (*y)[idx[k]] += alpha * val[k];
-  }
+  simd::SparseAxpy(alpha, x.values().data(), x.indices().data(), x.nnz(),
+                   y->data());
 }
 
 }  // namespace retina

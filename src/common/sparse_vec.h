@@ -5,8 +5,12 @@
 // scoring path keeps them as sorted (index, value) pairs until the first
 // dense layer. All kernels walk the stored indices in ascending order, so a
 // sparse accumulation visits exactly the nonzero terms of the matching
-// dense loop in the same order — results are identical to the dense
-// kernels (zero terms contribute nothing to an accumulation).
+// dense loop in the same order — under the scalar kernel backend results
+// are identical to the dense kernels (zero terms contribute nothing to an
+// accumulation). Under a SIMD backend (common/simd.h) the sparse and dense
+// reductions partition terms across lanes differently, so sparse-vs-dense
+// agreement is within 1e-12 relative tolerance instead of bitwise; forcing
+// RETINA_SIMD=scalar restores the bitwise guarantee.
 
 #ifndef RETINA_COMMON_SPARSE_VEC_H_
 #define RETINA_COMMON_SPARSE_VEC_H_

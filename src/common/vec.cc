@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace retina {
 
 Matrix Matrix::MatMul(const Matrix& other) const {
@@ -10,7 +12,9 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   Matrix out(rows_, other.cols_);
   const size_t N = other.cols_, K = cols_;
   // Small products keep the original k-outer loop; the transpose pays off
-  // only once B no longer fits comfortably in cache lines per row.
+  // only once B no longer fits comfortably in cache lines per row. The
+  // inner accumulation is axpy-shaped, so it routes through the dispatched
+  // element-wise axpy kernel (bit-identical to the scalar loop on x86).
   if (rows_ * N * K < 16 * 1024) {
     for (size_t i = 0; i < rows_; ++i) {
       const double* arow = Row(i);
@@ -18,86 +22,30 @@ Matrix Matrix::MatMul(const Matrix& other) const {
       for (size_t k = 0; k < K; ++k) {
         const double aik = arow[k];
         if (aik == 0.0) continue;
-        const double* brow = other.Row(k);
-        for (size_t j = 0; j < N; ++j) orow[j] += aik * brow[j];
+        simd::Axpy(aik, other.Row(k), orow, N);
       }
     }
     return out;
   }
   // Transposed-B form: C(i,j) = dot(A row i, B^T row j) streams both
-  // operands contiguously. The j-loop is register-blocked four wide so each
-  // pass over A's row feeds four independent accumulators. Per-entry
-  // k-order is ascending either way, so results match the naive kernel
-  // bit-for-bit.
+  // operands contiguously through the dispatched dot kernel. Per-entry
+  // k-order is ascending either way, so under the scalar backend results
+  // match the naive kernel bit-for-bit.
   const Matrix bt = other.Transpose();
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = Row(i);
-    double* orow = out.Row(i);
-    size_t j = 0;
-    for (; j + 4 <= N; j += 4) {
-      const double* b0 = bt.Row(j);
-      const double* b1 = bt.Row(j + 1);
-      const double* b2 = bt.Row(j + 2);
-      const double* b3 = bt.Row(j + 3);
-      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-      for (size_t k = 0; k < K; ++k) {
-        const double a = arow[k];
-        acc0 += a * b0[k];
-        acc1 += a * b1[k];
-        acc2 += a * b2[k];
-        acc3 += a * b3[k];
-      }
-      orow[j] = acc0;
-      orow[j + 1] = acc1;
-      orow[j + 2] = acc2;
-      orow[j + 3] = acc3;
-    }
-    for (; j < N; ++j) {
-      const double* brow = bt.Row(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
-      orow[j] = acc;
-    }
-  }
+  simd::MatMulTransposedB(data_.data(), rows_, K, bt.data_.data(), N,
+                          out.data_.data());
   return out;
 }
 
 Matrix Matrix::MatMulTransposedB(const Matrix& bt) const {
   assert(cols_ == bt.cols_);
   Matrix out(rows_, bt.rows_);
-  const size_t N = bt.rows_, K = cols_;
-  // Same register-blocked form as MatMul's transposed-B path: four
-  // independent accumulators per pass over A's row, each a plain ascending
-  // dot product.
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* arow = Row(i);
-    double* orow = out.Row(i);
-    size_t j = 0;
-    for (; j + 4 <= N; j += 4) {
-      const double* b0 = bt.Row(j);
-      const double* b1 = bt.Row(j + 1);
-      const double* b2 = bt.Row(j + 2);
-      const double* b3 = bt.Row(j + 3);
-      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-      for (size_t k = 0; k < K; ++k) {
-        const double a = arow[k];
-        acc0 += a * b0[k];
-        acc1 += a * b1[k];
-        acc2 += a * b2[k];
-        acc3 += a * b3[k];
-      }
-      orow[j] = acc0;
-      orow[j + 1] = acc1;
-      orow[j + 2] = acc2;
-      orow[j + 3] = acc3;
-    }
-    for (; j < N; ++j) {
-      const double* brow = bt.Row(j);
-      double acc = 0.0;
-      for (size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
-      orow[j] = acc;
-    }
-  }
+  // Each output entry is one dispatched dot over the shared k extent —
+  // the identical kernel call MatVec makes for the matching row, which is
+  // what keeps batched forwards bit-identical to the per-row path at any
+  // dispatch choice.
+  simd::MatMulTransposedB(data_.data(), rows_, cols_, bt.data_.data(),
+                          bt.rows_, out.data_.data());
   return out;
 }
 
@@ -111,54 +59,20 @@ Matrix Matrix::Transpose() const {
 Vec Matrix::MatVec(const Vec& x) const {
   assert(x.size() == cols_);
   Vec y(rows_, 0.0);
-  const double* xp = x.data();
-  // Four rows per pass share each load of x, turning the kernel from one
-  // dot product at a time into a 4-row block with independent accumulators.
-  // Each row's own k-order stays ascending, so per-entry results are
-  // unchanged.
-  size_t i = 0;
-  for (; i + 4 <= rows_; i += 4) {
-    const double* r0 = Row(i);
-    const double* r1 = Row(i + 1);
-    const double* r2 = Row(i + 2);
-    const double* r3 = Row(i + 3);
-    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-    for (size_t j = 0; j < cols_; ++j) {
-      const double xj = xp[j];
-      acc0 += r0[j] * xj;
-      acc1 += r1[j] * xj;
-      acc2 += r2[j] * xj;
-      acc3 += r3[j] * xj;
-    }
-    y[i] = acc0;
-    y[i + 1] = acc1;
-    y[i + 2] = acc2;
-    y[i + 3] = acc3;
-  }
-  for (; i < rows_; ++i) {
-    const double* row = Row(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += row[j] * xp[j];
-    y[i] = acc;
-  }
+  simd::MatVec(data_.data(), rows_, cols_, x.data(), y.data());
   return y;
 }
 
 Vec Matrix::TransposeMatVec(const Vec& x) const {
   assert(x.size() == rows_);
   Vec y(cols_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    const double* row = Row(i);
-    for (size_t j = 0; j < cols_; ++j) y[j] += xi * row[j];
-  }
+  simd::TransposeMatVecAcc(data_.data(), rows_, cols_, x.data(), y.data());
   return y;
 }
 
 void Matrix::Axpy(double alpha, const Matrix& other) {
   assert(rows_ == other.rows_ && cols_ == other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+  simd::Axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::Fill(double value) {
@@ -167,21 +81,21 @@ void Matrix::Fill(double value) {
 
 double Dot(const Vec& a, const Vec& b) {
   assert(a.size() == b.size());
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 void Axpy(double alpha, const Vec& x, Vec* y) {
   assert(x.size() == y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  simd::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 void Scale(double alpha, Vec* x) {
-  for (double& v : *x) v *= alpha;
+  simd::Scale(alpha, x->data(), x->size());
 }
 
-double Norm2(const Vec& a) { return std::sqrt(Dot(a, a)); }
+double Norm2(const Vec& a) {
+  return std::sqrt(simd::Norm2Sq(a.data(), a.size()));
+}
 
 double Sum(const Vec& a) {
   double acc = 0.0;
@@ -207,16 +121,18 @@ double CosineSimilarity(const Vec& a, const Vec& b) {
   return Dot(a, b) / (na * nb);
 }
 
-void SoftmaxInPlace(Vec* v) {
-  if (v->empty()) return;
-  const double mx = *std::max_element(v->begin(), v->end());
+void SoftmaxInPlace(double* v, size_t n) {
+  if (n == 0) return;
+  const double mx = *std::max_element(v, v + n);
   double total = 0.0;
-  for (double& x : *v) {
-    x = std::exp(x - mx);
-    total += x;
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::exp(v[i] - mx);
+    total += v[i];
   }
-  for (double& x : *v) x /= total;
+  for (size_t i = 0; i < n; ++i) v[i] /= total;
 }
+
+void SoftmaxInPlace(Vec* v) { SoftmaxInPlace(v->data(), v->size()); }
 
 double Sigmoid(double x) {
   if (x >= 0.0) {
@@ -260,7 +176,7 @@ void MinMaxNormalizeInPlace(Vec* v) {
 void L2NormalizeInPlace(Vec* v) {
   const double n = Norm2(*v);
   if (n < 1e-12) return;
-  for (double& x : *v) x /= n;
+  simd::DivInPlace(n, v->data(), v->size());
 }
 
 }  // namespace retina

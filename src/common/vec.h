@@ -9,8 +9,10 @@
 #ifndef RETINA_COMMON_VEC_H_
 #define RETINA_COMMON_VEC_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace retina {
@@ -48,16 +50,35 @@ class Matrix {
     return data_.data() + r * cols_;
   }
 
+  /// Row r as a span — the no-copy accessor hot loops should prefer over
+  /// RowVec.
+  std::span<double> RowSpan(size_t r) {
+    assert(r < rows_);
+    return {Row(r), cols_};
+  }
+  std::span<const double> RowSpan(size_t r) const {
+    assert(r < rows_);
+    return {Row(r), cols_};
+  }
+
   /// Copies row r into a Vec.
   Vec RowVec(size_t r) const {
     assert(r < rows_);
-    return Vec(Row(r), Row(r) + cols_);
+    Vec out(cols_);
+    std::copy(Row(r), Row(r) + cols_, out.begin());
+    return out;
   }
 
   /// Overwrites row r with v (sizes must match).
   void SetRow(size_t r, const Vec& v) {
     assert(r < rows_ && v.size() == cols_);
-    for (size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+    std::copy(v.begin(), v.end(), Row(r));
+  }
+
+  /// Overwrites row r from a raw span of cols() entries.
+  void SetRow(size_t r, std::span<const double> v) {
+    assert(r < rows_ && v.size() == cols_);
+    std::copy(v.begin(), v.end(), Row(r));
   }
 
   std::vector<double>& data() { return data_; }
@@ -122,6 +143,9 @@ double CosineSimilarity(const Vec& a, const Vec& b);
 
 /// Numerically stable in-place softmax.
 void SoftmaxInPlace(Vec* v);
+
+/// Raw-buffer overload (same arithmetic) for arena-backed scratch.
+void SoftmaxInPlace(double* v, size_t n);
 
 /// Logistic sigmoid with clamping to avoid overflow.
 double Sigmoid(double x);

@@ -465,19 +465,26 @@ Vec FeatureExtractor::RetweetUserFeatures(const datagen::Tweet& tweet,
 Vec FeatureExtractor::AssembleRetweetUserFeatures(
     const datagen::Tweet& tweet, NodeId user, const SparseVec& history_block,
     const Vec& trending, int path_length) const {
+  Vec out(RetweetUserDim());
+  AssembleRetweetUserFeaturesInto(tweet, user, history_block, trending,
+                                  path_length, out.data());
+  return out;
+}
+
+void FeatureExtractor::AssembleRetweetUserFeaturesInto(
+    const datagen::Tweet& tweet, NodeId user, const SparseVec& history_block,
+    const Vec& trending, int path_length, double* out) const {
   assert(history_block.dim() == HistoryBlockDim());
   assert(trending.size() == config_.trending_dim);
-  Vec out(RetweetUserDim(), 0.0);
-  history_block.ScatterInto(out.data());
-  std::copy(trending.begin(), trending.end(),
-            out.begin() + static_cast<ptrdiff_t>(HistoryBlockDim()));
+  std::fill(out, out + HistoryBlockDim(), 0.0);
+  history_block.ScatterInto(out);
+  std::copy(trending.begin(), trending.end(), out + HistoryBlockDim());
   const size_t tail = HistoryBlockDim() + config_.trending_dim;
   out[tail] = path_length == graph::kUnreachable
                   ? static_cast<double>(kPeerPathCutoff + 1)
                   : static_cast<double>(path_length);
   out[tail + 1] = std::log(1.0 + static_cast<double>(world_->PastRetweetCount(
                                tweet.author, user, tweet.time)));
-  return out;
 }
 
 size_t FeatureExtractor::TweetContentDim() const {

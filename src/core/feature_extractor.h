@@ -119,6 +119,15 @@ class FeatureExtractor {
                                   const Vec& trending,
                                   int path_length) const;
 
+  /// AssembleRetweetUserFeatures into a caller-owned row of
+  /// RetweetUserDim() entries (need not be zeroed) — the serving engine
+  /// assembles candidate rows directly into its scratch arena with this.
+  void AssembleRetweetUserFeaturesInto(const datagen::Tweet& tweet,
+                                       NodeId user,
+                                       const SparseVec& history_block,
+                                       const Vec& trending, int path_length,
+                                       double* out) const;
+
   /// Recomputes user's history block from scratch — the uncached path
   /// behind ScoringEngine's per-user LRU (at serving scale the per-user
   /// invariants cannot all be precomputed). Equal to UserHistoryBlock for

@@ -460,9 +460,13 @@ Matrix Retina::HiddenForwardBatch(
   const size_t n = user_features.size();
   Matrix x(n, input_dim_);
   for (size_t i = 0; i < n; ++i) {
-    Vec row = Concat(*user_features[i], ctx.content);
-    row = nn::LayerNorm(row);
-    x.SetRow(i, row);
+    // Assemble + normalize in place: Concat's copies followed by the
+    // LayerNorm loops, without the two intermediate Vecs per row.
+    double* row = x.Row(i);
+    const Vec& u = *user_features[i];
+    std::copy(u.begin(), u.end(), row);
+    std::copy(ctx.content.begin(), ctx.content.end(), row + u.size());
+    nn::LayerNormInPlace(row, input_dim_);
   }
   return ff1_->ForwardBatch(x);
 }
@@ -478,12 +482,20 @@ Matrix Retina::DynamicProbsBatch(const Matrix& h_relu, const Vec& exo) const {
   // head score each interval's batch as one GEMM.
   std::vector<Vec> states(n, Vec(S, 0.0));
   Matrix hidden(n, H);
+  // One reused step-input buffer instead of two fresh Vecs per
+  // (candidate, interval); the entries match StepInput's exactly.
+  const size_t E = exo.size();
+  Vec in(H + E + 2);
   for (size_t j = 0; j < J; ++j) {
+    in[H + E] = std::log1p(static_cast<double>(j + 1)) / 3.0;
+    in[H + E + 1] = static_cast<double>(j + 1) /
+                    static_cast<double>(num_intervals_);
     for (size_t i = 0; i < n; ++i) {
       const double* hrow = h_relu.Row(i);
-      const Vec in = StepInput(Vec(hrow, hrow + H), exo, j);
+      std::copy(hrow, hrow + H, in.begin());
+      std::copy(exo.begin(), exo.end(), in.begin() + H);
       states[i] = rnn_->Forward(in, states[i], nullptr);
-      hidden.SetRow(i, Vec(states[i].begin(), states[i].begin() + H));
+      std::copy(states[i].begin(), states[i].begin() + H, hidden.Row(i));
     }
     const Matrix logits = head_->ForwardBatch(hidden);
     for (size_t i = 0; i < n; ++i) {
@@ -512,35 +524,69 @@ Vec Retina::ScoreBatch(const TweetContext& ctx,
   const size_t n = user_features.size();
   Vec scores(n);
   if (n == 0) return scores;
-  Vec exo;
+  // Outermost request entry: reset this thread's arena (recording the
+  // high-water mark) and run the raw-row core against it.
+  ScratchArena& arena = TlsScratchArena();
+  arena.Reset();
+  auto** rows = static_cast<const double**>(arena.Allocate(
+      n * sizeof(const double*), alignof(const double*)));
+  for (size_t i = 0; i < n; ++i) rows[i] = user_features[i]->data();
+  ScoreBatchRows(ctx, rows, n, scores.data(), &arena);
+  return scores;
+}
+
+void Retina::ScoreBatchRows(const TweetContext& ctx,
+                            const double* const* user_rows, size_t n,
+                            double* scores, ScratchArena* arena) const {
+  if (n == 0) return;
+  const size_t H = options_.hidden;
+  const size_t E = attention_ != nullptr ? attention_->hdim() : 0;
+  double* exo = arena->AllocDoubles(E);
   if (attention_ != nullptr) {
-    exo = attention_->Forward(ctx.embedding, ctx.news_window, nullptr);
+    attention_->ForwardInto(ctx.embedding, ctx.news_window, arena, exo);
   }
-  Matrix h = HiddenForwardBatch(ctx, user_features);
-  nn::ReluInPlace(&h);
+
+  // Feature rows: user block + tweet content, layer-normalized in place —
+  // the same copy + normalize sequence as HiddenForwardBatch.
+  const size_t user_dim = input_dim_ - ctx.content.size();
+  double* x = arena->AllocDoubles(n * input_dim_);
+  for (size_t i = 0; i < n; ++i) {
+    double* row = x + i * input_dim_;
+    std::copy(user_rows[i], user_rows[i] + user_dim, row);
+    std::copy(ctx.content.begin(), ctx.content.end(), row + user_dim);
+    nn::LayerNormInPlace(row, input_dim_);
+  }
+  double* h = arena->AllocDoubles(n * H);
+  ff1_->ForwardBatchRaw(x, n, h);
+  for (size_t i = 0; i < n * H; ++i) h[i] = std::max(0.0, h[i]);
 
   if (!options_.dynamic) {
-    const size_t H = options_.hidden;
-    Matrix concat(n, H + exo.size());
+    double* concat = arena->AllocDoubles(n * (H + E));
     for (size_t i = 0; i < n; ++i) {
-      const double* hrow = h.Row(i);
-      double* crow = concat.Row(i);
+      const double* hrow = h + i * H;
+      double* crow = concat + i * (H + E);
       std::copy(hrow, hrow + H, crow);
-      std::copy(exo.begin(), exo.end(), crow + H);
+      std::copy(exo, exo + E, crow + H);
     }
-    const Matrix logits = head_->ForwardBatch(concat);
-    for (size_t i = 0; i < n; ++i) scores[i] = Sigmoid(logits.Row(i)[0]);
-    return scores;
+    double* logits = arena->AllocDoubles(n);
+    head_->ForwardBatchRaw(concat, n, logits);
+    for (size_t i = 0; i < n; ++i) scores[i] = Sigmoid(logits[i]);
+    return;
   }
 
-  const Matrix probs = DynamicProbsBatch(h, exo);
+  // Dynamic head: the recurrent unroll still runs on Vec/Matrix state, so
+  // this path allocates; the zero-allocation contract covers the static
+  // head only.
+  Matrix h_relu(n, H);
+  std::copy(h, h + n * H, h_relu.Row(0));
+  const Vec exo_vec(exo, exo + E);
+  const Matrix probs = DynamicProbsBatch(h_relu, exo_vec);
   for (size_t i = 0; i < n; ++i) {
     const double* prow = probs.Row(i);
     double none = 1.0;
     for (size_t j = 0; j < num_intervals_; ++j) none *= (1.0 - prow[j]);
     scores[i] = 1.0 - none;
   }
-  return scores;
 }
 
 namespace {

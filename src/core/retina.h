@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "core/retweet_task.h"
 #include "io/checkpoint.h"
@@ -107,6 +108,16 @@ class Retina {
   /// single blocked GEMM (see DESIGN.md "Batched serving").
   Vec ScoreBatch(const TweetContext& ctx,
                  const std::vector<const Vec*>& user_features) const;
+
+  /// Arena-backed ScoreBatch over raw candidate feature rows (each
+  /// `user_rows[i]` holds user_dim entries): scores[i] equals
+  /// PredictScore(ctx, row i) bit-for-bit. Every temporary comes from
+  /// `arena` — bumped, never reset here, so the caller owns the request
+  /// epoch — and on a warm arena the static forward performs zero heap
+  /// allocations. Dynamic mode falls back to the Matrix-based batched
+  /// unroll, which still allocates.
+  void ScoreBatchRows(const TweetContext& ctx, const double* const* user_rows,
+                      size_t n, double* scores, ScratchArena* arena) const;
 
   /// Scalar score for ranking/classification: the static probability, or
   /// in dynamic mode 1 - prod_m(1 - P_m) (probability of retweeting in any

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 #include "common/trace.h"
@@ -21,6 +22,9 @@ ScoringEngine::ObsHooks ScoringEngine::ObsHooks::Resolve() {
       reg.GetGauge("serving.user_cache.evictions"),
       reg.GetHistogram("serving.request_warm_ns"),
       reg.GetHistogram("serving.request_cold_ns"),
+      reg.GetGauge("arena.bytes_reserved"),
+      reg.GetGauge("arena.high_water_bytes"),
+      reg.GetCounter("score.alloc_bytes"),
   };
 }
 
@@ -102,6 +106,14 @@ const ScoringEngine::TweetEntry& ScoringEngine::GetTweetEntry(
 
 Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
                               const std::vector<NodeId>& users) {
+  Vec scores;
+  ScoreTweetInto(tweet, users, &scores);
+  return scores;
+}
+
+void ScoringEngine::ScoreTweetInto(const datagen::Tweet& tweet,
+                                   const std::vector<NodeId>& users,
+                                   Vec* scores) {
   // Mint a per-request trace id (requests replayed inside ScoreCandidates
   // inherit that batch's id instead), then open the request span under it
   // so every event below — cache hits/misses, chunk work on pool threads —
@@ -119,9 +131,18 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
   const uint64_t misses_before = stats_.user_misses + stats_.tweet_misses;
   const TweetEntry& entry = GetTweetEntry(tweet);
 
-  std::vector<Vec> features(users.size());
+  // Request epoch: candidate feature rows are assembled straight into the
+  // thread's scratch arena — no per-candidate Vec, no std::vector<Vec>.
+  ScratchArena& arena = TlsScratchArena();
+  arena.Reset();
+  const size_t n = users.size();
+  const size_t user_dim = extractor_->RetweetUserDim();
+  double* rows = arena.AllocDoubles(n * user_dim);
+  auto** row_ptrs = static_cast<const double**>(
+      arena.Allocate(n * sizeof(const double*), alignof(const double*)));
+
   size_t batch_hits = 0, batch_misses = 0;
-  for (size_t i = 0; i < users.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const NodeId u = users[i];
     const SparseVec* block = nullptr;
     SparseVec fresh;
@@ -142,26 +163,34 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
       fresh = SparseVec::FromDense(extractor_->ComputeHistoryBlock(u));
       block = &fresh;
     }
-    features[i] = extractor_->AssembleRetweetUserFeatures(
-        tweet, u, *block, entry.trending, entry.dist[u]);
+    double* row = rows + i * user_dim;
+    extractor_->AssembleRetweetUserFeaturesInto(tweet, u, *block,
+                                                entry.trending, entry.dist[u],
+                                                row);
+    row_ptrs[i] = row;
   }
   stats_.user_evictions = user_cache_.evictions();
   hooks_.user_hits->Add(batch_hits);
   hooks_.user_misses->Add(batch_misses);
   hooks_.user_evictions->Set(static_cast<int64_t>(stats_.user_evictions));
 
-  Vec scores;
+  scores->resize(n);
   if (options_.batched) {
-    std::vector<const Vec*> ptrs;
-    ptrs.reserve(features.size());
-    for (const Vec& f : features) ptrs.push_back(&f);
-    scores = model_->ScoreBatch(entry.ctx, ptrs);
+    model_->ScoreBatchRows(entry.ctx, row_ptrs, n, scores->data(), &arena);
   } else {
-    scores.resize(users.size());
-    for (size_t i = 0; i < users.size(); ++i) {
-      scores[i] = model_->PredictScore(entry.ctx, features[i]);
+    for (size_t i = 0; i < n; ++i) {
+      const Vec f(row_ptrs[i], row_ptrs[i] + user_dim);
+      (*scores)[i] = model_->PredictScore(entry.ctx, f);
     }
   }
+
+  // Memory telemetry: what this thread's arena holds, its historical
+  // footprint, and the cumulative bytes the scoring path has bumped
+  // through it.
+  hooks_.arena_reserved->Set(static_cast<int64_t>(arena.bytes_reserved()));
+  hooks_.arena_high_water->Set(
+      static_cast<int64_t>(arena.high_water_bytes()));
+  hooks_.score_alloc_bytes->Add(arena.bytes_used());
 
   if (obs_on) {
     // A request is "warm" when every per-user and per-tweet invariant came
@@ -177,36 +206,44 @@ Vec ScoringEngine::ScoreTweet(const datagen::Tweet& tweet,
     (warm ? hooks_.request_warm_ns : hooks_.request_cold_ns)
         ->Record(elapsed);
   }
-  return scores;
 }
 
 Vec ScoringEngine::ScoreCandidates(
     const RetweetTask& task,
     const std::vector<RetweetCandidate>& candidates) {
+  Vec scores;
+  ScoreCandidatesInto(task, candidates, &scores);
+  return scores;
+}
+
+void ScoringEngine::ScoreCandidatesInto(
+    const RetweetTask& task,
+    const std::vector<RetweetCandidate>& candidates, Vec* scores) {
   // One trace id for the whole batch replay; the per-tweet ScoreTweet
   // requests below nest under it rather than minting their own.
   obs::TraceRequestScope trace_batch;
   const auto& tweets = extractor_->world().tweets();
-  Vec scores(candidates.size());
+  scores->resize(candidates.size());
   // Replay as one request per contiguous tweet run — the serving analogue
-  // of the grouping inside Retina::ScoreCandidates.
+  // of the grouping inside Retina::ScoreCandidates. The run-local user
+  // list and score buffer are members, so their capacity survives across
+  // runs and calls.
   for (size_t i = 0; i < candidates.size();) {
     size_t j = i + 1;
     while (j < candidates.size() &&
            candidates[j].tweet_pos == candidates[i].tweet_pos) {
       ++j;
     }
-    std::vector<NodeId> users;
-    users.reserve(j - i);
-    for (size_t s = i; s < j; ++s) users.push_back(candidates[s].user);
+    users_scratch_.clear();
+    users_scratch_.reserve(j - i);
+    for (size_t s = i; s < j; ++s) users_scratch_.push_back(candidates[s].user);
     const datagen::Tweet& tweet =
         tweets[task.tweets[candidates[i].tweet_pos].tweet_id];
-    const Vec out = ScoreTweet(tweet, users);
-    std::copy(out.begin(), out.end(),
-              scores.begin() + static_cast<ptrdiff_t>(i));
+    ScoreTweetInto(tweet, users_scratch_, &run_scores_);
+    std::copy(run_scores_.begin(), run_scores_.end(),
+              scores->begin() + static_cast<ptrdiff_t>(i));
     i = j;
   }
-  return scores;
 }
 
 }  // namespace retina::core

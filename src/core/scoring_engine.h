@@ -92,12 +92,29 @@ class ScoringEngine {
   Vec ScoreTweet(const datagen::Tweet& tweet,
                  const std::vector<NodeId>& users);
 
+  /// ScoreTweet writing into a caller-owned (and ideally reused) vector —
+  /// `scores` is resized to users.size(). Candidate feature rows live in
+  /// the thread's scratch arena and the batched forward runs through
+  /// Retina::ScoreBatchRows, so once the arena and caches are warm a
+  /// batched static-head request performs zero heap allocations (pinned
+  /// by the allocation-regression test). Scores are bit-identical to
+  /// ScoreTweet.
+  void ScoreTweetInto(const datagen::Tweet& tweet,
+                      const std::vector<NodeId>& users, Vec* scores);
+
   /// Serving-path equivalent of Retina::ScoreCandidates: replays the
   /// candidate list as one request per tweet group, rebuilding every
   /// feature vector from the raw world. Bit-identical to the model's own
   /// ScoreCandidates over the task-built features.
   Vec ScoreCandidates(const RetweetTask& task,
                       const std::vector<RetweetCandidate>& candidates);
+
+  /// ScoreCandidates into a caller-owned vector; the per-run user list and
+  /// score buffer are engine members reused across runs, so warm replays
+  /// allocate nothing beyond what ScoreTweetInto's contract states.
+  void ScoreCandidatesInto(const RetweetTask& task,
+                           const std::vector<RetweetCandidate>& candidates,
+                           Vec* scores);
 
   const ScoringEngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
@@ -126,6 +143,8 @@ class ScoringEngine {
   LruCache<NodeId, SparseVec> user_cache_;
   LruCache<size_t, TweetEntry> tweet_cache_;  // keyed by tweet id
   TweetEntry scratch_entry_;  // uncached mode
+  std::vector<NodeId> users_scratch_;  // per-run user list (replay path)
+  Vec run_scores_;                     // per-run output buffer (replay path)
 
   /// Registry instruments, resolved once at construction. Purely
   /// observational mirrors of stats_ plus request-latency histograms with
@@ -142,6 +161,9 @@ class ScoringEngine {
     obs::Gauge* user_evictions;
     obs::Histogram* request_warm_ns;
     obs::Histogram* request_cold_ns;
+    obs::Gauge* arena_reserved;    ///< arena.bytes_reserved (this thread)
+    obs::Gauge* arena_high_water;  ///< arena.high_water_bytes (this thread)
+    obs::Counter* score_alloc_bytes;  ///< cumulative arena bytes per request
   };
   ObsHooks hooks_;
 };

@@ -1,7 +1,10 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+
+#include "common/simd.h"
 
 namespace retina::nn {
 
@@ -11,6 +14,53 @@ ExogenousAttention::ExogenousAttention(size_t tweet_dim, size_t news_dim,
       Wq_(tweet_dim, hdim),
       Wk_(news_dim, hdim),
       Wv_(news_dim, hdim) {}
+
+void ExogenousAttention::ProjectQuery(const double* tweet, size_t tweet_dim,
+                                      double* q) const {
+  // Q = X^T (.) Wq : (hdim)
+  for (size_t j = 0; j < tweet_dim; ++j) {
+    if (tweet[j] == 0.0) continue;
+    simd::Axpy(tweet[j], Wq_.value.Row(j), q, hdim_);
+  }
+}
+
+void ExogenousAttention::ProjectKeysValues(const Matrix& news, double* k,
+                                           double* v) const {
+  const size_t seq = news.rows();
+  assert(seq == 0 || news.cols() == Wk_.value.rows());
+  for (size_t i = 0; i < seq; ++i) {
+    const double* nrow = news.Row(i);
+    double* krow = k + i * hdim_;
+    double* vrow = v + i * hdim_;
+    for (size_t j = 0; j < news.cols(); ++j) {
+      const double x = nrow[j];
+      if (x == 0.0) continue;
+      simd::Axpy(x, Wk_.value.Row(j), krow, hdim_);
+      simd::Axpy(x, Wv_.value.Row(j), vrow, hdim_);
+    }
+  }
+}
+
+void ExogenousAttention::ForwardCore(const double* tweet, size_t tweet_dim,
+                                     const Matrix& news, double* q,
+                                     double* k, double* v, double* weights,
+                                     double* out) const {
+  const size_t seq = news.rows();
+  ProjectQuery(tweet, tweet_dim, q);
+  ProjectKeysValues(news, k, v);
+
+  // A = softmax(Q.K / sqrt(hdim)).
+  const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
+  for (size_t i = 0; i < seq; ++i) {
+    weights[i] = simd::Dot(q, k + i * hdim_, hdim_) * scale;
+  }
+  SoftmaxInPlace(weights, seq);
+
+  // X^{T,N} = sum_i A_i V_i.
+  for (size_t i = 0; i < seq; ++i) {
+    simd::Axpy(weights[i], v + i * hdim_, out, hdim_);
+  }
+}
 
 Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
                                 AttentionCache* cache) const {
@@ -27,33 +77,11 @@ Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
   }
   assert(news.cols() == Wk_.value.rows());
 
-  // Q = X^T (.) Wq : (hdim)
   Vec q(hdim_, 0.0);
-  for (size_t j = 0; j < tweet.size(); ++j) {
-    if (tweet[j] == 0.0) continue;
-    const double* row = Wq_.value.Row(j);
-    for (size_t h = 0; h < hdim_; ++h) q[h] += tweet[j] * row[h];
-  }
-  // K, V = X^N (.) Wk, X^N (.) Wv : (seq x hdim)
-  Matrix k, v;
-  ProjectKeysValues(news, &k, &v);
-
-  // A = softmax(Q.K / sqrt(hdim)).
-  const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
+  Matrix k(seq, hdim_), v(seq, hdim_);
   Vec weights(seq);
-  for (size_t i = 0; i < seq; ++i) {
-    const double* krow = k.Row(i);
-    double dot = 0.0;
-    for (size_t h = 0; h < hdim_; ++h) dot += q[h] * krow[h];
-    weights[i] = dot * scale;
-  }
-  SoftmaxInPlace(&weights);
-
-  // X^{T,N} = sum_i A_i V_i.
-  for (size_t i = 0; i < seq; ++i) {
-    const double* vrow = v.Row(i);
-    for (size_t h = 0; h < hdim_; ++h) out[h] += weights[i] * vrow[h];
-  }
+  ForwardCore(tweet.data(), tweet.size(), news, q.data(), k.Row(0),
+              v.Row(0), weights.data(), out.data());
 
   if (cache != nullptr) {
     cache->tweet = tweet;
@@ -66,27 +94,19 @@ Vec ExogenousAttention::Forward(const Vec& tweet, const Matrix& news,
   return out;
 }
 
-void ExogenousAttention::ProjectKeysValues(const Matrix& news, Matrix* k,
-                                           Matrix* v) const {
+void ExogenousAttention::ForwardInto(const Vec& tweet, const Matrix& news,
+                                     ScratchArena* arena, double* out) const {
+  assert(tweet.size() == Wq_.value.rows());
   const size_t seq = news.rows();
-  assert(seq == 0 || news.cols() == Wk_.value.rows());
-  *k = Matrix(seq, hdim_);
-  *v = Matrix(seq, hdim_);
-  for (size_t i = 0; i < seq; ++i) {
-    const double* nrow = news.Row(i);
-    double* krow = k->Row(i);
-    double* vrow = v->Row(i);
-    for (size_t j = 0; j < news.cols(); ++j) {
-      const double x = nrow[j];
-      if (x == 0.0) continue;
-      const double* wk = Wk_.value.Row(j);
-      const double* wv = Wv_.value.Row(j);
-      for (size_t h = 0; h < hdim_; ++h) {
-        krow[h] += x * wk[h];
-        vrow[h] += x * wv[h];
-      }
-    }
-  }
+  std::fill(out, out + hdim_, 0.0);
+  if (seq == 0) return;
+  assert(news.cols() == Wk_.value.rows());
+
+  double* q = arena->AllocDoublesZeroed(hdim_);
+  double* k = arena->AllocDoublesZeroed(seq * hdim_);
+  double* v = arena->AllocDoublesZeroed(seq * hdim_);
+  double* weights = arena->AllocDoubles(seq);
+  ForwardCore(tweet.data(), tweet.size(), news, q, k, v, weights, out);
 }
 
 Matrix ExogenousAttention::ForwardBatch(const Matrix& queries,
@@ -97,26 +117,26 @@ Matrix ExogenousAttention::ForwardBatch(const Matrix& queries,
   Matrix out(n, hdim_);
   if (seq == 0 || n == 0) return out;
 
-  // One K/V projection for the whole batch, one GEMM for all queries.
-  Matrix k, v;
-  ProjectKeysValues(news, &k, &v);
-  const Matrix q = queries.MatMul(Wq_.value);
+  // One K/V projection for the whole batch; each row's query projection,
+  // weight dots and value aggregation run the identical kernels Forward
+  // uses, so row i is bit-identical to Forward(queries row i, news) at
+  // any dispatch choice.
+  Matrix k(seq, hdim_), v(seq, hdim_);
+  ProjectKeysValues(news, k.Row(0), v.Row(0));
 
   const double scale = 1.0 / std::sqrt(static_cast<double>(hdim_));
+  Vec q(hdim_);
   Vec weights(seq);
   for (size_t r = 0; r < n; ++r) {
-    const double* qrow = q.Row(r);
+    std::fill(q.begin(), q.end(), 0.0);
+    ProjectQuery(queries.Row(r), queries.cols(), q.data());
     for (size_t i = 0; i < seq; ++i) {
-      const double* krow = k.Row(i);
-      double dot = 0.0;
-      for (size_t h = 0; h < hdim_; ++h) dot += qrow[h] * krow[h];
-      weights[i] = dot * scale;
+      weights[i] = simd::Dot(q.data(), k.Row(i), hdim_) * scale;
     }
     SoftmaxInPlace(&weights);
     double* orow = out.Row(r);
     for (size_t i = 0; i < seq; ++i) {
-      const double* vrow = v.Row(i);
-      for (size_t h = 0; h < hdim_; ++h) orow[h] += weights[i] * vrow[h];
+      simd::Axpy(weights[i], v.Row(i), orow, hdim_);
     }
   }
   return out;

@@ -4,12 +4,29 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace retina::nn {
+
+void Dense::ForwardRaw(const double* x, double* y) const {
+  const size_t out = W_.value.rows();
+  simd::MatVec(W_.value.Row(0), out, W_.value.cols(), x, y);
+  for (size_t i = 0; i < out; ++i) y[i] += b_.value(0, i);
+}
+
+void Dense::ForwardBatchRaw(const double* x, size_t n, double* y) const {
+  const size_t out = W_.value.rows();
+  simd::MatMulTransposedB(x, n, W_.value.cols(), W_.value.Row(0), out, y);
+  for (size_t r = 0; r < n; ++r) {
+    double* row = y + r * out;
+    for (size_t i = 0; i < out; ++i) row[i] += b_.value(0, i);
+  }
+}
 
 Vec Dense::Forward(const Vec& x) const {
   assert(x.size() == W_.value.cols());
-  Vec y = W_.value.MatVec(x);
-  for (size_t i = 0; i < y.size(); ++i) y[i] += b_.value(0, i);
+  Vec y(W_.value.rows());
+  ForwardRaw(x.data(), y.data());
   return y;
 }
 
@@ -22,25 +39,18 @@ Vec Dense::ForwardSparse(const SparseVec& x) const {
 
 Matrix Dense::ForwardBatch(const Matrix& X) const {
   assert(X.cols() == W_.value.cols());
-  Matrix Y = X.MatMulTransposedB(W_.value);
-  for (size_t r = 0; r < Y.rows(); ++r) {
-    double* row = Y.Row(r);
-    for (size_t i = 0; i < Y.cols(); ++i) row[i] += b_.value(0, i);
-  }
+  Matrix Y(X.rows(), W_.value.rows());
+  ForwardBatchRaw(X.rows() == 0 ? nullptr : X.Row(0), X.rows(),
+                  Y.rows() == 0 ? nullptr : Y.Row(0));
   return Y;
 }
 
 Vec SparseMatVec(const Matrix& W, const SparseVec& x) {
   assert(x.dim() == W.cols());
   Vec y(W.rows(), 0.0);
-  const auto& idx = x.indices();
-  const auto& val = x.values();
-  for (size_t i = 0; i < W.rows(); ++i) {
-    const double* row = W.Row(i);
-    double acc = 0.0;
-    for (size_t k = 0; k < idx.size(); ++k) acc += row[idx[k]] * val[k];
-    y[i] = acc;
-  }
+  simd::SparseMatVec(W.rows() == 0 ? nullptr : W.Row(0), W.rows(), W.cols(),
+                     x.values().data(), x.indices().data(), x.nnz(),
+                     y.data());
   return y;
 }
 
@@ -87,6 +97,19 @@ Vec LayerNorm(const Vec& x, double eps) {
   Vec y(x.size());
   for (size_t i = 0; i < x.size(); ++i) y[i] = (x[i] - mu) * inv;
   return y;
+}
+
+void LayerNormInPlace(double* x, size_t n, double eps) {
+  // Mirrors LayerNorm exactly: mean and variance accumulate in index
+  // order with the same scalar loops Mean/Variance use.
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += x[i];
+  const double mu = n == 0 ? 0.0 : sum / static_cast<double>(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += (x[i] - mu) * (x[i] - mu);
+  const double var = n == 0 ? 0.0 : acc / static_cast<double>(n);
+  const double inv = 1.0 / std::sqrt(var + eps);
+  for (size_t i = 0; i < n; ++i) x[i] = (x[i] - mu) * inv;
 }
 
 Vec LayerNormBackward(const Vec& x, const Vec& dy, double eps) {

@@ -28,14 +28,25 @@ class Dense {
   Vec Forward(const Vec& x) const;
 
   /// Forward for a sparse input; touches only W's columns at x's nonzero
-  /// indices. Equal to Forward(x.ToDense()).
+  /// indices. Equal to Forward(x.ToDense()) — bitwise under the scalar
+  /// kernel backend, within 1e-12 relative tolerance under SIMD (the
+  /// sparse reduction partitions terms across lanes differently).
   Vec ForwardSparse(const SparseVec& x) const;
 
   /// Batched forward: Y row i = Forward(X row i), computed as one blocked
-  /// GEMM against W instead of rows() MatVecs. Per-entry accumulation
-  /// order matches Forward, so the rows are bit-identical to the
-  /// one-vector-at-a-time path.
+  /// GEMM against W instead of rows() MatVecs. Every output entry goes
+  /// through the same dispatched dot kernel as Forward, so the rows are
+  /// bit-identical to the one-vector-at-a-time path at any dispatch.
   Matrix ForwardBatch(const Matrix& X) const;
+
+  /// Raw-buffer forward: y[0..out_dim) = W x + b for x of in_dim entries.
+  /// Identical arithmetic to Forward; used by the arena-backed serving
+  /// path to avoid per-request Vec allocations.
+  void ForwardRaw(const double* x, double* y) const;
+
+  /// Raw-buffer batched forward over n row-major rows of in_dim entries;
+  /// y holds n x out_dim. Identical arithmetic to ForwardBatch.
+  void ForwardBatchRaw(const double* x, size_t n, double* y) const;
 
   /// Accumulates dW, db from (cached input x, upstream dy); returns dx.
   Vec Backward(const Vec& x, const Vec& dy);
@@ -55,7 +66,9 @@ class Dense {
 
 /// y = W x for a sparse x: each output entry accumulates
 /// W(i, j) * x_j over x's stored indices in ascending order — the nonzero
-/// subsequence of MatVec's loop, so the result matches W.MatVec(x.ToDense()).
+/// subsequence of MatVec's loop, so the result matches W.MatVec(x.ToDense())
+/// bitwise under the scalar kernel backend and within 1e-12 relative
+/// tolerance under SIMD.
 Vec SparseMatVec(const Matrix& W, const SparseVec& x);
 
 /// ReLU forward.
@@ -73,6 +86,11 @@ Vec SigmoidVec(const Vec& x);
 /// Layer normalization without learnable affine (the "normalized" input
 /// stage of Figure 4(b)); eps guards zero-variance inputs.
 Vec LayerNorm(const Vec& x, double eps = 1e-5);
+
+/// In-place raw-buffer layer norm, bit-identical to LayerNorm (same
+/// mean/variance accumulation order). Serving assembles feature rows
+/// directly into arena storage and normalizes them here.
+void LayerNormInPlace(double* x, size_t n, double eps = 1e-5);
 
 /// Backward of LayerNorm.
 Vec LayerNormBackward(const Vec& x, const Vec& dy, double eps = 1e-5);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.h"
+
 namespace retina::text {
 
 Status TfIdfVectorizer::Fit(
@@ -72,15 +74,12 @@ Status TfIdfVectorizer::Fit(
 }
 
 Vec TfIdfVectorizer::Transform(const std::vector<std::string>& doc) const {
-  Vec out(Dim(), 0.0);
-  if (doc.empty() || !fitted()) return out;
-  for (const auto& tok : doc) {
-    auto it = feature_index_.find(tok);
-    if (it != feature_index_.end()) out[it->second] += 1.0;
-  }
-  for (size_t i = 0; i < out.size(); ++i) out[i] *= idf_[i];
-  if (options_.l2_normalize) L2NormalizeInPlace(&out);
-  return out;
+  // Delegates to the sparse path so the documented exact-equality pin
+  // Transform(doc) == TransformSparse(doc).ToDense() holds at any kernel
+  // dispatch: both paths share one count/idf/normalize computation instead
+  // of normalizing a 0-padded dense vector with a differently-partitioned
+  // reduction.
+  return TransformSparse(doc).ToDense();
 }
 
 SparseVec TfIdfVectorizer::TransformSparse(
@@ -101,13 +100,12 @@ SparseVec TfIdfVectorizer::TransformSparse(
   std::sort(counts.begin(), counts.end());
   for (const auto& [i, tf] : counts) out.PushBack(i, tf * idf_[i]);
   if (options_.l2_normalize) {
-    // Same arithmetic as L2NormalizeInPlace — including dividing each
-    // entry by the norm rather than multiplying by its reciprocal, which
-    // differs in the last ulp. The skipped entries are exact zeros, so the
-    // norm accumulates the identical term sequence.
+    // Kept as a division (not multiplication by the reciprocal, which
+    // differs in the last ulp); Transform delegates here so this is the
+    // single normalization both paths share.
     const double n = out.Norm2();
     if (n >= 1e-12) {
-      for (double& x : out.mutable_values()) x /= n;
+      simd::DivInPlace(n, out.mutable_values().data(), out.nnz());
     }
   }
   return out;

@@ -1,0 +1,169 @@
+// Allocation-count regression pin for the serving hot path.
+//
+// The zero-allocation contract (DESIGN.md §10): once the scoring engine's
+// caches and the thread's scratch arena are warm, a batched static-head
+// ScoreTweetInto / ScoreCandidatesInto request performs ZERO heap
+// allocations on the request thread — feature rows, attention scratch,
+// activations, and logits all live in the arena, and every reusable
+// container has reached its steady-state capacity.
+//
+// Mechanism: a global operator-new override counts allocations made by
+// THIS thread (per-thread counter, so unrelated background threads cannot
+// pollute the count). Sanitizer builds replace the allocator, so the pin
+// skips itself there; plain Debug and Release builds both run it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "core/feature_extractor.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+#include "core/scoring_engine.h"
+#include "datagen/world.h"
+#include "hatedetect/annotation.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RETINA_ALLOC_HOOK_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RETINA_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+#ifndef RETINA_ALLOC_HOOK_DISABLED
+
+namespace {
+thread_local size_t g_thread_allocs = 0;
+}  // namespace
+
+// Count every successful allocation made by the calling thread. Plain
+// malloc keeps the override trivially correct; the counter is the payload.
+void* operator new(size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  ++g_thread_allocs;
+  return p;
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new(size_t size, std::align_val_t align) {
+  const size_t a = static_cast<size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
+  if (p == nullptr) throw std::bad_alloc();
+  ++g_thread_allocs;
+  return p;
+}
+
+void* operator new[](size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // !RETINA_ALLOC_HOOK_DISABLED
+
+namespace retina::core {
+namespace {
+
+datagen::WorldConfig TestConfig() {
+  datagen::WorldConfig config;
+  config.scale = 0.05;
+  config.num_users = 700;
+  config.history_length = 12;
+  config.news_per_day = 40.0;
+  return config;
+}
+
+FeatureConfig TestFeatureConfig() {
+  FeatureConfig config;
+  config.history_size = 8;
+  config.history_tfidf_dim = 60;
+  config.news_tfidf_dim = 60;
+  config.tweet_tfidf_dim = 60;
+  config.news_window = 15;
+  config.doc2vec_dim = 12;
+  config.doc2vec_epochs = 2;
+  return config;
+}
+
+TEST(AllocRegressionTest, WarmStaticScoreCandidatesAllocatesNothing) {
+#ifdef RETINA_ALLOC_HOOK_DISABLED
+  GTEST_SKIP() << "allocation hook disabled (sanitizer build)";
+#else
+  auto world = datagen::SyntheticWorld::Generate(TestConfig(), 43);
+  hatedetect::AnnotationOptions aopts;
+  ASSERT_TRUE(hatedetect::AnnotateWorld(&world, aopts).ok());
+  auto fx = FeatureExtractor::Build(world, TestFeatureConfig());
+  ASSERT_TRUE(fx.ok());
+  const FeatureExtractor extractor = std::move(fx).ValueOrDie();
+  RetweetTaskOptions topts;
+  topts.min_news = 15;
+  topts.max_candidates = 24;
+  auto task_result = BuildRetweetTask(extractor, topts);
+  ASSERT_TRUE(task_result.ok());
+  const RetweetTask task = std::move(task_result).ValueOrDie();
+  ASSERT_FALSE(task.test.empty());
+
+  RetinaOptions opts;
+  opts.hidden = 12;
+  opts.epochs = 1;
+  opts.dynamic = false;  // the contract covers the static head
+  Retina model(task.user_dim, task.content_dim, task.embed_dim,
+               task.NumIntervals(), opts);
+  ASSERT_TRUE(model.Train(task).ok());
+
+  ScoringEngine engine(&model, &extractor);  // batched + cached defaults
+
+  // Warm-up: first pass fills both LRUs and establishes the arena
+  // high-water mark; second pass lets every reusable buffer reach its
+  // steady-state capacity through the exact call sequence under test.
+  Vec scores;
+  engine.ScoreCandidatesInto(task, task.test, &scores);
+  engine.ScoreCandidatesInto(task, task.test, &scores);
+  const Vec warm_reference = scores;
+
+  g_thread_allocs = 0;
+  engine.ScoreCandidatesInto(task, task.test, &scores);
+  EXPECT_EQ(g_thread_allocs, 0u)
+      << "warm batched static-head replay must not touch the heap";
+
+  // Same pin through the single-request entry point.
+  std::vector<NodeId> users;
+  for (const auto& cand : task.test) {
+    if (cand.tweet_pos != task.test.front().tweet_pos) break;
+    users.push_back(cand.user);
+  }
+  const datagen::Tweet& tweet =
+      extractor.world().tweets()[task.tweets[task.test.front().tweet_pos]
+                                     .tweet_id];
+  Vec one_tweet;
+  engine.ScoreTweetInto(tweet, users, &one_tweet);
+  g_thread_allocs = 0;
+  engine.ScoreTweetInto(tweet, users, &one_tweet);
+  EXPECT_EQ(g_thread_allocs, 0u)
+      << "warm ScoreTweetInto must not touch the heap";
+
+  // The allocation-free replay still produces the same scores.
+  ASSERT_EQ(scores.size(), warm_reference.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i], warm_reference[i]);
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace retina::core

@@ -1,0 +1,378 @@
+// Pins for the retina::simd kernel layer (DESIGN.md §10) and the
+// ScratchArena request allocator.
+//
+// Kernel contract under test:
+//   - Element-wise kernels (axpy, scale, div_inplace, sparse_axpy) are
+//     bit-identical to the scalar reference at every size on x86; on NEON
+//     they hold the 1e-12 relative tolerance instead (aarch64 contracts
+//     scalar multiply+add into fused ops, so the reference itself fuses).
+//   - Reduction kernels (dot, sparse_dot) agree with scalar within 1e-12
+//     relative tolerance and are bit-identical run-to-run at a fixed
+//     dispatch choice.
+//   - Matrix drivers produce every output entry through the dispatched
+//     kernel, so driver results are bit-identical to per-entry kernel
+//     calls at ANY backend — the invariant the serial≡batched forward
+//     pins build on.
+// Every comparison runs across tail sizes (0, 1, 3, 4k±1, ...) and
+// unaligned slices, because the SIMD bodies switch between 16-wide
+// blocks, 4-wide tails, and scalar remainders at exactly those edges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/simd.h"
+#include "common/status.h"
+
+namespace retina {
+namespace {
+
+// Sizes straddling every block boundary of the widest kernel (16-wide
+// main loop, 8- and 4-wide tails, scalar remainder).
+const size_t kSizes[] = {0,  1,  3,   4,   5,   7,    8,    15,   16,  17,
+                         31, 63, 127, 255, 256, 1023, 4095, 4096, 4097};
+
+std::vector<double> MakeData(size_t n, unsigned seed) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.37 * static_cast<double>(i) + seed) +
+           0.25 * std::cos(1.93 * static_cast<double>(i));
+  }
+  return v;
+}
+
+// Ascending indices with an irregular stride so gathers cross cache lines.
+std::vector<uint32_t> MakeIndices(size_t nnz, size_t dim) {
+  std::vector<uint32_t> idx(nnz);
+  size_t cur = 0;
+  for (size_t k = 0; k < nnz; ++k) {
+    idx[k] = static_cast<uint32_t>(cur);
+    cur += 1 + (k % 3);
+  }
+  EXPECT_TRUE(nnz == 0 || idx.back() < dim);
+  return idx;
+}
+
+const simd::KernelTable& Scalar() {
+  return simd::KernelsFor(simd::Backend::kScalar);
+}
+
+// The element-wise bit-exactness guarantee is x86-only (see header note).
+bool ElementwiseBitwise() {
+  return simd::Active() != simd::Backend::kNeon;
+}
+
+void ExpectWithinReductionTolerance(double got, double ref) {
+  EXPECT_NEAR(got, ref, 1e-12 * std::abs(ref) + 1e-15);
+}
+
+// ------------------------------------------------------------- dispatch --
+
+TEST(SimdDispatchTest, ParseBackend) {
+  simd::Backend b;
+  EXPECT_TRUE(simd::ParseBackend("scalar", &b));
+  EXPECT_EQ(b, simd::Backend::kScalar);
+  EXPECT_TRUE(simd::ParseBackend("avx2", &b));
+  EXPECT_EQ(b, simd::Backend::kAvx2);
+  EXPECT_TRUE(simd::ParseBackend("neon", &b));
+  EXPECT_EQ(b, simd::Backend::kNeon);
+  EXPECT_TRUE(simd::ParseBackend("auto", &b));
+  EXPECT_EQ(b, simd::Detect());
+  EXPECT_FALSE(simd::ParseBackend("sse9", &b));
+  EXPECT_FALSE(simd::ParseBackend("", &b));
+}
+
+TEST(SimdDispatchTest, ActiveBackendIsAvailable) {
+  EXPECT_TRUE(simd::BackendAvailable(simd::Active()));
+  EXPECT_TRUE(simd::BackendAvailable(simd::Detect()));
+  EXPECT_TRUE(simd::BackendAvailable(simd::Backend::kScalar));
+}
+
+TEST(SimdDispatchTest, ForceBackendRoundTrip) {
+  const simd::Backend original = simd::Active();
+  ASSERT_TRUE(simd::ForceBackend(simd::Backend::kScalar).ok());
+  EXPECT_EQ(simd::Active(), simd::Backend::kScalar);
+  EXPECT_EQ(simd::Kernels().dot, Scalar().dot);
+  ASSERT_TRUE(simd::ForceBackend(original).ok());
+  EXPECT_EQ(simd::Active(), original);
+}
+
+TEST(SimdDispatchTest, ForceUnavailableBackendFailsAndKeepsDispatch) {
+  const simd::Backend original = simd::Active();
+  for (const simd::Backend b :
+       {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::BackendAvailable(b)) continue;
+    EXPECT_FALSE(simd::ForceBackend(b).ok());
+    EXPECT_EQ(simd::Active(), original);
+  }
+}
+
+TEST(SimdDispatchTest, KernelsForUnavailableBackendFallsBackToScalar) {
+  for (const simd::Backend b :
+       {simd::Backend::kAvx2, simd::Backend::kNeon}) {
+    if (simd::BackendAvailable(b)) continue;
+    EXPECT_EQ(simd::KernelsFor(b).dot, Scalar().dot);
+  }
+}
+
+// -------------------------------------------------------------- kernels --
+
+TEST(SimdKernelTest, DotMatchesScalarAtAllSizes) {
+  for (const size_t n : kSizes) {
+    const auto a = MakeData(n, 1);
+    const auto b = MakeData(n, 2);
+    ExpectWithinReductionTolerance(
+        simd::Kernels().dot(a.data(), b.data(), n),
+        Scalar().dot(a.data(), b.data(), n));
+  }
+}
+
+TEST(SimdKernelTest, DotUnalignedSlices) {
+  const auto a = MakeData(4200, 3);
+  const auto b = MakeData(4200, 4);
+  for (const size_t off : {1u, 2u, 3u, 5u}) {
+    for (const size_t n : {15u, 16u, 17u, 255u, 1024u, 4097u}) {
+      ExpectWithinReductionTolerance(
+          simd::Kernels().dot(a.data() + off, b.data() + off, n),
+          Scalar().dot(a.data() + off, b.data() + off, n));
+    }
+  }
+}
+
+TEST(SimdKernelTest, ReductionsBitIdenticalRunToRun) {
+  const auto a = MakeData(4097, 5);
+  const auto b = MakeData(4097, 6);
+  for (const size_t n : kSizes) {
+    const double first = simd::Kernels().dot(a.data(), b.data(), n);
+    const double second = simd::Kernels().dot(a.data(), b.data(), n);
+    EXPECT_EQ(first, second) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, Norm2SqEqualsDotWithSelf) {
+  const auto a = MakeData(1023, 7);
+  EXPECT_EQ(simd::Norm2Sq(a.data(), a.size()),
+            simd::Dot(a.data(), a.data(), a.size()));
+}
+
+TEST(SimdKernelTest, AxpyMatchesScalarAtAllSizes) {
+  const bool bitwise = ElementwiseBitwise();
+  for (const size_t n : kSizes) {
+    const auto x = MakeData(n, 8);
+    auto got = MakeData(n, 9);
+    auto ref = got;
+    simd::Kernels().axpy(1.25, x.data(), got.data(), n);
+    Scalar().axpy(1.25, x.data(), ref.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      if (bitwise) {
+        EXPECT_EQ(got[i], ref[i]) << "n=" << n << " i=" << i;
+      } else {
+        ExpectWithinReductionTolerance(got[i], ref[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ScaleAndDivMatchScalarAtAllSizes) {
+  const bool bitwise = ElementwiseBitwise();
+  for (const size_t n : kSizes) {
+    auto got = MakeData(n, 10);
+    auto ref = got;
+    simd::Kernels().scale(0.75, got.data(), n);
+    Scalar().scale(0.75, ref.data(), n);
+    simd::Kernels().div_inplace(3.1, got.data(), n);
+    Scalar().div_inplace(3.1, ref.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      if (bitwise) {
+        EXPECT_EQ(got[i], ref[i]) << "n=" << n << " i=" << i;
+      } else {
+        ExpectWithinReductionTolerance(got[i], ref[i]);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, SparseDotMatchesScalarAtAllNnz) {
+  const size_t dim = 16384;
+  const auto y = MakeData(dim, 11);
+  for (const size_t nnz : kSizes) {
+    const auto val = MakeData(nnz, 12);
+    const auto idx = MakeIndices(nnz, dim);
+    ExpectWithinReductionTolerance(
+        simd::Kernels().sparse_dot(val.data(), idx.data(), nnz, y.data()),
+        Scalar().sparse_dot(val.data(), idx.data(), nnz, y.data()));
+  }
+}
+
+TEST(SimdKernelTest, SparseAxpyMatchesScalarAtAllNnz) {
+  const bool bitwise = ElementwiseBitwise();
+  const size_t dim = 16384;
+  for (const size_t nnz : kSizes) {
+    const auto val = MakeData(nnz, 13);
+    const auto idx = MakeIndices(nnz, dim);
+    auto got = MakeData(dim, 14);
+    auto ref = got;
+    simd::Kernels().sparse_axpy(0.5, val.data(), idx.data(), nnz,
+                                got.data());
+    Scalar().sparse_axpy(0.5, val.data(), idx.data(), nnz, ref.data());
+    for (size_t i = 0; i < dim; ++i) {
+      if (bitwise) {
+        EXPECT_EQ(got[i], ref[i]) << "nnz=" << nnz << " i=" << i;
+      } else {
+        ExpectWithinReductionTolerance(got[i], ref[i]);
+      }
+    }
+  }
+}
+
+// Driver invariant: every driver output entry is bit-identical to the
+// matching per-entry kernel call of the SAME (active) table.
+TEST(SimdDriverTest, MatVecAndMatMulMatchPerRowDot) {
+  const size_t rows = 7, cols = 129;
+  const auto w = MakeData(rows * cols, 15);
+  const auto x = MakeData(cols, 16);
+  std::vector<double> y(rows);
+  simd::MatVec(w.data(), rows, cols, x.data(), y.data());
+  for (size_t r = 0; r < rows; ++r) {
+    EXPECT_EQ(y[r], simd::Kernels().dot(w.data() + r * cols, x.data(), cols));
+  }
+  const size_t rows_b = 5;
+  const auto bt = MakeData(rows_b * cols, 17);
+  std::vector<double> c(rows * rows_b);
+  simd::MatMulTransposedB(w.data(), rows, cols, bt.data(), rows_b, c.data());
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < rows_b; ++j) {
+      EXPECT_EQ(c[i * rows_b + j],
+                simd::Kernels().dot(w.data() + i * cols,
+                                    bt.data() + j * cols, cols));
+    }
+  }
+}
+
+TEST(SimdDriverTest, TransposeMatVecAccMatchesAxpyLoop) {
+  const size_t rows = 33, cols = 67;
+  const auto w = MakeData(rows * cols, 18);
+  auto x = MakeData(rows, 19);
+  x[4] = 0.0;  // the driver skips zero coefficients like the original loop
+  std::vector<double> got(cols, 0.0), ref(cols, 0.0);
+  simd::TransposeMatVecAcc(w.data(), rows, cols, x.data(), got.data());
+  for (size_t r = 0; r < rows; ++r) {
+    if (x[r] == 0.0) continue;
+    simd::Kernels().axpy(x[r], w.data() + r * cols, ref.data(), cols);
+  }
+  for (size_t i = 0; i < cols; ++i) EXPECT_EQ(got[i], ref[i]);
+}
+
+// The batched sparse_matvec (row-paired on AVX2) must stay bit-identical
+// to per-row sparse_dot at ANY backend — odd row counts cover the
+// remainder row path.
+TEST(SimdDriverTest, SparseMatVecBitIdenticalToPerRowSparseDot) {
+  const size_t cols = 1024;
+  for (const size_t rows : {0u, 1u, 2u, 3u, 7u, 64u}) {
+    for (const size_t nnz : {0u, 3u, 24u, 256u, 300u}) {
+      const auto w = MakeData(rows * cols, 20);
+      const auto val = MakeData(nnz, 21);
+      const auto idx = MakeIndices(nnz, cols);
+      std::vector<double> y(rows, -1.0);
+      simd::SparseMatVec(w.data(), rows, cols, val.data(), idx.data(), nnz,
+                         y.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(y[r], simd::Kernels().sparse_dot(val.data(), idx.data(),
+                                                   nnz, w.data() + r * cols))
+            << "rows=" << rows << " nnz=" << nnz << " r=" << r;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- arena --
+
+TEST(ScratchArenaTest, AlignmentAndDistinctRegions) {
+  ScratchArena arena;
+  double* a = arena.AllocDoubles(3);
+  double* b = arena.AllocDoubles(5);
+  void* c = arena.Allocate(100, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  // Writing through each region must not clobber the others.
+  for (int i = 0; i < 3; ++i) a[i] = 1.0;
+  for (int i = 0; i < 5; ++i) b[i] = 2.0;
+  std::memset(c, 0xab, 100);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(a[i], 1.0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(b[i], 2.0);
+}
+
+TEST(ScratchArenaTest, ZeroByteAllocationYieldsValidPointer) {
+  ScratchArena arena;
+  EXPECT_NE(arena.Allocate(0), nullptr);
+  EXPECT_NE(arena.AllocDoubles(0), nullptr);
+}
+
+TEST(ScratchArenaTest, AllocDoublesZeroedIsZeroed) {
+  ScratchArena arena;
+  double* p = arena.AllocDoubles(64);
+  for (int i = 0; i < 64; ++i) p[i] = 3.5;
+  arena.Reset();
+  double* z = arena.AllocDoublesZeroed(64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(z[i], 0.0);
+}
+
+TEST(ScratchArenaTest, ResetRewindsAndReusesReservation) {
+  ScratchArena arena;
+  arena.AllocDoubles(100);
+  const size_t used_first = arena.bytes_used();
+  const size_t reserved_first = arena.bytes_reserved();
+  EXPECT_GT(used_first, 0u);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Identical epoch: nothing new is reserved, the block is reused.
+  arena.AllocDoubles(100);
+  EXPECT_EQ(arena.bytes_used(), used_first);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_first);
+}
+
+TEST(ScratchArenaTest, HighWaterTracksLargestEpoch) {
+  ScratchArena arena;
+  arena.AllocDoubles(10);
+  arena.Reset();
+  const size_t small = arena.high_water_bytes();
+  EXPECT_GE(small, 10 * sizeof(double));
+  arena.AllocDoubles(1000);
+  arena.Reset();
+  const size_t big = arena.high_water_bytes();
+  EXPECT_GE(big, 1000 * sizeof(double));
+  // A later small epoch must not shrink the recorded high water.
+  arena.AllocDoubles(10);
+  arena.Reset();
+  EXPECT_EQ(arena.high_water_bytes(), big);
+}
+
+TEST(ScratchArenaTest, SpillEpochConsolidatesIntoOneReusableBlock) {
+  // Many allocations larger than the minimum block force overflow blocks
+  // in the first epoch; after Reset() an identical epoch must fit the
+  // consolidated block without reserving more.
+  ScratchArena arena;
+  for (int i = 0; i < 8; ++i) arena.AllocDoubles(1024);
+  arena.Reset();
+  const size_t reserved_after_warmup = arena.bytes_reserved();
+  for (int i = 0; i < 8; ++i) arena.AllocDoubles(1024);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after_warmup);
+}
+
+TEST(ScratchArenaTest, TlsArenaIsPerThread) {
+  ScratchArena* main_arena = &TlsScratchArena();
+  EXPECT_EQ(main_arena, &TlsScratchArena());
+  ScratchArena* other = nullptr;
+  std::thread t([&] { other = &TlsScratchArena(); });
+  t.join();
+  EXPECT_NE(other, nullptr);
+  EXPECT_NE(other, main_arena);
+}
+
+}  // namespace
+}  // namespace retina

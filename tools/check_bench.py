@@ -19,12 +19,21 @@ more than N threads are held to a loose "oversubscription must not be
 catastrophic" floor instead of a scaling floor. Set RETINA_BENCH_GATE=warn
 to report violations without failing (for quarantining a flaky runner).
 
+SIMD kernel floors (BENCH_kernels.json, emitted by bench_perf_micro)
+gate the SIMD-vs-scalar speedup per kernel at the work sizes where
+vectorization must pay off. The gate self-disables when the report says
+dispatch is "scalar" (scalar-only hardware, or a RETINA_SIMD=scalar
+leg — a 1x ratio there is correct, not a regression) and in smoke mode
+(timings too short to be stable).
+
 Usage:
   check_bench.py [--floors tools/bench_floors.json]
                  [--serving BENCH_serving.json]
                  [--parallel BENCH_parallel.json]
+                 [--kernels BENCH_kernels.json]
 
-At least one of --serving / --parallel must point at an existing file.
+At least one of --serving / --parallel / --kernels must point at an
+existing file.
 """
 
 import argparse
@@ -102,11 +111,54 @@ def check_parallel(bench, floors, violations):
                 print(f"  ok   {line}")
 
 
+def check_kernels(bench, floors, violations):
+    """SIMD-vs-scalar speedup per kernel at gated work sizes."""
+    dispatch = bench.get("dispatch", "scalar")
+    if dispatch == "scalar":
+        print(
+            "  skip kernel floors: dispatch is 'scalar' "
+            "(no SIMD backend active; 1x vs scalar is correct)"
+        )
+        return
+    if bench.get("smoke"):
+        print("  skip kernel floors: smoke-mode timings are not stable")
+        return
+    min_work = floors["min_work_size"]
+    for name, floor in floors["min_speedup"].items():
+        kern = bench.get("kernels", {}).get(name)
+        if not kern:
+            violations.append(f"kernels: '{name}' missing from bench output")
+            continue
+        # "work" is the effective per-call work (nnz for sparse kernels);
+        # older reports without it fall back to the dense size.
+        works = kern.get("work", kern.get("sizes", []))
+        gated = [
+            (w, s)
+            for w, s in zip(works, kern.get("speedup", []))
+            if w >= min_work
+        ]
+        if not gated:
+            violations.append(
+                f"kernels: '{name}' has no case with work >= {min_work}"
+            )
+            continue
+        for work, speedup in gated:
+            line = (
+                f"kernel {name}: {speedup:g}x vs scalar at work={work} "
+                f"(floor {floor:g}x, dispatch {dispatch})"
+            )
+            if speedup < floor:
+                violations.append(line)
+            else:
+                print(f"  ok   {line}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--floors", default="tools/bench_floors.json")
     ap.add_argument("--serving", default="BENCH_serving.json")
     ap.add_argument("--parallel", default="BENCH_parallel.json")
+    ap.add_argument("--kernels", default="BENCH_kernels.json")
     args = ap.parse_args()
 
     floors = load_json(args.floors, "floors")
@@ -123,10 +175,15 @@ def main():
         check_parallel(load_json(args.parallel, "parallel bench"),
                        floors["parallel"], violations)
         checked_any = True
+    if os.path.exists(args.kernels):
+        print(f"checking {args.kernels}")
+        check_kernels(load_json(args.kernels, "kernel bench"),
+                      floors["kernels"], violations)
+        checked_any = True
 
     if not checked_any:
-        print("FAIL: neither bench output file exists "
-              f"({args.serving}, {args.parallel})")
+        print("FAIL: no bench output file exists "
+              f"({args.serving}, {args.parallel}, {args.kernels})")
         return 2
 
     if violations:

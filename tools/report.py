@@ -216,6 +216,37 @@ def add_serving_section(report, metrics):
                     "rate).")
 
 
+SIMD_BACKEND_NAMES = {0: "unresolved", 1: "scalar", 2: "avx2", 3: "neon"}
+
+
+def add_kernel_section(report, metrics):
+    """SIMD dispatch choice and scoring-path memory telemetry."""
+    gauges = metrics.get("gauges", {})
+    counters = metrics.get("counters", {})
+    dispatch = gauges.get("simd.dispatch")
+    reserved = gauges.get("arena.bytes_reserved", 0)
+    high_water = gauges.get("arena.high_water_bytes", 0)
+    alloc_bytes = counters.get("score.alloc_bytes", 0)
+    if dispatch is None and not (reserved or high_water or alloc_bytes):
+        return
+    report.section("Kernel dispatch + scratch memory")
+    if dispatch is not None:
+        name = SIMD_BACKEND_NAMES.get(dispatch, f"unknown({dispatch})")
+        report.para(f"SIMD kernel dispatch: **{name}** "
+                    "(RETINA_SIMD / --simd= override; scalar reproduces "
+                    "pre-dispatch results bit-for-bit).")
+    if reserved or high_water or alloc_bytes:
+        report.table(
+            ["metric", "value"],
+            [("arena.bytes_reserved", fmt_bytes(reserved)),
+             ("arena.high_water_bytes", fmt_bytes(high_water)),
+             ("score.alloc_bytes (cumulative)", fmt_bytes(alloc_bytes))])
+        report.para("Warm batched requests bump-allocate every scratch "
+                    "buffer from the per-thread arena; bytes_reserved at "
+                    "the high-water mark with a steady alloc rate means "
+                    "the zero-heap-allocation contract is holding.")
+
+
 # ------------------------------------------------------------------ trace --
 
 def add_trace_sections(report, trace, top_k):
@@ -314,6 +345,7 @@ def build_report(metrics, trace, top_k):
         add_flame_section(report, metrics)
         add_training_section(report, metrics)
         add_serving_section(report, metrics)
+        add_kernel_section(report, metrics)
     if trace is not None:
         add_trace_sections(report, trace, top_k)
     if not report.sections:

@@ -28,6 +28,7 @@
 
 #include "common/logging.h"
 #include "common/obs.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
 #include "common/string_util.h"
@@ -57,6 +58,7 @@ struct Args {
   std::string metrics_out;
   std::string trace_out;
   std::string log_level;
+  std::string simd;
   double scale = 0.1;
   size_t users = 2500;
   uint64_t seed = 7;
@@ -85,7 +87,11 @@ int Usage() {
       "                      whole run and write it as Chrome trace JSON\n"
       "                      (open in chrome://tracing or Perfetto; feed\n"
       "                      with --metrics-out into tools/report.py)\n"
-      "  --log-level=LEVEL   stderr log threshold: debug|info|warn|error\n");
+      "  --log-level=LEVEL   stderr log threshold: debug|info|warn|error\n"
+      "  --simd=BACKEND      kernel dispatch: auto|avx2|neon|scalar\n"
+      "                      (overrides the RETINA_SIMD environment\n"
+      "                      variable; scalar reproduces pre-SIMD results\n"
+      "                      bit-for-bit)\n");
   return 2;
 }
 
@@ -143,6 +149,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->log_level = v;
     } else if (arg.rfind("--log-level=", 0) == 0) {
       args->log_level = arg.substr(std::strlen("--log-level="));
+    } else if (arg == "--simd") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->simd = v;
+    } else if (arg.rfind("--simd=", 0) == 0) {
+      args->simd = arg.substr(std::strlen("--simd="));
     } else if (arg == "--dynamic") {
       args->dynamic = true;
     } else if (arg == "--no-exo") {
@@ -413,6 +425,7 @@ int DumpMetrics(const Args& args) {
   if (args.metrics_out.empty()) return 0;
   obs::Registry& reg = obs::Registry::Global();
   reg.SampleProcessGauges();  // process.peak_rss_bytes at export time
+  simd::PublishDispatchGauge();  // survives any Registry::Reset()
   const std::string json = reg.ToJson();
   FILE* f = std::fopen(args.metrics_out.c_str(), "w");
   if (f == nullptr) {
@@ -471,6 +484,20 @@ int main(int argc, char** argv) {
       return 2;
     }
     retina::SetLogLevel(level);
+  }
+  if (!args.simd.empty()) {
+    simd::Backend backend;
+    if (!simd::ParseBackend(args.simd, &backend)) {
+      std::fprintf(stderr, "bad --simd: %s (want auto|avx2|neon|scalar)\n",
+                   args.simd.c_str());
+      return 2;
+    }
+    const Status forced = simd::ForceBackend(backend);
+    if (!forced.ok()) {
+      std::fprintf(stderr, "--simd=%s: %s\n", args.simd.c_str(),
+                   forced.ToString().c_str());
+      return 2;
+    }
   }
   if (!args.trace_out.empty()) obs::StartTracing();
   const int rc = RunCommand(args);
