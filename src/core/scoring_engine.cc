@@ -20,8 +20,16 @@ ScoringEngine::ObsHooks ScoringEngine::ObsHooks::Resolve() {
       reg.GetCounter("serving.tweet_cache.hits"),
       reg.GetCounter("serving.tweet_cache.misses"),
       reg.GetGauge("serving.user_cache.evictions"),
+      reg.GetCounter("store.tier.hits"),
+      reg.GetCounter("store.tier.misses"),
+      reg.GetCounter("store.tier.promotes"),
+      reg.GetCounter("store.tier.bloom_skips"),
+      reg.GetCounter("store.tier.errors"),
       reg.GetHistogram("serving.request_warm_ns"),
       reg.GetHistogram("serving.request_cold_ns"),
+      reg.GetHistogram("store.lookup_warm_ns"),
+      reg.GetHistogram("store.lookup_store_ns"),
+      reg.GetHistogram("store.lookup_compute_ns"),
       reg.GetGauge("arena.bytes_reserved"),
       reg.GetGauge("arena.high_water_bytes"),
       reg.GetCounter("score.alloc_bytes"),
@@ -34,7 +42,8 @@ ScoringEngine::ScoringEngine(const Retina* model,
     : model_(model),
       extractor_(extractor),
       options_(options),
-      user_cache_(std::max<size_t>(1, options.user_cache_capacity)),
+      user_cache_(std::max<size_t>(1, options.user_cache_capacity),
+                  options.user_cache_bytes),
       tweet_cache_(std::max<size_t>(1, options.tweet_cache_capacity)),
       hooks_(ObsHooks::Resolve()) {
   RETINA_LOG(Debug) << "scoring engine up: user_cache="
@@ -69,6 +78,81 @@ Result<std::unique_ptr<ScoringEngine>> ScoringEngine::FromCheckpoint(
   engine->owned_model_ = std::move(model);
   engine->owned_extractor_ = std::move(extractor);
   return engine;
+}
+
+namespace {
+
+// Accounted LRU cost of a cached history block: the sparse payload plus
+// the container object itself. Approximate (ignores vector slack), but
+// monotone in nnz, which is what a byte budget needs.
+size_t HistoryBlockCost(const SparseVec& block) {
+  return sizeof(SparseVec) +
+         block.nnz() * (sizeof(uint32_t) + sizeof(double));
+}
+
+}  // namespace
+
+Status ScoringEngine::AttachStore(const std::string& dir) {
+  auto store_result = store::FeatureStore::Open(dir);
+  RETINA_RETURN_NOT_OK(store_result.status());
+  std::unique_ptr<store::FeatureStore> opened =
+      std::move(store_result).ValueOrDie();
+  if (opened->dim() != extractor_->HistoryBlockDim()) {
+    return Status::InvalidArgument(
+        "user store dim " + std::to_string(opened->dim()) +
+        " does not match the extractor history-block dim " +
+        std::to_string(extractor_->HistoryBlockDim()));
+  }
+  store_ = std::move(opened);
+  RETINA_LOG(Debug) << "user store attached: " << store_->num_entries()
+                    << " users in " << store_->num_blocks() << " blocks";
+  return Status::OK();
+}
+
+Status ScoringEngine::BuildStore(const FeatureExtractor& extractor,
+                                 const std::string& dir,
+                                 store::FeatureStoreOptions store_options) {
+  auto builder_result = store::FeatureStoreBuilder::Create(
+      dir, extractor.HistoryBlockDim(), store_options);
+  RETINA_RETURN_NOT_OK(builder_result.status());
+  std::unique_ptr<store::FeatureStoreBuilder> builder =
+      std::move(builder_result).ValueOrDie();
+  const size_t num_users = extractor.world().NumUsers();
+  for (size_t u = 0; u < num_users; ++u) {
+    RETINA_RETURN_NOT_OK(builder->Add(
+        u, SparseVec::FromDense(
+               extractor.ComputeHistoryBlock(static_cast<NodeId>(u)))));
+  }
+  return builder->Finish();
+}
+
+SparseVec ScoringEngine::FetchHistoryBlock(NodeId u, BlockSource* source) {
+  if (store_ != nullptr) {
+    SparseVec from_store;
+    store::LookupOutcome outcome;
+    Status st = store_->Lookup(u, &from_store, &outcome);
+    if (!st.ok()) {
+      ++stats_.store_errors;
+      hooks_.store_errors->Add(1);
+      RETINA_LOG(Warning) << "user store lookup failed for user " << u
+                          << ": " << st.message() << "; recomputing";
+    } else if (outcome == store::LookupOutcome::kFound) {
+      ++stats_.store_hits;
+      hooks_.store_hits->Add(1);
+      obs::TraceInstant("store.tier.hit");
+      *source = BlockSource::kStore;
+      return from_store;
+    } else {
+      ++stats_.store_misses;
+      hooks_.store_misses->Add(1);
+      if (outcome != store::LookupOutcome::kAbsentBlock) {
+        // Range or Bloom skip: the store answered without touching a block.
+        hooks_.store_bloom_skips->Add(1);
+      }
+    }
+  }
+  *source = BlockSource::kCompute;
+  return SparseVec::FromDense(extractor_->ComputeHistoryBlock(u));
 }
 
 ScoringEngine::TweetEntry ScoringEngine::BuildTweetEntry(
@@ -146,6 +230,9 @@ void ScoringEngine::ScoreTweetInto(const datagen::Tweet& tweet,
     const NodeId u = users[i];
     const SparseVec* block = nullptr;
     SparseVec fresh;
+    BlockSource source = BlockSource::kWarm;
+    std::chrono::steady_clock::time_point lookup_start;
+    if (obs_on) lookup_start = std::chrono::steady_clock::now();
     if (options_.cache_features) {
       block = user_cache_.Get(u);
       if (block != nullptr) {
@@ -156,12 +243,30 @@ void ScoringEngine::ScoreTweetInto(const datagen::Tweet& tweet,
         ++stats_.user_misses;
         ++batch_misses;
         obs::TraceInstant("serving.user_cache.miss");
-        block = user_cache_.Put(
-            u, SparseVec::FromDense(extractor_->ComputeHistoryBlock(u)));
+        SparseVec fetched = FetchHistoryBlock(u, &source);
+        const size_t cost = HistoryBlockCost(fetched);
+        block = user_cache_.Put(u, std::move(fetched), cost);
+        if (source == BlockSource::kStore) {
+          ++stats_.store_promotes;
+          hooks_.store_promotes->Add(1);
+        }
       }
     } else {
-      fresh = SparseVec::FromDense(extractor_->ComputeHistoryBlock(u));
+      fresh = FetchHistoryBlock(u, &source);
       block = &fresh;
+    }
+    if (obs_on) {
+      // Per-tier lookup latency: warm = LRU hit, store = disk tier hit,
+      // compute = full recomputation. Timed only with observability on —
+      // the clock reads are observational and never feed a score.
+      const uint64_t lookup_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - lookup_start)
+              .count());
+      (source == BlockSource::kWarm     ? hooks_.lookup_warm_ns
+       : source == BlockSource::kStore  ? hooks_.lookup_store_ns
+                                        : hooks_.lookup_compute_ns)
+          ->Record(lookup_ns);
     }
     double* row = rows + i * user_dim;
     extractor_->AssembleRetweetUserFeaturesInto(tweet, u, *block,

@@ -20,6 +20,13 @@
 // Not thread-safe: one engine per serving thread. Parallelism lives below
 // the engine, inside the batched model forward.
 //
+// Tiered user features: with a store::FeatureStore attached (AttachStore),
+// the per-user miss path becomes LRU miss -> store lookup -> compute. The
+// store holds exactly the SparseVec the builder was handed (f64 bit
+// patterns round-trip), so scores are bit-identical across all three
+// tiers; a corrupt store block logs a warning and falls back to
+// recomputation instead of failing the request.
+//
 // Observability: beyond the aggregate counters/histograms, every
 // ScoreTweet call opens a per-request timeline trace id (ScoreCandidates
 // opens one per batch that its requests inherit), and cache hit/miss
@@ -41,12 +48,18 @@
 #include "core/retina.h"
 #include "core/retweet_task.h"
 #include "io/checkpoint.h"
+#include "store/feature_store.h"
 
 namespace retina::core {
 
 struct ScoringEngineOptions {
   /// Per-user history-block LRU capacity.
   size_t user_cache_capacity = 4096;
+  /// Optional byte budget for the per-user LRU (0 = entry count only).
+  /// Entries are costed as their sparse payload plus container overhead,
+  /// so the warm tier's RAM footprint is bounded even when history blocks
+  /// are dense.
+  size_t user_cache_bytes = 0;
   /// Per-tweet context LRU capacity (content, embedding, news window, BFS).
   size_t tweet_cache_capacity = 256;
   /// Score through Retina::ScoreBatch (one GEMM per layer) instead of one
@@ -65,6 +78,10 @@ struct ScoringEngineStats {
   uint64_t user_evictions = 0;
   uint64_t tweet_hits = 0;
   uint64_t tweet_misses = 0;
+  uint64_t store_hits = 0;      ///< user blocks served from the disk store
+  uint64_t store_misses = 0;    ///< store consulted, user absent -> computed
+  uint64_t store_promotes = 0;  ///< store hits promoted into the LRU
+  uint64_t store_errors = 0;    ///< corrupt store reads (fell back to compute)
 };
 
 /// \brief Wraps a trained Retina + FeatureExtractor behind a serving API.
@@ -116,9 +133,27 @@ class ScoringEngine {
                            const std::vector<RetweetCandidate>& candidates,
                            Vec* scores);
 
+  /// Opens a disk-backed user feature store (see store/feature_store.h)
+  /// and slots it in as the tier between the LRU and recomputation. The
+  /// store's dim must match the extractor's history-block dim. Replaces
+  /// any previously attached store.
+  Status AttachStore(const std::string& dir);
+
+  /// Builds a store directory covering every user of the extractor's
+  /// world, in id order, holding exactly the SparseVec the engine's miss
+  /// path would compute — the prerequisite for tier bit-identity.
+  static Status BuildStore(const FeatureExtractor& extractor,
+                           const std::string& dir,
+                           store::FeatureStoreOptions store_options = {});
+
+  /// Attached store, or nullptr. Exposes the store's own lookup stats.
+  const store::FeatureStore* store() const { return store_.get(); }
+
   const ScoringEngineStats& stats() const { return stats_; }
   void ResetStats() { stats_ = {}; }
   const ScoringEngineOptions& options() const { return options_; }
+  /// Current byte footprint of the per-user LRU (accounted costs).
+  size_t user_cache_bytes() const { return user_cache_.bytes(); }
 
  private:
   /// Tweet-side request state shared by all candidates of one request.
@@ -132,11 +167,20 @@ class ScoringEngine {
   /// Cache-or-compute; the reference is valid until the next engine call.
   const TweetEntry& GetTweetEntry(const datagen::Tweet& tweet);
 
+  /// Which tier resolved a user's history block.
+  enum class BlockSource : uint8_t { kWarm, kStore, kCompute };
+
+  /// Store-then-compute fallback for an LRU miss. Never fails: a store
+  /// error is counted, logged, and answered by recomputing.
+  SparseVec FetchHistoryBlock(NodeId u, BlockSource* source);
+
   const Retina* model_;
   const FeatureExtractor* extractor_;
   /// Set only by FromCheckpoint; model_/extractor_ alias these.
   std::unique_ptr<Retina> owned_model_;
   std::unique_ptr<FeatureExtractor> owned_extractor_;
+  /// Cold tier behind the LRU; nullptr until AttachStore.
+  std::unique_ptr<store::FeatureStore> store_;
   ScoringEngineOptions options_;
   ScoringEngineStats stats_;
 
@@ -159,8 +203,16 @@ class ScoringEngine {
     obs::Counter* tweet_hits;
     obs::Counter* tweet_misses;
     obs::Gauge* user_evictions;
+    obs::Counter* store_hits;        ///< store.tier.hits
+    obs::Counter* store_misses;      ///< store.tier.misses
+    obs::Counter* store_promotes;    ///< store.tier.promotes
+    obs::Counter* store_bloom_skips;  ///< store.tier.bloom_skips
+    obs::Counter* store_errors;      ///< store.tier.errors
     obs::Histogram* request_warm_ns;
     obs::Histogram* request_cold_ns;
+    obs::Histogram* lookup_warm_ns;     ///< per-user lookup, LRU hit
+    obs::Histogram* lookup_store_ns;    ///< per-user lookup, store tier
+    obs::Histogram* lookup_compute_ns;  ///< per-user lookup, recomputed
     obs::Gauge* arena_reserved;    ///< arena.bytes_reserved (this thread)
     obs::Gauge* arena_high_water;  ///< arena.high_water_bytes (this thread)
     obs::Counter* score_alloc_bytes;  ///< cumulative arena bytes per request

@@ -1,0 +1,89 @@
+#include "store/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retina::store {
+namespace {
+
+// Probes per key for a bits-per-key budget: k = round(b * ln 2), the value
+// that minimizes the FP rate of a Bloom filter with b bits per key.
+uint32_t ProbesForBits(double bits_per_key) {
+  const double k = bits_per_key * 0.69314718055994531;  // ln 2
+  return static_cast<uint32_t>(
+      std::clamp(std::lround(k), 1L, 30L));
+}
+
+}  // namespace
+
+uint64_t BloomFilter::HashKey(uint64_t key) {
+  // splitmix64 finalizer: a full-avalanche 64-bit mix, so sequential user
+  // ids (the common case) spread uniformly over the bit array.
+  uint64_t h = key + 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+BloomFilter BloomFilter::Build(const std::vector<uint64_t>& keys,
+                               const BloomOptions& options) {
+  BloomFilter filter;
+  if (keys.empty()) return filter;
+  const double bpk = std::max(1.0, options.bits_per_key);
+  uint64_t bits = static_cast<uint64_t>(
+      std::llround(bpk * static_cast<double>(keys.size())));
+  bits = std::max<uint64_t>(bits, 64);
+  const uint64_t bytes = (bits + 7) / 8;
+  filter.bits_.assign(bytes, '\0');
+  filter.num_probes_ = ProbesForBits(bpk);
+  const uint64_t nbits = bytes * 8;
+  for (const uint64_t key : keys) {
+    const uint64_t h = HashKey(key);
+    // Double hashing: probe_i = h1 + i * h2 (mod nbits). h2 is forced odd
+    // so the probe sequence cycles through distinct positions.
+    uint64_t h1 = h;
+    const uint64_t h2 = (h >> 32) | 1;
+    for (uint32_t i = 0; i < filter.num_probes_; ++i) {
+      const uint64_t bit = h1 % nbits;
+      filter.bits_[bit / 8] |= static_cast<char>(1u << (bit % 8));
+      h1 += h2;
+    }
+  }
+  return filter;
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  if (bits_.empty()) return false;
+  const uint64_t nbits = bits_.size() * 8;
+  const uint64_t h = HashKey(key);
+  uint64_t h1 = h;
+  const uint64_t h2 = (h >> 32) | 1;
+  for (uint32_t i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = h1 % nbits;
+    if ((static_cast<unsigned char>(bits_[bit / 8]) & (1u << (bit % 8))) ==
+        0) {
+      return false;
+    }
+    h1 += h2;
+  }
+  return true;
+}
+
+Result<BloomFilter> BloomFilter::FromParts(std::string bits,
+                                           uint32_t num_probes) {
+  if (bits.empty() != (num_probes == 0)) {
+    return Status::InvalidArgument(
+        "bloom filter parts inconsistent: " + std::to_string(bits.size()) +
+        " filter bytes with " + std::to_string(num_probes) + " probes");
+  }
+  if (num_probes > 30) {
+    return Status::InvalidArgument("bloom filter probe count out of range: " +
+                                   std::to_string(num_probes));
+  }
+  BloomFilter filter;
+  filter.bits_ = std::move(bits);
+  filter.num_probes_ = num_probes;
+  return filter;
+}
+
+}  // namespace retina::store

@@ -3,10 +3,13 @@
 #   retina generate      --out WORK/world
 #   retina train-retweet --data WORK/world --save-model WORK/model
 #   retina eval          --data WORK/world --model WORK/model
+#   retina eval          ... --store-dir WORK/store   (tiered user store)
 #
 # and asserts the evaluated metrics line of the loaded model matches the
 # training run's metrics character for character — the bit-exactness
 # contract of the checkpoint layer, observed end to end through the CLI.
+# The store-backed eval must reproduce the same line again: the disk tier
+# returns the exact f64 bit patterns the in-process path computes.
 #
 # The training run also records a timeline (--trace-out) with a small
 # RETINA_TRACE_BUFFER so the bounded-buffer path is exercised; the script
@@ -183,17 +186,56 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   endif()
 endif()
 
+# ---- Tiered-store eval: the same eval, served through the disk-backed
+# user feature store (--store-dir builds it on first use). Must reproduce
+# the metrics line exactly — end-to-end bit-identity of the tiered read
+# path — and, with obs compiled in, its metrics export must show the store
+# tier actually serving lookups.
+execute_process(
+  COMMAND "${RETINA_CLI}" eval --data "${WORK_DIR}/world"
+          --model "${WORK_DIR}/model"
+          --store-dir "${WORK_DIR}/store"
+          "--metrics-out=${WORK_DIR}/store_metrics.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE store_out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "eval --store-dir failed (${rc}):\n${store_out}\n${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/store/blocks.dat" OR
+   NOT EXISTS "${WORK_DIR}/store/index.ckpt")
+  message(FATAL_ERROR "eval --store-dir did not build the store:\n${store_out}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/store_metrics.json")
+  message(FATAL_ERROR "eval --store-dir did not write store_metrics.json:\n${store_out}")
+endif()
+if(NOT OBS_COMPILED_OUT AND CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ "${WORK_DIR}/store_metrics.json" store_metrics_json)
+  string(JSON store_hits ERROR_VARIABLE json_err
+         GET "${store_metrics_json}" counters store.tier.hits)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "store metrics JSON unparseable: ${json_err}")
+  endif()
+  if(store_hits STREQUAL "" OR store_hits EQUAL 0)
+    message(FATAL_ERROR "store-backed eval recorded no store.tier.hits:\n${store_metrics_json}")
+  endif()
+  message(STATUS "store metrics json ok: store.tier.hits=${store_hits}")
+endif()
+
 # "macro-F1 ... HITS@20 x.yyy" appears in both outputs; the loaded model
 # must reproduce it exactly.
 set(metrics_re "macro-F1 [^\n]*HITS@20 +[0-9.]+")
 string(REGEX MATCH "${metrics_re}" train_metrics "${train_out}")
 string(REGEX MATCH "${metrics_re}" eval_metrics "${eval_out}")
+string(REGEX MATCH "${metrics_re}" store_eval_metrics "${store_out}")
 if(train_metrics STREQUAL "")
   message(FATAL_ERROR "no metrics line in train output:\n${train_out}")
 endif()
 if(NOT train_metrics STREQUAL eval_metrics)
   message(FATAL_ERROR "loaded model diverged from training run:\n"
           "  trained: ${train_metrics}\n  loaded:  ${eval_metrics}")
+endif()
+if(NOT train_metrics STREQUAL store_eval_metrics)
+  message(FATAL_ERROR "store-backed eval diverged from training run:\n"
+          "  trained: ${train_metrics}\n  store:   ${store_eval_metrics}")
 endif()
 
 # Preserve the observability outputs for report_tool_smoke (FIXTURES_SETUP
@@ -202,7 +244,8 @@ endif()
 file(REMOVE_RECURSE "${WORK_DIR}_outputs")
 file(MAKE_DIRECTORY "${WORK_DIR}_outputs")
 file(COPY "${WORK_DIR}/train_metrics.json" "${WORK_DIR}/eval_metrics.json"
-     "${WORK_DIR}/trace.json" DESTINATION "${WORK_DIR}_outputs")
+     "${WORK_DIR}/store_metrics.json" "${WORK_DIR}/trace.json"
+     DESTINATION "${WORK_DIR}_outputs")
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 message(STATUS "cli e2e smoke passed: ${eval_metrics}")

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "nn/attention.h"
 #include "nn/layers.h"
 #include "nn/param_registry.h"
+#include "store/feature_store.h"
 #include "text/tfidf.h"
 
 namespace retina::core {
@@ -142,6 +144,56 @@ TEST(LruCacheTest, PutOverwritesInPlaceWithoutEviction) {
   // 2 is now LRU.
   cache.Put(3, 30);
   EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(LruCacheTest, ByteBudgetEvictsLruUntilUnderBudget) {
+  LruCache<int, std::string> cache(10, /*byte_budget=*/100);
+  cache.Put(1, "a", /*cost=*/40);
+  cache.Put(2, "b", /*cost=*/40);
+  EXPECT_EQ(cache.bytes(), 80u);
+  cache.Put(3, "c", /*cost=*/40);  // 120 > 100: evict LRU entry 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, ByteBudgetNeverEvictsTheJustInsertedEntry) {
+  // An entry larger than the whole budget still gets cached (the caller
+  // holds a pointer into it); everything else is evicted around it.
+  LruCache<int, int> cache(4, /*byte_budget=*/10);
+  cache.Put(1, 7, /*cost=*/50);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.Get(1), 7);
+  cache.Put(2, 8, /*cost=*/60);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(*cache.Get(2), 8);
+  EXPECT_EQ(cache.bytes(), 60u);
+}
+
+TEST(LruCacheTest, ByteBudgetOverwriteAdjustsAccounting) {
+  LruCache<int, int> cache(4, /*byte_budget=*/100);
+  cache.Put(1, 1, /*cost=*/30);
+  cache.Put(2, 2, /*cost=*/30);
+  cache.Put(1, 10, /*cost=*/80);  // 80 + 30 > 100: evict LRU entry 2
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.bytes(), 80u);
+  EXPECT_EQ(*cache.Get(1), 10);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ZeroByteBudgetDisablesByteEviction) {
+  LruCache<int, int> cache(2);  // entry-count cap only
+  cache.Put(1, 1, /*cost=*/1000000);
+  cache.Put(2, 2, /*cost=*/1000000);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 2000000u);  // tracked, but never enforced
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 // -------------------------------------------------------- Sparse tf-idf --
@@ -563,6 +615,119 @@ TEST(ScoringEngineTest, TinyUserCacheEvictsAndStaysCorrect) {
   for (size_t i = 0; i < reference.size(); ++i) {
     EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
   }
+}
+
+// ---------------------------------------------------- Tiered user store --
+
+// Builds the shared fixture's user store once per test in a fresh temp
+// dir; callers remove it on success (TearDown-free TEST style matches the
+// rest of this file, and a leaked dir under /tmp on failure aids triage).
+std::string BuildFixtureStore(const std::string& tag) {
+  auto& f = SharedFixture();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("retina_engine_store_" + std::to_string(::getpid()) + "_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  const Status st = ScoringEngine::BuildStore(*f.extractor, dir);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return dir;
+}
+
+TEST(ScoringEngineStoreTest, StoreTierBitIdenticalToComputePath) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const std::string dir = BuildFixtureStore("bitid");
+
+  ScoringEngine plain(model.get(), f.extractor.get());
+  ScoringEngine tiered(model.get(), f.extractor.get());
+  ASSERT_TRUE(tiered.AttachStore(dir).ok());
+  ASSERT_NE(tiered.store(), nullptr);
+  const Vec reference = plain.ScoreCandidates(f.task, f.task.test);
+  const Vec served = tiered.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(served.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
+  }
+  EXPECT_GT(tiered.stats().store_hits, 0u);
+  EXPECT_EQ(tiered.stats().store_misses, 0u);  // store covers every user
+  EXPECT_EQ(tiered.stats().store_errors, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScoringEngineStoreTest, TinyLruServesFromStoreAndStaysBitIdentical) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  const std::string dir = BuildFixtureStore("tinylru");
+
+  // A one-entry, byte-budgeted LRU forces nearly every candidate through
+  // the store tier; with full coverage the compute tier never runs.
+  ScoringEngineOptions opts;
+  opts.user_cache_capacity = 1;
+  opts.user_cache_bytes = 256;
+  ScoringEngine engine(model.get(), f.extractor.get(), opts);
+  ASSERT_TRUE(engine.AttachStore(dir).ok());
+  const Vec served = engine.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(served.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
+  }
+  EXPECT_EQ(engine.stats().store_hits, engine.stats().user_misses);
+  EXPECT_EQ(engine.stats().store_promotes, engine.stats().store_hits);
+  EXPECT_GT(engine.stats().store_hits, 1u);
+  EXPECT_GT(engine.stats().user_evictions, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScoringEngineStoreTest, CorruptStoreFallsBackToComputeBitIdentically) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const Vec reference = model->ScoreCandidates(f.task, f.task.test);
+  const std::string dir = BuildFixtureStore("corrupt");
+
+  // Flip a byte inside the first block's extent: lookups hitting it fail
+  // their checksum and the engine must recompute, bit-identically.
+  const std::string data_path =
+      (std::filesystem::path(dir) / store::kStoreDataFile).string();
+  {
+    std::ifstream in(data_path, std::ios::binary);
+    std::string bytes(std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>{});
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[36] ^= 0x01;
+    std::ofstream out(data_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ScoringEngine engine(model.get(), f.extractor.get());
+  ASSERT_TRUE(engine.AttachStore(dir).ok());  // corruption found lazily
+  const Vec served = engine.ScoreCandidates(f.task, f.task.test);
+  ASSERT_EQ(served.size(), reference.size());
+  for (size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(served[i], reference[i]) << "candidate " << i;
+  }
+  EXPECT_GT(engine.stats().store_errors, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScoringEngineStoreTest, AttachStoreRejectsDimMismatch) {
+  auto& f = SharedFixture();
+  const auto model = TrainModel(f.task, /*dynamic=*/false);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("retina_engine_store_" + std::to_string(::getpid()) + "_dim"))
+          .string();
+  std::filesystem::remove_all(dir);
+  auto builder = store::FeatureStoreBuilder::Create(
+      dir, f.extractor->HistoryBlockDim() + 1);
+  ASSERT_TRUE(builder.ok()) << builder.status().ToString();
+  ASSERT_TRUE(builder.ValueOrDie()->Finish().ok());
+
+  ScoringEngine engine(model.get(), f.extractor.get());
+  const Status st = engine.AttachStore(dir);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(engine.store(), nullptr);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -26,14 +26,24 @@ dispatch is "scalar" (scalar-only hardware, or a RETINA_SIMD=scalar
 leg — a 1x ratio there is correct, not a regression) and in smoke mode
 (timings too short to be stable).
 
+Tiered-store floors (BENCH_store.json, emitted by bench_store) gate the
+warm-LRU and absent-user (Bloom skip) lookup speedups against a cold
+store pass. The absent floor is the Bloom filter's contract: a lookup
+for a user the store does not hold must resolve without touching block
+bytes, which is only visible as a large ratio over the cold path.
+
 Usage:
   check_bench.py [--floors tools/bench_floors.json]
                  [--serving BENCH_serving.json]
                  [--parallel BENCH_parallel.json]
                  [--kernels BENCH_kernels.json]
+                 [--store BENCH_store.json]
+                 [--require SECTION ...]
 
-At least one of --serving / --parallel / --kernels must point at an
-existing file.
+At least one of the bench files must exist; missing files are skipped
+unless their section is named in --require, in which case the gate fails
+with a one-line error. Malformed JSON and missing floor keys also fail
+with a one-line error, never a traceback.
 """
 
 import argparse
@@ -153,37 +163,74 @@ def check_kernels(bench, floors, violations):
                 print(f"  ok   {line}")
 
 
+def check_store(bench, floors, violations):
+    """Warm-LRU and absent-user (Bloom skip) speedups vs a cold store pass."""
+    checks = [
+        ("warm_speedup_vs_cold", floors["warm_min_speedup_vs_cold"]),
+        ("absent_speedup_vs_cold", floors["absent_min_speedup_vs_cold"]),
+    ]
+    for key, floor in checks:
+        speedup = bench.get(key)
+        if speedup is None:
+            violations.append(f"store: '{key}' missing from bench output")
+            continue
+        line = f"store {key}: {speedup:g}x (floor {floor:g}x)"
+        if speedup < floor:
+            violations.append(line)
+        else:
+            print(f"  ok   {line}")
+    fp_rate = bench.get("bloom", {}).get("fp_rate")
+    if fp_rate is not None:
+        # Informational: the FP-rate pin lives in the C++ store tests.
+        print(f"  info store bloom fp_rate: {fp_rate:g}")
+
+
+SECTIONS = ("serving", "parallel", "kernels", "store")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--floors", default="tools/bench_floors.json")
     ap.add_argument("--serving", default="BENCH_serving.json")
     ap.add_argument("--parallel", default="BENCH_parallel.json")
     ap.add_argument("--kernels", default="BENCH_kernels.json")
+    ap.add_argument("--store", default="BENCH_store.json")
+    ap.add_argument(
+        "--require", nargs="*", default=[], choices=SECTIONS, metavar="SECTION",
+        help="sections whose bench file must exist (missing -> exit 2)")
     args = ap.parse_args()
 
     floors = load_json(args.floors, "floors")
     violations = []
     checked_any = False
 
-    if os.path.exists(args.serving):
-        print(f"checking {args.serving}")
-        check_serving(load_json(args.serving, "serving bench"),
-                      floors["serving"], violations)
-        checked_any = True
-    if os.path.exists(args.parallel):
-        print(f"checking {args.parallel}")
-        check_parallel(load_json(args.parallel, "parallel bench"),
-                       floors["parallel"], violations)
-        checked_any = True
-    if os.path.exists(args.kernels):
-        print(f"checking {args.kernels}")
-        check_kernels(load_json(args.kernels, "kernel bench"),
-                      floors["kernels"], violations)
+    sections = [
+        ("serving", args.serving, check_serving, "serving bench"),
+        ("parallel", args.parallel, check_parallel, "parallel bench"),
+        ("kernels", args.kernels, check_kernels, "kernel bench"),
+        ("store", args.store, check_store, "store bench"),
+    ]
+    for name, path, check, what in sections:
+        if not os.path.exists(path):
+            if name in args.require:
+                print(f"FAIL: required {what} output {path} is missing")
+                return 2
+            continue
+        print(f"checking {path}")
+        bench = load_json(path, what)
+        try:
+            section_floors = floors[name]
+            check(bench, section_floors, violations)
+        except KeyError as e:
+            print(f"FAIL: floors file {args.floors} is missing key {e} "
+                  f"for section '{name}'")
+            return 2
         checked_any = True
 
     if not checked_any:
         print("FAIL: no bench output file exists "
-              f"({args.serving}, {args.parallel}, {args.kernels})")
+              f"({args.serving}, {args.parallel}, {args.kernels}, "
+              f"{args.store})")
         return 2
 
     if violations:

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Checks for the check_bench.py bench regression gate.
+
+Runs the gate as a subprocess against synthetic BENCH files and asserts
+its contract: pass/fail exit codes on floor comparisons, and one-line
+errors — never tracebacks — on missing required files, malformed JSON,
+and floors files missing a section key.
+
+pytest-style test_* functions, but runnable standalone:
+  python3 tools/check_bench_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECK_BENCH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "check_bench.py")
+
+FLOORS = {
+    "serving": {
+        "batched_min_speedup": 1.1,
+        "batched_cached_min_speedup": 1.5,
+    },
+    "parallel": {
+        "min_speedup_per_thread_count": 1.15,
+        "oversubscribed_min_speedup": 0.25,
+    },
+    "store": {
+        "warm_min_speedup_vs_cold": 1.5,
+        "absent_min_speedup_vs_cold": 5.0,
+    },
+    "kernels": {
+        "min_work_size": 256,
+        "min_speedup": {"dot": 2.0},
+    },
+}
+
+STORE_BENCH = {
+    "hardware_concurrency": 4,
+    "warm_speedup_vs_cold": 60.0,
+    "absent_speedup_vs_cold": 19.0,
+    "bloom": {"skips": 1000, "false_positives": 5, "fp_rate": 0.005},
+}
+
+
+def run_gate(tmp, *extra_args, floors=FLOORS, env_extra=None):
+    """Runs check_bench.py in `tmp` with only the named bench files."""
+    floors_path = os.path.join(tmp, "floors.json")
+    with open(floors_path, "w") as f:
+        json.dump(floors, f)
+    env = dict(os.environ)
+    env.pop("RETINA_BENCH_GATE", None)
+    if env_extra:
+        env.update(env_extra)
+    # Point every section at a file name local to tmp so leftover BENCH
+    # files in the repo root can't leak into the run.
+    args = [
+        sys.executable, CHECK_BENCH, "--floors", floors_path,
+        "--serving", "serving.json", "--parallel", "parallel.json",
+        "--kernels", "kernels.json", "--store", "store.json",
+    ]
+    args += list(extra_args)
+    return subprocess.run(args, cwd=tmp, env=env,
+                          capture_output=True, text=True)
+
+
+def write(tmp, name, payload):
+    path = os.path.join(tmp, name)
+    with open(path, "w") as f:
+        if isinstance(payload, str):
+            f.write(payload)
+        else:
+            json.dump(payload, f)
+    return path
+
+
+def assert_one_line_error(proc, expect_code=2):
+    assert proc.returncode == expect_code, (proc.returncode, proc.stdout,
+                                            proc.stderr)
+    assert "Traceback" not in proc.stdout + proc.stderr, proc.stderr
+    fails = [ln for ln in proc.stdout.splitlines() if ln.startswith("FAIL:")]
+    assert len(fails) == 1, proc.stdout
+
+
+def test_store_pass():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "store.json", STORE_BENCH)
+        proc = run_gate(tmp)
+        assert proc.returncode == 0, proc.stdout
+        assert "bench regression gate passed" in proc.stdout
+
+
+def test_store_floor_violation():
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = dict(STORE_BENCH)
+        bench["absent_speedup_vs_cold"] = 1.01  # Bloom skip broke
+        write(tmp, "store.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "absent_speedup_vs_cold" in proc.stdout
+
+
+def test_warn_mode_reports_without_failing():
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = dict(STORE_BENCH)
+        bench["warm_speedup_vs_cold"] = 0.5
+        write(tmp, "store.json", bench)
+        proc = run_gate(tmp, env_extra={"RETINA_BENCH_GATE": "warn"})
+        assert proc.returncode == 0, proc.stdout
+        assert "reporting only" in proc.stdout
+
+
+def test_missing_required_file_is_one_line_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = run_gate(tmp, "--require", "store")
+        assert_one_line_error(proc)
+        assert "store.json" in proc.stdout
+
+
+def test_missing_optional_file_is_skipped():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "store.json", STORE_BENCH)
+        # serving.json does not exist but is not required -> still passes.
+        proc = run_gate(tmp, "--require", "store")
+        assert proc.returncode == 0, proc.stdout
+
+
+def test_malformed_json_is_one_line_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "store.json", "{not json")
+        proc = run_gate(tmp)
+        assert_one_line_error(proc)
+        assert "store.json" in proc.stdout
+
+
+def test_missing_floors_key_is_one_line_error():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "store.json", STORE_BENCH)
+        floors = {k: v for k, v in FLOORS.items() if k != "store"}
+        proc = run_gate(tmp, floors=floors)
+        assert_one_line_error(proc)
+        assert "store" in proc.stdout
+
+
+def test_no_bench_files_at_all():
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = run_gate(tmp)
+        assert_one_line_error(proc)
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

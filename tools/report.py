@@ -8,6 +8,8 @@ Sections:
   - per-scope self-time flame table (from the metrics `scopes` map)
   - per-epoch training curves (loss / grad-norm / seconds series)
   - warm-vs-cold serving latency breakdown (request histograms)
+  - user store tiers (tier counters + per-tier lookup latency), present
+    only when a run served features through the disk-backed store
   - timeline: per-event-name aggregates and the top-K slowest traces
     (grouped by the per-request/per-batch trace ids the tracer mints)
 
@@ -216,6 +218,52 @@ def add_serving_section(report, metrics):
                     "rate).")
 
 
+def add_store_section(report, metrics):
+    """Tiered user store: tier counters and per-tier lookup latency."""
+    counters = metrics.get("counters", {})
+    hists = metrics.get("histograms", {})
+    tier_counters = [
+        ("store.tier.hits", "store hits (block decoded)"),
+        ("store.tier.misses", "store misses (recomputed)"),
+        ("store.tier.promotes", "promotions into the LRU"),
+        ("store.tier.bloom_skips", "absent, skipped without block I/O"),
+        ("store.tier.errors", "corrupt reads (fell back to compute)"),
+    ]
+    tier_hists = [
+        ("warm (LRU hit)", "store.lookup_warm_ns"),
+        ("store (block read)", "store.lookup_store_ns"),
+        ("compute (full rebuild)", "store.lookup_compute_ns"),
+    ]
+    have_counters = any(counters.get(name, 0) for name, _ in tier_counters)
+    have_hists = any(
+        hists.get(name, {}).get("count", 0) for _, name in tier_hists)
+    if not have_counters and not have_hists:
+        return
+    report.section("User store tiers")
+    report.para("Per-user history blocks resolve through warm LRU -> "
+                "disk store -> recompute; all three tiers return "
+                "bit-identical features, so the split below is purely a "
+                "cost profile.")
+    if have_counters:
+        rows = [(name, counters.get(name, 0), what)
+                for name, what in tier_counters]
+        rows.append(("serving.user_cache.hits",
+                     counters.get("serving.user_cache.hits", 0),
+                     "warm-tier hits in front of the store"))
+        report.table(["counter", "value", "meaning"], rows)
+    if have_hists:
+        rows = []
+        for label, name in tier_hists:
+            h = hists.get(name)
+            if not h or h.get("count", 0) == 0:
+                rows.append((label, 0, "-", "-", "-", "-"))
+                continue
+            rows.append((label, h["count"], fmt_ns(h["mean"]),
+                         fmt_ns(h["p50"]), fmt_ns(h["p95"]),
+                         fmt_ns(h["p99"])))
+        report.table(["tier", "lookups", "mean", "p50", "p95", "p99"], rows)
+
+
 SIMD_BACKEND_NAMES = {0: "unresolved", 1: "scalar", 2: "avx2", 3: "neon"}
 
 
@@ -345,6 +393,7 @@ def build_report(metrics, trace, top_k):
         add_flame_section(report, metrics)
         add_training_section(report, metrics)
         add_serving_section(report, metrics)
+        add_store_section(report, metrics)
         add_kernel_section(report, metrics)
     if trace is not None:
         add_trace_sections(report, trace, top_k)

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Checks for tools/report.py, focused on the "User store tiers" section.
+
+Feeds synthetic --metrics-out payloads through build_report and asserts
+the store section renders its tier counters and per-tier latency
+percentiles when store metrics are present, and disappears entirely when
+they are not (runs that never touched the store must not grow an empty
+section).
+
+pytest-style test_* functions, but runnable standalone:
+  python3 tools/report_test.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import report  # noqa: E402
+
+
+def hist(count, mean, p50, p95, p99):
+    return {"count": count, "mean": mean, "p50": p50, "p95": p95, "p99": p99}
+
+
+def store_metrics():
+    return {
+        "counters": {
+            "serving.requests": 12,
+            "serving.user_cache.hits": 340,
+            "store.tier.hits": 55,
+            "store.tier.misses": 7,
+            "store.tier.promotes": 55,
+            "store.tier.bloom_skips": 6,
+            "store.tier.errors": 0,
+        },
+        "gauges": {},
+        "histograms": {
+            "store.lookup_warm_ns": hist(340, 60.0, 55.0, 90.0, 120.0),
+            "store.lookup_store_ns": hist(55, 900.0, 700.0, 2000.0, 4000.0),
+            "store.lookup_compute_ns": hist(
+                7, 15000.0, 14000.0, 22000.0, 30000.0),
+        },
+    }
+
+
+def render(metrics):
+    return report.build_report(metrics, None, top_k=5).to_markdown()
+
+
+def test_store_section_renders_counters_and_percentiles():
+    md = render(store_metrics())
+    assert "## User store tiers" in md
+    for counter in ("store.tier.hits", "store.tier.misses",
+                    "store.tier.promotes", "store.tier.bloom_skips"):
+        assert counter in md, counter
+    # One latency row per tier, with the histogram percentiles formatted.
+    assert "warm (LRU hit)" in md
+    assert "store (block read)" in md
+    assert "compute (full rebuild)" in md
+    assert "900 ns" in md       # store-tier mean
+    assert "15.000 us" in md    # compute-tier mean
+
+
+def test_store_section_absent_without_store_metrics():
+    metrics = store_metrics()
+    for name in list(metrics["counters"]):
+        if name.startswith("store."):
+            del metrics["counters"][name]
+    metrics["histograms"] = {}
+    md = render(metrics)
+    assert "User store tiers" not in md
+
+
+def test_store_section_counters_only():
+    # A run with obs histograms compiled out still has the counters; the
+    # section must render without the latency table.
+    metrics = store_metrics()
+    metrics["histograms"] = {}
+    md = render(metrics)
+    assert "## User store tiers" in md
+    assert "store.tier.hits" in md
+    assert "warm (LRU hit)" not in md
+
+
+def test_store_section_zero_count_tier_renders_dash():
+    metrics = store_metrics()
+    metrics["histograms"]["store.lookup_compute_ns"] = hist(0, 0, 0, 0, 0)
+    md = render(metrics)
+    assert "| compute (full rebuild) | 0 | - | - | - | - |" in md
+
+
+def test_html_rendering_includes_store_section():
+    html_out = report.build_report(store_metrics(), None, top_k=5).to_html()
+    assert "User store tiers" in html_out
+    assert "store.tier.hits" in html_out
+
+
+def check_e2e_metrics(path):
+    """Renders a real --metrics-out export and checks section presence.
+
+    With nonzero store.tier counters the "User store tiers" section must
+    render; with all-zero counters (obs compiled out) it must not.
+    """
+    import json
+    with open(path, encoding="utf-8") as f:
+        metrics = json.load(f)
+    md = render(metrics)
+    served = any(v for k, v in metrics.get("counters", {}).items()
+                 if k.startswith("store.tier."))
+    if served:
+        assert "## User store tiers" in md, \
+            f"{path} has store.tier counters but no store section"
+        print(f"PASS e2e metrics {path}: store section rendered")
+    else:
+        assert "User store tiers" not in md, \
+            f"{path} has no store activity but grew a store section"
+        print(f"PASS e2e metrics {path}: store section correctly absent")
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--e2e-metrics":
+        check_e2e_metrics(sys.argv[2])
+        return 0
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as e:
+            failed += 1
+            print(f"FAIL {name}: {e}")
+    print(f"{len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

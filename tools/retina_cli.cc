@@ -55,6 +55,7 @@ struct Args {
   std::string out;
   std::string save_model;
   std::string model;
+  std::string store_dir;
   std::string metrics_out;
   std::string trace_out;
   std::string log_level;
@@ -77,8 +78,10 @@ int Usage() {
       "  train-hategen --data DIR [--seed N]\n"
       "  train-retweet --data DIR [--dynamic] [--no-exo] [--seed N]"
       " [--save-model DIR]\n"
-      "  eval          --data DIR --model DIR\n"
+      "  eval          --data DIR --model DIR [--store-dir DIR]\n"
       "every command also accepts:\n"
+      "  --store-dir=DIR     eval: serve user history features through the\n"
+      "                      disk-backed tiered store (built on first use)\n"
       "  --metrics-out=FILE  dump the run's observability registry\n"
       "                      (counters, latency histograms, trace spans,\n"
       "                      training series, peak RSS) as JSON to FILE and\n"
@@ -127,6 +130,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->save_model = v;
+    } else if (arg == "--store-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->store_dir = v;
+    } else if (arg.rfind("--store-dir=", 0) == 0) {
+      args->store_dir = arg.substr(std::strlen("--store-dir="));
     } else if (arg == "--model") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -404,6 +413,30 @@ int CmdEval(const Args& args) {
   const auto& task = task_result.ValueOrDie();
 
   core::ScoringEngine engine(bundle.model.get(), bundle.extractor.get());
+  if (!args.store_dir.empty()) {
+    // Serve user history blocks through the disk-backed tiered store,
+    // building it on first use. Scores are bit-identical with or without
+    // the store (the blocks round-trip as f64 bit patterns).
+    Status attach = engine.AttachStore(args.store_dir);
+    if (!attach.ok()) {
+      Stopwatch build_timer;
+      Status built = core::ScoringEngine::BuildStore(*bundle.extractor,
+                                                     args.store_dir);
+      if (!built.ok()) {
+        std::fprintf(stderr, "%s\n", built.ToString().c_str());
+        return 1;
+      }
+      attach = engine.AttachStore(args.store_dir);
+      if (!attach.ok()) {
+        std::fprintf(stderr, "%s\n", attach.ToString().c_str());
+        return 1;
+      }
+      std::printf("built user store %s (%.1fs)\n", args.store_dir.c_str(),
+                  build_timer.ElapsedSeconds());
+    }
+    std::printf("user store: %zu users in %zu blocks\n",
+                engine.store()->num_entries(), engine.store()->num_blocks());
+  }
   const Vec scores = engine.ScoreCandidates(task, task.test);
   const auto eval = core::EvaluateBinary(task.test, scores);
   const auto queries = core::MakeRankingQueries(task, task.test, scores);
