@@ -1,0 +1,98 @@
+// Bounded MPMC admission queue for the serving path.
+//
+// The queue is the hand-off point between transport threads (connection
+// readers that decode requests) and the worker pool that scores them.
+// Capacity is fixed at construction: TryPush never blocks and returns
+// false when the queue is full, which is the shed signal — the caller
+// answers the client immediately instead of letting an unbounded backlog
+// turn overload into unbounded latency. Pop blocks until an item is
+// available or the queue is closed and drained, which gives the drain
+// state machine its second half: Close() wakes every blocked consumer,
+// already-queued items are still handed out (graceful drain finishes
+// in-flight work), and only then does Pop start returning false.
+//
+// Deliberately mutex+condvar rather than lock-free: the per-item work
+// behind the queue is a model forward (tens of microseconds and up), so
+// queue overhead is noise, and the blocking Pop is exactly what idle
+// workers should do.
+
+#ifndef RETINA_COMMON_BOUNDED_QUEUE_H_
+#define RETINA_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace retina::par {
+
+/// \brief Fixed-capacity FIFO with non-blocking producers and blocking
+/// consumers. All methods are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1; a zero capacity is clamped to 1 so a
+  /// misconfigured server sheds everything except one in-flight item
+  /// instead of deadlocking.
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues if there is room. Returns false — without blocking — when
+  /// the queue is full or closed; the caller owns the shed/reject reply.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    pop_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false). Items queued before Close() are always delivered.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    pop_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admission and wakes every blocked Pop. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    pop_cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable pop_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace retina::par
+
+#endif  // RETINA_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,37 @@
+// End-of-run observability exports shared by every front end.
+//
+// The CLI, the serving daemon, and the load driver all finish a run the
+// same way: sample the process gauges, dump the obs registry as JSON to
+// `--metrics-out`, and (when tracing was started) stop the session and
+// write the Chrome trace to `--trace-out`. This header is that shared
+// tail, extracted from tools/retina_cli.cc so the daemon's SIGTERM drain
+// path and the driver's per-sweep export cannot drift from the CLI's
+// behavior.
+//
+// Both functions are quiescent-point operations like the exports they
+// wrap: call them after all instrumented work has finished.
+
+#ifndef RETINA_COMMON_RUN_EXPORT_H_
+#define RETINA_COMMON_RUN_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace retina::obs {
+
+/// Samples process gauges (peak RSS, SIMD dispatch), writes the full
+/// registry JSON to `path`, and — when `print_summary` — prints the
+/// human-readable summary table plus a "metrics written to" line on
+/// stdout. No-op returning OK when `path` is empty.
+Status ExportMetricsJson(const std::string& path, bool print_summary = true);
+
+/// Stops the active trace session and writes it as Chrome trace JSON to
+/// `path`; when `print_summary`, reports the event and dropped-event
+/// counts so a truncated timeline is never mistaken for a complete one.
+/// No-op returning OK when `path` is empty.
+Status ExportChromeTrace(const std::string& path, bool print_summary = true);
+
+}  // namespace retina::obs
+
+#endif  // RETINA_COMMON_RUN_EXPORT_H_

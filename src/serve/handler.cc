@@ -1,0 +1,100 @@
+#include "serve/handler.h"
+
+#include <cassert>
+#include <utility>
+
+#include "core/model_store.h"
+#include "datagen/serialize.h"
+
+namespace retina::serve {
+
+Result<std::unique_ptr<RequestHandler>> RequestHandler::Open(
+    const std::string& data_dir, const std::string& model_dir,
+    RequestHandlerOptions options) {
+  auto world_result = datagen::ImportWorldCsv(data_dir);
+  if (!world_result.ok()) return world_result.status();
+  auto world = std::make_unique<datagen::SyntheticWorld>(
+      std::move(world_result).ValueOrDie());
+  auto bundle_result = core::LoadScoringBundle(model_dir, *world);
+  if (!bundle_result.ok()) return bundle_result.status();
+  auto bundle = std::move(bundle_result).ValueOrDie();
+
+  std::unique_ptr<RequestHandler> handler(new RequestHandler());
+  handler->owned_world_ = std::move(world);
+  handler->owned_model_ = std::move(bundle.model);
+  handler->owned_extractor_ = std::move(bundle.extractor);
+  handler->BuildEngines(handler->owned_model_.get(),
+                        handler->owned_extractor_.get(), options);
+  return handler;
+}
+
+std::unique_ptr<RequestHandler> RequestHandler::Borrow(
+    const core::Retina* model, const core::FeatureExtractor* extractor,
+    RequestHandlerOptions options) {
+  std::unique_ptr<RequestHandler> handler(new RequestHandler());
+  handler->BuildEngines(model, extractor, options);
+  return handler;
+}
+
+void RequestHandler::BuildEngines(const core::Retina* model,
+                                  const core::FeatureExtractor* extractor,
+                                  const RequestHandlerOptions& options) {
+  extractor_ = extractor;
+  const size_t n = options.num_workers == 0 ? 1 : options.num_workers;
+  engines_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    engines_.push_back(std::make_unique<core::ScoringEngine>(
+        model, extractor, options.engine));
+  }
+  user_scratch_.resize(n);
+}
+
+const datagen::SyntheticWorld& RequestHandler::world() const {
+  return extractor_->world();
+}
+
+void RequestHandler::HandleScore(size_t worker, const ScoreRequest& req,
+                                 ScoreResponse* resp) {
+  assert(worker < engines_.size());
+  resp->request_id = req.request_id;
+  resp->scores.clear();
+  resp->message.clear();
+
+  const datagen::SyntheticWorld& w = world();
+  if (req.tweet_id >= w.tweets().size()) {
+    resp->code = ResponseCode::kError;
+    resp->message = "tweet id " + std::to_string(req.tweet_id) +
+                    " out of range (world has " +
+                    std::to_string(w.tweets().size()) + " tweets)";
+    return;
+  }
+  std::vector<datagen::NodeId>& users = user_scratch_[worker];
+  users.clear();
+  users.reserve(req.users.size());
+  for (uint32_t u : req.users) {
+    if (u >= w.NumUsers()) {
+      resp->code = ResponseCode::kError;
+      resp->message = "user id " + std::to_string(u) +
+                      " out of range (world has " +
+                      std::to_string(w.NumUsers()) + " users)";
+      return;
+    }
+    users.push_back(static_cast<datagen::NodeId>(u));
+  }
+  engines_[worker]->ScoreTweetInto(w.tweets()[req.tweet_id], users,
+                                   &resp->scores);
+  resp->code = ResponseCode::kOk;
+}
+
+void RequestHandler::AppendStats(std::map<std::string, uint64_t>* stats) const {
+  // Only immutable shape data here: the per-engine cache counters are
+  // plain (non-atomic) fields owned by their worker threads, so reading
+  // them concurrently with HandleScore would race. The server's own
+  // atomics carry the live traffic counters.
+  const datagen::SyntheticWorld& w = world();
+  (*stats)["handler.num_tweets"] = w.tweets().size();
+  (*stats)["handler.num_users"] = w.NumUsers();
+  (*stats)["handler.num_workers"] = engines_.size();
+}
+
+}  // namespace retina::serve

@@ -1,0 +1,335 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace retina::serve {
+
+namespace {
+
+// --- little-endian append/read helpers -------------------------------------
+
+void AppendU16(std::string* out, uint16_t v) {
+  for (int i = 0; i < 2; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Bounds-checked forward cursor over a payload; every read fails softly
+/// so decoders can surface truncation as a Status.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (pos_ + 2 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 2; ++i) {
+      *v |= static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++])) << (8 * i);
+    }
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string* out) {
+    if (pos_ + n > data_.size() || pos_ + n < pos_) return false;
+    out->assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void AppendHeader(std::string* out, MessageType type) {
+  AppendU32(out, kProtocolMagic);
+  AppendU16(out, kProtocolVersion);
+  out->push_back(static_cast<char>(type));
+  out->push_back(0);  // reserved
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::IOError("corrupt serve frame: " + what);
+}
+
+/// Validates the fixed header and that the type matches `want`.
+Status ConsumeHeader(Cursor* cur, MessageType want) {
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t type = 0, reserved = 0;
+  if (!cur->ReadU32(&magic) || !cur->ReadU16(&version) ||
+      !cur->ReadU8(&type) || !cur->ReadU8(&reserved)) {
+    return Corrupt("truncated header");
+  }
+  if (magic != kProtocolMagic) return Corrupt("bad magic");
+  if (version != kProtocolVersion) {
+    return Corrupt("unsupported version " + std::to_string(version));
+  }
+  if (reserved != 0) return Corrupt("nonzero reserved byte");
+  if (type != static_cast<uint8_t>(want)) {
+    return Corrupt("unexpected message type " + std::to_string(type));
+  }
+  return Status::OK();
+}
+
+Status ExpectEnd(const Cursor& cur) {
+  if (!cur.AtEnd()) {
+    return Corrupt(std::to_string(cur.remaining()) + " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MessageType> PeekMessageType(std::string_view payload) {
+  Cursor cur(payload);
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t type = 0, reserved = 0;
+  if (!cur.ReadU32(&magic) || !cur.ReadU16(&version) || !cur.ReadU8(&type) ||
+      !cur.ReadU8(&reserved)) {
+    return Corrupt("truncated header");
+  }
+  if (magic != kProtocolMagic) return Corrupt("bad magic");
+  if (version != kProtocolVersion) {
+    return Corrupt("unsupported version " + std::to_string(version));
+  }
+  if (reserved != 0) return Corrupt("nonzero reserved byte");
+  if (type < static_cast<uint8_t>(MessageType::kScoreRequest) ||
+      type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+    return Corrupt("unknown message type " + std::to_string(type));
+  }
+  return static_cast<MessageType>(type);
+}
+
+std::string EncodeScoreRequest(const ScoreRequest& req) {
+  std::string out;
+  out.reserve(kPayloadHeaderBytes + 20 + 4 * req.users.size());
+  AppendHeader(&out, MessageType::kScoreRequest);
+  AppendU64(&out, req.request_id);
+  AppendU64(&out, req.tweet_id);
+  AppendU32(&out, static_cast<uint32_t>(req.users.size()));
+  for (uint32_t u : req.users) AppendU32(&out, u);
+  return out;
+}
+
+std::string EncodeScoreResponse(const ScoreResponse& resp) {
+  std::string out;
+  AppendHeader(&out, MessageType::kScoreResponse);
+  AppendU64(&out, resp.request_id);
+  out.push_back(static_cast<char>(resp.code));
+  if (resp.code == ResponseCode::kOk) {
+    AppendU32(&out, static_cast<uint32_t>(resp.scores.size()));
+    for (double s : resp.scores) AppendU64(&out, std::bit_cast<uint64_t>(s));
+  } else {
+    AppendU32(&out, static_cast<uint32_t>(resp.message.size()));
+    out.append(resp.message);
+  }
+  return out;
+}
+
+std::string EncodeStatsRequest(const StatsRequest& req) {
+  std::string out;
+  AppendHeader(&out, MessageType::kStatsRequest);
+  AppendU64(&out, req.request_id);
+  return out;
+}
+
+std::string EncodeStatsResponse(const StatsResponse& resp) {
+  std::string out;
+  AppendHeader(&out, MessageType::kStatsResponse);
+  AppendU64(&out, resp.request_id);
+  AppendU32(&out, static_cast<uint32_t>(resp.stats.size()));
+  for (const auto& [key, value] : resp.stats) {  // std::map: sorted keys
+    AppendU32(&out, static_cast<uint32_t>(key.size()));
+    out.append(key);
+    AppendU64(&out, value);
+  }
+  return out;
+}
+
+Status DecodeScoreRequest(std::string_view payload, ScoreRequest* out) {
+  Cursor cur(payload);
+  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kScoreRequest));
+  uint32_t n = 0;
+  if (!cur.ReadU64(&out->request_id) || !cur.ReadU64(&out->tweet_id) ||
+      !cur.ReadU32(&n)) {
+    return Corrupt("truncated score request");
+  }
+  if (cur.remaining() != 4u * n) {
+    return Corrupt("score request user count disagrees with body size");
+  }
+  out->users.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!cur.ReadU32(&out->users[i])) return Corrupt("truncated user list");
+  }
+  return ExpectEnd(cur);
+}
+
+Status DecodeScoreResponse(std::string_view payload, ScoreResponse* out) {
+  Cursor cur(payload);
+  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kScoreResponse));
+  uint8_t code = 0;
+  if (!cur.ReadU64(&out->request_id) || !cur.ReadU8(&code)) {
+    return Corrupt("truncated score response");
+  }
+  if (code > static_cast<uint8_t>(ResponseCode::kError)) {
+    return Corrupt("unknown response code " + std::to_string(code));
+  }
+  out->code = static_cast<ResponseCode>(code);
+  out->scores.clear();
+  out->message.clear();
+  uint32_t n = 0;
+  if (!cur.ReadU32(&n)) return Corrupt("truncated score response");
+  if (out->code == ResponseCode::kOk) {
+    if (cur.remaining() != 8u * n) {
+      return Corrupt("score count disagrees with body size");
+    }
+    out->scores.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint64_t bits = 0;
+      if (!cur.ReadU64(&bits)) return Corrupt("truncated score list");
+      out->scores[i] = std::bit_cast<double>(bits);
+    }
+  } else {
+    if (!cur.ReadBytes(n, &out->message)) {
+      return Corrupt("truncated response message");
+    }
+  }
+  return ExpectEnd(cur);
+}
+
+Status DecodeStatsRequest(std::string_view payload, StatsRequest* out) {
+  Cursor cur(payload);
+  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kStatsRequest));
+  if (!cur.ReadU64(&out->request_id)) return Corrupt("truncated stats request");
+  return ExpectEnd(cur);
+}
+
+Status DecodeStatsResponse(std::string_view payload, StatsResponse* out) {
+  Cursor cur(payload);
+  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kStatsResponse));
+  uint32_t n = 0;
+  if (!cur.ReadU64(&out->request_id) || !cur.ReadU32(&n)) {
+    return Corrupt("truncated stats response");
+  }
+  out->stats.clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key_len = 0;
+    if (!cur.ReadU32(&key_len)) return Corrupt("truncated stats entry");
+    std::string key;
+    uint64_t value = 0;
+    if (!cur.ReadBytes(key_len, &key) || !cur.ReadU64(&value)) {
+      return Corrupt("truncated stats entry");
+    }
+    if (!out->stats.emplace(std::move(key), value).second) {
+      return Corrupt("duplicate stats key");
+    }
+  }
+  return ExpectEnd(cur);
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame payload size out of range: " +
+                                   std::to_string(payload.size()));
+  }
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  AppendU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Reads exactly `n` bytes. `*got` reports the byte count actually read
+/// when the peer closed early (so callers can tell a clean EOF from a
+/// mid-frame one).
+Status ReadExact(int fd, char* buf, size_t n, size_t* got) {
+  *got = 0;
+  while (*got < n) {
+    const ssize_t r = ::recv(fd, buf + *got, n - *got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv failed: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) return Status::OK();  // EOF; caller inspects *got
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReadFrame(int fd, std::string* payload, bool* eof) {
+  payload->clear();
+  *eof = false;
+  char len_buf[4];
+  size_t got = 0;
+  RETINA_RETURN_NOT_OK(ReadExact(fd, len_buf, sizeof(len_buf), &got));
+  if (got == 0) {
+    *eof = true;  // clean close at a frame boundary
+    return Status::OK();
+  }
+  if (got < sizeof(len_buf)) return Corrupt("EOF inside frame length");
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(len_buf[i])) << (8 * i);
+  }
+  if (len == 0 || len > kMaxFramePayloadBytes) {
+    return Corrupt("frame length " + std::to_string(len) + " out of range");
+  }
+  payload->resize(len);
+  RETINA_RETURN_NOT_OK(ReadExact(fd, payload->data(), len, &got));
+  if (got < len) return Corrupt("EOF inside frame payload");
+  return Status::OK();
+}
+
+}  // namespace retina::serve

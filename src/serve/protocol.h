@@ -1,0 +1,125 @@
+// retina::serve wire protocol — versioned, length-prefixed binary frames
+// over a stream socket.
+//
+// Framing: every message travels as
+//
+//   u32  payload_len   (little-endian, 0 < len <= kMaxFramePayloadBytes)
+//   u8[payload_len]    payload
+//
+// and every payload begins with a fixed header
+//
+//   u32  magic         kProtocolMagic ("RETP" on the wire)
+//   u16  version       kProtocolVersion
+//   u8   type          MessageType
+//   u8   reserved      must be zero
+//
+// followed by the body of the given type (all integers little-endian):
+//
+//   kScoreRequest:   u64 request_id | u64 tweet_id | u32 n | n x u32 user
+//   kScoreResponse:  u64 request_id | u8 code |
+//                      code==kOk:  u32 n | n x u64 score-bit-pattern
+//                      otherwise:  u32 msg_len | msg bytes
+//   kStatsRequest:   u64 request_id
+//   kStatsResponse:  u64 request_id | u32 n | n x (u32 key_len | key |
+//                      u64 value), keys unique and sorted
+//
+// Scores cross the wire as IEEE-754 f64 bit patterns in a u64, so a
+// client reassembles exactly the doubles the engine produced — the serve
+// e2e pins byte-identity against a direct in-process ScoringEngine call.
+//
+// Corruption discipline matches io::Checkpoint: every malformed input —
+// bad magic, unknown version or type, nonzero reserved byte, oversized
+// or zero frame length, truncated body, trailing bytes — decodes to a
+// Status error, never to UB or a silently wrong message. Encoders are
+// infallible; only decoding and socket I/O can fail.
+
+#ifndef RETINA_SERVE_PROTOCOL_H_
+#define RETINA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vec.h"
+
+namespace retina::serve {
+
+inline constexpr uint32_t kProtocolMagic = 0x50544552;  // "RETP" in LE bytes
+inline constexpr uint16_t kProtocolVersion = 1;
+/// Upper bound on a frame payload; a length prefix above this is treated
+/// as stream corruption rather than an allocation request.
+inline constexpr uint32_t kMaxFramePayloadBytes = 16u << 20;
+/// Bytes of the fixed payload header (magic, version, type, reserved).
+inline constexpr size_t kPayloadHeaderBytes = 8;
+
+enum class MessageType : uint8_t {
+  kScoreRequest = 1,
+  kScoreResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+};
+
+enum class ResponseCode : uint8_t {
+  kOk = 0,     ///< scores present
+  kShed = 1,   ///< admission queue full; retry later
+  kError = 2,  ///< request invalid (message tells why)
+};
+
+/// Score `users` as retweet candidates of `tweet_id`. `request_id` is an
+/// opaque client token echoed in the response.
+struct ScoreRequest {
+  uint64_t request_id = 0;
+  uint64_t tweet_id = 0;
+  std::vector<uint32_t> users;
+};
+
+struct ScoreResponse {
+  uint64_t request_id = 0;
+  ResponseCode code = ResponseCode::kOk;
+  Vec scores;           ///< meaningful iff code == kOk
+  std::string message;  ///< meaningful iff code != kOk
+};
+
+struct StatsRequest {
+  uint64_t request_id = 0;
+};
+
+/// Server-side introspection: dataset shape (num_tweets, num_users) so a
+/// client can build valid requests without loading the world, plus live
+/// admission/drain counters for the load driver's shed and queue-depth
+/// columns.
+struct StatsResponse {
+  uint64_t request_id = 0;
+  std::map<std::string, uint64_t> stats;
+};
+
+/// Validates the payload header and returns the message type.
+Result<MessageType> PeekMessageType(std::string_view payload);
+
+std::string EncodeScoreRequest(const ScoreRequest& req);
+std::string EncodeScoreResponse(const ScoreResponse& resp);
+std::string EncodeStatsRequest(const StatsRequest& req);
+std::string EncodeStatsResponse(const StatsResponse& resp);
+
+Status DecodeScoreRequest(std::string_view payload, ScoreRequest* out);
+Status DecodeScoreResponse(std::string_view payload, ScoreResponse* out);
+Status DecodeStatsRequest(std::string_view payload, StatsRequest* out);
+Status DecodeStatsResponse(std::string_view payload, StatsResponse* out);
+
+/// Writes one length-prefixed frame. Handles partial writes and EINTR;
+/// never raises SIGPIPE (a closed peer is an IOError). `payload` must be
+/// a complete encoded message.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one length-prefixed frame into `*payload`. A clean EOF at a
+/// frame boundary sets `*eof` and returns OK with an empty payload; EOF
+/// mid-frame, a zero or oversized length prefix, or any socket error is
+/// a Status error.
+Status ReadFrame(int fd, std::string* payload, bool* eof);
+
+}  // namespace retina::serve
+
+#endif  // RETINA_SERVE_PROTOCOL_H_

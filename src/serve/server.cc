@@ -1,0 +1,350 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace retina::serve {
+
+namespace {
+
+/// Poll granularity of the accept and reader loops: the latency bound on
+/// noticing a drain request while idle.
+constexpr int kPollMs = 50;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Signal-to-drain bridge. The handler only flips a flag (the async-signal
+// -safe subset); the accept loop promotes it into RequestShutdown().
+volatile sig_atomic_t g_drain_signal = 0;
+
+void DrainSignalHandler(int /*signum*/) { g_drain_signal = 1; }
+
+void InstallDrainSignalHandler() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = DrainSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::ObsHooks Server::ObsHooks::Resolve() {
+  obs::Registry& reg = obs::Registry::Global();
+  ObsHooks h;
+  h.connections = reg.GetCounter("serve.connections");
+  h.requests = reg.GetCounter("serve.requests");
+  h.responses = reg.GetCounter("serve.responses");
+  h.shed = reg.GetCounter("serve.shed");
+  h.errors = reg.GetCounter("serve.errors");
+  h.protocol_errors = reg.GetCounter("serve.protocol_errors");
+  h.queue_depth_peak = reg.GetGauge("serve.queue.depth_peak");
+  h.queue_capacity = reg.GetGauge("serve.queue.capacity");
+  h.workers = reg.GetGauge("serve.workers");
+  h.queue_wait_ns = reg.GetHistogram("serve.queue_wait_ns");
+  h.handle_ns = reg.GetHistogram("serve.handle_ns");
+  return h;
+}
+
+Server::Server(Handler* handler, ServerOptions options)
+    : handler_(handler),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      hooks_(ObsHooks::Resolve()) {}
+
+Server::~Server() {
+  if (started_) {
+    RequestShutdown();
+    Wait();
+  }
+}
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.socket_path.empty()) {
+    return Status::InvalidArgument("ServerOptions.socket_path is required");
+  }
+  struct sockaddr_un addr;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size());
+  ::unlink(options_.socket_path.c_str());  // replace any stale socket file
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::IOError("bind " + options_.socket_path +
+                                      " failed: " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status st =
+        Status::IOError(std::string("listen failed: ") + std::strerror(errno));
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return st;
+  }
+  listen_fd_ = fd;
+
+  if (options_.install_signal_handler) {
+    g_drain_signal = 0;
+    InstallDrainSignalHandler();
+  }
+  hooks_.queue_capacity->Set(static_cast<int64_t>(queue_.capacity()));
+  hooks_.workers->Set(static_cast<int64_t>(handler_->num_workers()));
+
+  pool_ = std::make_unique<par::ThreadPool>(
+      handler_->num_workers() == 0 ? 1 : handler_->num_workers());
+  started_ = true;
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  dispatch_thread_ = std::thread(&Server::DispatchLoop, this);
+  RETINA_LOG(Info) << "serve: listening on " << options_.socket_path << " ("
+                   << handler_->num_workers() << " workers, queue capacity "
+                   << queue_.capacity() << ")";
+  return Status::OK();
+}
+
+void Server::RequestShutdown() {
+  draining_.store(true, std::memory_order_release);
+}
+
+Status Server::Wait() {
+  if (!started_) return Status::FailedPrecondition("server not started");
+  accept_thread_.join();
+  // The accept thread only exits once draining_ is set, and it joins no
+  // new readers after that; reader threads exit on the same flag.
+  for (std::thread& t : reader_threads_) t.join();
+  // Nothing can enqueue anymore: close the queue so workers drain the
+  // admitted backlog and exit.
+  queue_.Close();
+  dispatch_thread_.join();
+  started_ = false;
+  RETINA_LOG(Info) << "serve: drained (" << responses_.load() << " responses, "
+                   << shed_.load() << " shed)";
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    // The signal flag is only authoritative for the server that installed
+    // the handler — embedded servers (tests) drain via RequestShutdown.
+    if (options_.install_signal_handler && g_drain_signal != 0) {
+      RequestShutdown();
+    }
+    if (draining()) break;
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr <= 0) continue;  // timeout, EINTR: re-check the drain flags
+    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+    if (cfd < 0) continue;
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    hooks_.connections->Add();
+    auto conn = std::make_shared<Conn>(cfd);
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    reader_threads_.emplace_back(&Server::ReaderLoop, this, std::move(conn));
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::ReaderLoop(std::shared_ptr<Conn> conn) {
+  std::string payload;
+  while (!draining()) {
+    struct pollfd pfd;
+    pfd.fd = conn->fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr <= 0) continue;
+    bool eof = false;
+    const Status st = ReadFrame(conn->fd, &payload, &eof);
+    if (!st.ok()) {
+      // The byte stream is out of sync; nothing after this point can be
+      // framed reliably, so the only safe move is to drop the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      hooks_.protocol_errors->Add();
+      RETINA_LOG(Warning) << "serve: " << st.ToString();
+      break;
+    }
+    if (eof) break;
+    if (!HandleFrame(conn, payload)) break;
+  }
+  ::shutdown(conn->fd, SHUT_RD);
+  // The Conn (and its fd) stays alive until the last queued WorkItem's
+  // response has been written; the shared_ptr does the bookkeeping.
+}
+
+bool Server::HandleFrame(const std::shared_ptr<Conn>& conn,
+                         const std::string& payload) {
+  const Result<MessageType> type = PeekMessageType(payload);
+  if (!type.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    hooks_.protocol_errors->Add();
+    RETINA_LOG(Warning) << "serve: " << type.status().ToString();
+    return false;
+  }
+  switch (type.ValueOrDie()) {
+    case MessageType::kScoreRequest: {
+      ScoreRequest req;
+      const Status st = DecodeScoreRequest(payload, &req);
+      if (!st.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        hooks_.protocol_errors->Add();
+        RETINA_LOG(Warning) << "serve: " << st.ToString();
+        return false;
+      }
+      const uint64_t request_id = req.request_id;
+      WorkItem item;
+      item.conn = conn;
+      item.req = std::move(req);
+      // Thread hand-off: capture the enqueuer's ambient trace context for
+      // the worker to adopt — the ThreadPool::Run invariant, applied to
+      // the admission queue.
+      item.ctx = obs::CurrentTraceContext();
+      item.enqueue_ns = NowNs();
+      if (!queue_.TryPush(std::move(item))) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        hooks_.shed->Add();
+        ScoreResponse resp;
+        resp.request_id = request_id;
+        resp.code = ResponseCode::kShed;
+        resp.message = "admission queue full";
+        WriteResponse(conn.get(), resp);
+        return true;
+      }
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      hooks_.requests->Add();
+      const uint64_t depth = queue_.size();
+      uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+      while (depth > peak && !queue_depth_peak_.compare_exchange_weak(
+                                 peak, depth, std::memory_order_relaxed)) {
+      }
+      hooks_.queue_depth_peak->UpdateMax(static_cast<int64_t>(depth));
+      return true;
+    }
+    case MessageType::kStatsRequest: {
+      StatsRequest req;
+      const Status st = DecodeStatsRequest(payload, &req);
+      if (!st.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        hooks_.protocol_errors->Add();
+        return false;
+      }
+      StatsResponse resp;
+      resp.request_id = req.request_id;
+      SnapshotStats(&resp.stats);
+      handler_->AppendStats(&resp.stats);
+      const std::string encoded = EncodeStatsResponse(resp);
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      const Status wst = WriteFrame(conn->fd, encoded);
+      if (!wst.ok()) write_errors_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    default:
+      // A client pushing response-typed frames at the server is as
+      // out-of-contract as garbage bytes.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      hooks_.protocol_errors->Add();
+      return false;
+  }
+}
+
+void Server::DispatchLoop() {
+  const size_t n = pool_->num_threads();
+  pool_->Run(n, [this](size_t w) { WorkerLoop(w); });
+}
+
+void Server::WorkerLoop(size_t worker) {
+  WorkItem item;
+  while (queue_.Pop(&item)) {
+    const uint64_t start_ns = NowNs();
+    if (start_ns > item.enqueue_ns) {
+      hooks_.queue_wait_ns->Record(start_ns - item.enqueue_ns);
+    }
+    // Adopt the enqueuer's trace context for the duration of the request
+    // (and restore our own after), so timeline events on this worker nest
+    // under whatever the reader was tracing — the standing invariant for
+    // cross-thread hand-offs.
+    const obs::TraceContext saved = obs::CurrentTraceContext();
+    obs::SetCurrentTraceContext(item.ctx);
+    ScoreResponse resp;
+    {
+      obs::TraceRequestScope request_scope;
+      RETINA_OBS_SPAN("serve.handle");
+      handler_->HandleScore(worker, item.req, &resp);
+    }
+    obs::SetCurrentTraceContext(saved);
+    if (resp.code == ResponseCode::kError) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      hooks_.errors->Add();
+    }
+    WriteResponse(item.conn.get(), resp);
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    hooks_.responses->Add();
+    hooks_.handle_ns->Record(NowNs() - start_ns);
+    item = WorkItem();  // release the Conn reference promptly
+  }
+}
+
+void Server::WriteResponse(Conn* conn, const ScoreResponse& resp) {
+  const std::string encoded = EncodeScoreResponse(resp);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  const Status st = WriteFrame(conn->fd, encoded);
+  if (!st.ok()) {
+    // The client went away before its answer; all we owe the rest of the
+    // system is the count.
+    write_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::SnapshotStats(std::map<std::string, uint64_t>* stats) const {
+  (*stats)["serve.connections"] = connections_.load(std::memory_order_relaxed);
+  (*stats)["serve.requests"] = requests_.load(std::memory_order_relaxed);
+  (*stats)["serve.responses"] = responses_.load(std::memory_order_relaxed);
+  (*stats)["serve.shed"] = shed_.load(std::memory_order_relaxed);
+  (*stats)["serve.errors"] = errors_.load(std::memory_order_relaxed);
+  (*stats)["serve.protocol_errors"] =
+      protocol_errors_.load(std::memory_order_relaxed);
+  (*stats)["serve.write_errors"] =
+      write_errors_.load(std::memory_order_relaxed);
+  (*stats)["serve.queue_depth_peak"] =
+      queue_depth_peak_.load(std::memory_order_relaxed);
+  (*stats)["serve.queue_capacity"] = queue_.capacity();
+  (*stats)["serve.workers"] = handler_->num_workers();
+  (*stats)["serve.draining"] = draining() ? 1 : 0;
+}
+
+}  // namespace retina::serve

@@ -1,0 +1,179 @@
+// retina::serve daemon core: a Unix-domain-socket server that feeds a
+// bounded admission queue drained by a retina::par worker pool.
+//
+// Thread architecture (N = handler->num_workers()):
+//
+//   accept thread      polls the listener, one reader thread per
+//                      connection; promotes an external SIGTERM/SIGINT
+//                      into RequestShutdown().
+//   reader threads     decode frames. kScoreRequest -> TryPush onto the
+//                      admission queue, answering kShed immediately when
+//                      it is full (shed-on-full keeps overload latency
+//                      bounded); kStatsRequest answered inline.
+//   dispatcher thread  runs pool->Run(N, worker-loop) on a dedicated
+//                      N-thread retina::par pool. Each worker loop pops
+//                      until the queue closes. Because the loops execute
+//                      inside a parallel region, the model forward's own
+//                      ParallelFor runs inline — each request is scored
+//                      single-threaded on its worker, deterministically,
+//                      and N requests score concurrently.
+//
+// TraceContext discipline (the standing invariant): the queue is a
+// thread hand-off, so each WorkItem captures the enqueuing reader's
+// obs::TraceContext and the worker adopts it around handling (restoring
+// its own afterwards), exactly the way par::ThreadPool::Run does for its
+// job submitter. A TraceRequestScope inside the adopted context then
+// mints the per-request trace id.
+//
+// Drain state machine (SIGTERM or RequestShutdown()):
+//
+//   ACCEPTING --> DRAINING: stop accepting (listener closed, socket file
+//              unlinked), readers finish their current frame and exit --
+//              nothing new enters the queue.
+//   DRAINING  --> DRAINED: queue closed; workers finish every item that
+//              was admitted (BoundedQueue::Pop hands out queued items
+//              after Close), write their responses, and exit.
+//   Wait() then returns so the daemon can export --metrics-out /
+//   --trace-out. Admitted requests are never dropped: an item either
+//   gets a response or was shed at admission with an immediate reply.
+//
+// Stats served over kStats come from server-owned atomics (not
+// retina::obs), so the protocol behaves identically when obs is
+// disabled or compiled out — observers never change behavior.
+
+#ifndef RETINA_SERVE_SERVER_H_
+#define RETINA_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/obs.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "serve/handler.h"
+#include "serve/protocol.h"
+
+namespace retina::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket. Any stale file
+  /// at the path is replaced; the daemon unlinks it again on drain.
+  std::string socket_path;
+  /// Admission-queue capacity; requests beyond it are shed (kShed reply).
+  size_t queue_capacity = 256;
+  /// Install SIGTERM/SIGINT handlers that trigger the graceful drain.
+  /// The daemon main turns this on; tests drive RequestShutdown directly
+  /// or raise() the signal themselves.
+  bool install_signal_handler = false;
+};
+
+/// \brief One listening socket + admission queue + worker pool around a
+/// Handler. Start() spawns the threads; Wait() blocks until a drain
+/// completes. The handler must outlive the server.
+class Server {
+ public:
+  Server(Handler* handler, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept/dispatch machinery.
+  Status Start();
+
+  /// Blocks until the drain state machine has fully run (triggered by
+  /// RequestShutdown or a handled signal). Returns only after every
+  /// admitted request has been answered and all threads joined.
+  Status Wait();
+
+  /// Idempotent, thread-safe drain trigger — the programmatic SIGTERM.
+  void RequestShutdown();
+
+  /// True once a shutdown/drain has been requested.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Server-owned traffic counters (see header comment), merged with the
+  /// handler's stats. Safe to call any time, including during traffic.
+  void SnapshotStats(std::map<std::string, uint64_t>* stats) const;
+
+ private:
+  struct Conn {
+    explicit Conn(int fd_in) : fd(fd_in) {}
+    ~Conn();
+    const int fd;
+    std::mutex write_mu;  ///< serializes worker/reader frame writes
+  };
+
+  /// An admitted request: the decoded frame plus the enqueuer's trace
+  /// context and the admission timestamp (for serve.queue_wait_ns).
+  struct WorkItem {
+    std::shared_ptr<Conn> conn;
+    ScoreRequest req;
+    obs::TraceContext ctx;
+    uint64_t enqueue_ns = 0;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Conn> conn);
+  void DispatchLoop();
+  void WorkerLoop(size_t worker);
+  /// Reader-side handling of a single decoded frame; false closes the
+  /// connection (protocol error or unsupported type).
+  bool HandleFrame(const std::shared_ptr<Conn>& conn,
+                   const std::string& payload);
+  void WriteResponse(Conn* conn, const ScoreResponse& resp);
+
+  Handler* handler_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  bool started_ = false;
+
+  par::BoundedQueue<WorkItem> queue_;
+  std::unique_ptr<par::ThreadPool> pool_;
+  std::atomic<bool> draining_{false};
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::mutex readers_mu_;  ///< guards reader_threads_ growth vs. join
+  std::vector<std::thread> reader_threads_;
+
+  // Authoritative traffic counters: plain atomics, deliberately not obs
+  // instruments, so kStats replies are identical with obs disabled.
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};   ///< admitted score requests
+  std::atomic<uint64_t> responses_{0};  ///< score responses written
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> errors_{0};  ///< kError responses (bad requests)
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> write_errors_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
+
+  /// Observational mirrors, resolved once at construction.
+  struct ObsHooks {
+    static ObsHooks Resolve();
+    obs::Counter* connections;
+    obs::Counter* requests;
+    obs::Counter* responses;
+    obs::Counter* shed;
+    obs::Counter* errors;
+    obs::Counter* protocol_errors;
+    obs::Gauge* queue_depth_peak;
+    obs::Gauge* queue_capacity;
+    obs::Gauge* workers;
+    obs::Histogram* queue_wait_ns;
+    obs::Histogram* handle_ns;
+  };
+  ObsHooks hooks_;
+};
+
+}  // namespace retina::serve
+
+#endif  // RETINA_SERVE_SERVER_H_

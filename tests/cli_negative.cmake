@@ -1,0 +1,44 @@
+# Negative CLI cases: unknown flags and subcommands must exit nonzero
+# with a one-line Status message on stderr ("InvalidArgument: unknown
+# ..."), never a silent full-usage dump with exit 0 — scripts and CI
+# pipelines depend on the exit code, and the one-liner keeps the actual
+# mistake visible instead of burying it under the usage text.
+#
+# Run as:
+#   cmake -DRETINA_CLI=<retina> -DRETINA_SERVE=<retina_serve>
+#         -DMODE=flag|command|serve_flag -P cli_negative.cmake
+
+if(NOT DEFINED RETINA_CLI OR NOT DEFINED MODE)
+  message(FATAL_ERROR "pass -DRETINA_CLI=<binary> and -DMODE=<case>")
+endif()
+
+if(MODE STREQUAL "flag")
+  set(cmd "${RETINA_CLI}" eval --data /nonexistent --no-such-flag)
+elseif(MODE STREQUAL "command")
+  set(cmd "${RETINA_CLI}" frobnicate)
+elseif(MODE STREQUAL "serve_flag")
+  if(NOT DEFINED RETINA_SERVE)
+    message(FATAL_ERROR "pass -DRETINA_SERVE=<binary> for MODE=serve_flag")
+  endif()
+  set(cmd "${RETINA_SERVE}" --no-such-flag)
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()
+
+execute_process(COMMAND ${cmd}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "MODE=${MODE}: expected a nonzero exit, got 0:\n${out}\n${err}")
+endif()
+if(NOT err MATCHES "InvalidArgument: unknown")
+  message(FATAL_ERROR "MODE=${MODE}: stderr lacks the one-line Status "
+          "message:\n${err}")
+endif()
+# One line means one line: the usage dump must not ride along.
+string(REGEX MATCHALL "\n" newlines "${err}")
+list(LENGTH newlines n_lines)
+if(n_lines GREATER 2)
+  message(FATAL_ERROR "MODE=${MODE}: stderr is ${n_lines} lines, wanted a "
+          "one-line rejection:\n${err}")
+endif()
+message(STATUS "MODE=${MODE} rejected correctly: rc=${rc}")

@@ -1,0 +1,226 @@
+# End-to-end smoke for the serving daemon:
+#
+#   retina generate       --out WORK/world
+#   retina train-retweet  --data WORK/world --save-model WORK/model
+#   retina_serve          --data ... --model ... --socket ...   (background)
+#   load_driver           --verify-data/--verify-model + QPS sweep
+#   kill -TERM            (graceful drain)
+#
+# and asserts the whole serving contract end to end, across processes:
+#
+#   - load_driver's --verify pass requires every daemon score to be
+#     byte-identical to the same bundle loaded in-process;
+#   - the sweep (>= 3 QPS points, >= 4 connections) completes with zero
+#     dropped requests — a request is either answered or shed at
+#     admission, never silently lost;
+#   - SIGTERM drains: the daemon exits on its own, logs the drain, and
+#     writes --metrics-out and --trace-out before exiting;
+#   - BENCH_serve.json parses and lands in ${WORK_DIR}_outputs for the
+#     report tooling and CI artifact upload.
+#
+# The daemon's socket lives under /tmp, not under WORK_DIR: sockaddr_un's
+# sun_path caps paths at ~107 bytes and CI build trees run deeper.
+#
+# Run as:
+#   cmake -DRETINA_CLI=<retina> -DRETINA_SERVE=<retina_serve>
+#         -DLOAD_DRIVER=<load_driver> -DWORK_DIR=<scratch dir>
+#         [-DOBS_COMPILED_OUT=ON] -P serve_e2e.cmake
+#
+# OBS_COMPILED_OUT=ON relaxes the metrics-content assertions (counters
+# compile to nothing) — the protocol/drain assertions all rest on the
+# server's own atomics and hold regardless.
+
+if(NOT DEFINED RETINA_CLI)
+  message(FATAL_ERROR "pass -DRETINA_CLI=<path to the retina binary>")
+endif()
+if(NOT DEFINED RETINA_SERVE)
+  message(FATAL_ERROR "pass -DRETINA_SERVE=<path to the retina_serve binary>")
+endif()
+if(NOT DEFINED LOAD_DRIVER)
+  message(FATAL_ERROR "pass -DLOAD_DRIVER=<path to the load_driver binary>")
+endif()
+if(NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
+endif()
+if(NOT DEFINED OBS_COMPILED_OUT)
+  set(OBS_COMPILED_OUT OFF)
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${RETINA_CLI}" generate --out "${WORK_DIR}/world"
+          --scale 0.05 --users 700 --seed 43
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "generate failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${RETINA_CLI}" train-retweet --data "${WORK_DIR}/world"
+          --seed 43 --save-model "${WORK_DIR}/model"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "train-retweet failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/model/model.ckpt")
+  message(FATAL_ERROR "train-retweet did not write model/model.ckpt:\n${out}")
+endif()
+
+# ---- Start the daemon in the background (sh backgrounding: CMake has no
+# native detach). Its pid comes back through the pipe; stdout/stderr land
+# in serve.log for the drain assertion below.
+string(RANDOM LENGTH 8 ALPHABET "abcdefghijklmnopqrstuvwxyz0123456789" tag)
+set(SOCKET "/tmp/retina_e2e_${tag}.sock")
+execute_process(
+  COMMAND sh -c "exec '${RETINA_SERVE}' \
+      --data '${WORK_DIR}/world' --model '${WORK_DIR}/model' \
+      --socket '${SOCKET}' --workers 4 --queue-capacity 128 \
+      --metrics-out '${WORK_DIR}/serve_metrics.json' \
+      --trace-out '${WORK_DIR}/serve_trace.json' \
+      > '${WORK_DIR}/serve.log' 2>&1 & echo $!"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE serve_pid ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch retina_serve (${rc}): ${err}")
+endif()
+string(STRIP "${serve_pid}" serve_pid)
+
+# The daemon loads the world + bundle before binding; poll for the socket.
+set(socket_up FALSE)
+foreach(i RANGE 150)
+  if(EXISTS "${SOCKET}")
+    set(socket_up TRUE)
+    break()
+  endif()
+  execute_process(COMMAND sh -c "kill -0 ${serve_pid} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    file(READ "${WORK_DIR}/serve.log" serve_log)
+    message(FATAL_ERROR "retina_serve exited before binding:\n${serve_log}")
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(NOT socket_up)
+  file(READ "${WORK_DIR}/serve.log" serve_log)
+  message(FATAL_ERROR "socket never appeared at ${SOCKET}:\n${serve_log}")
+endif()
+
+# ---- Drive it: cross-process byte-identity first (--verify-*), then the
+# open-loop sweep — 3 QPS points, 4 concurrent connections.
+execute_process(
+  COMMAND "${LOAD_DRIVER}" --socket "${SOCKET}" --smoke
+          --qps 30,60,120 --requests 48 --connections 4 --seed 7
+          --verify-data "${WORK_DIR}/world" --verify-model "${WORK_DIR}/model"
+          --out "${WORK_DIR}/BENCH_serve.json"
+          "--metrics-out=${WORK_DIR}/driver_metrics.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE driver_out ERROR_VARIABLE driver_err)
+if(NOT rc EQUAL 0)
+  file(READ "${WORK_DIR}/serve.log" serve_log)
+  message(FATAL_ERROR "load_driver failed (${rc}):\n${driver_out}\n"
+          "${driver_err}\nserver log:\n${serve_log}")
+endif()
+if(NOT driver_out MATCHES "byte-identical to the in-process engine")
+  message(FATAL_ERROR "load_driver did not run the verify pass:\n${driver_out}")
+endif()
+
+# ---- Graceful drain: SIGTERM, then the daemon must exit on its own and
+# leave its exports behind.
+execute_process(COMMAND sh -c "kill -TERM ${serve_pid}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "kill -TERM ${serve_pid} failed")
+endif()
+set(daemon_gone FALSE)
+foreach(i RANGE 150)
+  execute_process(COMMAND sh -c "kill -0 ${serve_pid} 2>/dev/null"
+                  RESULT_VARIABLE alive)
+  if(NOT alive EQUAL 0)
+    set(daemon_gone TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(NOT daemon_gone)
+  execute_process(COMMAND sh -c "kill -KILL ${serve_pid}")
+  file(READ "${WORK_DIR}/serve.log" serve_log)
+  message(FATAL_ERROR "daemon did not drain within 30s of SIGTERM:\n${serve_log}")
+endif()
+
+file(READ "${WORK_DIR}/serve.log" serve_log)
+if(NOT serve_log MATCHES "serve: drained")
+  message(FATAL_ERROR "daemon exited without logging a drain:\n${serve_log}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/serve_metrics.json")
+  message(FATAL_ERROR "daemon did not write serve_metrics.json:\n${serve_log}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/serve_trace.json")
+  message(FATAL_ERROR "daemon did not write serve_trace.json:\n${serve_log}")
+endif()
+if(EXISTS "${SOCKET}")
+  message(FATAL_ERROR "daemon left its socket file behind: ${SOCKET}")
+endif()
+
+# ---- BENCH_serve.json shape: >= 3 points; nothing dropped anywhere (a
+# request is answered or shed, never lost); the lowest-QPS point runs
+# entirely unshed. These rest on the protocol's kStats counters and the
+# driver's own accounting, so they hold with obs compiled out too.
+file(READ "${WORK_DIR}/BENCH_serve.json" bench_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON n_points ERROR_VARIABLE json_err LENGTH "${bench_json}" points)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "BENCH_serve.json unparseable: ${json_err}\n${bench_json}")
+  endif()
+  if(n_points LESS 3)
+    message(FATAL_ERROR "BENCH_serve.json has ${n_points} points, want >= 3")
+  endif()
+  math(EXPR last_point "${n_points} - 1")
+  foreach(i RANGE 0 ${last_point})
+    string(JSON dropped GET "${bench_json}" points ${i} dropped)
+    string(JSON n_ok GET "${bench_json}" points ${i} ok)
+    if(NOT dropped EQUAL 0)
+      message(FATAL_ERROR "point ${i} dropped ${dropped} requests:\n${bench_json}")
+    endif()
+    if(n_ok EQUAL 0)
+      message(FATAL_ERROR "point ${i} answered nothing:\n${bench_json}")
+    endif()
+  endforeach()
+  string(JSON first_shed GET "${bench_json}" points 0 shed)
+  string(JSON first_server_shed GET "${bench_json}" points 0 server_shed_delta)
+  if(NOT first_shed EQUAL 0 OR NOT first_server_shed EQUAL 0)
+    message(FATAL_ERROR "lowest-QPS point shed requests below capacity:\n${bench_json}")
+  endif()
+  message(STATUS "bench json ok: ${n_points} points, zero drops")
+endif()
+
+# ---- Daemon metrics: with obs compiled in, the serve counters must have
+# counted the run and requests must equal responses (zero in-flight drops
+# through the drain, observed via the exported registry this time).
+if(NOT OBS_COMPILED_OUT AND CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ "${WORK_DIR}/serve_metrics.json" serve_metrics_json)
+  string(JSON serve_requests ERROR_VARIABLE json_err
+         GET "${serve_metrics_json}" counters serve.requests)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "serve metrics JSON unparseable: ${json_err}")
+  endif()
+  string(JSON serve_responses GET "${serve_metrics_json}" counters
+         serve.responses)
+  if(serve_requests STREQUAL "" OR serve_requests EQUAL 0)
+    message(FATAL_ERROR "serve metrics counted no requests:\n${serve_metrics_json}")
+  endif()
+  if(NOT serve_requests EQUAL serve_responses)
+    message(FATAL_ERROR "drain dropped in-flight work: requests="
+            "${serve_requests} responses=${serve_responses}")
+  endif()
+  message(STATUS "serve metrics ok: ${serve_requests} requests, "
+          "${serve_responses} responses")
+endif()
+
+# Preserve the serving artifacts for report tests and CI upload, then drop
+# the bulky world/model scratch.
+file(REMOVE_RECURSE "${WORK_DIR}_outputs")
+file(MAKE_DIRECTORY "${WORK_DIR}_outputs")
+file(COPY "${WORK_DIR}/BENCH_serve.json" "${WORK_DIR}/serve_metrics.json"
+     "${WORK_DIR}/serve_trace.json" "${WORK_DIR}/driver_metrics.json"
+     DESTINATION "${WORK_DIR}_outputs")
+file(REMOVE_RECURSE "${WORK_DIR}")
+message(STATUS "serve e2e smoke passed")

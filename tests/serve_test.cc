@@ -1,0 +1,890 @@
+// Tests for the retina::serve subsystem: the wire protocol's round-trip
+// and corruption matrix, the bounded admission queue, the RequestHandler's
+// byte-identity to a direct in-process ScoringEngine, and the Server's
+// end-to-end behavior over a real Unix-domain socket — concurrent
+// clients, deterministic shed under a wedged worker, and the graceful
+// drain (programmatic and via SIGTERM).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/bounded_queue.h"
+#include "common/obs.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "common/vec.h"
+#include "core/feature_extractor.h"
+#include "core/retina.h"
+#include "core/retweet_task.h"
+#include "core/scoring_engine.h"
+#include "datagen/world.h"
+#include "hatedetect/annotation.h"
+#include "serve/handler.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace retina::serve {
+namespace {
+
+// -------------------------------------------------------------- Protocol --
+
+TEST(ProtocolTest, ScoreRequestRoundTrips) {
+  ScoreRequest req;
+  req.request_id = 0x0123456789ABCDEFull;
+  req.tweet_id = 42;
+  req.users = {0, 7, 0xFFFFFFFFu, 3};
+  const std::string payload = EncodeScoreRequest(req);
+  auto type = PeekMessageType(payload);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.ValueOrDie(), MessageType::kScoreRequest);
+  ScoreRequest out;
+  ASSERT_TRUE(DecodeScoreRequest(payload, &out).ok());
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.tweet_id, req.tweet_id);
+  EXPECT_EQ(out.users, req.users);
+}
+
+TEST(ProtocolTest, EmptyUserListRoundTrips) {
+  ScoreRequest req;
+  req.request_id = 1;
+  req.tweet_id = 0;
+  const std::string payload = EncodeScoreRequest(req);
+  ScoreRequest out;
+  out.users = {9, 9, 9};  // must be cleared by decode
+  ASSERT_TRUE(DecodeScoreRequest(payload, &out).ok());
+  EXPECT_TRUE(out.users.empty());
+}
+
+TEST(ProtocolTest, ScoreResponseRoundTripsExactBitPatterns) {
+  // Scores travel as f64 bit patterns: denormals, negative zero, and NaN
+  // payloads must survive unchanged.
+  ScoreResponse resp;
+  resp.request_id = 77;
+  resp.code = ResponseCode::kOk;
+  resp.scores = {0.125, -0.0, 5e-324, std::nan("0x5"), 1.0 / 3.0};
+  const std::string payload = EncodeScoreResponse(resp);
+  ScoreResponse out;
+  ASSERT_TRUE(DecodeScoreResponse(payload, &out).ok());
+  EXPECT_EQ(out.request_id, 77u);
+  EXPECT_EQ(out.code, ResponseCode::kOk);
+  ASSERT_EQ(out.scores.size(), resp.scores.size());
+  for (size_t i = 0; i < resp.scores.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&out.scores[i], &resp.scores[i], sizeof(double)),
+              0)
+        << "score " << i;
+  }
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesMessage) {
+  for (const ResponseCode code :
+       {ResponseCode::kShed, ResponseCode::kError}) {
+    ScoreResponse resp;
+    resp.request_id = 5;
+    resp.code = code;
+    resp.message = "tweet_id out of range";
+    ScoreResponse out;
+    ASSERT_TRUE(DecodeScoreResponse(EncodeScoreResponse(resp), &out).ok());
+    EXPECT_EQ(out.code, code);
+    EXPECT_EQ(out.message, resp.message);
+    EXPECT_TRUE(out.scores.empty());
+  }
+}
+
+TEST(ProtocolTest, StatsRoundTrips) {
+  StatsResponse resp;
+  resp.request_id = 9;
+  resp.stats = {{"serve.requests", 10},
+                {"serve.shed", 0},
+                {"handler.num_users", 1u << 20}};
+  StatsResponse out;
+  ASSERT_TRUE(DecodeStatsResponse(EncodeStatsResponse(resp), &out).ok());
+  EXPECT_EQ(out.stats, resp.stats);
+
+  StatsRequest sreq;
+  sreq.request_id = 11;
+  StatsRequest sout;
+  ASSERT_TRUE(DecodeStatsRequest(EncodeStatsRequest(sreq), &sout).ok());
+  EXPECT_EQ(sout.request_id, 11u);
+}
+
+TEST(ProtocolTest, CorruptHeadersAreStatusErrors) {
+  ScoreRequest req;
+  req.request_id = 3;
+  req.tweet_id = 4;
+  req.users = {1, 2};
+  const std::string good = EncodeScoreRequest(req);
+  ScoreRequest out;
+
+  std::string bad = good;
+  bad[0] ^= 0x01;  // magic
+  EXPECT_FALSE(DecodeScoreRequest(bad, &out).ok());
+
+  bad = good;
+  bad[4] = 0x7F;  // version
+  EXPECT_FALSE(DecodeScoreRequest(bad, &out).ok());
+
+  bad = good;
+  bad[6] = 0x66;  // unknown type
+  EXPECT_FALSE(DecodeScoreRequest(bad, &out).ok());
+  EXPECT_FALSE(PeekMessageType(bad).ok());
+
+  bad = good;
+  bad[7] = 0x01;  // reserved byte must be zero
+  EXPECT_FALSE(DecodeScoreRequest(bad, &out).ok());
+
+  // Right header, wrong body type for the decoder.
+  StatsRequest sreq;
+  EXPECT_FALSE(DecodeStatsRequest(good, &sreq).ok());
+}
+
+TEST(ProtocolTest, EveryTruncationIsAStatusErrorNeverUB) {
+  // io::Checkpoint's corruption discipline: any prefix of a valid message
+  // decodes to an error. Sweep every truncation point of every type.
+  ScoreRequest req;
+  req.request_id = 1;
+  req.tweet_id = 2;
+  req.users = {3, 4, 5};
+  ScoreResponse ok_resp;
+  ok_resp.request_id = 1;
+  ok_resp.scores = {1.5, -2.5};
+  ScoreResponse err_resp;
+  err_resp.request_id = 1;
+  err_resp.code = ResponseCode::kError;
+  err_resp.message = "why";
+  StatsResponse stats;
+  stats.request_id = 1;
+  stats.stats = {{"k", 7}};
+  const std::string payloads[] = {
+      EncodeScoreRequest(req), EncodeScoreResponse(ok_resp),
+      EncodeScoreResponse(err_resp), EncodeStatsRequest(StatsRequest{1}),
+      EncodeStatsResponse(stats)};
+  for (const std::string& payload : payloads) {
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::string_view prefix(payload.data(), cut);
+      ScoreRequest r;
+      ScoreResponse sr;
+      StatsRequest str;
+      StatsResponse sts;
+      EXPECT_FALSE(DecodeScoreRequest(prefix, &r).ok()) << "cut " << cut;
+      EXPECT_FALSE(DecodeScoreResponse(prefix, &sr).ok()) << "cut " << cut;
+      EXPECT_FALSE(DecodeStatsRequest(prefix, &str).ok()) << "cut " << cut;
+      EXPECT_FALSE(DecodeStatsResponse(prefix, &sts).ok()) << "cut " << cut;
+    }
+    // Trailing garbage is corruption too, not ignorable padding.
+    const std::string padded = payload + '\0';
+    ScoreRequest r;
+    ScoreResponse sr;
+    StatsRequest str;
+    StatsResponse sts;
+    EXPECT_FALSE(DecodeScoreRequest(padded, &r).ok());
+    EXPECT_FALSE(DecodeScoreResponse(padded, &sr).ok());
+    EXPECT_FALSE(DecodeStatsRequest(padded, &str).ok());
+    EXPECT_FALSE(DecodeStatsResponse(padded, &sts).ok());
+  }
+}
+
+TEST(ProtocolTest, FrameRoundTripsOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ScoreRequest req;
+  req.request_id = 21;
+  req.tweet_id = 8;
+  req.users = {1, 2, 3, 4};
+  const std::string payload = EncodeScoreRequest(req);
+  ASSERT_TRUE(WriteFrame(fds[0], payload).ok());
+  std::string got;
+  bool eof = false;
+  ASSERT_TRUE(ReadFrame(fds[1], &got, &eof).ok());
+  EXPECT_FALSE(eof);
+  EXPECT_EQ(got, payload);
+  // Clean close -> EOF at the frame boundary, OK + eof flag.
+  close(fds[0]);
+  ASSERT_TRUE(ReadFrame(fds[1], &got, &eof).ok());
+  EXPECT_TRUE(eof);
+  close(fds[1]);
+}
+
+TEST(ProtocolTest, TruncatedFrameAndBadLengthPrefixAreErrors) {
+  {
+    // EOF in the middle of a frame body is an error, not a clean EOF.
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const uint32_t claimed = 100;
+    char head[4];
+    std::memcpy(head, &claimed, 4);
+    ASSERT_EQ(send(fds[0], head, 4, 0), 4);
+    ASSERT_EQ(send(fds[0], "xy", 2, 0), 2);
+    close(fds[0]);
+    std::string got;
+    bool eof = false;
+    EXPECT_FALSE(ReadFrame(fds[1], &got, &eof).ok());
+    close(fds[1]);
+  }
+  for (const uint32_t bad_len : {uint32_t{0}, kMaxFramePayloadBytes + 1}) {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    char head[4];
+    std::memcpy(head, &bad_len, 4);
+    ASSERT_EQ(send(fds[0], head, 4, 0), 4);
+    std::string got;
+    bool eof = false;
+    EXPECT_FALSE(ReadFrame(fds[1], &got, &eof).ok()) << bad_len;
+    close(fds[0]);
+    close(fds[1]);
+  }
+}
+
+// ---------------------------------------------------------- BoundedQueue --
+
+TEST(BoundedQueueTest, FifoAndShedOnFull) {
+  par::BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full -> shed, no block
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.TryPush(4));
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 4);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CloseDeliversQueuedItemsThenReportsEmpty) {
+  par::BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.TryPush(10));
+  ASSERT_TRUE(q.TryPush(11));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(12));  // no admission after close
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // graceful drain still hands out items
+  EXPECT_EQ(out, 10);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 11);
+  EXPECT_FALSE(q.Pop(&out));  // closed + empty
+  q.Close();                  // idempotent
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  par::BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_FALSE(q.TryPush(2));
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersAndConsumersDeliverEverything) {
+  par::BoundedQueue<uint64_t> q(8);
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 3;
+  constexpr uint64_t kPerProducer = 500;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<uint64_t> popped_count{0};
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t v = p * kPerProducer + i + 1;
+        while (!q.TryPush(v)) std::this_thread::yield();
+        accepted.fetch_add(v, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      uint64_t v = 0;
+      while (q.Pop(&v)) {
+        popped_sum.fetch_add(v, std::memory_order_relaxed);
+        popped_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  q.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), accepted.load());  // nothing lost or duped
+}
+
+// ------------------------------------------------------- Scoring fixture --
+
+datagen::WorldConfig TestConfig() {
+  datagen::WorldConfig config;
+  config.scale = 0.04;
+  config.num_users = 500;
+  config.history_length = 10;
+  config.news_per_day = 30.0;
+  return config;
+}
+
+core::FeatureConfig TestFeatureConfig() {
+  core::FeatureConfig config;
+  config.history_size = 6;
+  config.history_tfidf_dim = 40;
+  config.news_tfidf_dim = 40;
+  config.tweet_tfidf_dim = 40;
+  config.news_window = 10;
+  config.doc2vec_dim = 8;
+  config.doc2vec_epochs = 1;
+  return config;
+}
+
+struct Fixture {
+  datagen::SyntheticWorld world;
+  std::unique_ptr<core::FeatureExtractor> extractor;
+  std::unique_ptr<core::Retina> model;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = [] {
+    auto* f = new Fixture{
+        datagen::SyntheticWorld::Generate(TestConfig(), 47), nullptr,
+        nullptr};
+    hatedetect::AnnotationOptions aopts;
+    auto report = hatedetect::AnnotateWorld(&f->world, aopts);
+    EXPECT_TRUE(report.ok());
+    auto fx = core::FeatureExtractor::Build(f->world, TestFeatureConfig());
+    EXPECT_TRUE(fx.ok());
+    f->extractor =
+        std::make_unique<core::FeatureExtractor>(std::move(fx).ValueOrDie());
+    core::RetweetTaskOptions topts;
+    topts.min_news = 10;
+    topts.max_candidates = 16;
+    auto task = core::BuildRetweetTask(*f->extractor, topts);
+    EXPECT_TRUE(task.ok());
+    const core::RetweetTask& t = task.ValueOrDie();
+    core::RetinaOptions opts;
+    opts.hidden = 10;
+    opts.epochs = 1;
+    f->model = std::make_unique<core::Retina>(t.user_dim, t.content_dim,
+                                              t.embed_dim, t.NumIntervals(),
+                                              opts);
+    EXPECT_TRUE(f->model->Train(t).ok());
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Deterministic request stream over the fixture world.
+std::vector<ScoreRequest> MakeRequests(const Fixture& f, size_t n,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t num_tweets = f.world.tweets().size();
+  const uint64_t num_users = f.world.NumUsers();
+  std::vector<ScoreRequest> reqs;
+  reqs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ScoreRequest req;
+    req.request_id = 1000 + i;
+    req.tweet_id = rng.UniformInt(num_tweets);
+    const size_t k = 1 + rng.UniformInt(8);
+    for (size_t j = 0; j < k; ++j) {
+      req.users.push_back(static_cast<uint32_t>(rng.UniformInt(num_users)));
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+/// Direct in-process reference: a fresh engine scoring the same request.
+Vec DirectScores(const Fixture& f, const ScoreRequest& req) {
+  core::ScoringEngine engine(f.model.get(), f.extractor.get(), {});
+  std::vector<datagen::NodeId> users(req.users.begin(), req.users.end());
+  Vec scores;
+  engine.ScoreTweetInto(f.world.tweets()[req.tweet_id], users, &scores);
+  return scores;
+}
+
+void ExpectBitIdentical(const Vec& got, const Vec& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&got[i], &want[i], sizeof(double)), 0)
+        << what << " score " << i;
+  }
+}
+
+// -------------------------------------------------------- RequestHandler --
+
+TEST(RequestHandlerTest, ByteIdenticalToDirectEngineAcrossWorkers) {
+  auto& f = SharedFixture();
+  RequestHandlerOptions opts;
+  opts.num_workers = 3;
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), opts);
+  ASSERT_EQ(handler->num_workers(), 3u);
+  const auto requests = MakeRequests(f, 12, 61);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const ScoreRequest& req = requests[i];
+    const Vec want = DirectScores(f, req);
+    // Identical no matter which worker slot serves the request.
+    for (size_t w = 0; w < handler->num_workers(); ++w) {
+      ScoreResponse resp;
+      handler->HandleScore(w, req, &resp);
+      ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+      EXPECT_EQ(resp.request_id, req.request_id);
+      ExpectBitIdentical(resp.scores, want,
+                         "req " + std::to_string(i) + " worker " +
+                             std::to_string(w));
+    }
+  }
+}
+
+TEST(RequestHandlerTest, InvalidIdsBecomeErrorResponsesNeverCrashes) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ScoreResponse resp;
+
+  ScoreRequest req;
+  req.request_id = 5;
+  req.tweet_id = f.world.tweets().size();  // one past the end
+  req.users = {0};
+  handler->HandleScore(0, req, &resp);
+  EXPECT_EQ(resp.code, ResponseCode::kError);
+  EXPECT_EQ(resp.request_id, 5u);
+  EXPECT_FALSE(resp.message.empty());
+
+  req.tweet_id = 0;
+  req.users = {static_cast<uint32_t>(f.world.NumUsers())};
+  handler->HandleScore(0, req, &resp);
+  EXPECT_EQ(resp.code, ResponseCode::kError);
+  EXPECT_FALSE(resp.message.empty());
+
+  // An empty candidate list is a valid request with an empty answer.
+  req.users.clear();
+  handler->HandleScore(0, req, &resp);
+  EXPECT_EQ(resp.code, ResponseCode::kOk);
+  EXPECT_TRUE(resp.scores.empty());
+}
+
+TEST(RequestHandlerTest, StatsExposeDatasetShape) {
+  auto& f = SharedFixture();
+  RequestHandlerOptions opts;
+  opts.num_workers = 2;
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), opts);
+  std::map<std::string, uint64_t> stats;
+  handler->AppendStats(&stats);
+  EXPECT_EQ(stats["handler.num_tweets"], f.world.tweets().size());
+  EXPECT_EQ(stats["handler.num_users"], f.world.NumUsers());
+  EXPECT_EQ(stats["handler.num_workers"], 2u);
+}
+
+// ----------------------------------------------------------- Server e2e --
+
+std::string TestSocketPath(const char* tag) {
+  // /tmp keeps the path far under sockaddr_un's sun_path limit, which a
+  // deep build directory would not.
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "/tmp/retina_serve_%s_%d.sock", tag,
+                static_cast<int>(getpid()));
+  return buf;
+}
+
+Result<int> ConnectTo(const std::string& path) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long");
+  }
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket failed");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close(fd);
+    return Status::IOError("connect failed");
+  }
+  return fd;
+}
+
+/// One closed-loop score round trip.
+Result<ScoreResponse> RoundTrip(int fd, const ScoreRequest& req) {
+  RETINA_RETURN_NOT_OK(WriteFrame(fd, EncodeScoreRequest(req)));
+  std::string payload;
+  bool eof = false;
+  RETINA_RETURN_NOT_OK(ReadFrame(fd, &payload, &eof));
+  if (eof) return Status::IOError("server closed mid-conversation");
+  ScoreResponse resp;
+  RETINA_RETURN_NOT_OK(DecodeScoreResponse(payload, &resp));
+  return resp;
+}
+
+Result<std::map<std::string, uint64_t>> FetchStats(
+    const std::string& path) {
+  auto fd = ConnectTo(path);
+  RETINA_RETURN_NOT_OK(fd.status());
+  StatsRequest req;
+  req.request_id = 1;
+  Status st = WriteFrame(fd.ValueOrDie(), EncodeStatsRequest(req));
+  std::map<std::string, uint64_t> out;
+  if (st.ok()) {
+    std::string payload;
+    bool eof = false;
+    st = ReadFrame(fd.ValueOrDie(), &payload, &eof);
+    if (st.ok() && eof) st = Status::IOError("eof before stats");
+    if (st.ok()) {
+      StatsResponse resp;
+      st = DecodeStatsResponse(payload, &resp);
+      if (st.ok()) out = std::move(resp.stats);
+    }
+  }
+  close(fd.ValueOrDie());
+  RETINA_RETURN_NOT_OK(st);
+  return out;
+}
+
+TEST(ServerTest, ConcurrentClientsGetByteIdenticalScores) {
+  auto& f = SharedFixture();
+  RequestHandlerOptions hopts;
+  hopts.num_workers = 4;
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), hopts);
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("conc");
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kPerClient = 10;
+  std::vector<std::vector<ScoreRequest>> plans(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    plans[c] = MakeRequests(f, kPerClient, 100 + c);
+  }
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto fd = ConnectTo(sopts.socket_path);
+      if (!fd.ok()) {
+        failures[c] = fd.status().ToString();
+        return;
+      }
+      for (const ScoreRequest& req : plans[c]) {
+        auto resp = RoundTrip(fd.ValueOrDie(), req);
+        if (!resp.ok()) {
+          failures[c] = resp.status().ToString();
+          break;
+        }
+        if (resp.ValueOrDie().code != ResponseCode::kOk ||
+            resp.ValueOrDie().request_id != req.request_id) {
+          failures[c] = "bad response for " + std::to_string(req.request_id);
+          break;
+        }
+      }
+      close(fd.ValueOrDie());
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+
+  // Byte-identity spot check on a fresh connection, against the direct
+  // in-process engine.
+  {
+    auto fd = ConnectTo(sopts.socket_path);
+    ASSERT_TRUE(fd.ok());
+    for (const ScoreRequest& req : MakeRequests(f, 6, 999)) {
+      auto resp = RoundTrip(fd.ValueOrDie(), req);
+      ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+      ASSERT_EQ(resp.ValueOrDie().code, ResponseCode::kOk);
+      ExpectBitIdentical(resp.ValueOrDie().scores, DirectScores(f, req),
+                         "socket vs direct");
+    }
+    close(fd.ValueOrDie());
+  }
+
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_EQ(stats["serve.requests"], kClients * kPerClient + 6);
+  EXPECT_EQ(stats["serve.responses"], stats["serve.requests"]);
+  EXPECT_EQ(stats["serve.shed"], 0u);
+  EXPECT_EQ(stats["serve.errors"], 0u);
+  EXPECT_EQ(stats["serve.protocol_errors"], 0u);
+}
+
+/// Handler whose HandleScore blocks until released — makes queue overflow
+/// deterministic regardless of scheduling.
+class StallingHandler : public Handler {
+ public:
+  size_t num_workers() const override { return 1; }
+
+  void HandleScore(size_t /*worker*/, const ScoreRequest& req,
+                   ScoreResponse* resp) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ++entered_;
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    resp->request_id = req.request_id;
+    resp->code = ResponseCode::kOk;
+    resp->scores = {static_cast<double>(req.request_id)};
+  }
+
+  void AppendStats(std::map<std::string, uint64_t>* stats) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    (*stats)["stall.entered"] = entered_;
+  }
+
+  void WaitUntilEntered(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return entered_ >= n; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  size_t entered_ = 0;
+  bool released_ = false;
+};
+
+TEST(ServerTest, FullQueueShedsImmediatelyAndDrainAnswersAdmitted) {
+  StallingHandler handler;
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("shed");
+  sopts.queue_capacity = 1;
+  Server server(&handler, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  auto send_req = [&](uint64_t id) {
+    ScoreRequest req;
+    req.request_id = id;
+    ASSERT_TRUE(WriteFrame(fd.ValueOrDie(), EncodeScoreRequest(req)).ok());
+  };
+
+  // Request 1 reaches the (stalled) worker; request 2 fills the queue.
+  send_req(1);
+  handler.WaitUntilEntered(1);
+  send_req(2);
+  for (int spin = 0; spin < 2000 && server.draining() == false; ++spin) {
+    std::map<std::string, uint64_t> s;
+    server.SnapshotStats(&s);
+    if (s["serve.requests"] >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    std::map<std::string, uint64_t> s;
+    server.SnapshotStats(&s);
+    ASSERT_EQ(s["serve.requests"], 2u);
+  }
+
+  // With the worker wedged and the queue full, every further request must
+  // shed with an immediate kShed reply — the reader answers, bounded-time.
+  constexpr uint64_t kShedRequests = 5;
+  for (uint64_t id = 3; id < 3 + kShedRequests; ++id) send_req(id);
+  size_t shed_seen = 0;
+  std::string payload;
+  bool eof = false;
+  while (shed_seen < kShedRequests) {
+    ASSERT_TRUE(ReadFrame(fd.ValueOrDie(), &payload, &eof).ok());
+    ASSERT_FALSE(eof);
+    ScoreResponse resp;
+    ASSERT_TRUE(DecodeScoreResponse(payload, &resp).ok());
+    ASSERT_EQ(resp.code, ResponseCode::kShed) << resp.request_id;
+    EXPECT_GE(resp.request_id, 3u);
+    ++shed_seen;
+  }
+
+  // Drain while two requests are still admitted-but-unanswered: both must
+  // be answered before Wait() returns — admitted work is never dropped.
+  server.RequestShutdown();
+  handler.Release();
+  size_t ok_seen = 0;
+  while (ok_seen < 2) {
+    ASSERT_TRUE(ReadFrame(fd.ValueOrDie(), &payload, &eof).ok());
+    if (eof) break;
+    ScoreResponse resp;
+    ASSERT_TRUE(DecodeScoreResponse(payload, &resp).ok());
+    ASSERT_EQ(resp.code, ResponseCode::kOk);
+    EXPECT_LE(resp.request_id, 2u);
+    ++ok_seen;
+  }
+  EXPECT_EQ(ok_seen, 2u);
+  ASSERT_TRUE(server.Wait().ok());
+  close(fd.ValueOrDie());
+
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_EQ(stats["serve.requests"], 2u);
+  EXPECT_EQ(stats["serve.responses"], 2u);
+  EXPECT_EQ(stats["serve.shed"], kShedRequests);
+  EXPECT_GE(stats["serve.queue_depth_peak"], 1u);
+}
+
+TEST(ServerTest, StatsRequestAnsweredInlineWhileWorkersAreBusy) {
+  StallingHandler handler;
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("stats");
+  sopts.queue_capacity = 4;
+  Server server(&handler, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  ScoreRequest req;
+  req.request_id = 1;
+  ASSERT_TRUE(WriteFrame(fd.ValueOrDie(), EncodeScoreRequest(req)).ok());
+  handler.WaitUntilEntered(1);
+
+  // The worker is wedged, yet stats must answer: they ride the reader
+  // thread, not the admission queue.
+  auto stats = FetchStats(sopts.socket_path);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.ValueOrDie().at("serve.requests"), 1u);
+  EXPECT_EQ(stats.ValueOrDie().at("serve.workers"), 1u);
+  EXPECT_EQ(stats.ValueOrDie().at("serve.queue_capacity"), 4u);
+  EXPECT_EQ(stats.ValueOrDie().at("stall.entered"), 1u);  // handler merged
+
+  handler.Release();
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+  close(fd.ValueOrDie());
+}
+
+TEST(ServerTest, ProtocolGarbageClosesConnectionNotServer) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("garb");
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    // A frame whose payload is garbage: the server must close this
+    // connection (observed as EOF) without taking the daemon down.
+    auto fd = ConnectTo(sopts.socket_path);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(WriteFrame(fd.ValueOrDie(), "not a retina frame").ok());
+    std::string payload;
+    bool eof = false;
+    const Status st = ReadFrame(fd.ValueOrDie(), &payload, &eof);
+    EXPECT_TRUE(!st.ok() || eof);
+    close(fd.ValueOrDie());
+  }
+
+  // The server still serves real traffic afterwards.
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  const auto reqs = MakeRequests(f, 1, 7);
+  auto resp = RoundTrip(fd.ValueOrDie(), reqs[0]);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.ValueOrDie().code, ResponseCode::kOk);
+  close(fd.ValueOrDie());
+
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_GE(stats["serve.protocol_errors"], 1u);
+}
+
+TEST(ServerTest, SigtermDrainsGracefully) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("term");
+  sopts.install_signal_handler = true;
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  const auto reqs = MakeRequests(f, 3, 13);
+  for (const ScoreRequest& req : reqs) {
+    auto resp = RoundTrip(fd.ValueOrDie(), req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  }
+
+  raise(SIGTERM);  // the installed handler must promote this into a drain
+  ASSERT_TRUE(server.Wait().ok());
+  close(fd.ValueOrDie());
+
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_EQ(stats["serve.requests"], reqs.size());
+  EXPECT_EQ(stats["serve.responses"], reqs.size());
+  EXPECT_EQ(stats["serve.draining"], 1u);
+  // The socket file is unlinked on drain; new connections must fail.
+  EXPECT_FALSE(ConnectTo(sopts.socket_path).ok());
+}
+
+TEST(ServerTest, TracingTheServePathDoesNotPerturbScores) {
+  // Determinism contract: observers never change behavior. The same
+  // request stream, served once with tracing active and once without,
+  // must produce byte-identical scores.
+  auto& f = SharedFixture();
+  const auto reqs = MakeRequests(f, 5, 29);
+
+  auto run = [&](bool traced) {
+    if (traced) obs::StartTracing();
+    auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+    ServerOptions sopts;
+    sopts.socket_path = TestSocketPath(traced ? "tron" : "troff");
+    Server server(handler.get(), sopts);
+    EXPECT_TRUE(server.Start().ok());
+    std::vector<Vec> all;
+    auto fd = ConnectTo(sopts.socket_path);
+    EXPECT_TRUE(fd.ok());
+    for (const ScoreRequest& req : reqs) {
+      auto resp = RoundTrip(fd.ValueOrDie(), req);
+      EXPECT_TRUE(resp.ok());
+      all.push_back(resp.ValueOrDie().scores);
+    }
+    close(fd.ValueOrDie());
+    server.RequestShutdown();
+    EXPECT_TRUE(server.Wait().ok());
+    if (traced) {
+      if (obs::kCompiledIn) {
+        EXPECT_GT(obs::TraceBufferedEvents(), 0u);  // spans recorded
+      }
+      obs::StopTracing();
+    }
+    return all;
+  };
+
+  const auto plain = run(false);
+  const auto traced = run(true);
+  ASSERT_EQ(plain.size(), traced.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    ExpectBitIdentical(traced[i], plain[i],
+                       "traced vs plain req " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace retina::serve

@@ -32,12 +32,19 @@ store pass. The absent floor is the Bloom filter's contract: a lookup
 for a user the store does not hold must resolve without touching block
 bytes, which is only visible as a large ratio over the cold path.
 
+Serve-sweep floors (BENCH_serve.json, emitted by tools/load_driver) gate
+shape, not speed: every sweep point must answer requests and drop none
+(answered-or-shed, never lost), the lowest-QPS point must run entirely
+unshed, and p99 must stay finite under a loose ceiling when the driver's
+obs histograms counted.
+
 Usage:
   check_bench.py [--floors tools/bench_floors.json]
                  [--serving BENCH_serving.json]
                  [--parallel BENCH_parallel.json]
                  [--kernels BENCH_kernels.json]
                  [--store BENCH_store.json]
+                 [--serve BENCH_serve.json]
                  [--require SECTION ...]
 
 At least one of the bench files must exist; missing files are skipped
@@ -185,7 +192,59 @@ def check_store(bench, floors, violations):
         print(f"  info store bloom fp_rate: {fp_rate:g}")
 
 
-SECTIONS = ("serving", "parallel", "kernels", "store")
+def check_serve(bench, floors, violations):
+    """Shape of the open-loop daemon sweep (BENCH_serve.json).
+
+    Absolute throughput and latency vary with the runner, so the gate
+    holds only the hardware-independent contract: every sweep point
+    answers something and loses nothing (a request is answered or shed
+    at admission, never silently dropped), the lowest-QPS point runs
+    entirely unshed (the daemon must not shed below capacity), and —
+    when obs is compiled in so the driver's histograms counted — p99 at
+    every point stays finite and under a very loose ceiling.
+    """
+    points = bench.get("points", [])
+    min_points = floors["min_points"]
+    if len(points) < min_points:
+        violations.append(
+            f"serve: {len(points)} sweep points, floor {min_points}")
+        return
+    max_p99 = floors["max_p99_ns"]
+    obs_in = bench.get("obs_compiled_in", True)
+    if not obs_in:
+        print("  skip serve p99 ceiling: obs compiled out "
+              "(driver histograms did not count)")
+    for i, p in enumerate(points):
+        tag = f"point {i} ({p.get('target_qps', '?')} qps)"
+        dropped = p.get("dropped", 0)
+        if dropped:
+            violations.append(
+                f"serve {tag}: {dropped} requests neither answered nor shed")
+            continue
+        if p.get("ok", 0) <= 0:
+            violations.append(f"serve {tag}: answered nothing")
+            continue
+        line = (f"serve {tag}: ok={p['ok']} shed={p.get('shed', 0)} "
+                "dropped=0")
+        if obs_in:
+            p99 = p.get("latency_ns", {}).get("p99", 0)
+            if not 0 < p99 <= max_p99:
+                violations.append(
+                    f"serve {tag}: p99={p99}ns outside (0, {max_p99:g}]")
+                continue
+            line += f" p99={p99 / 1e6:.3f}ms"
+        print(f"  ok   {line}")
+    first = points[0]
+    first_shed = first.get("shed", 0) + first.get("server_shed_delta", 0)
+    if first_shed:
+        violations.append(
+            "serve: lowest-QPS point shed "
+            f"{first_shed} requests below capacity")
+    else:
+        print("  ok   serve lowest-QPS point: zero shed below capacity")
+
+
+SECTIONS = ("serving", "parallel", "kernels", "store", "serve")
 
 
 def main():
@@ -195,6 +254,7 @@ def main():
     ap.add_argument("--parallel", default="BENCH_parallel.json")
     ap.add_argument("--kernels", default="BENCH_kernels.json")
     ap.add_argument("--store", default="BENCH_store.json")
+    ap.add_argument("--serve", default="BENCH_serve.json")
     ap.add_argument(
         "--require", nargs="*", default=[], choices=SECTIONS, metavar="SECTION",
         help="sections whose bench file must exist (missing -> exit 2)")
@@ -209,6 +269,7 @@ def main():
         ("parallel", args.parallel, check_parallel, "parallel bench"),
         ("kernels", args.kernels, check_kernels, "kernel bench"),
         ("store", args.store, check_store, "store bench"),
+        ("serve", args.serve, check_serve, "serve bench"),
     ]
     for name, path, check, what in sections:
         if not os.path.exists(path):
@@ -230,7 +291,7 @@ def main():
     if not checked_any:
         print("FAIL: no bench output file exists "
               f"({args.serving}, {args.parallel}, {args.kernels}, "
-              f"{args.store})")
+              f"{args.store}, {args.serve})")
         return 2
 
     if violations:

@@ -36,6 +36,10 @@ FLOORS = {
         "min_work_size": 256,
         "min_speedup": {"dot": 2.0},
     },
+    "serve": {
+        "min_points": 3,
+        "max_p99_ns": 5000000000,
+    },
 }
 
 STORE_BENCH = {
@@ -43,6 +47,26 @@ STORE_BENCH = {
     "warm_speedup_vs_cold": 60.0,
     "absent_speedup_vs_cold": 19.0,
     "bloom": {"skips": 1000, "false_positives": 5, "fp_rate": 0.005},
+}
+
+
+def serve_point(qps, ok, shed=0, dropped=0, p99=2_000_000):
+    return {
+        "target_qps": qps, "achieved_qps": qps, "ok": ok, "shed": shed,
+        "errors": 0, "dropped": dropped,
+        "latency_ns": {"mean": p99 / 3, "p50": p99 / 4, "p95": p99 / 1.3,
+                       "p99": p99},
+        "server_shed_delta": shed, "server_queue_depth_peak": 1,
+    }
+
+
+SERVE_BENCH = {
+    "bench": "serve_open_loop",
+    "obs_compiled_in": True,
+    "connections": 4,
+    "workers": 4,
+    "points": [serve_point(20, 240), serve_point(40, 240),
+               serve_point(80, 231, shed=9)],
 }
 
 
@@ -61,6 +85,7 @@ def run_gate(tmp, *extra_args, floors=FLOORS, env_extra=None):
         sys.executable, CHECK_BENCH, "--floors", floors_path,
         "--serving", "serving.json", "--parallel", "parallel.json",
         "--kernels", "kernels.json", "--store", "store.json",
+        "--serve", "serve.json",
     ]
     args += list(extra_args)
     return subprocess.run(args, cwd=tmp, env=env,
@@ -143,6 +168,65 @@ def test_missing_floors_key_is_one_line_error():
         proc = run_gate(tmp, floors=floors)
         assert_one_line_error(proc)
         assert "store" in proc.stdout
+
+
+def test_serve_pass():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "serve.json", SERVE_BENCH)
+        proc = run_gate(tmp, "--require", "serve")
+        assert proc.returncode == 0, proc.stdout
+        assert "zero shed below capacity" in proc.stdout
+
+
+def test_serve_dropped_request_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = json.loads(json.dumps(SERVE_BENCH))
+        bench["points"][1]["dropped"] = 2
+        write(tmp, "serve.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "neither answered nor shed" in proc.stdout
+
+
+def test_serve_shed_below_capacity_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = json.loads(json.dumps(SERVE_BENCH))
+        bench["points"][0]["shed"] = 3
+        bench["points"][0]["server_shed_delta"] = 3
+        write(tmp, "serve.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "below capacity" in proc.stdout
+
+
+def test_serve_too_few_points_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = json.loads(json.dumps(SERVE_BENCH))
+        bench["points"] = bench["points"][:2]
+        write(tmp, "serve.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "sweep points" in proc.stdout
+
+
+def test_serve_p99_gate_respects_obs_compiled_out():
+    # With obs compiled out the driver's histograms never count, so a
+    # zero p99 is expected and must not trip the ceiling; the same zero
+    # with obs compiled in means the histogram path broke.
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = json.loads(json.dumps(SERVE_BENCH))
+        for p in bench["points"]:
+            p["latency_ns"] = {"mean": 0, "p50": 0, "p95": 0, "p99": 0}
+        bench["obs_compiled_in"] = False
+        write(tmp, "serve.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 0, proc.stdout
+        assert "obs compiled out" in proc.stdout
+        bench["obs_compiled_in"] = True
+        write(tmp, "serve.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "p99" in proc.stdout
 
 
 def test_no_bench_files_at_all():

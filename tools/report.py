@@ -264,6 +264,80 @@ def add_store_section(report, metrics):
         report.table(["tier", "lookups", "mean", "p50", "p95", "p99"], rows)
 
 
+def add_serve_section(report, bench, serve_metrics):
+    """Serving: the load driver's throughput-vs-latency sweep plus the
+    daemon's own admission counters."""
+    if bench is None and serve_metrics is None:
+        return
+    report.section("Serving")
+    if bench is not None:
+        points = bench.get("points", [])
+        if points:
+            report.para(
+                f"Open-loop sweep: {bench.get('connections', '?')} "
+                f"connections, {bench.get('requests_per_point', '?')} "
+                f"requests per point, against {bench.get('workers', '?')} "
+                "workers (queue capacity "
+                f"{bench.get('queue_capacity', '?')}). Latency is "
+                "client-side; quantiles resolve to log2 bucket upper "
+                "bounds (within 2x).")
+            rows = []
+            for p in points:
+                lat = p.get("latency_ns", {})
+                rows.append((
+                    f"{p.get('target_qps', 0):g}",
+                    f"{p.get('achieved_qps', 0):.1f}",
+                    p.get("ok", 0), p.get("shed", 0), p.get("errors", 0),
+                    p.get("dropped", 0),
+                    fmt_ns(lat.get("p50", 0)), fmt_ns(lat.get("p95", 0)),
+                    fmt_ns(lat.get("p99", 0)),
+                    p.get("server_queue_depth_peak", 0)))
+            report.table(
+                ["target qps", "achieved", "ok", "shed", "errors",
+                 "dropped", "p50", "p95", "p99", "queue peak"], rows)
+            p99s = [p.get("latency_ns", {}).get("p99", 0) for p in points]
+            spark = sparkline(p99s)
+            if spark:
+                report.para(f"p99 across the sweep: {spark} "
+                            f"({fmt_ns(min(p99s))} → {fmt_ns(max(p99s))}).")
+            total_shed = sum(p.get("shed", 0) for p in points)
+            total_dropped = sum(p.get("dropped", 0) for p in points)
+            if total_dropped:
+                report.para(f"WARNING: {total_dropped} requests were never "
+                            "answered — a drain or transport bug, not load "
+                            "shedding.")
+            elif total_shed:
+                report.para(f"{total_shed} requests shed at admission "
+                            "(immediate kShed replies under overload); "
+                            "everything else was answered.")
+        else:
+            report.para("BENCH_serve.json holds no sweep points.")
+    if serve_metrics is not None:
+        counters = serve_metrics.get("counters", {})
+        gauges = serve_metrics.get("gauges", {})
+        serve_counters = [(k, v) for k, v in sorted(counters.items())
+                          if k.startswith("serve.") and v != 0]
+        serve_counters += [(k, v) for k, v in sorted(gauges.items())
+                           if k.startswith("serve.")]
+        if serve_counters:
+            report.para("Daemon-side admission counters "
+                        "(from retina_serve --metrics-out):")
+            report.table(["counter", "value"], serve_counters)
+        hists = serve_metrics.get("histograms", {})
+        rows = []
+        for label, name in (("queue wait", "serve.queue_wait_ns"),
+                            ("handle", "serve.handle_ns")):
+            h = hists.get(name)
+            if not h or h.get("count", 0) == 0:
+                continue
+            rows.append((label, h["count"], fmt_ns(h["mean"]),
+                         fmt_ns(h["p50"]), fmt_ns(h["p95"]),
+                         fmt_ns(h["p99"])))
+        if rows:
+            report.table(["stage", "requests", "mean", "p50", "p95", "p99"],
+                         rows)
+
+
 SIMD_BACKEND_NAMES = {0: "unresolved", 1: "scalar", 2: "avx2", 3: "neon"}
 
 
@@ -386,7 +460,7 @@ def load_json(path, label):
         sys.exit(f"report.py: cannot read {label} file {path}: {e}")
 
 
-def build_report(metrics, trace, top_k):
+def build_report(metrics, trace, top_k, serve_bench=None, serve_metrics=None):
     report = Report("retina run report")
     if metrics is not None:
         add_summary_section(report, metrics)
@@ -395,10 +469,11 @@ def build_report(metrics, trace, top_k):
         add_serving_section(report, metrics)
         add_store_section(report, metrics)
         add_kernel_section(report, metrics)
+    add_serve_section(report, serve_bench, serve_metrics)
     if trace is not None:
         add_trace_sections(report, trace, top_k)
     if not report.sections:
-        sys.exit("report.py: pass --metrics and/or --trace")
+        sys.exit("report.py: pass --metrics, --serve-bench, and/or --trace")
     return report
 
 
@@ -406,6 +481,10 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--metrics", help="--metrics-out JSON from retina_cli")
     ap.add_argument("--trace", help="--trace-out Chrome trace JSON")
+    ap.add_argument("--serve-bench",
+                    help="BENCH_serve.json from tools/load_driver")
+    ap.add_argument("--serve-metrics",
+                    help="--metrics-out JSON from retina_serve")
     ap.add_argument("--out", help="markdown output path ('-' for stdout)",
                     default="-")
     ap.add_argument("--html-out", help="also write an HTML rendering here")
@@ -414,7 +493,9 @@ def main():
     args = ap.parse_args()
 
     report = build_report(load_json(args.metrics, "metrics"),
-                          load_json(args.trace, "trace"), args.top_k)
+                          load_json(args.trace, "trace"), args.top_k,
+                          load_json(args.serve_bench, "serve bench"),
+                          load_json(args.serve_metrics, "serve metrics"))
     md = report.to_markdown()
     if args.out == "-":
         sys.stdout.write(md)

@@ -44,8 +44,91 @@ def store_metrics():
     }
 
 
+def serve_bench():
+    def point(qps, ok, shed, p99):
+        return {
+            "target_qps": qps, "achieved_qps": qps * 0.98,
+            "elapsed_s": 2.0, "sent": ok + shed, "ok": ok, "shed": shed,
+            "errors": 0, "dropped": 0,
+            "latency_ns": {"mean": p99 / 3.0, "p50": p99 / 4.0,
+                           "p95": p99 / 1.3, "p99": p99},
+            "server_shed_delta": shed, "server_requests_delta": ok,
+            "server_responses_delta": ok, "server_queue_depth_peak": 3,
+        }
+    return {
+        "bench": "serve_open_loop", "smoke": False, "obs_compiled_in": True,
+        "connections": 4, "requests_per_point": 240, "users_per_request": 8,
+        "seed": 7, "workers": 4, "queue_capacity": 128,
+        "points": [point(20, 240, 0, 400_000),
+                   point(40, 240, 0, 650_000),
+                   point(80, 231, 9, 2_400_000)],
+    }
+
+
+def serve_daemon_metrics():
+    return {
+        "counters": {"serve.requests": 711, "serve.responses": 711,
+                     "serve.shed": 9, "serve.errors": 0,
+                     "serve.protocol_errors": 0},
+        "gauges": {"serve.queue.depth_peak": 3, "serve.queue.capacity": 128,
+                   "serve.workers": 4},
+        "histograms": {
+            "serve.queue_wait_ns": hist(711, 8000.0, 5000.0, 30000.0,
+                                        64000.0),
+            "serve.handle_ns": hist(711, 300000.0, 250000.0, 700000.0,
+                                    1200000.0),
+        },
+    }
+
+
 def render(metrics):
     return report.build_report(metrics, None, top_k=5).to_markdown()
+
+
+def render_serve(bench, serve_metrics=None):
+    return report.build_report(None, None, top_k=5, serve_bench=bench,
+                               serve_metrics=serve_metrics).to_markdown()
+
+
+def test_serve_section_renders_sweep_table():
+    md = render_serve(serve_bench())
+    assert "## Serving" in md
+    # One row per sweep point, target and achieved QPS side by side.
+    assert "| 20 | 19.6 |" in md
+    assert "| 40 | 39.2 |" in md
+    assert "| 80 | 78.4 |" in md
+    # The overloaded point's shed count and p99 are visible.
+    assert "| 9 |" in md
+    assert "2.400 ms" in md
+    assert "shed at admission" in md
+
+
+def test_serve_section_warns_on_dropped_requests():
+    bench = serve_bench()
+    bench["points"][2]["dropped"] = 4
+    md = render_serve(bench)
+    assert "WARNING: 4 requests were never answered" in md
+
+
+def test_serve_section_includes_daemon_metrics():
+    md = render_serve(serve_bench(), serve_daemon_metrics())
+    assert "serve.requests" in md
+    assert "serve.queue.depth_peak" in md
+    assert "queue wait" in md and "handle" in md
+    # Zero-valued counters stay out of the table; gauges always render.
+    assert "serve.errors" not in md
+
+
+def test_serve_section_daemon_metrics_only():
+    md = render_serve(None, serve_daemon_metrics())
+    assert "## Serving" in md
+    assert "serve.responses" in md
+    assert "target qps" not in md
+
+
+def test_serve_section_absent_without_inputs():
+    md = render(store_metrics())
+    assert "## Serving\n" not in md  # warm/cold section has its own title
 
 
 def test_store_section_renders_counters_and_percentiles():
@@ -118,9 +201,38 @@ def check_e2e_metrics(path):
         print(f"PASS e2e metrics {path}: store section correctly absent")
 
 
+def check_e2e_serve(bench_path, metrics_path):
+    """Renders the real serve e2e artifacts and checks the Serving section.
+
+    The sweep table must carry one row per BENCH_serve.json point; the
+    daemon metrics table appears only when the export holds nonzero
+    serve.* counters (it does not with obs compiled out).
+    """
+    import json
+    with open(bench_path, encoding="utf-8") as f:
+        bench = json.load(f)
+    with open(metrics_path, encoding="utf-8") as f:
+        serve_metrics = json.load(f)
+    md = render_serve(bench, serve_metrics)
+    assert "## Serving" in md, "no Serving section from real artifacts"
+    for p in bench["points"]:
+        assert f"| {p['target_qps']:g} |" in md, \
+            f"sweep row for {p['target_qps']} qps missing"
+    counted = any(v for k, v in serve_metrics.get("counters", {}).items()
+                  if k.startswith("serve."))
+    if counted:
+        assert "serve.requests" in md, \
+            f"{metrics_path} has serve counters but no daemon table"
+    print(f"PASS e2e serve {bench_path}: {len(bench['points'])}-point "
+          "sweep rendered")
+
+
 def main():
     if len(sys.argv) == 3 and sys.argv[1] == "--e2e-metrics":
         check_e2e_metrics(sys.argv[2])
+        return 0
+    if len(sys.argv) == 4 and sys.argv[1] == "--e2e-serve":
+        check_e2e_serve(sys.argv[2], sys.argv[3])
         return 0
     tests = [(name, fn) for name, fn in sorted(globals().items())
              if name.startswith("test_") and callable(fn)]

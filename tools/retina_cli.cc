@@ -28,6 +28,7 @@
 
 #include "common/logging.h"
 #include "common/obs.h"
+#include "common/run_export.h"
 #include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -98,8 +99,23 @@ int Usage() {
   return 2;
 }
 
-bool ParseArgs(int argc, char** argv, Args* args) {
-  if (argc < 2) return false;
+/// One-line Status rejection on stderr. Scripts get a stable nonzero exit
+/// and the actual mistake stays visible instead of drowning in the usage
+/// text (bare `retina` still prints the full usage).
+int RejectArg(const std::string& what) {
+  std::fprintf(stderr, "%s\n",
+               Status::InvalidArgument(what + " (run 'retina' for usage)")
+                   .ToString()
+                   .c_str());
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
+  *rc = 0;
+  if (argc < 2) {
+    *rc = Usage();
+    return false;
+  }
   args->command = argv[1];
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,59 +124,95 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     };
     if (arg == "--out") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->out = v;
     } else if (arg == "--data") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->data = v;
     } else if (arg == "--scale") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->scale = std::atof(v);
     } else if (arg == "--users") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->users = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--seed") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--save-model") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->save_model = v;
     } else if (arg == "--store-dir") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->store_dir = v;
     } else if (arg.rfind("--store-dir=", 0) == 0) {
       args->store_dir = arg.substr(std::strlen("--store-dir="));
     } else if (arg == "--model") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->model = v;
     } else if (arg == "--metrics-out") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->metrics_out = v;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       args->metrics_out = arg.substr(std::strlen("--metrics-out="));
     } else if (arg == "--trace-out") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->trace_out = v;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       args->trace_out = arg.substr(std::strlen("--trace-out="));
     } else if (arg == "--log-level") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->log_level = v;
     } else if (arg.rfind("--log-level=", 0) == 0) {
       args->log_level = arg.substr(std::strlen("--log-level="));
     } else if (arg == "--simd") {
       const char* v = next();
-      if (v == nullptr) return false;
+      if (v == nullptr) {
+        *rc = RejectArg("flag '" + arg + "' requires a value");
+        return false;
+      }
       args->simd = v;
     } else if (arg.rfind("--simd=", 0) == 0) {
       args->simd = arg.substr(std::strlen("--simd="));
@@ -169,7 +221,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--no-exo") {
       args->no_exo = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      *rc = RejectArg("unknown flag '" + arg + "'");
       return false;
     }
   }
@@ -450,50 +502,6 @@ int CmdEval(const Args& args) {
   return 0;
 }
 
-// End-of-run observability dump: the full registry as JSON to
-// `--metrics-out`, plus a human-readable summary table on stdout. Runs
-// after the command so the registry holds the whole run (generation,
-// training epochs, serving requests, pool activity).
-int DumpMetrics(const Args& args) {
-  if (args.metrics_out.empty()) return 0;
-  obs::Registry& reg = obs::Registry::Global();
-  reg.SampleProcessGauges();  // process.peak_rss_bytes at export time
-  simd::PublishDispatchGauge();  // survives any Registry::Reset()
-  const std::string json = reg.ToJson();
-  FILE* f = std::fopen(args.metrics_out.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", args.metrics_out.c_str());
-    return 1;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  const std::string table = reg.SummaryTable();
-  if (!table.empty()) std::printf("\n%s", table.c_str());
-  std::printf("metrics written to %s\n", args.metrics_out.c_str());
-  return 0;
-}
-
-// End-of-run timeline export: stop the session (started in main before the
-// command, so the trace covers the whole run) and write the Chrome trace
-// JSON. Dropped-event counts are reported so a truncated timeline is never
-// mistaken for a complete one.
-int DumpTrace(const Args& args) {
-  if (args.trace_out.empty()) return 0;
-  obs::StopTracing();
-  const std::string json = obs::TraceToChromeJson();
-  FILE* f = std::fopen(args.trace_out.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", args.trace_out.c_str());
-    return 1;
-  }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  std::printf("trace written to %s (%zu events, %llu dropped)\n",
-              args.trace_out.c_str(), obs::TraceBufferedEvents(),
-              static_cast<unsigned long long>(obs::TraceDroppedEvents()));
-  return 0;
-}
-
 int RunCommand(const Args& args) {
   if (args.command == "generate") return CmdGenerate(args);
   if (args.command == "stats") return CmdStats(args);
@@ -501,14 +509,15 @@ int RunCommand(const Args& args) {
   if (args.command == "train-hategen") return CmdTrainHateGen(args);
   if (args.command == "train-retweet") return CmdTrainRetweet(args);
   if (args.command == "eval") return CmdEval(args);
-  return Usage();
+  return RejectArg("unknown command '" + args.command + "'");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
-  if (!ParseArgs(argc, argv, &args)) return Usage();
+  int parse_rc = 0;
+  if (!ParseArgs(argc, argv, &args, &parse_rc)) return parse_rc;
   if (!args.log_level.empty()) {
     retina::LogLevel level;
     if (!retina::ParseLogLevel(args.log_level, &level)) {
@@ -535,7 +544,18 @@ int main(int argc, char** argv) {
   if (!args.trace_out.empty()) obs::StartTracing();
   const int rc = RunCommand(args);
   if (rc != 0) return rc;
-  const int metrics_rc = DumpMetrics(args);
-  if (metrics_rc != 0) return metrics_rc;
-  return DumpTrace(args);
+  // End-of-run observability exports (shared with retina_serve and
+  // load_driver): registry JSON + summary table, then the Chrome trace of
+  // the whole run. No-ops when the flags are unset.
+  const Status metrics_st = obs::ExportMetricsJson(args.metrics_out);
+  if (!metrics_st.ok()) {
+    std::fprintf(stderr, "%s\n", metrics_st.ToString().c_str());
+    return 1;
+  }
+  const Status trace_st = obs::ExportChromeTrace(args.trace_out);
+  if (!trace_st.ok()) {
+    std::fprintf(stderr, "%s\n", trace_st.ToString().c_str());
+    return 1;
+  }
+  return 0;
 }
