@@ -24,6 +24,7 @@
 #include <deque>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace retina::par {
 
@@ -61,6 +62,43 @@ class BoundedQueue {
     if (items_.empty()) return false;
     *out = std::move(items_.front());
     items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking multi-item drain: moves up to `max_items` items from the
+  /// front of the queue onto the back of `*out`, preserving FIFO order,
+  /// and returns how many were moved (0 when the queue is momentarily
+  /// empty). Items queued before Close() are still handed out, exactly as
+  /// with Pop — this is the coalescing dispatcher's peek-ahead, and it
+  /// must never turn a graceful drain into a drop.
+  size_t TryPopBatch(std::vector<T>* out, size_t max_items) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t moved = 0;
+    while (moved < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++moved;
+    }
+    return moved;
+  }
+
+  /// Blocking batch pop: waits like Pop for the first item, then drains
+  /// whatever else is already queued — up to `max_items` total, front to
+  /// back — without blocking again. Returns false only when the queue is
+  /// closed and empty; otherwise at least one item was appended to `*out`.
+  /// A contiguous FIFO run, never a reordering: consumers see items in
+  /// exactly the order producers enqueued them.
+  bool PopBatch(std::vector<T>* out, size_t max_items) {
+    if (max_items == 0) max_items = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    pop_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    size_t moved = 0;
+    while (moved < max_items && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++moved;
+    }
     return true;
   }
 

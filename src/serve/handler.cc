@@ -47,43 +47,114 @@ void RequestHandler::BuildEngines(const core::Retina* model,
         model, extractor, options.engine));
   }
   user_scratch_.resize(n);
+  batch_scores_scratch_.resize(n);
 }
 
 const datagen::SyntheticWorld& RequestHandler::world() const {
   return extractor_->world();
 }
 
-void RequestHandler::HandleScore(size_t worker, const ScoreRequest& req,
-                                 ScoreResponse* resp) {
-  assert(worker < engines_.size());
+namespace {
+
+/// Shared request validation: fills `*resp` with the error response the
+/// unbatched path would produce, or collects the narrowed user ids into
+/// `*users` and returns true. Both the single and the fused path answer
+/// invalid requests through this one function, so an invalid request in a
+/// coalesced batch errors byte-identically to unbatched handling.
+bool ValidateRequest(const datagen::SyntheticWorld& w, const ScoreRequest& req,
+                     std::vector<datagen::NodeId>* users,
+                     ScoreResponse* resp) {
   resp->request_id = req.request_id;
   resp->scores.clear();
   resp->message.clear();
-
-  const datagen::SyntheticWorld& w = world();
   if (req.tweet_id >= w.tweets().size()) {
     resp->code = ResponseCode::kError;
     resp->message = "tweet id " + std::to_string(req.tweet_id) +
                     " out of range (world has " +
                     std::to_string(w.tweets().size()) + " tweets)";
-    return;
+    return false;
   }
-  std::vector<datagen::NodeId>& users = user_scratch_[worker];
-  users.clear();
-  users.reserve(req.users.size());
   for (uint32_t u : req.users) {
     if (u >= w.NumUsers()) {
       resp->code = ResponseCode::kError;
       resp->message = "user id " + std::to_string(u) +
                       " out of range (world has " +
                       std::to_string(w.NumUsers()) + " users)";
-      return;
+      return false;
     }
-    users.push_back(static_cast<datagen::NodeId>(u));
+    users->push_back(static_cast<datagen::NodeId>(u));
   }
+  return true;
+}
+
+}  // namespace
+
+void RequestHandler::HandleScore(size_t worker, const ScoreRequest& req,
+                                 ScoreResponse* resp) {
+  assert(worker < engines_.size());
+  const datagen::SyntheticWorld& w = world();
+  std::vector<datagen::NodeId>& users = user_scratch_[worker];
+  users.clear();
+  users.reserve(req.users.size());
+  if (!ValidateRequest(w, req, &users, resp)) return;
   engines_[worker]->ScoreTweetInto(w.tweets()[req.tweet_id], users,
                                    &resp->scores);
   resp->code = ResponseCode::kOk;
+}
+
+void RequestHandler::HandleScoreBatch(
+    size_t worker, const std::vector<const ScoreRequest*>& reqs,
+    std::vector<ScoreResponse>* resps) {
+  assert(worker < engines_.size());
+  resps->resize(reqs.size());
+  if (reqs.empty()) return;
+  if (reqs.size() == 1) {
+    HandleScore(worker, *reqs[0], &(*resps)[0]);
+    return;
+  }
+  // The dispatcher only batches same-tweet requests; anything else takes
+  // the per-request path (a custom caller, not a bug in coalescing).
+  for (size_t i = 1; i < reqs.size(); ++i) {
+    if (reqs[i]->tweet_id != reqs[0]->tweet_id) {
+      for (size_t j = 0; j < reqs.size(); ++j) {
+        HandleScore(worker, *reqs[j], &(*resps)[j]);
+      }
+      return;
+    }
+  }
+
+  // Validate each request on its own — an out-of-range id errors exactly
+  // one request — and concatenate the valid candidate lists.
+  const datagen::SyntheticWorld& w = world();
+  std::vector<datagen::NodeId>& users = user_scratch_[worker];
+  users.clear();
+  std::vector<std::pair<size_t, size_t>> slices(reqs.size(), {0, 0});
+  bool any_valid = false;
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    const size_t begin = users.size();
+    if (ValidateRequest(w, *reqs[i], &users, &(*resps)[i])) {
+      slices[i] = {begin, users.size()};
+      any_valid = true;
+    } else {
+      users.resize(begin);  // discard a partially collected invalid list
+    }
+  }
+  if (!any_valid) return;
+
+  // One tweet-side context build, one batched GEMM over every candidate
+  // of every coalesced request; the per-entry scores are bit-identical to
+  // per-request calls, so slicing them back out IS the unbatched answer.
+  Vec& scores = batch_scores_scratch_[worker];
+  engines_[worker]->ScoreTweetInto(w.tweets()[reqs[0]->tweet_id], users,
+                                   &scores);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    ScoreResponse& resp = (*resps)[i];
+    if (resp.code == ResponseCode::kError) continue;
+    const auto [begin, end] = slices[i];
+    resp.scores.assign(scores.begin() + static_cast<ptrdiff_t>(begin),
+                       scores.begin() + static_cast<ptrdiff_t>(end));
+    resp.code = ResponseCode::kOk;
+  }
 }
 
 void RequestHandler::AppendStats(std::map<std::string, uint64_t>* stats) const {

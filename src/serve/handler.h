@@ -46,6 +46,23 @@ class Handler {
   virtual void HandleScore(size_t worker, const ScoreRequest& req,
                            ScoreResponse* resp) = 0;
 
+  /// Answers a coalesced batch of requests on one worker slot. The
+  /// dispatcher only forms batches whose requests all target the same
+  /// tweet id, but the contract is stronger: for ANY batch, entry i of
+  /// `*resps` must be byte-identical to what HandleScore(worker, *reqs[i])
+  /// would have produced — coalescing is a scheduling decision, never a
+  /// semantic one. The base implementation simply loops HandleScore, so
+  /// transport-only Handler fakes keep working; RequestHandler overrides
+  /// it with a fused single-GEMM path for same-tweet batches.
+  virtual void HandleScoreBatch(size_t worker,
+                                const std::vector<const ScoreRequest*>& reqs,
+                                std::vector<ScoreResponse>* resps) {
+    resps->resize(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      HandleScore(worker, *reqs[i], &(*resps)[i]);
+    }
+  }
+
   /// Merges handler-side stats (dataset shape, cache traffic) into a
   /// kStats reply. Called concurrently with HandleScore; implementations
   /// may only expose data that is safe to read concurrently.
@@ -78,6 +95,18 @@ class RequestHandler : public Handler {
   size_t num_workers() const override { return engines_.size(); }
   void HandleScore(size_t worker, const ScoreRequest& req,
                    ScoreResponse* resp) override;
+  /// Fused path for a same-tweet batch: validates each request
+  /// independently (an invalid request errors alone, exactly as
+  /// unbatched), concatenates the surviving candidate lists, scores them
+  /// through ONE ScoreTweetInto — tweet-side context built once, one
+  /// batched GEMM — and slices the scores back out per request. The
+  /// engine's batched-forward contract (batched ≡ serial, entry for
+  /// entry, at any batch composition) is what makes the fan-out
+  /// byte-identical to per-request handling; serve_test pins it. Batches
+  /// that mix tweet ids fall back to the per-request loop.
+  void HandleScoreBatch(size_t worker,
+                        const std::vector<const ScoreRequest*>& reqs,
+                        std::vector<ScoreResponse>* resps) override;
   void AppendStats(std::map<std::string, uint64_t>* stats) const override;
 
   const datagen::SyntheticWorld& world() const;
@@ -98,6 +127,8 @@ class RequestHandler : public Handler {
   std::vector<std::unique_ptr<core::ScoringEngine>> engines_;
   /// Per-worker request scratch (user-id narrowing buffer).
   std::vector<std::vector<datagen::NodeId>> user_scratch_;
+  /// Per-worker fused-batch score buffer (reused across batches).
+  std::vector<Vec> batch_scores_scratch_;
 };
 
 }  // namespace retina::serve

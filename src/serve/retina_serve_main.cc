@@ -1,14 +1,19 @@
 // retina_serve — the serving daemon.
 //
-//   retina_serve --data DIR --model DIR --socket PATH
+//   retina_serve --data DIR --model DIR [--socket PATH] [--listen HOST:PORT]
 //                [--workers N] [--queue-capacity N]
+//                [--coalesce-max-batch N] [--coalesce-linger POLLS]
 //                [--metrics-out FILE] [--trace-out FILE]
 //                [--log-level LEVEL] [--simd BACKEND]
 //
 // Loads the world and the scoring bundle once, then serves score
-// requests over the Unix-domain socket until SIGTERM/SIGINT, at which
-// point it drains gracefully (stop accepting, answer everything
-// admitted) and writes the observability exports before exiting 0.
+// requests over the Unix-domain socket and/or a TCP listener (same
+// frame protocol on both; at least one transport is required) until
+// SIGTERM/SIGINT, at which point it drains gracefully (stop accepting,
+// answer everything admitted) and writes the observability exports
+// before exiting 0. With --listen HOST:0 the kernel picks the port;
+// the bound port is printed on the "serving on" stdout line so
+// harnesses can parse it.
 
 #include <cstdio>
 #include <cstring>
@@ -31,24 +36,37 @@ struct Args {
   std::string data;
   std::string model;
   std::string socket;
+  std::string listen;
   std::string metrics_out;
   std::string trace_out;
   std::string log_level;
   std::string simd;
   size_t workers = 4;
   size_t queue_capacity = 256;
+  size_t coalesce_max_batch = 16;
+  size_t coalesce_linger = 2;
 };
 
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: retina_serve --data DIR --model DIR --socket PATH\n"
+      "usage: retina_serve --data DIR --model DIR"
+      " (--socket PATH | --listen HOST:PORT)\n"
       "  --data DIR            world CSV directory (retina generate)\n"
       "  --model DIR           scoring bundle (train-retweet --save-model)\n"
       "  --socket PATH         Unix-domain socket to listen on\n"
+      "  --listen HOST:PORT    TCP listen address (port 0 = kernel picks;\n"
+      "                        the bound port is printed on startup).\n"
+      "                        May be combined with --socket; at least one\n"
+      "                        transport is required\n"
       "  --workers N           scoring workers / engines (default 4)\n"
       "  --queue-capacity N    admission queue capacity; requests beyond\n"
       "                        it are shed with a kShed reply (default 256)\n"
+      "  --coalesce-max-batch N  max same-tweet requests fused into one\n"
+      "                        batched handler call; 1 disables coalescing\n"
+      "                        (default 16)\n"
+      "  --coalesce-linger POLLS  extra non-blocking queue polls spent\n"
+      "                        topping up a partial batch (default 2)\n"
       "  --metrics-out FILE    dump the obs registry as JSON on drain\n"
       "  --trace-out FILE      record a timeline trace for the whole run\n"
       "  --log-level LEVEL     stderr log threshold: debug|info|warn|error\n"
@@ -89,7 +107,7 @@ bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
     };
     std::string value;
     if (take("--data", &args->data) || take("--model", &args->model) ||
-        take("--socket", &args->socket) ||
+        take("--socket", &args->socket) || take("--listen", &args->listen) ||
         take("--metrics-out", &args->metrics_out) ||
         take("--trace-out", &args->trace_out) ||
         take("--log-level", &args->log_level) ||
@@ -104,10 +122,20 @@ bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
       args->queue_capacity = static_cast<size_t>(std::atoll(value.c_str()));
       continue;
     }
+    if (take("--coalesce-max-batch", &value)) {
+      args->coalesce_max_batch =
+          static_cast<size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (take("--coalesce-linger", &value)) {
+      args->coalesce_linger = static_cast<size_t>(std::atoll(value.c_str()));
+      continue;
+    }
     *rc = UnknownFlag(arg);
     return false;
   }
-  if (args->data.empty() || args->model.empty() || args->socket.empty()) {
+  if (args->data.empty() || args->model.empty() ||
+      (args->socket.empty() && args->listen.empty())) {
     *rc = Usage();
     return false;
   }
@@ -163,7 +191,10 @@ int main(int argc, char** argv) {
 
   serve::ServerOptions sopts;
   sopts.socket_path = args.socket;
+  sopts.listen_address = args.listen;
   sopts.queue_capacity = args.queue_capacity;
+  sopts.coalesce_max_batch = args.coalesce_max_batch;
+  sopts.coalesce_linger_polls = args.coalesce_linger;
   sopts.install_signal_handler = true;
   serve::Server server(handler.get(), sopts);
   Status st = server.Start();
@@ -171,9 +202,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  std::string transports;
+  if (!args.socket.empty()) transports = args.socket;
+  if (!args.listen.empty()) {
+    if (!transports.empty()) transports += " + ";
+    // Print the bound port, not the requested one: --listen HOST:0 asks
+    // the kernel, and harnesses parse this line to find the port.
+    transports += "tcp port " + std::to_string(server.tcp_port());
+  }
   std::printf("serving on %s (%zu workers, queue capacity %zu); "
               "SIGTERM drains\n",
-              args.socket.c_str(), handler->num_workers(),
+              transports.c_str(), handler->num_workers(),
               args.queue_capacity == 0 ? size_t{1} : args.queue_capacity);
   std::fflush(stdout);
 

@@ -1,14 +1,19 @@
 #include "serve/server.h"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/logging.h"
@@ -58,9 +63,13 @@ Server::ObsHooks Server::ObsHooks::Resolve() {
   h.shed = reg.GetCounter("serve.shed");
   h.errors = reg.GetCounter("serve.errors");
   h.protocol_errors = reg.GetCounter("serve.protocol_errors");
+  h.coalesce_batches = reg.GetCounter("serve.coalesce.batches");
+  h.coalesce_batched_requests =
+      reg.GetCounter("serve.coalesce.batched_requests");
   h.queue_depth_peak = reg.GetGauge("serve.queue.depth_peak");
   h.queue_capacity = reg.GetGauge("serve.queue.capacity");
   h.workers = reg.GetGauge("serve.workers");
+  h.coalesce_max_batch = reg.GetGauge("serve.coalesce.max_batch");
   h.queue_wait_ns = reg.GetHistogram("serve.queue_wait_ns");
   h.handle_ns = reg.GetHistogram("serve.handle_ns");
   return h;
@@ -79,26 +88,48 @@ Server::~Server() {
   }
 }
 
-Status Server::Start() {
-  if (started_) return Status::FailedPrecondition("server already started");
-  if (options_.socket_path.empty()) {
-    return Status::InvalidArgument("ServerOptions.socket_path is required");
-  }
+Status Server::StartUnixListener() {
   struct sockaddr_un addr;
   if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("socket path too long: " +
                                    options_.socket_path);
   }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size());
+
+  // Stale-socket recovery: a SIGKILL'd daemon never reaches the drain
+  // unlink, so the path may hold a dead socket inode. Probe it with a
+  // connect before touching anything — if a live daemon answers, refuse
+  // to steal its socket; only a probe that nobody answers licenses the
+  // unlink.
+  {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const int rc = ::connect(
+          probe, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+      const int probe_errno = errno;
+      ::close(probe);
+      if (rc == 0) {
+        return Status::FailedPrecondition(
+            "another server is live on " + options_.socket_path +
+            " (connect probe succeeded); refusing to steal its socket");
+      }
+      if (probe_errno != ENOENT) {
+        RETINA_LOG(Warning) << "serve: removing stale socket file "
+                            << options_.socket_path << " (probe: "
+                            << std::strerror(probe_errno) << ")";
+        ::unlink(options_.socket_path.c_str());
+      }
+    }
+  }
+
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket failed: ") +
                            std::strerror(errno));
   }
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
-              options_.socket_path.size());
-  ::unlink(options_.socket_path.c_str());  // replace any stale socket file
   if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
       0) {
     const Status st = Status::IOError("bind " + options_.socket_path +
@@ -114,6 +145,90 @@ Status Server::Start() {
     return st;
   }
   listen_fd_ = fd;
+  return Status::OK();
+}
+
+Status Server::StartTcpListener() {
+  const std::string& spec = options_.listen_address;
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument(
+        "listen_address must be host:port, got '" + spec + "'");
+  }
+  std::string host = spec.substr(0, colon);
+  const std::string port = spec.substr(colon + 1);
+  if (host.empty()) host = "0.0.0.0";
+  if (port.empty()) {
+    return Status::InvalidArgument("listen_address has no port: '" + spec +
+                                   "'");
+  }
+
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::InvalidArgument("cannot resolve listen address '" + spec +
+                                   "': " + ::gai_strerror(gai));
+  }
+  Status st = Status::IOError("no usable address for '" + spec + "'");
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    // SO_REUSEADDR: a drained daemon's TIME_WAIT sockets must not block
+    // the next run from binding the same port.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) < 0 || ::listen(fd, 64) < 0) {
+      st = Status::IOError("bind/listen " + spec +
+                           " failed: " + std::strerror(errno));
+      ::close(fd);
+      continue;
+    }
+    // Recover the actual port (listen_address may have asked for :0).
+    struct sockaddr_storage bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      if (bound.ss_family == AF_INET) {
+        tcp_port_ = ntohs(
+            reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+      } else if (bound.ss_family == AF_INET6) {
+        tcp_port_ = ntohs(
+            reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+      }
+    }
+    tcp_listen_fd_ = fd;
+    st = Status::OK();
+    break;
+  }
+  ::freeaddrinfo(res);
+  return st;
+}
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.socket_path.empty() && options_.listen_address.empty()) {
+    return Status::InvalidArgument(
+        "ServerOptions needs a socket_path and/or a listen_address");
+  }
+  if (!options_.socket_path.empty()) {
+    RETINA_RETURN_NOT_OK(StartUnixListener());
+  }
+  if (!options_.listen_address.empty()) {
+    const Status st = StartTcpListener();
+    if (!st.ok()) {
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        ::unlink(options_.socket_path.c_str());
+      }
+      return st;
+    }
+  }
 
   if (options_.install_signal_handler) {
     g_drain_signal = 0;
@@ -121,15 +236,24 @@ Status Server::Start() {
   }
   hooks_.queue_capacity->Set(static_cast<int64_t>(queue_.capacity()));
   hooks_.workers->Set(static_cast<int64_t>(handler_->num_workers()));
+  hooks_.coalesce_max_batch->Set(
+      static_cast<int64_t>(std::max<size_t>(1, options_.coalesce_max_batch)));
 
   pool_ = std::make_unique<par::ThreadPool>(
       handler_->num_workers() == 0 ? 1 : handler_->num_workers());
   started_ = true;
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   dispatch_thread_ = std::thread(&Server::DispatchLoop, this);
-  RETINA_LOG(Info) << "serve: listening on " << options_.socket_path << " ("
+  std::string where;
+  if (listen_fd_ >= 0) where += options_.socket_path;
+  if (tcp_listen_fd_ >= 0) {
+    if (!where.empty()) where += " + ";
+    where += "tcp port " + std::to_string(tcp_port_);
+  }
+  RETINA_LOG(Info) << "serve: listening on " << where << " ("
                    << handler_->num_workers() << " workers, queue capacity "
-                   << queue_.capacity() << ")";
+                   << queue_.capacity() << ", coalesce max batch "
+                   << std::max<size_t>(1, options_.coalesce_max_batch) << ")";
   return Status::OK();
 }
 
@@ -161,23 +285,48 @@ void Server::AcceptLoop() {
       RequestShutdown();
     }
     if (draining()) break;
-    struct pollfd pfd;
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    const int pr = ::poll(&pfd, 1, kPollMs);
+    struct pollfd pfds[2];
+    nfds_t nfds = 0;
+    if (listen_fd_ >= 0) {
+      pfds[nfds].fd = listen_fd_;
+      pfds[nfds].events = POLLIN;
+      pfds[nfds].revents = 0;
+      ++nfds;
+    }
+    if (tcp_listen_fd_ >= 0) {
+      pfds[nfds].fd = tcp_listen_fd_;
+      pfds[nfds].events = POLLIN;
+      pfds[nfds].revents = 0;
+      ++nfds;
+    }
+    const int pr = ::poll(pfds, nfds, kPollMs);
     if (pr <= 0) continue;  // timeout, EINTR: re-check the drain flags
-    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
-    if (cfd < 0) continue;
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    hooks_.connections->Add();
-    auto conn = std::make_shared<Conn>(cfd);
-    std::lock_guard<std::mutex> lock(readers_mu_);
-    reader_threads_.emplace_back(&Server::ReaderLoop, this, std::move(conn));
+    for (nfds_t i = 0; i < nfds; ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      const int cfd = ::accept(pfds[i].fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      if (pfds[i].fd == tcp_listen_fd_) {
+        // Request/response over loopback is exactly the pattern Nagle +
+        // delayed-ACK penalizes; the frames are already full messages.
+        const int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      connections_.fetch_add(1, std::memory_order_relaxed);
+      hooks_.connections->Add();
+      auto conn = std::make_shared<Conn>(cfd);
+      std::lock_guard<std::mutex> lock(readers_mu_);
+      reader_threads_.emplace_back(&Server::ReaderLoop, this, std::move(conn));
+    }
   }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  ::unlink(options_.socket_path.c_str());
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  if (tcp_listen_fd_ >= 0) {
+    ::close(tcp_listen_fd_);
+    tcp_listen_fd_ = -1;
+  }
 }
 
 void Server::ReaderLoop(std::shared_ptr<Conn> conn) {
@@ -288,34 +437,87 @@ void Server::DispatchLoop() {
 }
 
 void Server::WorkerLoop(size_t worker) {
-  WorkItem item;
-  while (queue_.Pop(&item)) {
-    const uint64_t start_ns = NowNs();
+  const size_t max_batch = std::max<size_t>(1, options_.coalesce_max_batch);
+  std::vector<WorkItem> run;
+  std::vector<size_t> group;
+  run.reserve(max_batch);
+  while (true) {
+    run.clear();
+    if (!queue_.PopBatch(&run, max_batch)) break;
+    // Linger: a bounded number of extra non-blocking polls gives closely
+    // spaced arrivals a chance to join this run. Counted in polls rather
+    // than wall time so the window is deterministic under test scheduling
+    // and costs nothing when the queue is already keeping workers busy.
+    for (size_t poll = 0;
+         max_batch > 1 && poll < options_.coalesce_linger_polls &&
+         run.size() < max_batch;
+         ++poll) {
+      if (queue_.TryPopBatch(&run, max_batch - run.size()) == 0) {
+        std::this_thread::yield();
+      }
+    }
+    // Group the FIFO run by tweet id in first-appearance order. Dispatch
+    // order across groups follows each group's first item, and items
+    // within a group keep their relative order, so coalescing never
+    // reorders what a single connection observes.
+    size_t grouped = 0;
+    while (grouped < run.size()) {
+      group.clear();
+      const uint64_t tweet = run[grouped].req.tweet_id;
+      for (size_t i = grouped; i < run.size(); ++i) {
+        if (run[i].conn != nullptr && run[i].req.tweet_id == tweet) {
+          group.push_back(i);
+        }
+      }
+      DispatchGroup(worker, &run, group);
+      while (grouped < run.size() && run[grouped].conn == nullptr) ++grouped;
+    }
+  }
+}
+
+void Server::DispatchGroup(size_t worker, std::vector<WorkItem>* items,
+                           const std::vector<size_t>& indices) {
+  const uint64_t start_ns = NowNs();
+  for (size_t idx : indices) {
+    const WorkItem& item = (*items)[idx];
     if (start_ns > item.enqueue_ns) {
       hooks_.queue_wait_ns->Record(start_ns - item.enqueue_ns);
     }
-    // Adopt the enqueuer's trace context for the duration of the request
-    // (and restore our own after), so timeline events on this worker nest
-    // under whatever the reader was tracing — the standing invariant for
-    // cross-thread hand-offs.
-    const obs::TraceContext saved = obs::CurrentTraceContext();
-    obs::SetCurrentTraceContext(item.ctx);
-    ScoreResponse resp;
-    {
-      obs::TraceRequestScope request_scope;
-      RETINA_OBS_SPAN("serve.handle");
-      handler_->HandleScore(worker, item.req, &resp);
-    }
-    obs::SetCurrentTraceContext(saved);
+  }
+  std::vector<const ScoreRequest*> reqs;
+  reqs.reserve(indices.size());
+  for (size_t idx : indices) reqs.push_back(&(*items)[idx].req);
+  // Adopt the FIRST-enqueued item's trace context for the fused call (and
+  // restore our own after): one handler call, one ambient trace — the
+  // cross-thread hand-off invariant, extended to coalesced groups.
+  const obs::TraceContext saved = obs::CurrentTraceContext();
+  obs::SetCurrentTraceContext((*items)[indices.front()].ctx);
+  std::vector<ScoreResponse> resps;
+  {
+    obs::TraceRequestScope request_scope;
+    RETINA_OBS_SPAN("serve.handle");
+    handler_->HandleScoreBatch(worker, reqs, &resps);
+  }
+  obs::SetCurrentTraceContext(saved);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    ScoreResponse& resp = resps[i];
     if (resp.code == ResponseCode::kError) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       hooks_.errors->Add();
     }
+    WorkItem& item = (*items)[indices[i]];
     WriteResponse(item.conn.get(), resp);
     responses_.fetch_add(1, std::memory_order_relaxed);
     hooks_.responses->Add();
-    hooks_.handle_ns->Record(NowNs() - start_ns);
-    item = WorkItem();  // release the Conn reference promptly
+    item = WorkItem();  // release the Conn reference; marks the slot done
+  }
+  hooks_.handle_ns->Record(NowNs() - start_ns);
+  if (indices.size() >= 2) {
+    coalesce_batches_.fetch_add(1, std::memory_order_relaxed);
+    coalesce_batched_requests_.fetch_add(indices.size(),
+                                         std::memory_order_relaxed);
+    hooks_.coalesce_batches->Add();
+    hooks_.coalesce_batched_requests->Add(indices.size());
   }
 }
 
@@ -344,6 +546,12 @@ void Server::SnapshotStats(std::map<std::string, uint64_t>* stats) const {
       queue_depth_peak_.load(std::memory_order_relaxed);
   (*stats)["serve.queue_capacity"] = queue_.capacity();
   (*stats)["serve.workers"] = handler_->num_workers();
+  (*stats)["serve.coalesce.batches"] =
+      coalesce_batches_.load(std::memory_order_relaxed);
+  (*stats)["serve.coalesce.batched_requests"] =
+      coalesce_batched_requests_.load(std::memory_order_relaxed);
+  (*stats)["serve.coalesce.max_batch"] =
+      std::max<size_t>(1, options_.coalesce_max_batch);
   (*stats)["serve.draining"] = draining() ? 1 : 0;
 }
 

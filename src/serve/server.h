@@ -1,11 +1,12 @@
-// retina::serve daemon core: a Unix-domain-socket server that feeds a
-// bounded admission queue drained by a retina::par worker pool.
+// retina::serve daemon core: a stream-socket server (Unix-domain and/or
+// TCP, same frame protocol on both) that feeds a bounded admission queue
+// drained by a retina::par worker pool through a coalescing dispatcher.
 //
 // Thread architecture (N = handler->num_workers()):
 //
-//   accept thread      polls the listener, one reader thread per
-//                      connection; promotes an external SIGTERM/SIGINT
-//                      into RequestShutdown().
+//   accept thread      polls every listener (Unix socket, TCP, or both),
+//                      one reader thread per connection; promotes an
+//                      external SIGTERM/SIGINT into RequestShutdown().
 //   reader threads     decode frames. kScoreRequest -> TryPush onto the
 //                      admission queue, answering kShed immediately when
 //                      it is full (shed-on-full keeps overload latency
@@ -18,12 +19,29 @@
 //                      single-threaded on its worker, deterministically,
 //                      and N requests score concurrently.
 //
+// Same-tweet coalescing (the batching dispatcher): the paper's serving
+// shape is cascade scoring — many concurrent "who retweets tweet T
+// next?" requests against the same hot tweet — which is exactly what the
+// engine's batched GEMM path was built for. Instead of popping one item,
+// a worker pops a contiguous FIFO run of up to coalesce_max_batch items
+// (BoundedQueue::PopBatch), lingers for coalesce_linger_polls extra
+// non-blocking queue polls to let a partial batch fill (polls, not wall
+// clock, so tests stay deterministic), groups the run by tweet id in
+// first-appearance order, and hands each group to
+// Handler::HandleScoreBatch as one fused call. Fan-out is byte-identical
+// to unbatched handling — the engine's batched-forward contract makes
+// entry i of a fused batch bit-equal to a lone request's score — and
+// every response still goes to its own connection. Items leave the queue
+// strictly FIFO; coalescing never reorders admission.
+//
 // TraceContext discipline (the standing invariant): the queue is a
 // thread hand-off, so each WorkItem captures the enqueuing reader's
 // obs::TraceContext and the worker adopts it around handling (restoring
 // its own afterwards), exactly the way par::ThreadPool::Run does for its
-// job submitter. A TraceRequestScope inside the adopted context then
-// mints the per-request trace id.
+// job submitter. A coalesced group adopts the FIRST-enqueued item's
+// context — one fused handler call, one ambient trace — and a
+// TraceRequestScope inside the adopted context then mints the
+// per-request (per-batch) trace id.
 //
 // Drain state machine (SIGTERM or RequestShutdown()):
 //
@@ -64,11 +82,30 @@
 namespace retina::serve {
 
 struct ServerOptions {
-  /// Filesystem path of the Unix-domain listening socket. Any stale file
-  /// at the path is replaced; the daemon unlinks it again on drain.
+  /// Filesystem path of the Unix-domain listening socket (empty = no Unix
+  /// listener). A leftover file at the path is connect-probed first: if a
+  /// live daemon answers, Start() fails instead of stealing its socket;
+  /// if nothing answers (a SIGKILL'd prior run left a stale inode), the
+  /// file is unlinked and the bind proceeds. The daemon unlinks the path
+  /// again on drain.
   std::string socket_path;
+  /// TCP listen address as "host:port" (empty = no TCP listener). Bound
+  /// with SO_REUSEADDR; port 0 asks the kernel for a free port, readable
+  /// afterwards via tcp_port(). Same frame protocol, same admission/shed/
+  /// drain machinery as the Unix listener. At least one of socket_path /
+  /// listen_address must be set.
+  std::string listen_address;
   /// Admission-queue capacity; requests beyond it are shed (kShed reply).
   size_t queue_capacity = 256;
+  /// Upper bound on how many queued same-tweet score requests one worker
+  /// fuses into a single Handler::HandleScoreBatch call. 1 disables
+  /// coalescing (every request dispatches alone, the pre-coalescing
+  /// behavior).
+  size_t coalesce_max_batch = 16;
+  /// Extra non-blocking queue polls a worker spends topping up a partial
+  /// run before dispatching it. Measured in polls, not wall time, so the
+  /// linger window is deterministic under test scheduling.
+  size_t coalesce_linger_polls = 2;
   /// Install SIGTERM/SIGINT handlers that trigger the graceful drain.
   /// The daemon main turns this on; tests drive RequestShutdown directly
   /// or raise() the signal themselves.
@@ -100,6 +137,10 @@ class Server {
   /// True once a shutdown/drain has been requested.
   bool draining() const { return draining_.load(std::memory_order_acquire); }
 
+  /// Port the TCP listener actually bound (useful with listen_address
+  /// ":0"); 0 when no TCP listener was configured or before Start().
+  uint16_t tcp_port() const { return tcp_port_; }
+
   /// Server-owned traffic counters (see header comment), merged with the
   /// handler's stats. Safe to call any time, including during traffic.
   void SnapshotStats(std::map<std::string, uint64_t>* stats) const;
@@ -121,10 +162,16 @@ class Server {
     uint64_t enqueue_ns = 0;
   };
 
+  Status StartUnixListener();
+  Status StartTcpListener();
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Conn> conn);
   void DispatchLoop();
   void WorkerLoop(size_t worker);
+  /// Dispatches one coalesced same-tweet group (`items[indices]`) as a
+  /// single handler call and fans the responses back out.
+  void DispatchGroup(size_t worker, std::vector<WorkItem>* items,
+                     const std::vector<size_t>& indices);
   /// Reader-side handling of a single decoded frame; false closes the
   /// connection (protocol error or unsupported type).
   bool HandleFrame(const std::shared_ptr<Conn>& conn,
@@ -133,7 +180,9 @@ class Server {
 
   Handler* handler_;
   ServerOptions options_;
-  int listen_fd_ = -1;
+  int listen_fd_ = -1;      ///< Unix-domain listener, -1 when absent
+  int tcp_listen_fd_ = -1;  ///< TCP listener, -1 when absent
+  uint16_t tcp_port_ = 0;
   bool started_ = false;
 
   par::BoundedQueue<WorkItem> queue_;
@@ -155,6 +204,11 @@ class Server {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> write_errors_{0};
   std::atomic<uint64_t> queue_depth_peak_{0};
+  /// Coalescing outcome counters: a "batch" is a fused handler call
+  /// covering >= 2 requests; batched_requests is the requests those calls
+  /// covered. avg batch size = batched_requests / batches.
+  std::atomic<uint64_t> coalesce_batches_{0};
+  std::atomic<uint64_t> coalesce_batched_requests_{0};
 
   /// Observational mirrors, resolved once at construction.
   struct ObsHooks {
@@ -165,9 +219,12 @@ class Server {
     obs::Counter* shed;
     obs::Counter* errors;
     obs::Counter* protocol_errors;
+    obs::Counter* coalesce_batches;
+    obs::Counter* coalesce_batched_requests;
     obs::Gauge* queue_depth_peak;
     obs::Gauge* queue_capacity;
     obs::Gauge* workers;
+    obs::Gauge* coalesce_max_batch;
     obs::Histogram* queue_wait_ns;
     obs::Histogram* handle_ns;
   };

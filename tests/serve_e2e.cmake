@@ -2,21 +2,30 @@
 #
 #   retina generate       --out WORK/world
 #   retina train-retweet  --data WORK/world --save-model WORK/model
-#   retina_serve          --data ... --model ... --socket ...   (background)
-#   load_driver           --verify-data/--verify-model + QPS sweep
+#   retina_serve          --data ... --socket ... --listen 127.0.0.1:0
+#                         (background; a dead file is planted at the
+#                          socket path first to pin stale recovery)
+#   load_driver           --verify-data/--verify-model + QPS sweep, once
+#                         over the Unix socket and once over TCP loopback
 #   kill -TERM            (graceful drain)
 #
 # and asserts the whole serving contract end to end, across processes:
 #
+#   - a stale socket file from a SIGKILL'd prior run is connect-probed
+#     and reclaimed ("removing stale socket file" logged), not a bind
+#     failure;
 #   - load_driver's --verify pass requires every daemon score to be
-#     byte-identical to the same bundle loaded in-process;
+#     byte-identical to the same bundle loaded in-process — over BOTH
+#     transports (the kernel-assigned TCP port is parsed from the
+#     daemon's "serving on ... tcp port N" line);
 #   - the sweep (>= 3 QPS points, >= 4 connections) completes with zero
 #     dropped requests — a request is either answered or shed at
 #     admission, never silently lost;
 #   - SIGTERM drains: the daemon exits on its own, logs the drain, and
 #     writes --metrics-out and --trace-out before exiting;
-#   - BENCH_serve.json parses and lands in ${WORK_DIR}_outputs for the
-#     report tooling and CI artifact upload.
+#   - BENCH_serve.json / BENCH_serve_tcp.json parse, carry the coalesce
+#     observability block and transport label, and land in
+#     ${WORK_DIR}_outputs for the report tooling and CI artifact upload.
 #
 # The daemon's socket lives under /tmp, not under WORK_DIR: sockaddr_un's
 # sun_path caps paths at ~107 bytes and CI build trees run deeper.
@@ -71,12 +80,22 @@ endif()
 # ---- Start the daemon in the background (sh backgrounding: CMake has no
 # native detach). Its pid comes back through the pipe; stdout/stderr land
 # in serve.log for the drain assertion below.
+#
+# The daemon listens on BOTH transports: the Unix socket and a TCP
+# loopback port the kernel picks (--listen 127.0.0.1:0); the bound port
+# is parsed out of serve.log below and driven as a second verify pass.
+#
+# Pinned stale-socket recovery: a dead file is planted at the socket path
+# first, simulating a SIGKILL'd prior run. The daemon must connect-probe
+# it, find nobody answering, unlink it, and bind — not fail the bind.
 string(RANDOM LENGTH 8 ALPHABET "abcdefghijklmnopqrstuvwxyz0123456789" tag)
 set(SOCKET "/tmp/retina_e2e_${tag}.sock")
+file(WRITE "${SOCKET}" "stale leftover from a killed run")
 execute_process(
   COMMAND sh -c "exec '${RETINA_SERVE}' \
       --data '${WORK_DIR}/world' --model '${WORK_DIR}/model' \
-      --socket '${SOCKET}' --workers 4 --queue-capacity 128 \
+      --socket '${SOCKET}' --listen 127.0.0.1:0 \
+      --workers 4 --queue-capacity 128 \
       --metrics-out '${WORK_DIR}/serve_metrics.json' \
       --trace-out '${WORK_DIR}/serve_trace.json' \
       > '${WORK_DIR}/serve.log' 2>&1 & echo $!"
@@ -86,12 +105,18 @@ if(NOT rc EQUAL 0)
 endif()
 string(STRIP "${serve_pid}" serve_pid)
 
-# The daemon loads the world + bundle before binding; poll for the socket.
+# The daemon loads the world + bundle before binding. The stale file
+# planted above means the socket path EXISTS from the start, so readiness
+# is the daemon's own "serving on" line — printed only after both
+# listeners are bound — which also carries the kernel-assigned TCP port.
 set(socket_up FALSE)
 foreach(i RANGE 150)
-  if(EXISTS "${SOCKET}")
-    set(socket_up TRUE)
-    break()
+  if(EXISTS "${WORK_DIR}/serve.log")
+    file(READ "${WORK_DIR}/serve.log" serve_log)
+    if(serve_log MATCHES "serving on")
+      set(socket_up TRUE)
+      break()
+    endif()
   endif()
   execute_process(COMMAND sh -c "kill -0 ${serve_pid} 2>/dev/null"
                   RESULT_VARIABLE alive)
@@ -103,7 +128,25 @@ foreach(i RANGE 150)
 endforeach()
 if(NOT socket_up)
   file(READ "${WORK_DIR}/serve.log" serve_log)
-  message(FATAL_ERROR "socket never appeared at ${SOCKET}:\n${serve_log}")
+  message(FATAL_ERROR "daemon never reported serving on ${SOCKET}:\n${serve_log}")
+endif()
+if(NOT EXISTS "${SOCKET}")
+  message(FATAL_ERROR "daemon is serving but the socket file is missing:\n${serve_log}")
+endif()
+
+# The stale file must have been reclaimed by the connect-probe path, not
+# silently bound over or fatally tripped on.
+if(NOT serve_log MATCHES "removing stale socket file")
+  message(FATAL_ERROR "daemon did not log the stale-socket recovery:\n${serve_log}")
+endif()
+
+# Kernel-assigned TCP port, parsed from the same "serving on" line.
+if(NOT serve_log MATCHES "tcp port ([0-9]+)")
+  message(FATAL_ERROR "daemon did not report its TCP port:\n${serve_log}")
+endif()
+set(TCP_PORT "${CMAKE_MATCH_1}")
+if(TCP_PORT EQUAL 0)
+  message(FATAL_ERROR "daemon reported TCP port 0:\n${serve_log}")
 endif()
 
 # ---- Drive it: cross-process byte-identity first (--verify-*), then the
@@ -122,6 +165,24 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT driver_out MATCHES "byte-identical to the in-process engine")
   message(FATAL_ERROR "load_driver did not run the verify pass:\n${driver_out}")
+endif()
+
+# ---- Same daemon, second transport: the TCP loopback listener must pass
+# the identical cross-process byte-identity bar and a small sweep, into
+# its own bench file (CI uploads both variants as distinct artifacts).
+execute_process(
+  COMMAND "${LOAD_DRIVER}" --connect "tcp:127.0.0.1:${TCP_PORT}" --smoke
+          --qps 30,60,120 --requests 48 --connections 4 --seed 11
+          --verify-data "${WORK_DIR}/world" --verify-model "${WORK_DIR}/model"
+          --out "${WORK_DIR}/BENCH_serve_tcp.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE tcp_out ERROR_VARIABLE tcp_err)
+if(NOT rc EQUAL 0)
+  file(READ "${WORK_DIR}/serve.log" serve_log)
+  message(FATAL_ERROR "load_driver over TCP failed (${rc}):\n${tcp_out}\n"
+          "${tcp_err}\nserver log:\n${serve_log}")
+endif()
+if(NOT tcp_out MATCHES "byte-identical to the in-process engine")
+  message(FATAL_ERROR "TCP leg did not run the verify pass:\n${tcp_out}")
 endif()
 
 # ---- Graceful drain: SIGTERM, then the daemon must exit on its own and
@@ -189,7 +250,48 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(NOT first_shed EQUAL 0 OR NOT first_server_shed EQUAL 0)
     message(FATAL_ERROR "lowest-QPS point shed requests below capacity:\n${bench_json}")
   endif()
+
+  # Coalescing observability contract: every point carries the coalesce
+  # block (batches / batched_requests / avg_batch) and the top level
+  # records the transport and the daemon's coalesce_max_batch. Values are
+  # load-dependent; their presence and types are not.
+  string(JSON transport ERROR_VARIABLE json_err GET "${bench_json}" transport)
+  if(NOT json_err STREQUAL "NOTFOUND" OR NOT transport STREQUAL "unix")
+    message(FATAL_ERROR "BENCH_serve.json transport is '${transport}', want unix")
+  endif()
+  string(JSON cmb ERROR_VARIABLE json_err GET "${bench_json}" coalesce_max_batch)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "BENCH_serve.json lacks coalesce_max_batch: ${json_err}")
+  endif()
+  foreach(i RANGE 0 ${last_point})
+    string(JSON cb ERROR_VARIABLE json_err
+           GET "${bench_json}" points ${i} coalesce batches)
+    if(NOT json_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "point ${i} lacks coalesce.batches: ${json_err}")
+    endif()
+    string(JSON cbr ERROR_VARIABLE json_err
+           GET "${bench_json}" points ${i} coalesce batched_requests)
+    if(NOT json_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "point ${i} lacks coalesce.batched_requests: ${json_err}")
+    endif()
+  endforeach()
   message(STATUS "bench json ok: ${n_points} points, zero drops")
+
+  # TCP variant: parseable, correctly labeled, nothing dropped there either.
+  file(READ "${WORK_DIR}/BENCH_serve_tcp.json" tcp_json)
+  string(JSON tcp_transport ERROR_VARIABLE json_err GET "${tcp_json}" transport)
+  if(NOT json_err STREQUAL "NOTFOUND" OR NOT tcp_transport STREQUAL "tcp")
+    message(FATAL_ERROR "BENCH_serve_tcp.json transport is '${tcp_transport}', want tcp")
+  endif()
+  string(JSON tcp_points LENGTH "${tcp_json}" points)
+  math(EXPR tcp_last "${tcp_points} - 1")
+  foreach(i RANGE 0 ${tcp_last})
+    string(JSON dropped GET "${tcp_json}" points ${i} dropped)
+    if(NOT dropped EQUAL 0)
+      message(FATAL_ERROR "TCP point ${i} dropped ${dropped} requests:\n${tcp_json}")
+    endif()
+  endforeach()
+  message(STATUS "tcp bench json ok: ${tcp_points} points, zero drops")
 endif()
 
 # ---- Daemon metrics: with obs compiled in, the serve counters must have
@@ -219,8 +321,9 @@ endif()
 # the bulky world/model scratch.
 file(REMOVE_RECURSE "${WORK_DIR}_outputs")
 file(MAKE_DIRECTORY "${WORK_DIR}_outputs")
-file(COPY "${WORK_DIR}/BENCH_serve.json" "${WORK_DIR}/serve_metrics.json"
-     "${WORK_DIR}/serve_trace.json" "${WORK_DIR}/driver_metrics.json"
+file(COPY "${WORK_DIR}/BENCH_serve.json" "${WORK_DIR}/BENCH_serve_tcp.json"
+     "${WORK_DIR}/serve_metrics.json" "${WORK_DIR}/serve_trace.json"
+     "${WORK_DIR}/driver_metrics.json"
      DESTINATION "${WORK_DIR}_outputs")
 file(REMOVE_RECURSE "${WORK_DIR}")
 message(STATUS "serve e2e smoke passed")

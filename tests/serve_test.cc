@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -328,6 +330,138 @@ TEST(BoundedQueueTest, ConcurrentProducersAndConsumersDeliverEverything) {
   EXPECT_EQ(popped_sum.load(), accepted.load());  // nothing lost or duped
 }
 
+TEST(BoundedQueueTest, TryPopBatchDrainsFifoWithoutBlocking) {
+  par::BoundedQueue<int> q(8);
+  std::vector<int> out = {-1};  // batch pops append, never clobber
+  EXPECT_EQ(q.TryPopBatch(&out, 4), 0u);  // empty queue: no items, no block
+  EXPECT_EQ(out, std::vector<int>{-1});
+  for (int v = 1; v <= 5; ++v) ASSERT_TRUE(q.TryPush(v));
+  EXPECT_EQ(q.TryPopBatch(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 1, 2, 3}));
+  // Asking for more than is queued drains what exists, still FIFO.
+  EXPECT_EQ(q.TryPopBatch(&out, 10), 2u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 1, 2, 3, 4, 5}));
+  // Empty queue: zero items, no block (this is the linger-poll primitive).
+  EXPECT_EQ(q.TryPopBatch(&out, 1), 0u);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(BoundedQueueTest, PopBatchBlocksForFirstItemThenDrainsRun) {
+  par::BoundedQueue<int> q(8);
+  std::vector<int> out;
+  std::thread producer([&] {
+    for (int v = 1; v <= 4; ++v) ASSERT_TRUE(q.TryPush(v));
+  });
+  // PopBatch must block like Pop until something arrives, then hand back
+  // a contiguous FIFO run of up to max_items.
+  ASSERT_TRUE(q.PopBatch(&out, 8));
+  ASSERT_FALSE(out.empty());
+  producer.join();
+  // The first pop may have raced ahead of the producer; drain the rest —
+  // the concatenation of runs must still be the FIFO sequence.
+  while (out.size() < 4) ASSERT_TRUE(q.PopBatch(&out, 8));
+  ASSERT_EQ(out.size(), 4u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1);  // FIFO across runs
+  }
+  // max_items == 0 clamps to 1 rather than spinning forever on nothing.
+  ASSERT_TRUE(q.TryPush(99));
+  std::vector<int> one;
+  ASSERT_TRUE(q.PopBatch(&one, 0));
+  EXPECT_EQ(one, std::vector<int>{99});
+}
+
+TEST(BoundedQueueTest, PopBatchAfterCloseDeliversPendingThenReportsClosed) {
+  par::BoundedQueue<int> q(8);
+  for (int v = 10; v < 13; ++v) ASSERT_TRUE(q.TryPush(v));
+  q.Close();
+  std::vector<int> out;
+  ASSERT_TRUE(q.PopBatch(&out, 2));  // graceful drain, bounded run
+  EXPECT_EQ(out, (std::vector<int>{10, 11}));
+  ASSERT_TRUE(q.PopBatch(&out, 2));
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 12}));
+  EXPECT_FALSE(q.PopBatch(&out, 2));  // closed + empty
+  EXPECT_EQ(q.TryPopBatch(&out, 2), 0u);
+  EXPECT_EQ(out.size(), 3u);  // failed pops never touch the output
+}
+
+TEST(BoundedQueueTest, FifoOrderSurvivesBatchedPopsUnderContention) {
+  // One consumer popping in variable-size batches while a producer
+  // pushes a monotone sequence: concatenating the batches must
+  // reconstruct the sequence exactly. Run under TSan (ctest -L serve
+  // builds include it in the sanitizer legs) this also races the batch
+  // paths against TryPush for data-race coverage.
+  par::BoundedQueue<uint64_t> q(16);
+  constexpr uint64_t kTotal = 4000;
+  std::thread producer([&] {
+    for (uint64_t v = 0; v < kTotal; ++v) {
+      while (!q.TryPush(v)) std::this_thread::yield();
+    }
+    q.Close();
+  });
+  std::vector<uint64_t> got;
+  got.reserve(kTotal);
+  std::vector<uint64_t> batch;
+  size_t max_items = 1;
+  while (true) {
+    batch.clear();
+    if (!q.PopBatch(&batch, max_items)) break;
+    got.insert(got.end(), batch.begin(), batch.end());
+    max_items = max_items % 7 + 1;  // vary run length 1..7
+  }
+  producer.join();
+  ASSERT_EQ(got.size(), kTotal);
+  for (uint64_t v = 0; v < kTotal; ++v) {
+    ASSERT_EQ(got[v], v) << "batched pops reordered the queue";
+  }
+}
+
+TEST(BoundedQueueTest, MixedBatchConsumersDeliverEverythingExactlyOnce) {
+  // Multi-producer / multi-consumer stress where consumers use the batch
+  // pops: checksum accounting proves nothing is lost or duplicated, and
+  // TSan proves the new paths are race-free against the existing ones.
+  par::BoundedQueue<uint64_t> q(8);
+  constexpr size_t kProducers = 4;
+  constexpr size_t kConsumers = 3;
+  constexpr uint64_t kPerProducer = 500;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> popped_sum{0};
+  std::atomic<uint64_t> popped_count{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        const uint64_t v = p * kPerProducer + i + 1;
+        while (!q.TryPush(v)) std::this_thread::yield();
+        accepted.fetch_add(v, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::vector<uint64_t> batch;
+      while (true) {
+        batch.clear();
+        // Odd consumers linger with TryPopBatch the way WorkerLoop does.
+        if (!q.PopBatch(&batch, 4)) break;
+        if (c % 2 == 1 && batch.size() < 4) {
+          q.TryPopBatch(&batch, 4 - batch.size());
+        }
+        for (const uint64_t v : batch) {
+          popped_sum.fetch_add(v, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  for (std::thread& t : consumers) t.join();
+  EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), accepted.load());
+}
+
 // ------------------------------------------------------- Scoring fixture --
 
 datagen::WorldConfig TestConfig() {
@@ -490,6 +624,108 @@ TEST(RequestHandlerTest, StatsExposeDatasetShape) {
   EXPECT_EQ(stats["handler.num_workers"], 2u);
 }
 
+TEST(RequestHandlerTest, CoalescedBatchIsByteIdenticalToUnbatched) {
+  // The fused single-GEMM path must be a pure scheduling decision: entry
+  // i of a same-tweet batch is bit-equal to handling reqs[i] alone.
+  auto& f = SharedFixture();
+  RequestHandlerOptions opts;
+  opts.num_workers = 2;
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), opts);
+  Rng rng(83);
+  const uint64_t num_users = f.world.NumUsers();
+
+  std::vector<ScoreRequest> reqs;
+  for (size_t i = 0; i < 6; ++i) {
+    ScoreRequest req;
+    req.request_id = 7000 + i;
+    req.tweet_id = 17;  // same hot tweet for every batch member
+    const size_t k = 1 + rng.UniformInt(6);
+    for (size_t j = 0; j < k; ++j) {
+      req.users.push_back(static_cast<uint32_t>(rng.UniformInt(num_users)));
+    }
+    reqs.push_back(std::move(req));
+  }
+  std::vector<const ScoreRequest*> ptrs;
+  for (const ScoreRequest& r : reqs) ptrs.push_back(&r);
+
+  for (size_t w = 0; w < handler->num_workers(); ++w) {
+    std::vector<ScoreResponse> batched;
+    handler->HandleScoreBatch(w, ptrs, &batched);
+    ASSERT_EQ(batched.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      ScoreResponse lone;
+      handler->HandleScore(w, reqs[i], &lone);
+      ASSERT_EQ(batched[i].code, ResponseCode::kOk) << batched[i].message;
+      EXPECT_EQ(batched[i].request_id, reqs[i].request_id);
+      ExpectBitIdentical(batched[i].scores, lone.scores,
+                         "batched vs lone entry " + std::to_string(i) +
+                             " worker " + std::to_string(w));
+      // And both equal the direct engine — the full chain is exact.
+      ExpectBitIdentical(batched[i].scores, DirectScores(f, reqs[i]),
+                         "batched vs direct entry " + std::to_string(i));
+    }
+  }
+}
+
+TEST(RequestHandlerTest, InvalidRequestInBatchErrorsAloneExactly) {
+  // An invalid member of a fused batch must produce the same kError
+  // response it would alone — byte-identical message — while its
+  // neighbors score exactly as if it had never been queued.
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+
+  ScoreRequest good_a;
+  good_a.request_id = 1;
+  good_a.tweet_id = 3;
+  good_a.users = {0, 1, 2};
+  ScoreRequest bad;
+  bad.request_id = 2;
+  bad.tweet_id = 3;
+  bad.users = {static_cast<uint32_t>(f.world.NumUsers()), 1};  // oob user
+  ScoreRequest good_b;
+  good_b.request_id = 3;
+  good_b.tweet_id = 3;
+  good_b.users = {4, 5};
+
+  std::vector<const ScoreRequest*> ptrs = {&good_a, &bad, &good_b};
+  std::vector<ScoreResponse> batched;
+  handler->HandleScoreBatch(0, ptrs, &batched);
+  ASSERT_EQ(batched.size(), 3u);
+
+  ScoreResponse lone_bad;
+  handler->HandleScore(0, bad, &lone_bad);
+  ASSERT_EQ(lone_bad.code, ResponseCode::kError);
+  EXPECT_EQ(batched[1].code, ResponseCode::kError);
+  EXPECT_EQ(batched[1].message, lone_bad.message);  // identical wording
+  EXPECT_EQ(batched[1].request_id, 2u);
+  EXPECT_TRUE(batched[1].scores.empty());
+
+  ASSERT_EQ(batched[0].code, ResponseCode::kOk) << batched[0].message;
+  ExpectBitIdentical(batched[0].scores, DirectScores(f, good_a),
+                     "neighbor before invalid batch member");
+  ASSERT_EQ(batched[2].code, ResponseCode::kOk) << batched[2].message;
+  ExpectBitIdentical(batched[2].scores, DirectScores(f, good_b),
+                     "neighbor after invalid batch member");
+}
+
+TEST(RequestHandlerTest, MixedTweetBatchFallsBackByteIdentically) {
+  // The dispatcher never forms mixed-tweet batches, but the Handler
+  // contract covers them: the fallback loop must match lone handling.
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  const auto reqs = MakeRequests(f, 5, 91);  // random (distinct) tweet ids
+  std::vector<const ScoreRequest*> ptrs;
+  for (const ScoreRequest& r : reqs) ptrs.push_back(&r);
+  std::vector<ScoreResponse> batched;
+  handler->HandleScoreBatch(0, ptrs, &batched);
+  ASSERT_EQ(batched.size(), reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_EQ(batched[i].code, ResponseCode::kOk) << batched[i].message;
+    ExpectBitIdentical(batched[i].scores, DirectScores(f, reqs[i]),
+                       "mixed-tweet fallback entry " + std::to_string(i));
+  }
+}
+
 // ----------------------------------------------------------- Server e2e --
 
 std::string TestSocketPath(const char* tag) {
@@ -515,6 +751,22 @@ Result<int> ConnectTo(const std::string& path) {
       0) {
     close(fd);
     return Status::IOError("connect failed");
+  }
+  return fd;
+}
+
+Result<int> ConnectTcpTo(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket failed");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close(fd);
+    return Status::IOError("tcp connect failed");
   }
   return fd;
 }
@@ -841,6 +1093,347 @@ TEST(ServerTest, SigtermDrainsGracefully) {
   EXPECT_EQ(stats["serve.draining"], 1u);
   // The socket file is unlinked on drain; new connections must fail.
   EXPECT_FALSE(ConnectTo(sopts.socket_path).ok());
+}
+
+/// Handler that records every HandleScoreBatch call's size and blocks
+/// until released — makes the dispatcher's coalescing deterministic (a
+/// wedged first call lets a known set of requests pile up in the queue)
+/// and emits exact bit patterns (NaN payloads, denormals, negative zero)
+/// so the fan-out's byte-identity is pinned end to end.
+class StallingBatchHandler : public Handler {
+ public:
+  /// Deterministic per-request score slots, deliberately nasty: the
+  /// fan-out must hand every connection its own request's exact bits.
+  static Vec ExpectedScores(uint64_t request_id) {
+    Vec scores = {static_cast<double>(request_id), std::nan("0x5"), 5e-324,
+                  -0.0};
+    // Salt the NaN payload per request so cross-request mixups can't
+    // accidentally pass the memcmp.
+    uint64_t bits;
+    std::memcpy(&bits, &scores[1], sizeof(bits));
+    bits ^= request_id << 1;
+    std::memcpy(&scores[1], &bits, sizeof(bits));
+    return scores;
+  }
+
+  size_t num_workers() const override { return 1; }
+
+  void HandleScore(size_t worker, const ScoreRequest& req,
+                   ScoreResponse* resp) override {
+    const std::vector<const ScoreRequest*> one = {&req};
+    std::vector<ScoreResponse> resps;
+    HandleScoreBatch(worker, one, &resps);
+    *resp = std::move(resps[0]);
+  }
+
+  void HandleScoreBatch(size_t /*worker*/,
+                        const std::vector<const ScoreRequest*>& reqs,
+                        std::vector<ScoreResponse>* resps) override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_sizes_.push_back(reqs.size());
+      entered_cv_.notify_all();
+      release_cv_.wait(lock, [this] { return released_; });
+    }
+    resps->resize(reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      (*resps)[i].request_id = reqs[i]->request_id;
+      (*resps)[i].code = ResponseCode::kOk;
+      (*resps)[i].scores = ExpectedScores(reqs[i]->request_id);
+    }
+  }
+
+  void AppendStats(std::map<std::string, uint64_t>* /*stats*/) const override {
+  }
+
+  void WaitUntilCalls(size_t n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_cv_.wait(lock, [&] { return batch_sizes_.size() >= n; });
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    release_cv_.notify_all();
+  }
+
+  std::vector<size_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable entered_cv_;
+  std::condition_variable release_cv_;
+  std::vector<size_t> batch_sizes_;
+  bool released_ = false;
+};
+
+TEST(ServerTest, SameTweetRequestsCoalesceAndFanOutExactBitPatterns) {
+  StallingBatchHandler handler;
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("coal");
+  sopts.queue_capacity = 16;
+  sopts.coalesce_max_batch = 8;
+  Server server(&handler, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd_a = ConnectTo(sopts.socket_path);
+  auto fd_b = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd_a.ok());
+  ASSERT_TRUE(fd_b.ok());
+  auto send_req = [](int fd, uint64_t id) {
+    ScoreRequest req;
+    req.request_id = id;
+    req.tweet_id = 5;  // every request targets the same hot tweet
+    req.users = {1, 2};
+    ASSERT_TRUE(WriteFrame(fd, EncodeScoreRequest(req)).ok());
+  };
+
+  // Request 1 wedges the single worker inside a (singleton) batch call.
+  send_req(fd_a.ValueOrDie(), 1);
+  handler.WaitUntilCalls(1);
+  // Five more same-tweet requests, split across two connections, pile up
+  // in the admission queue while the worker is wedged.
+  send_req(fd_a.ValueOrDie(), 2);
+  send_req(fd_b.ValueOrDie(), 3);
+  send_req(fd_a.ValueOrDie(), 4);
+  send_req(fd_b.ValueOrDie(), 5);
+  send_req(fd_a.ValueOrDie(), 6);
+  for (int spin = 0; spin < 5000; ++spin) {
+    std::map<std::string, uint64_t> s;
+    server.SnapshotStats(&s);
+    if (s["serve.requests"] >= 6) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  handler.Release();
+  // Fan-out routing: each connection gets exactly its own requests'
+  // responses, carrying that request's exact score bit patterns.
+  auto read_all = [&](int fd, const std::vector<uint64_t>& want_ids) {
+    std::map<uint64_t, ScoreResponse> got;
+    for (size_t i = 0; i < want_ids.size(); ++i) {
+      std::string payload;
+      bool eof = false;
+      ASSERT_TRUE(ReadFrame(fd, &payload, &eof).ok());
+      ASSERT_FALSE(eof);
+      ScoreResponse resp;
+      ASSERT_TRUE(DecodeScoreResponse(payload, &resp).ok());
+      ASSERT_EQ(resp.code, ResponseCode::kOk) << resp.message;
+      got[resp.request_id] = std::move(resp);
+    }
+    for (const uint64_t id : want_ids) {
+      ASSERT_EQ(got.count(id), 1u) << "missing response " << id;
+      ExpectBitIdentical(got[id].scores,
+                         StallingBatchHandler::ExpectedScores(id),
+                         "fanned-out response " + std::to_string(id));
+    }
+  };
+  read_all(fd_a.ValueOrDie(), {1, 2, 4, 6});
+  read_all(fd_b.ValueOrDie(), {3, 5});
+  close(fd_a.ValueOrDie());
+  close(fd_b.ValueOrDie());
+
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+
+  // Deterministic coalescing shape: the wedged singleton, then ONE fused
+  // call covering all five queued same-tweet requests.
+  const std::vector<size_t> sizes = handler.batch_sizes();
+  ASSERT_EQ(sizes.size(), 2u) << "expected exactly two dispatches";
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 5u);
+
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_EQ(stats["serve.requests"], 6u);
+  EXPECT_EQ(stats["serve.responses"], 6u);
+  EXPECT_EQ(stats["serve.coalesce.batches"], 1u);
+  EXPECT_EQ(stats["serve.coalesce.batched_requests"], 5u);
+  EXPECT_EQ(stats["serve.coalesce.max_batch"], 8u);
+}
+
+TEST(ServerTest, CoalescingDisabledDispatchesEveryRequestAlone) {
+  StallingBatchHandler handler;
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("nocoal");
+  sopts.queue_capacity = 16;
+  sopts.coalesce_max_batch = 1;  // the pre-coalescing behavior
+  Server server(&handler, sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ScoreRequest req;
+    req.request_id = id;
+    req.tweet_id = 5;
+    req.users = {1};
+    ASSERT_TRUE(WriteFrame(fd.ValueOrDie(), EncodeScoreRequest(req)).ok());
+  }
+  handler.WaitUntilCalls(1);
+  for (int spin = 0; spin < 5000; ++spin) {
+    std::map<std::string, uint64_t> s;
+    server.SnapshotStats(&s);
+    if (s["serve.requests"] >= 4) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  handler.Release();
+  for (size_t i = 0; i < 4; ++i) {
+    std::string payload;
+    bool eof = false;
+    ASSERT_TRUE(ReadFrame(fd.ValueOrDie(), &payload, &eof).ok());
+    ASSERT_FALSE(eof);
+  }
+  close(fd.ValueOrDie());
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+
+  for (const size_t size : handler.batch_sizes()) {
+    EXPECT_EQ(size, 1u) << "max_batch=1 must never fuse";
+  }
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_EQ(stats["serve.coalesce.batches"], 0u);
+  EXPECT_EQ(stats["serve.coalesce.batched_requests"], 0u);
+}
+
+// ---------------------------------------------------------- TCP listener --
+
+TEST(ServerTest, TcpListenerServesByteIdenticalScores) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.listen_address = "127.0.0.1:0";  // kernel-assigned port, no Unix
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.tcp_port(), 0) << "port 0 must resolve to a bound port";
+
+  auto fd = ConnectTcpTo(server.tcp_port());
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  const auto reqs = MakeRequests(f, 6, 311);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    auto resp = RoundTrip(fd.ValueOrDie(), reqs[i]);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp.ValueOrDie().code, ResponseCode::kOk)
+        << resp.ValueOrDie().message;
+    ExpectBitIdentical(resp.ValueOrDie().scores, DirectScores(f, reqs[i]),
+                       "tcp vs direct req " + std::to_string(i));
+  }
+  close(fd.ValueOrDie());
+
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+  std::map<std::string, uint64_t> stats;
+  server.SnapshotStats(&stats);
+  EXPECT_EQ(stats["serve.requests"], reqs.size());
+  EXPECT_EQ(stats["serve.responses"], reqs.size());
+  // The drain closed the TCP listener: new connections must fail.
+  EXPECT_FALSE(ConnectTcpTo(server.tcp_port()).ok());
+}
+
+TEST(ServerTest, BothTransportsServeTheSameBytesSimultaneously) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("dual");
+  sopts.listen_address = "127.0.0.1:0";
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.tcp_port(), 0);
+
+  auto unix_fd = ConnectTo(sopts.socket_path);
+  auto tcp_fd = ConnectTcpTo(server.tcp_port());
+  ASSERT_TRUE(unix_fd.ok());
+  ASSERT_TRUE(tcp_fd.ok());
+  for (const ScoreRequest& req : MakeRequests(f, 4, 733)) {
+    auto via_unix = RoundTrip(unix_fd.ValueOrDie(), req);
+    auto via_tcp = RoundTrip(tcp_fd.ValueOrDie(), req);
+    ASSERT_TRUE(via_unix.ok());
+    ASSERT_TRUE(via_tcp.ok());
+    ASSERT_EQ(via_unix.ValueOrDie().code, ResponseCode::kOk);
+    ASSERT_EQ(via_tcp.ValueOrDie().code, ResponseCode::kOk);
+    // Same frame protocol, same admission path, same bytes out.
+    ExpectBitIdentical(via_tcp.ValueOrDie().scores,
+                       via_unix.ValueOrDie().scores, "tcp vs unix");
+    ExpectBitIdentical(via_unix.ValueOrDie().scores, DirectScores(f, req),
+                       "unix vs direct");
+  }
+  close(unix_fd.ValueOrDie());
+  close(tcp_fd.ValueOrDie());
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+}
+
+// ----------------------------------------------------- Stale socket files --
+
+TEST(ServerTest, StaleSocketFileFromKilledRunIsReclaimed) {
+  // A SIGKILL'd daemon leaves its socket inode behind. Start() must
+  // connect-probe it, find nobody home, unlink, and bind fresh.
+  const std::string path = TestSocketPath("stale");
+  {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    ASSERT_LT(path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, path.c_str(), path.size());
+    unlink(path.c_str());
+    ASSERT_EQ(
+        bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)), 0);
+    close(fd);  // no unlink: the inode stays, with no listener behind it
+  }
+  ASSERT_EQ(access(path.c_str(), F_OK), 0);
+  ASSERT_FALSE(ConnectTo(path).ok());  // it really is dead
+
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = path;
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok()) << "stale socket file must be reclaimed";
+
+  auto fd = ConnectTo(path);
+  ASSERT_TRUE(fd.ok());
+  const auto reqs = MakeRequests(f, 1, 17);
+  auto resp = RoundTrip(fd.ValueOrDie(), reqs[0]);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.ValueOrDie().code, ResponseCode::kOk);
+  close(fd.ValueOrDie());
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+}
+
+TEST(ServerTest, LiveServersSocketIsNeverStolen) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("live");
+  Server first(handler.get(), sopts);
+  ASSERT_TRUE(first.Start().ok());
+
+  // The connect probe reaches the live daemon, so the second Start()
+  // must refuse rather than unlink a socket that is still answering.
+  Server second(handler.get(), sopts);
+  const Status st = second.Start();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("refusing"), std::string::npos)
+      << st.ToString();
+
+  // And the refusal must not have disturbed the live server.
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  const auto reqs = MakeRequests(f, 1, 23);
+  auto resp = RoundTrip(fd.ValueOrDie(), reqs[0]);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp.ValueOrDie().code, ResponseCode::kOk);
+  close(fd.ValueOrDie());
+  first.RequestShutdown();
+  ASSERT_TRUE(first.Wait().ok());
 }
 
 TEST(ServerTest, TracingTheServePathDoesNotPerturbScores) {

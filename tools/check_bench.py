@@ -36,7 +36,14 @@ Serve-sweep floors (BENCH_serve.json, emitted by tools/load_driver) gate
 shape, not speed: every sweep point must answer requests and drop none
 (answered-or-shed, never lost), the lowest-QPS point must run entirely
 unshed, and p99 must stay finite under a loose ceiling when the driver's
-obs histograms counted.
+obs histograms counted. --serve-tcp holds a TCP-transport sweep to the
+same shape floors; --serve-unbatched (a sweep against a daemon run with
+--coalesce-max-batch=1) additionally arms the coalescing ratio gate:
+at the last (highest-QPS, saturated) sweep point, the batched daemon's
+ok-throughput must beat the unbatched daemon's by
+hot_set_min_batched_speedup while shedding no more than it — the
+same-tweet coalescing dispatcher's reason to exist, stated as a
+hardware-independent ratio.
 
 Usage:
   check_bench.py [--floors tools/bench_floors.json]
@@ -45,6 +52,8 @@ Usage:
                  [--kernels BENCH_kernels.json]
                  [--store BENCH_store.json]
                  [--serve BENCH_serve.json]
+                 [--serve-tcp BENCH_serve_tcp.json]
+                 [--serve-unbatched BENCH_serve_unbatched.json]
                  [--require SECTION ...]
 
 At least one of the bench files must exist; missing files are skipped
@@ -192,7 +201,7 @@ def check_store(bench, floors, violations):
         print(f"  info store bloom fp_rate: {fp_rate:g}")
 
 
-def check_serve(bench, floors, violations):
+def check_serve(bench, floors, violations, label="serve"):
     """Shape of the open-loop daemon sweep (BENCH_serve.json).
 
     Absolute throughput and latency vary with the runner, so the gate
@@ -207,30 +216,30 @@ def check_serve(bench, floors, violations):
     min_points = floors["min_points"]
     if len(points) < min_points:
         violations.append(
-            f"serve: {len(points)} sweep points, floor {min_points}")
+            f"{label}: {len(points)} sweep points, floor {min_points}")
         return
     max_p99 = floors["max_p99_ns"]
     obs_in = bench.get("obs_compiled_in", True)
     if not obs_in:
-        print("  skip serve p99 ceiling: obs compiled out "
+        print(f"  skip {label} p99 ceiling: obs compiled out "
               "(driver histograms did not count)")
     for i, p in enumerate(points):
         tag = f"point {i} ({p.get('target_qps', '?')} qps)"
         dropped = p.get("dropped", 0)
         if dropped:
             violations.append(
-                f"serve {tag}: {dropped} requests neither answered nor shed")
+                f"{label} {tag}: {dropped} requests neither answered nor shed")
             continue
         if p.get("ok", 0) <= 0:
-            violations.append(f"serve {tag}: answered nothing")
+            violations.append(f"{label} {tag}: answered nothing")
             continue
-        line = (f"serve {tag}: ok={p['ok']} shed={p.get('shed', 0)} "
+        line = (f"{label} {tag}: ok={p['ok']} shed={p.get('shed', 0)} "
                 "dropped=0")
         if obs_in:
             p99 = p.get("latency_ns", {}).get("p99", 0)
             if not 0 < p99 <= max_p99:
                 violations.append(
-                    f"serve {tag}: p99={p99}ns outside (0, {max_p99:g}]")
+                    f"{label} {tag}: p99={p99}ns outside (0, {max_p99:g}]")
                 continue
             line += f" p99={p99 / 1e6:.3f}ms"
         print(f"  ok   {line}")
@@ -238,13 +247,83 @@ def check_serve(bench, floors, violations):
     first_shed = first.get("shed", 0) + first.get("server_shed_delta", 0)
     if first_shed:
         violations.append(
-            "serve: lowest-QPS point shed "
+            f"{label}: lowest-QPS point shed "
             f"{first_shed} requests below capacity")
     else:
-        print("  ok   serve lowest-QPS point: zero shed below capacity")
+        print(f"  ok   {label} lowest-QPS point: zero shed below capacity")
 
 
-SECTIONS = ("serving", "parallel", "kernels", "store", "serve")
+def check_serve_tcp(bench, floors, violations):
+    """The TCP-transport sweep answers to the same shape floors."""
+    if bench.get("transport") != "tcp":
+        violations.append(
+            "serve_tcp: bench file does not record transport=tcp "
+            f"(got {bench.get('transport')!r}); wrong file wired into CI?")
+        return
+    check_serve(bench, floors, violations, label="serve_tcp")
+
+
+def _last_point_throughput(bench):
+    """ok-throughput (answered ok / elapsed) of the last sweep point."""
+    points = bench.get("points", [])
+    if not points:
+        return None, None
+    p = points[-1]
+    elapsed = p.get("elapsed_s", 0)
+    if not elapsed:
+        return None, p
+    return p.get("ok", 0) / elapsed, p
+
+
+def check_coalesce_ratio(batched, unbatched, floors, violations):
+    """Batched-vs-unbatched hot-set ratio at the saturated last point.
+
+    The claim coalescing exists for: against the same hot-set workload,
+    at an offered load past the unbatched daemon's capacity, the batched
+    daemon answers >= hot_set_min_batched_speedup times as many requests
+    per second while shedding no more. Both sweeps must saturate the
+    unbatched daemon (its last point must shed) — an unsaturated sweep
+    would compare two idle daemons at ratio ~1 and tell us nothing.
+    """
+    floor = floors["hot_set_min_batched_speedup"]
+    b_tput, b_last = _last_point_throughput(batched)
+    u_tput, u_last = _last_point_throughput(unbatched)
+    if b_tput is None or u_tput is None or u_tput == 0:
+        violations.append(
+            "coalesce: cannot compute last-point ok-throughput "
+            "(empty sweep or zero elapsed time)")
+        return
+    if batched.get("hot_set", 0) <= 0 or unbatched.get("hot_set", 0) <= 0:
+        violations.append(
+            "coalesce: ratio gate needs --hot-set sweeps on both daemons "
+            f"(batched hot_set={batched.get('hot_set')}, "
+            f"unbatched hot_set={unbatched.get('hot_set')})")
+        return
+    u_shed = u_last.get("shed", 0) + u_last.get("server_shed_delta", 0)
+    b_shed = b_last.get("shed", 0) + b_last.get("server_shed_delta", 0)
+    if u_shed == 0:
+        violations.append(
+            "coalesce: unbatched sweep never saturated (last point shed 0) "
+            "— raise the top --qps so the ratio measures capacity")
+        return
+    ratio = b_tput / u_tput
+    avg_batch = b_last.get("coalesce", {}).get("avg_batch", 0)
+    line = (f"coalesce hot-set ratio: batched {b_tput:.0f} ok/s vs "
+            f"unbatched {u_tput:.0f} ok/s = {ratio:.2f}x "
+            f"(floor {floor:g}x, avg_batch {avg_batch:g}, "
+            f"shed {b_shed} vs {u_shed})")
+    if ratio < floor:
+        violations.append(line)
+    elif b_shed > u_shed:
+        violations.append(
+            f"coalesce: batched daemon shed more ({b_shed} > {u_shed}) "
+            "at the same offered load")
+    else:
+        print(f"  ok   {line}")
+
+
+SECTIONS = ("serving", "parallel", "kernels", "store", "serve",
+            "serve_tcp", "serve_unbatched")
 
 
 def main():
@@ -255,6 +334,8 @@ def main():
     ap.add_argument("--kernels", default="BENCH_kernels.json")
     ap.add_argument("--store", default="BENCH_store.json")
     ap.add_argument("--serve", default="BENCH_serve.json")
+    ap.add_argument("--serve-tcp", default="BENCH_serve_tcp.json")
+    ap.add_argument("--serve-unbatched", default="BENCH_serve_unbatched.json")
     ap.add_argument(
         "--require", nargs="*", default=[], choices=SECTIONS, metavar="SECTION",
         help="sections whose bench file must exist (missing -> exit 2)")
@@ -264,14 +345,24 @@ def main():
     violations = []
     checked_any = False
 
+    def check_serve_unbatched(bench, section_floors, out):
+        check_serve(bench, section_floors, out, label="serve_unbatched")
+
+    # (section name, path, checker, description, floors key) — the three
+    # serve sweeps share the "serve" floors block.
     sections = [
-        ("serving", args.serving, check_serving, "serving bench"),
-        ("parallel", args.parallel, check_parallel, "parallel bench"),
-        ("kernels", args.kernels, check_kernels, "kernel bench"),
-        ("store", args.store, check_store, "store bench"),
-        ("serve", args.serve, check_serve, "serve bench"),
+        ("serving", args.serving, check_serving, "serving bench", "serving"),
+        ("parallel", args.parallel, check_parallel, "parallel bench",
+         "parallel"),
+        ("kernels", args.kernels, check_kernels, "kernel bench", "kernels"),
+        ("store", args.store, check_store, "store bench", "store"),
+        ("serve", args.serve, check_serve, "serve bench", "serve"),
+        ("serve_tcp", args.serve_tcp, check_serve_tcp, "serve TCP bench",
+         "serve"),
+        ("serve_unbatched", args.serve_unbatched, check_serve_unbatched,
+         "serve unbatched bench", "serve"),
     ]
-    for name, path, check, what in sections:
+    for name, path, check, what, floors_key in sections:
         if not os.path.exists(path):
             if name in args.require:
                 print(f"FAIL: required {what} output {path} is missing")
@@ -280,13 +371,28 @@ def main():
         print(f"checking {path}")
         bench = load_json(path, what)
         try:
-            section_floors = floors[name]
+            section_floors = floors[floors_key]
             check(bench, section_floors, violations)
         except KeyError as e:
             print(f"FAIL: floors file {args.floors} is missing key {e} "
                   f"for section '{name}'")
             return 2
         checked_any = True
+
+    # The coalescing ratio gate arms itself when both the batched and the
+    # unbatched hot-set sweeps are present.
+    if os.path.exists(args.serve) and os.path.exists(args.serve_unbatched):
+        print("checking coalescing ratio "
+              f"({args.serve} vs {args.serve_unbatched})")
+        batched = load_json(args.serve, "serve bench")
+        unbatched = load_json(args.serve_unbatched, "serve unbatched bench")
+        try:
+            check_coalesce_ratio(batched, unbatched, floors["serve"],
+                                 violations)
+        except KeyError as e:
+            print(f"FAIL: floors file {args.floors} is missing key {e} "
+                  "for section 'serve'")
+            return 2
 
     if not checked_any:
         print("FAIL: no bench output file exists "

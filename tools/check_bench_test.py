@@ -39,6 +39,7 @@ FLOORS = {
     "serve": {
         "min_points": 3,
         "max_p99_ns": 5000000000,
+        "hot_set_min_batched_speedup": 1.3,
     },
 }
 
@@ -50,13 +51,19 @@ STORE_BENCH = {
 }
 
 
-def serve_point(qps, ok, shed=0, dropped=0, p99=2_000_000):
+def serve_point(qps, ok, shed=0, dropped=0, p99=2_000_000, elapsed=1.0,
+                batches=0, batched_requests=0):
     return {
-        "target_qps": qps, "achieved_qps": qps, "ok": ok, "shed": shed,
+        "target_qps": qps, "achieved_qps": qps, "elapsed_s": elapsed,
+        "ok": ok, "shed": shed,
         "errors": 0, "dropped": dropped,
         "latency_ns": {"mean": p99 / 3, "p50": p99 / 4, "p95": p99 / 1.3,
                        "p99": p99},
         "server_shed_delta": shed, "server_queue_depth_peak": 1,
+        "coalesce": {
+            "batches": batches, "batched_requests": batched_requests,
+            "avg_batch": batched_requests / batches if batches else 0,
+        },
     }
 
 
@@ -68,6 +75,25 @@ SERVE_BENCH = {
     "points": [serve_point(20, 240), serve_point(40, 240),
                serve_point(80, 231, shed=9)],
 }
+
+
+def hot_set_bench(last_ok, last_shed, batches=0, batched_requests=0,
+                  hot_set=4, transport="unix"):
+    """A 3-point hot-set sweep whose last point saturates."""
+    return {
+        "bench": "serve_open_loop",
+        "obs_compiled_in": True,
+        "connections": 8,
+        "workers": 2,
+        "transport": transport,
+        "hot_set": hot_set,
+        "skew": 1.2,
+        "points": [
+            serve_point(1500, 300), serve_point(6000, 300),
+            serve_point(24000, last_ok, shed=last_shed, batches=batches,
+                        batched_requests=batched_requests),
+        ],
+    }
 
 
 def run_gate(tmp, *extra_args, floors=FLOORS, env_extra=None):
@@ -85,7 +111,8 @@ def run_gate(tmp, *extra_args, floors=FLOORS, env_extra=None):
         sys.executable, CHECK_BENCH, "--floors", floors_path,
         "--serving", "serving.json", "--parallel", "parallel.json",
         "--kernels", "kernels.json", "--store", "store.json",
-        "--serve", "serve.json",
+        "--serve", "serve.json", "--serve-tcp", "serve_tcp.json",
+        "--serve-unbatched", "serve_unbatched.json",
     ]
     args += list(extra_args)
     return subprocess.run(args, cwd=tmp, env=env,
@@ -227,6 +254,86 @@ def test_serve_p99_gate_respects_obs_compiled_out():
         proc = run_gate(tmp)
         assert proc.returncode == 1, proc.stdout
         assert "p99" in proc.stdout
+
+
+def test_serve_tcp_shape_pass_and_wrong_transport_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        bench = json.loads(json.dumps(SERVE_BENCH))
+        bench["transport"] = "tcp"
+        write(tmp, "serve_tcp.json", bench)
+        proc = run_gate(tmp, "--require", "serve_tcp")
+        assert proc.returncode == 0, proc.stdout
+        assert "serve_tcp lowest-QPS point" in proc.stdout
+        # A unix-transport sweep wired into the TCP slot is a CI bug.
+        bench["transport"] = "unix"
+        write(tmp, "serve_tcp.json", bench)
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "transport=tcp" in proc.stdout
+
+
+def test_serve_tcp_required_but_missing():
+    with tempfile.TemporaryDirectory() as tmp:
+        proc = run_gate(tmp, "--require", "serve_tcp")
+        assert_one_line_error(proc)
+        assert "serve_tcp.json" in proc.stdout
+
+
+def test_coalesce_ratio_pass():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "serve.json",
+              hot_set_bench(450, 50, batches=90, batched_requests=430))
+        write(tmp, "serve_unbatched.json", hot_set_bench(300, 200))
+        proc = run_gate(tmp, "--require", "serve", "serve_unbatched")
+        assert proc.returncode == 0, proc.stdout
+        assert "coalesce hot-set ratio" in proc.stdout
+        assert "1.50x" in proc.stdout
+
+
+def test_coalesce_ratio_below_floor_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        # 310/300 = 1.03x < 1.3x floor: coalescing stopped paying off.
+        write(tmp, "serve.json",
+              hot_set_bench(310, 190, batches=90, batched_requests=430))
+        write(tmp, "serve_unbatched.json", hot_set_bench(300, 200))
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "coalesce hot-set ratio" in proc.stdout
+
+
+def test_coalesce_batched_sheds_more_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        # Throughput ratio holds but the batched daemon sheds MORE — the
+        # "same shed rate" half of the claim broke.
+        write(tmp, "serve.json",
+              hot_set_bench(450, 300, batches=90, batched_requests=430))
+        write(tmp, "serve_unbatched.json", hot_set_bench(300, 200))
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "shed more" in proc.stdout
+
+
+def test_coalesce_unsaturated_sweep_fails():
+    with tempfile.TemporaryDirectory() as tmp:
+        # The unbatched daemon never shed: the sweep compared two idle
+        # daemons, which proves nothing about capacity.
+        write(tmp, "serve.json",
+              hot_set_bench(450, 0, batches=90, batched_requests=430))
+        write(tmp, "serve_unbatched.json", hot_set_bench(450, 0))
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "never saturated" in proc.stdout
+
+
+def test_coalesce_requires_hot_set_workload():
+    with tempfile.TemporaryDirectory() as tmp:
+        write(tmp, "serve.json",
+              hot_set_bench(450, 50, batches=90, batched_requests=430,
+                            hot_set=0))
+        write(tmp, "serve_unbatched.json", hot_set_bench(300, 200))
+        proc = run_gate(tmp)
+        assert proc.returncode == 1, proc.stdout
+        assert "--hot-set" in proc.stdout
 
 
 def test_no_bench_files_at_all():

@@ -1,29 +1,39 @@
 // load_driver — open-loop workload client for retina_serve.
 //
-//   load_driver --socket PATH [--qps 20,40,80] [--requests N]
+//   load_driver --connect URI [--qps 20,40,80] [--requests N]
 //               [--connections C] [--users-per-request K] [--seed S]
+//               [--hot-set K] [--skew S]
 //               [--out BENCH_serve.json] [--metrics-out FILE]
 //               [--timeout-secs T] [--smoke]
 //
-// For each target QPS the driver opens C connections; each connection
-// runs a sender thread that fires score requests on a deterministic
-// exponential arrival schedule (Rng::Stream(seed, conn) — open loop: the
-// sender never waits for responses, so server latency cannot throttle
-// offered load the way a closed-loop bench does) and a receiver thread
-// that matches responses by request id and records client-side latency
-// into retina::obs histograms. Request content replays the generated
-// world's cascade shape: tweet ids uniform over the world, candidate
-// users Zipf-flavored (80% from a hot pool of num_users/4, like
-// bench_serving's request stream).
+// --connect takes "unix:PATH", "tcp:HOST:PORT", or a bare filesystem
+// path (treated as unix:); --socket PATH survives as an alias for the
+// unix form. For each target QPS the driver opens C connections; each
+// connection runs a sender thread that fires score requests on a
+// deterministic exponential arrival schedule (Rng::Stream(seed, conn) —
+// open loop: the sender never waits for responses, so server latency
+// cannot throttle offered load the way a closed-loop bench does) and a
+// receiver thread that matches responses by request id and records
+// client-side latency into retina::obs histograms. Request content
+// replays the generated world's cascade shape: tweet ids uniform over
+// the world, candidate users Zipf-flavored (80% from a hot pool of
+// num_users/4, like bench_serving's request stream). --hot-set K
+// concentrates tweet ids on K hot tweets drawn Zipf(--skew) — the
+// paper's cascade-storm shape, and the workload the server's same-tweet
+// coalescing is built for.
 //
 // The sweep emits BENCH_serve.json: one point per target QPS with
 // achieved throughput, p50/p95/p99 latency (from the obs histogram, so
 // quantiles are log2-bucket upper bounds), client-side ok/shed/error/
-// dropped counts, and the server's own shed / queue-depth-peak deltas
-// fetched over the kStats protocol message. check_bench.py gates the
-// shape of this curve (p99 finite, zero shed below capacity), never
-// absolute latency.
+// dropped counts, and the server's own shed / queue-depth-peak /
+// coalescing deltas fetched over the kStats protocol message.
+// check_bench.py gates the shape of this curve (p99 finite, zero shed
+// below capacity) and the batched-vs-unbatched hot-set throughput
+// ratio, never absolute latency.
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -31,6 +41,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,8 +64,21 @@ namespace {
 
 using namespace retina;
 
+/// Where to connect: a Unix-domain socket path or a TCP host:port, as
+/// parsed from --connect / --socket.
+struct Target {
+  bool tcp = false;
+  std::string path;  ///< unix socket path (tcp == false)
+  std::string host;  ///< tcp host (tcp == true)
+  std::string port;  ///< tcp port (tcp == true)
+
+  std::string Describe() const {
+    return tcp ? "tcp:" + host + ":" + port : "unix:" + path;
+  }
+};
+
 struct Args {
-  std::string socket;
+  Target target;
   std::string out = "BENCH_serve.json";
   std::string metrics_out;
   std::string trace_out;
@@ -65,6 +89,8 @@ struct Args {
   size_t connections = 4;
   size_t users_per_request = 8;
   size_t warmup = 32;
+  size_t hot_set = 0;  ///< 0 = uniform tweets; K = Zipf over K hot tweets
+  double skew = 1.0;   ///< Zipf exponent for --hot-set
   uint64_t seed = 7;
   double timeout_secs = 60.0;
   bool smoke = false;
@@ -73,13 +99,21 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: load_driver --socket PATH [options]\n"
+      "usage: load_driver --connect URI [options]\n"
+      "  --connect URI          unix:PATH, tcp:HOST:PORT, or a bare\n"
+      "                         filesystem path (treated as unix:)\n"
+      "  --socket PATH          alias for --connect unix:PATH\n"
       "  --qps LIST             comma-separated target QPS sweep\n"
       "                         (default 20,40,80; >= 3 points for the\n"
       "                         throughput-vs-latency curve)\n"
       "  --requests N           requests per point across all connections\n"
       "  --connections C        concurrent client connections (default 4)\n"
       "  --users-per-request K  candidate users per score request\n"
+      "  --hot-set K            concentrate tweet ids on K hot tweets\n"
+      "                         drawn Zipf(--skew) instead of uniform —\n"
+      "                         the cascade-storm workload coalescing\n"
+      "                         feeds on (default 0 = uniform)\n"
+      "  --skew S               Zipf exponent for --hot-set (default 1.0)\n"
       "  --seed S               arrival/content seed (deterministic)\n"
       "  --out FILE             BENCH json (default BENCH_serve.json)\n"
       "  --metrics-out FILE     dump the driver's obs registry as JSON\n"
@@ -90,6 +124,28 @@ int Usage() {
       "  --timeout-secs T       per-point response deadline slack\n"
       "  --smoke                CI-sized sweep (fewer requests)\n");
   return 2;
+}
+
+/// Parses "unix:PATH" / "tcp:HOST:PORT" / bare path into a Target.
+bool ParseTarget(const std::string& uri, Target* target) {
+  if (uri.rfind("unix:", 0) == 0) {
+    target->tcp = false;
+    target->path = uri.substr(5);
+    return !target->path.empty();
+  }
+  if (uri.rfind("tcp:", 0) == 0) {
+    const std::string rest = uri.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) return false;
+    target->tcp = true;
+    target->host = rest.substr(0, colon);
+    target->port = rest.substr(colon + 1);
+    if (target->host.empty()) target->host = "127.0.0.1";
+    return !target->port.empty();
+  }
+  target->tcp = false;
+  target->path = uri;
+  return !target->path.empty();
 }
 
 int UnknownFlag(const std::string& arg) {
@@ -134,11 +190,19 @@ bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
       return false;
     };
     std::string value;
-    if (take("--socket", &args->socket) || take("--out", &args->out) ||
+    if (take("--out", &args->out) ||
         take("--metrics-out", &args->metrics_out) ||
         take("--trace-out", &args->trace_out) ||
         take("--verify-data", &args->verify_data) ||
         take("--verify-model", &args->verify_model)) {
+      continue;
+    }
+    if (take("--connect", &value) || take("--socket", &value)) {
+      if (!ParseTarget(value, &args->target)) {
+        std::fprintf(stderr, "bad --connect target: %s\n", value.c_str());
+        *rc = 2;
+        return false;
+      }
       continue;
     }
     if (take("--qps", &qps_list)) continue;
@@ -152,6 +216,14 @@ bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
     }
     if (take("--users-per-request", &value)) {
       args->users_per_request = static_cast<size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (take("--hot-set", &value)) {
+      args->hot_set = static_cast<size_t>(std::atoll(value.c_str()));
+      continue;
+    }
+    if (take("--skew", &value)) {
+      args->skew = std::atof(value.c_str());
       continue;
     }
     if (take("--seed", &value)) {
@@ -178,12 +250,13 @@ bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
     args->requests = std::min<size_t>(args->requests, 48);
     args->warmup = std::min<size_t>(args->warmup, 16);
   }
-  if (args->socket.empty()) {
+  if (args->target.path.empty() && args->target.host.empty()) {
     *rc = Usage();
     return false;
   }
   if (args->connections == 0) args->connections = 1;
   if (args->users_per_request == 0) args->users_per_request = 1;
+  if (args->skew < 0.0) args->skew = 0.0;
   return true;
 }
 
@@ -194,7 +267,7 @@ uint64_t NowNs() {
           .count());
 }
 
-Result<int> Connect(const std::string& path) {
+Result<int> ConnectUnix(const std::string& path) {
   struct sockaddr_un addr;
   if (path.size() >= sizeof(addr.sun_path)) {
     return Status::InvalidArgument("socket path too long: " + path);
@@ -217,10 +290,48 @@ Result<int> Connect(const std::string& path) {
   return fd;
 }
 
+Result<int> ConnectTcp(const std::string& host, const std::string& port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::InvalidArgument("cannot resolve tcp:" + host + ":" + port +
+                                   ": " + ::gai_strerror(gai));
+  }
+  Status st = Status::IOError("no usable address for tcp:" + host + ":" + port);
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      // Frames are whole messages; don't let Nagle sit on them.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      st = Status::OK();
+      break;
+    }
+    st = Status::IOError("connect tcp:" + host + ":" + port +
+                         " failed: " + std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (!st.ok()) return st;
+  return fd;
+}
+
+Result<int> Connect(const Target& target) {
+  return target.tcp ? ConnectTcp(target.host, target.port)
+                    : ConnectUnix(target.path);
+}
+
 /// One kStats round trip on a fresh connection.
-Status QueryStats(const std::string& path,
+Status QueryStats(const Target& target,
                   std::map<std::string, uint64_t>* stats) {
-  auto fd_result = Connect(path);
+  auto fd_result = Connect(target);
   if (!fd_result.ok()) return fd_result.status();
   const int fd = fd_result.ValueOrDie();
   serve::StatsRequest req;
@@ -247,33 +358,74 @@ uint64_t StatOr(const std::map<std::string, uint64_t>& stats,
   return it == stats.end() ? fallback : it->second;
 }
 
-/// Deterministic request content: uniform tweet, Zipf-flavored users.
-serve::ScoreRequest MakeRequest(Rng* rng, uint64_t request_id,
-                                uint64_t num_tweets, uint64_t num_users,
-                                size_t users_per_request) {
-  serve::ScoreRequest req;
-  req.request_id = request_id;
-  req.tweet_id = rng->UniformInt(num_tweets);
-  const uint64_t hot = std::max<uint64_t>(1, num_users / 4);
-  req.users.reserve(users_per_request);
-  for (size_t k = 0; k < users_per_request; ++k) {
-    const uint64_t limit = rng->Bernoulli(0.8) ? hot : num_users;
-    req.users.push_back(static_cast<uint32_t>(rng->UniformInt(limit)));
+/// Deterministic request-content sampler: tweet ids either uniform over
+/// the world or Zipf-concentrated on a hot set (--hot-set/--skew), user
+/// ids Zipf-flavored (80% from a hot pool of num_users/4). One Workload
+/// is shared read-only by every sender thread.
+class Workload {
+ public:
+  Workload(uint64_t num_tweets, uint64_t num_users, size_t users_per_request,
+           size_t hot_set, double skew)
+      : num_tweets_(num_tweets),
+        num_users_(num_users),
+        users_per_request_(users_per_request) {
+    if (hot_set == 0) return;
+    const size_t k = std::min<size_t>(hot_set, num_tweets);
+    // Zipf over ranks: weight(r) = 1/(r+1)^skew, precomputed as a CDF so
+    // each draw is one Uniform() + binary search. Rank r maps to tweet
+    // id (r*num_tweets)/k — hot tweets spread across the id space, so a
+    // hot-set workload still touches distinct tweet-side contexts.
+    cdf_.reserve(k);
+    double total = 0.0;
+    for (size_t r = 0; r < k; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+      cdf_.push_back(total);
+    }
+    for (double& v : cdf_) v /= total;
+    hot_ids_.reserve(k);
+    for (size_t r = 0; r < k; ++r) {
+      hot_ids_.push_back(r * num_tweets / k);
+    }
   }
-  return req;
-}
+
+  serve::ScoreRequest MakeRequest(Rng* rng, uint64_t request_id) const {
+    serve::ScoreRequest req;
+    req.request_id = request_id;
+    if (cdf_.empty()) {
+      req.tweet_id = rng->UniformInt(num_tweets_);
+    } else {
+      const double u = rng->Uniform();
+      const size_t rank = static_cast<size_t>(
+          std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+      req.tweet_id = hot_ids_[std::min(rank, hot_ids_.size() - 1)];
+    }
+    const uint64_t hot_users = std::max<uint64_t>(1, num_users_ / 4);
+    req.users.reserve(users_per_request_);
+    for (size_t k = 0; k < users_per_request_; ++k) {
+      const uint64_t limit = rng->Bernoulli(0.8) ? hot_users : num_users_;
+      req.users.push_back(static_cast<uint32_t>(rng->UniformInt(limit)));
+    }
+    return req;
+  }
+
+ private:
+  const uint64_t num_tweets_;
+  const uint64_t num_users_;
+  const size_t users_per_request_;
+  std::vector<double> cdf_;       ///< Zipf CDF over hot ranks (may be empty)
+  std::vector<uint64_t> hot_ids_; ///< rank -> tweet id
+};
 
 /// Cross-process determinism pin (--verify-data/--verify-model): replays a
 /// deterministic request stream against the daemon and against the same
 /// bundle loaded in-process, requiring every score's f64 bit pattern to
 /// match — the serve e2e's byte-identity acceptance gate.
-Status VerifyByteIdentity(const Args& args, uint64_t num_tweets,
-                          uint64_t num_users) {
+Status VerifyByteIdentity(const Args& args, const Workload& workload) {
   auto handler_result =
       serve::RequestHandler::Open(args.verify_data, args.verify_model, {});
   RETINA_RETURN_NOT_OK(handler_result.status());
   const auto handler = std::move(handler_result).ValueOrDie();
-  auto fd_result = Connect(args.socket);
+  auto fd_result = Connect(args.target);
   RETINA_RETURN_NOT_OK(fd_result.status());
   const int fd = fd_result.ValueOrDie();
   Rng rng = Rng::Stream(args.seed ^ 0xBEEFULL, 0);
@@ -281,8 +433,7 @@ Status VerifyByteIdentity(const Args& args, uint64_t num_tweets,
   constexpr size_t kVerifyRequests = 32;
   size_t checked = 0;
   for (size_t i = 0; i < kVerifyRequests && st.ok(); ++i) {
-    const serve::ScoreRequest req = MakeRequest(
-        &rng, i, num_tweets, num_users, args.users_per_request);
+    const serve::ScoreRequest req = workload.MakeRequest(&rng, i);
     st = serve::WriteFrame(fd, serve::EncodeScoreRequest(req));
     if (!st.ok()) break;
     std::string payload;
@@ -343,6 +494,8 @@ struct PointResult {
   uint64_t server_requests_delta = 0;
   uint64_t server_responses_delta = 0;
   uint64_t server_queue_depth_peak = 0;
+  uint64_t coalesce_batches_delta = 0;
+  uint64_t coalesce_batched_requests_delta = 0;
 };
 
 /// Per-connection receive-side tallies, written by the receiver thread.
@@ -377,17 +530,17 @@ struct DriverHooks {
 /// setup failures; per-connection transport errors surface as dropped
 /// requests in the result.
 Status RunPoint(const Args& args, size_t point_idx, double target_qps,
-                uint64_t num_tweets, uint64_t num_users,
-                const DriverHooks& hooks, PointResult* result) {
+                const Workload& workload, const DriverHooks& hooks,
+                PointResult* result) {
   const size_t conns = args.connections;
   result->target_qps = target_qps;
 
   std::map<std::string, uint64_t> before;
-  RETINA_RETURN_NOT_OK(QueryStats(args.socket, &before));
+  RETINA_RETURN_NOT_OK(QueryStats(args.target, &before));
 
   std::vector<int> fds(conns, -1);
   for (size_t c = 0; c < conns; ++c) {
-    auto fd_result = Connect(args.socket);
+    auto fd_result = Connect(args.target);
     if (!fd_result.ok()) {
       for (int fd : fds) {
         if (fd >= 0) ::close(fd);
@@ -439,8 +592,7 @@ Status RunPoint(const Args& args, size_t point_idx, double target_qps,
                               std::chrono::steady_clock::duration>(
                               std::chrono::duration<double>(t)));
         const uint64_t rid = (static_cast<uint64_t>(c) << 32) | i;
-        const serve::ScoreRequest req = MakeRequest(
-            &rng, rid, num_tweets, num_users, args.users_per_request);
+        const serve::ScoreRequest req = workload.MakeRequest(&rng, rid);
         send_ns[c][i].store(NowNs(), std::memory_order_release);
         const Status st =
             serve::WriteFrame(fds[c], serve::EncodeScoreRequest(req));
@@ -526,7 +678,7 @@ Status RunPoint(const Args& args, size_t point_idx, double target_qps,
   result->latency_p99_ns = hooks.latency_ns->Quantile(0.99);
 
   std::map<std::string, uint64_t> after;
-  RETINA_RETURN_NOT_OK(QueryStats(args.socket, &after));
+  RETINA_RETURN_NOT_OK(QueryStats(args.target, &after));
   result->server_shed_delta =
       StatOr(after, "serve.shed", 0) - StatOr(before, "serve.shed", 0);
   result->server_requests_delta = StatOr(after, "serve.requests", 0) -
@@ -534,6 +686,12 @@ Status RunPoint(const Args& args, size_t point_idx, double target_qps,
   result->server_responses_delta = StatOr(after, "serve.responses", 0) -
                                    StatOr(before, "serve.responses", 0);
   result->server_queue_depth_peak = StatOr(after, "serve.queue_depth_peak", 0);
+  result->coalesce_batches_delta =
+      StatOr(after, "serve.coalesce.batches", 0) -
+      StatOr(before, "serve.coalesce.batches", 0);
+  result->coalesce_batched_requests_delta =
+      StatOr(after, "serve.coalesce.batched_requests", 0) -
+      StatOr(before, "serve.coalesce.batched_requests", 0);
   return Status::OK();
 }
 
@@ -554,6 +712,13 @@ Status WriteBenchJson(const Args& args,
   std::fprintf(f, "  \"connections\": %zu,\n", args.connections);
   std::fprintf(f, "  \"requests_per_point\": %zu,\n", args.requests);
   std::fprintf(f, "  \"users_per_request\": %zu,\n", args.users_per_request);
+  std::fprintf(f, "  \"transport\": \"%s\",\n",
+               args.target.tcp ? "tcp" : "unix");
+  std::fprintf(f, "  \"hot_set\": %zu,\n", args.hot_set);
+  std::fprintf(f, "  \"skew\": %g,\n", args.skew);
+  std::fprintf(f, "  \"coalesce_max_batch\": %llu,\n",
+               static_cast<unsigned long long>(
+                   StatOr(server_stats, "serve.coalesce.max_batch", 1)));
   std::fprintf(f, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(args.seed));
   std::fprintf(f, "  \"workers\": %llu,\n",
@@ -594,8 +759,21 @@ Status WriteBenchJson(const Args& args,
                  static_cast<unsigned long long>(p.server_requests_delta));
     std::fprintf(f, "      \"server_responses_delta\": %llu,\n",
                  static_cast<unsigned long long>(p.server_responses_delta));
-    std::fprintf(f, "      \"server_queue_depth_peak\": %llu\n",
+    std::fprintf(f, "      \"server_queue_depth_peak\": %llu,\n",
                  static_cast<unsigned long long>(p.server_queue_depth_peak));
+    const double avg_batch =
+        p.coalesce_batches_delta > 0
+            ? static_cast<double>(p.coalesce_batched_requests_delta) /
+                  static_cast<double>(p.coalesce_batches_delta)
+            : 0.0;
+    std::fprintf(f, "      \"coalesce\": {\n");
+    std::fprintf(f, "        \"batches\": %llu,\n",
+                 static_cast<unsigned long long>(p.coalesce_batches_delta));
+    std::fprintf(
+        f, "        \"batched_requests\": %llu,\n",
+        static_cast<unsigned long long>(p.coalesce_batched_requests_delta));
+    std::fprintf(f, "        \"avg_batch\": %g\n", avg_batch);
+    std::fprintf(f, "      }\n");
     std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -622,7 +800,7 @@ int main(int argc, char** argv) {
   // Learn the dataset shape from the daemon instead of loading the world:
   // the driver stays a pure protocol client.
   std::map<std::string, uint64_t> stats;
-  Status st = QueryStats(args.socket, &stats);
+  Status st = QueryStats(args.target, &stats);
   if (!st.ok()) return Fail(st);
   const uint64_t num_tweets = StatOr(stats, "handler.num_tweets", 0);
   const uint64_t num_users = StatOr(stats, "handler.num_users", 0);
@@ -630,21 +808,27 @@ int main(int argc, char** argv) {
     return Fail(Status::FailedPrecondition(
         "server stats did not report handler.num_tweets/num_users"));
   }
-  std::printf("server: %llu tweets, %llu users, %llu workers, "
-              "queue capacity %llu\n",
+  std::printf("server at %s: %llu tweets, %llu users, %llu workers, "
+              "queue capacity %llu, coalesce max batch %llu\n",
+              args.target.Describe().c_str(),
               static_cast<unsigned long long>(num_tweets),
               static_cast<unsigned long long>(num_users),
               static_cast<unsigned long long>(
                   StatOr(stats, "serve.workers", 0)),
               static_cast<unsigned long long>(
-                  StatOr(stats, "serve.queue_capacity", 0)));
+                  StatOr(stats, "serve.queue_capacity", 0)),
+              static_cast<unsigned long long>(
+                  StatOr(stats, "serve.coalesce.max_batch", 1)));
+
+  const Workload workload(num_tweets, num_users, args.users_per_request,
+                          args.hot_set, args.skew);
 
   if (!args.verify_data.empty() || !args.verify_model.empty()) {
     if (args.verify_data.empty() || args.verify_model.empty()) {
       return Fail(Status::InvalidArgument(
           "--verify-data and --verify-model must be given together"));
     }
-    st = VerifyByteIdentity(args, num_tweets, num_users);
+    st = VerifyByteIdentity(args, workload);
     if (!st.ok()) return Fail(st);
   }
 
@@ -653,13 +837,12 @@ int main(int argc, char** argv) {
   // Closed-loop warmup so the first measured point does not pay the
   // engine's cold caches.
   if (args.warmup > 0) {
-    auto fd_result = Connect(args.socket);
+    auto fd_result = Connect(args.target);
     if (!fd_result.ok()) return Fail(fd_result.status());
     const int fd = fd_result.ValueOrDie();
     Rng rng = Rng::Stream(args.seed ^ 0x57A7ULL, 0);
     for (size_t i = 0; i < args.warmup; ++i) {
-      const serve::ScoreRequest req = MakeRequest(
-          &rng, i, num_tweets, num_users, args.users_per_request);
+      const serve::ScoreRequest req = workload.MakeRequest(&rng, i);
       st = serve::WriteFrame(fd, serve::EncodeScoreRequest(req));
       if (st.ok()) {
         std::string payload;
@@ -682,8 +865,7 @@ int main(int argc, char** argv) {
     // point's own (registered pointers survive the reset).
     obs::Registry::Global().Reset();
     PointResult result;
-    st = RunPoint(args, p, args.qps[p], num_tweets, num_users, hooks,
-                  &result);
+    st = RunPoint(args, p, args.qps[p], workload, hooks, &result);
     if (!st.ok()) return Fail(st);
     points.push_back(result);
     std::printf(
@@ -700,7 +882,7 @@ int main(int argc, char** argv) {
   }
 
   std::map<std::string, uint64_t> final_stats;
-  st = QueryStats(args.socket, &final_stats);
+  st = QueryStats(args.target, &final_stats);
   if (!st.ok()) return Fail(st);
   st = WriteBenchJson(args, final_stats, points);
   if (!st.ok()) return Fail(st);

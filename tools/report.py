@@ -284,6 +284,7 @@ def add_serve_section(report, bench, serve_metrics):
             rows = []
             for p in points:
                 lat = p.get("latency_ns", {})
+                coal = p.get("coalesce", {})
                 rows.append((
                     f"{p.get('target_qps', 0):g}",
                     f"{p.get('achieved_qps', 0):.1f}",
@@ -291,10 +292,22 @@ def add_serve_section(report, bench, serve_metrics):
                     p.get("dropped", 0),
                     fmt_ns(lat.get("p50", 0)), fmt_ns(lat.get("p95", 0)),
                     fmt_ns(lat.get("p99", 0)),
-                    p.get("server_queue_depth_peak", 0)))
+                    p.get("server_queue_depth_peak", 0),
+                    f"{coal.get('avg_batch', 0):.2f}"
+                    if coal.get("batches", 0) else "-"))
             report.table(
                 ["target qps", "achieved", "ok", "shed", "errors",
-                 "dropped", "p50", "p95", "p99", "queue peak"], rows)
+                 "dropped", "p50", "p95", "p99", "queue peak",
+                 "avg batch"], rows)
+            hot_set = bench.get("hot_set", 0)
+            if hot_set:
+                report.para(
+                    f"Hot-set workload: tweet ids Zipf(s="
+                    f"{bench.get('skew', 0):g}) over {hot_set} hot tweets "
+                    f"({bench.get('transport', 'unix')} transport, coalesce "
+                    f"max batch {bench.get('coalesce_max_batch', 1)}). "
+                    "'avg batch' is batched_requests/batches of same-tweet "
+                    "requests fused per handler call at that point.")
             p99s = [p.get("latency_ns", {}).get("p99", 0) for p in points]
             spark = sparkline(p99s)
             if spark:
