@@ -61,15 +61,15 @@ uint64_t Histogram::BucketUpperBound(size_t bucket) {
   return (uint64_t{1} << bucket) - 1;
 }
 
-uint64_t Histogram::Quantile(double q) const {
-  const uint64_t n = Count();
-  if (n == 0) return 0;
+uint64_t Histogram::QuantileFromBuckets(const uint64_t* buckets,
+                                        uint64_t count, double q) {
+  if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Smallest bucket whose cumulative count covers a q-fraction of samples.
-  const double target = q * static_cast<double>(n);
+  const double target = q * static_cast<double>(count);
   uint64_t cum = 0;
   for (size_t b = 0; b < kBuckets; ++b) {
-    cum += BucketCount(b);
+    cum += buckets[b];
     if (static_cast<double>(cum) >= target && cum > 0) {
       return BucketUpperBound(b);
     }
@@ -77,10 +77,61 @@ uint64_t Histogram::Quantile(double q) const {
   return BucketUpperBound(kBuckets - 1);
 }
 
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  uint64_t buckets[kBuckets];
+  for (size_t b = 0; b < kBuckets; ++b) buckets[b] = BucketCount(b);
+  return QuantileFromBuckets(buckets, n, q);
+}
+
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+// ---- WindowedHistogram -----------------------------------------------------
+
+void WindowedHistogram::Tick() {
+  if (!Enabled()) return;
+  // fetch_add hands each concurrent ticker a distinct slot to recycle, so
+  // racing ticks never scribble on the same sub-histogram.
+  const uint64_t next = ticks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  ring_[next % kRingSize].Reset();
+}
+
+WindowSnapshot WindowedHistogram::SnapshotWindow(size_t last_n) const {
+  WindowSnapshot snap;
+  const uint64_t t = ticks_.load(std::memory_order_acquire);
+  snap.ticks = t;
+  // Slots that hold data: the current one plus at most t rotated ones,
+  // capped by the ring size and the caller's window.
+  const uint64_t avail = std::min<uint64_t>(t + 1, kRingSize);
+  const uint64_t n =
+      std::min<uint64_t>(last_n == 0 ? uint64_t{1} : last_n, avail);
+  uint64_t buckets[Histogram::kBuckets] = {};
+  for (uint64_t i = 0; i < n; ++i) {
+    const Histogram& h = ring_[(t - i) % kRingSize];
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      buckets[b] += h.BucketCount(b);
+    }
+    snap.window.count += h.Count();
+    snap.window.sum += h.Sum();
+  }
+  snap.slots = n;
+  snap.window.p50 =
+      Histogram::QuantileFromBuckets(buckets, snap.window.count, 0.5);
+  snap.window.p95 =
+      Histogram::QuantileFromBuckets(buckets, snap.window.count, 0.95);
+  snap.window.p99 =
+      Histogram::QuantileFromBuckets(buckets, snap.window.count, 0.99);
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  for (Histogram& h : ring_) h.Reset();
+  ticks_.store(0, std::memory_order_relaxed);
 }
 
 // ---- Series ----------------------------------------------------------------
@@ -152,6 +203,7 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows;
   std::map<std::string, std::unique_ptr<Series>> series;
   std::map<std::string, std::unique_ptr<ScopeStats>> scopes;
 };
@@ -193,6 +245,27 @@ ScopeStats* Registry::GetScope(const std::string& name) {
   return GetOrCreate(&impl().scopes, &impl().mu, name);
 }
 
+WindowedHistogram* Registry::GetWindowedHistogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.windows[name];
+  if (slot == nullptr) {
+    // The windowed view shares its cumulative side with the plain histogram
+    // of the same name, so exports and GetHistogram callers agree.
+    auto& hist = im.histograms[name];
+    if (hist == nullptr) hist = std::make_unique<Histogram>();
+    slot = std::make_unique<WindowedHistogram>(hist.get());
+  }
+  return slot.get();
+}
+
+void Registry::TickWindows() {
+  if (!Enabled()) return;
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& [name, w] : im.windows) w->Tick();
+}
+
 namespace {
 
 // Peak resident set size in bytes, from /proc/self/status VmHWM. Returns 0
@@ -227,8 +300,60 @@ void Registry::Reset() {
   for (auto& [name, c] : im.counters) c->Reset();
   for (auto& [name, g] : im.gauges) g->Reset();
   for (auto& [name, h] : im.histograms) h->Reset();
+  for (auto& [name, w] : im.windows) w->Reset();
   for (auto& [name, s] : im.series) s->Reset();
   for (auto& [name, sc] : im.scopes) sc->Reset();
+}
+
+namespace {
+
+HistogramSnapshot SnapshotOf(const Histogram& h) {
+  HistogramSnapshot snap;
+  snap.count = h.Count();
+  snap.sum = h.Sum();
+  snap.p50 = h.Quantile(0.5);
+  snap.p95 = h.Quantile(0.95);
+  snap.p99 = h.Quantile(0.99);
+  return snap;
+}
+
+}  // namespace
+
+RegistrySnapshot Registry::TakeSnapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : im.counters) snap.counters[name] = c->Get();
+  for (const auto& [name, g] : im.gauges) snap.gauges[name] = g->Get();
+  for (const auto& [name, h] : im.histograms) {
+    snap.histograms[name] = SnapshotOf(*h);
+  }
+  for (const auto& [name, w] : im.windows) {
+    snap.windows[name] = w->SnapshotWindow();
+  }
+  return snap;
+}
+
+RegistrySnapshot Registry::SnapshotDelta(const RegistrySnapshot& before,
+                                         const RegistrySnapshot& after) {
+  RegistrySnapshot delta;
+  for (const auto& [name, v] : after.counters) {
+    const auto it = before.counters.find(name);
+    const uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    delta.counters[name] = v >= prev ? v - prev : 0;
+  }
+  // Counters present before but gone after (Reset never erases names, but
+  // be defensive): report them as zero.
+  for (const auto& kv : before.counters) delta.counters.emplace(kv.first, 0);
+  for (const auto& [name, v] : after.gauges) {
+    const auto it = before.gauges.find(name);
+    const int64_t prev = it == before.gauges.end() ? 0 : it->second;
+    delta.gauges[name] = v - prev;
+  }
+  for (const auto& kv : before.gauges) delta.gauges.emplace(kv.first, 0);
+  delta.histograms = after.histograms;
+  delta.windows = after.windows;
+  return delta;
 }
 
 namespace {
@@ -307,6 +432,20 @@ std::string Registry::ToJson() const {
   }
   os << (first ? "" : "\n  ") << "},\n";
 
+  os << "  \"windows\": {";
+  first = true;
+  for (const auto& [name, w] : im.windows) {
+    const WindowSnapshot snap = w->SnapshotWindow();
+    os << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": {"
+       << "\"ticks\": " << snap.ticks << ", \"slots\": " << snap.slots
+       << ", \"count\": " << snap.window.count
+       << ", \"sum\": " << snap.window.sum << ", \"p50\": " << snap.window.p50
+       << ", \"p95\": " << snap.window.p95 << ", \"p99\": " << snap.window.p99
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
   os << "  \"series\": {";
   first = true;
   for (const auto& [name, s] : im.series) {
@@ -334,6 +473,90 @@ std::string Registry::ToJson() const {
   }
   os << (first ? "" : "\n  ") << "}\n}\n";
   return os.str();
+}
+
+namespace {
+
+// Prometheus metric names admit [a-zA-Z0-9_:]; everything else (registry
+// names use '.') maps to '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out += "retina_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::ToPrometheus() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  // family name -> exposition block; the map both sorts and dedups (first
+  // writer wins if two registry names sanitize to the same family).
+  std::map<std::string, std::string> families;
+
+  for (const auto& [name, c] : im.counters) {
+    const std::string fam = PromName(name);
+    if (families.count(fam) != 0) continue;
+    std::ostringstream os;
+    os << "# TYPE " << fam << " counter\n" << fam << " " << c->Get() << "\n";
+    families[fam] = os.str();
+  }
+  for (const auto& [name, g] : im.gauges) {
+    const std::string fam = PromName(name);
+    if (families.count(fam) != 0) continue;
+    std::ostringstream os;
+    os << "# TYPE " << fam << " gauge\n" << fam << " " << g->Get() << "\n";
+    families[fam] = os.str();
+  }
+  for (const auto& [name, h] : im.histograms) {
+    const std::string fam = PromName(name);
+    if (families.count(fam) != 0) continue;
+    std::ostringstream os;
+    os << "# TYPE " << fam << " histogram\n";
+    uint64_t cum = 0;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const uint64_t n = h->BucketCount(b);
+      if (n == 0) continue;
+      cum += n;
+      // The overflow bucket has no finite upper bound; +Inf below covers it.
+      if (b >= Histogram::kBuckets - 1) continue;
+      os << fam << "_bucket{le=\"" << Histogram::BucketUpperBound(b) << "\"} "
+         << cum << "\n";
+    }
+    // A racing Record bumps buckets before count, so pin +Inf/_count to the
+    // larger of the two reads — cumulative buckets must never decrease.
+    const uint64_t total = std::max(cum, h->Count());
+    os << fam << "_bucket{le=\"+Inf\"} " << total << "\n"
+       << fam << "_sum " << h->Sum() << "\n"
+       << fam << "_count " << total << "\n";
+    families[fam] = os.str();
+  }
+  for (const auto& [name, w] : im.windows) {
+    const WindowSnapshot snap = w->SnapshotWindow();
+    const struct {
+      const char* suffix;
+      uint64_t value;
+    } quantiles[] = {{"_window_p50", snap.window.p50},
+                     {"_window_p95", snap.window.p95},
+                     {"_window_p99", snap.window.p99}};
+    for (const auto& q : quantiles) {
+      const std::string fam = PromName(name) + q.suffix;
+      if (families.count(fam) != 0) continue;
+      std::ostringstream os;
+      os << "# TYPE " << fam << " gauge\n" << fam << " " << q.value << "\n";
+      families[fam] = os.str();
+    }
+  }
+
+  std::string out;
+  for (const auto& [fam, block] : families) out += block;
+  return out;
 }
 
 std::string Registry::SummaryTable() const {

@@ -28,6 +28,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -131,6 +132,10 @@ class Histogram {
   static uint64_t BucketLowerBound(size_t bucket);
   /// Largest sample the bucket admits (inclusive).
   static uint64_t BucketUpperBound(size_t bucket);
+  /// Quantile over an external kBuckets-sized count array (merged windows);
+  /// same semantics as Quantile(). Returns 0 when `count` is 0.
+  static uint64_t QuantileFromBuckets(const uint64_t* buckets, uint64_t count,
+                                      double q);
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -153,6 +158,73 @@ class Histogram {
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
+};
+
+/// \brief Point-in-time view of one histogram: count, sum, and bucket-upper
+/// -bound quantiles. Integer-only, so an empty histogram snapshots to all
+/// zeros — never NaN.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// \brief Aggregate over the most recent slots of a WindowedHistogram's
+/// ring. `ticks` is the logical clock (rotations since reset); `slots` is
+/// how many sub-histograms were merged (the current partial slot counts).
+struct WindowSnapshot {
+  uint64_t ticks = 0;
+  uint64_t slots = 0;
+  HistogramSnapshot window;
+};
+
+/// \brief Histogram with a sliding window: samples land in a cumulative
+/// histogram *and* the current slot of a ring of kRingSize sub-histograms.
+/// Tick() — a logical clock driven by the caller (e.g. every N requests),
+/// never wall time — rotates the ring, so SnapshotWindow() answers "what is
+/// p99 over the last few ticks" while the cumulative view keeps the
+/// since-boot totals. Record/Tick are no-ops when obs is disabled, which
+/// preserves the obs-on ≡ obs-off determinism contract.
+///
+/// Concurrency: Record is wait-free; a Record racing a Tick may land in the
+/// slot being recycled and be dropped from the window (never from the
+/// cumulative view) — monitoring-grade fidelity, by design.
+class WindowedHistogram {
+ public:
+  static constexpr size_t kRingSize = 8;
+
+  /// `cumulative` must outlive this object; the registry wires it to the
+  /// plain histogram registered under the same name.
+  explicit WindowedHistogram(Histogram* cumulative) : cumulative_(cumulative) {}
+
+  void Record(uint64_t value) {
+    if (!Enabled()) return;
+    cumulative_->Record(value);
+    ring_[ticks_.load(std::memory_order_acquire) % kRingSize].Record(value);
+  }
+
+  /// Advances the logical clock and recycles the slot the window rotates
+  /// into. No-op when obs is disabled (rotation only under Enabled()).
+  void Tick();
+
+  /// Merged view of the last `last_n` slots (clamped to what the ring holds
+  /// and to how many ticks have happened). Includes the current partial
+  /// slot, so telemetry is live even before the first rotation.
+  WindowSnapshot SnapshotWindow(size_t last_n = kRingSize) const;
+
+  const Histogram& Cumulative() const { return *cumulative_; }
+  uint64_t Ticks() const { return ticks_.load(std::memory_order_relaxed); }
+
+  /// Clears the ring and the logical clock. The shared cumulative histogram
+  /// is owned by the registry and reset there.
+  void Reset();
+
+ private:
+  Histogram* cumulative_;
+  Histogram ring_[kRingSize];
+  std::atomic<uint64_t> ticks_{0};  // current slot = ticks_ % kRingSize
 };
 
 /// \brief Append-only sequence of doubles (per-epoch loss / grad-norm /
@@ -214,6 +286,17 @@ class Span {
   uint64_t trace_saved_span_id_ = 0;
 };
 
+/// \brief Value snapshot of the registry's counters, gauges, histograms,
+/// and windowed histograms — the payload of the serve-path kMetricsResponse
+/// and the input to SnapshotDelta. Keys are instrument names (sorted by
+/// std::map).
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, WindowSnapshot> windows;
+};
+
 /// \brief Process-wide registry of named instruments. Get* registers on
 /// first use and returns a pointer that stays valid for the life of the
 /// process; Reset() zeroes values but never invalidates pointers.
@@ -227,6 +310,32 @@ class Registry {
   Series* GetSeries(const std::string& name);
   ScopeStats* GetScope(const std::string& name);
 
+  /// Windowed histogram whose cumulative side IS the plain histogram
+  /// registered under the same name — recording through the windowed handle
+  /// feeds both views; exports and older callers see the cumulative
+  /// histogram unchanged.
+  WindowedHistogram* GetWindowedHistogram(const std::string& name);
+
+  /// Ticks every registered windowed histogram — the per-process logical
+  /// clock for window rotation. No-op when obs is disabled.
+  void TickWindows();
+
+  /// Point-in-time values of all counters, gauges, histograms, and windows.
+  RegistrySnapshot TakeSnapshot() const;
+
+  /// Delta view between two snapshots: counters are after-before (clamped
+  /// at 0 if an instrument was reset in between), gauges are the signed
+  /// difference, and histograms/windows pass through from `after` (deltas
+  /// do not compose over quantiles). Keys are the union of both inputs.
+  static RegistrySnapshot SnapshotDelta(const RegistrySnapshot& before,
+                                        const RegistrySnapshot& after);
+
+  /// Prometheus text exposition of counters, gauges, and histograms
+  /// (cumulative `_bucket`/`_sum`/`_count` with `le` labels), plus windowed
+  /// p50/p95/p99 gauges. Families are `retina_`-prefixed, typed, sorted by
+  /// name, and unique.
+  std::string ToPrometheus() const;
+
   /// Zeroes every registered instrument (pointers remain valid).
   void Reset();
 
@@ -237,8 +346,9 @@ class Registry {
   void SampleProcessGauges();
 
   /// Full dump: {"counters": {...}, "gauges": {...}, "histograms": {...},
-  /// "series": {...}, "scopes": {...}} with histogram quantiles and
-  /// non-empty buckets inlined. Stable key order (sorted by name).
+  /// "windows": {...}, "series": {...}, "scopes": {...}} with histogram
+  /// quantiles and non-empty buckets inlined. Stable key order (sorted by
+  /// name).
   std::string ToJson() const;
 
   /// Human-readable multi-table summary (counters/gauges, histograms with

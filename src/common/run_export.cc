@@ -39,6 +39,21 @@ Status ExportMetricsJson(const std::string& path, bool print_summary) {
   return Status::OK();
 }
 
+Status ExportPrometheus(const std::string& path) {
+  if (path.empty()) return Status::OK();
+  // Write-then-rename keeps the published file whole at every instant: a
+  // scraper opening `path` sees either the previous exposition or the new
+  // one, never a prefix.
+  const std::string tmp = path + ".tmp";
+  RETINA_RETURN_NOT_OK(
+      WriteWholeFile(tmp, Registry::Global().ToPrometheus()));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
 Status ExportChromeTrace(const std::string& path, bool print_summary) {
   if (path.empty()) return Status::OK();
   StopTracing();

@@ -32,6 +32,13 @@ Status ExportMetricsJson(const std::string& path, bool print_summary = true);
 /// No-op returning OK when `path` is empty.
 Status ExportChromeTrace(const std::string& path, bool print_summary = true);
 
+/// Writes the registry's Prometheus text exposition to `path` via a
+/// temp-file-then-rename, so a concurrent scraper never reads a torn file.
+/// Unlike the two exports above this is NOT a quiescent-point operation:
+/// the serving daemon refreshes it on its metrics cadence while traffic is
+/// live. No-op returning OK when `path` is empty.
+Status ExportPrometheus(const std::string& path);
+
 }  // namespace retina::obs
 
 #endif  // RETINA_COMMON_RUN_EXPORT_H_

@@ -86,8 +86,9 @@ Status Corrupt(const std::string& what) {
   return Status::IOError("corrupt serve frame: " + what);
 }
 
-/// Validates the fixed header and that the type matches `want`.
-Status ConsumeHeader(Cursor* cur, MessageType want) {
+/// Validates the fixed header and that the type matches `want`; reports
+/// the frame's (accepted) version so body decoders can branch on it.
+Status ConsumeHeader(Cursor* cur, MessageType want, uint16_t* version_out) {
   uint32_t magic = 0;
   uint16_t version = 0;
   uint8_t type = 0, reserved = 0;
@@ -96,14 +97,19 @@ Status ConsumeHeader(Cursor* cur, MessageType want) {
     return Corrupt("truncated header");
   }
   if (magic != kProtocolMagic) return Corrupt("bad magic");
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Corrupt("unsupported version " + std::to_string(version));
   }
   if (reserved != 0) return Corrupt("nonzero reserved byte");
   if (type != static_cast<uint8_t>(want)) {
     return Corrupt("unexpected message type " + std::to_string(type));
   }
+  if (version_out != nullptr) *version_out = version;
   return Status::OK();
+}
+
+Status ConsumeHeader(Cursor* cur, MessageType want) {
+  return ConsumeHeader(cur, want, nullptr);
 }
 
 Status ExpectEnd(const Cursor& cur) {
@@ -125,12 +131,12 @@ Result<MessageType> PeekMessageType(std::string_view payload) {
     return Corrupt("truncated header");
   }
   if (magic != kProtocolMagic) return Corrupt("bad magic");
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return Corrupt("unsupported version " + std::to_string(version));
   }
   if (reserved != 0) return Corrupt("nonzero reserved byte");
   if (type < static_cast<uint8_t>(MessageType::kScoreRequest) ||
-      type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+      type > static_cast<uint8_t>(MessageType::kMetricsResponse)) {
     return Corrupt("unknown message type " + std::to_string(type));
   }
   return static_cast<MessageType>(type);
@@ -138,12 +144,14 @@ Result<MessageType> PeekMessageType(std::string_view payload) {
 
 std::string EncodeScoreRequest(const ScoreRequest& req) {
   std::string out;
-  out.reserve(kPayloadHeaderBytes + 20 + 4 * req.users.size());
+  out.reserve(kPayloadHeaderBytes + 36 + 4 * req.users.size());
   AppendHeader(&out, MessageType::kScoreRequest);
   AppendU64(&out, req.request_id);
   AppendU64(&out, req.tweet_id);
   AppendU32(&out, static_cast<uint32_t>(req.users.size()));
   for (uint32_t u : req.users) AppendU32(&out, u);
+  AppendU64(&out, req.trace_id);
+  AppendU64(&out, req.span_id);
   return out;
 }
 
@@ -184,18 +192,28 @@ std::string EncodeStatsResponse(const StatsResponse& resp) {
 
 Status DecodeScoreRequest(std::string_view payload, ScoreRequest* out) {
   Cursor cur(payload);
-  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kScoreRequest));
+  uint16_t version = 0;
+  RETINA_RETURN_NOT_OK(
+      ConsumeHeader(&cur, MessageType::kScoreRequest, &version));
   uint32_t n = 0;
   if (!cur.ReadU64(&out->request_id) || !cur.ReadU64(&out->tweet_id) ||
       !cur.ReadU32(&n)) {
     return Corrupt("truncated score request");
   }
-  if (cur.remaining() != 4u * n) {
+  // v1 ends at the user list; v2 appends the 16-byte trace tail.
+  const size_t trace_tail = version >= 2 ? 16 : 0;
+  if (cur.remaining() != 4u * n + trace_tail) {
     return Corrupt("score request user count disagrees with body size");
   }
   out->users.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
     if (!cur.ReadU32(&out->users[i])) return Corrupt("truncated user list");
+  }
+  out->trace_id = 0;
+  out->span_id = 0;
+  if (version >= 2 &&
+      (!cur.ReadU64(&out->trace_id) || !cur.ReadU64(&out->span_id))) {
+    return Corrupt("truncated score request trace context");
   }
   return ExpectEnd(cur);
 }
@@ -258,6 +276,137 @@ Status DecodeStatsResponse(std::string_view payload, StatsResponse* out) {
     }
     if (!out->stats.emplace(std::move(key), value).second) {
       return Corrupt("duplicate stats key");
+    }
+  }
+  return ExpectEnd(cur);
+}
+
+std::string EncodeMetricsRequest(const MetricsRequest& req) {
+  std::string out;
+  AppendHeader(&out, MessageType::kMetricsRequest);
+  AppendU64(&out, req.request_id);
+  return out;
+}
+
+std::string EncodeMetricsResponse(const MetricsResponse& resp) {
+  std::string out;
+  AppendHeader(&out, MessageType::kMetricsResponse);
+  AppendU64(&out, resp.request_id);
+  const obs::RegistrySnapshot& snap = resp.snapshot;
+  AppendU32(&out, static_cast<uint32_t>(snap.counters.size()));
+  for (const auto& [key, value] : snap.counters) {  // std::map: sorted keys
+    AppendU32(&out, static_cast<uint32_t>(key.size()));
+    out.append(key);
+    AppendU64(&out, value);
+  }
+  AppendU32(&out, static_cast<uint32_t>(snap.gauges.size()));
+  for (const auto& [key, value] : snap.gauges) {
+    AppendU32(&out, static_cast<uint32_t>(key.size()));
+    out.append(key);
+    AppendU64(&out, static_cast<uint64_t>(value));  // two's complement
+  }
+  AppendU32(&out, static_cast<uint32_t>(snap.histograms.size()));
+  for (const auto& [key, h] : snap.histograms) {
+    AppendU32(&out, static_cast<uint32_t>(key.size()));
+    out.append(key);
+    AppendU64(&out, h.count);
+    AppendU64(&out, h.sum);
+    AppendU64(&out, h.p50);
+    AppendU64(&out, h.p95);
+    AppendU64(&out, h.p99);
+  }
+  AppendU32(&out, static_cast<uint32_t>(snap.windows.size()));
+  for (const auto& [key, w] : snap.windows) {
+    AppendU32(&out, static_cast<uint32_t>(key.size()));
+    out.append(key);
+    AppendU64(&out, w.ticks);
+    AppendU64(&out, w.slots);
+    AppendU64(&out, w.window.count);
+    AppendU64(&out, w.window.sum);
+    AppendU64(&out, w.window.p50);
+    AppendU64(&out, w.window.p95);
+    AppendU64(&out, w.window.p99);
+  }
+  return out;
+}
+
+Status DecodeMetricsRequest(std::string_view payload, MetricsRequest* out) {
+  Cursor cur(payload);
+  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kMetricsRequest));
+  if (!cur.ReadU64(&out->request_id)) {
+    return Corrupt("truncated metrics request");
+  }
+  return ExpectEnd(cur);
+}
+
+Status DecodeMetricsResponse(std::string_view payload, MetricsResponse* out) {
+  Cursor cur(payload);
+  RETINA_RETURN_NOT_OK(ConsumeHeader(&cur, MessageType::kMetricsResponse));
+  if (!cur.ReadU64(&out->request_id)) {
+    return Corrupt("truncated metrics response");
+  }
+  obs::RegistrySnapshot& snap = out->snapshot;
+  snap = obs::RegistrySnapshot();
+
+  uint32_t n = 0;
+  if (!cur.ReadU32(&n)) return Corrupt("truncated metrics counters");
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key_len = 0;
+    std::string key;
+    uint64_t value = 0;
+    if (!cur.ReadU32(&key_len) || !cur.ReadBytes(key_len, &key) ||
+        !cur.ReadU64(&value)) {
+      return Corrupt("truncated metrics counter entry");
+    }
+    if (!snap.counters.emplace(std::move(key), value).second) {
+      return Corrupt("duplicate metrics counter key");
+    }
+  }
+
+  if (!cur.ReadU32(&n)) return Corrupt("truncated metrics gauges");
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key_len = 0;
+    std::string key;
+    uint64_t bits = 0;
+    if (!cur.ReadU32(&key_len) || !cur.ReadBytes(key_len, &key) ||
+        !cur.ReadU64(&bits)) {
+      return Corrupt("truncated metrics gauge entry");
+    }
+    if (!snap.gauges.emplace(std::move(key), static_cast<int64_t>(bits))
+             .second) {
+      return Corrupt("duplicate metrics gauge key");
+    }
+  }
+
+  if (!cur.ReadU32(&n)) return Corrupt("truncated metrics histograms");
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key_len = 0;
+    std::string key;
+    obs::HistogramSnapshot h;
+    if (!cur.ReadU32(&key_len) || !cur.ReadBytes(key_len, &key) ||
+        !cur.ReadU64(&h.count) || !cur.ReadU64(&h.sum) ||
+        !cur.ReadU64(&h.p50) || !cur.ReadU64(&h.p95) || !cur.ReadU64(&h.p99)) {
+      return Corrupt("truncated metrics histogram entry");
+    }
+    if (!snap.histograms.emplace(std::move(key), h).second) {
+      return Corrupt("duplicate metrics histogram key");
+    }
+  }
+
+  if (!cur.ReadU32(&n)) return Corrupt("truncated metrics windows");
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key_len = 0;
+    std::string key;
+    obs::WindowSnapshot w;
+    if (!cur.ReadU32(&key_len) || !cur.ReadBytes(key_len, &key) ||
+        !cur.ReadU64(&w.ticks) || !cur.ReadU64(&w.slots) ||
+        !cur.ReadU64(&w.window.count) || !cur.ReadU64(&w.window.sum) ||
+        !cur.ReadU64(&w.window.p50) || !cur.ReadU64(&w.window.p95) ||
+        !cur.ReadU64(&w.window.p99)) {
+      return Corrupt("truncated metrics window entry");
+    }
+    if (!snap.windows.emplace(std::move(key), w).second) {
+      return Corrupt("duplicate metrics window key");
     }
   }
   return ExpectEnd(cur);

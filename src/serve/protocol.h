@@ -15,13 +15,34 @@
 //
 // followed by the body of the given type (all integers little-endian):
 //
-//   kScoreRequest:   u64 request_id | u64 tweet_id | u32 n | n x u32 user
+//   kScoreRequest:   u64 request_id | u64 tweet_id | u32 n | n x u32 user |
+//                      u64 trace_id | u64 span_id     (v2; v1 ends at the
+//                      user list — decoders accept both, zero = no trace)
 //   kScoreResponse:  u64 request_id | u8 code |
 //                      code==kOk:  u32 n | n x u64 score-bit-pattern
 //                      otherwise:  u32 msg_len | msg bytes
 //   kStatsRequest:   u64 request_id
 //   kStatsResponse:  u64 request_id | u32 n | n x (u32 key_len | key |
 //                      u64 value), keys unique and sorted
+//   kMetricsRequest: u64 request_id
+//   kMetricsResponse:u64 request_id |
+//                      u32 n | n x (u32 key_len | key | u64 value)
+//                        counters
+//                      u32 n | n x (u32 key_len | key | u64 i64-bits)
+//                        gauges (two's-complement int64 in a u64)
+//                      u32 n | n x (u32 key_len | key |
+//                        u64 count | u64 sum | u64 p50 | u64 p95 | u64 p99)
+//                        cumulative histograms
+//                      u32 n | n x (u32 key_len | key | u64 ticks |
+//                        u64 slots | u64 count | u64 sum | u64 p50 |
+//                        u64 p95 | u64 p99)
+//                        windowed histograms
+//                      keys unique and sorted within each section
+//
+// Version history: v1 framed kScoreRequest..kStatsResponse; v2 added the
+// optional trace tail on kScoreRequest and the kMetrics pair. Decoders
+// accept every version in [kMinProtocolVersion, kProtocolVersion];
+// encoders always emit kProtocolVersion.
 //
 // Scores cross the wire as IEEE-754 f64 bit patterns in a u64, so a
 // client reassembles exactly the doubles the engine produced — the serve
@@ -42,13 +63,17 @@
 #include <string_view>
 #include <vector>
 
+#include "common/obs.h"
 #include "common/status.h"
 #include "common/vec.h"
 
 namespace retina::serve {
 
 inline constexpr uint32_t kProtocolMagic = 0x50544552;  // "RETP" in LE bytes
-inline constexpr uint16_t kProtocolVersion = 1;
+inline constexpr uint16_t kProtocolVersion = 2;
+/// Oldest version decoders still accept (v1 = no score-request trace tail,
+/// no metrics messages).
+inline constexpr uint16_t kMinProtocolVersion = 1;
 /// Upper bound on a frame payload; a length prefix above this is treated
 /// as stream corruption rather than an allocation request.
 inline constexpr uint32_t kMaxFramePayloadBytes = 16u << 20;
@@ -60,6 +85,8 @@ enum class MessageType : uint8_t {
   kScoreResponse = 2,
   kStatsRequest = 3,
   kStatsResponse = 4,
+  kMetricsRequest = 5,
+  kMetricsResponse = 6,
 };
 
 enum class ResponseCode : uint8_t {
@@ -69,11 +96,15 @@ enum class ResponseCode : uint8_t {
 };
 
 /// Score `users` as retweet candidates of `tweet_id`. `request_id` is an
-/// opaque client token echoed in the response.
+/// opaque client token echoed in the response. `trace_id`/`span_id` carry
+/// the client's trace context so daemon spans parent under the client's
+/// trace; zero means absent (v1 clients, or tracing off).
 struct ScoreRequest {
   uint64_t request_id = 0;
   uint64_t tweet_id = 0;
   std::vector<uint32_t> users;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 struct ScoreResponse {
@@ -96,6 +127,19 @@ struct StatsResponse {
   std::map<std::string, uint64_t> stats;
 };
 
+struct MetricsRequest {
+  uint64_t request_id = 0;
+};
+
+/// Typed registry snapshot for live monitoring: obs counters/gauges (with
+/// the server's own admission stats merged in, so the view stays useful
+/// when obs is disabled), cumulative histogram quantiles, and windowed
+/// quantiles over the daemon's recent ticks.
+struct MetricsResponse {
+  uint64_t request_id = 0;
+  obs::RegistrySnapshot snapshot;
+};
+
 /// Validates the payload header and returns the message type.
 Result<MessageType> PeekMessageType(std::string_view payload);
 
@@ -103,11 +147,15 @@ std::string EncodeScoreRequest(const ScoreRequest& req);
 std::string EncodeScoreResponse(const ScoreResponse& resp);
 std::string EncodeStatsRequest(const StatsRequest& req);
 std::string EncodeStatsResponse(const StatsResponse& resp);
+std::string EncodeMetricsRequest(const MetricsRequest& req);
+std::string EncodeMetricsResponse(const MetricsResponse& resp);
 
 Status DecodeScoreRequest(std::string_view payload, ScoreRequest* out);
 Status DecodeScoreResponse(std::string_view payload, ScoreResponse* out);
 Status DecodeStatsRequest(std::string_view payload, StatsRequest* out);
 Status DecodeStatsResponse(std::string_view payload, StatsResponse* out);
+Status DecodeMetricsRequest(std::string_view payload, MetricsRequest* out);
+Status DecodeMetricsResponse(std::string_view payload, MetricsResponse* out);
 
 /// Writes one length-prefixed frame. Handles partial writes and EINTR;
 /// never raises SIGPIPE (a closed peer is an IOError). `payload` must be

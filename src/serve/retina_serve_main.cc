@@ -3,8 +3,8 @@
 //   retina_serve --data DIR --model DIR [--socket PATH] [--listen HOST:PORT]
 //                [--workers N] [--queue-capacity N]
 //                [--coalesce-max-batch N] [--coalesce-linger POLLS]
-//                [--metrics-out FILE] [--trace-out FILE]
-//                [--log-level LEVEL] [--simd BACKEND]
+//                [--metrics-out FILE] [--trace-out FILE] [--prom-out FILE]
+//                [--metrics-tick N] [--log-level LEVEL] [--simd BACKEND]
 //
 // Loads the world and the scoring bundle once, then serves score
 // requests over the Unix-domain socket and/or a TCP listener (same
@@ -39,12 +39,14 @@ struct Args {
   std::string listen;
   std::string metrics_out;
   std::string trace_out;
+  std::string prom_out;
   std::string log_level;
   std::string simd;
   size_t workers = 4;
   size_t queue_capacity = 256;
   size_t coalesce_max_batch = 16;
   size_t coalesce_linger = 2;
+  size_t metrics_tick = 64;
 };
 
 int Usage() {
@@ -69,6 +71,12 @@ int Usage() {
       "                        topping up a partial batch (default 2)\n"
       "  --metrics-out FILE    dump the obs registry as JSON on drain\n"
       "  --trace-out FILE      record a timeline trace for the whole run\n"
+      "  --prom-out FILE       refresh a Prometheus text exposition of the\n"
+      "                        registry on the metrics cadence (atomic\n"
+      "                        rename; scrape-safe while serving)\n"
+      "  --metrics-tick N      handled requests per metrics cadence tick:\n"
+      "                        window rotation, process-gauge sampling,\n"
+      "                        prom refresh (default 64; 0 disables)\n"
       "  --log-level LEVEL     stderr log threshold: debug|info|warn|error\n"
       "  --simd BACKEND        kernel dispatch: auto|avx2|neon|scalar\n");
   return 2;
@@ -110,8 +118,13 @@ bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
         take("--socket", &args->socket) || take("--listen", &args->listen) ||
         take("--metrics-out", &args->metrics_out) ||
         take("--trace-out", &args->trace_out) ||
+        take("--prom-out", &args->prom_out) ||
         take("--log-level", &args->log_level) ||
         take("--simd", &args->simd)) {
+      continue;
+    }
+    if (take("--metrics-tick", &value)) {
+      args->metrics_tick = static_cast<size_t>(std::atoll(value.c_str()));
       continue;
     }
     if (take("--workers", &value)) {
@@ -196,6 +209,8 @@ int main(int argc, char** argv) {
   sopts.coalesce_max_batch = args.coalesce_max_batch;
   sopts.coalesce_linger_polls = args.coalesce_linger;
   sopts.install_signal_handler = true;
+  sopts.metrics_tick_requests = args.metrics_tick;
+  sopts.prom_out = args.prom_out;
   serve::Server server(handler.get(), sopts);
   Status st = server.Start();
   if (!st.ok()) {

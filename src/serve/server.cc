@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/run_export.h"
 
 namespace retina::serve {
 
@@ -70,8 +71,8 @@ Server::ObsHooks Server::ObsHooks::Resolve() {
   h.queue_capacity = reg.GetGauge("serve.queue.capacity");
   h.workers = reg.GetGauge("serve.workers");
   h.coalesce_max_batch = reg.GetGauge("serve.coalesce.max_batch");
-  h.queue_wait_ns = reg.GetHistogram("serve.queue_wait_ns");
-  h.handle_ns = reg.GetHistogram("serve.handle_ns");
+  h.queue_wait_ns = reg.GetWindowedHistogram("serve.queue_wait_ns");
+  h.handle_ns = reg.GetWindowedHistogram("serve.handle_ns");
   return h;
 }
 
@@ -272,6 +273,16 @@ Status Server::Wait() {
   queue_.Close();
   dispatch_thread_.join();
   started_ = false;
+  if (!options_.prom_out.empty()) {
+    // Final refresh so the published exposition covers the whole run even
+    // when the last requests never crossed a cadence boundary.
+    if (obs::Enabled()) obs::Registry::Global().SampleProcessGauges();
+    const Status st = obs::ExportPrometheus(options_.prom_out);
+    if (!st.ok()) {
+      RETINA_LOG(Warning) << "serve: prometheus export failed: "
+                          << st.ToString();
+    }
+  }
   RETINA_LOG(Info) << "serve: drained (" << responses_.load() << " responses, "
                    << shed_.load() << " shed)";
   return Status::OK();
@@ -381,8 +392,15 @@ bool Server::HandleFrame(const std::shared_ptr<Conn>& conn,
       item.req = std::move(req);
       // Thread hand-off: capture the enqueuer's ambient trace context for
       // the worker to adopt — the ThreadPool::Run invariant, applied to
-      // the admission queue.
-      item.ctx = obs::CurrentTraceContext();
+      // the admission queue. A client that sent its own trace context
+      // takes precedence: the daemon's handle span then parents under the
+      // client's send span, stitching one cross-process trace.
+      if (item.req.trace_id != 0) {
+        item.ctx.trace_id = item.req.trace_id;
+        item.ctx.span_id = item.req.span_id;
+      } else {
+        item.ctx = obs::CurrentTraceContext();
+      }
       item.enqueue_ns = NowNs();
       if (!queue_.TryPush(std::move(item))) {
         shed_.fetch_add(1, std::memory_order_relaxed);
@@ -417,6 +435,32 @@ bool Server::HandleFrame(const std::shared_ptr<Conn>& conn,
       SnapshotStats(&resp.stats);
       handler_->AppendStats(&resp.stats);
       const std::string encoded = EncodeStatsResponse(resp);
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      const Status wst = WriteFrame(conn->fd, encoded);
+      if (!wst.ok()) write_errors_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    case MessageType::kMetricsRequest: {
+      MetricsRequest req;
+      const Status st = DecodeMetricsRequest(payload, &req);
+      if (!st.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        hooks_.protocol_errors->Add();
+        return false;
+      }
+      MetricsResponse resp;
+      resp.request_id = req.request_id;
+      resp.snapshot = obs::Registry::Global().TakeSnapshot();
+      // Overlay the authoritative server-owned stats (and the handler's)
+      // onto the counter map: identical values when obs is on, and the
+      // only live values when it is disabled or compiled out.
+      std::map<std::string, uint64_t> stats;
+      SnapshotStats(&stats);
+      handler_->AppendStats(&stats);
+      for (const auto& [key, value] : stats) {
+        resp.snapshot.counters[key] = value;
+      }
+      const std::string encoded = EncodeMetricsResponse(resp);
       std::lock_guard<std::mutex> lock(conn->write_mu);
       const Status wst = WriteFrame(conn->fd, encoded);
       if (!wst.ok()) write_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -518,6 +562,35 @@ void Server::DispatchGroup(size_t worker, std::vector<WorkItem>* items,
                                          std::memory_order_relaxed);
     hooks_.coalesce_batches->Add();
     hooks_.coalesce_batched_requests->Add(indices.size());
+  }
+  MaybeTickMetrics(indices.size());
+}
+
+void Server::MaybeTickMetrics(size_t n_done) {
+  const size_t every = options_.metrics_tick_requests;
+  if (every == 0 || n_done == 0) return;
+  // fetch_add hands each boundary to exactly one worker, so a cadence
+  // tick never runs twice for the same crossing.
+  const uint64_t after =
+      metrics_tick_counter_.fetch_add(n_done, std::memory_order_relaxed) +
+      n_done;
+  if (after / every == (after - n_done) / every) return;
+  if (obs::Enabled()) {
+    obs::Registry& reg = obs::Registry::Global();
+    reg.TickWindows();
+    reg.SampleProcessGauges();  // live peak RSS for kMetrics / retina_top
+  }
+  if (!options_.prom_out.empty()) {
+    // Single writer: a worker that finds the lock held skips this refresh
+    // rather than queueing file writes behind the scoring path.
+    if (prom_mu_.try_lock()) {
+      const Status st = obs::ExportPrometheus(options_.prom_out);
+      prom_mu_.unlock();
+      if (!st.ok()) {
+        RETINA_LOG(Warning) << "serve: prometheus export failed: "
+                            << st.ToString();
+      }
+    }
   }
 }
 

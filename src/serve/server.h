@@ -58,6 +58,17 @@
 // Stats served over kStats come from server-owned atomics (not
 // retina::obs), so the protocol behaves identically when obs is
 // disabled or compiled out — observers never change behavior.
+//
+// Live telemetry (kMetrics + the metrics cadence): kMetricsRequest is
+// answered inline on the reader thread, like kStats, with a typed
+// obs::RegistrySnapshot — the server-owned stats (and the handler's) are
+// overlaid onto the counter map so the reply stays authoritative with obs
+// off. The dispatcher drives a logical metrics clock: every
+// metrics_tick_requests handled requests it rotates the windowed
+// histograms (so SnapshotWindow answers "p99 over the recent past"),
+// re-samples the process gauges, and — when prom_out is set — atomically
+// refreshes the Prometheus exposition file. The cadence counts requests,
+// never wall time, so the obs-on ≡ obs-off determinism pin is untouched.
 
 #ifndef RETINA_SERVE_SERVER_H_
 #define RETINA_SERVE_SERVER_H_
@@ -110,6 +121,14 @@ struct ServerOptions {
   /// The daemon main turns this on; tests drive RequestShutdown directly
   /// or raise() the signal themselves.
   bool install_signal_handler = false;
+  /// Metrics cadence: every this-many handled score requests the
+  /// dispatcher ticks the windowed histograms, re-samples process gauges,
+  /// and refreshes prom_out. 0 disables the cadence entirely.
+  size_t metrics_tick_requests = 64;
+  /// Path of the Prometheus text-exposition file, refreshed atomically
+  /// (write temp + rename) on the metrics cadence and once at drain.
+  /// Empty disables the writer.
+  std::string prom_out;
 };
 
 /// \brief One listening socket + admission queue + worker pool around a
@@ -177,6 +196,10 @@ class Server {
   bool HandleFrame(const std::shared_ptr<Conn>& conn,
                    const std::string& payload);
   void WriteResponse(Conn* conn, const ScoreResponse& resp);
+  /// Advances the logical metrics clock by `n_done` handled requests and,
+  /// on a cadence boundary, ticks the window ring, re-samples process
+  /// gauges, and refreshes the Prometheus file.
+  void MaybeTickMetrics(size_t n_done);
 
   Handler* handler_;
   ServerOptions options_;
@@ -209,6 +232,9 @@ class Server {
   /// covered. avg batch size = batched_requests / batches.
   std::atomic<uint64_t> coalesce_batches_{0};
   std::atomic<uint64_t> coalesce_batched_requests_{0};
+  /// Logical metrics clock: handled-request count feeding the cadence.
+  std::atomic<uint64_t> metrics_tick_counter_{0};
+  std::mutex prom_mu_;  ///< single prom writer; boundary crossers skip
 
   /// Observational mirrors, resolved once at construction.
   struct ObsHooks {
@@ -225,8 +251,10 @@ class Server {
     obs::Gauge* queue_capacity;
     obs::Gauge* workers;
     obs::Gauge* coalesce_max_batch;
-    obs::Histogram* queue_wait_ns;
-    obs::Histogram* handle_ns;
+    // Windowed: one Record feeds both the cumulative histogram (same
+    // registry name, shared storage) and the current window slot.
+    obs::WindowedHistogram* queue_wait_ns;
+    obs::WindowedHistogram* handle_ns;
   };
   ObsHooks hooks_;
 };

@@ -478,6 +478,207 @@ TEST(RegistryTest, PointersAreStableAndSummaryRenders) {
   EXPECT_NE(table.find("obs_test.stable"), std::string::npos);
 }
 
+// ------------------------------------------- Windowed histograms --------
+
+// Quantiles must pin to log2 bucket upper bounds exactly as the
+// cumulative histogram's do, both before any rotation and across ticks.
+TEST(WindowedHistogramTest, QuantilesPinToBucketUpperBoundsAcrossRotation) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.win_rot");
+  w->Reset();
+  reg.GetHistogram("obs_test.win_rot")->Reset();
+
+  for (int i = 0; i < 100; ++i) w->Record(3);  // bucket [2,3]
+  obs::WindowSnapshot snap = w->SnapshotWindow();
+  EXPECT_EQ(snap.ticks, 0u);
+  EXPECT_EQ(snap.window.count, 100u);
+  EXPECT_EQ(snap.window.sum, 300u);
+  EXPECT_EQ(snap.window.p50, 3u);
+  EXPECT_EQ(snap.window.p99, 3u);
+
+  w->Tick();
+  for (int i = 0; i < 100; ++i) w->Record(300);  // bucket [256,511]
+
+  // Last slot only: the post-tick recordings.
+  snap = w->SnapshotWindow(1);
+  EXPECT_EQ(snap.slots, 1u);
+  EXPECT_EQ(snap.window.count, 100u);
+  EXPECT_EQ(snap.window.p50, 511u);
+
+  // Full window: both slots merge; the median sits in the low bucket,
+  // the tail in the high one.
+  snap = w->SnapshotWindow();
+  EXPECT_EQ(snap.slots, 2u);
+  EXPECT_EQ(snap.window.count, 200u);
+  EXPECT_EQ(snap.window.p50, 3u);
+  EXPECT_EQ(snap.window.p99, 511u);
+
+  // The cumulative view never forgets, regardless of rotation.
+  EXPECT_EQ(w->Cumulative().Count(), 200u);
+}
+
+TEST(WindowedHistogramTest, RotationEvictsSlotsBeyondTheRing) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.win_evict");
+  w->Reset();
+  reg.GetHistogram("obs_test.win_evict")->Reset();
+  w->Record(7);
+  for (size_t i = 0; i < obs::WindowedHistogram::kRingSize; ++i) w->Tick();
+  const obs::WindowSnapshot snap = w->SnapshotWindow();
+  EXPECT_EQ(snap.ticks, obs::WindowedHistogram::kRingSize);
+  EXPECT_EQ(snap.window.count, 0u) << "pre-ring slot leaked into the window";
+  EXPECT_EQ(w->Cumulative().Count(), 1u);
+}
+
+// Empty and partial windows must stay integer-exact: zero quantiles on
+// zero count, and a partial window only merges the slots that exist.
+TEST(WindowedHistogramTest, EmptyAndPartialWindowsAreNaNFree) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.win_empty");
+  w->Reset();
+  reg.GetHistogram("obs_test.win_empty")->Reset();
+
+  obs::WindowSnapshot snap = w->SnapshotWindow();
+  EXPECT_EQ(snap.window.count, 0u);
+  EXPECT_EQ(snap.window.sum, 0u);
+  EXPECT_EQ(snap.window.p50, 0u);
+  EXPECT_EQ(snap.window.p95, 0u);
+  EXPECT_EQ(snap.window.p99, 0u);
+
+  // One tick happened; asking for more slots than exist clamps.
+  w->Tick();
+  w->Record(5);
+  snap = w->SnapshotWindow(obs::WindowedHistogram::kRingSize * 4);
+  EXPECT_EQ(snap.slots, 2u);  // tick 0's slot + the current one
+  EXPECT_EQ(snap.window.count, 1u);
+  EXPECT_EQ(snap.window.p50, 7u);  // bucket [4,7]
+}
+
+TEST(WindowedHistogramTest, DisabledRecordsNothingAndTickDoesNotRotate) {
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.win_off");
+  w->Reset();
+  reg.GetHistogram("obs_test.win_off")->Reset();
+  obs::SetEnabled(false);
+  w->Record(9);
+  w->Tick();
+  obs::SetEnabled(true);
+  EXPECT_EQ(w->Ticks(), 0u);
+  EXPECT_EQ(w->SnapshotWindow().window.count, 0u);
+  EXPECT_EQ(w->Cumulative().Count(), 0u);
+}
+
+// One Record feeds both views: the windowed histogram shares storage
+// with the plain histogram registered under the same name, so JSON
+// exports and kMetrics replies agree about the cumulative series.
+TEST(WindowedHistogramTest, SharesCumulativeWithSameNameHistogram) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  Histogram* plain = reg.GetHistogram("obs_test.win_shared");
+  plain->Reset();
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.win_shared");
+  w->Reset();
+  w->Record(12);
+  EXPECT_EQ(plain->Count(), 1u);
+  EXPECT_EQ(plain->Sum(), 12u);
+  EXPECT_EQ(&w->Cumulative(), plain);
+}
+
+// ------------------------------------------- Registry snapshots ---------
+
+TEST(RegistryTest, SnapshotDeltaSubtractsCountersAndGauges) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  reg.GetCounter("obs_test.delta_c")->Reset();
+  reg.GetCounter("obs_test.delta_c")->Add(10);
+  reg.GetCounter("obs_test.delta_idle")->Reset();
+  reg.GetCounter("obs_test.delta_idle")->Add(2);
+  reg.GetGauge("obs_test.delta_g")->Set(100);
+
+  const obs::RegistrySnapshot before = reg.TakeSnapshot();
+  reg.GetCounter("obs_test.delta_c")->Add(5);
+  reg.GetGauge("obs_test.delta_g")->Set(40);
+  const obs::RegistrySnapshot after = reg.TakeSnapshot();
+
+  const obs::RegistrySnapshot delta =
+      Registry::SnapshotDelta(before, after);
+  EXPECT_EQ(delta.counters.at("obs_test.delta_c"), 5u);
+  EXPECT_EQ(delta.gauges.at("obs_test.delta_g"), -60);
+  // Untouched instruments appear with a zero delta, not as absences.
+  ASSERT_NE(delta.counters.find("obs_test.delta_idle"),
+            delta.counters.end());
+  EXPECT_EQ(delta.counters.at("obs_test.delta_idle"), 0u);
+}
+
+TEST(RegistryTest, JsonExportCarriesWindowsSection) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.json_win");
+  w->Reset();
+  reg.GetHistogram("obs_test.json_win")->Reset();
+  w->Record(3);
+  w->Tick();
+  w->Record(300);
+
+  const std::string json = reg.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  const JsonValue& win = root.at("windows").at("obs_test.json_win");
+  EXPECT_EQ(win.at("ticks").num, 1.0);
+  EXPECT_EQ(win.at("count").num, 2.0);
+  EXPECT_EQ(win.at("p99").num, 511.0);
+  // The shared cumulative histogram still renders in "histograms".
+  EXPECT_EQ(root.at("histograms").at("obs_test.json_win").at("count").num,
+            2.0);
+}
+
+TEST(RegistryTest, PrometheusExpositionPinsBucketsAndQuantiles) {
+  SKIP_IF_OBS_COMPILED_OUT();
+  ObsEnabledGuard guard;
+  Registry& reg = Registry::Global();
+  reg.GetCounter("obs_test.prom_c")->Reset();
+  reg.GetCounter("obs_test.prom_c")->Add(3);
+  obs::WindowedHistogram* w = reg.GetWindowedHistogram("obs_test.prom_h");
+  w->Reset();
+  reg.GetHistogram("obs_test.prom_h")->Reset();
+  w->Record(3);
+  w->Record(3);
+  w->Record(300);
+
+  const std::string prom = reg.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE retina_obs_test_prom_c counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("retina_obs_test_prom_c 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE retina_obs_test_prom_h histogram"),
+            std::string::npos);
+  // Cumulative buckets at log2 upper bounds, ending in +Inf == _count.
+  EXPECT_NE(prom.find("retina_obs_test_prom_h_bucket{le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("retina_obs_test_prom_h_bucket{le=\"511\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("retina_obs_test_prom_h_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("retina_obs_test_prom_h_sum 306\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("retina_obs_test_prom_h_count 3\n"),
+            std::string::npos);
+  // The windowed view exports as gauge families with quantile suffixes.
+  EXPECT_NE(prom.find("# TYPE retina_obs_test_prom_h_window_p99 gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("retina_obs_test_prom_h_window_p99 511\n"),
+            std::string::npos);
+}
+
 // ------------------------------------------------- Determinism pinning --
 
 // Small synthetic retweet task, same shape the parallel bench uses.

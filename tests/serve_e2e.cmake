@@ -7,7 +7,14 @@
 #                          socket path first to pin stale recovery)
 #   load_driver           --verify-data/--verify-model + QPS sweep, once
 #                         over the Unix socket and once over TCP loopback
+#   load_driver (bg) + retina_top --once
+#                         a third, unverified driver runs in the
+#                         background while retina_top polls kMetrics and
+#                         must report nonzero qps
 #   kill -TERM            (graceful drain)
+#   check_prom.py / report.py
+#                         validate the --prom-out exposition and render
+#                         the merged client+server trace report
 #
 # and asserts the whole serving contract end to end, across processes:
 #
@@ -21,8 +28,16 @@
 #   - the sweep (>= 3 QPS points, >= 4 connections) completes with zero
 #     dropped requests — a request is either answered or shed at
 #     admission, never silently lost;
+#   - retina_top --once, polled against the live daemon under background
+#     load, derives a nonzero QPS from two kMetrics snapshots (and, with
+#     obs compiled in, a nonzero windowed handle p99);
 #   - SIGTERM drains: the daemon exits on its own, logs the drain, and
-#     writes --metrics-out and --trace-out before exiting;
+#     writes --metrics-out, --trace-out, and --prom-out before exiting;
+#   - the Prometheus exposition passes tools/check_prom.py, including the
+#     retina_serve_handle_ns histogram family;
+#   - report.py merges the driver's --trace-out with the daemon's and,
+#     with obs compiled in, pairs at least one trace id across both
+#     files (cross-process propagation observed end to end);
 #   - BENCH_serve.json / BENCH_serve_tcp.json parse, carry the coalesce
 #     observability block and transport label, and land in
 #     ${WORK_DIR}_outputs for the report tooling and CI artifact upload.
@@ -32,7 +47,8 @@
 #
 # Run as:
 #   cmake -DRETINA_CLI=<retina> -DRETINA_SERVE=<retina_serve>
-#         -DLOAD_DRIVER=<load_driver> -DWORK_DIR=<scratch dir>
+#         -DLOAD_DRIVER=<load_driver> -DRETINA_TOP=<retina_top>
+#         -DWORK_DIR=<scratch dir>
 #         [-DOBS_COMPILED_OUT=ON] -P serve_e2e.cmake
 #
 # OBS_COMPILED_OUT=ON relaxes the metrics-content assertions (counters
@@ -47,6 +63,9 @@ if(NOT DEFINED RETINA_SERVE)
 endif()
 if(NOT DEFINED LOAD_DRIVER)
   message(FATAL_ERROR "pass -DLOAD_DRIVER=<path to the load_driver binary>")
+endif()
+if(NOT DEFINED RETINA_TOP)
+  message(FATAL_ERROR "pass -DRETINA_TOP=<path to the retina_top binary>")
 endif()
 if(NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "pass -DWORK_DIR=<scratch directory>")
@@ -95,9 +114,10 @@ execute_process(
   COMMAND sh -c "exec '${RETINA_SERVE}' \
       --data '${WORK_DIR}/world' --model '${WORK_DIR}/model' \
       --socket '${SOCKET}' --listen 127.0.0.1:0 \
-      --workers 4 --queue-capacity 128 \
+      --workers 4 --queue-capacity 128 --metrics-tick 32 \
       --metrics-out '${WORK_DIR}/serve_metrics.json' \
       --trace-out '${WORK_DIR}/serve_trace.json' \
+      --prom-out '${WORK_DIR}/serve.prom' \
       > '${WORK_DIR}/serve.log' 2>&1 & echo $!"
   RESULT_VARIABLE rc OUTPUT_VARIABLE serve_pid ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
@@ -157,6 +177,7 @@ execute_process(
           --verify-data "${WORK_DIR}/world" --verify-model "${WORK_DIR}/model"
           --out "${WORK_DIR}/BENCH_serve.json"
           "--metrics-out=${WORK_DIR}/driver_metrics.json"
+          "--trace-out=${WORK_DIR}/driver_trace.json"
   RESULT_VARIABLE rc OUTPUT_VARIABLE driver_out ERROR_VARIABLE driver_err)
 if(NOT rc EQUAL 0)
   file(READ "${WORK_DIR}/serve.log" serve_log)
@@ -183,6 +204,69 @@ if(NOT rc EQUAL 0)
 endif()
 if(NOT tcp_out MATCHES "byte-identical to the in-process engine")
   message(FATAL_ERROR "TCP leg did not run the verify pass:\n${tcp_out}")
+endif()
+
+# ---- Live monitoring: a third driver runs in the background (no
+# --verify, so it starts sending immediately; no --smoke, so the request
+# budget is not clamped) while retina_top --once takes two kMetrics
+# snapshots one second apart. The derived QPS must be nonzero — this is
+# the whole point of the monitor, and it rests on the server-owned
+# atomics, so it holds with obs compiled out too.
+execute_process(
+  COMMAND sh -c "( '${LOAD_DRIVER}' --socket '${SOCKET}' \
+      --qps 40 --requests 200 --connections 2 --seed 13 \
+      --out '${WORK_DIR}/BENCH_top_load.json' \
+      > '${WORK_DIR}/top_driver.log' 2>&1; \
+      echo $? > '${WORK_DIR}/top_rc' ) > /dev/null 2>&1 & echo $!"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE top_driver_pid ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch the background driver (${rc}): ${err}")
+endif()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 1)
+execute_process(
+  COMMAND "${RETINA_TOP}" --socket "${SOCKET}" --once
+  RESULT_VARIABLE rc OUTPUT_VARIABLE top_out ERROR_VARIABLE top_err)
+if(NOT rc EQUAL 0)
+  file(READ "${WORK_DIR}/serve.log" serve_log)
+  message(FATAL_ERROR "retina_top --once failed (${rc}):\n${top_out}\n"
+          "${top_err}\nserver log:\n${serve_log}")
+endif()
+file(WRITE "${WORK_DIR}/top_once.txt" "${top_out}")
+if(NOT top_out MATCHES "qps ([0-9]+\\.[0-9]+)")
+  message(FATAL_ERROR "retina_top --once printed no qps line:\n${top_out}")
+endif()
+set(top_qps "${CMAKE_MATCH_1}")
+if(top_qps STREQUAL "0.000")
+  message(FATAL_ERROR "retina_top saw no traffic under background load:\n${top_out}")
+endif()
+if(NOT OBS_COMPILED_OUT)
+  # The 32-request metrics cadence has ticked by now, so the windowed
+  # handle p99 must be live (nonzero leading digit).
+  if(NOT top_out MATCHES "handle_ns_window_p99 [1-9]")
+    message(FATAL_ERROR "retina_top --once has no live windowed p99:\n${top_out}")
+  endif()
+endif()
+message(STATUS "retina_top ok: qps ${top_qps}")
+
+# Let the background driver finish before draining the daemon; its rc file
+# is the completion signal.
+set(top_done FALSE)
+foreach(i RANGE 150)
+  if(EXISTS "${WORK_DIR}/top_rc")
+    set(top_done TRUE)
+    break()
+  endif()
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.2)
+endforeach()
+if(NOT top_done)
+  file(READ "${WORK_DIR}/top_driver.log" top_log)
+  message(FATAL_ERROR "background driver never finished:\n${top_log}")
+endif()
+file(READ "${WORK_DIR}/top_rc" top_rc)
+string(STRIP "${top_rc}" top_rc)
+if(NOT top_rc EQUAL 0)
+  file(READ "${WORK_DIR}/top_driver.log" top_log)
+  message(FATAL_ERROR "background driver failed (${top_rc}):\n${top_log}")
 endif()
 
 # ---- Graceful drain: SIGTERM, then the daemon must exit on its own and
@@ -216,6 +300,9 @@ if(NOT EXISTS "${WORK_DIR}/serve_metrics.json")
 endif()
 if(NOT EXISTS "${WORK_DIR}/serve_trace.json")
   message(FATAL_ERROR "daemon did not write serve_trace.json:\n${serve_log}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/serve.prom")
+  message(FATAL_ERROR "daemon did not write serve.prom:\n${serve_log}")
 endif()
 if(EXISTS "${SOCKET}")
   message(FATAL_ERROR "daemon left its socket file behind: ${SOCKET}")
@@ -317,13 +404,68 @@ if(NOT OBS_COMPILED_OUT AND CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
           "${serve_responses} responses")
 endif()
 
+# ---- Offline telemetry tooling against the real artifacts: the
+# Prometheus exposition must pass the format validator (families exist
+# even with obs compiled out — registration is unconditional, only the
+# values flatline), and report.py must merge the driver's trace with the
+# daemon's into a cross-process section. Skipped quietly if no python3 is
+# on PATH (the report_tool_* ctest entries cover the same ground).
+find_program(PYTHON3_FOR_E2E NAMES python3 python)
+if(PYTHON3_FOR_E2E)
+  get_filename_component(REPO_TOOLS "${CMAKE_CURRENT_LIST_DIR}/../tools"
+                         ABSOLUTE)
+  execute_process(
+    COMMAND "${PYTHON3_FOR_E2E}" "${REPO_TOOLS}/check_prom.py"
+            "${WORK_DIR}/serve.prom"
+            --require-family retina_serve_handle_ns
+            --require-family retina_serve_queue_wait_ns
+    RESULT_VARIABLE rc OUTPUT_VARIABLE prom_out ERROR_VARIABLE prom_err)
+  if(NOT rc EQUAL 0)
+    file(READ "${WORK_DIR}/serve.prom" prom_text)
+    message(FATAL_ERROR "check_prom failed (${rc}):\n${prom_out}\n${prom_err}\n"
+            "exposition:\n${prom_text}")
+  endif()
+  message(STATUS "${prom_out}")
+
+  execute_process(
+    COMMAND "${PYTHON3_FOR_E2E}" "${REPO_TOOLS}/report.py"
+            --serve-bench "${WORK_DIR}/BENCH_serve.json"
+            --serve-metrics "${WORK_DIR}/serve_metrics.json"
+            --trace "${WORK_DIR}/serve_trace.json"
+            --client-trace "${WORK_DIR}/driver_trace.json"
+            --out "${WORK_DIR}/report_serve.md"
+    RESULT_VARIABLE rc OUTPUT_VARIABLE report_out ERROR_VARIABLE report_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "report.py failed (${rc}):\n${report_out}\n${report_err}")
+  endif()
+  file(READ "${WORK_DIR}/report_serve.md" report_md)
+  if(NOT report_md MATCHES "Cross-process traces")
+    message(FATAL_ERROR "merged report lacks the cross-process section:\n${report_md}")
+  endif()
+  if(NOT OBS_COMPILED_OUT)
+    # Both processes traced the same requests: at least one trace id must
+    # pair a driver.send span with a serve.handle span.
+    if(NOT report_md MATCHES "([0-9]+) trace ids appear in both files")
+      message(FATAL_ERROR "merged report did not pair traces:\n${report_md}")
+    endif()
+    if(CMAKE_MATCH_1 EQUAL 0)
+      message(FATAL_ERROR "no trace ids paired across processes:\n${report_md}")
+    endif()
+    message(STATUS "cross-process report ok: ${CMAKE_MATCH_1} paired trace ids")
+  endif()
+endif()
+
 # Preserve the serving artifacts for report tests and CI upload, then drop
 # the bulky world/model scratch.
 file(REMOVE_RECURSE "${WORK_DIR}_outputs")
 file(MAKE_DIRECTORY "${WORK_DIR}_outputs")
 file(COPY "${WORK_DIR}/BENCH_serve.json" "${WORK_DIR}/BENCH_serve_tcp.json"
      "${WORK_DIR}/serve_metrics.json" "${WORK_DIR}/serve_trace.json"
-     "${WORK_DIR}/driver_metrics.json"
+     "${WORK_DIR}/driver_metrics.json" "${WORK_DIR}/driver_trace.json"
+     "${WORK_DIR}/serve.prom" "${WORK_DIR}/top_once.txt"
      DESTINATION "${WORK_DIR}_outputs")
+if(EXISTS "${WORK_DIR}/report_serve.md")
+  file(COPY "${WORK_DIR}/report_serve.md" DESTINATION "${WORK_DIR}_outputs")
+endif()
 file(REMOVE_RECURSE "${WORK_DIR}")
 message(STATUS "serve e2e smoke passed")

@@ -126,6 +126,127 @@ TEST(ProtocolTest, StatsRoundTrips) {
   EXPECT_EQ(sout.request_id, 11u);
 }
 
+TEST(ProtocolTest, ScoreRequestCarriesTraceContext) {
+  ScoreRequest req;
+  req.request_id = 8;
+  req.tweet_id = 2;
+  req.users = {1, 2, 3};
+  req.trace_id = 0xAABBCCDDEEFF0011ull;
+  req.span_id = 0x77;
+  ScoreRequest out;
+  ASSERT_TRUE(DecodeScoreRequest(EncodeScoreRequest(req), &out).ok());
+  EXPECT_EQ(out.trace_id, req.trace_id);
+  EXPECT_EQ(out.span_id, req.span_id);
+  // Unset context travels as zeros (the "no trace" wire value).
+  ScoreRequest plain;
+  plain.request_id = 9;
+  plain.tweet_id = 1;
+  out.trace_id = 1;  // must be overwritten by decode
+  out.span_id = 1;
+  ASSERT_TRUE(DecodeScoreRequest(EncodeScoreRequest(plain), &out).ok());
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.span_id, 0u);
+}
+
+/// Hand-crafts the version-1 encoding of a score request (no 16-byte
+/// trace tail) from the current encoder's output: strip the tail, patch
+/// the header's u16 version field down to 1.
+std::string EncodeScoreRequestV1(const ScoreRequest& req) {
+  std::string payload = EncodeScoreRequest(req);
+  payload.resize(payload.size() - 16);
+  payload[4] = 1;  // version lo byte
+  payload[5] = 0;  // version hi byte
+  return payload;
+}
+
+TEST(ProtocolTest, V1ScoreRequestFramesStillDecode) {
+  ScoreRequest req;
+  req.request_id = 31;
+  req.tweet_id = 6;
+  req.users = {4, 5};
+  req.trace_id = 0xDEAD;  // encoder writes it; the v1 frame drops it
+  req.span_id = 0xBEEF;
+  const std::string v1 = EncodeScoreRequestV1(req);
+  ScoreRequest out;
+  out.trace_id = 1;
+  out.span_id = 1;
+  ASSERT_TRUE(DecodeScoreRequest(v1, &out).ok());
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.tweet_id, req.tweet_id);
+  EXPECT_EQ(out.users, req.users);
+  EXPECT_EQ(out.trace_id, 0u) << "v1 frames carry no trace context";
+  EXPECT_EQ(out.span_id, 0u);
+
+  // A frame claiming v1 but carrying the v2 trace tail is corrupt: the
+  // user count no longer agrees with the body size.
+  std::string bad = EncodeScoreRequest(req);
+  bad[4] = 1;
+  bad[5] = 0;
+  EXPECT_FALSE(DecodeScoreRequest(bad, &out).ok());
+}
+
+TEST(ProtocolTest, MetricsRoundTripsTypedSnapshot) {
+  MetricsRequest req;
+  req.request_id = 40;
+  MetricsRequest req_out;
+  ASSERT_TRUE(DecodeMetricsRequest(EncodeMetricsRequest(req), &req_out).ok());
+  EXPECT_EQ(req_out.request_id, 40u);
+
+  MetricsResponse resp;
+  resp.request_id = 40;
+  resp.snapshot.counters = {{"serve.requests", 7}, {"serve.shed", 0}};
+  resp.snapshot.gauges = {{"serve.queue.depth_peak", 3},
+                          {"obs_test.negative", -123}};
+  obs::HistogramSnapshot h;
+  h.count = 9;
+  h.sum = 900;
+  h.p50 = 63;
+  h.p95 = 127;
+  h.p99 = 255;
+  resp.snapshot.histograms = {{"serve.handle_ns", h}};
+  obs::WindowSnapshot w;
+  w.ticks = 5;
+  w.slots = 5;
+  w.window = h;
+  resp.snapshot.windows = {{"serve.handle_ns", w}};
+
+  const std::string payload = EncodeMetricsResponse(resp);
+  auto type = PeekMessageType(payload);
+  ASSERT_TRUE(type.ok());
+  EXPECT_EQ(type.ValueOrDie(), MessageType::kMetricsResponse);
+  MetricsResponse out;
+  ASSERT_TRUE(DecodeMetricsResponse(payload, &out).ok());
+  EXPECT_EQ(out.request_id, 40u);
+  EXPECT_EQ(out.snapshot.counters, resp.snapshot.counters);
+  EXPECT_EQ(out.snapshot.gauges, resp.snapshot.gauges);
+  ASSERT_EQ(out.snapshot.histograms.count("serve.handle_ns"), 1u);
+  const obs::HistogramSnapshot& hg =
+      out.snapshot.histograms.at("serve.handle_ns");
+  EXPECT_EQ(hg.count, 9u);
+  EXPECT_EQ(hg.sum, 900u);
+  EXPECT_EQ(hg.p99, 255u);
+  ASSERT_EQ(out.snapshot.windows.count("serve.handle_ns"), 1u);
+  const obs::WindowSnapshot& wg = out.snapshot.windows.at("serve.handle_ns");
+  EXPECT_EQ(wg.ticks, 5u);
+  EXPECT_EQ(wg.slots, 5u);
+  EXPECT_EQ(wg.window.p50, 63u);
+}
+
+TEST(ProtocolTest, MetricsDuplicateKeysAreCorrupt) {
+  MetricsResponse resp;
+  resp.request_id = 1;
+  resp.snapshot.counters = {{"dup_aa", 1}, {"dup_ab", 2}};
+  std::string payload = EncodeMetricsResponse(resp);
+  const size_t pos = payload.find("dup_ab");
+  ASSERT_NE(pos, std::string::npos);
+  payload.replace(pos, 6, "dup_aa");  // same length, now a duplicate key
+  MetricsResponse out;
+  const Status st = DecodeMetricsResponse(payload, &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("duplicate"), std::string::npos)
+      << st.ToString();
+}
+
 TEST(ProtocolTest, CorruptHeadersAreStatusErrors) {
   ScoreRequest req;
   req.request_id = 3;
@@ -173,10 +294,24 @@ TEST(ProtocolTest, EveryTruncationIsAStatusErrorNeverUB) {
   StatsResponse stats;
   stats.request_id = 1;
   stats.stats = {{"k", 7}};
+  MetricsResponse metrics;
+  metrics.request_id = 1;
+  metrics.snapshot.counters = {{"c", 3}};
+  metrics.snapshot.gauges = {{"g", -3}};
+  obs::HistogramSnapshot mh;
+  mh.count = 1;
+  mh.sum = 2;
+  metrics.snapshot.histograms = {{"h", mh}};
+  obs::WindowSnapshot mw;
+  mw.ticks = 1;
+  mw.slots = 1;
+  mw.window = mh;
+  metrics.snapshot.windows = {{"w", mw}};
   const std::string payloads[] = {
       EncodeScoreRequest(req), EncodeScoreResponse(ok_resp),
       EncodeScoreResponse(err_resp), EncodeStatsRequest(StatsRequest{1}),
-      EncodeStatsResponse(stats)};
+      EncodeStatsResponse(stats), EncodeMetricsRequest(MetricsRequest{1}),
+      EncodeMetricsResponse(metrics)};
   for (const std::string& payload : payloads) {
     for (size_t cut = 0; cut < payload.size(); ++cut) {
       const std::string_view prefix(payload.data(), cut);
@@ -184,10 +319,14 @@ TEST(ProtocolTest, EveryTruncationIsAStatusErrorNeverUB) {
       ScoreResponse sr;
       StatsRequest str;
       StatsResponse sts;
+      MetricsRequest mr;
+      MetricsResponse mrs;
       EXPECT_FALSE(DecodeScoreRequest(prefix, &r).ok()) << "cut " << cut;
       EXPECT_FALSE(DecodeScoreResponse(prefix, &sr).ok()) << "cut " << cut;
       EXPECT_FALSE(DecodeStatsRequest(prefix, &str).ok()) << "cut " << cut;
       EXPECT_FALSE(DecodeStatsResponse(prefix, &sts).ok()) << "cut " << cut;
+      EXPECT_FALSE(DecodeMetricsRequest(prefix, &mr).ok()) << "cut " << cut;
+      EXPECT_FALSE(DecodeMetricsResponse(prefix, &mrs).ok()) << "cut " << cut;
     }
     // Trailing garbage is corruption too, not ignorable padding.
     const std::string padded = payload + '\0';
@@ -195,10 +334,14 @@ TEST(ProtocolTest, EveryTruncationIsAStatusErrorNeverUB) {
     ScoreResponse sr;
     StatsRequest str;
     StatsResponse sts;
+    MetricsRequest mr;
+    MetricsResponse mrs;
     EXPECT_FALSE(DecodeScoreRequest(padded, &r).ok());
     EXPECT_FALSE(DecodeScoreResponse(padded, &sr).ok());
     EXPECT_FALSE(DecodeStatsRequest(padded, &str).ok());
     EXPECT_FALSE(DecodeStatsResponse(padded, &sts).ok());
+    EXPECT_FALSE(DecodeMetricsRequest(padded, &mr).ok());
+    EXPECT_FALSE(DecodeMetricsResponse(padded, &mrs).ok());
   }
 }
 
@@ -876,6 +1019,136 @@ TEST(ServerTest, ConcurrentClientsGetByteIdenticalScores) {
   EXPECT_EQ(stats["serve.shed"], 0u);
   EXPECT_EQ(stats["serve.errors"], 0u);
   EXPECT_EQ(stats["serve.protocol_errors"], 0u);
+}
+
+/// One kMetrics round trip on an already-open connection.
+Result<MetricsResponse> FetchMetrics(int fd) {
+  MetricsRequest req;
+  req.request_id = 2;
+  RETINA_RETURN_NOT_OK(WriteFrame(fd, EncodeMetricsRequest(req)));
+  std::string payload;
+  bool eof = false;
+  RETINA_RETURN_NOT_OK(ReadFrame(fd, &payload, &eof));
+  if (eof) return Status::IOError("eof before metrics");
+  MetricsResponse resp;
+  RETINA_RETURN_NOT_OK(DecodeMetricsResponse(payload, &resp));
+  return resp;
+}
+
+TEST(ServerTest, MetricsAnsweredInlineWithAuthoritativeCounters) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("metrics");
+  sopts.metrics_tick_requests = 2;  // rotate aggressively under test load
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  const auto requests = MakeRequests(f, 6, 321);
+  for (const ScoreRequest& req : requests) {
+    auto resp = RoundTrip(fd.ValueOrDie(), req);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp.ValueOrDie().code, ResponseCode::kOk);
+  }
+  // The worker bumps serve.responses just after writing the frame, so a
+  // metrics probe racing the last response can read one short; re-poll
+  // until it settles (bounded).
+  obs::RegistrySnapshot snap;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto metrics = FetchMetrics(fd.ValueOrDie());
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    snap = std::move(metrics.ValueOrDie().snapshot);
+    if (snap.counters.at("serve.responses") >= requests.size()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Server-owned counters are overlaid into the snapshot, so the reply
+  // is authoritative even with obs disabled or compiled out.
+  EXPECT_EQ(snap.counters.at("serve.requests"), requests.size());
+  EXPECT_EQ(snap.counters.at("serve.responses"), requests.size());
+  EXPECT_EQ(snap.counters.at("serve.shed"), 0u);
+  EXPECT_EQ(snap.counters.at("handler.num_workers"),
+            handler->num_workers());
+  if (obs::kCompiledIn) {
+    // The windowed view of the handle latency is live: the current
+    // partial slot counts, so no cadence boundary needs to have passed.
+    ASSERT_EQ(snap.windows.count("serve.handle_ns"), 1u);
+    EXPECT_GT(snap.windows.at("serve.handle_ns").window.count, 0u);
+    EXPECT_GT(snap.windows.at("serve.handle_ns").window.p50, 0u);
+    // Cadence boundary crossed (6 requests / tick every 2): the ring
+    // rotated at least once.
+    EXPECT_GT(snap.windows.at("serve.handle_ns").ticks, 0u);
+  }
+  close(fd.ValueOrDie());
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+}
+
+TEST(ServerTest, V1ScoreFramesWithoutTraceTailScoreByteIdentically) {
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("v1");
+  Server server(handler.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  for (const ScoreRequest& req : MakeRequests(f, 6, 55)) {
+    auto v2 = RoundTrip(fd.ValueOrDie(), req);
+    ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+    ASSERT_EQ(v2.ValueOrDie().code, ResponseCode::kOk);
+
+    // The same request as an old client would frame it: version 1, no
+    // trace tail. Scores must be byte-identical.
+    ASSERT_TRUE(
+        WriteFrame(fd.ValueOrDie(), EncodeScoreRequestV1(req)).ok());
+    std::string payload;
+    bool eof = false;
+    ASSERT_TRUE(ReadFrame(fd.ValueOrDie(), &payload, &eof).ok());
+    ASSERT_FALSE(eof);
+    ScoreResponse v1;
+    ASSERT_TRUE(DecodeScoreResponse(payload, &v1).ok());
+    ASSERT_EQ(v1.code, ResponseCode::kOk);
+    ExpectBitIdentical(v1.scores, v2.ValueOrDie().scores, "v1 vs v2");
+  }
+  close(fd.ValueOrDie());
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+}
+
+TEST(ServerTest, ClientTraceContextPropagatesIntoHandleSpans) {
+  if (!obs::kCompiledIn) {
+    GTEST_SKIP() << "tracing compiled out with obs";
+  }
+  auto& f = SharedFixture();
+  auto handler = RequestHandler::Borrow(f.model.get(), f.extractor.get(), {});
+  ServerOptions sopts;
+  sopts.socket_path = TestSocketPath("traceprop");
+  Server server(handler.get(), sopts);
+  obs::StartTracing();
+  ASSERT_TRUE(server.Start().ok());
+
+  auto fd = ConnectTo(sopts.socket_path);
+  ASSERT_TRUE(fd.ok());
+  ScoreRequest req = MakeRequests(f, 1, 77)[0];
+  req.trace_id = 43981;  // 0xABCD — a "client-minted" trace id
+  req.span_id = 119;     // the client's send-span id
+  auto resp = RoundTrip(fd.ValueOrDie(), req);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp.ValueOrDie().code, ResponseCode::kOk);
+  close(fd.ValueOrDie());
+  server.RequestShutdown();
+  ASSERT_TRUE(server.Wait().ok());
+
+  const std::string json = obs::TraceToChromeJson();
+  obs::StopTracing();
+  // The daemon's serve.handle span adopted the wire context: same trace
+  // id, parented under the client's send span.
+  EXPECT_NE(json.find("\"serve.handle\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":43981"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"parent_span_id\":119"), std::string::npos) << json;
 }
 
 /// Handler whose HandleScore blocks until released — makes queue overflow

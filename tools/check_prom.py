@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validator for the daemon's --prom-out Prometheus text exposition.
+
+Checks the format invariants obs::Registry::ToPrometheus() promises, the
+ones a real scraper would choke on if they broke:
+
+  - every sample line belongs to a family announced by a preceding
+    `# TYPE <family> <counter|gauge|histogram>` line
+  - family names are `retina_`-prefixed, `[a-zA-Z_:][a-zA-Z0-9_:]*`, and
+    each family is announced exactly once, in sorted order (the file is
+    written from sorted maps, so an unsorted file means a writer bug)
+  - sample values parse as numbers
+  - histogram families carry `_bucket{le="..."}` samples with
+    non-decreasing upper bounds and non-decreasing cumulative counts,
+    ending in an `le="+Inf"` bucket whose count equals `_sum`'s sibling
+    `_count` sample
+
+Usage:
+  tools/check_prom.py FILE [--require-family NAME]...
+
+--require-family asserts a family is present (e.g. the serve e2e requires
+retina_serve_handle_ns after driving load). Exits nonzero with a message
+on the first violation. Stdlib only.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+FAMILY_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+
+
+def fail(lineno, message):
+    sys.exit(f"check_prom: line {lineno}: {message}")
+
+
+def parse_value(lineno, text):
+    try:
+        return float(text)
+    except ValueError:
+        fail(lineno, f"sample value {text!r} is not a number")
+
+
+def family_of(sample_name):
+    """Strips the histogram-sample suffix to recover the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def le_bound(lineno, labels):
+    m = re.match(r'^le="([^"]*)"$', labels or "")
+    if not m:
+        fail(lineno, f"bucket labels {labels!r} are not a single le=\"...\"")
+    raw = m.group(1)
+    if raw == "+Inf":
+        return math.inf
+    return parse_value(lineno, raw)
+
+
+def check(path, require_families):
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    types = {}          # family -> type string
+    announced = []      # families in file order
+    histograms = {}     # family -> {"buckets": [(le, count)], "sum": v,
+                        #            "count": v, "lines": [...]}
+    samples = 0
+
+    current_family = None
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(lineno, f"malformed TYPE line: {line!r}")
+            _, _, family, kind = parts
+            if not FAMILY_RE.match(family):
+                fail(lineno, f"bad family name {family!r}")
+            if not family.startswith("retina_"):
+                fail(lineno, f"family {family!r} lacks the retina_ prefix")
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(lineno, f"unknown family type {kind!r}")
+            if family in types:
+                fail(lineno, f"family {family!r} announced twice")
+            types[family] = kind
+            announced.append(family)
+            current_family = family
+            if kind == "histogram":
+                histograms[family] = {"buckets": [], "sum": None,
+                                      "count": None}
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal exposition
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"unparseable sample line: {line!r}")
+        name = m.group("name")
+        family = family_of(name)
+        if family not in types:
+            fail(lineno, f"sample {name!r} has no preceding # TYPE line")
+        if family != current_family:
+            fail(lineno, f"sample {name!r} is separated from its family "
+                         f"block (current family is {current_family!r})")
+        value = parse_value(lineno, m.group("value"))
+        samples += 1
+        if types[family] == "histogram":
+            h = histograms[family]
+            if name.endswith("_bucket"):
+                h["buckets"].append(
+                    (le_bound(lineno, m.group("labels")), value, lineno))
+            elif name.endswith("_sum"):
+                h["sum"] = value
+            elif name.endswith("_count"):
+                h["count"] = value
+            else:
+                fail(lineno, f"histogram family {family!r} has a bare "
+                             f"sample {name!r}")
+        elif m.group("labels"):
+            fail(lineno, f"{types[family]} sample {name!r} carries labels")
+
+    if announced != sorted(announced):
+        sys.exit("check_prom: families are not in sorted order "
+                 "(writer emits sorted maps, so this is a bug)")
+
+    for family, h in sorted(histograms.items()):
+        if not h["buckets"]:
+            sys.exit(f"check_prom: histogram {family} has no _bucket lines")
+        prev_le, prev_count = -math.inf, -1.0
+        for le, count, lineno in h["buckets"]:
+            if le <= prev_le:
+                fail(lineno, f"{family} bucket bounds not increasing "
+                             f"({le} after {prev_le})")
+            if count < prev_count:
+                fail(lineno, f"{family} cumulative bucket counts decreased "
+                             f"({count} after {prev_count})")
+            prev_le, prev_count = le, count
+        last_le, last_count, last_line = h["buckets"][-1]
+        if last_le != math.inf:
+            fail(last_line, f"{family} buckets do not end in le=\"+Inf\"")
+        if h["count"] is None or h["sum"] is None:
+            sys.exit(f"check_prom: histogram {family} lacks _count/_sum")
+        if last_count != h["count"]:
+            sys.exit(f"check_prom: {family} +Inf bucket ({last_count:g}) "
+                     f"!= _count ({h['count']:g})")
+
+    missing = [f for f in require_families if f not in types]
+    if missing:
+        sys.exit(f"check_prom: required families missing: "
+                 f"{', '.join(missing)} (have {len(types)})")
+
+    print(f"check_prom: {path} OK — {len(types)} families, "
+          f"{samples} samples, {len(histograms)} histograms")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="Prometheus exposition file (--prom-out)")
+    ap.add_argument("--require-family", action="append", default=[],
+                    help="fail unless this family is present (repeatable)")
+    args = ap.parse_args()
+    check(args.file, args.require_family)
+
+
+if __name__ == "__main__":
+    main()

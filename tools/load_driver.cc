@@ -117,7 +117,11 @@ int Usage() {
       "  --seed S               arrival/content seed (deterministic)\n"
       "  --out FILE             BENCH json (default BENCH_serve.json)\n"
       "  --metrics-out FILE     dump the driver's obs registry as JSON\n"
-      "  --trace-out FILE       record the driver's own timeline trace\n"
+      "  --trace-out FILE       record the driver's own timeline trace;\n"
+      "                         also mints a per-request trace id carried\n"
+      "                         on the wire so the daemon's --trace-out\n"
+      "                         spans join the driver's (tools/report.py\n"
+      "                         --client-trace merges the two files)\n"
       "  --verify-data DIR      with --verify-model: load the same bundle\n"
       "  --verify-model DIR     in-process and require the daemon's scores\n"
       "                         to be byte-identical before the sweep\n"
@@ -358,6 +362,33 @@ uint64_t StatOr(const std::map<std::string, uint64_t>& stats,
   return it == stats.end() ? fallback : it->second;
 }
 
+/// Sends one score request, stamping it with a freshly minted client trace
+/// context when a trace session is active (--trace-out): the request rides
+/// the wire with trace_id plus the id of the "driver.send" span emitted
+/// around the write, so the daemon's serve.handle span parents under this
+/// client span and report.py can pair the two files into one cross-process
+/// timeline. With tracing off the trace fields stay zero — old daemons and
+/// the byte-identity pin see the same scores either way.
+Status SendScoreRequest(int fd, serve::ScoreRequest req) {
+  if (!obs::TraceEnabled()) {
+    return serve::WriteFrame(fd, serve::EncodeScoreRequest(req));
+  }
+  const obs::TraceContext saved = obs::CurrentTraceContext();
+  obs::TraceContext minted;
+  minted.trace_id = obs::MintTraceId();
+  obs::SetCurrentTraceContext(minted);
+  Status st;
+  {
+    obs::TraceSpan span("driver.send");
+    const obs::TraceContext inner = obs::CurrentTraceContext();
+    req.trace_id = inner.trace_id;
+    req.span_id = inner.span_id;  // the driver.send span itself
+    st = serve::WriteFrame(fd, serve::EncodeScoreRequest(req));
+  }
+  obs::SetCurrentTraceContext(saved);
+  return st;
+}
+
 /// Deterministic request-content sampler: tweet ids either uniform over
 /// the world or Zipf-concentrated on a hot set (--hot-set/--skew), user
 /// ids Zipf-flavored (80% from a hot pool of num_users/4). One Workload
@@ -434,7 +465,7 @@ Status VerifyByteIdentity(const Args& args, const Workload& workload) {
   size_t checked = 0;
   for (size_t i = 0; i < kVerifyRequests && st.ok(); ++i) {
     const serve::ScoreRequest req = workload.MakeRequest(&rng, i);
-    st = serve::WriteFrame(fd, serve::EncodeScoreRequest(req));
+    st = SendScoreRequest(fd, req);
     if (!st.ok()) break;
     std::string payload;
     bool eof = false;
@@ -594,8 +625,7 @@ Status RunPoint(const Args& args, size_t point_idx, double target_qps,
         const uint64_t rid = (static_cast<uint64_t>(c) << 32) | i;
         const serve::ScoreRequest req = workload.MakeRequest(&rng, rid);
         send_ns[c][i].store(NowNs(), std::memory_order_release);
-        const Status st =
-            serve::WriteFrame(fds[c], serve::EncodeScoreRequest(req));
+        const Status st = SendScoreRequest(fds[c], req);
         if (!st.ok()) return;  // receiver sees the broken stream too
         hooks.sent->Add();
       }
@@ -843,7 +873,7 @@ int main(int argc, char** argv) {
     Rng rng = Rng::Stream(args.seed ^ 0x57A7ULL, 0);
     for (size_t i = 0; i < args.warmup; ++i) {
       const serve::ScoreRequest req = workload.MakeRequest(&rng, i);
-      st = serve::WriteFrame(fd, serve::EncodeScoreRequest(req));
+      st = SendScoreRequest(fd, req);
       if (st.ok()) {
         std::string payload;
         bool eof = false;

@@ -12,11 +12,17 @@ Sections:
     only when a run served features through the disk-backed store
   - timeline: per-event-name aggregates and the top-K slowest traces
     (grouped by the per-request/per-batch trace ids the tracer mints)
+  - cross-process traces: when both the load driver's --trace-out
+    (--client-trace) and the daemon's --trace-out (--trace) are given,
+    driver.send spans are paired with serve.handle spans by the trace id
+    the driver minted and carried on the wire
 
 Stdlib only. Usage:
   tools/report.py --metrics train_metrics.json --trace trace.json \
       --out report.md [--html-out report.html] [--top-k 10]
 Either input may be omitted; the corresponding sections are skipped.
+Inputs that are present but missing newer fields degrade to explicit
+"not recorded" lines rather than disappearing silently.
 """
 
 import argparse
@@ -343,12 +349,37 @@ def add_serve_section(report, bench, serve_metrics):
             h = hists.get(name)
             if not h or h.get("count", 0) == 0:
                 continue
-            rows.append((label, h["count"], fmt_ns(h["mean"]),
-                         fmt_ns(h["p50"]), fmt_ns(h["p95"]),
-                         fmt_ns(h["p99"])))
+            rows.append((label, h["count"], fmt_ns(h.get("mean", 0)),
+                         fmt_ns(h.get("p50", 0)), fmt_ns(h.get("p95", 0)),
+                         fmt_ns(h.get("p99", 0))))
         if rows:
             report.table(["stage", "requests", "mean", "p50", "p95", "p99"],
                          rows)
+        else:
+            report.para("Stage latency histograms: not recorded (daemon "
+                        "built with obs disabled, or it served no "
+                        "requests).")
+        windows = serve_metrics.get("windows", {})
+        rows = []
+        for label, name in (("queue wait", "serve.queue_wait_ns"),
+                            ("handle", "serve.handle_ns")):
+            w = windows.get(name)
+            if not w or w.get("count", 0) == 0:
+                continue
+            rows.append((label, w.get("ticks", 0), w.get("slots", 0),
+                         w["count"], fmt_ns(w.get("p50", 0)),
+                         fmt_ns(w.get("p95", 0)), fmt_ns(w.get("p99", 0))))
+        if rows:
+            report.para("Windowed quantiles cover only the last few "
+                        "metrics-cadence ticks before drain — the recent "
+                        "past, not the whole run.")
+            report.table(
+                ["stage", "ticks", "slots", "requests", "p50", "p95", "p99"],
+                rows)
+        else:
+            report.para("Windowed latency quantiles: not recorded (metrics "
+                        "file predates windowed histograms, obs was "
+                        "disabled, or the cadence never ticked).")
 
 
 SIMD_BACKEND_NAMES = {0: "unresolved", 1: "scalar", 2: "avx2", 3: "neon"}
@@ -461,6 +492,74 @@ def add_trace_sections(report, trace, top_k):
          for dur, tid, root, n, start, child in summary[:top_k]])
 
 
+def _spans_by_trace(trace, name):
+    """trace_id -> [complete spans called `name`] (ids of 0 mean the span
+    was not part of a minted trace and cannot be paired)."""
+    out = defaultdict(list)
+    for e in trace.get("traceEvents", []):
+        if e.get("ph") != "X" or e.get("name") != name:
+            continue
+        tid = e.get("args", {}).get("trace_id", 0)
+        if tid:
+            out[tid].append(e)
+    return out
+
+
+def add_cross_process_section(report, client_trace, server_trace, top_k):
+    """Pairs the driver's send spans with the daemon's handle spans.
+
+    The load driver stamps every score request with a minted trace id and
+    the id of the driver.send span around the write; the daemon's reader
+    adopts both, so its serve.handle span lands in the same trace. The two
+    files come from different processes with unrelated clocks — only the
+    pairing and each side's own durations are meaningful, never
+    cross-process timestamp deltas."""
+    if client_trace is None:
+        return
+    report.section("Cross-process traces (driver → daemon)")
+    sends = _spans_by_trace(client_trace, "driver.send")
+    if server_trace is None:
+        report.para("Daemon trace: not recorded — run retina_serve with "
+                    "--trace-out and pass it as --trace to pair its "
+                    "serve.handle spans with the driver's.")
+        report.para(f"The driver recorded {sum(map(len, sends.values()))} "
+                    "driver.send spans.")
+        return
+    if not sends:
+        report.para("The client trace holds no driver.send spans — run "
+                    "load_driver with --trace-out so every request carries "
+                    "a minted trace id on the wire.")
+        return
+    handles = _spans_by_trace(server_trace, "serve.handle")
+    paired = sorted(set(sends) & set(handles))
+    client_only = len(sends) - len(paired)
+    server_only = len(handles) - len(paired)
+    report.para(
+        f"{len(paired)} trace ids appear in both files; {client_only} are "
+        "client-only (coalesced into a batch whose serve.handle span "
+        "adopted the first request's trace id, or still in flight at "
+        "capture) and "
+        f"{server_only} are server-only (server-minted work such as stats "
+        "or warmup). Durations are per-process; the clocks are unrelated.")
+    if not paired:
+        return
+    rows = []
+    for tid in paired:
+        send = max(sends[tid], key=lambda e: e["dur"])
+        handle = max(handles[tid], key=lambda e: e["dur"])
+        parent_ok = handle["args"].get("parent_span_id", 0) == \
+            send["args"].get("span_id", 0)
+        rows.append((handle["dur"], tid, send["dur"],
+                     len(sends[tid]) + len(handles[tid]), parent_ok))
+    rows.sort(reverse=True)
+    report.table(
+        ["trace id", "driver send", "daemon handle", "spans",
+         "parented under send"],
+        [(tid, fmt_us(send_dur), fmt_us(handle_dur), n,
+          "yes" if ok else "no")
+         for handle_dur, tid, send_dur, n, ok in rows[:top_k]])
+
+
 # ------------------------------------------------------------------- main --
 
 def load_json(path, label):
@@ -473,7 +572,8 @@ def load_json(path, label):
         sys.exit(f"report.py: cannot read {label} file {path}: {e}")
 
 
-def build_report(metrics, trace, top_k, serve_bench=None, serve_metrics=None):
+def build_report(metrics, trace, top_k, serve_bench=None, serve_metrics=None,
+                 client_trace=None):
     report = Report("retina run report")
     if metrics is not None:
         add_summary_section(report, metrics)
@@ -485,8 +585,10 @@ def build_report(metrics, trace, top_k, serve_bench=None, serve_metrics=None):
     add_serve_section(report, serve_bench, serve_metrics)
     if trace is not None:
         add_trace_sections(report, trace, top_k)
+    add_cross_process_section(report, client_trace, trace, top_k)
     if not report.sections:
-        sys.exit("report.py: pass --metrics, --serve-bench, and/or --trace")
+        sys.exit("report.py: pass --metrics, --serve-bench, --trace, "
+                 "and/or --client-trace")
     return report
 
 
@@ -498,6 +600,9 @@ def main():
                     help="BENCH_serve.json from tools/load_driver")
     ap.add_argument("--serve-metrics",
                     help="--metrics-out JSON from retina_serve")
+    ap.add_argument("--client-trace",
+                    help="--trace-out Chrome trace JSON from tools/"
+                         "load_driver; paired with --trace by trace id")
     ap.add_argument("--out", help="markdown output path ('-' for stdout)",
                     default="-")
     ap.add_argument("--html-out", help="also write an HTML rendering here")
@@ -508,7 +613,8 @@ def main():
     report = build_report(load_json(args.metrics, "metrics"),
                           load_json(args.trace, "trace"), args.top_k,
                           load_json(args.serve_bench, "serve bench"),
-                          load_json(args.serve_metrics, "serve metrics"))
+                          load_json(args.serve_metrics, "serve metrics"),
+                          load_json(args.client_trace, "client trace"))
     md = report.to_markdown()
     if args.out == "-":
         sys.stdout.write(md)

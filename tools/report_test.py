@@ -81,6 +81,22 @@ def serve_daemon_metrics():
     }
 
 
+def window(ticks, slots, count, p50, p95, p99):
+    return {"ticks": ticks, "slots": slots, "count": count, "sum": 0,
+            "p50": p50, "p95": p95, "p99": p99}
+
+
+def span(name, trace_id, span_id, parent, ts, dur):
+    return {"ph": "X", "name": name, "cat": "retina", "ts": ts, "dur": dur,
+            "pid": 1, "tid": 1,
+            "args": {"trace_id": trace_id, "span_id": span_id,
+                     "parent_span_id": parent}}
+
+
+def trace_file(events):
+    return {"traceEvents": events, "displayTimeUnit": "ns", "otherData": {}}
+
+
 def render(metrics):
     return report.build_report(metrics, None, top_k=5).to_markdown()
 
@@ -129,6 +145,58 @@ def test_serve_section_daemon_metrics_only():
 def test_serve_section_absent_without_inputs():
     md = render(store_metrics())
     assert "## Serving\n" not in md  # warm/cold section has its own title
+
+
+def test_serve_section_renders_windowed_quantiles():
+    metrics = serve_daemon_metrics()
+    metrics["windows"] = {
+        "serve.handle_ns": window(5, 5, 320, 262143, 524287, 1048575),
+        "serve.queue_wait_ns": window(5, 5, 320, 8191, 32767, 65535),
+    }
+    md = render_serve(None, metrics)
+    assert "Windowed quantiles cover only the last few" in md
+    assert "| handle | 5 | 5 | 320 |" in md
+    assert "1.049 ms" in md  # windowed handle p99
+    assert "not recorded" not in md
+
+
+def test_serve_section_degrades_without_windows():
+    # A metrics file written before windowed histograms existed (or with
+    # obs compiled out) must say so instead of silently dropping the row.
+    md = render_serve(None, serve_daemon_metrics())
+    assert "Windowed latency quantiles: not recorded" in md
+    metrics = serve_daemon_metrics()
+    metrics["histograms"] = {}
+    md = render_serve(None, metrics)
+    assert "Stage latency histograms: not recorded" in md
+
+
+def test_cross_process_section_pairs_by_trace_id():
+    client = trace_file([
+        span("driver.send", 101, 1, 0, 10.0, 40.0),
+        span("driver.send", 102, 2, 0, 60.0, 35.0),
+    ])
+    server = trace_file([
+        span("serve.handle", 101, 7, 1, 5000.0, 900.0),
+        span("serve.handle", 999, 8, 0, 6000.0, 100.0),
+    ])
+    md = report.build_report(None, server, top_k=5,
+                             client_trace=client).to_markdown()
+    assert "## Cross-process traces" in md
+    assert "1 trace ids appear in both files" in md
+    assert "1 are client-only" in md and "1 are server-only" in md
+    # The paired row: driver's 40us send against the daemon's 900us
+    # handle, parented under the send span the wire carried.
+    assert "| 101 | 40.000 us | 900.000 us | 2 | yes |" in md
+
+
+def test_cross_process_section_degrades_without_server_trace():
+    client = trace_file([span("driver.send", 101, 1, 0, 10.0, 40.0)])
+    md = report.build_report(None, None, top_k=5,
+                             client_trace=client).to_markdown()
+    assert "## Cross-process traces" in md
+    assert "Daemon trace: not recorded" in md
+    assert "1 driver.send spans" in md
 
 
 def test_store_section_renders_counters_and_percentiles():

@@ -1,0 +1,485 @@
+// retina_top — a terminal monitor for a live retina_serve daemon.
+//
+//   retina_top --connect URI [--interval SECS] [--once] [--window N]
+//
+// Polls the daemon's kMetricsRequest wire command (a typed snapshot of
+// the obs registry with the server's authoritative traffic counters
+// overlaid) on a fresh connection each interval — exactly the way a
+// human would run `top`: no agent, no sidecar, just the wire protocol
+// the daemon already speaks. Rates (QPS, shed/s) are deltas between two
+// consecutive snapshots divided by the poll interval; windowed
+// p50/p95/p99 come straight from the daemon's windowed histograms, so
+// they describe the recent past (the last few metrics-cadence ticks),
+// not the whole run.
+//
+// Interactive mode redraws a plain-ANSI table each interval (no
+// ncurses; works in any terminal and in CI logs). --once takes exactly
+// two samples one interval apart and prints "key value" lines for
+// scripting — the serve e2e asserts on its qps line.
+//
+// The monitor is an observer with the same contract as the rest of
+// retina::obs: it sends read-only metrics frames and never perturbs
+// scoring. With obs compiled out the daemon still answers (server-owned
+// stats), so qps/shed/queue rows stay live; cache and quantile rows
+// degrade to "-".
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace retina;
+
+/// Where to connect: a Unix-domain socket path or a TCP host:port, as
+/// parsed from --connect / --socket (same grammar as load_driver).
+struct Target {
+  bool tcp = false;
+  std::string path;
+  std::string host;
+  std::string port;
+
+  std::string Describe() const {
+    return tcp ? "tcp:" + host + ":" + port : "unix:" + path;
+  }
+};
+
+struct Args {
+  Target target;
+  double interval = 1.0;
+  bool once = false;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: retina_top --connect URI [options]\n"
+      "  --connect URI     unix:PATH, tcp:HOST:PORT, or a bare filesystem\n"
+      "                    path (treated as unix:)\n"
+      "  --socket PATH     alias for --connect unix:PATH\n"
+      "  --interval SECS   poll interval (default 1.0, min 0.05)\n"
+      "  --once            take two samples one interval apart, print\n"
+      "                    plain 'key value' lines, and exit (scripting)\n");
+  return 2;
+}
+
+bool ParseTarget(const std::string& uri, Target* target) {
+  if (uri.rfind("unix:", 0) == 0) {
+    target->tcp = false;
+    target->path = uri.substr(5);
+    return !target->path.empty();
+  }
+  if (uri.rfind("tcp:", 0) == 0) {
+    const std::string rest = uri.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) return false;
+    target->tcp = true;
+    target->host = rest.substr(0, colon);
+    target->port = rest.substr(colon + 1);
+    if (target->host.empty()) target->host = "127.0.0.1";
+    return !target->port.empty();
+  }
+  target->tcp = false;
+  target->path = uri;
+  return !target->path.empty();
+}
+
+bool ParseArgs(int argc, char** argv, Args* args, int* rc) {
+  *rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto take = [&](const char* name, std::string* out) -> bool {
+      if (arg == name) {
+        const char* v = next();
+        if (v == nullptr) return false;
+        *out = v;
+        return true;
+      }
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        *out = arg.substr(prefix.size());
+        return true;
+      }
+      return false;
+    };
+    std::string value;
+    if (take("--connect", &value)) {
+      if (!ParseTarget(value, &args->target)) {
+        std::fprintf(stderr, "bad --connect: %s\n", value.c_str());
+        *rc = 2;
+        return false;
+      }
+      continue;
+    }
+    if (take("--socket", &value)) {
+      args->target = Target{};
+      args->target.path = value;
+      continue;
+    }
+    if (take("--interval", &value)) {
+      args->interval = std::atof(value.c_str());
+      continue;
+    }
+    if (arg == "--once") {
+      args->once = true;
+      continue;
+    }
+    std::fprintf(stderr, "%s\n",
+                 Status::InvalidArgument("unknown flag '" + arg +
+                                         "' (run 'retina_top' for usage)")
+                     .ToString()
+                     .c_str());
+    *rc = 2;
+    return false;
+  }
+  if (args->target.path.empty() && args->target.host.empty()) {
+    *rc = Usage();
+    return false;
+  }
+  if (args->interval < 0.05) args->interval = 0.05;
+  return true;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  struct sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket failed: ") +
+                           std::strerror(errno));
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Status::IOError("connect " + path +
+                                      " failed: " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, const std::string& port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int gai = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+  if (gai != 0) {
+    return Status::InvalidArgument("cannot resolve tcp:" + host + ":" + port +
+                                   ": " + ::gai_strerror(gai));
+  }
+  Status st = Status::IOError("no usable address for tcp:" + host + ":" + port);
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      st = Status::OK();
+      break;
+    }
+    st = Status::IOError("connect tcp:" + host + ":" + port +
+                         " failed: " + std::strerror(errno));
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (!st.ok()) return st;
+  return fd;
+}
+
+/// One kMetrics round trip on a fresh connection, like load_driver's
+/// QueryStats — a monitor should exercise the same connect path clients
+/// do, and a per-poll connection can never wedge the daemon's readers.
+Status QueryMetrics(const Target& target, uint64_t request_id,
+                    serve::MetricsResponse* out) {
+  auto fd_result = target.tcp ? ConnectTcp(target.host, target.port)
+                              : ConnectUnix(target.path);
+  if (!fd_result.ok()) return fd_result.status();
+  const int fd = fd_result.ValueOrDie();
+  serve::MetricsRequest req;
+  req.request_id = request_id;
+  Status st = serve::WriteFrame(fd, serve::EncodeMetricsRequest(req));
+  if (st.ok()) {
+    std::string payload;
+    bool eof = false;
+    st = serve::ReadFrame(fd, &payload, &eof);
+    if (st.ok() && eof) st = Status::IOError("server closed during metrics");
+    if (st.ok()) st = serve::DecodeMetricsResponse(payload, out);
+  }
+  ::close(fd);
+  return st;
+}
+
+/// One polled sample: wall time plus the daemon's registry snapshot.
+struct Sample {
+  std::chrono::steady_clock::time_point when;
+  obs::RegistrySnapshot snap;
+};
+
+uint64_t CounterOr(const obs::RegistrySnapshot& s, const std::string& key,
+                   uint64_t fallback) {
+  const auto it = s.counters.find(key);
+  return it == s.counters.end() ? fallback : it->second;
+}
+
+/// Everything one screen/record needs, derived from two samples.
+struct Derived {
+  double dt = 0.0;
+  double qps = 0.0;
+  double shed_per_sec = 0.0;
+  uint64_t responses = 0;
+  uint64_t requests = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;
+  uint64_t connections = 0;
+  uint64_t queue_depth_peak = 0;
+  uint64_t queue_capacity = 0;
+  uint64_t workers = 0;
+  bool draining = false;
+  double coalesce_avg_batch = 0.0;
+  bool has_user_cache = false;
+  double user_cache_hit = 0.0;
+  bool has_tweet_cache = false;
+  double tweet_cache_hit = 0.0;
+  bool has_windows = false;
+  obs::WindowSnapshot handle;
+  obs::WindowSnapshot queue_wait;
+};
+
+Derived Derive(const Sample& prev, const Sample& cur) {
+  Derived d;
+  d.dt = std::chrono::duration<double>(cur.when - prev.when).count();
+  if (d.dt <= 0.0) d.dt = 1e-9;
+  const obs::RegistrySnapshot& s = cur.snap;
+  d.responses = CounterOr(s, "serve.responses", 0);
+  d.requests = CounterOr(s, "serve.requests", 0);
+  d.shed = CounterOr(s, "serve.shed", 0);
+  d.errors = CounterOr(s, "serve.errors", 0);
+  d.connections = CounterOr(s, "serve.connections", 0);
+  d.queue_depth_peak = CounterOr(s, "serve.queue_depth_peak", 0);
+  d.queue_capacity = CounterOr(s, "serve.queue_capacity", 0);
+  d.workers = CounterOr(s, "serve.workers", 0);
+  d.draining = CounterOr(s, "serve.draining", 0) != 0;
+  const uint64_t prev_resp = CounterOr(prev.snap, "serve.responses", 0);
+  const uint64_t prev_shed = CounterOr(prev.snap, "serve.shed", 0);
+  d.qps = d.responses >= prev_resp ? (d.responses - prev_resp) / d.dt : 0.0;
+  d.shed_per_sec = d.shed >= prev_shed ? (d.shed - prev_shed) / d.dt : 0.0;
+  const uint64_t batches = CounterOr(s, "serve.coalesce.batches", 0);
+  const uint64_t fused = CounterOr(s, "serve.coalesce.batched_requests", 0);
+  d.coalesce_avg_batch =
+      batches == 0 ? 0.0 : static_cast<double>(fused) / batches;
+  const uint64_t uh = CounterOr(s, "serving.user_cache.hits", 0);
+  const uint64_t um = CounterOr(s, "serving.user_cache.misses", 0);
+  if (uh + um > 0) {
+    d.has_user_cache = true;
+    d.user_cache_hit = static_cast<double>(uh) / (uh + um);
+  }
+  const uint64_t th = CounterOr(s, "serving.tweet_cache.hits", 0);
+  const uint64_t tm = CounterOr(s, "serving.tweet_cache.misses", 0);
+  if (th + tm > 0) {
+    d.has_tweet_cache = true;
+    d.tweet_cache_hit = static_cast<double>(th) / (th + tm);
+  }
+  const auto hw = s.windows.find("serve.handle_ns");
+  const auto qw = s.windows.find("serve.queue_wait_ns");
+  if (hw != s.windows.end() || qw != s.windows.end()) {
+    d.has_windows = true;
+    if (hw != s.windows.end()) d.handle = hw->second;
+    if (qw != s.windows.end()) d.queue_wait = qw->second;
+  }
+  return d;
+}
+
+std::string FmtNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+/// Interactive frame: home the cursor and repaint (plain ANSI; no
+/// ncurses dependency, degrades to append-only output in dumb logs).
+void RenderScreen(const Args& args, const Derived& d) {
+  std::printf("\x1b[H\x1b[2J");
+  std::printf("retina_top — %s   (poll %.2fs%s)\n\n",
+              args.target.Describe().c_str(), args.interval,
+              d.draining ? ", DRAINING" : "");
+  std::printf("  %-14s %10.1f   %-14s %10.1f\n", "qps", d.qps, "shed/s",
+              d.shed_per_sec);
+  std::printf("  %-14s %10llu   %-14s %10llu\n", "responses",
+              static_cast<unsigned long long>(d.responses), "requests",
+              static_cast<unsigned long long>(d.requests));
+  std::printf("  %-14s %10llu   %-14s %10llu\n", "shed",
+              static_cast<unsigned long long>(d.shed), "errors",
+              static_cast<unsigned long long>(d.errors));
+  std::printf("  %-14s %10llu   %-14s %6llu/%llu\n", "connections",
+              static_cast<unsigned long long>(d.connections), "queue peak",
+              static_cast<unsigned long long>(d.queue_depth_peak),
+              static_cast<unsigned long long>(d.queue_capacity));
+  std::printf("  %-14s %10llu   %-14s %10.2f\n", "workers",
+              static_cast<unsigned long long>(d.workers), "coalesce avg",
+              d.coalesce_avg_batch);
+  if (d.has_user_cache || d.has_tweet_cache) {
+    std::printf("  %-14s %9.1f%%   %-14s %9.1f%%\n", "user cache",
+                d.has_user_cache ? 100.0 * d.user_cache_hit : 0.0,
+                "tweet cache",
+                d.has_tweet_cache ? 100.0 * d.tweet_cache_hit : 0.0);
+  } else {
+    std::printf("  %-14s %10s   %-14s %10s\n", "user cache", "-",
+                "tweet cache", "-");
+  }
+  std::printf("\n  windowed latency (last %llu ticks of the daemon's "
+              "metrics cadence)\n",
+              static_cast<unsigned long long>(
+                  d.has_windows ? d.handle.slots : 0));
+  if (d.has_windows) {
+    std::printf("  %-14s p50 %8s  p95 %8s  p99 %8s  (n=%llu)\n", "handle",
+                FmtNs(d.handle.window.p50).c_str(),
+                FmtNs(d.handle.window.p95).c_str(),
+                FmtNs(d.handle.window.p99).c_str(),
+                static_cast<unsigned long long>(d.handle.window.count));
+    std::printf("  %-14s p50 %8s  p95 %8s  p99 %8s  (n=%llu)\n", "queue wait",
+                FmtNs(d.queue_wait.window.p50).c_str(),
+                FmtNs(d.queue_wait.window.p95).c_str(),
+                FmtNs(d.queue_wait.window.p99).c_str(),
+                static_cast<unsigned long long>(d.queue_wait.window.count));
+  } else {
+    std::printf("  (not recorded — daemon built with obs disabled)\n");
+  }
+  std::fflush(stdout);
+}
+
+/// --once output: stable machine-readable "key value" lines. The serve
+/// e2e greps the qps line; keep keys append-only.
+void RenderOnce(const Derived& d) {
+  std::printf("qps %.3f\n", d.qps);
+  std::printf("shed_per_sec %.3f\n", d.shed_per_sec);
+  std::printf("responses %llu\n", static_cast<unsigned long long>(d.responses));
+  std::printf("requests %llu\n", static_cast<unsigned long long>(d.requests));
+  std::printf("shed %llu\n", static_cast<unsigned long long>(d.shed));
+  std::printf("errors %llu\n", static_cast<unsigned long long>(d.errors));
+  std::printf("queue_depth_peak %llu\n",
+              static_cast<unsigned long long>(d.queue_depth_peak));
+  std::printf("coalesce_avg_batch %.3f\n", d.coalesce_avg_batch);
+  std::printf("user_cache_hit_ratio %s\n",
+              d.has_user_cache
+                  ? std::to_string(d.user_cache_hit).c_str()
+                  : "not_recorded");
+  std::printf("tweet_cache_hit_ratio %s\n",
+              d.has_tweet_cache
+                  ? std::to_string(d.tweet_cache_hit).c_str()
+                  : "not_recorded");
+  if (d.has_windows) {
+    std::printf("window_ticks %llu\n",
+                static_cast<unsigned long long>(d.handle.ticks));
+    std::printf("handle_ns_window_p50 %llu\n",
+                static_cast<unsigned long long>(d.handle.window.p50));
+    std::printf("handle_ns_window_p95 %llu\n",
+                static_cast<unsigned long long>(d.handle.window.p95));
+    std::printf("handle_ns_window_p99 %llu\n",
+                static_cast<unsigned long long>(d.handle.window.p99));
+    std::printf("queue_wait_ns_window_p50 %llu\n",
+                static_cast<unsigned long long>(d.queue_wait.window.p50));
+    std::printf("queue_wait_ns_window_p95 %llu\n",
+                static_cast<unsigned long long>(d.queue_wait.window.p95));
+    std::printf("queue_wait_ns_window_p99 %llu\n",
+                static_cast<unsigned long long>(d.queue_wait.window.p99));
+  } else {
+    std::printf("window_ticks not_recorded\n");
+  }
+  std::fflush(stdout);
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  int rc = 0;
+  if (!ParseArgs(argc, argv, &args, &rc)) return rc;
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  uint64_t request_id = 1;
+  auto poll = [&](Sample* out) -> Status {
+    serve::MetricsResponse resp;
+    const Status st = QueryMetrics(args.target, request_id++, &resp);
+    if (!st.ok()) return st;
+    out->when = std::chrono::steady_clock::now();
+    out->snap = std::move(resp.snapshot);
+    return Status::OK();
+  };
+
+  Sample prev;
+  Status st = poll(&prev);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  const auto interval = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(args.interval));
+
+  if (args.once) {
+    std::this_thread::sleep_for(interval);
+    Sample cur;
+    st = poll(&cur);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    RenderOnce(Derive(prev, cur));
+    return 0;
+  }
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(interval);
+    Sample cur;
+    st = poll(&cur);
+    if (!st.ok()) {
+      // The daemon drained (or the network blipped): say so once and
+      // exit cleanly rather than spinning on a dead socket.
+      std::printf("\nretina_top: %s\n", st.ToString().c_str());
+      return 0;
+    }
+    RenderScreen(args, Derive(prev, cur));
+    prev = std::move(cur);
+  }
+  return 0;
+}
